@@ -1,0 +1,41 @@
+//! Error types for analytics.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the analytics layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalyticsError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// Not enough data to compute the requested statistic.
+    InsufficientData { needed: usize, got: usize },
+}
+
+impl fmt::Display for AnalyticsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyticsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            AnalyticsError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: needed {needed}, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for AnalyticsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(AnalyticsError::InvalidParameter("epsilon")
+            .to_string()
+            .contains("epsilon"));
+        assert!(AnalyticsError::InsufficientData { needed: 2, got: 1 }
+            .to_string()
+            .contains("insufficient"));
+    }
+}

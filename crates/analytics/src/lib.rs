@@ -1,0 +1,34 @@
+//! Streaming and batch analytics for the Augur platform.
+//!
+//! This is the "big data" half of the convergence: the machinery that
+//! turns sensor torrents into the semantically useful aggregates AR
+//! surfaces in place. It divides into:
+//!
+//! - [`sketch`]: sublinear stream summaries — Count-Min, HyperLogLog,
+//!   reservoir sampling, P² quantiles — the only way per-frame AR
+//!   budgets survive unbounded input.
+//! - [`incremental`]: incrementally maintained aggregate views vs. the
+//!   batch recomputation baseline (the timeliness experiment E2).
+//! - [`recommend`]: an item-item collaborative-filtering recommender with
+//!   popularity and random baselines (the retail experiment E7).
+//! - [`mining`]: frequent itemsets, association rules, correlation, and
+//!   trend detection over history.
+//! - [`anomaly`]: streaming detectors (threshold, EWMA) that drive the
+//!   healthcare alerting experiment E9.
+
+pub mod anomaly;
+pub mod error;
+pub mod incremental;
+pub mod mining;
+pub mod recommend;
+pub mod sketch;
+
+pub use anomaly::{AnomalyAlert, EwmaDetector, ThresholdDetector};
+pub use error::AnalyticsError;
+pub use incremental::{BatchAggregator, GroupedStats, IncrementalView};
+pub use mining::{pearson, AssociationRule, FrequentItemsets, TrendDetector};
+pub use recommend::{
+    EvalReport, Interaction, ItemItemRecommender, PopularityRecommender, RandomRecommender,
+    Recommender,
+};
+pub use sketch::{CountMinSketch, HyperLogLog, P2Quantile, ReservoirSample};

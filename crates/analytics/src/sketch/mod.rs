@@ -1,0 +1,45 @@
+//! Sublinear stream summaries.
+//!
+//! Each sketch trades exactness for bounded memory with a provable error
+//! guarantee — the property tests in this crate check those guarantees
+//! empirically:
+//!
+//! - [`CountMinSketch`]: frequency estimates, overestimates only, error
+//!   ≤ εN with probability 1−δ.
+//! - [`HyperLogLog`]: cardinality, ~1.04/√m relative standard error.
+//! - [`ReservoirSample`]: uniform k-of-n sample.
+//! - [`P2Quantile`]: single-quantile estimation without storing data.
+
+mod count_min;
+mod hyperloglog;
+mod quantile;
+mod reservoir;
+
+pub use count_min::CountMinSketch;
+pub use hyperloglog::HyperLogLog;
+pub use quantile::P2Quantile;
+pub use reservoir::ReservoirSample;
+
+/// Shared 64-bit mix used by the sketches (splitmix64 finaliser):
+/// cheap, well-distributed, and dependency-free.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_changes_bits() {
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+        // Avalanche smoke test: flipping one input bit flips many output bits.
+        let a = mix64(0x1234);
+        let b = mix64(0x1235);
+        assert!((a ^ b).count_ones() > 16);
+    }
+}

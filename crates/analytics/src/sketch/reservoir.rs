@@ -1,0 +1,123 @@
+//! Reservoir sampling (Algorithm R).
+
+use rand::Rng;
+
+use crate::error::AnalyticsError;
+
+/// A uniform k-of-n sample maintained over a stream.
+///
+/// After observing `n ≥ k` items, every item has probability `k/n` of
+/// being in the reservoir — checked statistically by the tests.
+///
+/// # Example
+///
+/// ```
+/// use augur_analytics::ReservoirSample;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut res = ReservoirSample::new(10)?;
+/// for i in 0..1000 { res.offer(i, &mut rng); }
+/// assert_eq!(res.sample().len(), 10);
+/// assert_eq!(res.seen(), 1000);
+/// # Ok::<(), augur_analytics::AnalyticsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReservoirSample<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+}
+
+impl<T> ReservoirSample<T> {
+    /// Creates a reservoir of `capacity` items.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalyticsError::InvalidParameter`] if `capacity == 0`.
+    pub fn new(capacity: usize) -> Result<Self, AnalyticsError> {
+        if capacity == 0 {
+            return Err(AnalyticsError::InvalidParameter("capacity"));
+        }
+        Ok(ReservoirSample {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+        })
+    }
+
+    /// Offers an item to the reservoir.
+    pub fn offer<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// The current sample.
+    pub fn sample(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Items observed so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fills_then_holds_capacity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut r = ReservoirSample::new(5).unwrap();
+        for i in 0..3 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.sample().len(), 3);
+        for i in 3..100 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.sample().len(), 5);
+        assert_eq!(r.seen(), 100);
+    }
+
+    #[test]
+    fn sampling_is_approximately_uniform() {
+        // Offer 0..100 to a size-10 reservoir 5000 times; each item should
+        // appear with probability ~0.1.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut hits = vec![0u32; 100];
+        for _ in 0..5000 {
+            let mut r = ReservoirSample::new(10).unwrap();
+            for i in 0..100usize {
+                r.offer(i, &mut rng);
+            }
+            for &i in r.sample() {
+                hits[i] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            let p = h as f64 / 5000.0;
+            assert!((p - 0.1).abs() < 0.03, "item {i}: p={p}");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(ReservoirSample::<u8>::new(0).is_err());
+    }
+}

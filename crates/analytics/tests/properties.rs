@@ -1,0 +1,159 @@
+//! Property-based tests for the analytics layer: sketch guarantees and
+//! incremental/batch equivalence.
+
+use augur_analytics::{
+    pearson, BatchAggregator, CountMinSketch, HyperLogLog, IncrementalView, P2Quantile,
+    ReservoirSample,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn count_min_never_undercounts(
+        items in prop::collection::vec(0u64..100, 1..500),
+    ) {
+        let mut cm = CountMinSketch::new(64, 4).unwrap();
+        let mut exact = std::collections::HashMap::new();
+        for &i in &items {
+            cm.add(i, 1);
+            *exact.entry(i).or_insert(0u64) += 1;
+        }
+        for (&item, &count) in &exact {
+            prop_assert!(cm.estimate(item) >= count);
+        }
+        prop_assert_eq!(cm.total(), items.len() as u64);
+    }
+
+    #[test]
+    fn count_min_merge_equals_combined_stream(
+        a in prop::collection::vec(0u64..50, 0..200),
+        b in prop::collection::vec(0u64..50, 0..200),
+    ) {
+        let mut ca = CountMinSketch::new(32, 3).unwrap();
+        let mut cb = CountMinSketch::new(32, 3).unwrap();
+        let mut combined = CountMinSketch::new(32, 3).unwrap();
+        for &i in &a {
+            ca.add(i, 1);
+            combined.add(i, 1);
+        }
+        for &i in &b {
+            cb.add(i, 1);
+            combined.add(i, 1);
+        }
+        ca.merge(&cb).unwrap();
+        for item in 0..50u64 {
+            prop_assert_eq!(ca.estimate(item), combined.estimate(item));
+        }
+    }
+
+    #[test]
+    fn hll_merge_commutes(
+        a in prop::collection::vec(any::<u64>(), 0..300),
+        b in prop::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let mut ab = HyperLogLog::new(10).unwrap();
+        let mut ba = HyperLogLog::new(10).unwrap();
+        let (mut ha, mut hb) = (HyperLogLog::new(10).unwrap(), HyperLogLog::new(10).unwrap());
+        for &x in &a { ha.add(x); }
+        for &x in &b { hb.add(x); }
+        ab.merge(&ha).unwrap();
+        ab.merge(&hb).unwrap();
+        ba.merge(&hb).unwrap();
+        ba.merge(&ha).unwrap();
+        prop_assert_eq!(ab.estimate(), ba.estimate());
+    }
+
+    #[test]
+    fn hll_estimate_monotone_under_insertion(
+        items in prop::collection::vec(any::<u64>(), 1..400),
+    ) {
+        let mut hll = HyperLogLog::new(10).unwrap();
+        let mut prev = 0.0;
+        for &i in &items {
+            hll.add(i);
+            let est = hll.estimate();
+            prop_assert!(est + 1e-9 >= prev, "estimate decreased: {est} < {prev}");
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn reservoir_holds_min_of_k_n(
+        items in prop::collection::vec(any::<u32>(), 0..200),
+        k in 1usize..32,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut r = ReservoirSample::new(k).unwrap();
+        for &i in &items {
+            r.offer(i, &mut rng);
+        }
+        prop_assert_eq!(r.sample().len(), k.min(items.len()));
+        // Every sampled element came from the stream.
+        for s in r.sample() {
+            prop_assert!(items.contains(s));
+        }
+    }
+
+    #[test]
+    fn p2_estimate_within_observed_range(
+        values in prop::collection::vec(-1e6f64..1e6, 5..300),
+        q in 0.05f64..0.95,
+    ) {
+        let mut est = P2Quantile::new(q).unwrap();
+        for &v in &values {
+            est.observe(v);
+        }
+        let e = est.estimate().unwrap();
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(e >= lo - 1e-9 && e <= hi + 1e-9, "{e} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn incremental_always_matches_batch(
+        events in prop::collection::vec((0u64..10, -1e3f64..1e3), 1..400),
+    ) {
+        let mut view = IncrementalView::new();
+        let mut batch = BatchAggregator::new();
+        for &(g, v) in &events {
+            view.update(g, v);
+            batch.ingest(g, v);
+        }
+        let want = batch.recompute();
+        prop_assert_eq!(view.group_count(), want.len());
+        for (g, w) in &want {
+            let got = view.get(*g).unwrap();
+            prop_assert_eq!(got.count, w.count);
+            prop_assert!((got.mean - w.mean).abs() < 1e-9);
+            prop_assert!((got.sum() - w.sum()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pearson_bounded_and_symmetric(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..100),
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let (Ok(r1), Ok(r2)) = (pearson(&x, &y), pearson(&y, &x)) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r1));
+            prop_assert!((r1 - r2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pearson_invariant_under_affine_transform(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..60),
+        scale in 0.1f64..10.0,
+        shift in -100.0f64..100.0,
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let xs: Vec<f64> = x.iter().map(|v| v * scale + shift).collect();
+        if let (Ok(r1), Ok(r2)) = (pearson(&x, &y), pearson(&xs, &y)) {
+            prop_assert!((r1 - r2).abs() < 1e-6, "{r1} vs {r2}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion micro side of E6: per-measurement tracker update cost — the
+//! quantity that must fit 50 Hz IMU + 30 Hz frame budgets.
+
+use augur_geo::Enu;
+use augur_sensor::{GpsFix, ImuReading, Timestamp};
+use augur_track::{ComplementaryParams, ComplementaryTracker, KalmanParams, KalmanTracker, Tracker};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e6_kalman_imu_update", |b| {
+        let mut tracker = KalmanTracker::new(KalmanParams::default());
+        tracker.update_gps(&GpsFix {
+            time: Timestamp::ZERO,
+            position: Enu::default(),
+            speed_mps: 0.0,
+            accuracy_m: 4.0,
+        });
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 20;
+            tracker.update_imu(&ImuReading {
+                time: Timestamp::from_millis(t),
+                accel_east: 0.1,
+                accel_north: -0.05,
+                yaw_rate_dps: 1.0,
+            });
+            std::hint::black_box(tracker.pose(Timestamp::from_millis(t)))
+        })
+    });
+    c.bench_function("e6_kalman_gps_update", |b| {
+        let mut tracker = KalmanTracker::new(KalmanParams::default());
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            tracker.update_gps(&GpsFix {
+                time: Timestamp::from_millis(t),
+                position: Enu::new((t % 100) as f64, 0.0, 0.0),
+                speed_mps: 1.0,
+                accuracy_m: 4.0,
+            });
+            std::hint::black_box(tracker.pose(Timestamp::from_millis(t)))
+        })
+    });
+    c.bench_function("e6_complementary_imu_update", |b| {
+        let mut tracker = ComplementaryTracker::new(ComplementaryParams::default());
+        tracker.update_gps(&GpsFix {
+            time: Timestamp::ZERO,
+            position: Enu::default(),
+            speed_mps: 0.0,
+            accuracy_m: 4.0,
+        });
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 20;
+            tracker.update_imu(&ImuReading {
+                time: Timestamp::from_millis(t),
+                accel_east: 0.1,
+                accel_north: -0.05,
+                yaw_rate_dps: 1.0,
+            });
+            std::hint::black_box(tracker.pose(Timestamp::from_millis(t)))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro side of E4: label layout strategies at 100 labels.
+
+use augur_render::{force_layout, greedy_layout, naive_layout, LabelBox, Viewport};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn labels(n: usize) -> Vec<LabelBox> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    (0..n)
+        .map(|i| LabelBox {
+            id: i as u64,
+            anchor_px: (rng.gen_range(100.0..1820.0), rng.gen_range(100.0..980.0)),
+            width_px: 140.0,
+            height_px: 32.0,
+            priority: rng.gen_range(0.0..1.0),
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let ls = labels(100);
+    let vp = Viewport::default();
+    c.bench_function("e4_naive_layout_100", |b| {
+        b.iter(|| std::hint::black_box(naive_layout(&ls, vp)))
+    });
+    c.bench_function("e4_greedy_layout_100", |b| {
+        b.iter(|| std::hint::black_box(greedy_layout(&ls, vp)))
+    });
+    c.bench_function("e4_force_layout_100x50", |b| {
+        b.iter(|| std::hint::black_box(force_layout(&ls, vp, 50)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion micro side of E3: plan estimation and exhaustive search.
+
+use augur_cloud::{best_plan, estimate, ComputeResource, EnergyParams, NetworkProfile, OffloadPlan, TaskGraph};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let graph = TaskGraph::ar_pipeline(5.0, 500_000);
+    let phone = ComputeResource::phone();
+    let cloud = ComputeResource::cloud_vm();
+    let energy = EnergyParams::default();
+    let net = NetworkProfile::lte();
+    let plan = OffloadPlan::all_cloud(&graph);
+    c.bench_function("e3_estimate_one_plan", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                estimate(&graph, &plan, &phone, &cloud, &net, &energy).expect("valid plan"),
+            )
+        })
+    });
+    c.bench_function("e3_best_plan_exhaustive", |b| {
+        b.iter(|| {
+            std::hint::black_box(best_plan(&graph, &phone, &cloud, &net, &energy).expect("search"))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

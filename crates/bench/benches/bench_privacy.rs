@@ -1,0 +1,40 @@
+//! Criterion micro side of E11: privacy mechanism costs.
+
+use augur_geo::Enu;
+use augur_privacy::{geo_indistinguishable, laplace_mechanism, LocationSignature, Trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    c.bench_function("e11_laplace_mechanism", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                laplace_mechanism(100.0, 1.0, 0.5, &mut rng).expect("valid params"),
+            )
+        })
+    });
+    c.bench_function("e11_geo_indistinguishable", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                geo_indistinguishable(Enu::new(10.0, -5.0, 0.0), 0.01, &mut rng)
+                    .expect("valid params"),
+            )
+        })
+    });
+    let trace = Trace::new(
+        (0..1_000)
+            .map(|_| Enu::new(rng.gen_range(-2000.0..2000.0), rng.gen_range(-2000.0..2000.0), 0.0))
+            .collect(),
+    );
+    c.bench_function("e11_signature_build_1k", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                LocationSignature::build(&trace, 150.0, 5).expect("non-empty trace"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion micro side of E8: spatial index queries at 100k points.
+
+use augur_geo::{QuadTree, RTree, Rect};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+fn bench(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let pts: Vec<(f64, f64)> = (0..100_000)
+        .map(|_| (rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+        .collect();
+    let rtree: RTree<usize> = pts
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, y))| (Rect::point(x, y), i))
+        .collect();
+    let mut quad = QuadTree::new(Rect::new(0.0, 0.0, 10_000.0, 10_000.0).expect("valid extent"));
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        quad.insert(x, y, i).expect("in extent");
+    }
+    let mut qi = 0usize;
+    let queries: Vec<(f64, f64)> = (0..256)
+        .map(|_| (rng.gen_range(0.0..10_000.0), rng.gen_range(0.0..10_000.0)))
+        .collect();
+    c.bench_function("e8_rtree_knn10_100k", |b| {
+        b.iter(|| {
+            let q = queries[qi % queries.len()];
+            qi += 1;
+            std::hint::black_box(rtree.nearest(q.0, q.1, 10))
+        })
+    });
+    let mut qj = 0usize;
+    c.bench_function("e8_quadtree_knn10_100k", |b| {
+        b.iter(|| {
+            let q = queries[qj % queries.len()];
+            qj += 1;
+            std::hint::black_box(quad.nearest(q.0, q.1, 10))
+        })
+    });
+    let mut qk = 0usize;
+    c.bench_function("e8_rtree_range_100k", |b| {
+        b.iter(|| {
+            let q = queries[qk % queries.len()];
+            qk += 1;
+            let rect = Rect::new(q.0, q.1, q.0 + 200.0, q.1 + 200.0).expect("valid rect");
+            std::hint::black_box(rtree.range(&rect).count())
+        })
+    });
+    c.bench_function("e8_rtree_bulk_load_100k", |b| {
+        b.iter(|| {
+            let items: Vec<(Rect, usize)> = pts
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (Rect::point(x, y), i))
+                .collect();
+            std::hint::black_box(RTree::bulk_load(items))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

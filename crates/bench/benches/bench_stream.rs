@@ -1,0 +1,52 @@
+//! Criterion micro side of E12: broker append and windowed aggregation.
+
+use augur_stream::window::CountAggregation;
+use augur_stream::{Broker, Record, TumblingWindows, Watermark, WindowedAggregator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e12_broker_append", |b| {
+        let broker = Broker::new();
+        broker.create_topic("t", 4).expect("fresh topic");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            std::hint::black_box(
+                broker
+                    .append("t", Record::new(i % 64, i.to_le_bytes().to_vec(), i))
+                    .expect("topic exists"),
+            )
+        })
+    });
+    c.bench_function("e12_broker_append_batch_1k", |b| {
+        let broker = Broker::new();
+        broker.create_topic("t", 4).expect("fresh topic");
+        let mut base = 0u64;
+        b.iter(|| {
+            base += 1_000;
+            std::hint::black_box(
+                broker
+                    .append_batch(
+                        "t",
+                        (0..1_000u64)
+                            .map(|i| Record::new(i % 64, (base + i).to_le_bytes().to_vec(), base + i)),
+                    )
+                    .expect("topic exists"),
+            )
+        })
+    });
+    c.bench_function("e12_windowed_offer_advance", |b| {
+        let mut agg = WindowedAggregator::new(TumblingWindows::new(1_000), CountAggregation);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            agg.offer(t % 16, t, &());
+            if t.is_multiple_of(10_000) {
+                std::hint::black_box(agg.advance(Watermark(t - 5_000)));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

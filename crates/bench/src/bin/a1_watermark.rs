@@ -1,0 +1,79 @@
+//! Ablation A1 — watermark out-of-orderness bound.
+//!
+//! The bound trades completeness (late records dropped) against window
+//! result delay. This sweep feeds a stream with bounded random disorder
+//! and reports drops and result counts per bound — the tuning decision a
+//! deployment makes once per source.
+
+use augur_bench::{f, header, row};
+use augur_stream::window::CountAggregation;
+use augur_stream::{Broker, PipelineBuilder, Record, TumblingWindows};
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("A1", "watermark bound vs late drops (disorder up to 50 ms)");
+    // Events in timestamp order per device, but devices' clocks jitter:
+    // each event's time is its sequence time ± up to 50 ms.
+    let n = 100_000u64;
+    let disorder_us = 50_000i64;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut events: Vec<(u64, u64)> = (0..n)
+        .map(|i| {
+            let t = (i * 1_000) as i64 + rng.gen_range(-disorder_us..=disorder_us);
+            (i % 8, t.max(0) as u64)
+        })
+        .collect();
+    // Arrival order: sort by *sequence* (already is), so event times are
+    // out of order by up to 2×disorder.
+    let arrival: Vec<Record> = events
+        .iter()
+        .map(|&(k, t)| Record::new(k, t.to_le_bytes().to_vec(), t))
+        .collect();
+    events.sort_by_key(|e| e.1);
+
+    row(&[
+        "bound ms".into(),
+        "late dropped".into(),
+        "dropped %".into(),
+        "windows".into(),
+        "counted".into(),
+    ]);
+    for &bound_ms in &[0u64, 10, 25, 50, 100, 250] {
+        let broker = Broker::new();
+        broker.create_topic("t", 1)?;
+        broker.append_batch("t", arrival.iter().cloned())?;
+        let mut pipeline = PipelineBuilder::new(broker, "t", |r| {
+            r.payload
+                .as_ref()
+                .try_into()
+                .ok()
+                .map(u64::from_le_bytes)
+        })
+        .watermark_bound_us(bound_ms * 1_000)
+        // Arrival order preserves the simulated clock skew — the whole
+        // point of this ablation.
+        .arrival_order(true)
+        .build();
+        let (results, metrics) = pipeline.run_windowed(
+            TumblingWindows::new(100_000),
+            CountAggregation,
+            None,
+            None,
+            false,
+        )?;
+        let counted: u64 = results.iter().map(|r| r.value).sum();
+        row(&[
+            bound_ms.to_string(),
+            metrics.late_dropped.to_string(),
+            f(metrics.late_dropped as f64 / n as f64 * 100.0, 2),
+            results.len().to_string(),
+            counted.to_string(),
+        ]);
+    }
+    println!(
+        "\nexpected shape: drops fall to zero once the bound covers the actual\n\
+         disorder (~100 ms here); larger bounds cost only result delay, which\n\
+         is why the default errs high (1 s)"
+    );
+    Ok(())
+}

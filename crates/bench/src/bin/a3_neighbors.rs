@@ -1,0 +1,43 @@
+//! Ablation A3 — item-item CF neighbourhood size vs quality and cost.
+
+use augur_analytics::recommend::{evaluate, leave_one_out};
+use augur_analytics::{ItemItemRecommender, Recommender};
+use augur_bench::{f, header, row, timed};
+use augur_core::retail::{purchase_log, RetailParams};
+
+fn main() {
+    header("A3", "CF neighbourhood size vs hit-rate@10 and cost");
+    let log = purchase_log(&RetailParams {
+        users: 1_000,
+        ..RetailParams::default()
+    });
+    let (train, held) = leave_one_out(&log);
+    row(&[
+        "neighbors".into(),
+        "hit-rate".into(),
+        "mrr".into(),
+        "train ms".into(),
+        "recommend µs".into(),
+    ]);
+    for &k in &[5usize, 10, 20, 40, 80] {
+        let (model, train_us) = timed(|| ItemItemRecommender::train(&train, k));
+        let eval = evaluate(&model, &held, 10);
+        let (_, rec_us) = timed(|| {
+            for u in 0..200u64 {
+                std::hint::black_box(model.recommend(u, 10));
+            }
+        });
+        row(&[
+            k.to_string(),
+            f(eval.hit_rate, 3),
+            f(eval.mrr, 4),
+            f(train_us / 1e3, 1),
+            f(rec_us / 200.0, 1),
+        ]);
+    }
+    println!(
+        "\nexpected shape: quality saturates past a moderate neighbourhood\n\
+         while recommendation cost keeps rising — the truncation the\n\
+         platform defaults to (30) buys nearly all the quality"
+    );
+}

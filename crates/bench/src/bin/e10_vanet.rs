@@ -1,0 +1,56 @@
+//! E10 — §3.4 public services: VANET collision-warning quality vs beacon
+//! sharing period and channel loss.
+
+use augur_bench::{f, header, row};
+use augur_core::traffic::{run, TrafficParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("E10", "§3.4: warning coverage / lead time vs sharing period");
+    row(&[
+        "period s".into(),
+        "coverage%".into(),
+        "lead time s".into(),
+        "false alarm%".into(),
+        "near misses".into(),
+    ]);
+    for &period in &[0.2f64, 0.5, 1.0, 2.0, 4.0] {
+        let r = run(&TrafficParams {
+            share_period_s: period,
+            ..TrafficParams::default()
+        })?;
+        row(&[
+            f(period, 1),
+            f(r.coverage * 100.0, 1),
+            f(r.mean_lead_time_s, 2),
+            f(r.false_alarm_ratio * 100.0, 1),
+            r.near_misses.to_string(),
+        ]);
+    }
+    header("E10b", "warning coverage vs channel loss (period 0.5 s)");
+    row(&[
+        "loss%".into(),
+        "coverage%".into(),
+        "lead time s".into(),
+        "delivered".into(),
+        "lost".into(),
+    ]);
+    for &loss in &[0.0f64, 0.05, 0.15, 0.3, 0.5] {
+        let r = run(&TrafficParams {
+            loss,
+            ..TrafficParams::default()
+        })?;
+        row(&[
+            f(loss * 100.0, 0),
+            f(r.coverage * 100.0, 1),
+            f(r.mean_lead_time_s, 2),
+            r.beacons_delivered.to_string(),
+            r.beacons_lost.to_string(),
+        ]);
+    }
+    println!(
+        "\nexpected shape: coverage degrades as beacons get sparser or lossier,\n\
+         while lead time stays near the prediction horizon for covered events —\n\
+         the freshness requirement of §3.4's traffic vision, quantified"
+    );
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! E12 — §1's 3Vs on the stream substrate: throughput vs partition
+//! count, variety mix handling, and checkpoint/recovery cost.
+
+use augur_bench::{f, header, row, timed};
+use augur_stream::{
+    Broker, CheckpointStore, PipelineBuilder, Record, TumblingWindows, WindowState,
+};
+use augur_stream::window::CountAggregation;
+use rand::{Rng, SeedableRng};
+
+fn fill(broker: &Broker, topic: &str, n: u64, schema_families: u32, seed: u64) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    broker
+        .append_batch(
+            topic,
+            (0..n).map(|i| {
+                // Variety: three payload schema families of different sizes.
+                let family = rng.gen_range(0..schema_families);
+                let payload: Vec<u8> = match family {
+                    0 => i.to_le_bytes().to_vec(), // compact numeric
+                    1 => {
+                        let mut p = i.to_le_bytes().to_vec();
+                        p.extend_from_slice(&[0u8; 56]); // fixed struct
+                        p
+                    }
+                    _ => {
+                        let mut p = i.to_le_bytes().to_vec();
+                        p.extend(std::iter::repeat_n(b'x', rng.gen_range(64..256)));
+                        p
+                    }
+                };
+                Record::new(i % 64, payload, i * 100)
+            }),
+        )
+        .expect("topic exists");
+}
+
+fn decode(r: &Record) -> Option<u64> {
+    r.payload.get(0..8)?.try_into().ok().map(u64::from_le_bytes)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("E12", "3Vs: pipeline throughput vs partition count (200k mixed records)");
+    row(&[
+        "partitions".into(),
+        "records/s".into(),
+        "MB/s".into(),
+        "p99 µs".into(),
+        "windows out".into(),
+    ]);
+    let n = 200_000u64;
+    for &parts in &[1u32, 2, 4, 8, 16] {
+        let broker = Broker::new();
+        broker.create_topic("events", parts)?;
+        fill(&broker, "events", n, 3, parts as u64);
+        let mut pipeline = PipelineBuilder::new(broker.clone(), "events", decode).build();
+        let (_items, metrics) = pipeline.collect()?;
+        let mut windowed = PipelineBuilder::new(broker, "events", decode)
+            .watermark_bound_us(1_000)
+            .build();
+        let (results, wm) = windowed.run_windowed(
+            TumblingWindows::new(1_000_000),
+            CountAggregation,
+            None,
+            None,
+            false,
+        )?;
+        row(&[
+            parts.to_string(),
+            f(metrics.throughput_rps(), 0),
+            f(metrics.bytes_in as f64 / 1e6 / metrics.elapsed_s.max(1e-9), 1),
+            f(metrics.p99_latency_us, 2),
+            results.len().to_string(),
+        ]);
+        assert_eq!(wm.records_in, n);
+    }
+
+    header("E12b", "checkpoint / crash / recovery cost (100k records)");
+    let broker = Broker::new();
+    broker.create_topic("cp", 4)?;
+    fill(&broker, "cp", 100_000, 3, 99);
+    let store: CheckpointStore<WindowState<u64>> = CheckpointStore::new(4);
+    let mut p1 = PipelineBuilder::new(broker.clone(), "cp", decode)
+        .watermark_bound_us(1_000)
+        .build();
+    let ((partial, _), crash_run_us) = timed(|| {
+        p1.run_windowed(
+            TumblingWindows::new(1_000_000),
+            CountAggregation,
+            Some((&store, 10_000)),
+            Some(60_000),
+            false,
+        )
+        .expect("crash run")
+    });
+    let mut p2 = PipelineBuilder::new(broker.clone(), "cp", decode)
+        .watermark_bound_us(1_000)
+        .build();
+    let ((rest, m2), resume_us) = timed(|| {
+        p2.run_windowed(
+            TumblingWindows::new(1_000_000),
+            CountAggregation,
+            Some((&store, 10_000)),
+            None,
+            true,
+        )
+        .expect("resume run")
+    });
+    let mut p_ref = PipelineBuilder::new(broker, "cp", decode)
+        .watermark_bound_us(1_000)
+        .build();
+    let ((want, _), full_us) = timed(|| {
+        p_ref
+            .run_windowed(TumblingWindows::new(1_000_000), CountAggregation, None, None, false)
+            .expect("reference run")
+    });
+    let recovered_total: u64 = partial.iter().chain(&rest).map(|r| r.value).sum::<u64>();
+    let reference_total: u64 = want.iter().map(|r| r.value).sum();
+    row(&["".into(), "time ms".into(), "records".into(), "".into()]);
+    row(&[
+        "run to crash".into(),
+        f(crash_run_us / 1e3, 1),
+        "60000".into(),
+        "".into(),
+    ]);
+    row(&[
+        "resume".into(),
+        f(resume_us / 1e3, 1),
+        m2.records_in.to_string(),
+        "".into(),
+    ]);
+    row(&[
+        "uninterrupted".into(),
+        f(full_us / 1e3, 1),
+        "100000".into(),
+        "".into(),
+    ]);
+    println!(
+        "\nwindow-count totals: crash+resume {recovered_total} vs reference {reference_total}\n\
+         (equal totals ⇒ effective exactly-once across the simulated failure)\n\
+         expected shape: resume re-reads only the unprocessed suffix, so\n\
+         crash+resume ≈ uninterrupted cost; throughput scales with partitions\n\
+         until the in-process merge dominates"
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! E1 — Figure 5 "influence circles", derived from measured scenarios.
+
+use augur_bench::{f, header, row};
+use augur_core::{healthcare, influence_report, retail, tourism, traffic};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("E1", "Figure 5: influence of AR × big data per field");
+    println!("running all four scenarios (this takes ~a minute)...");
+    let retail_report = retail::run(&retail::RetailParams::default())?;
+    let tourism_report = tourism::run(&tourism::TourismParams::default())?;
+    let health_report = healthcare::run(&healthcare::HealthcareParams::default())?;
+    let traffic_report = traffic::run(&traffic::TrafficParams::default())?;
+    let entries = influence_report(
+        &retail_report,
+        &tourism_report,
+        &health_report,
+        &traffic_report,
+    );
+    row(&[
+        "field".into(),
+        "data".into(),
+        "uplift".into(),
+        "delivery".into(),
+        "score".into(),
+        "level".into(),
+    ]);
+    for e in &entries {
+        row(&[
+            e.field.to_string(),
+            f(e.data_intensity, 2),
+            f(e.analytic_uplift, 2),
+            f(e.delivery_benefit, 2),
+            f(e.score, 2),
+            e.level.to_string(),
+        ]);
+    }
+    println!(
+        "\npaper's qualitative claim: all four fields rank medium-or-above;\n\
+         measured: every score ≥ 0.3 bucket — {}",
+        if entries.iter().all(|e| e.score >= 0.3) {
+            "HOLDS"
+        } else {
+            "DOES NOT HOLD"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! E2 — §4.1 timeliness: batch recomputation vs incremental maintenance.
+//!
+//! Sweeps history volume and reports the latency of answering "current
+//! per-group statistics" by (a) recomputing over all history and (b) an
+//! incrementally maintained view, against the 33 ms AR frame budget.
+
+use augur_analytics::{BatchAggregator, IncrementalView};
+use augur_bench::{f, header, row, timed, timed_mean};
+use rand::{Rng, SeedableRng};
+
+const FRAME_BUDGET_US: f64 = 33_333.0;
+
+fn main() {
+    header(
+        "E2",
+        "§4.1: batch vs incremental analytics latency vs data volume",
+    );
+    row(&[
+        "events".into(),
+        "batch µs".into(),
+        "incr µs/ev".into(),
+        "batch/budget".into(),
+        "verdict".into(),
+    ]);
+    let mut crossover: Option<u64> = None;
+    for &n in &[1_000u64, 10_000, 100_000, 1_000_000, 5_000_000] {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut batch = BatchAggregator::new();
+        let mut view = IncrementalView::new();
+        for _ in 0..n {
+            let g = rng.gen_range(0..50u64);
+            let v = rng.gen_range(0.0..100.0);
+            batch.ingest(g, v);
+            view.update(g, v);
+        }
+        // Batch: full recompute when the answer is needed.
+        let (result, batch_us) = timed(|| batch.recompute());
+        assert_eq!(result.len(), view.group_count());
+        // Incremental: fold one new event and read the view.
+        let mut rng2 = rand::rngs::StdRng::seed_from_u64(3);
+        let incr_us = timed_mean(10_000, || {
+            view.update(rng2.gen_range(0..50u64), rng2.gen_range(0.0..100.0));
+            std::hint::black_box(view.get(7));
+        });
+        let over = batch_us > FRAME_BUDGET_US;
+        if over && crossover.is_none() {
+            crossover = Some(n);
+        }
+        row(&[
+            n.to_string(),
+            f(batch_us, 0),
+            f(incr_us, 3),
+            f(batch_us / FRAME_BUDGET_US, 2),
+            if over { "batch misses frame" } else { "both fit" }.to_string(),
+        ]);
+    }
+    match crossover {
+        Some(n) => println!(
+            "\nbatch recomputation exceeds the 33 ms frame budget from ~{n} events;\n\
+             the incremental view stays O(1) per event at every volume — the paper's\n\
+             timeliness argument HOLDS"
+        ),
+        None => println!("\nno crossover found in the swept range (unexpected on typical hardware)"),
+    }
+}

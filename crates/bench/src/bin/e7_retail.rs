@@ -1,0 +1,36 @@
+//! E7 — §3.1 retail: recommender quality at several data scales.
+
+use augur_bench::{f, header, row};
+use augur_core::retail::{run, RetailParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    header("E7", "§3.1: recommendation hit-rate@10 vs log scale");
+    row(&[
+        "users".into(),
+        "log size".into(),
+        "cf".into(),
+        "popularity".into(),
+        "random".into(),
+        "uplift".into(),
+    ]);
+    for &users in &[100u64, 300, 1_000, 3_000] {
+        let report = run(&RetailParams {
+            users,
+            ..RetailParams::default()
+        })?;
+        row(&[
+            users.to_string(),
+            report.log_size.to_string(),
+            f(report.cf.hit_rate, 3),
+            f(report.popularity.hit_rate, 3),
+            f(report.random.hit_rate, 3),
+            format!("{:.1}x", report.uplift_vs_popularity),
+        ]);
+    }
+    println!(
+        "\nexpected shape: cf > popularity > random at every scale, with cf\n\
+         improving as the log grows — the \"big data makes AR retail work\"\n\
+         claim in measurable form"
+    );
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Shared helpers for the experiment harness binaries.
+//!
+//! Each `e*` binary under `src/bin/` regenerates one experiment from the
+//! index in DESIGN.md, printing the rows/series the corresponding figure
+//! would plot. Keep output plain and columnar so runs can be diffed.
+
+use std::time::Instant;
+
+/// Prints a section header.
+pub fn header(experiment: &str, anchor: &str) {
+    println!("\n=== {experiment} — {anchor} ===");
+}
+
+/// Prints a row of columns padded to width 14.
+pub fn row(cols: &[String]) {
+    let line: Vec<String> = cols.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Times a closure, returning (result, elapsed microseconds).
+pub fn timed<T>(mut work: impl FnMut() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = work();
+    (out, t0.elapsed().as_nanos() as f64 / 1e3)
+}
+
+/// Times a closure averaged over `iters` runs, returning mean µs.
+pub fn timed_mean(iters: usize, mut work: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        work();
+    }
+    t0.elapsed().as_nanos() as f64 / 1e3 / iters.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_returns_result_and_positive_time() {
+        let (v, us) = timed(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(us >= 0.0);
+        assert!(timed_mean(3, || {}) >= 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,49 @@
+//! Error types for the cloud-offloading models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the offloading models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudError {
+    /// A model parameter was out of domain.
+    InvalidParameter(&'static str),
+    /// The task graph contains a dependency cycle.
+    CyclicTaskGraph,
+    /// A task referenced an unknown dependency.
+    UnknownTask(u32),
+    /// A plan's placement list did not match the graph's task count.
+    PlanShapeMismatch { tasks: usize, placements: usize },
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            CloudError::CyclicTaskGraph => write!(f, "task graph contains a cycle"),
+            CloudError::UnknownTask(id) => write!(f, "unknown task {id}"),
+            CloudError::PlanShapeMismatch { tasks, placements } => write!(
+                f,
+                "plan has {placements} placements for {tasks} tasks"
+            ),
+        }
+    }
+}
+
+impl Error for CloudError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(CloudError::CyclicTaskGraph.to_string().contains("cycle"));
+        assert!(CloudError::PlanShapeMismatch {
+            tasks: 4,
+            placements: 2
+        }
+        .to_string()
+        .contains("4"));
+    }
+}

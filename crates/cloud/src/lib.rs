@@ -1,0 +1,27 @@
+//! Cloud-offloading models for the Augur platform.
+//!
+//! §4.1: "a dramatic shift has been moving towards cloud computing …
+//! offloading computation and data storage enables client-side AR
+//! devices to be small and sustainable". Whether offloading *helps*
+//! depends on the compute-speed ratio versus the transfer cost — this
+//! crate models both sides so experiment E3 can locate the break-even:
+//!
+//! - [`network`]: parametric link models (RTT, bandwidth, jitter, loss)
+//!   with presets calibrated to published WiFi/LTE/5G/3G figures.
+//! - [`executor`]: device and cloud compute resources.
+//! - [`task`]: AR pipeline task graphs (DAGs of compute + data).
+//! - [`offload`]: plan enumeration, end-to-end latency estimation, and
+//!   a device energy model (CloudRiDAR's decision problem, reference
+//!   \[13\] of the paper).
+
+pub mod error;
+pub mod executor;
+pub mod network;
+pub mod offload;
+pub mod task;
+
+pub use error::CloudError;
+pub use executor::ComputeResource;
+pub use network::NetworkProfile;
+pub use offload::{best_plan, estimate, EnergyParams, Estimate, OffloadPlan, Placement};
+pub use task::{Task, TaskGraph, TaskId};

@@ -1,0 +1,357 @@
+//! Offloading plans, latency estimation, and energy accounting.
+//!
+//! An [`OffloadPlan`] assigns every task to the device or the cloud.
+//! [`estimate`] computes end-to-end latency along the DAG (compute on
+//! the assigned resource, plus a network transfer whenever an edge
+//! crosses the boundary) and device energy (compute power while running
+//! locally, radio power while transferring). [`best_plan`] enumerates
+//! all valid plans — AR pipelines are small DAGs, so exhaustive search
+//! is exact and fast — giving experiment E3 its optimum curve.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CloudError;
+use crate::executor::ComputeResource;
+use crate::network::NetworkProfile;
+use crate::task::TaskGraph;
+
+/// Where a task runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// On the user's device.
+    Device,
+    /// In the cloud.
+    Cloud,
+}
+
+/// A full assignment of tasks to placements.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OffloadPlan {
+    /// Placement per task, indexed by task id.
+    pub placements: Vec<Placement>,
+}
+
+impl OffloadPlan {
+    /// Everything on the device.
+    pub fn all_device(graph: &TaskGraph) -> Self {
+        OffloadPlan {
+            placements: vec![Placement::Device; graph.len()],
+        }
+    }
+
+    /// Everything offloadable in the cloud (pinned tasks stay local).
+    pub fn all_cloud(graph: &TaskGraph) -> Self {
+        OffloadPlan {
+            placements: graph
+                .tasks()
+                .iter()
+                .map(|t| {
+                    if t.pinned_to_device {
+                        Placement::Device
+                    } else {
+                        Placement::Cloud
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether the plan respects device pinning.
+    pub fn respects_pinning(&self, graph: &TaskGraph) -> bool {
+        graph
+            .tasks()
+            .iter()
+            .zip(&self.placements)
+            .all(|(t, p)| !t.pinned_to_device || *p == Placement::Device)
+    }
+
+    /// Number of tasks placed in the cloud.
+    pub fn offloaded_count(&self) -> usize {
+        self.placements
+            .iter()
+            .filter(|p| **p == Placement::Cloud)
+            .count()
+    }
+}
+
+/// Device energy model parameters (typical smartphone figures).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Device power while computing, watts.
+    pub compute_w: f64,
+    /// Device power while the radio transfers, watts.
+    pub radio_w: f64,
+    /// Device idle power while waiting on the cloud, watts.
+    pub idle_w: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            compute_w: 3.0,
+            radio_w: 1.5,
+            idle_w: 0.3,
+        }
+    }
+}
+
+/// The result of evaluating one plan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Estimate {
+    /// End-to-end latency, milliseconds (critical path through the DAG).
+    pub latency_ms: f64,
+    /// Device energy, millijoules.
+    pub device_energy_mj: f64,
+    /// Bytes shipped across the device/cloud boundary.
+    pub transferred_bytes: u64,
+}
+
+/// Evaluates a plan.
+///
+/// Latency is the critical path: each task finishes at
+/// `max(dep finish + edge transfer) + compute`, where edge transfer is
+/// nonzero only when the edge crosses the boundary. Device energy counts
+/// local compute at `compute_w`, boundary transfers at `radio_w`, and
+/// cloud-side waits at `idle_w`.
+///
+/// # Errors
+///
+/// [`CloudError::PlanShapeMismatch`] when placements don't cover the
+/// graph; [`CloudError::InvalidParameter`] when pinning is violated.
+pub fn estimate(
+    graph: &TaskGraph,
+    plan: &OffloadPlan,
+    device: &ComputeResource,
+    cloud: &ComputeResource,
+    network: &NetworkProfile,
+    energy: &EnergyParams,
+) -> Result<Estimate, CloudError> {
+    if plan.placements.len() != graph.len() {
+        return Err(CloudError::PlanShapeMismatch {
+            tasks: graph.len(),
+            placements: plan.placements.len(),
+        });
+    }
+    if !plan.respects_pinning(graph) {
+        return Err(CloudError::InvalidParameter("plan violates device pinning"));
+    }
+    let mut finish = vec![0.0f64; graph.len()];
+    let mut device_busy_ms = 0.0; // local compute time
+    let mut radio_ms = 0.0; // boundary transfer time
+    let mut transferred = 0u64;
+    for &tid in graph.topo_order() {
+        let t = graph.get(tid)?;
+        let place = plan.placements[tid.0 as usize];
+        let mut ready = 0.0f64;
+        for d in &t.deps {
+            let dep_place = plan.placements[d.0 as usize];
+            let dep_task = graph.get(*d)?;
+            let mut at = finish[d.0 as usize];
+            if dep_place != place {
+                let ms = network.transfer_ms(dep_task.output_bytes);
+                at += ms;
+                radio_ms += ms;
+                transferred += dep_task.output_bytes;
+            }
+            ready = ready.max(at);
+        }
+        let compute_ms = match place {
+            Placement::Device => {
+                let ms = device.compute_ms(t.gigaops);
+                device_busy_ms += ms;
+                ms
+            }
+            Placement::Cloud => cloud.compute_ms(t.gigaops),
+        };
+        finish[tid.0 as usize] = ready + compute_ms;
+    }
+    let latency_ms = finish.iter().cloned().fold(0.0, f64::max);
+    let idle_ms = (latency_ms - device_busy_ms - radio_ms).max(0.0);
+    let device_energy_mj = device_busy_ms * energy.compute_w
+        + radio_ms * energy.radio_w
+        + idle_ms * energy.idle_w;
+    Ok(Estimate {
+        latency_ms,
+        device_energy_mj,
+        transferred_bytes: transferred,
+    })
+}
+
+/// Exhaustively searches all pin-respecting plans for the one minimising
+/// latency (ties broken by device energy). Exact for graphs up to ~20
+/// offloadable tasks.
+///
+/// # Errors
+///
+/// [`CloudError::InvalidParameter`] if the graph has more than 24
+/// offloadable tasks (enumeration would explode); estimation errors
+/// propagate.
+pub fn best_plan(
+    graph: &TaskGraph,
+    device: &ComputeResource,
+    cloud: &ComputeResource,
+    network: &NetworkProfile,
+    energy: &EnergyParams,
+) -> Result<(OffloadPlan, Estimate), CloudError> {
+    let free: Vec<usize> = graph
+        .tasks()
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.pinned_to_device)
+        .map(|(i, _)| i)
+        .collect();
+    if free.len() > 24 {
+        return Err(CloudError::InvalidParameter(
+            "too many offloadable tasks for exhaustive search",
+        ));
+    }
+    let mut best: Option<(OffloadPlan, Estimate)> = None;
+    for mask in 0u64..(1u64 << free.len()) {
+        let mut placements = vec![Placement::Device; graph.len()];
+        for (bit, &idx) in free.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                placements[idx] = Placement::Cloud;
+            }
+        }
+        let plan = OffloadPlan { placements };
+        let est = estimate(graph, &plan, device, cloud, network, energy)?;
+        let better = match &best {
+            None => true,
+            Some((_, b)) => {
+                est.latency_ms < b.latency_ms - 1e-12
+                    || ((est.latency_ms - b.latency_ms).abs() <= 1e-12
+                        && est.device_energy_mj < b.device_energy_mj)
+            }
+        };
+        if better {
+            best = Some((plan, est));
+        }
+    }
+    Ok(best.expect("at least the all-device plan was evaluated"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (TaskGraph, ComputeResource, ComputeResource, EnergyParams) {
+        (
+            TaskGraph::ar_pipeline(10.0, 500_000),
+            ComputeResource::phone(),
+            ComputeResource::cloud_vm(),
+            EnergyParams::default(),
+        )
+    }
+
+    #[test]
+    fn all_device_has_no_transfers() {
+        let (g, phone, cloud, energy) = setup();
+        let est = estimate(
+            &g,
+            &OffloadPlan::all_device(&g),
+            &phone,
+            &cloud,
+            &NetworkProfile::wifi(),
+            &energy,
+        )
+        .unwrap();
+        assert_eq!(est.transferred_bytes, 0);
+        // Dominated by the 10-gigaop analyze stage on a 2-GOPS phone: ≥ 5 s.
+        assert!(est.latency_ms > 5_000.0, "{}", est.latency_ms);
+    }
+
+    #[test]
+    fn offloading_heavy_analysis_wins_on_wifi() {
+        let (g, phone, cloud, energy) = setup();
+        let local = estimate(
+            &g,
+            &OffloadPlan::all_device(&g),
+            &phone,
+            &cloud,
+            &NetworkProfile::wifi(),
+            &energy,
+        )
+        .unwrap();
+        let remote = estimate(
+            &g,
+            &OffloadPlan::all_cloud(&g),
+            &phone,
+            &cloud,
+            &NetworkProfile::wifi(),
+            &energy,
+        )
+        .unwrap();
+        assert!(
+            remote.latency_ms < local.latency_ms / 4.0,
+            "remote {} vs local {}",
+            remote.latency_ms,
+            local.latency_ms
+        );
+        assert!(remote.transferred_bytes > 0);
+    }
+
+    #[test]
+    fn light_compute_on_slow_network_stays_local() {
+        // Tiny analysis, huge frame: shipping the frame over 3G loses.
+        let g = TaskGraph::ar_pipeline(0.05, 5_000_000);
+        let phone = ComputeResource::phone();
+        let cloud = ComputeResource::cloud_vm();
+        let energy = EnergyParams::default();
+        let (plan, _) = best_plan(&g, &phone, &cloud, &NetworkProfile::umts3g(), &energy).unwrap();
+        assert_eq!(
+            plan.offloaded_count(),
+            0,
+            "optimal plan should keep everything local"
+        );
+    }
+
+    #[test]
+    fn best_plan_is_at_least_as_good_as_baselines() {
+        let (g, phone, cloud, energy) = setup();
+        for net in NetworkProfile::presets() {
+            let (plan, est) = best_plan(&g, &phone, &cloud, &net, &energy).unwrap();
+            assert!(plan.respects_pinning(&g));
+            for baseline in [OffloadPlan::all_device(&g), OffloadPlan::all_cloud(&g)] {
+                let b = estimate(&g, &baseline, &phone, &cloud, &net, &energy).unwrap();
+                assert!(
+                    est.latency_ms <= b.latency_ms + 1e-9,
+                    "{}: best {} vs baseline {}",
+                    net.name,
+                    est.latency_ms,
+                    b.latency_ms
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_shape_and_pinning_validation() {
+        let (g, phone, cloud, energy) = setup();
+        let short = OffloadPlan {
+            placements: vec![Placement::Device],
+        };
+        assert!(matches!(
+            estimate(&g, &short, &phone, &cloud, &NetworkProfile::wifi(), &energy),
+            Err(CloudError::PlanShapeMismatch { .. })
+        ));
+        let mut bad = OffloadPlan::all_device(&g);
+        bad.placements[0] = Placement::Cloud; // capture is pinned
+        assert!(estimate(&g, &bad, &phone, &cloud, &NetworkProfile::wifi(), &energy).is_err());
+    }
+
+    #[test]
+    fn offloading_saves_device_energy_for_heavy_compute() {
+        let (g, phone, cloud, energy) = setup();
+        let net = NetworkProfile::wifi();
+        let local = estimate(&g, &OffloadPlan::all_device(&g), &phone, &cloud, &net, &energy)
+            .unwrap();
+        let remote =
+            estimate(&g, &OffloadPlan::all_cloud(&g), &phone, &cloud, &net, &energy).unwrap();
+        assert!(
+            remote.device_energy_mj < local.device_energy_mj / 2.0,
+            "remote {} vs local {} mJ",
+            remote.device_energy_mj,
+            local.device_energy_mj
+        );
+    }
+}

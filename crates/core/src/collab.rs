@@ -1,0 +1,317 @@
+//! Collaborative viewing (§2.2).
+//!
+//! "In the collaborative mode, multiple users share the same data set
+//! and view it from their own angle. Each user can also probe into
+//! subsets respectively without interference." A [`CollabSession`] holds
+//! one shared scene; each participant has their own camera, an interest
+//! filter (their "probe"), and a private annotation layer that other
+//! participants never see — the §3.4 field-work pattern where the
+//! electrician sees electrical lines and the plumber sees pipes over the
+//! same site.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use augur_render::{OverlayItem, SceneGraph, ViewCamera};
+
+use crate::error::CoreError;
+
+/// An overlay a participant currently sees, with its projected pixel
+/// anchor in that participant's viewport.
+pub type ViewedOverlay = (OverlayItem, (f64, f64));
+
+/// Identifies a session participant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParticipantId(pub u32);
+
+/// A participant's private state.
+#[derive(Debug)]
+struct Participant {
+    camera: ViewCamera,
+    /// Only overlays matching one of these roles are shown; empty = all.
+    roles: Vec<String>,
+    /// Private annotations, visible to this participant alone.
+    annotations: SceneGraph,
+}
+
+/// A shared overlay tagged with the roles it belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedOverlay {
+    /// The overlay item.
+    pub item: OverlayItem,
+    /// Roles that should see it (empty = everyone).
+    pub roles: Vec<String>,
+}
+
+/// A collaborative AR session over one shared scene.
+///
+/// Cheap to clone; clones share the scene (the point of the exercise).
+///
+/// # Example
+///
+/// ```
+/// use augur_core::collab::{CollabSession, ParticipantId, SharedOverlay};
+/// use augur_render::{OverlayItem, OverlayKind, ViewCamera, Viewport};
+/// use augur_geo::Enu;
+///
+/// let session = CollabSession::new();
+/// let cam = ViewCamera::new(Enu::new(0.0, 0.0, 1.6), 0.0, 66.0, Viewport::default(), 500.0)?;
+/// session.join(ParticipantId(1), cam, vec!["electrician".into()]);
+/// session.publish(SharedOverlay {
+///     item: OverlayItem {
+///         id: 1,
+///         anchor: Enu::new(0.0, 30.0, 2.0),
+///         kind: OverlayKind::Highlight(0xFFAA00),
+///         priority: 0.9,
+///     },
+///     roles: vec!["electrician".into()],
+/// });
+/// assert_eq!(session.view(ParticipantId(1))?.len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CollabSession {
+    inner: Arc<RwLock<Inner>>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    shared: Vec<SharedOverlay>,
+    participants: HashMap<ParticipantId, Participant>,
+}
+
+impl CollabSession {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        CollabSession::default()
+    }
+
+    /// Joins (or re-joins, replacing state) with a camera and role set.
+    pub fn join(&self, id: ParticipantId, camera: ViewCamera, roles: Vec<String>) {
+        self.inner.write().participants.insert(
+            id,
+            Participant {
+                camera,
+                roles,
+                annotations: SceneGraph::new(),
+            },
+        );
+    }
+
+    /// Leaves the session, discarding private annotations.
+    pub fn leave(&self, id: ParticipantId) {
+        self.inner.write().participants.remove(&id);
+    }
+
+    /// Number of participants.
+    pub fn participant_count(&self) -> usize {
+        self.inner.read().participants.len()
+    }
+
+    /// Publishes a shared overlay, visible to matching roles.
+    pub fn publish(&self, overlay: SharedOverlay) {
+        self.inner.write().shared.push(overlay);
+    }
+
+    /// Number of shared overlays.
+    pub fn shared_count(&self) -> usize {
+        self.inner.read().shared.len()
+    }
+
+    /// Updates a participant's camera (their own angle on the data).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidScenario`] for unknown participants.
+    pub fn update_camera(&self, id: ParticipantId, camera: ViewCamera) -> Result<(), CoreError> {
+        let mut inner = self.inner.write();
+        let p = inner
+            .participants
+            .get_mut(&id)
+            .ok_or(CoreError::InvalidScenario("unknown participant"))?;
+        p.camera = camera;
+        Ok(())
+    }
+
+    /// Adds a private annotation only `id` will ever see.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidScenario`] for unknown participants.
+    pub fn annotate(&self, id: ParticipantId, item: OverlayItem) -> Result<(), CoreError> {
+        let mut inner = self.inner.write();
+        let p = inner
+            .participants
+            .get_mut(&id)
+            .ok_or(CoreError::InvalidScenario("unknown participant"))?;
+        p.annotations.insert(item);
+        Ok(())
+    }
+
+    /// The overlays participant `id` sees right now: shared overlays
+    /// matching their roles and inside their frustum, plus their private
+    /// annotations, each with its projected pixel anchor.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidScenario`] for unknown participants.
+    pub fn view(&self, id: ParticipantId) -> Result<Vec<ViewedOverlay>, CoreError> {
+        let inner = self.inner.read();
+        let p = inner
+            .participants
+            .get(&id)
+            .ok_or(CoreError::InvalidScenario("unknown participant"))?;
+        let mut out = Vec::new();
+        for shared in &inner.shared {
+            let role_ok = shared.roles.is_empty()
+                || shared.roles.iter().any(|r| p.roles.contains(r));
+            if !role_ok {
+                continue;
+            }
+            if let Some(px) = p.camera.project(shared.item.anchor) {
+                out.push((shared.item.clone(), px));
+            }
+        }
+        for (item, px) in p.annotations.visible_items(&p.camera) {
+            out.push((item.clone(), px));
+        }
+        out.sort_by(|a, b| {
+            b.0.priority
+                .partial_cmp(&a.0.priority)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.id.cmp(&b.0.id))
+        });
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_geo::Enu;
+    use augur_render::{OverlayKind, Viewport};
+
+    fn cam(heading: f64) -> ViewCamera {
+        ViewCamera::new(
+            Enu::new(0.0, 0.0, 1.6),
+            heading,
+            66.0,
+            Viewport::default(),
+            500.0,
+        )
+        .unwrap()
+    }
+
+    fn overlay(id: u64, east: f64, north: f64, roles: &[&str]) -> SharedOverlay {
+        SharedOverlay {
+            item: OverlayItem {
+                id,
+                anchor: Enu::new(east, north, 2.0),
+                kind: OverlayKind::Label(format!("o{id}")),
+                priority: 0.5,
+            },
+            roles: roles.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn participants_see_shared_data_from_their_own_angle() {
+        let session = CollabSession::new();
+        session.join(ParticipantId(1), cam(0.0), vec![]); // facing north
+        session.join(ParticipantId(2), cam(180.0), vec![]); // facing south
+        session.publish(overlay(1, 0.0, 50.0, &[])); // north of origin
+        session.publish(overlay(2, 0.0, -50.0, &[])); // south of origin
+        let v1: Vec<u64> = session
+            .view(ParticipantId(1))
+            .unwrap()
+            .iter()
+            .map(|(i, _)| i.id)
+            .collect();
+        let v2: Vec<u64> = session
+            .view(ParticipantId(2))
+            .unwrap()
+            .iter()
+            .map(|(i, _)| i.id)
+            .collect();
+        assert_eq!(v1, vec![1], "north-facing sees the north overlay");
+        assert_eq!(v2, vec![2], "south-facing sees the south overlay");
+    }
+
+    #[test]
+    fn role_filter_personalises_views() {
+        let session = CollabSession::new();
+        session.join(ParticipantId(1), cam(0.0), vec!["electrician".into()]);
+        session.join(ParticipantId(2), cam(0.0), vec!["plumber".into()]);
+        session.publish(overlay(1, 0.0, 40.0, &["electrician"]));
+        session.publish(overlay(2, 0.0, 60.0, &["plumber"]));
+        session.publish(overlay(3, 0.0, 80.0, &[])); // everyone
+        let ids = |p: u32| -> Vec<u64> {
+            let mut v: Vec<u64> = session
+                .view(ParticipantId(p))
+                .unwrap()
+                .iter()
+                .map(|(i, _)| i.id)
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(ids(1), vec![1, 3]);
+        assert_eq!(ids(2), vec![2, 3]);
+    }
+
+    #[test]
+    fn annotations_are_private() {
+        let session = CollabSession::new();
+        session.join(ParticipantId(1), cam(0.0), vec![]);
+        session.join(ParticipantId(2), cam(0.0), vec![]);
+        session
+            .annotate(
+                ParticipantId(1),
+                OverlayItem {
+                    id: 99,
+                    anchor: Enu::new(0.0, 30.0, 2.0),
+                    kind: OverlayKind::Label("my note".into()),
+                    priority: 1.0,
+                },
+            )
+            .unwrap();
+        assert_eq!(session.view(ParticipantId(1)).unwrap().len(), 1);
+        assert!(session.view(ParticipantId(2)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn camera_updates_change_the_view_without_interference() {
+        let session = CollabSession::new();
+        session.join(ParticipantId(1), cam(0.0), vec![]);
+        session.join(ParticipantId(2), cam(0.0), vec![]);
+        session.publish(overlay(1, 0.0, 50.0, &[]));
+        assert_eq!(session.view(ParticipantId(1)).unwrap().len(), 1);
+        // Participant 1 turns around; participant 2 is unaffected.
+        session.update_camera(ParticipantId(1), cam(180.0)).unwrap();
+        assert!(session.view(ParticipantId(1)).unwrap().is_empty());
+        assert_eq!(session.view(ParticipantId(2)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn leave_and_unknown_participant_errors() {
+        let session = CollabSession::new();
+        session.join(ParticipantId(1), cam(0.0), vec![]);
+        assert_eq!(session.participant_count(), 1);
+        session.leave(ParticipantId(1));
+        assert_eq!(session.participant_count(), 0);
+        assert!(session.view(ParticipantId(1)).is_err());
+        assert!(session.update_camera(ParticipantId(1), cam(0.0)).is_err());
+    }
+
+    #[test]
+    fn shared_scene_is_shared_across_clones() {
+        let session = CollabSession::new();
+        let clone = session.clone();
+        session.join(ParticipantId(1), cam(0.0), vec![]);
+        clone.publish(overlay(1, 0.0, 50.0, &[]));
+        assert_eq!(session.shared_count(), 1);
+        assert_eq!(session.view(ParticipantId(1)).unwrap().len(), 1);
+    }
+}

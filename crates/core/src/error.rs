@@ -1,0 +1,96 @@
+//! Error type for the platform core, aggregating subsystem errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the platform core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Geospatial error.
+    Geo(augur_geo::GeoError),
+    /// Stream substrate error.
+    Stream(augur_stream::StreamError),
+    /// Storage error.
+    Store(augur_store::StoreError),
+    /// Analytics error.
+    Analytics(augur_analytics::AnalyticsError),
+    /// Privacy error.
+    Privacy(augur_privacy::PrivacyError),
+    /// Semantic layer error.
+    Semantic(augur_semantic::SemanticError),
+    /// Presentation error.
+    Render(augur_render::RenderError),
+    /// Offloading error.
+    Cloud(augur_cloud::CloudError),
+    /// Tracking error.
+    Track(augur_track::TrackError),
+    /// A scenario parameter was out of domain.
+    InvalidScenario(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Geo(e) => write!(f, "geo: {e}"),
+            CoreError::Stream(e) => write!(f, "stream: {e}"),
+            CoreError::Store(e) => write!(f, "store: {e}"),
+            CoreError::Analytics(e) => write!(f, "analytics: {e}"),
+            CoreError::Privacy(e) => write!(f, "privacy: {e}"),
+            CoreError::Semantic(e) => write!(f, "semantic: {e}"),
+            CoreError::Render(e) => write!(f, "render: {e}"),
+            CoreError::Cloud(e) => write!(f, "cloud: {e}"),
+            CoreError::Track(e) => write!(f, "track: {e}"),
+            CoreError::InvalidScenario(what) => write!(f, "invalid scenario parameter: {what}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Geo(e) => Some(e),
+            CoreError::Stream(e) => Some(e),
+            CoreError::Store(e) => Some(e),
+            CoreError::Analytics(e) => Some(e),
+            CoreError::Privacy(e) => Some(e),
+            CoreError::Semantic(e) => Some(e),
+            CoreError::Render(e) => Some(e),
+            CoreError::Cloud(e) => Some(e),
+            CoreError::Track(e) => Some(e),
+            CoreError::InvalidScenario(_) => None,
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for CoreError {
+            fn from(e: $ty) -> Self {
+                CoreError::$variant(e)
+            }
+        }
+    };
+}
+
+impl_from!(Geo, augur_geo::GeoError);
+impl_from!(Stream, augur_stream::StreamError);
+impl_from!(Store, augur_store::StoreError);
+impl_from!(Analytics, augur_analytics::AnalyticsError);
+impl_from!(Privacy, augur_privacy::PrivacyError);
+impl_from!(Semantic, augur_semantic::SemanticError);
+impl_from!(Render, augur_render::RenderError);
+impl_from!(Cloud, augur_cloud::CloudError);
+impl_from!(Track, augur_track::TrackError);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_sources() {
+        let e: CoreError = augur_geo::GeoError::InvalidLatitude(95.0).into();
+        assert!(e.to_string().starts_with("geo:"));
+        assert!(e.source().is_some());
+        assert!(CoreError::InvalidScenario("n").source().is_none());
+    }
+}

@@ -1,0 +1,42 @@
+//! Platform core: the convergence layer the paper sketches.
+//!
+//! Everything below the line exists in its own crate — geospatial
+//! context ([`augur_geo`]), sensing ([`augur_sensor`]), tracking
+//! ([`augur_track`]), the stream substrate ([`augur_stream`]), storage
+//! ([`augur_store`]), analytics ([`augur_analytics`]), privacy
+//! ([`augur_privacy`]), semantics ([`augur_semantic`]), presentation
+//! ([`augur_render`]), and offloading ([`augur_cloud`]). This crate
+//! wires them into the system of §2–§3:
+//!
+//! - [`context`]: the context engine fusing pose, motion, and
+//!   preferences into the [`augur_semantic::UserContext`] rules consume.
+//! - [`codec`]: compact byte codecs moving typed events through the
+//!   broker's opaque records.
+//! - [`platform`]: the [`AugurPlatform`] facade — ingest, analyze,
+//!   interpret, present.
+//! - [`scenario`]: the four §3 applications as runnable simulations
+//!   (retail, tourism, healthcare, public-services traffic), each
+//!   producing a typed report.
+//! - [`influence`]: reconstruction of Figure 5's "influence circles"
+//!   from measured scenario outputs (experiment E1).
+//! - [`collab`]: §2.2's collaborative mode — one shared scene, per-user
+//!   cameras and role filters, private annotations.
+
+pub mod codec;
+pub mod collab;
+pub mod context;
+pub mod error;
+pub mod influence;
+pub mod platform;
+pub mod scenario;
+
+pub use codec::{decode_vitals, encode_vitals, VitalsRecord};
+pub use collab::{CollabSession, ParticipantId, SharedOverlay};
+pub use context::{Activity, ContextEngine};
+pub use error::CoreError;
+pub use influence::{influence_report, Field, InfluenceLevel, InfluenceReport};
+pub use platform::{AugurPlatform, PlatformConfig};
+pub use scenario::healthcare::{self, HealthcareParams, HealthcareReport};
+pub use scenario::retail::{self, RetailParams, RetailReport};
+pub use scenario::tourism::{self, TourismParams, TourismReport};
+pub use scenario::traffic::{self, TrafficParams, TrafficReport};

@@ -1,0 +1,264 @@
+//! Healthcare scenario (§3.3, experiment E9).
+//!
+//! A patient cohort streams vitals through the broker; per-(patient,
+//! sign) threshold detectors consume the time-ordered stream and raise
+//! alerts. The report scores detection recall, false-alarm rate, and the
+//! alert latency distribution against the generator's episode ground
+//! truth — the "immediate field diagnosis" the paper promises, measured.
+
+use std::collections::HashMap;
+
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use augur_analytics::ThresholdDetector;
+use augur_sensor::{VitalsGenerator, VitalsParams};
+use augur_stream::{Broker, PipelineBuilder, Record};
+
+use crate::codec::{decode_vitals, encode_vitals};
+use crate::error::CoreError;
+
+/// Parameters for the healthcare scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthcareParams {
+    /// Cohort size.
+    pub patients: u32,
+    /// Monitored duration, seconds.
+    pub duration_s: f64,
+    /// Vitals sample period, seconds.
+    pub period_s: f64,
+    /// Expected anomaly episodes per patient.
+    pub episodes_per_patient: f64,
+    /// Episode length, seconds.
+    pub episode_length_s: f64,
+    /// Broker partitions for the vitals topic.
+    pub partitions: u32,
+    /// Consecutive breaches (m of n = m+1) required to alert.
+    pub confirm_m: usize,
+    /// Per-sample motion-artifact probability (unlabelled spikes).
+    pub artifact_probability: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HealthcareParams {
+    fn default() -> Self {
+        HealthcareParams {
+            patients: 50,
+            duration_s: 1_800.0,
+            period_s: 1.0,
+            episodes_per_patient: 2.0,
+            episode_length_s: 120.0,
+            partitions: 4,
+            confirm_m: 2,
+            artifact_probability: 0.002,
+            seed: 31,
+        }
+    }
+}
+
+/// Results of the healthcare scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthcareReport {
+    /// Ground-truth anomaly episodes injected.
+    pub episodes: usize,
+    /// Episodes with at least one alert inside their window.
+    pub detected: usize,
+    /// Detection recall.
+    pub recall: f64,
+    /// Alerts raised outside any episode window.
+    pub false_alarms: usize,
+    /// False alarms per patient-hour.
+    pub false_alarm_rate_per_patient_hour: f64,
+    /// Median alert latency from episode onset, seconds (sim time).
+    pub median_latency_s: f64,
+    /// 95th-percentile alert latency, seconds.
+    pub p95_latency_s: f64,
+    /// Samples streamed through the broker.
+    pub samples_streamed: u64,
+    /// Pipeline wall-clock throughput, records/second.
+    pub pipeline_throughput_rps: f64,
+}
+
+/// Runs the scenario.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidScenario`] for degenerate parameters; stream and
+/// analytics errors propagate.
+pub fn run(params: &HealthcareParams) -> Result<HealthcareReport, CoreError> {
+    if params.patients == 0 {
+        return Err(CoreError::InvalidScenario("patients must be positive"));
+    }
+    if params.duration_s <= 0.0 || params.period_s <= 0.0 {
+        return Err(CoreError::InvalidScenario("durations must be positive"));
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+    let gen_params = VitalsParams {
+        patients: params.patients,
+        period_s: params.period_s,
+        duration_s: params.duration_s,
+        episodes_per_patient: params.episodes_per_patient,
+        episode_length_s: params.episode_length_s,
+        circadian_amplitude: 0.05,
+        artifact_probability: params.artifact_probability,
+    };
+    let (samples, episodes) = VitalsGenerator::new(gen_params).generate(&mut rng);
+
+    // Stream through the broker keyed by patient (per-patient order is
+    // preserved within a partition).
+    let broker = Broker::new();
+    broker.create_topic("vitals", params.partitions)?;
+    broker.append_batch(
+        "vitals",
+        samples.iter().map(|s| {
+            Record::new(s.patient as u64, encode_vitals(s), s.time.as_micros())
+        }),
+    )?;
+
+    let mut pipeline = PipelineBuilder::new(broker, "vitals", |r| decode_vitals(&r.payload)).build();
+    let (records, metrics) = pipeline.collect()?;
+
+    // Per-(patient, sign) m-of-n threshold detectors.
+    let mut detectors: HashMap<(u32, u8), ThresholdDetector> = HashMap::new();
+    let mut alerts: Vec<(u32, augur_sensor::VitalSign, u64)> = Vec::new();
+    for r in &records {
+        let key = (r.patient, sign_idx(r.sign));
+        let det = detectors.entry(key).or_insert_with(|| {
+            let (lo, hi) = r.sign.alert_range();
+            ThresholdDetector::new(lo, hi, params.confirm_m, params.confirm_m + 1)
+                .expect("alert ranges are valid")
+        });
+        if let Some(alert) = det.observe(r.t_us, r.value) {
+            alerts.push((r.patient, r.sign, alert.t_us));
+        }
+    }
+
+    // Score against episode ground truth.
+    let mut detected = 0usize;
+    let mut latencies: Vec<f64> = Vec::new();
+    for ep in &episodes {
+        let hit = alerts
+            .iter()
+            .filter(|(p, s, t)| {
+                *p == ep.patient
+                    && *s == ep.kind.sign()
+                    && *t >= ep.start.as_micros()
+                    && *t < ep.end.as_micros()
+            })
+            .map(|(_, _, t)| (*t - ep.start.as_micros()) as f64 / 1e6)
+            .fold(f64::INFINITY, f64::min);
+        if hit.is_finite() {
+            detected += 1;
+            latencies.push(hit);
+        }
+    }
+    let false_alarms = alerts
+        .iter()
+        .filter(|(p, s, t)| {
+            !episodes.iter().any(|ep| {
+                ep.patient == *p
+                    && ep.kind.sign() == *s
+                    && *t >= ep.start.as_micros()
+                    && *t < ep.end.as_micros()
+            })
+        })
+        .count();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)]
+        }
+    };
+    let patient_hours = params.patients as f64 * params.duration_s / 3600.0;
+    Ok(HealthcareReport {
+        episodes: episodes.len(),
+        detected,
+        recall: if episodes.is_empty() {
+            1.0
+        } else {
+            detected as f64 / episodes.len() as f64
+        },
+        false_alarms,
+        false_alarm_rate_per_patient_hour: false_alarms as f64 / patient_hours.max(1e-9),
+        median_latency_s: pct(0.5),
+        p95_latency_s: pct(0.95),
+        samples_streamed: metrics.records_in,
+        pipeline_throughput_rps: metrics.throughput_rps(),
+    })
+}
+
+fn sign_idx(s: augur_sensor::VitalSign) -> u8 {
+    match s {
+        augur_sensor::VitalSign::HeartRate => 0,
+        augur_sensor::VitalSign::SpO2 => 1,
+        augur_sensor::VitalSign::Temperature => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HealthcareParams {
+        HealthcareParams {
+            patients: 10,
+            duration_s: 900.0,
+            episodes_per_patient: 2.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn detects_most_episodes_quickly() {
+        let r = run(&small()).unwrap();
+        assert!(r.episodes > 0, "generator should inject episodes");
+        assert!(r.recall > 0.9, "recall {}", r.recall);
+        // m-of-n with m=2 at 1 Hz: detection within a few seconds.
+        assert!(r.median_latency_s <= 5.0, "median {}", r.median_latency_s);
+        assert!(r.p95_latency_s >= r.median_latency_s);
+    }
+
+    #[test]
+    fn false_alarm_rate_is_low() {
+        let r = run(&small()).unwrap();
+        assert!(
+            r.false_alarm_rate_per_patient_hour < 2.0,
+            "rate {}",
+            r.false_alarm_rate_per_patient_hour
+        );
+    }
+
+    #[test]
+    fn streams_every_sample() {
+        let r = run(&small()).unwrap();
+        // patients × signs × (duration / period)
+        assert_eq!(r.samples_streamed, 10 * 3 * 900);
+        assert!(r.pipeline_throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run(&small()).unwrap();
+        let b = run(&small()).unwrap();
+        assert_eq!(a.episodes, b.episodes);
+        assert_eq!(a.detected, b.detected);
+        assert_eq!(a.false_alarms, b.false_alarms);
+    }
+
+    #[test]
+    fn rejects_degenerate_params() {
+        assert!(run(&HealthcareParams {
+            patients: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(run(&HealthcareParams {
+            period_s: 0.0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+}

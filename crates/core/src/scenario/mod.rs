@@ -1,0 +1,11 @@
+//! The four §3 application scenarios as runnable simulations.
+//!
+//! Each submodule exposes a `Params` (deterministic under its seed), a
+//! `run` entry point, and a typed `Report` carrying the quantities the
+//! experiment index in DESIGN.md references. The reports also feed the
+//! Figure 5 reconstruction in [`crate::influence`].
+
+pub mod healthcare;
+pub mod retail;
+pub mod tourism;
+pub mod traffic;

@@ -1,0 +1,273 @@
+//! Tourism scenario (§3.2, experiments E4/E5/E8 end-to-end).
+//!
+//! A tourist Lévy-walks a synthetic city; pose comes from Kalman-fused
+//! noisy sensors; each second the platform retrieves nearby POIs (R-tree
+//! vs linear scan, timed), classifies their occlusion against the city
+//! for x-ray reveals, and lays the surviving labels out on screen.
+
+use std::time::Instant;
+
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use augur_geo::{
+    poi::synthetic_database, CityModel, CityParams, Enu, GeoPoint, LocalFrame,
+};
+use augur_render::{
+    greedy_layout, naive_layout, xray_reveals, LabelBox, LayoutMetrics, OcclusionIndex,
+    ViewCamera, Viewport,
+};
+use augur_sensor::{
+    GpsParams, GpsSensor, ImuParams, ImuSensor, LevyFlight, Trajectory, TrajectoryParams,
+};
+use augur_track::{registration::run_tracker, KalmanParams, KalmanTracker};
+
+use crate::error::CoreError;
+
+/// Parameters for the tourism scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TourismParams {
+    /// POI database size.
+    pub pois: usize,
+    /// Tour duration, seconds.
+    pub duration_s: f64,
+    /// POIs retrieved per query.
+    pub k: usize,
+    /// Query radius for range retrieval, metres.
+    pub radius_m: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TourismParams {
+    fn default() -> Self {
+        TourismParams {
+            pois: 20_000,
+            duration_s: 120.0,
+            k: 12,
+            radius_m: 250.0,
+            seed: 23,
+        }
+    }
+}
+
+/// Results of the tourism scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TourismReport {
+    /// POI queries issued (one per second of tour).
+    pub queries: usize,
+    /// Mean k-NN query latency via the R-tree, microseconds.
+    pub knn_indexed_us: f64,
+    /// Mean radius-query latency via linear scan, microseconds.
+    pub scan_us: f64,
+    /// Index speed-up factor (scan / indexed).
+    pub index_speedup: f64,
+    /// Total POIs surfaced across the tour.
+    pub pois_surfaced: usize,
+    /// Targets classified occluded and revealed with x-ray.
+    pub xray_reveals: usize,
+    /// Mean tracker position error over the tour, metres.
+    pub tracking_error_m: f64,
+    /// Naive bubble layout quality (tour-averaged overlap ratio).
+    pub naive_overlap: f64,
+    /// Decluttered layout quality.
+    pub decluttered_overlap: f64,
+    /// Labels dropped by decluttering, as a fraction.
+    pub declutter_drop_ratio: f64,
+}
+
+/// Runs the scenario.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidScenario`] for degenerate parameters; geospatial
+/// errors propagate.
+pub fn run(params: &TourismParams) -> Result<TourismReport, CoreError> {
+    if params.pois == 0 || params.k == 0 {
+        return Err(CoreError::InvalidScenario("pois and k must be positive"));
+    }
+    if params.duration_s <= 0.0 {
+        return Err(CoreError::InvalidScenario("duration must be positive"));
+    }
+    let origin = GeoPoint::new(22.3364, 114.2655)?;
+    let frame = LocalFrame::new(origin);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
+    let db = synthetic_database(origin, params.pois, &mut rng)?;
+    let city = CityModel::generate(&CityParams::default(), &mut rng);
+    let occlusion = OcclusionIndex::build(&city);
+
+    // Ground truth walk + fused tracking.
+    let traj_params = TrajectoryParams {
+        half_extent_m: 350.0,
+        speed_mps: 1.4,
+        pause_s: 3.0,
+    };
+    let mut walker = LevyFlight::new(traj_params, 1.75, rand::rngs::StdRng::seed_from_u64(params.seed ^ 1));
+    let truth = walker.sample(10.0, params.duration_s);
+    let fixes = GpsSensor::new(
+        GpsParams::default(),
+        rand::rngs::StdRng::seed_from_u64(params.seed ^ 2),
+    )
+    .track(&truth);
+    let readings = ImuSensor::new(
+        ImuParams::default(),
+        rand::rngs::StdRng::seed_from_u64(params.seed ^ 3),
+    )
+    .track(&truth);
+    let mut tracker = KalmanTracker::new(KalmanParams::default());
+    let poses = run_tracker(&mut tracker, &truth, &fixes, &readings);
+    let tracking_error_m = truth
+        .iter()
+        .zip(&poses)
+        .map(|(t, p)| {
+            let de = t.position.east - p.position.east;
+            let dn = t.position.north - p.position.north;
+            (de * de + dn * dn).sqrt()
+        })
+        .sum::<f64>()
+        / truth.len().max(1) as f64;
+
+    // One retrieval per second of tour.
+    let vp = Viewport::default();
+    let mut knn_total_us = 0.0f64;
+    let mut scan_total_us = 0.0f64;
+    let mut queries = 0usize;
+    let mut pois_surfaced = 0usize;
+    let mut reveals = 0usize;
+    let mut naive_overlap_sum = 0.0;
+    let mut declutter_overlap_sum = 0.0;
+    let mut drop_sum = 0.0;
+    for (i, pose) in poses.iter().enumerate().step_by(10) {
+        queries += 1;
+        let here = frame.to_geodetic(pose.position);
+        let t0 = Instant::now();
+        let near = db.nearest(here, params.k, None);
+        knn_total_us += t0.elapsed().as_nanos() as f64 / 1e3;
+        let t1 = Instant::now();
+        let in_radius = db.within_radius_scan(here, params.radius_m);
+        scan_total_us += t1.elapsed().as_nanos() as f64 / 1e3;
+        let _ = in_radius.len();
+        pois_surfaced += near.len();
+
+        // Occlusion + x-ray for this frame.
+        let camera = ViewCamera::new(
+            Enu::new(pose.position.east, pose.position.north, 1.6),
+            truth[i].heading_deg,
+            66.0,
+            vp,
+            800.0,
+        )?;
+        let targets: Vec<(u64, Enu)> = near
+            .iter()
+            .map(|p| {
+                let e = frame.to_enu(p.position);
+                (p.id.0, Enu::new(e.east, e.north, 4.0))
+            })
+            .collect();
+        let frame_reveals = xray_reveals(&camera, &targets, &occlusion);
+        reveals += frame_reveals.iter().filter(|r| r.reveal).count();
+
+        // Layout the labels for targets in view.
+        let labels: Vec<LabelBox> = targets
+            .iter()
+            .filter_map(|(id, pos)| {
+                camera.project(*pos).map(|px| LabelBox {
+                    id: *id,
+                    anchor_px: px,
+                    width_px: 160.0,
+                    height_px: 34.0,
+                    priority: 0.5,
+                })
+            })
+            .collect();
+        if labels.len() >= 2 {
+            let naive = LayoutMetrics::measure(&labels, &naive_layout(&labels, vp));
+            let greedy = LayoutMetrics::measure(&labels, &greedy_layout(&labels, vp));
+            naive_overlap_sum += naive.overlap_ratio;
+            declutter_overlap_sum += greedy.overlap_ratio;
+            drop_sum += greedy.drop_ratio;
+        }
+    }
+    let q = queries.max(1) as f64;
+    let knn_indexed_us = knn_total_us / q;
+    let scan_us = scan_total_us / q;
+    Ok(TourismReport {
+        queries,
+        knn_indexed_us,
+        scan_us,
+        index_speedup: if knn_indexed_us > 0.0 {
+            scan_us / knn_indexed_us
+        } else {
+            f64::INFINITY
+        },
+        pois_surfaced,
+        xray_reveals: reveals,
+        tracking_error_m,
+        naive_overlap: naive_overlap_sum / q,
+        decluttered_overlap: declutter_overlap_sum / q,
+        declutter_drop_ratio: drop_sum / q,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TourismParams {
+        TourismParams {
+            pois: 3_000,
+            duration_s: 30.0,
+            k: 8,
+            radius_m: 200.0,
+            seed: 9,
+        }
+    }
+
+    #[test]
+    fn index_beats_scan_and_pois_surface() {
+        let r = run(&small()).unwrap();
+        assert!(r.queries >= 29);
+        assert!(r.pois_surfaced > 0);
+        assert!(
+            r.index_speedup > 1.0,
+            "index {} us vs scan {} us",
+            r.knn_indexed_us,
+            r.scan_us
+        );
+    }
+
+    #[test]
+    fn tracking_error_is_bounded() {
+        let r = run(&small()).unwrap();
+        assert!(
+            r.tracking_error_m < 15.0,
+            "fused tracking error {} m",
+            r.tracking_error_m
+        );
+    }
+
+    #[test]
+    fn declutter_improves_overlap() {
+        let r = run(&TourismParams {
+            pois: 8_000,
+            ..small()
+        })
+        .unwrap();
+        assert!(r.decluttered_overlap <= r.naive_overlap);
+        assert_eq!(r.decluttered_overlap, 0.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_params() {
+        assert!(run(&TourismParams {
+            pois: 0,
+            ..small()
+        })
+        .is_err());
+        assert!(run(&TourismParams {
+            duration_s: 0.0,
+            ..small()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for the geospatial substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by geospatial operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoError {
+    /// A latitude was outside the `[-90, 90]` degree range.
+    InvalidLatitude(f64),
+    /// A longitude was outside the `[-180, 180]` degree range.
+    InvalidLongitude(f64),
+    /// A coordinate contained a NaN or infinite component.
+    NonFiniteCoordinate,
+    /// A geohash string contained a character outside the base-32 alphabet.
+    InvalidGeohashChar(char),
+    /// A geohash had zero length or exceeded the supported precision.
+    InvalidGeohashLength(usize),
+    /// A rectangle was constructed with min > max on some axis.
+    InvalidRect,
+    /// A query parameter was out of its valid domain (e.g. `k == 0`).
+    InvalidQuery(&'static str),
+}
+
+impl fmt::Display for GeoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeoError::InvalidLatitude(v) => {
+                write!(f, "latitude {v} outside [-90, 90] degrees")
+            }
+            GeoError::InvalidLongitude(v) => {
+                write!(f, "longitude {v} outside [-180, 180] degrees")
+            }
+            GeoError::NonFiniteCoordinate => write!(f, "coordinate component was NaN or infinite"),
+            GeoError::InvalidGeohashChar(c) => {
+                write!(f, "character {c:?} is not in the geohash alphabet")
+            }
+            GeoError::InvalidGeohashLength(n) => {
+                write!(f, "geohash length {n} outside supported range 1..=12")
+            }
+            GeoError::InvalidRect => write!(f, "rectangle has min > max on some axis"),
+            GeoError::InvalidQuery(what) => write!(f, "invalid query parameter: {what}"),
+        }
+    }
+}
+
+impl Error for GeoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let msgs = [
+            GeoError::InvalidLatitude(91.0).to_string(),
+            GeoError::InvalidLongitude(-200.0).to_string(),
+            GeoError::NonFiniteCoordinate.to_string(),
+            GeoError::InvalidGeohashChar('!').to_string(),
+            GeoError::InvalidGeohashLength(0).to_string(),
+            GeoError::InvalidRect.to_string(),
+            GeoError::InvalidQuery("k must be > 0").to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeoError>();
+    }
+}

@@ -1,0 +1,49 @@
+//! Geospatial substrate for the Augur platform.
+//!
+//! Augmented-reality applications are anchored in physical space: every
+//! overlay, point of interest, and sensor reading carries a location. This
+//! crate provides the coordinate machinery and spatial data structures the
+//! rest of the platform builds on:
+//!
+//! - [`GeoPoint`] / [`Ecef`] / [`Enu`] coordinate types and conversions on
+//!   the WGS-84 ellipsoid ([`coord`]).
+//! - [`Geohash`] encoding for coarse spatial bucketing ([`geohash`]).
+//! - An [`RTree`] and a [`QuadTree`] for range and nearest-neighbour
+//!   queries over planar points ([`rtree`], [`quadtree`]).
+//! - A [`PoiDatabase`] of points of interest with a clustered synthetic
+//!   generator standing in for the proprietary POI feeds the paper assumes
+//!   ([`poi`]).
+//! - Synthetic city models (buildings on a street grid) used by the
+//!   occlusion and traffic experiments ([`city`]).
+//!
+//! # Example
+//!
+//! ```
+//! use augur_geo::{GeoPoint, LocalFrame};
+//!
+//! let hq = GeoPoint::new(22.3364, 114.2655)?; // HKUST
+//! let cafe = GeoPoint::new(22.3370, 114.2660)?;
+//! let frame = LocalFrame::new(hq);
+//! let enu = frame.to_enu(cafe);
+//! assert!(enu.east > 0.0 && enu.north > 0.0);
+//! assert!((hq.haversine_m(cafe) - enu.horizontal_norm()).abs() < 0.5);
+//! # Ok::<(), augur_geo::GeoError>(())
+//! ```
+
+pub mod bbox;
+pub mod city;
+pub mod coord;
+pub mod error;
+pub mod geohash;
+pub mod poi;
+pub mod quadtree;
+pub mod rtree;
+
+pub use bbox::{GeoBounds, Rect};
+pub use city::{Building, CityModel, CityParams, RoadGrid};
+pub use coord::{Ecef, Enu, GeoPoint, LocalFrame, EARTH_RADIUS_M};
+pub use error::GeoError;
+pub use geohash::Geohash;
+pub use poi::{Poi, PoiCategory, PoiDatabase, PoiGenerator, PoiId};
+pub use quadtree::QuadTree;
+pub use rtree::RTree;

@@ -1,0 +1,295 @@
+//! A point quadtree over a fixed planar extent, used as the comparison
+//! index in experiment E8 and for uniform-density workloads where its
+//! regular subdivision beats the R-tree's data-driven one.
+
+use crate::bbox::Rect;
+use crate::error::GeoError;
+
+const BUCKET: usize = 16;
+const MAX_DEPTH: usize = 24;
+
+#[derive(Debug, Clone)]
+struct QNode<T> {
+    bounds: Rect,
+    points: Vec<(f64, f64, T)>,
+    children: Option<Box<[QNode<T>; 4]>>,
+}
+
+impl<T> QNode<T> {
+    fn new(bounds: Rect) -> Self {
+        QNode {
+            bounds,
+            points: Vec::new(),
+            children: None,
+        }
+    }
+
+    fn quadrant_bounds(&self) -> [Rect; 4] {
+        let (cx, cy) = self.bounds.center();
+        [
+            Rect::new(self.bounds.min_x(), self.bounds.min_y(), cx, cy),
+            Rect::new(cx, self.bounds.min_y(), self.bounds.max_x(), cy),
+            Rect::new(self.bounds.min_x(), cy, cx, self.bounds.max_y()),
+            Rect::new(cx, cy, self.bounds.max_x(), self.bounds.max_y()),
+        ]
+        .map(|r| r.expect("subdividing a valid rect yields valid rects"))
+    }
+
+    fn quadrant_of(&self, x: f64, y: f64) -> usize {
+        let (cx, cy) = self.bounds.center();
+        match (x >= cx, y >= cy) {
+            (false, false) => 0,
+            (true, false) => 1,
+            (false, true) => 2,
+            (true, true) => 3,
+        }
+    }
+
+    fn insert(&mut self, x: f64, y: f64, value: T, depth: usize) {
+        if self.children.is_none() {
+            if self.points.len() < BUCKET || depth >= MAX_DEPTH {
+                self.points.push((x, y, value));
+                return;
+            }
+            // Split and redistribute.
+            let qb = self.quadrant_bounds();
+            self.children = Some(Box::new(qb.map(QNode::new)));
+            let pts = std::mem::take(&mut self.points);
+            for (px, py, v) in pts {
+                let q = self.quadrant_of(px, py);
+                self.children.as_mut().unwrap()[q].insert(px, py, v, depth + 1);
+            }
+        }
+        let q = self.quadrant_of(x, y);
+        self.children.as_mut().unwrap()[q].insert(x, y, value, depth + 1);
+    }
+
+    fn range<'a>(&'a self, query: &Rect, out: &mut Vec<(f64, f64, &'a T)>) {
+        if !self.bounds.intersects(query) {
+            return;
+        }
+        for (x, y, v) in &self.points {
+            if query.contains_point(*x, *y) {
+                out.push((*x, *y, v));
+            }
+        }
+        if let Some(children) = &self.children {
+            for c in children.iter() {
+                c.range(query, out);
+            }
+        }
+    }
+
+    fn nearest<'a>(
+        &'a self,
+        x: f64,
+        y: f64,
+        k: usize,
+        best: &mut Vec<(f64, f64, f64, &'a T)>, // (dist2, px, py, v), sorted asc
+    ) {
+        let worst = best
+            .last()
+            .filter(|_| best.len() == k)
+            .map(|b| b.0)
+            .unwrap_or(f64::INFINITY);
+        if self.bounds.distance2_to_point(x, y) > worst {
+            return;
+        }
+        for (px, py, v) in &self.points {
+            let d2 = (px - x).powi(2) + (py - y).powi(2);
+            let worst = best
+                .last()
+                .filter(|_| best.len() == k)
+                .map(|b| b.0)
+                .unwrap_or(f64::INFINITY);
+            if d2 < worst || best.len() < k {
+                let pos = best.partition_point(|b| b.0 <= d2);
+                best.insert(pos, (d2, *px, *py, v));
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        }
+        if let Some(children) = &self.children {
+            // Visit the quadrant containing the query first for pruning.
+            let first = self.quadrant_of(x, y);
+            children[first].nearest(x, y, k, best);
+            for (i, c) in children.iter().enumerate() {
+                if i != first {
+                    c.nearest(x, y, k, best);
+                }
+            }
+        }
+    }
+}
+
+/// A bucketed point quadtree over a fixed extent.
+///
+/// Points outside the extent are rejected at insertion; choose the extent
+/// to cover the simulation area.
+///
+/// # Example
+///
+/// ```
+/// use augur_geo::{QuadTree, Rect};
+/// let extent = Rect::new(0.0, 0.0, 100.0, 100.0)?;
+/// let mut qt = QuadTree::new(extent);
+/// qt.insert(10.0, 20.0, "cafe")?;
+/// qt.insert(80.0, 90.0, "museum")?;
+/// let near = qt.nearest(12.0, 22.0, 1);
+/// assert_eq!(*near[0].2, "cafe");
+/// # Ok::<(), augur_geo::GeoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuadTree<T> {
+    root: QNode<T>,
+    len: usize,
+}
+
+impl<T> QuadTree<T> {
+    /// Creates an empty quadtree covering `extent`.
+    pub fn new(extent: Rect) -> Self {
+        QuadTree {
+            root: QNode::new(extent),
+            len: 0,
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The extent passed at construction.
+    pub fn extent(&self) -> Rect {
+        self.root.bounds
+    }
+
+    /// Inserts a point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeoError::InvalidQuery`] when the point lies outside the
+    /// extent (the fixed-grid structure cannot grow).
+    pub fn insert(&mut self, x: f64, y: f64, value: T) -> Result<(), GeoError> {
+        if !self.root.bounds.contains_point(x, y) {
+            return Err(GeoError::InvalidQuery("point outside quadtree extent"));
+        }
+        self.root.insert(x, y, value, 0);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// All points inside `query` (boundary included).
+    pub fn range(&self, query: &Rect) -> Vec<(f64, f64, &T)> {
+        let mut out = Vec::new();
+        self.root.range(query, &mut out);
+        out
+    }
+
+    /// The `k` nearest points to `(x, y)`, closest first.
+    pub fn nearest(&self, x: f64, y: f64, k: usize) -> Vec<(f64, f64, &T)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut best = Vec::with_capacity(k + 1);
+        self.root.nearest(x, y, k, &mut best);
+        best.into_iter().map(|(_, px, py, v)| (px, py, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_extent() -> Rect {
+        Rect::new(0.0, 0.0, 100.0, 100.0).unwrap()
+    }
+
+    #[test]
+    fn rejects_out_of_extent() {
+        let mut qt = QuadTree::new(full_extent());
+        assert!(qt.insert(-1.0, 0.0, ()).is_err());
+        assert!(qt.insert(0.0, 101.0, ()).is_err());
+        assert_eq!(qt.len(), 0);
+    }
+
+    #[test]
+    fn range_query_exact() {
+        let mut qt = QuadTree::new(full_extent());
+        for i in 0..10u32 {
+            for j in 0..10u32 {
+                qt.insert(i as f64 * 10.0, j as f64 * 10.0, (i, j)).unwrap();
+            }
+        }
+        let q = Rect::new(0.0, 0.0, 25.0, 35.0).unwrap();
+        let hits = qt.range(&q);
+        assert_eq!(hits.len(), 12); // x in {0,10,20}, y in {0,10,20,30}
+    }
+
+    #[test]
+    fn nearest_ordering() {
+        let mut qt = QuadTree::new(full_extent());
+        qt.insert(10.0, 10.0, 'a').unwrap();
+        qt.insert(20.0, 20.0, 'b').unwrap();
+        qt.insert(90.0, 90.0, 'c').unwrap();
+        let res = qt.nearest(12.0, 12.0, 3);
+        let order: Vec<char> = res.iter().map(|r| *r.2).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn splits_past_bucket_capacity() {
+        let mut qt = QuadTree::new(full_extent());
+        for i in 0..1000 {
+            let x = (i % 100) as f64;
+            let y = (i / 100) as f64 * 10.0;
+            qt.insert(x, y, i).unwrap();
+        }
+        assert_eq!(qt.len(), 1000);
+        let q = Rect::new(0.0, 0.0, 100.0, 100.0).unwrap();
+        assert_eq!(qt.range(&q).len(), 1000);
+    }
+
+    #[test]
+    fn duplicate_coordinates_do_not_recurse_forever() {
+        let mut qt = QuadTree::new(full_extent());
+        for i in 0..200 {
+            qt.insert(50.0, 50.0, i).unwrap();
+        }
+        assert_eq!(qt.len(), 200);
+        assert_eq!(qt.nearest(50.0, 50.0, 200).len(), 200);
+    }
+
+    #[test]
+    fn nearest_brute_force_agreement() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut qt = QuadTree::new(full_extent());
+        let mut pts = Vec::new();
+        for i in 0..400 {
+            let x = rng.gen_range(0.0..100.0);
+            let y = rng.gen_range(0.0..100.0);
+            qt.insert(x, y, i).unwrap();
+            pts.push((x, y, i));
+        }
+        for _ in 0..20 {
+            let qx = rng.gen_range(0.0..100.0);
+            let qy = rng.gen_range(0.0..100.0);
+            let got: Vec<i32> = qt.nearest(qx, qy, 5).iter().map(|r| *r.2).collect();
+            let mut brute = pts.clone();
+            brute.sort_by(|a, b| {
+                let da = (a.0 - qx).powi(2) + (a.1 - qy).powi(2);
+                let db = (b.0 - qx).powi(2) + (b.1 - qy).powi(2);
+                da.partial_cmp(&db).unwrap()
+            });
+            let want: Vec<i32> = brute.iter().take(5).map(|r| r.2).collect();
+            assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for the privacy layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by privacy mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrivacyError {
+    /// A privacy parameter (ε, δ, sensitivity...) was out of domain.
+    InvalidParameter(&'static str),
+    /// The privacy budget is exhausted.
+    BudgetExhausted { requested: f64, remaining: f64 },
+}
+
+impl fmt::Display for PrivacyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrivacyError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            PrivacyError::BudgetExhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested ε={requested}, remaining ε={remaining}"
+            ),
+        }
+    }
+}
+
+impl Error for PrivacyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(PrivacyError::InvalidParameter("epsilon")
+            .to_string()
+            .contains("epsilon"));
+        assert!(PrivacyError::BudgetExhausted {
+            requested: 1.0,
+            remaining: 0.5
+        }
+        .to_string()
+        .contains("exhausted"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Privacy mechanisms and attacks for the Augur platform.
+//!
+//! §4.3 of the paper flags two facts the platform must live with: user
+//! identity and movement patterns are strongly correlated (González et
+//! al., the paper's reference \[9\]), and differential privacy at strong
+//! settings "is reduced too far to be useful in practice". This crate
+//! implements both sides so experiment E11 can measure the trade:
+//!
+//! - [`dp`]: Laplace / Gaussian / randomized-response mechanisms with an
+//!   ε-budget accountant enforcing sequential composition.
+//! - [`location`]: planar-Laplace geo-indistinguishability and
+//!   k-anonymity spatial cloaking over user positions.
+//! - [`attack`]: a top-k location-signature re-identification attack
+//!   that quantifies how identifying mobility remains after each
+//!   protection.
+
+pub mod attack;
+pub mod dp;
+pub mod error;
+pub mod location;
+
+pub use attack::{LocationSignature, ReidentificationAttack, Trace};
+pub use dp::{gaussian_mechanism, laplace_mechanism, randomized_response, PrivacyBudget};
+pub use error::PrivacyError;
+pub use location::{cloak_k_anonymous, geo_indistinguishable, CloakGrid};

@@ -1,0 +1,241 @@
+//! Location privacy: geo-indistinguishability and k-anonymity cloaking.
+//!
+//! Two standard protections over the positions AR must report upstream
+//! for recommendations:
+//!
+//! - [`geo_indistinguishable`]: planar Laplace noise (Andrés et al.),
+//!   the metric-space analogue of ε-DP — reported location is within
+//!   radius `r` of the truth with probability controlled by `ε·r`.
+//! - [`cloak_k_anonymous`]: snap positions to grid cells coarse enough
+//!   that at least `k` users share each reported cell.
+
+use rand::Rng;
+
+use augur_geo::Enu;
+
+use crate::error::PrivacyError;
+
+/// Perturbs a position with planar Laplace noise at privacy level
+/// `epsilon_per_m` (ε per metre; smaller = more private = noisier).
+///
+/// The noise radius follows the Gamma(2, 1/ε) distribution and the angle
+/// is uniform, which is the exact planar Laplace sampler.
+///
+/// # Errors
+///
+/// [`PrivacyError::InvalidParameter`] if `epsilon_per_m <= 0`.
+///
+/// # Example
+///
+/// ```
+/// use augur_privacy::geo_indistinguishable;
+/// use augur_geo::Enu;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let noisy = geo_indistinguishable(Enu::new(0.0, 0.0, 0.0), 0.05, &mut rng)?;
+/// assert!(noisy.horizontal_norm() < 500.0);
+/// # Ok::<(), augur_privacy::PrivacyError>(())
+/// ```
+pub fn geo_indistinguishable<R: Rng + ?Sized>(
+    position: Enu,
+    epsilon_per_m: f64,
+    rng: &mut R,
+) -> Result<Enu, PrivacyError> {
+    if epsilon_per_m <= 0.0 || !epsilon_per_m.is_finite() {
+        return Err(PrivacyError::InvalidParameter("epsilon_per_m"));
+    }
+    // Radius ~ Gamma(shape 2, scale 1/ε): sum of two exponentials.
+    let e1: f64 = -rng.gen_range(f64::EPSILON..1.0f64).ln();
+    let e2: f64 = -rng.gen_range(f64::EPSILON..1.0f64).ln();
+    let radius = (e1 + e2) / epsilon_per_m;
+    let theta: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    Ok(Enu::new(
+        position.east + radius * theta.cos(),
+        position.north + radius * theta.sin(),
+        position.up,
+    ))
+}
+
+/// A square cloaking grid of `cell_m`-sized cells.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloakGrid {
+    /// Cell side length in metres.
+    pub cell_m: f64,
+}
+
+impl CloakGrid {
+    /// Creates a grid.
+    ///
+    /// # Errors
+    ///
+    /// [`PrivacyError::InvalidParameter`] if `cell_m <= 0`.
+    pub fn new(cell_m: f64) -> Result<Self, PrivacyError> {
+        if cell_m <= 0.0 || !cell_m.is_finite() {
+            return Err(PrivacyError::InvalidParameter("cell_m"));
+        }
+        Ok(CloakGrid { cell_m })
+    }
+
+    /// The cell index containing a position.
+    pub fn cell_of(&self, p: Enu) -> (i64, i64) {
+        (
+            (p.east / self.cell_m).floor() as i64,
+            (p.north / self.cell_m).floor() as i64,
+        )
+    }
+
+    /// The centre of a cell (what gets reported instead of the truth).
+    pub fn cell_center(&self, cell: (i64, i64)) -> Enu {
+        Enu::new(
+            (cell.0 as f64 + 0.5) * self.cell_m,
+            (cell.1 as f64 + 0.5) * self.cell_m,
+            0.0,
+        )
+    }
+
+    /// Cloaks a position to its cell centre.
+    pub fn cloak(&self, p: Enu) -> Enu {
+        self.cell_center(self.cell_of(p))
+    }
+}
+
+/// Cloaks every position to the smallest grid (from `candidate_cells_m`,
+/// ascending) under which each occupied cell holds at least `k` users.
+/// Returns the cloaked positions and the chosen cell size, or the largest
+/// candidate if none satisfies `k` (with a flag).
+///
+/// # Errors
+///
+/// [`PrivacyError::InvalidParameter`] for `k == 0`, empty positions, or
+/// empty candidate list.
+pub fn cloak_k_anonymous(
+    positions: &[Enu],
+    k: usize,
+    candidate_cells_m: &[f64],
+) -> Result<(Vec<Enu>, f64, bool), PrivacyError> {
+    if k == 0 {
+        return Err(PrivacyError::InvalidParameter("k"));
+    }
+    if positions.is_empty() {
+        return Err(PrivacyError::InvalidParameter("positions"));
+    }
+    if candidate_cells_m.is_empty() {
+        return Err(PrivacyError::InvalidParameter("candidate_cells_m"));
+    }
+    let mut sorted: Vec<f64> = candidate_cells_m.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    for &cell_m in &sorted {
+        let grid = CloakGrid::new(cell_m)?;
+        let mut counts: std::collections::HashMap<(i64, i64), usize> =
+            std::collections::HashMap::new();
+        for p in positions {
+            *counts.entry(grid.cell_of(*p)).or_insert(0) += 1;
+        }
+        if counts.values().all(|c| *c >= k) {
+            let cloaked = positions.iter().map(|p| grid.cloak(*p)).collect();
+            return Ok((cloaked, cell_m, true));
+        }
+    }
+    let cell_m = *sorted.last().expect("non-empty candidates");
+    let grid = CloakGrid::new(cell_m)?;
+    let cloaked = positions.iter().map(|p| grid.cloak(*p)).collect();
+    Ok((cloaked, cell_m, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn planar_laplace_mean_radius_matches_theory() {
+        // E[radius] = 2/ε for Gamma(2, 1/ε).
+        let mut r = rng(1);
+        let eps = 0.02; // metres⁻¹ → mean 100 m
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let p = geo_indistinguishable(Enu::default(), eps, &mut r).unwrap();
+            sum += p.horizontal_norm();
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 100.0).abs() < 3.0, "mean radius {mean}");
+    }
+
+    #[test]
+    fn smaller_epsilon_is_noisier() {
+        let mut r = rng(2);
+        let mean_radius = |eps: f64, r: &mut rand::rngs::StdRng| {
+            let mut s = 0.0;
+            for _ in 0..5_000 {
+                s += geo_indistinguishable(Enu::default(), eps, r)
+                    .unwrap()
+                    .horizontal_norm();
+            }
+            s / 5_000.0
+        };
+        let strong = mean_radius(0.005, &mut r);
+        let weak = mean_radius(0.1, &mut r);
+        assert!(strong > weak * 5.0, "strong {strong}, weak {weak}");
+    }
+
+    #[test]
+    fn geo_preserves_altitude_and_validates() {
+        let mut r = rng(3);
+        let p = geo_indistinguishable(Enu::new(1.0, 2.0, 30.0), 0.1, &mut r).unwrap();
+        assert_eq!(p.up, 30.0);
+        assert!(geo_indistinguishable(Enu::default(), 0.0, &mut r).is_err());
+    }
+
+    #[test]
+    fn cloak_grid_is_deterministic_and_snaps() {
+        let g = CloakGrid::new(100.0).unwrap();
+        let p = Enu::new(137.0, -42.0, 0.0);
+        let c = g.cloak(p);
+        assert_eq!(c, Enu::new(150.0, -50.0, 0.0));
+        assert_eq!(g.cloak(Enu::new(199.0, -1.0, 5.0)), Enu::new(150.0, -50.0, 0.0));
+        assert!(CloakGrid::new(0.0).is_err());
+    }
+
+    #[test]
+    fn k_anonymous_picks_smallest_sufficient_cell() {
+        // 8 users clustered within 50 m: k=4 needs a coarse enough cell.
+        let positions: Vec<Enu> = (0..8)
+            .map(|i| Enu::new(10.0 * i as f64, 5.0 * i as f64, 0.0))
+            .collect();
+        let (cloaked, cell, satisfied) =
+            cloak_k_anonymous(&positions, 4, &[25.0, 50.0, 100.0, 200.0]).unwrap();
+        assert!(satisfied);
+        assert!(cell <= 200.0);
+        // Each reported cell must contain ≥ 4 users.
+        let grid = CloakGrid::new(cell).unwrap();
+        let mut counts: std::collections::HashMap<(i64, i64), usize> = Default::default();
+        for p in &positions {
+            *counts.entry(grid.cell_of(*p)).or_insert(0) += 1;
+        }
+        assert!(counts.values().all(|c| *c >= 4));
+        assert_eq!(cloaked.len(), positions.len());
+    }
+
+    #[test]
+    fn k_anonymous_reports_failure_when_unsatisfiable() {
+        // Two users 10 km apart with max cell 100 m: k=2 unsatisfiable.
+        let positions = vec![Enu::new(0.0, 0.0, 0.0), Enu::new(10_000.0, 0.0, 0.0)];
+        let (_, cell, satisfied) = cloak_k_anonymous(&positions, 2, &[50.0, 100.0]).unwrap();
+        assert!(!satisfied);
+        assert_eq!(cell, 100.0);
+    }
+
+    #[test]
+    fn k_anonymous_validation() {
+        let p = vec![Enu::default()];
+        assert!(cloak_k_anonymous(&p, 0, &[10.0]).is_err());
+        assert!(cloak_k_anonymous(&[], 1, &[10.0]).is_err());
+        assert!(cloak_k_anonymous(&p, 1, &[]).is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the privacy layer.
+
+use augur_geo::Enu;
+use augur_privacy::{
+    cloak_k_anonymous, geo_indistinguishable, laplace_mechanism, randomized_response,
+    CloakGrid, LocationSignature, PrivacyBudget, Trace,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #[test]
+    fn budget_never_overspends(
+        requests in prop::collection::vec(0.01f64..0.5, 1..50),
+        total in 0.5f64..3.0,
+    ) {
+        let mut budget = PrivacyBudget::new(total).unwrap();
+        let mut granted = 0.0;
+        for &eps in &requests {
+            if budget.spend(eps).is_ok() {
+                granted += eps;
+            }
+        }
+        prop_assert!(granted <= total + 1e-9);
+        prop_assert!((budget.spent() - granted).abs() < 1e-9);
+        prop_assert!((budget.remaining() - (total - granted)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn laplace_mechanism_is_finite_and_unbiased_in_aggregate(
+        true_value in -1e6f64..1e6,
+        eps in 0.05f64..5.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 2_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = laplace_mechanism(true_value, 1.0, eps, &mut rng).unwrap();
+            prop_assert!(v.is_finite());
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        // Laplace noise is zero-mean; with scale 1/eps the standard error
+        // of the mean over n samples is sqrt(2)/(eps*sqrt(n)).
+        let tolerance = 8.0 * std::f64::consts::SQRT_2 / (eps * (n as f64).sqrt());
+        prop_assert!((mean - true_value).abs() < tolerance,
+            "mean {mean} vs {true_value} (tol {tolerance})");
+    }
+
+    #[test]
+    fn randomized_response_flips_at_expected_rate(
+        eps in 0.1f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 5_000;
+        let flips = (0..n)
+            .filter(|_| !randomized_response(true, eps, &mut rng).unwrap())
+            .count();
+        let p_flip = 1.0 / (eps.exp() + 1.0);
+        let observed = flips as f64 / n as f64;
+        prop_assert!((observed - p_flip).abs() < 0.05, "{observed} vs {p_flip}");
+    }
+
+    #[test]
+    fn cloaking_is_idempotent_and_bounded(
+        east in -1e5f64..1e5,
+        north in -1e5f64..1e5,
+        cell in 1.0f64..5_000.0,
+    ) {
+        let grid = CloakGrid::new(cell).unwrap();
+        let p = Enu::new(east, north, 0.0);
+        let once = grid.cloak(p);
+        let twice = grid.cloak(once);
+        prop_assert_eq!(once, twice, "cloaking must be idempotent");
+        // Displacement bounded by half the cell diagonal.
+        let d = once.distance(p);
+        prop_assert!(d <= cell * std::f64::consts::SQRT_2 / 2.0 + 1e-9, "{d} > diag/2");
+    }
+
+    #[test]
+    fn k_anonymity_cells_contain_k(
+        pts in prop::collection::vec((-2e3f64..2e3, -2e3f64..2e3), 2..60),
+        k in 1usize..5,
+    ) {
+        let positions: Vec<Enu> = pts.iter().map(|&(e, n)| Enu::new(e, n, 0.0)).collect();
+        let k = k.min(positions.len());
+        let (cloaked, cell, satisfied) =
+            cloak_k_anonymous(&positions, k, &[50.0, 200.0, 1_000.0, 10_000.0]).unwrap();
+        prop_assert_eq!(cloaked.len(), positions.len());
+        if satisfied {
+            let grid = CloakGrid::new(cell).unwrap();
+            let mut counts: std::collections::HashMap<(i64, i64), usize> = Default::default();
+            for p in &positions {
+                *counts.entry(grid.cell_of(*p)).or_insert(0) += 1;
+            }
+            prop_assert!(counts.values().all(|c| *c >= k));
+        }
+    }
+
+    #[test]
+    fn geo_noise_grows_as_epsilon_shrinks(
+        seed in any::<u64>(),
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mean_r = |eps: f64, rng: &mut rand::rngs::StdRng| {
+            let mut s = 0.0;
+            for _ in 0..800 {
+                s += geo_indistinguishable(Enu::default(), eps, rng).unwrap().horizontal_norm();
+            }
+            s / 800.0
+        };
+        let strong = mean_r(0.005, &mut rng);
+        let weak = mean_r(0.05, &mut rng);
+        prop_assert!(strong > weak, "strong {strong} <= weak {weak}");
+    }
+
+    #[test]
+    fn signature_self_similarity_is_max(
+        pts in prop::collection::vec((-2e3f64..2e3, -2e3f64..2e3), 1..100),
+        cell in 10.0f64..500.0,
+        top_k in 1usize..8,
+    ) {
+        let trace = Trace::new(pts.iter().map(|&(e, n)| Enu::new(e, n, 0.0)).collect());
+        let sig = LocationSignature::build(&trace, cell, top_k).unwrap();
+        let self_sim = sig.similarity(&sig);
+        prop_assert!(self_sim <= 1.0 + 1e-9);
+        // Self-similarity equals the captured visit mass (≤ 1, = 1 when
+        // top_k covers every visited cell).
+        let mass: f64 = sig.cells().iter().map(|(_, f)| f).sum();
+        prop_assert!((self_sim - mass).abs() < 1e-9);
+    }
+}

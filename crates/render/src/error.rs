@@ -1,0 +1,35 @@
+//! Error types for the presentation layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the presentation layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RenderError {
+    /// A camera or viewport parameter was out of domain.
+    InvalidParameter(&'static str),
+    /// An overlay item id was not found in the scene graph.
+    UnknownItem(u64),
+}
+
+impl fmt::Display for RenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenderError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            RenderError::UnknownItem(id) => write!(f, "unknown overlay item {id}"),
+        }
+    }
+}
+
+impl Error for RenderError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(RenderError::InvalidParameter("fov").to_string().contains("fov"));
+        assert!(RenderError::UnknownItem(3).to_string().contains('3'));
+    }
+}

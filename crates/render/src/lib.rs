@@ -1,0 +1,34 @@
+//! AR presentation for the Augur platform.
+//!
+//! §2.1 of the paper is blunt about the state of the art: "floating
+//! bubbles … seem to be pointless and no improvement on a 2D map".
+//! Getting from bubbles to content that reads as part of the world takes
+//! exactly the machinery this crate provides:
+//!
+//! - [`scene`]: the scene graph of overlay items in world space.
+//! - [`view`]: the display camera — frustum culling and perspective
+//!   projection into a pixel viewport.
+//! - [`layout`]: screen-space label placement — the naive bubble
+//!   baseline, a greedy priority declutterer, and a force-directed
+//!   refiner, with overlap/displacement metrics (experiment E4).
+//! - [`occlusion`]: visibility classification against the city model and
+//!   the "x-ray vision" reveal mode (experiment E5).
+//! - [`frame`]: frame-budget accounting and distance-based level of
+//!   detail, enforcing the 30 Hz interactivity bound (Azuma's second
+//!   requirement).
+
+pub mod error;
+pub mod frame;
+pub mod layout;
+pub mod occlusion;
+pub mod scene;
+pub mod view;
+
+pub use error::RenderError;
+pub use frame::{FrameBudget, LodLevel, StageTiming};
+pub use layout::{
+    force_layout, greedy_layout, naive_layout, LabelBox, LayoutMetrics, PlacedLabel,
+};
+pub use occlusion::{classify_visibility, xray_reveals, OcclusionClass, OcclusionIndex, XRayReveal};
+pub use scene::{OverlayItem, OverlayKind, SceneGraph};
+pub use view::{ViewCamera, Viewport};

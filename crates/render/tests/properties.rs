@@ -1,0 +1,109 @@
+//! Property-based tests for the presentation layer.
+
+use augur_geo::Enu;
+use augur_render::{
+    force_layout, greedy_layout, naive_layout, LabelBox, LayoutMetrics, LodLevel, ViewCamera,
+    Viewport,
+};
+use proptest::prelude::*;
+
+fn arb_labels() -> impl Strategy<Value = Vec<LabelBox>> {
+    prop::collection::vec(
+        (50.0f64..1870.0, 50.0f64..1030.0, 0.0f64..1.0),
+        1..60,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y, p))| LabelBox {
+                id: i as u64,
+                anchor_px: (x, y),
+                width_px: 120.0,
+                height_px: 30.0,
+                priority: p,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn greedy_layout_never_overlaps_and_never_invents(labels in arb_labels()) {
+        let vp = Viewport::default();
+        let placed = greedy_layout(&labels, vp);
+        let m = LayoutMetrics::measure(&labels, &placed);
+        prop_assert_eq!(m.overlap_ratio, 0.0);
+        prop_assert!(placed.len() <= labels.len());
+        let ids: std::collections::HashSet<u64> = labels.iter().map(|l| l.id).collect();
+        for p in &placed {
+            prop_assert!(ids.contains(&p.id));
+        }
+        // No duplicate placements.
+        let mut seen = std::collections::HashSet::new();
+        for p in &placed {
+            prop_assert!(seen.insert(p.id));
+        }
+    }
+
+    #[test]
+    fn force_layout_never_overlaps(labels in arb_labels(), iters in 5usize..60) {
+        let vp = Viewport::default();
+        let placed = force_layout(&labels, vp, iters);
+        let m = LayoutMetrics::measure(&labels, &placed);
+        prop_assert_eq!(m.overlap_ratio, 0.0);
+    }
+
+    #[test]
+    fn all_layouts_confine_to_viewport(labels in arb_labels()) {
+        let vp = Viewport::default();
+        for placed in [greedy_layout(&labels, vp), force_layout(&labels, vp, 30)] {
+            for p in &placed {
+                let l = labels.iter().find(|l| l.id == p.id).unwrap();
+                prop_assert!(p.center_px.0 - l.width_px / 2.0 >= -1e-9);
+                prop_assert!(p.center_px.1 - l.height_px / 2.0 >= -1e-9);
+                prop_assert!(p.center_px.0 + l.width_px / 2.0 <= vp.width_px as f64 + 1e-9);
+                prop_assert!(p.center_px.1 + l.height_px / 2.0 <= vp.height_px as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn naive_layout_is_identity_on_anchors(labels in arb_labels()) {
+        let placed = naive_layout(&labels, Viewport::default());
+        prop_assert_eq!(placed.len(), labels.len());
+        for (p, l) in placed.iter().zip(&labels) {
+            prop_assert_eq!(p.center_px, l.anchor_px);
+            prop_assert_eq!(p.displacement(), 0.0);
+        }
+    }
+
+    #[test]
+    fn projection_round_trip_bearing(
+        east in -500.0f64..500.0,
+        north in 10.0f64..500.0,
+        heading in 0.0f64..360.0,
+    ) {
+        // A point projected on-screen must be inside the horizontal FoV
+        // as seen from the camera.
+        let cam = ViewCamera::new(Enu::new(0.0, 0.0, 1.6), heading, 66.0, Viewport::default(), 2_000.0)
+            .unwrap();
+        let p = Enu::new(east, north, 1.6);
+        if let Some((u, _)) = cam.project(p) {
+            prop_assert!((0.0..=1920.0).contains(&u));
+            let (right, forward, _) = cam.to_camera(p);
+            let angle = right.atan2(forward).to_degrees().abs();
+            prop_assert!(angle <= 33.0 + 1e-6, "angle {angle} beyond half-FoV");
+        }
+    }
+
+    #[test]
+    fn lod_is_monotone_in_distance(d1 in 0.0f64..1_000.0, d2 in 0.0f64..1_000.0) {
+        let far = 1_000.0;
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let l1 = LodLevel::for_distance(lo, far);
+        let l2 = LodLevel::for_distance(hi, far);
+        // Closer never renders with less detail.
+        prop_assert!(l1.cost_weight() >= l2.cost_weight());
+    }
+}

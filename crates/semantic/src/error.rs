@@ -1,0 +1,46 @@
+//! Error types for the semantic layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the semantic layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SemanticError {
+    /// JSON text failed to parse at the given byte offset.
+    JsonParse { offset: usize, message: String },
+    /// A JSON document parsed but did not match the expected shape.
+    JsonShape(String),
+    /// A rule or parameter was out of domain.
+    InvalidRule(&'static str),
+}
+
+impl fmt::Display for SemanticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticError::JsonParse { offset, message } => {
+                write!(f, "json parse error at byte {offset}: {message}")
+            }
+            SemanticError::JsonShape(what) => write!(f, "unexpected json shape: {what}"),
+            SemanticError::InvalidRule(what) => write!(f, "invalid rule: {what}"),
+        }
+    }
+}
+
+impl Error for SemanticError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        let e = SemanticError::JsonParse {
+            offset: 5,
+            message: "expected ':'".into(),
+        };
+        assert!(e.to_string().contains("byte 5"));
+        assert!(SemanticError::JsonShape("missing id".into())
+            .to_string()
+            .contains("missing id"));
+    }
+}

@@ -1,0 +1,470 @@
+//! A minimal JSON reader/writer.
+//!
+//! Kept in-tree (rather than pulling `serde_json`) so the ARML wire
+//! format has no external dependency; see DESIGN.md. Supports the full
+//! JSON data model with the usual escapes; numbers are `f64`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::error::SemanticError;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object (sorted keys, so output is canonical).
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Parses a JSON document.
+    ///
+    /// # Errors
+    ///
+    /// [`SemanticError::JsonParse`] with the byte offset of the problem.
+    pub fn parse(text: &str) -> Result<JsonValue, SemanticError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(err(pos, "trailing characters"));
+        }
+        Ok(v)
+    }
+
+    /// Serialises to compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            JsonValue::String(s) => write_string(s, out),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Convenience: the value as an object map.
+    ///
+    /// # Errors
+    ///
+    /// [`SemanticError::JsonShape`] when the value is not an object.
+    pub fn as_object(&self) -> Result<&BTreeMap<String, JsonValue>, SemanticError> {
+        match self {
+            JsonValue::Object(m) => Ok(m),
+            other => Err(SemanticError::JsonShape(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Convenience: the value as an array.
+    ///
+    /// # Errors
+    ///
+    /// [`SemanticError::JsonShape`] when the value is not an array.
+    pub fn as_array(&self) -> Result<&[JsonValue], SemanticError> {
+        match self {
+            JsonValue::Array(a) => Ok(a),
+            other => Err(SemanticError::JsonShape(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Convenience: the value as a string slice.
+    ///
+    /// # Errors
+    ///
+    /// [`SemanticError::JsonShape`] when the value is not a string.
+    pub fn as_str(&self) -> Result<&str, SemanticError> {
+        match self {
+            JsonValue::String(s) => Ok(s),
+            other => Err(SemanticError::JsonShape(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Convenience: the value as a number.
+    ///
+    /// # Errors
+    ///
+    /// [`SemanticError::JsonShape`] when the value is not a number.
+    pub fn as_f64(&self) -> Result<f64, SemanticError> {
+        match self {
+            JsonValue::Number(n) => Ok(*n),
+            other => Err(SemanticError::JsonShape(format!(
+                "expected number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Fetches a required object field.
+    ///
+    /// # Errors
+    ///
+    /// [`SemanticError::JsonShape`] when absent or not an object.
+    pub fn field<'a>(&'a self, name: &str) -> Result<&'a JsonValue, SemanticError> {
+        self.as_object()?
+            .get(name)
+            .ok_or_else(|| SemanticError::JsonShape(format!("missing field {name:?}")))
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "bool",
+            JsonValue::Number(_) => "number",
+            JsonValue::String(_) => "string",
+            JsonValue::Array(_) => "array",
+            JsonValue::Object(_) => "object",
+        }
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Number(v)
+    }
+}
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::String(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::String(v)
+    }
+}
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        JsonValue::Array(v)
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn err(offset: usize, message: &str) -> SemanticError {
+    SemanticError::JsonParse {
+        offset,
+        message: message.to_string(),
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, SemanticError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(err(*pos, "unexpected end of input")),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(
+    b: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, SemanticError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*pos, "invalid literal"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, SemanticError> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(err(start, "expected a value"));
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|n| n.is_finite())
+        .map(JsonValue::Number)
+        .ok_or_else(|| err(start, "invalid number"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, SemanticError> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(err(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let code = std::str::from_utf8(hex)
+                            .ok()
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| err(*pos, "invalid \\u escape"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err(*pos, "invalid escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let s = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| err(*pos, "invalid utf-8"))?;
+                let c = s.chars().next().expect("non-empty by bounds check");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, SemanticError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(err(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, SemanticError> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(err(*pos, "expected object key"));
+        }
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(err(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => {
+                *pos += 1;
+            }
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(map));
+            }
+            _ => return Err(err(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(JsonValue::parse(" -1.5e2 ").unwrap(), JsonValue::Number(-150.0));
+        assert_eq!(
+            JsonValue::parse("\"a\\nb\"").unwrap(),
+            JsonValue::String("a\nb".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = JsonValue::parse(r#"{"a": [1, 2, {"b": "x"}], "c": null}"#).unwrap();
+        let a = v.field("a").unwrap().as_array().unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[2].field("b").unwrap().as_str().unwrap(), "x");
+        assert_eq!(v.field("c").unwrap(), &JsonValue::Null);
+    }
+
+    #[test]
+    fn round_trips() {
+        let docs = [
+            r#"{"a":[1,2.5,{"b":"x"}],"c":null,"d":true}"#,
+            r#"[]"#,
+            r#"{}"#,
+            r#"{"s":"quote \" backslash \\ newline \n"}"#,
+            r#"[0,-1,123456789]"#,
+        ];
+        for d in docs {
+            let v = JsonValue::parse(d).unwrap();
+            let text = v.to_json();
+            let again = JsonValue::parse(&text).unwrap();
+            assert_eq!(v, again, "round trip of {d}");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        let v = JsonValue::parse(r#""Aé""#).unwrap();
+        assert_eq!(v, JsonValue::String("Aé".into()));
+        // Non-ASCII passes through raw too.
+        let v = JsonValue::parse("\"héllo\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "héllo");
+    }
+
+    #[test]
+    fn error_offsets_are_reported() {
+        let e = JsonValue::parse(r#"{"a" 1}"#).unwrap_err();
+        match e {
+            SemanticError::JsonParse { offset, .. } => assert_eq!(offset, 5),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(JsonValue::parse("").is_err());
+        assert!(JsonValue::parse("[1,]").is_err());
+        assert!(JsonValue::parse("{\"a\":1} x").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+        assert!(JsonValue::parse("1e999").is_err(), "non-finite rejected");
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let v = JsonValue::parse(r#"{"n": 3}"#).unwrap();
+        assert_eq!(v.field("n").unwrap().as_f64().unwrap(), 3.0);
+        assert!(v.field("missing").is_err());
+        assert!(v.as_array().is_err());
+        assert!(JsonValue::Null.as_object().is_err());
+        assert!(JsonValue::Bool(true).as_str().is_err());
+    }
+
+    #[test]
+    fn canonical_object_key_order() {
+        let v = JsonValue::parse(r#"{"b":1,"a":2}"#).unwrap();
+        assert_eq!(v.to_json(), r#"{"a":2,"b":1}"#);
+    }
+
+    #[test]
+    fn control_characters_escaped_on_write() {
+        let v = JsonValue::String("\u{0001}".into());
+        assert_eq!(v.to_json(), "\"\\u0001\"");
+        assert_eq!(JsonValue::parse(&v.to_json()).unwrap(), v);
+    }
+}

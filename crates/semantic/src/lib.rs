@@ -1,0 +1,31 @@
+//! Semantic layer: the interpretation bridge between big-data analytics
+//! and AR presentation.
+//!
+//! §4.2 of the paper identifies *interpretation* as a core challenge:
+//! "the output of a customer behaviour analysis system is normally
+//! customer stats, but AR is responsible for how to use the stats", and
+//! points to ARML-style standard formats as the way forward. This crate
+//! supplies that bridge:
+//!
+//! - [`json`]: a minimal JSON reader/writer (kept in-tree so the wire
+//!   format has no external dependency).
+//! - [`arml`]: an ARML-inspired content model — [`Feature`]s carrying
+//!   [`Anchor`]s and [`VirtualAsset`]s — with JSON round-tripping.
+//! - [`interpret`]: a rule engine translating analytics outputs
+//!   ([`Fact`]s) into AR [`Directive`]s under user context.
+//! - [`link`]: cross-source entity linking that merges the "fragmented,
+//!   redundant" records of §3.2 into unified entities.
+
+pub mod arml;
+pub mod error;
+pub mod interpret;
+pub mod json;
+pub mod link;
+
+pub use arml::{Anchor, Feature, FeatureId, VirtualAsset};
+pub use error::SemanticError;
+pub use interpret::{
+    ActionTemplate, Condition, Directive, Fact, InterpretationEngine, Rule, UserContext,
+};
+pub use json::JsonValue;
+pub use link::{link_entities, EntityRecord, LinkParams, LinkedEntity};

@@ -1,0 +1,36 @@
+//! Sensor simulation for the Augur platform.
+//!
+//! The paper assumes a fleet of "walking data generators": phones and
+//! wearables producing GPS fixes, inertial measurements, camera features,
+//! and physiological vitals. None of that hardware is available to a
+//! library build, so this crate provides parameterised simulators that
+//! produce the same *statistical* signal the downstream code paths care
+//! about — noise, bias, drop-out, rates — with deterministic seeding so
+//! experiments are reproducible.
+//!
+//! - [`clock`]: simulated time ([`Timestamp`], [`SimClock`]).
+//! - [`trajectory`]: ground-truth motion models (random waypoint, road
+//!   grid walk, Lévy flight per González et al.).
+//! - [`gps`]: noisy positional fixes with urban-canyon degradation.
+//! - [`imu`]: accelerometer/gyroscope with bias and random walk.
+//! - [`camera`]: pixel observations of known anchors with drop-out.
+//! - [`physio`]: vitals streams with injected anomaly episodes.
+//! - [`event`]: the unified [`SensorEvent`] envelope fed into streams.
+
+pub mod camera;
+pub mod clock;
+pub mod event;
+pub mod gps;
+pub mod imu;
+pub mod physio;
+pub mod trajectory;
+
+pub use camera::{AnchorObservation, CameraModel, CameraSensor};
+pub use clock::{SimClock, Timestamp};
+pub use event::{DeviceId, SensorEvent, SensorReading};
+pub use gps::{GpsFix, GpsParams, GpsSensor};
+pub use imu::{ImuParams, ImuReading, ImuSensor};
+pub use physio::{AnomalyKind, VitalSign, VitalsParams, VitalsGenerator, VitalsSample};
+pub use trajectory::{
+    LevyFlight, MotionState, RandomWaypoint, RoadGridWalk, Trajectory, TrajectoryParams,
+};

@@ -1,0 +1,53 @@
+//! Error types for the storage substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the storage engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// A column name was not found in the schema.
+    UnknownColumn(String),
+    /// A row's arity or types did not match the schema.
+    SchemaMismatch(String),
+    /// A series id was not registered.
+    UnknownSeries(u64),
+    /// Samples must be appended in non-decreasing time order per series.
+    OutOfOrderSample { series: u64, t_us: u64, last_us: u64 },
+    /// A parameter was out of its valid domain.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
+            StoreError::SchemaMismatch(what) => write!(f, "schema mismatch: {what}"),
+            StoreError::UnknownSeries(id) => write!(f, "unknown series {id}"),
+            StoreError::OutOfOrderSample { series, t_us, last_us } => write!(
+                f,
+                "out-of-order sample for series {series}: {t_us} < last {last_us}"
+            ),
+            StoreError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(StoreError::UnknownColumn("x".into()).to_string().contains("x"));
+        assert!(StoreError::OutOfOrderSample {
+            series: 1,
+            t_us: 5,
+            last_us: 9
+        }
+        .to_string()
+        .contains("out-of-order"));
+    }
+}

@@ -1,0 +1,26 @@
+//! Storage substrate for the Augur platform.
+//!
+//! The paper's "Volume" dimension needs somewhere for the torrent to
+//! land. Three engines cover the platform's access patterns:
+//!
+//! - [`LsmStore`]: a log-structured merge key-value store (memtable →
+//!   sorted runs → compaction) for entity state: user profiles, POI
+//!   metadata, device registrations.
+//! - [`TimeSeriesStore`]: append-only per-series samples with range
+//!   queries and downsampling, for sensor history.
+//! - [`ColumnTable`]: a columnar table with predicate pushdown for the
+//!   analytical scans the batch side of experiment E2 runs.
+//!
+//! All three are in-memory: durability is out of scope (the paper's
+//! concern is the analysis pipeline, not disks), but the *asymptotics and
+//! interfaces* match their on-disk counterparts.
+
+pub mod columnar;
+pub mod error;
+pub mod lsm;
+pub mod timeseries;
+
+pub use columnar::{ColumnTable, ColumnType, Predicate, Schema, Value};
+pub use error::StoreError;
+pub use lsm::{LsmParams, LsmStats, LsmStore};
+pub use timeseries::{Downsample, Sample, SeriesId, TimeSeriesStore};

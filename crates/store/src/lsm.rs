@@ -1,0 +1,363 @@
+//! A log-structured merge key-value store.
+//!
+//! Writes land in a sorted memtable; when it exceeds the flush threshold
+//! it becomes an immutable sorted run. Reads consult the memtable, then
+//! runs newest-first. Compaction merges all runs, dropping shadowed
+//! versions and tombstones. The shape — write-optimised ingest with
+//! read amplification bounded by run count — is the same trade the
+//! paper's data-hungry ingestion side makes.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use bytes::Bytes;
+
+use crate::error::StoreError;
+
+/// Tuning for [`LsmStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LsmParams {
+    /// Memtable entry count that triggers a flush to a sorted run.
+    pub memtable_flush_entries: usize,
+    /// Run count that triggers automatic full compaction.
+    pub compaction_trigger_runs: usize,
+}
+
+impl Default for LsmParams {
+    fn default() -> Self {
+        LsmParams {
+            memtable_flush_entries: 4096,
+            compaction_trigger_runs: 8,
+        }
+    }
+}
+
+/// Statistics snapshot of an [`LsmStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LsmStats {
+    /// Entries currently in the memtable.
+    pub memtable_entries: usize,
+    /// Number of immutable sorted runs.
+    pub runs: usize,
+    /// Total entries across runs (including shadowed and tombstones).
+    pub run_entries: usize,
+    /// Flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+}
+
+// A run entry: None = tombstone.
+type RunEntry = (Bytes, Option<Bytes>);
+
+/// The LSM store; see the module docs.
+///
+/// # Example
+///
+/// ```
+/// use augur_store::LsmStore;
+///
+/// let mut db = LsmStore::new(Default::default());
+/// db.put(b"user:1".as_ref(), b"alice".as_ref());
+/// assert_eq!(db.get(b"user:1").as_deref(), Some(b"alice".as_ref()));
+/// db.delete(b"user:1".as_ref());
+/// assert_eq!(db.get(b"user:1"), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LsmStore {
+    params: LsmParams,
+    memtable: BTreeMap<Bytes, Option<Bytes>>,
+    runs: Vec<Vec<RunEntry>>, // newest last; each sorted by key
+    stats_flushes: u64,
+    stats_compactions: u64,
+}
+
+impl Default for LsmStore {
+    fn default() -> Self {
+        Self::new(LsmParams::default())
+    }
+}
+
+impl LsmStore {
+    /// Creates an empty store.
+    pub fn new(params: LsmParams) -> Self {
+        LsmStore {
+            params,
+            memtable: BTreeMap::new(),
+            runs: Vec::new(),
+            stats_flushes: 0,
+            stats_compactions: 0,
+        }
+    }
+
+    /// Inserts or overwrites a key.
+    pub fn put(&mut self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        self.memtable.insert(key.into(), Some(value.into()));
+        self.maybe_flush();
+    }
+
+    /// Deletes a key (writes a tombstone).
+    pub fn delete(&mut self, key: impl Into<Bytes>) {
+        self.memtable.insert(key.into(), None);
+        self.maybe_flush();
+    }
+
+    /// Looks a key up (memtable first, then runs newest-first).
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        if let Some(v) = self.memtable.get(key) {
+            return v.clone();
+        }
+        for run in self.runs.iter().rev() {
+            if let Ok(i) = run.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
+                return run[i].1.clone();
+            }
+        }
+        None
+    }
+
+    /// Iterates live key-value pairs with keys in `[start, end)`, in key
+    /// order, resolving shadowing across memtable and runs.
+    pub fn scan(&self, start: &[u8], end: &[u8]) -> Vec<(Bytes, Bytes)> {
+        // Merge all sources; newer sources win. Collect into a BTreeMap
+        // applying oldest-first so newer overwrite.
+        let mut merged: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        for run in &self.runs {
+            let from = run.partition_point(|(k, _)| k.as_ref() < start);
+            for (k, v) in &run[from..] {
+                if k.as_ref() >= end {
+                    break;
+                }
+                merged.insert(k.clone(), v.clone());
+            }
+        }
+        for (k, v) in self.memtable.range::<[u8], _>((
+            Bound::Included(start),
+            Bound::Excluded(end),
+        )) {
+            merged.insert(k.clone(), v.clone());
+        }
+        merged
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .collect()
+    }
+
+    /// Number of live keys (linear; intended for tests and reports).
+    pub fn len(&self) -> usize {
+        // Merge every source, newest last, and count non-tombstones.
+        let mut merged: BTreeMap<&[u8], bool> = BTreeMap::new();
+        for run in &self.runs {
+            for (k, v) in run {
+                merged.insert(k.as_ref(), v.is_some());
+            }
+        }
+        for (k, v) in &self.memtable {
+            merged.insert(k.as_ref(), v.is_some());
+        }
+        merged.values().filter(|live| **live).count()
+    }
+
+    /// Whether the store holds no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Forces the memtable out to a run.
+    pub fn flush(&mut self) {
+        if self.memtable.is_empty() {
+            return;
+        }
+        let run: Vec<RunEntry> = std::mem::take(&mut self.memtable).into_iter().collect();
+        self.runs.push(run);
+        self.stats_flushes += 1;
+        if self.runs.len() >= self.params.compaction_trigger_runs {
+            self.compact();
+        }
+    }
+
+    fn maybe_flush(&mut self) {
+        if self.memtable.len() >= self.params.memtable_flush_entries {
+            self.flush();
+        }
+    }
+
+    /// Merges all runs into one, dropping shadowed versions and
+    /// tombstones.
+    pub fn compact(&mut self) {
+        if self.runs.len() <= 1 {
+            return;
+        }
+        let mut merged: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        for run in self.runs.drain(..) {
+            for (k, v) in run {
+                merged.insert(k, v);
+            }
+        }
+        let compacted: Vec<RunEntry> = merged
+            .into_iter()
+            .filter(|(_, v)| v.is_some())
+            .collect();
+        if !compacted.is_empty() {
+            self.runs.push(compacted);
+        }
+        self.stats_compactions += 1;
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> LsmStats {
+        LsmStats {
+            memtable_entries: self.memtable.len(),
+            runs: self.runs.len(),
+            run_entries: self.runs.iter().map(|r| r.len()).sum(),
+            flushes: self.stats_flushes,
+            compactions: self.stats_compactions,
+        }
+    }
+
+    /// Validates an `LsmParams` before use elsewhere.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidParameter`] if any threshold is zero.
+    pub fn validate_params(params: &LsmParams) -> Result<(), StoreError> {
+        if params.memtable_flush_entries == 0 {
+            return Err(StoreError::InvalidParameter("memtable_flush_entries"));
+        }
+        if params.compaction_trigger_runs == 0 {
+            return Err(StoreError::InvalidParameter("compaction_trigger_runs"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LsmStore {
+        LsmStore::new(LsmParams {
+            memtable_flush_entries: 8,
+            compaction_trigger_runs: 4,
+        })
+    }
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut db = LsmStore::default();
+        db.put(b"k".as_ref(), b"v1".as_ref());
+        db.put(b"k".as_ref(), b"v2".as_ref());
+        assert_eq!(db.get(b"k").as_deref(), Some(b"v2".as_ref()));
+        assert_eq!(db.get(b"missing"), None);
+    }
+
+    #[test]
+    fn delete_shadows_older_runs() {
+        let mut db = small();
+        db.put(b"a".as_ref(), b"1".as_ref());
+        db.flush();
+        db.delete(b"a".as_ref());
+        assert_eq!(db.get(b"a"), None);
+        db.flush();
+        assert_eq!(db.get(b"a"), None, "tombstone must survive flush");
+    }
+
+    #[test]
+    fn newest_run_wins() {
+        let mut db = small();
+        db.put(b"x".as_ref(), b"old".as_ref());
+        db.flush();
+        db.put(b"x".as_ref(), b"new".as_ref());
+        db.flush();
+        assert_eq!(db.get(b"x").as_deref(), Some(b"new".as_ref()));
+    }
+
+    #[test]
+    fn automatic_flush_on_threshold() {
+        let mut db = small();
+        for i in 0..20u8 {
+            db.put(vec![i], vec![i]);
+        }
+        let s = db.stats();
+        assert!(s.flushes >= 2, "flushes {}", s.flushes);
+        for i in 0..20u8 {
+            assert_eq!(db.get(&[i]).as_deref(), Some([i].as_ref()));
+        }
+    }
+
+    #[test]
+    fn compaction_collapses_runs_and_drops_tombstones() {
+        let mut db = small();
+        for i in 0..16u8 {
+            db.put(vec![i], vec![i]);
+        }
+        db.flush();
+        for i in 0..8u8 {
+            db.delete(vec![i]);
+        }
+        db.flush();
+        db.compact();
+        let s = db.stats();
+        assert_eq!(s.runs, 1);
+        assert_eq!(s.run_entries, 8, "tombstones and shadowed gone");
+        assert_eq!(db.len(), 8);
+        assert_eq!(db.get(&[3]), None);
+        assert_eq!(db.get(&[12]).as_deref(), Some([12].as_ref()));
+    }
+
+    #[test]
+    fn scan_is_ordered_and_resolves_shadowing() {
+        let mut db = small();
+        for i in (0..30u8).rev() {
+            db.put(vec![i], vec![i]);
+        }
+        db.delete(vec![5u8]);
+        db.put(vec![6u8], vec![66u8]);
+        let hits = db.scan(&[3], &[8]);
+        let keys: Vec<u8> = hits.iter().map(|(k, _)| k[0]).collect();
+        assert_eq!(keys, vec![3, 4, 6, 7]);
+        let six = hits.iter().find(|(k, _)| k[0] == 6).unwrap();
+        assert_eq!(six.1.as_ref(), &[66u8]);
+    }
+
+    #[test]
+    fn stats_and_validate() {
+        let db = LsmStore::default();
+        assert_eq!(db.stats(), LsmStats::default());
+        assert!(LsmStore::validate_params(&LsmParams::default()).is_ok());
+        assert!(LsmStore::validate_params(&LsmParams {
+            memtable_flush_entries: 0,
+            compaction_trigger_runs: 1
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn large_workload_consistency() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let mut db = LsmStore::new(LsmParams {
+            memtable_flush_entries: 64,
+            compaction_trigger_runs: 4,
+        });
+        let mut model: std::collections::HashMap<u16, Option<u16>> =
+            std::collections::HashMap::new();
+        for _ in 0..20_000 {
+            let k: u16 = rng.gen_range(0..500);
+            if rng.gen_bool(0.2) {
+                db.delete(k.to_be_bytes().to_vec());
+                model.insert(k, None);
+            } else {
+                let v: u16 = rng.gen();
+                db.put(k.to_be_bytes().to_vec(), v.to_be_bytes().to_vec());
+                model.insert(k, Some(v));
+            }
+        }
+        for (k, v) in &model {
+            let got = db.get(&k.to_be_bytes());
+            match v {
+                Some(v) => assert_eq!(got.as_deref(), Some(v.to_be_bytes().as_ref())),
+                None => assert_eq!(got, None),
+            }
+        }
+    }
+}

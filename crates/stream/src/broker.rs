@@ -1,0 +1,508 @@
+//! The in-process partitioned-log broker.
+//!
+//! Semantics mirror a minimal Kafka: topics are split into partitions,
+//! each an append-only log with dense offsets; producers route records by
+//! key; consumer groups own disjoint partition sets and commit offsets.
+//! Everything is behind [`parking_lot`] locks so producers and consumers
+//! on different threads interleave safely — the pipeline executor relies
+//! on this.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::StreamError;
+use crate::record::{route, Offset, PartitionId, PolledRecord, Record};
+
+#[derive(Debug, Default)]
+struct Partition {
+    records: Vec<Record>,
+}
+
+#[derive(Debug)]
+struct Topic {
+    partitions: Vec<RwLock<Partition>>,
+}
+
+/// Per-topic statistics snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicStats {
+    /// Partition count.
+    pub partitions: u32,
+    /// Total records across partitions.
+    pub records: u64,
+    /// Total payload bytes across partitions.
+    pub bytes: u64,
+}
+
+/// The broker: a set of named topics. Cheap to clone (shared state).
+///
+/// # Example
+///
+/// ```
+/// use augur_stream::{Broker, Record};
+/// let broker = Broker::new();
+/// broker.create_topic("t", 2)?;
+/// let (partition, offset) = broker.append("t", Record::new(1, b"x".as_ref(), 5))?;
+/// assert_eq!(offset.0, 0);
+/// let _ = partition;
+/// # Ok::<(), augur_stream::StreamError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Broker {
+    inner: Arc<RwLock<HashMap<String, Arc<Topic>>>>,
+}
+
+impl Broker {
+    /// Creates an empty broker.
+    pub fn new() -> Self {
+        Broker::default()
+    }
+
+    /// Creates a topic with `partitions` partitions.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::TopicExists`] if the name is taken,
+    /// [`StreamError::InvalidPartitionCount`] if `partitions == 0`.
+    pub fn create_topic(&self, name: &str, partitions: u32) -> Result<(), StreamError> {
+        if partitions == 0 {
+            return Err(StreamError::InvalidPartitionCount(partitions));
+        }
+        let mut topics = self.inner.write();
+        if topics.contains_key(name) {
+            return Err(StreamError::TopicExists(name.to_string()));
+        }
+        topics.insert(
+            name.to_string(),
+            Arc::new(Topic {
+                partitions: (0..partitions)
+                    .map(|_| RwLock::new(Partition::default()))
+                    .collect(),
+            }),
+        );
+        Ok(())
+    }
+
+    fn topic(&self, name: &str) -> Result<Arc<Topic>, StreamError> {
+        self.inner
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StreamError::UnknownTopic(name.to_string()))
+    }
+
+    /// The partition a key routes to.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownTopic`] if the topic does not exist.
+    pub fn partition_for(&self, topic: &str, key: u64) -> Result<PartitionId, StreamError> {
+        let t = self.topic(topic)?;
+        Ok(PartitionId(route(key, t.partitions.len() as u32)))
+    }
+
+    /// Appends a record, routing by key. Returns the partition and the
+    /// assigned offset.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownTopic`] if the topic does not exist.
+    pub fn append(
+        &self,
+        topic: &str,
+        record: Record,
+    ) -> Result<(PartitionId, Offset), StreamError> {
+        let t = self.topic(topic)?;
+        let pid = route(record.key, t.partitions.len() as u32);
+        let mut p = t.partitions[pid as usize].write();
+        let offset = Offset(p.records.len() as u64);
+        p.records.push(record);
+        Ok((PartitionId(pid), offset))
+    }
+
+    /// Appends a batch of records (single lock acquisition per partition
+    /// group), returning the count appended.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownTopic`] if the topic does not exist.
+    pub fn append_batch(
+        &self,
+        topic: &str,
+        records: impl IntoIterator<Item = Record>,
+    ) -> Result<usize, StreamError> {
+        let t = self.topic(topic)?;
+        let n_parts = t.partitions.len() as u32;
+        let mut grouped: HashMap<u32, Vec<Record>> = HashMap::new();
+        let mut n = 0usize;
+        for r in records {
+            grouped.entry(route(r.key, n_parts)).or_default().push(r);
+            n += 1;
+        }
+        for (pid, batch) in grouped {
+            let mut p = t.partitions[pid as usize].write();
+            p.records.extend(batch);
+        }
+        Ok(n)
+    }
+
+    /// Reads up to `max` records from `partition` starting at `from`.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownTopic`] / [`StreamError::UnknownPartition`].
+    pub fn poll(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        from: u64,
+        max: usize,
+    ) -> Result<Vec<PolledRecord>, StreamError> {
+        let t = self.topic(topic)?;
+        let p = t
+            .partitions
+            .get(partition.0 as usize)
+            .ok_or(StreamError::UnknownPartition {
+                topic: topic.to_string(),
+                partition: partition.0,
+            })?
+            .read();
+        let start = (from as usize).min(p.records.len());
+        let end = (start + max).min(p.records.len());
+        Ok(p.records[start..end]
+            .iter()
+            .enumerate()
+            .map(|(i, r)| PolledRecord {
+                offset: Offset((start + i) as u64),
+                record: r.clone(),
+            })
+            .collect())
+    }
+
+    /// The end offset (next offset to be written) of a partition.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownTopic`] / [`StreamError::UnknownPartition`].
+    pub fn end_offset(&self, topic: &str, partition: PartitionId) -> Result<u64, StreamError> {
+        let t = self.topic(topic)?;
+        let p = t
+            .partitions
+            .get(partition.0 as usize)
+            .ok_or(StreamError::UnknownPartition {
+                topic: topic.to_string(),
+                partition: partition.0,
+            })?
+            .read();
+        Ok(p.records.len() as u64)
+    }
+
+    /// Number of partitions in a topic.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownTopic`] if the topic does not exist.
+    pub fn partition_count(&self, topic: &str) -> Result<u32, StreamError> {
+        Ok(self.topic(topic)?.partitions.len() as u32)
+    }
+
+    /// Statistics snapshot for a topic.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownTopic`] if the topic does not exist.
+    pub fn stats(&self, topic: &str) -> Result<TopicStats, StreamError> {
+        let t = self.topic(topic)?;
+        let mut records = 0u64;
+        let mut bytes = 0u64;
+        for p in &t.partitions {
+            let p = p.read();
+            records += p.records.len() as u64;
+            bytes += p.records.iter().map(|r| r.payload.len() as u64).sum::<u64>();
+        }
+        Ok(TopicStats {
+            partitions: t.partitions.len() as u32,
+            records,
+            bytes,
+        })
+    }
+
+    /// Topic names currently registered.
+    pub fn topics(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// A consumer group: owns committed offsets per (topic, partition) and
+/// assigns partitions to members round-robin.
+#[derive(Debug)]
+pub struct ConsumerGroup {
+    name: String,
+    broker: Broker,
+    committed: Mutex<HashMap<(String, u32), u64>>,
+    members: Mutex<Vec<String>>,
+}
+
+impl ConsumerGroup {
+    /// Creates a group against a broker.
+    pub fn new(name: &str, broker: Broker) -> Self {
+        ConsumerGroup {
+            name: name.to_string(),
+            broker,
+            committed: Mutex::new(HashMap::new()),
+            members: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers a member and returns its id. Triggers a rebalance of
+    /// partition assignments on next [`ConsumerGroup::assignment`].
+    pub fn join(&self, member: &str) -> usize {
+        let mut members = self.members.lock();
+        if let Some(i) = members.iter().position(|m| m == member) {
+            return i;
+        }
+        members.push(member.to_string());
+        members.len() - 1
+    }
+
+    /// The partitions of `topic` assigned to `member` (round-robin over
+    /// the current membership).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownTopic`] if the topic does not exist.
+    pub fn assignment(&self, topic: &str, member: &str) -> Result<Vec<PartitionId>, StreamError> {
+        let n = self.broker.partition_count(topic)?;
+        let members = self.members.lock();
+        let idx = members
+            .iter()
+            .position(|m| m == member)
+            .ok_or(StreamError::NotAssigned {
+                group: self.name.clone(),
+                partition: u32::MAX,
+            })?;
+        Ok((0..n)
+            .filter(|p| (*p as usize) % members.len() == idx)
+            .map(PartitionId)
+            .collect())
+    }
+
+    /// Polls up to `max` records from one assigned partition, starting at
+    /// the committed offset.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::NotAssigned`] if the member does not own the
+    /// partition, plus broker errors.
+    pub fn poll(
+        &self,
+        topic: &str,
+        member: &str,
+        partition: PartitionId,
+        max: usize,
+    ) -> Result<Vec<PolledRecord>, StreamError> {
+        if !self.assignment(topic, member)?.contains(&partition) {
+            return Err(StreamError::NotAssigned {
+                group: self.name.clone(),
+                partition: partition.0,
+            });
+        }
+        let from = self.committed_offset(topic, partition);
+        self.broker.poll(topic, partition, from, max)
+    }
+
+    /// Commits `offset` (the *next* offset to read) for a partition.
+    pub fn commit(&self, topic: &str, partition: PartitionId, next_offset: u64) {
+        self.committed
+            .lock()
+            .insert((topic.to_string(), partition.0), next_offset);
+    }
+
+    /// The committed next-offset for a partition (0 if never committed).
+    pub fn committed_offset(&self, topic: &str, partition: PartitionId) -> u64 {
+        *self
+            .committed
+            .lock()
+            .get(&(topic.to_string(), partition.0))
+            .unwrap_or(&0)
+    }
+
+    /// Total lag (end offset − committed) across a topic's partitions.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::UnknownTopic`] if the topic does not exist.
+    pub fn lag(&self, topic: &str) -> Result<u64, StreamError> {
+        let n = self.broker.partition_count(topic)?;
+        let mut lag = 0u64;
+        for p in 0..n {
+            let end = self.broker.end_offset(topic, PartitionId(p))?;
+            lag += end.saturating_sub(self.committed_offset(topic, PartitionId(p)));
+        }
+        Ok(lag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(key: u64, t: u64) -> Record {
+        Record::new(key, format!("v{key}").into_bytes(), t)
+    }
+
+    #[test]
+    fn create_and_duplicate_topic() {
+        let b = Broker::new();
+        assert!(b.create_topic("a", 3).is_ok());
+        assert_eq!(
+            b.create_topic("a", 3),
+            Err(StreamError::TopicExists("a".into()))
+        );
+        assert_eq!(b.create_topic("z", 0), Err(StreamError::InvalidPartitionCount(0)));
+        assert_eq!(b.topics(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn append_assigns_dense_offsets_per_partition() {
+        let b = Broker::new();
+        b.create_topic("t", 1).unwrap();
+        for i in 0..10 {
+            let (_, off) = b.append("t", rec(i, i)).unwrap();
+            assert_eq!(off.0, i);
+        }
+        assert_eq!(b.end_offset("t", PartitionId(0)).unwrap(), 10);
+    }
+
+    #[test]
+    fn same_key_preserves_order() {
+        let b = Broker::new();
+        b.create_topic("t", 8).unwrap();
+        for i in 0..100 {
+            b.append("t", Record::new(42, vec![i as u8], i)).unwrap();
+        }
+        let pid = b.partition_for("t", 42).unwrap();
+        let polled = b.poll("t", pid, 0, 1000).unwrap();
+        assert_eq!(polled.len(), 100);
+        for (i, pr) in polled.iter().enumerate() {
+            assert_eq!(pr.record.payload[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn poll_respects_from_and_max() {
+        let b = Broker::new();
+        b.create_topic("t", 1).unwrap();
+        b.append_batch("t", (0..50).map(|i| rec(0, i))).unwrap();
+        let polled = b.poll("t", PartitionId(0), 10, 5).unwrap();
+        assert_eq!(polled.len(), 5);
+        assert_eq!(polled[0].offset, Offset(10));
+        // Past the end: empty.
+        assert!(b.poll("t", PartitionId(0), 100, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_topic_and_partition_errors() {
+        let b = Broker::new();
+        assert!(matches!(
+            b.poll("nope", PartitionId(0), 0, 1),
+            Err(StreamError::UnknownTopic(_))
+        ));
+        b.create_topic("t", 1).unwrap();
+        assert!(matches!(
+            b.poll("t", PartitionId(5), 0, 1),
+            Err(StreamError::UnknownPartition { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_count_records_and_bytes() {
+        let b = Broker::new();
+        b.create_topic("t", 4).unwrap();
+        b.append_batch("t", (0..100).map(|i| rec(i, i))).unwrap();
+        let s = b.stats("t").unwrap();
+        assert_eq!(s.partitions, 4);
+        assert_eq!(s.records, 100);
+        assert!(s.bytes >= 200);
+    }
+
+    #[test]
+    fn consumer_group_assignment_partitions_disjoint() {
+        let b = Broker::new();
+        b.create_topic("t", 8).unwrap();
+        let g = ConsumerGroup::new("g", b);
+        g.join("m0");
+        g.join("m1");
+        g.join("m2");
+        let mut all: Vec<u32> = Vec::new();
+        for m in ["m0", "m1", "m2"] {
+            all.extend(g.assignment("t", m).unwrap().iter().map(|p| p.0));
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn consumer_group_poll_commit_lag() {
+        let b = Broker::new();
+        b.create_topic("t", 2).unwrap();
+        b.append_batch("t", (0..20).map(|i| rec(i, i))).unwrap();
+        let g = ConsumerGroup::new("g", b.clone());
+        g.join("m");
+        let total_before = g.lag("t").unwrap();
+        assert_eq!(total_before, 20);
+        for pid in g.assignment("t", "m").unwrap() {
+            let recs = g.poll("t", "m", pid, 100).unwrap();
+            if let Some(last) = recs.last() {
+                g.commit("t", pid, last.offset.0 + 1);
+            }
+        }
+        assert_eq!(g.lag("t").unwrap(), 0);
+        // Re-poll returns nothing new.
+        for pid in g.assignment("t", "m").unwrap() {
+            assert!(g.poll("t", "m", pid, 100).unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn poll_unowned_partition_is_rejected() {
+        let b = Broker::new();
+        b.create_topic("t", 2).unwrap();
+        let g = ConsumerGroup::new("g", b);
+        g.join("m0");
+        g.join("m1");
+        // m0 owns partition 0, m1 owns partition 1.
+        assert!(matches!(
+            g.poll("t", "m0", PartitionId(1), 1),
+            Err(StreamError::NotAssigned { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_producers_do_not_lose_records() {
+        let b = Broker::new();
+        b.create_topic("t", 4).unwrap();
+        let mut handles = Vec::new();
+        for th in 0..4u64 {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    b.append("t", Record::new(th * 1000 + i, vec![0u8], i)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.stats("t").unwrap().records, 4000);
+    }
+}

@@ -1,0 +1,37 @@
+//! Error types for tracking.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the tracking layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrackError {
+    /// A filter parameter was non-positive or non-finite.
+    InvalidParameter(&'static str),
+    /// A pose was requested before any measurement initialised the filter.
+    NotInitialized,
+}
+
+impl fmt::Display for TrackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrackError::InvalidParameter(what) => write!(f, "invalid filter parameter: {what}"),
+            TrackError::NotInitialized => write!(f, "tracker has received no measurements"),
+        }
+    }
+}
+
+impl Error for TrackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TrackError::InvalidParameter("q")
+            .to_string()
+            .contains("invalid"));
+        assert!(TrackError::NotInitialized.to_string().contains("no measurements"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Tracking and registration for the Augur platform.
+//!
+//! Azuma's definition of AR — combining real and virtual, interactive in
+//! real time, registered in 3-D — makes *registration* the load-bearing
+//! requirement: virtual content must stay pinned to physical anchors as
+//! the user moves. This crate estimates device pose from the simulated
+//! sensors and quantifies how well overlays stay registered:
+//!
+//! - [`Pose`] and pose estimators: [`GpsOnlyTracker`] (raw fixes),
+//!   [`ComplementaryTracker`] (IMU dead-reckoning corrected by GPS), and
+//!   [`KalmanTracker`] (constant-velocity Kalman filter with IMU control
+//!   input and GPS measurement updates).
+//! - [`registration`]: projects anchors through estimated vs true pose
+//!   and reports pixel error — the metric of experiment E6.
+//!
+//! # Example
+//!
+//! ```
+//! use augur_track::{KalmanTracker, Tracker};
+//! use augur_sensor::{GpsParams, GpsSensor, MotionState, Timestamp};
+//! use rand::SeedableRng;
+//!
+//! let mut tracker = KalmanTracker::new(Default::default());
+//! let mut gps = GpsSensor::new(GpsParams::default(), rand::rngs::StdRng::seed_from_u64(1));
+//! let truth = MotionState::default();
+//! if let Some(fix) = gps.measure(&truth) {
+//!     tracker.update_gps(&fix);
+//! }
+//! let pose = tracker.pose(Timestamp::ZERO);
+//! assert!(pose.position.horizontal_norm() < 50.0);
+//! ```
+
+pub mod complementary;
+pub mod error;
+pub mod kalman;
+pub mod pose;
+pub mod registration;
+
+pub use complementary::{ComplementaryParams, ComplementaryTracker};
+pub use error::TrackError;
+pub use kalman::{KalmanParams, KalmanTracker};
+pub use pose::{GpsOnlyTracker, Pose, Tracker};
+pub use registration::{registration_error_px, RegistrationReport, RegistrationSummary};

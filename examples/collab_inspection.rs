@@ -1,0 +1,77 @@
+//! Collaborative field inspection (§2.2 + §3.4): multiple workers share
+//! one scene of subsurface infrastructure, each seeing their own role's
+//! layers from their own position, with private annotations.
+//!
+//! Run with: `cargo run --release --example collab_inspection`
+
+use augur::core::{CollabSession, ParticipantId, SharedOverlay};
+use augur::geo::Enu;
+use augur::render::{OverlayItem, OverlayKind, ViewCamera, Viewport};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let session = CollabSession::new();
+
+    // Two field workers at the same site, different positions and roles.
+    let electrician_cam = ViewCamera::new(
+        Enu::new(-20.0, 0.0, 1.7),
+        90.0, // facing east
+        66.0,
+        Viewport::default(),
+        300.0,
+    )?;
+    let plumber_cam = ViewCamera::new(
+        Enu::new(20.0, -10.0, 1.7),
+        0.0, // facing north
+        66.0,
+        Viewport::default(),
+        300.0,
+    )?;
+    session.join(ParticipantId(1), electrician_cam, vec!["electrical".into()]);
+    session.join(ParticipantId(2), plumber_cam, vec!["plumbing".into()]);
+
+    // The city's asset database publishes the subsurface layout once;
+    // role tags decide who sees what.
+    for (id, east, north, kind, roles) in [
+        (1u64, 10.0, 0.0, OverlayKind::Highlight(0xFFCC00), vec!["electrical".to_string()]),
+        (2, 15.0, 5.0, OverlayKind::Highlight(0xFFCC00), vec!["electrical".to_string()]),
+        (3, 20.0, 10.0, OverlayKind::Highlight(0x3399FF), vec!["plumbing".to_string()]),
+        (4, 25.0, 20.0, OverlayKind::Highlight(0x3399FF), vec!["plumbing".to_string()]),
+        (5, 18.0, 8.0, OverlayKind::Label("manhole M-17".into()), vec![]),
+    ] {
+        session.publish(SharedOverlay {
+            item: OverlayItem {
+                id,
+                anchor: Enu::new(east, north, -1.0), // below street level
+                kind,
+                priority: 0.7,
+            },
+            roles,
+        });
+    }
+
+    // The electrician marks a fault privately while diagnosing.
+    session.annotate(
+        ParticipantId(1),
+        OverlayItem {
+            id: 100,
+            anchor: Enu::new(12.0, 1.0, -1.0),
+            kind: OverlayKind::Label("suspected fault — verify before digging".into()),
+            priority: 1.0,
+        },
+    )?;
+
+    for (name, id) in [("electrician", ParticipantId(1)), ("plumber", ParticipantId(2))] {
+        let view = session.view(id)?;
+        println!("{name} sees {} overlay(s):", view.len());
+        for (item, (u, v)) in &view {
+            println!("  #{:<3} at ({u:6.0}, {v:6.0}) px — {:?}", item.id, item.kind);
+        }
+        println!();
+    }
+    println!(
+        "shared overlays: {}, participants: {} — same site, personalised views",
+        session.shared_count(),
+        session.participant_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: the smallest end-to-end Augur loop.
+//!
+//! Builds a POI database, ingests a few sensor events through the
+//! platform facade, installs one interpretation rule, and surfaces a
+//! recommendation as an AR overlay.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use augur::core::{AugurPlatform, PlatformConfig};
+use augur::geo::{poi::synthetic_database, GeoPoint, PoiId};
+use augur::semantic::{ActionTemplate, Condition, Fact, FeatureId, Rule};
+use augur::sensor::{DeviceId, SensorEvent, SensorReading, Timestamp, VitalSign, VitalsSample};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A deployment anchored at HKUST with a synthetic POI database
+    //    standing in for the proprietary feeds the paper assumes.
+    let origin = GeoPoint::new(22.3364, 114.2655)?;
+    let mut platform = AugurPlatform::new(PlatformConfig::new(origin))?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    platform.set_pois(synthetic_database(origin, 500, &mut rng)?);
+    println!("platform ready: {} POIs indexed", platform.pois().unwrap().len());
+
+    // 2. Ingest a little data: a wearable streaming heart rate.
+    for i in 0..30u64 {
+        platform.ingest(&SensorEvent::new(
+            DeviceId(1),
+            Timestamp::from_secs(i),
+            SensorReading::Vitals(VitalsSample {
+                time: Timestamp::from_secs(i),
+                patient: 1,
+                sign: VitalSign::HeartRate,
+                value: 68.0 + (i % 5) as f64,
+                in_anomaly: false,
+            }),
+        ))?;
+    }
+    println!("ingested {} events into the stream substrate", platform.ingested());
+
+    // 3. One interpretation rule: recommendations become shelf labels
+    //    while the user is shopping.
+    platform.add_rule(Rule::new(
+        "recommend",
+        vec![
+            Condition::FactIs("recommendation".into()),
+            Condition::ActivityIs("shopping".into()),
+        ],
+        ActionTemplate::ShowLabel {
+            text: "Recommended for you (score {value})".into(),
+            priority: 0.8,
+        },
+    )?);
+
+    // 4. An analytics fact arrives; the platform interprets it under the
+    //    user's context and pins the overlay to the POI.
+    let fact = Fact::new("recommendation", FeatureId(42), 0.93);
+    let directives = platform.surface(&fact, PoiId(42), Some("shopping"))?;
+    println!("interpretation fired {} directive(s):", directives.len());
+    for d in &directives {
+        println!("  {d:?}");
+    }
+    println!("scene graph now holds {} overlay item(s)", platform.scene().len());
+    Ok(())
+}

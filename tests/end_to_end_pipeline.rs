@@ -1,0 +1,157 @@
+//! End-to-end integration: sensors → platform → stream → interpretation
+//! → scene graph. Exercises the full §2–§3 loop across crates.
+
+use augur::core::{AugurPlatform, PlatformConfig};
+use augur::geo::{poi::synthetic_database, GeoPoint, PoiId};
+use augur::semantic::{ActionTemplate, Condition, Fact, FeatureId, Rule};
+use augur::sensor::{
+    DeviceId, GpsParams, GpsSensor, RandomWaypoint, SensorEvent, SensorReading, Timestamp,
+    Trajectory, TrajectoryParams, VitalSign, VitalsSample,
+};
+use augur::stream::PipelineBuilder;
+use rand::SeedableRng;
+
+fn origin() -> GeoPoint {
+    GeoPoint::new(22.3364, 114.2655).unwrap()
+}
+
+#[test]
+fn walker_gps_stream_lands_in_broker_partitions() {
+    let mut platform = AugurPlatform::new(PlatformConfig::new(origin())).unwrap();
+    let params = TrajectoryParams::default();
+    let mut walker = RandomWaypoint::new(params, rand::rngs::StdRng::seed_from_u64(1));
+    let truth = walker.sample(10.0, 30.0);
+    let mut gps = GpsSensor::new(
+        GpsParams {
+            dropout_probability: 0.0,
+            ..Default::default()
+        },
+        rand::rngs::StdRng::seed_from_u64(2),
+    );
+    let fixes = gps.track(&truth);
+    for fix in &fixes {
+        platform
+            .ingest(&SensorEvent::new(
+                DeviceId(7),
+                fix.time,
+                SensorReading::Gps(*fix),
+            ))
+            .unwrap();
+    }
+    let stats = platform.broker().stats("gps").unwrap();
+    assert_eq!(stats.records, fixes.len() as u64);
+    assert!(stats.bytes > 0);
+    // All records from one device share a partition (ordering guarantee).
+    let pid = platform.broker().partition_for("gps", 7).unwrap();
+    let polled = platform.broker().poll("gps", pid, 0, 10_000).unwrap();
+    assert_eq!(polled.len(), fixes.len());
+    // Event times are monotone within the partition.
+    for w in polled.windows(2) {
+        assert!(w[1].record.event_time_us >= w[0].record.event_time_us);
+    }
+}
+
+#[test]
+fn vitals_flow_through_platform_into_timeseries_and_pipeline() {
+    let mut platform = AugurPlatform::new(PlatformConfig::new(origin())).unwrap();
+    for t in 0..120u64 {
+        for patient in 0..3u32 {
+            platform
+                .ingest(&SensorEvent::new(
+                    DeviceId(patient as u64),
+                    Timestamp::from_secs(t),
+                    SensorReading::Vitals(VitalsSample {
+                        time: Timestamp::from_secs(t),
+                        patient,
+                        sign: VitalSign::HeartRate,
+                        value: 70.0 + patient as f64,
+                        in_anomaly: false,
+                    }),
+                ))
+                .unwrap();
+        }
+    }
+    // Time-series side: downsample patient 1's heart rate.
+    let series = platform
+        .timeseries()
+        .series_by_name("patient-1/heart-rate")
+        .unwrap();
+    let buckets = platform
+        .timeseries()
+        .downsample(series, 0, 120_000_000, 30_000_000, augur::store::Downsample::Mean)
+        .unwrap();
+    assert_eq!(buckets.len(), 4);
+    for (_, mean) in buckets {
+        assert!((mean - 71.0).abs() < 1e-9);
+    }
+    // Stream side: a pipeline over the same topic sees every record.
+    let mut pipeline = PipelineBuilder::new(platform.broker().clone(), "vitals", |r| {
+        augur::core::decode_vitals(&r.payload)
+    })
+    .build();
+    let (records, metrics) = pipeline.collect().unwrap();
+    assert_eq!(records.len(), 360);
+    assert_eq!(metrics.records_out, 360);
+}
+
+#[test]
+fn fact_to_overlay_full_loop() {
+    let mut platform = AugurPlatform::new(PlatformConfig::new(origin())).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    platform.set_pois(synthetic_database(origin(), 100, &mut rng).unwrap());
+    platform.context_mut().set_interests(vec!["food".into()]);
+    platform.context_mut().set_health_monitoring(true);
+    platform.add_rule(
+        Rule::new(
+            "interest-recommendation",
+            vec![
+                Condition::FactIs("recommendation".into()),
+                Condition::AttrInInterests("category".into()),
+            ],
+            ActionTemplate::ShowLabel {
+                text: "{category}: score {value}".into(),
+                priority: 0.9,
+            },
+        )
+        .unwrap(),
+    );
+    platform.add_rule(
+        Rule::new(
+            "health-alert",
+            vec![
+                Condition::FactIs("heart_rate".into()),
+                Condition::ValueAtLeast(115.0),
+                Condition::HealthMonitoringOn,
+            ],
+            ActionTemplate::Alert {
+                text: "HR {value}".into(),
+                severity_per_unit: 0.005,
+            },
+        )
+        .unwrap(),
+    );
+    // A matching recommendation materialises.
+    let matched = platform
+        .surface(
+            &Fact::new("recommendation", FeatureId(5), 0.8).with_attr("category", "food"),
+            PoiId(5),
+            None,
+        )
+        .unwrap();
+    assert_eq!(matched.len(), 1);
+    // A non-matching one (wrong category) does not.
+    let unmatched = platform
+        .surface(
+            &Fact::new("recommendation", FeatureId(6), 0.8).with_attr("category", "lodging"),
+            PoiId(6),
+            None,
+        )
+        .unwrap();
+    assert!(unmatched.is_empty());
+    // A health alert also lands in the scene.
+    let alert = platform
+        .surface(&Fact::new("heart_rate", FeatureId(1), 140.0), PoiId(1), None)
+        .unwrap();
+    assert_eq!(alert.len(), 1);
+    assert_eq!(platform.scene().len(), 2);
+}

@@ -1,0 +1,121 @@
+//! Integration: tracking × rendering — a fused pose drives the display
+//! camera; projected POI labels declutter; occlusion classification is
+//! consistent between display and city model.
+
+use augur::geo::{poi::synthetic_database, CityModel, CityParams, Enu, GeoPoint, LocalFrame};
+use augur::render::{
+    greedy_layout, naive_layout, xray_reveals, LabelBox, LayoutMetrics, OcclusionIndex,
+    ViewCamera, Viewport,
+};
+use augur::sensor::{
+    GpsParams, GpsSensor, ImuParams, ImuSensor, RandomWaypoint, Trajectory, TrajectoryParams,
+};
+use augur::track::{registration::run_tracker, KalmanParams, KalmanTracker};
+use rand::SeedableRng;
+
+#[test]
+fn tracked_pose_projects_pois_and_declutters() {
+    let origin = GeoPoint::new(22.3364, 114.2655).unwrap();
+    let frame = LocalFrame::new(origin);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+    let db = synthetic_database(origin, 5_000, &mut rng).unwrap();
+
+    // Track a short walk.
+    let params = TrajectoryParams {
+        half_extent_m: 150.0,
+        speed_mps: 1.4,
+        pause_s: 1.0,
+    };
+    let truth =
+        RandomWaypoint::new(params, rand::rngs::StdRng::seed_from_u64(21)).sample(30.0, 30.0);
+    let fixes = GpsSensor::new(
+        GpsParams::default(),
+        rand::rngs::StdRng::seed_from_u64(22),
+    )
+    .track(&truth);
+    let readings = ImuSensor::new(
+        ImuParams::default(),
+        rand::rngs::StdRng::seed_from_u64(23),
+    )
+    .track(&truth);
+    let mut tracker = KalmanTracker::new(KalmanParams::default());
+    let poses = run_tracker(&mut tracker, &truth, &fixes, &readings);
+    let pose = poses.last().unwrap();
+
+    // Project the nearest POIs through the estimated pose.
+    let camera = ViewCamera::new(
+        Enu::new(pose.position.east, pose.position.north, 1.6),
+        pose.heading_deg,
+        66.0,
+        Viewport::default(),
+        1_000.0,
+    )
+    .unwrap();
+    let here = frame.to_geodetic(pose.position);
+    let near = db.nearest(here, 40, None);
+    assert_eq!(near.len(), 40);
+    let labels: Vec<LabelBox> = near
+        .iter()
+        .filter_map(|poi| {
+            let e = frame.to_enu(poi.position);
+            camera
+                .project(Enu::new(e.east, e.north, 4.0))
+                .map(|px| LabelBox {
+                    id: poi.id.0,
+                    anchor_px: px,
+                    width_px: 150.0,
+                    height_px: 32.0,
+                    priority: poi.popularity,
+                })
+        })
+        .collect();
+    assert!(!labels.is_empty(), "some POIs must project into view");
+    let naive = LayoutMetrics::measure(&labels, &naive_layout(&labels, Viewport::default()));
+    let greedy = LayoutMetrics::measure(&labels, &greedy_layout(&labels, Viewport::default()));
+    assert_eq!(greedy.overlap_ratio, 0.0);
+    assert!(greedy.overlapped_label_ratio <= naive.overlapped_label_ratio);
+}
+
+#[test]
+fn occlusion_reveals_are_frustum_consistent() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(30);
+    let city = CityModel::generate(&CityParams::default(), &mut rng);
+    let index = OcclusionIndex::build(&city);
+    let camera = ViewCamera::new(
+        Enu::new(0.0, -300.0, 1.6),
+        0.0,
+        66.0,
+        Viewport::default(),
+        2_000.0,
+    )
+    .unwrap();
+    let targets: Vec<(u64, Enu)> = (0..100)
+        .map(|i| {
+            let a = i as f64 * 0.0628;
+            (
+                i as u64,
+                Enu::new(400.0 * a.cos(), 400.0 * a.sin(), 2.0 + (i % 20) as f64),
+            )
+        })
+        .collect();
+    let reveals = xray_reveals(&camera, &targets, &index);
+    for r in &reveals {
+        let (_, pos) = targets[r.target_id as usize];
+        // Every reveal decision concerns a target actually in the frustum.
+        assert!(camera.in_frustum(pos), "target {} out of view", r.target_id);
+        if r.reveal {
+            assert!(r.through_building.is_some());
+            let b = r.through_building.unwrap();
+            assert!(city.buildings().iter().any(|bd| bd.id == b));
+            assert!(city.line_of_sight_blocked(camera.position, pos));
+        } else {
+            assert!(!city.line_of_sight_blocked(camera.position, pos));
+        }
+    }
+    // And the out-of-view targets are absent from the reveal list.
+    for (id, pos) in &targets {
+        if !camera.in_frustum(*pos) {
+            assert!(reveals.iter().all(|r| r.target_id != *id));
+        }
+    }
+}
