@@ -9,7 +9,12 @@ pub enum AnalyticsError {
     /// A parameter was outside its valid domain.
     InvalidParameter(&'static str),
     /// Not enough data to compute the requested statistic.
-    InsufficientData { needed: usize, got: usize },
+    InsufficientData {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number of observations provided.
+        got: usize,
+    },
 }
 
 impl fmt::Display for AnalyticsError {

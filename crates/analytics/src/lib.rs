@@ -16,19 +16,31 @@
 //! - [`anomaly`]: streaming detectors (threshold, EWMA) that drive the
 //!   healthcare alerting experiment E9.
 
+/// Streaming anomaly detectors (threshold, EWMA).
 pub mod anomaly;
+/// The crate error type.
 pub mod error;
+/// Incrementally maintained aggregate views.
 pub mod incremental;
+/// Pattern mining: itemsets, association rules, trends, correlation.
 pub mod mining;
+/// Recommenders and their offline evaluation harness.
 pub mod recommend;
+/// Probabilistic sketches for high-rate streams.
 pub mod sketch;
 
+/// Anomaly detectors re-exported from [`anomaly`].
 pub use anomaly::{AnomalyAlert, EwmaDetector, ThresholdDetector};
+/// The crate error type, re-exported from [`error`].
 pub use error::AnalyticsError;
+/// Incremental views re-exported from [`incremental`].
 pub use incremental::{BatchAggregator, GroupedStats, IncrementalView};
+/// Mining primitives re-exported from [`mining`].
 pub use mining::{pearson, AssociationRule, FrequentItemsets, TrendDetector};
+/// Recommenders re-exported from [`recommend`].
 pub use recommend::{
     EvalReport, Interaction, ItemItemRecommender, PopularityRecommender, RandomRecommender,
     Recommender,
 };
+/// Sketches re-exported from [`sketch`].
 pub use sketch::{CountMinSketch, HyperLogLog, P2Quantile, ReservoirSample};

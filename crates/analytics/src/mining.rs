@@ -63,9 +63,10 @@ impl FrequentItemsets {
             let mut candidates: HashSet<Vec<u64>> = HashSet::new();
             for (i, a) in current.iter().enumerate() {
                 for b in current.iter().skip(i + 1) {
-                    if a[..k - 1] == b[..k - 1] {
+                    // Itemsets at level k are non-empty, so `last` always holds.
+                    if let (true, Some(&tail)) = (a[..k - 1] == b[..k - 1], b.last()) {
                         let mut c = a.clone();
-                        c.push(*b.last().expect("non-empty itemset"));
+                        c.push(tail);
                         c.sort_unstable();
                         c.dedup();
                         if c.len() == k + 1 {
@@ -129,7 +130,11 @@ impl FrequentItemsets {
                             antecedent: a,
                             consequent: b,
                             confidence: conf,
-                            lift: if support_b > 0.0 { conf / support_b } else { 0.0 },
+                            lift: if support_b > 0.0 {
+                                conf / support_b
+                            } else {
+                                0.0
+                            },
                         });
                     }
                 }
@@ -259,7 +264,10 @@ mod tests {
     fn mines_frequent_pairs() {
         let fi = FrequentItemsets::mine(&baskets(), 3, 3).unwrap();
         assert!(fi.support(&[1, 2]) >= 5.0 / 8.0);
-        assert!(fi.support(&[2, 1]) == fi.support(&[1, 2]), "order-insensitive");
+        assert!(
+            fi.support(&[2, 1]) == fi.support(&[1, 2]),
+            "order-insensitive"
+        );
         assert_eq!(fi.support(&[1, 4]), 0.0, "below min support");
     }
 
@@ -271,7 +279,11 @@ mod tests {
             .iter()
             .find(|r| r.antecedent == 1 && r.consequent == 2)
             .expect("bread→butter should be a rule");
-        assert!(bread_butter.confidence >= 0.99, "{}", bread_butter.confidence);
+        assert!(
+            bread_butter.confidence >= 0.99,
+            "{}",
+            bread_butter.confidence
+        );
         assert!(bread_butter.lift > 1.0);
     }
 
@@ -283,12 +295,7 @@ mod tests {
 
     #[test]
     fn triple_itemsets_found() {
-        let b = vec![
-            vec![1, 2, 3],
-            vec![1, 2, 3],
-            vec![1, 2, 3],
-            vec![4, 5],
-        ];
+        let b = vec![vec![1, 2, 3], vec![1, 2, 3], vec![1, 2, 3], vec![4, 5]];
         let fi = FrequentItemsets::mine(&b, 3, 3).unwrap();
         assert_eq!(fi.support(&[1, 2, 3]), 0.75);
     }

@@ -54,18 +54,21 @@ impl ItemItemRecommender {
         let mut user_items: BTreeMap<u64, BTreeMap<u64, f64>> = BTreeMap::new();
         let mut item_users: BTreeMap<u64, BTreeMap<u64, f64>> = BTreeMap::new();
         for i in log {
-            *user_items.entry(i.user).or_default().entry(i.item).or_insert(0.0) += i.weight;
-            *item_users.entry(i.item).or_default().entry(i.user).or_insert(0.0) += i.weight;
+            *user_items
+                .entry(i.user)
+                .or_default()
+                .entry(i.item)
+                .or_insert(0.0) += i.weight;
+            *item_users
+                .entry(i.item)
+                .or_default()
+                .entry(i.user)
+                .or_insert(0.0) += i.weight;
         }
         // Cosine similarity between item vectors (over users).
         let norms: BTreeMap<u64, f64> = item_users
             .iter()
-            .map(|(it, users)| {
-                (
-                    *it,
-                    users.values().map(|w| w * w).sum::<f64>().sqrt(),
-                )
-            })
+            .map(|(it, users)| (*it, users.values().map(|w| w * w).sum::<f64>().sqrt()))
             .collect();
         let mut similar: BTreeMap<u64, Vec<(u64, f64)>> = BTreeMap::new();
         // Accumulate dot products via co-occurrence through users — this
@@ -233,11 +236,7 @@ pub struct EvalReport {
 ///
 /// The recommender must have been trained on `train_log` (with the
 /// held-out interactions removed); `held_out` maps user → held item.
-pub fn evaluate<R: Recommender>(
-    rec: &R,
-    held_out: &HashMap<u64, u64>,
-    k: usize,
-) -> EvalReport {
+pub fn evaluate<R: Recommender>(rec: &R, held_out: &HashMap<u64, u64>, k: usize) -> EvalReport {
     let mut hits = 0usize;
     let mut mrr_sum = 0.0;
     // Iterate in sorted user order so the floating-point sum is
@@ -270,9 +269,10 @@ pub fn leave_one_out(log: &[Interaction]) -> (Vec<Interaction>, HashMap<u64, u64
     let mut exclude: BTreeSet<usize> = BTreeSet::new();
     for (user, idxs) in &per_user {
         if idxs.len() >= 2 {
-            let last = *idxs.last().expect("len >= 2");
-            held.insert(*user, log[last].item);
-            exclude.insert(last);
+            if let Some(&last) = idxs.last() {
+                held.insert(*user, log[last].item);
+                exclude.insert(last);
+            }
         }
     }
     let train: Vec<Interaction> = log
@@ -363,10 +363,26 @@ mod tests {
     #[test]
     fn recommendations_exclude_owned_items() {
         let log = vec![
-            Interaction { user: 1, item: 10, weight: 1.0 },
-            Interaction { user: 1, item: 11, weight: 1.0 },
-            Interaction { user: 2, item: 10, weight: 1.0 },
-            Interaction { user: 2, item: 12, weight: 1.0 },
+            Interaction {
+                user: 1,
+                item: 10,
+                weight: 1.0,
+            },
+            Interaction {
+                user: 1,
+                item: 11,
+                weight: 1.0,
+            },
+            Interaction {
+                user: 2,
+                item: 10,
+                weight: 1.0,
+            },
+            Interaction {
+                user: 2,
+                item: 12,
+                weight: 1.0,
+            },
         ];
         let cf = ItemItemRecommender::train(&log, 10);
         let recs = cf.recommend(1, 5);

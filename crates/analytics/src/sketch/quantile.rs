@@ -83,9 +83,11 @@ impl P2Quantile {
             self.q[4] = x;
             3
         } else {
+            // Total for finite x in [q0, q4); 0 is a safe seat for the
+            // pathological (NaN-tainted) case.
             (0..4)
                 .find(|&i| x >= self.q[i] && x < self.q[i + 1])
-                .expect("x within [q0, q4)")
+                .unwrap_or(0)
         };
         for i in (k + 1)..5 {
             self.n[i] += 1.0;

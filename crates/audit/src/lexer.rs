@@ -1,0 +1,379 @@
+//! A small hand-rolled Rust lexer sufficient for invariant scanning.
+//!
+//! The scanner never needs a full parse: every rule operates on *scrubbed*
+//! source, where the contents of comments and string/char literals are
+//! replaced with spaces (newlines preserved, so line numbers survive). Token
+//! patterns found in scrubbed text are therefore guaranteed to be real code,
+//! not documentation or literal data. A second pass blanks items guarded by
+//! `#[cfg(test)]`, so test-only code is exempt from library invariants.
+
+/// Replaces comment bodies and string/char literal contents with spaces.
+///
+/// Handles line comments, nested block comments, string literals with escape
+/// sequences, raw strings with arbitrary `#` fences (including byte-string
+/// `b`/`br` prefixes), char literals, and distinguishes lifetimes (`'a`) from
+/// char literals (`'a'`). Newlines inside comments and literals are preserved
+/// so diagnostics can report accurate line numbers.
+pub fn scrub(src: &str) -> String {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(bytes.len());
+    let mut i = 0usize;
+
+    // Pushes a blank for `c`: newlines survive, everything else is a space.
+    fn blank(out: &mut Vec<char>, c: char) {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+
+    fn is_ident(c: char) -> bool {
+        c.is_alphanumeric() || c == '_'
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        let prev_ident = i > 0 && is_ident(bytes[i - 1]);
+
+        // Line comment.
+        if c == '/' && next == Some('/') {
+            while i < bytes.len() && bytes[i] != '\n' {
+                blank(&mut out, bytes[i]);
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comment (nested).
+        if c == '/' && next == Some('*') {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    blank(&mut out, bytes[i]);
+                    blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    blank(&mut out, bytes[i]);
+                    blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Raw (byte) string: r"...", r#"..."#, br##"..."## — only when the
+        // prefix is not the tail of a longer identifier.
+        if !prev_ident && (c == 'r' || c == 'b') {
+            let mut j = i;
+            if bytes[j] == 'b' && bytes.get(j + 1) == Some(&'r') {
+                j += 2;
+            } else if bytes[j] == 'r' {
+                j += 1;
+            } else if bytes[j] == 'b' && bytes.get(j + 1) == Some(&'"') {
+                // b"..." plain byte string: keep the prefix, scrub as string.
+                out.push('b');
+                i += 1;
+                scrub_plain_string(&bytes, &mut i, &mut out);
+                continue;
+            } else {
+                out.push(c);
+                i += 1;
+                continue;
+            }
+            let mut hashes = 0usize;
+            while bytes.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if bytes.get(j) == Some(&'"') {
+                // Emit prefix tokens as-is, blank the body.
+                for &p in &bytes[i..=j] {
+                    out.push(p);
+                }
+                i = j + 1;
+                // Scan for closing quote followed by `hashes` hashes.
+                while i < bytes.len() {
+                    if bytes[i] == '"' {
+                        let mut k = 0usize;
+                        while k < hashes && bytes.get(i + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            out.push('"');
+                            out.extend(std::iter::repeat_n('#', hashes));
+                            i += 1 + hashes;
+                            break;
+                        }
+                    }
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+                continue;
+            }
+            // Not actually a raw string (e.g. the identifier `r` or `b`).
+            out.push(c);
+            i += 1;
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            scrub_plain_string(&bytes, &mut i, &mut out);
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if next == Some('\\') {
+                // Escaped char literal: '\n', '\u{...}', '\\' ...
+                out.push('\'');
+                i += 1;
+                while i < bytes.len() && bytes[i] != '\'' {
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+                if i < bytes.len() {
+                    out.push('\'');
+                    i += 1;
+                }
+                continue;
+            }
+            if let Some(n) = next {
+                if bytes.get(i + 2) == Some(&'\'') && n != '\'' {
+                    // Simple one-char literal 'x'.
+                    out.push('\'');
+                    out.push(' ');
+                    out.push('\'');
+                    i += 3;
+                    continue;
+                }
+            }
+            // Lifetime or label: keep as-is.
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+
+        out.push(c);
+        i += 1;
+    }
+
+    out.into_iter().collect()
+}
+
+/// Scrubs a `"..."` literal starting at `bytes[*i] == '"'`.
+fn scrub_plain_string(bytes: &[char], i: &mut usize, out: &mut Vec<char>) {
+    out.push('"');
+    *i += 1;
+    while *i < bytes.len() {
+        match bytes[*i] {
+            '\\' => {
+                // Blank the escape and whatever it escapes.
+                out.push(' ');
+                *i += 1;
+                if *i < bytes.len() {
+                    out.push(if bytes[*i] == '\n' { '\n' } else { ' ' });
+                    *i += 1;
+                }
+            }
+            '"' => {
+                out.push('"');
+                *i += 1;
+                return;
+            }
+            c => {
+                out.push(if c == '\n' { '\n' } else { ' ' });
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Blanks every item guarded by a `#[cfg(test)]`-style attribute.
+///
+/// Finds attributes of the form `#[cfg(...)]` whose argument list contains the
+/// standalone token `test`, then blanks from the attribute through the end of
+/// the item it guards (the matching `}` of the first brace block, or the first
+/// `;` for bodyless items). Must run on scrubbed text.
+pub fn strip_test_items(scrubbed: &str) -> String {
+    let chars: Vec<char> = scrubbed.chars().collect();
+    let mut masked: Vec<char> = chars.clone();
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        if chars[i] == '#' && matches!(chars.get(i + 1), Some('[')) {
+            if let Some(close) = find_attr_end(&chars, i + 1) {
+                let attr: String = chars[i..=close].iter().collect();
+                if is_test_cfg(&attr) {
+                    let end = find_item_end(&chars, close + 1);
+                    for (k, slot) in masked.iter_mut().enumerate().take(end + 1).skip(i) {
+                        if chars[k] != '\n' {
+                            *slot = ' ';
+                        }
+                    }
+                    i = end + 1;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    masked.into_iter().collect()
+}
+
+/// Returns the index of the `]` closing an attribute whose `[` is at `open`.
+fn find_attr_end(chars: &[char], open: usize) -> Option<usize> {
+    let mut depth = 0isize;
+    for (k, &c) in chars.iter().enumerate().skip(open) {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether an attribute string is a cfg gate mentioning the `test` predicate.
+fn is_test_cfg(attr: &str) -> bool {
+    let squashed: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+    if !squashed.starts_with("#[cfg(") && !squashed.starts_with("#[cfg_attr(") {
+        return false;
+    }
+    // Token-level containment: `test` bounded by non-identifier chars, so
+    // `feature="testing"` (already scrubbed to spaces anyway) or `test_util`
+    // cfg names do not match.
+    let b: Vec<char> = squashed.chars().collect();
+    for w in 0..b.len().saturating_sub(3) {
+        if b[w..w + 4] == ['t', 'e', 's', 't'] {
+            let before_ok = w == 0 || !(b[w - 1].is_alphanumeric() || b[w - 1] == '_');
+            let after_ok = match b.get(w + 4) {
+                Some(c) => !(c.is_alphanumeric() || *c == '_'),
+                None => true,
+            };
+            if before_ok && after_ok {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Returns the index of the last char of the item starting after an attribute.
+///
+/// Scans forward to the first `{` or `;` at nesting depth zero (skipping
+/// further attributes), then — for brace blocks — to the matching `}`.
+fn find_item_end(chars: &[char], start: usize) -> usize {
+    let mut i = start;
+    // Skip any further attributes on the same item.
+    loop {
+        while i < chars.len() && chars[i].is_whitespace() {
+            i += 1;
+        }
+        if i < chars.len() && chars[i] == '#' && matches!(chars.get(i + 1), Some('[')) {
+            match find_attr_end(chars, i + 1) {
+                Some(close) => i = close + 1,
+                None => return chars.len().saturating_sub(1),
+            }
+        } else {
+            break;
+        }
+    }
+    // Find the first `{` or terminating `;`, tracking parens for fn args with
+    // default-expression-free signatures (braces cannot appear before the body
+    // outside of a const-generic default, which the workspace does not use).
+    while i < chars.len() {
+        match chars[i] {
+            ';' => return i,
+            '{' => {
+                let mut depth = 0isize;
+                while i < chars.len() {
+                    match chars[i] {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return i;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return chars.len().saturating_sub(1);
+            }
+            _ => i += 1,
+        }
+    }
+    chars.len().saturating_sub(1)
+}
+
+/// Line number (1-based) of a byte-ish offset into `text` (char index).
+pub fn line_of(text: &str, char_idx: usize) -> usize {
+    1 + text.chars().take(char_idx).filter(|&c| c == '\n').count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_strings_and_comments() {
+        let src = r#"let x = "a.unwrap()"; // .expect(
+/* panic!("no") */ let y = 1;"#;
+        let s = scrub(src);
+        assert!(!s.contains(".unwrap()"));
+        assert!(!s.contains(".expect("));
+        assert!(!s.contains("panic!"));
+        assert!(s.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn scrub_handles_raw_strings_and_chars() {
+        let src =
+            r##"let s = r#"inner.unwrap() "quoted""#; let c = '"'; let l: &'static str = "x";"##;
+        let s = scrub(src);
+        assert!(!s.contains("inner.unwrap()"));
+        assert!(s.contains("&'static str"));
+    }
+
+    #[test]
+    fn scrub_preserves_line_numbers() {
+        let src = "line1\n\"multi\nline\nstring\"\nlast";
+        let s = scrub(src);
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn strip_removes_cfg_test_items() {
+        let src = "fn keep() { a.unwrap(); }\n#[cfg(test)]\nmod tests {\n  fn t() { b.unwrap(); }\n}\nfn also_keep() {}";
+        let masked = strip_test_items(&scrub(src));
+        assert!(masked.contains("keep"));
+        assert!(masked.contains("also_keep"));
+        assert!(!masked.contains("mod tests"));
+        // Exactly the library-path unwrap survives.
+        assert_eq!(masked.matches(".unwrap()").count(), 1);
+    }
+
+    #[test]
+    fn strip_ignores_non_test_cfgs() {
+        let src = "#[cfg(feature = \"extra\")]\nfn f() {}\n#[cfg(test)] fn g() {}";
+        let masked = strip_test_items(&scrub(src));
+        assert!(masked.contains("fn f"));
+        assert!(!masked.contains("fn g"));
+    }
+}

@@ -1,0 +1,36 @@
+//! `augur-audit`: in-repo static analysis enforcing workspace invariants.
+//!
+//! The platform's availability story (paper §4: an AR overlay must degrade
+//! gracefully, never abort mid-frame) and its reproducibility story (ExpAR:
+//! controlled, repeatable experimentation) are both *mechanical* properties —
+//! so this crate checks them mechanically, with a small hand-rolled lexer
+//! that needs no network or external parser. Invariants:
+//!
+//! 1. **Panic-freedom** — no `unwrap()` / `expect()` / `panic!`-family macros
+//!    in non-test library code of the hot-path crates ([`scan::HOT_CRATES`]).
+//! 2. **Lock discipline** — no `std::sync::{Mutex, RwLock}`; the workspace
+//!    standard is `parking_lot` (non-poisoning).
+//! 3. **Determinism** — no `SystemTime::now()` in library code, no
+//!    entropy-seeded RNG anywhere, no `Instant::now()` in simulation paths
+//!    ([`scan::SIM_PATHS`]).
+//! 4. **Documented exports** — every `pub` item in a crate root (`lib.rs`)
+//!    carries a doc comment.
+//!
+//! Run it three ways: `cargo run -p augur-audit` (CLI), the tier-1
+//! integration test `tests/static_audit.rs` (keeps `cargo test` enforcing the
+//! invariants forever), and `cargo run -p augur-audit -- --self-test` (the
+//! analyzer checks itself against seeded violations).
+
+/// Source scrubbing: comments, literals, `#[cfg(test)]` stripping.
+pub mod lexer;
+/// The audit rules and the per-file policy they run under.
+pub mod rules;
+/// Workspace traversal and report assembly.
+pub mod scan;
+/// Seeded-violation self-test fixtures.
+pub mod selftest;
+
+/// Rule types re-exported from [`rules`].
+pub use rules::{FilePolicy, Severity, Violation};
+/// Scanning entry points re-exported from [`scan`].
+pub use scan::{audit_workspace, Report};

@@ -1,0 +1,103 @@
+//! CLI for the workspace static audit.
+//!
+//! Exit codes: `0` clean, `1` deny-level violations (or failed self-test),
+//! `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use augur_audit::{scan, selftest, Severity};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut verbose = false;
+    let mut self_test = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--self-test" => self_test = true,
+            "--verbose" | "-v" => verbose = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "augur-audit — workspace static analysis\n\n\
+                     USAGE: augur-audit [--root <dir>] [--verbose] [--self-test]\n\n\
+                     Checks panic-freedom (hot crates), parking_lot lock discipline,\n\
+                     determinism (no wall clock / unseeded RNG in simulation code), and\n\
+                     documented crate-root exports. Exit 0 = clean, 1 = violations."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if self_test {
+        return match selftest::run() {
+            Ok(()) => {
+                println!("audit self-test: ok (all seeded violations detected)");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("audit self-test: FAILED: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // Default root: the workspace this binary was built from.
+    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+
+    let report = match scan::audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: audit scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut denials = 0usize;
+    let mut advice = 0usize;
+    for v in &report.violations {
+        match v.severity {
+            Severity::Deny => {
+                denials += 1;
+                eprintln!("deny  {}:{} [{}] {}", v.file, v.line, v.rule, v.message);
+            }
+            Severity::Advice => {
+                advice += 1;
+                if verbose {
+                    eprintln!("note  {}:{} [{}] {}", v.file, v.line, v.rule, v.message);
+                }
+            }
+        }
+    }
+
+    println!(
+        "audit: {} files scanned, {} deny, {} advisory{}",
+        report.files_scanned,
+        denials,
+        advice,
+        if advice > 0 && !verbose {
+            " (re-run with --verbose to list advisories)"
+        } else {
+            ""
+        }
+    );
+
+    if denials > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

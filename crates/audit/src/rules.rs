@@ -1,0 +1,435 @@
+//! Invariant rules evaluated over scrubbed, test-stripped source.
+//!
+//! See `DESIGN.md` § "Correctness tooling" for the rationale behind each
+//! invariant. Severities: a [`Severity::Deny`] finding fails the audit (and
+//! the tier-1 test suite); [`Severity::Advice`] findings are informational and
+//! printed only in verbose mode.
+
+use crate::lexer;
+
+/// How a finding affects the audit exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the audit.
+    Deny,
+    /// Reported in verbose mode; never fails the audit.
+    Advice,
+}
+
+/// A single rule finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Short rule identifier, e.g. `no-unwrap`.
+    pub rule: &'static str,
+    /// Effect on exit status.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Per-file rule configuration, derived from the file's crate and path.
+#[derive(Debug, Clone, Copy)]
+pub struct FilePolicy {
+    /// Panic-family calls (`unwrap`/`expect`/`panic!`/...) are denied.
+    pub deny_panics: bool,
+    /// Wall-clock and entropy sources are denied (simulation determinism).
+    pub deny_wall_clock: bool,
+    /// Slice-indexing advisories are collected.
+    pub advise_indexing: bool,
+    /// The file is a crate root whose public items must be documented.
+    pub require_docs: bool,
+}
+
+/// Panic-family patterns: method calls checked with exact substrings, macros
+/// checked with a word boundary before the name.
+const PANIC_METHODS: [(&str, &str); 3] = [
+    (".unwrap()", "no-unwrap"),
+    (".expect(", "no-expect"),
+    (".unwrap_unchecked(", "no-unwrap"),
+];
+
+const PANIC_MACROS: [(&str, &str); 4] = [
+    ("panic!", "no-panic"),
+    ("unreachable!", "no-panic"),
+    ("todo!", "no-panic"),
+    ("unimplemented!", "no-panic"),
+];
+
+/// Lock-discipline patterns denied everywhere in library code: the workspace
+/// standard is `parking_lot` (non-poisoning; see vendor/parking_lot).
+const STD_LOCKS: [&str; 2] = ["std::sync::Mutex", "std::sync::RwLock"];
+
+/// Determinism patterns denied everywhere: entropy-based RNG construction.
+const ENTROPY: [&str; 3] = ["thread_rng", "from_entropy", "rand::random"];
+
+/// Checks one file's source, appending findings to `out`.
+pub fn check_source(file: &str, src: &str, policy: FilePolicy, out: &mut Vec<Violation>) {
+    let scrubbed = lexer::scrub(src);
+    let lib_code = lexer::strip_test_items(&scrubbed);
+
+    if policy.deny_panics {
+        for (pat, rule) in PANIC_METHODS {
+            for idx in find_all(&lib_code, pat) {
+                push(
+                    out,
+                    file,
+                    &lib_code,
+                    idx,
+                    rule,
+                    Severity::Deny,
+                    format!(
+                        "`{pat}` in library code: propagate through the crate error enum instead"
+                    ),
+                );
+            }
+        }
+        for (pat, rule) in PANIC_MACROS {
+            for idx in find_all(&lib_code, pat) {
+                if is_word_start(&lib_code, idx) {
+                    push(
+                        out,
+                        file,
+                        &lib_code,
+                        idx,
+                        rule,
+                        Severity::Deny,
+                        format!(
+                        "`{pat}` in library code: return an error instead of aborting the frame"
+                    ),
+                    );
+                }
+            }
+        }
+    }
+
+    for pat in STD_LOCKS {
+        for idx in find_all(&lib_code, pat) {
+            push(
+                out,
+                file,
+                &lib_code,
+                idx,
+                "parking-lot-standard",
+                Severity::Deny,
+                format!("`{pat}`: the workspace lock standard is parking_lot (non-poisoning)"),
+            );
+        }
+    }
+    // `use std::sync::{.., Mutex, ..}` grouped imports dodge the substring
+    // match above; check import lines mentioning the tokens.
+    for (lineno, line) in lib_code.lines().enumerate() {
+        let t = line.trim_start();
+        if t.starts_with("use std::sync::")
+            && (contains_word(t, "Mutex") || contains_word(t, "RwLock"))
+        {
+            out.push(Violation {
+                file: file.to_string(),
+                line: lineno + 1,
+                rule: "parking-lot-standard",
+                severity: Severity::Deny,
+                message: "std::sync lock import: the workspace lock standard is parking_lot"
+                    .to_string(),
+            });
+        }
+    }
+
+    for idx in find_all(&lib_code, "SystemTime::now(") {
+        push(out, file, &lib_code, idx, "no-wall-clock", Severity::Deny, String::from(
+            "`SystemTime::now()` in library code: take timestamps as inputs (sensor clock / event time)"
+        ));
+    }
+
+    for pat in ENTROPY {
+        for idx in find_all(&lib_code, pat) {
+            if is_word_start(&lib_code, idx) {
+                push(
+                    out,
+                    file,
+                    &lib_code,
+                    idx,
+                    "seeded-rng-only",
+                    Severity::Deny,
+                    format!(
+                    "`{pat}`: all randomness must come from a seeded StdRng for reproducible runs"
+                ),
+                );
+            }
+        }
+    }
+
+    if policy.deny_wall_clock {
+        for idx in find_all(&lib_code, "Instant::now(") {
+            push(
+                out,
+                file,
+                &lib_code,
+                idx,
+                "no-wall-clock",
+                Severity::Deny,
+                String::from(
+                    "`Instant::now()` in simulation code: derive time from the simulated clock",
+                ),
+            );
+        }
+    }
+
+    if policy.advise_indexing {
+        for idx in indexing_sites(&lib_code) {
+            push(
+                out,
+                file,
+                &lib_code,
+                idx,
+                "indexing",
+                Severity::Advice,
+                String::from("slice indexing can panic; prefer `.get()` on untrusted indices"),
+            );
+        }
+    }
+
+    if policy.require_docs {
+        check_lib_docs(file, src, &scrubbed, out);
+    }
+}
+
+/// Requires a doc comment on every `pub` item declared at the top level of a
+/// crate root (`lib.rs`) — including `pub use` re-exports and `pub mod`s.
+fn check_lib_docs(file: &str, raw: &str, scrubbed: &str, out: &mut Vec<Violation>) {
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let mut depth = 0isize;
+    for (lineno, sline) in scrubbed.lines().enumerate() {
+        let at_top = depth == 0;
+        for c in sline.chars() {
+            match c {
+                '{' | '(' | '[' => depth += 1,
+                '}' | ')' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        if !at_top {
+            continue;
+        }
+        let trimmed = sline.trim_start();
+        if !(trimmed.starts_with("pub ") || trimmed.starts_with("pub(")) {
+            continue;
+        }
+        // Walk upward over attributes to the nearest doc line.
+        let mut k = lineno;
+        let mut documented = false;
+        while k > 0 {
+            k -= 1;
+            let above = raw_lines.get(k).map(|l| l.trim_start()).unwrap_or("");
+            if above.starts_with("#[") || above.starts_with("#![") {
+                continue;
+            }
+            documented = above.starts_with("///") || above.starts_with("#[doc");
+            break;
+        }
+        if !documented {
+            out.push(Violation {
+                file: file.to_string(),
+                line: lineno + 1,
+                rule: "documented-exports",
+                severity: Severity::Deny,
+                message: format!(
+                    "undocumented public item in crate root: `{}`",
+                    raw_lines.get(lineno).map(|l| l.trim()).unwrap_or("<line>")
+                ),
+            });
+        }
+    }
+}
+
+/// All char indices at which `pat` occurs in `text`.
+fn find_all(text: &str, pat: &str) -> Vec<usize> {
+    let tv: Vec<char> = text.chars().collect();
+    let pv: Vec<char> = pat.chars().collect();
+    let mut hits = Vec::new();
+    if pv.is_empty() || tv.len() < pv.len() {
+        return hits;
+    }
+    for i in 0..=(tv.len() - pv.len()) {
+        if tv[i..i + pv.len()] == pv[..] {
+            hits.push(i);
+        }
+    }
+    hits
+}
+
+/// Whether the char before `idx` is not part of an identifier (word boundary).
+fn is_word_start(text: &str, idx: usize) -> bool {
+    if idx == 0 {
+        return true;
+    }
+    match text.chars().nth(idx - 1) {
+        Some(c) => !(c.is_alphanumeric() || c == '_' || c == ':' || c == '.'),
+        None => true,
+    }
+}
+
+/// Whether `word` occurs in `text` bounded by non-identifier characters.
+fn contains_word(text: &str, word: &str) -> bool {
+    let tv: Vec<char> = text.chars().collect();
+    let wv: Vec<char> = word.chars().collect();
+    if wv.is_empty() || tv.len() < wv.len() {
+        return false;
+    }
+    for i in 0..=(tv.len() - wv.len()) {
+        if tv[i..i + wv.len()] == wv[..] {
+            let before_ok = i == 0 || !(tv[i - 1].is_alphanumeric() || tv[i - 1] == '_');
+            let after_ok = match tv.get(i + wv.len()) {
+                Some(c) => !(c.is_alphanumeric() || *c == '_'),
+                None => true,
+            };
+            if before_ok && after_ok {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Heuristic slice-indexing detector: `ident[`, `)[`, `][` where the bracket
+/// is not an attribute (`#[`) and not a type position we can cheaply exclude.
+fn indexing_sites(text: &str) -> Vec<usize> {
+    let tv: Vec<char> = text.chars().collect();
+    let mut hits = Vec::new();
+    for (i, &c) in tv.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        // Previous non-space char decides the context.
+        let mut p = i;
+        let mut prev = None;
+        while p > 0 {
+            p -= 1;
+            if !tv[p].is_whitespace() {
+                prev = Some(tv[p]);
+                break;
+            }
+        }
+        let indexing =
+            matches!(prev, Some(pc) if pc.is_alphanumeric() || pc == '_' || pc == ')' || pc == ']');
+        if !indexing {
+            continue;
+        }
+        // Exclude empty-or-range-only brackets (`a[..]` clones a slice view).
+        hits.push(i);
+    }
+    hits
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    file: &str,
+    text: &str,
+    idx: usize,
+    rule: &'static str,
+    severity: Severity,
+    message: String,
+) {
+    out.push(Violation {
+        file: file.to_string(),
+        line: lexer::line_of(text, idx),
+        rule,
+        severity,
+        message,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STRICT: FilePolicy = FilePolicy {
+        deny_panics: true,
+        deny_wall_clock: true,
+        advise_indexing: true,
+        require_docs: false,
+    };
+
+    fn deny_rules(src: &str) -> Vec<&'static str> {
+        let mut v = Vec::new();
+        check_source("t.rs", src, STRICT, &mut v);
+        v.into_iter()
+            .filter(|x| x.severity == Severity::Deny)
+            .map(|x| x.rule)
+            .collect()
+    }
+
+    #[test]
+    fn flags_panic_family() {
+        assert_eq!(deny_rules("fn f() { x.unwrap(); }"), vec!["no-unwrap"]);
+        assert_eq!(deny_rules("fn f() { x.expect(\"m\"); }"), vec!["no-expect"]);
+        assert_eq!(deny_rules("fn f() { panic!(\"m\"); }"), vec!["no-panic"]);
+        assert_eq!(deny_rules("fn f() { todo!(); }"), vec!["no-panic"]);
+    }
+
+    #[test]
+    fn ignores_test_code_and_literals() {
+        assert!(deny_rules("#[cfg(test)] mod t { fn f() { x.unwrap(); } }").is_empty());
+        assert!(deny_rules("fn f() { let s = \"x.unwrap()\"; }").is_empty());
+        assert!(deny_rules("// x.unwrap()\nfn f() {}").is_empty());
+    }
+
+    #[test]
+    fn no_false_positive_on_related_names() {
+        assert!(deny_rules("fn f() { x.unwrap_or(0); }").is_empty());
+        assert!(deny_rules("fn f() { x.unwrap_or_else(|| 0); }").is_empty());
+        assert!(deny_rules("fn f() { x.expect_err(\"m\"); }").is_empty());
+        assert!(deny_rules("fn f() { debug_assert!(true); }").is_empty());
+    }
+
+    #[test]
+    fn flags_std_locks_and_clock() {
+        assert_eq!(
+            deny_rules("use std::sync::Mutex;"),
+            vec!["parking-lot-standard", "parking-lot-standard"]
+        );
+        assert_eq!(
+            deny_rules("use std::sync::{Arc, Mutex};"),
+            vec!["parking-lot-standard"]
+        );
+        assert!(deny_rules("use std::sync::Arc;").is_empty());
+        assert_eq!(
+            deny_rules("fn f() { let t = std::time::SystemTime::now(); }"),
+            vec!["no-wall-clock"]
+        );
+        assert_eq!(
+            deny_rules("fn f() { let r = thread_rng(); }"),
+            vec!["seeded-rng-only"]
+        );
+    }
+
+    #[test]
+    fn doc_rule_applies_to_lib_root() {
+        let policy = FilePolicy {
+            deny_panics: false,
+            deny_wall_clock: false,
+            advise_indexing: false,
+            require_docs: true,
+        };
+        let mut v = Vec::new();
+        check_source(
+            "lib.rs",
+            "/// Documented.\npub mod a;\npub use a::Thing;\n",
+            policy,
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "documented-exports");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn indexing_is_advice_only() {
+        let mut v = Vec::new();
+        check_source("t.rs", "fn f(a: &[u8]) -> u8 { a[0] }", STRICT, &mut v);
+        assert!(v.iter().all(|x| x.severity == Severity::Advice));
+        assert!(v.iter().any(|x| x.rule == "indexing"));
+    }
+}

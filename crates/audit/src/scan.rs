@@ -1,0 +1,130 @@
+//! Workspace walker: maps each library source file to its rule policy and
+//! collects findings.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::rules::{self, FilePolicy, Severity, Violation};
+
+/// Crates whose library code must be panic-free (the AR hot path: a panic
+/// here aborts a frame mid-flight).
+pub const HOT_CRATES: [&str; 7] = [
+    "stream", "geo", "store", "semantic", "cloud", "core", "audit",
+];
+
+/// Path fragments identifying simulation code, where wall-clock reads are
+/// denied so experiment runs stay reproducible (ExpAR-style determinism).
+pub const SIM_PATHS: [&str; 2] = ["crates/sensor/src", "crates/core/src/scenario"];
+
+/// Result of auditing a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, deny and advice alike.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings that fail the audit.
+    pub fn denials(&self) -> impl Iterator<Item = &Violation> {
+        self.violations
+            .iter()
+            .filter(|v| v.severity == Severity::Deny)
+    }
+
+    /// Whether the audit passes.
+    pub fn clean(&self) -> bool {
+        self.denials().next().is_none()
+    }
+}
+
+/// Audits a workspace rooted at `root` (the directory holding `crates/`).
+pub fn audit_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            crate_dirs.push(entry.path());
+        }
+    }
+    crate_dirs.sort();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            audit_tree(root, &src, &mut report)?;
+        }
+    }
+    // The facade crate's root lives at <root>/src.
+    let facade = root.join("src");
+    if facade.is_dir() {
+        audit_tree(root, &facade, &mut report)?;
+    }
+    Ok(report)
+}
+
+/// Recursively audits every `.rs` file under `dir`.
+pub fn audit_tree(root: &Path, dir: &Path, report: &mut Report) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        entries.push(entry?.path());
+    }
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            audit_tree(root, &path, report)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = fs::read_to_string(&path)?;
+            let policy = policy_for(&rel);
+            rules::check_source(&rel, &source, policy, &mut report.violations);
+            report.files_scanned += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Derives the rule policy for a workspace-relative file path.
+pub fn policy_for(rel: &str) -> FilePolicy {
+    let crate_name = rel
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    let hot = HOT_CRATES.contains(&crate_name);
+    let sim = SIM_PATHS.iter().any(|p| rel.starts_with(p));
+    // Experiment driver binaries (crates/bench/src/bin) are CLIs, not library
+    // code; only the workspace-wide determinism and lock rules apply there.
+    let is_bin = rel.contains("/src/bin/");
+    let is_crate_root = rel.ends_with("src/lib.rs");
+    FilePolicy {
+        deny_panics: hot && !is_bin,
+        deny_wall_clock: sim,
+        advise_indexing: hot && !is_bin,
+        require_docs: is_crate_root,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_mapping() {
+        assert!(policy_for("crates/stream/src/broker.rs").deny_panics);
+        assert!(policy_for("crates/geo/src/geohash.rs").deny_panics);
+        assert!(!policy_for("crates/render/src/layout.rs").deny_panics);
+        assert!(!policy_for("crates/bench/src/bin/a1_watermark.rs").deny_panics);
+        assert!(policy_for("crates/sensor/src/imu.rs").deny_wall_clock);
+        assert!(policy_for("crates/core/src/scenario/retail.rs").deny_wall_clock);
+        assert!(!policy_for("crates/stream/src/broker.rs").deny_wall_clock);
+        assert!(policy_for("crates/semantic/src/lib.rs").require_docs);
+        assert!(!policy_for("crates/semantic/src/json.rs").require_docs);
+    }
+}

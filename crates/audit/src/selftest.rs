@@ -1,0 +1,137 @@
+//! Audit self-test: seeds violations into a throwaway tree and asserts the
+//! scanner reports them (and that clean code passes). Guards against the
+//! analyzer silently rotting into a no-op.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::scan;
+
+/// A seeded violation fixture: file path (workspace-relative), source, and
+/// the deny rules the scanner must fire on it.
+const FIXTURES: [(&str, &str, &[&str]); 6] = [
+    (
+        "crates/stream/src/bad_unwrap.rs",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+        &["no-unwrap"],
+    ),
+    (
+        "crates/geo/src/bad_panic.rs",
+        "fn f() { panic!(\"boom\"); }\n",
+        &["no-panic"],
+    ),
+    (
+        "crates/store/src/bad_lock.rs",
+        "use std::sync::{Arc, Mutex};\nfn f() {}\n",
+        &["parking-lot-standard"],
+    ),
+    (
+        "crates/sensor/src/bad_clock.rs",
+        "fn now_us() -> u128 { std::time::Instant::now().elapsed().as_micros() }\n",
+        &["no-wall-clock"],
+    ),
+    (
+        "crates/core/src/scenario/bad_entropy.rs",
+        "fn f() { let mut rng = thread_rng(); }\n",
+        &["seeded-rng-only"],
+    ),
+    (
+        "crates/semantic/src/lib.rs",
+        "//! Crate docs.\npub mod undocumented_item;\n",
+        &["documented-exports"],
+    ),
+];
+
+/// Clean source that must produce zero deny findings even under the strictest
+/// policy (hot crate): test-gated panics, literals, and error propagation.
+const CLEAN: &str = r#"//! Clean fixture.
+use std::sync::Arc;
+
+/// Divides safely.
+pub fn safe_div(a: u32, b: u32) -> Result<u32, String> {
+    a.checked_div(b).ok_or_else(|| "division by zero".to_string())
+}
+
+fn doc_mentions() {
+    // A comment saying x.unwrap() and panic!() must not trip the scanner.
+    let _s = "x.unwrap() panic!(\"no\") std::sync::Mutex";
+    let _arc = Arc::new(());
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}
+"#;
+
+/// Runs the self-test. Returns `Ok(())` when the scanner catches every seeded
+/// violation and passes the clean fixture; `Err` describes the first failure.
+pub fn run() -> Result<(), String> {
+    let root = temp_root()?;
+    let result = run_in(&root);
+    // Best-effort cleanup; a leftover temp tree is harmless.
+    let _ = fs::remove_dir_all(&root);
+    result
+}
+
+fn run_in(root: &Path) -> Result<(), String> {
+    // Seed every violation fixture plus one clean file per policy tier.
+    for (rel, source, _) in FIXTURES {
+        write_fixture(root, rel, source)?;
+    }
+    write_fixture(root, "crates/stream/src/clean.rs", CLEAN)?;
+
+    let report = scan::audit_workspace(root).map_err(|e| format!("self-test scan failed: {e}"))?;
+
+    for (rel, _, expected_rules) in FIXTURES {
+        for rule in expected_rules {
+            let hit = report.denials().any(|v| v.file == rel && v.rule == *rule);
+            if !hit {
+                return Err(format!(
+                    "self-test: seeded violation `{rule}` in {rel} was NOT detected"
+                ));
+            }
+        }
+    }
+
+    let clean_denials: Vec<_> = report
+        .denials()
+        .filter(|v| v.file == "crates/stream/src/clean.rs")
+        .collect();
+    if !clean_denials.is_empty() {
+        return Err(format!(
+            "self-test: clean fixture produced deny findings: {clean_denials:?}"
+        ));
+    }
+    Ok(())
+}
+
+fn write_fixture(root: &Path, rel: &str, source: &str) -> Result<(), String> {
+    let path = root.join(rel);
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).map_err(|e| format!("self-test mkdir: {e}"))?;
+    }
+    fs::write(&path, source).map_err(|e| format!("self-test write: {e}"))
+}
+
+fn temp_root() -> Result<PathBuf, String> {
+    let base = std::env::temp_dir().join(format!("augur-audit-selftest-{}", std::process::id()));
+    if base.exists() {
+        let _ = fs::remove_dir_all(&base);
+    }
+    fs::create_dir_all(&base).map_err(|e: io::Error| format!("self-test tempdir: {e}"))?;
+    Ok(base)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn selftest_passes() {
+        super::run().expect("audit self-test must pass");
+    }
+}

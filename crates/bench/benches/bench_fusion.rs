@@ -1,9 +1,12 @@
 //! Criterion micro side of E6: per-measurement tracker update cost — the
 //! quantity that must fit 50 Hz IMU + 30 Hz frame budgets.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_geo::Enu;
 use augur_sensor::{GpsFix, ImuReading, Timestamp};
-use augur_track::{ComplementaryParams, ComplementaryTracker, KalmanParams, KalmanTracker, Tracker};
+use augur_track::{
+    ComplementaryParams, ComplementaryTracker, KalmanParams, KalmanTracker, Tracker,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {

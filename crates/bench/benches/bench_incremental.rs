@@ -1,5 +1,6 @@
 //! Criterion micro side of E2: incremental update vs batch recompute,
 //! plus the columnar-vs-rowwise scan gap the batch side leans on.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_analytics::{BatchAggregator, IncrementalView};
 use augur_store::{ColumnTable, ColumnType, Predicate, Schema, Value};

@@ -1,4 +1,5 @@
 //! Criterion micro side of E4: label layout strategies at 100 labels.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_render::{force_layout, greedy_layout, naive_layout, LabelBox, Viewport};
 use criterion::{criterion_group, criterion_main, Criterion};

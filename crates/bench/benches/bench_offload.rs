@@ -1,10 +1,13 @@
 //! Criterion micro side of E3: plan estimation and exhaustive search.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_cloud::{best_plan, estimate, ComputeResource, EnergyParams, NetworkProfile, OffloadPlan, TaskGraph};
+use augur_cloud::{
+    best_plan, estimate, ComputeResource, EnergyParams, NetworkProfile, OffloadPlan, TaskGraph,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let graph = TaskGraph::ar_pipeline(5.0, 500_000);
+    let graph = TaskGraph::ar_pipeline(5.0, 500_000).expect("valid pipeline");
     let phone = ComputeResource::phone();
     let cloud = ComputeResource::cloud_vm();
     let energy = EnergyParams::default();

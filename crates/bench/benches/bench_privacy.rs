@@ -1,4 +1,5 @@
 //! Criterion micro side of E11: privacy mechanism costs.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_geo::Enu;
 use augur_privacy::{geo_indistinguishable, laplace_mechanism, LocationSignature, Trace};
@@ -24,7 +25,13 @@ fn bench(c: &mut Criterion) {
     });
     let trace = Trace::new(
         (0..1_000)
-            .map(|_| Enu::new(rng.gen_range(-2000.0..2000.0), rng.gen_range(-2000.0..2000.0), 0.0))
+            .map(|_| {
+                Enu::new(
+                    rng.gen_range(-2000.0..2000.0),
+                    rng.gen_range(-2000.0..2000.0),
+                    0.0,
+                )
+            })
             .collect(),
     );
     c.bench_function("e11_signature_build_1k", |b| {

@@ -1,4 +1,5 @@
 //! Criterion micro side of E8: spatial index queries at 100k points.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_geo::{QuadTree, RTree, Rect};
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -1,4 +1,5 @@
 //! Criterion micro side of E12: broker append and windowed aggregation.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_stream::window::CountAggregation;
 use augur_stream::{Broker, Record, TumblingWindows, Watermark, WindowedAggregator};
@@ -28,8 +29,9 @@ fn bench(c: &mut Criterion) {
                 broker
                     .append_batch(
                         "t",
-                        (0..1_000u64)
-                            .map(|i| Record::new(i % 64, (base + i).to_le_bytes().to_vec(), base + i)),
+                        (0..1_000u64).map(|i| {
+                            Record::new(i % 64, (base + i).to_le_bytes().to_vec(), base + i)
+                        }),
                     )
                     .expect("topic exists"),
             )

@@ -4,6 +4,7 @@
 //! result delay. This sweep feeds a stream with bounded random disorder
 //! and reports drops and result counts per bound — the tuning decision a
 //! deployment makes once per source.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::{f, header, row};
 use augur_stream::window::CountAggregation;

@@ -1,12 +1,16 @@
 //! Ablation A2 — LSM tuning: memtable flush threshold and compaction
 //! trigger vs write cost, read cost, and space amplification.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::{f, header, row, timed, timed_mean};
 use augur_store::{LsmParams, LsmStore};
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    header("A2", "LSM flush/compaction tuning (100k writes, 20% deletes)");
+    header(
+        "A2",
+        "LSM flush/compaction tuning (100k writes, 20% deletes)",
+    );
     row(&[
         "flush at".into(),
         "compact at".into(),
@@ -34,7 +38,10 @@ fn main() {
                 if rng.gen_bool(0.2) {
                     db.delete(k.to_be_bytes().to_vec());
                 } else {
-                    db.put(k.to_be_bytes().to_vec(), rng.gen::<u64>().to_le_bytes().to_vec());
+                    db.put(
+                        k.to_be_bytes().to_vec(),
+                        rng.gen::<u64>().to_le_bytes().to_vec(),
+                    );
                 }
             }
         });
@@ -51,7 +58,10 @@ fn main() {
             f(write_us / 1e3, 1),
             f(get_us, 2),
             stats.runs.to_string(),
-            f((stats.run_entries + stats.memtable_entries) as f64 / live as f64, 2),
+            f(
+                (stats.run_entries + stats.memtable_entries) as f64 / live as f64,
+                2,
+            ),
         ]);
     }
     println!(

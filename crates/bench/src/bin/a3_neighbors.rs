@@ -1,4 +1,5 @@
 //! Ablation A3 — item-item CF neighbourhood size vs quality and cost.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_analytics::recommend::{evaluate, leave_one_out};
 use augur_analytics::{ItemItemRecommender, Recommender};

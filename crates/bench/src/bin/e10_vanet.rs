@@ -1,11 +1,15 @@
 //! E10 — §3.4 public services: VANET collision-warning quality vs beacon
 //! sharing period and channel loss.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::{f, header, row};
 use augur_core::traffic::{run, TrafficParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    header("E10", "§3.4: warning coverage / lead time vs sharing period");
+    header(
+        "E10",
+        "§3.4: warning coverage / lead time vs sharing period",
+    );
     row(&[
         "period s".into(),
         "coverage%".into(),

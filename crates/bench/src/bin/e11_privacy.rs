@@ -1,5 +1,6 @@
 //! E11 — §4.3 privacy: re-identification risk vs protection strength,
 //! and the utility collapse at small ε the paper warns about.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use std::collections::HashMap;
 
@@ -12,16 +13,19 @@ use rand::{Rng, SeedableRng};
 
 /// Synthetic population: each user has home/work anchors (González-style
 /// regular mobility).
-fn population(
-    n: u64,
-    seed: u64,
-) -> (HashMap<u64, Trace>, HashMap<u64, Trace>) {
+fn population(n: u64, seed: u64) -> (HashMap<u64, Trace>, HashMap<u64, Trace>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut train = HashMap::new();
     let mut test = HashMap::new();
     for u in 0..n {
-        let home = (rng.gen_range(-2500.0..2500.0), rng.gen_range(-2500.0..2500.0));
-        let work = (rng.gen_range(-2500.0..2500.0), rng.gen_range(-2500.0..2500.0));
+        let home = (
+            rng.gen_range(-2500.0..2500.0),
+            rng.gen_range(-2500.0..2500.0),
+        );
+        let work = (
+            rng.gen_range(-2500.0..2500.0),
+            rng.gen_range(-2500.0..2500.0),
+        );
         let make = |rng: &mut rand::rngs::StdRng| {
             Trace::new(
                 (0..300)
@@ -43,7 +47,10 @@ fn population(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    header("E11a", "§4.3: re-identification rate vs geo-indistinguishability ε");
+    header(
+        "E11a",
+        "§4.3: re-identification rate vs geo-indistinguishability ε",
+    );
     let (train, test) = population(100, 7);
     let attack = ReidentificationAttack::train(&train, 150.0, 5)?;
     row(&[
@@ -84,7 +91,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
     }
 
-    header("E11b", "re-identification rate vs k-anonymity cloaking cell");
+    header(
+        "E11b",
+        "re-identification rate vs k-anonymity cloaking cell",
+    );
     row(&["cell m".into(), "re-id rate%".into(), "loc error m".into()]);
     for &cell in &[100.0f64, 300.0, 1_000.0, 3_000.0] {
         let cloaked: HashMap<u64, Trace> = test

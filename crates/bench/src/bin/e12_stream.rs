@@ -1,11 +1,12 @@
 //! E12 — §1's 3Vs on the stream substrate: throughput vs partition
 //! count, variety mix handling, and checkpoint/recovery cost.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::{f, header, row, timed};
+use augur_stream::window::CountAggregation;
 use augur_stream::{
     Broker, CheckpointStore, PipelineBuilder, Record, TumblingWindows, WindowState,
 };
-use augur_stream::window::CountAggregation;
 use rand::{Rng, SeedableRng};
 
 fn fill(broker: &Broker, topic: &str, n: u64, schema_families: u32, seed: u64) {
@@ -40,7 +41,10 @@ fn decode(r: &Record) -> Option<u64> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    header("E12", "3Vs: pipeline throughput vs partition count (200k mixed records)");
+    header(
+        "E12",
+        "3Vs: pipeline throughput vs partition count (200k mixed records)",
+    );
     row(&[
         "partitions".into(),
         "records/s".into(),
@@ -68,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         row(&[
             parts.to_string(),
             f(metrics.throughput_rps(), 0),
-            f(metrics.bytes_in as f64 / 1e6 / metrics.elapsed_s.max(1e-9), 1),
+            f(
+                metrics.bytes_in as f64 / 1e6 / metrics.elapsed_s.max(1e-9),
+                1,
+            ),
             f(metrics.p99_latency_us, 2),
             results.len().to_string(),
         ]);
@@ -111,7 +118,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
     let ((want, _), full_us) = timed(|| {
         p_ref
-            .run_windowed(TumblingWindows::new(1_000_000), CountAggregation, None, None, false)
+            .run_windowed(
+                TumblingWindows::new(1_000_000),
+                CountAggregation,
+                None,
+                None,
+                false,
+            )
             .expect("reference run")
     });
     let recovered_total: u64 = partial.iter().chain(&rest).map(|r| r.value).sum::<u64>();

@@ -1,4 +1,5 @@
 //! E1 — Figure 5 "influence circles", derived from measured scenarios.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::{f, header, row};
 use augur_core::{healthcare, influence_report, retail, tourism, traffic};

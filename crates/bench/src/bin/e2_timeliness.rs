@@ -3,6 +3,7 @@
 //! Sweeps history volume and reports the latency of answering "current
 //! per-group statistics" by (a) recomputing over all history and (b) an
 //! incrementally maintained view, against the 33 ms AR frame budget.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_analytics::{BatchAggregator, IncrementalView};
 use augur_bench::{f, header, row, timed, timed_mean};
@@ -51,7 +52,12 @@ fn main() {
             f(batch_us, 0),
             f(incr_us, 3),
             f(batch_us / FRAME_BUDGET_US, 2),
-            if over { "batch misses frame" } else { "both fit" }.to_string(),
+            if over {
+                "batch misses frame"
+            } else {
+                "both fit"
+            }
+            .to_string(),
         ]);
     }
     match crossover {
@@ -60,6 +66,8 @@ fn main() {
              the incremental view stays O(1) per event at every volume — the paper's\n\
              timeliness argument HOLDS"
         ),
-        None => println!("\nno crossover found in the swept range (unexpected on typical hardware)"),
+        None => {
+            println!("\nno crossover found in the swept range (unexpected on typical hardware)")
+        }
     }
 }

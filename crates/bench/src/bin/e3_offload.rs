@@ -1,11 +1,17 @@
 //! E3 — §4.1 cloud offloading: on-device vs offloaded latency and the
 //! break-even compute demand per network profile.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::{f, header, row};
-use augur_cloud::{best_plan, estimate, ComputeResource, EnergyParams, NetworkProfile, OffloadPlan, TaskGraph};
+use augur_cloud::{
+    best_plan, estimate, ComputeResource, EnergyParams, NetworkProfile, OffloadPlan, TaskGraph,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    header("E3", "§4.1: device vs cloud latency across network profiles");
+    header(
+        "E3",
+        "§4.1: device vs cloud latency across network profiles",
+    );
     let phone = ComputeResource::phone();
     let cloud = ComputeResource::cloud_vm();
     let energy = EnergyParams::default();
@@ -13,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let demands = [0.01f64, 0.05, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0];
 
     for net in NetworkProfile::presets() {
-        println!("\nnetwork: {} (rtt {} ms, {} Mbps)", net.name, net.rtt_ms, net.bandwidth_mbps);
+        println!(
+            "\nnetwork: {} (rtt {} ms, {} Mbps)",
+            net.name, net.rtt_ms, net.bandwidth_mbps
+        );
         row(&[
             "gigaops".into(),
             "device ms".into(),
@@ -24,9 +33,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ]);
         let mut break_even: Option<f64> = None;
         for &g in &demands {
-            let graph = TaskGraph::ar_pipeline(g, frame_bytes);
-            let local = estimate(&graph, &OffloadPlan::all_device(&graph), &phone, &cloud, &net, &energy)?;
-            let remote = estimate(&graph, &OffloadPlan::all_cloud(&graph), &phone, &cloud, &net, &energy)?;
+            let graph = TaskGraph::ar_pipeline(g, frame_bytes).expect("valid pipeline");
+            let local = estimate(
+                &graph,
+                &OffloadPlan::all_device(&graph),
+                &phone,
+                &cloud,
+                &net,
+                &energy,
+            )?;
+            let remote = estimate(
+                &graph,
+                &OffloadPlan::all_cloud(&graph),
+                &phone,
+                &cloud,
+                &net,
+                &energy,
+            )?;
             let (plan, best) = best_plan(&graph, &phone, &cloud, &net, &energy)?;
             if remote.latency_ms < local.latency_ms && break_even.is_none() {
                 break_even = Some(g);
@@ -45,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         match break_even {
             Some(g) => println!("  → offloading wins from ~{g} gigaops on {}", net.name),
-            None => println!("  → offloading never wins in the swept range on {}", net.name),
+            None => println!(
+                "  → offloading never wins in the swept range on {}",
+                net.name
+            ),
         }
     }
     println!(

@@ -1,5 +1,6 @@
 //! E4 — §2.1 "floating bubbles are pointless": label layout quality and
 //! cost vs label density.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::{f, header, row, timed};
 use augur_render::{force_layout, greedy_layout, naive_layout, LabelBox, LayoutMetrics, Viewport};

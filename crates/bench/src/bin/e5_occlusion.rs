@@ -1,5 +1,6 @@
 //! E5 — §2.1/§3.1 occlusion and x-ray vision: classification cost vs
 //! city size, naive scan vs R-tree index, plus agreement checking.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::{f, header, row, timed_mean};
 use augur_geo::{CityModel, CityParams, Enu};
@@ -63,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (a, b),
                 (OcclusionClass::Visible, OcclusionClass::Visible)
                     | (OcclusionClass::OutOfView, OcclusionClass::OutOfView)
-                    | (OcclusionClass::Occluded { .. }, OcclusionClass::Occluded { .. })
+                    | (
+                        OcclusionClass::Occluded { .. },
+                        OcclusionClass::Occluded { .. }
+                    )
             );
             if matches!(a, OcclusionClass::Occluded { .. }) {
                 occluded += 1;

@@ -1,5 +1,6 @@
 //! E6 — Azuma's "registered in 3-D": registration error of GPS-only vs
 //! complementary vs Kalman fusion across GPS noise levels.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::{f, header, row};
 use augur_geo::Enu;

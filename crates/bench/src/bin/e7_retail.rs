@@ -1,4 +1,5 @@
 //! E7 — §3.1 retail: recommender quality at several data scales.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::{f, header, row};
 use augur_core::retail::{run, RetailParams};

@@ -1,5 +1,6 @@
 //! E8 — §3.2 tourism: POI retrieval latency vs database size, R-tree vs
 //! quadtree vs linear scan.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::{f, header, row, timed_mean};
 use augur_geo::{poi::synthetic_database, GeoPoint, QuadTree, Rect};
@@ -30,9 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
         let queries: Vec<GeoPoint> = (0..64)
-            .map(|_| {
-                origin.destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..1500.0))
-            })
+            .map(|_| origin.destination(rng.gen_range(0.0..360.0), rng.gen_range(0.0..1500.0)))
             .collect();
         let mut qi = 0usize;
         let rtree_us = timed_mean(256, || {

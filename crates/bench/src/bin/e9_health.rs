@@ -1,5 +1,6 @@
 //! E9 — §3.3 healthcare: alert recall / latency / false alarms vs the
 //! confirmation requirement (m consecutive breaches).
+#![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::{f, header, row};
 use augur_core::healthcare::{run, HealthcareParams};

@@ -13,7 +13,12 @@ pub enum CloudError {
     /// A task referenced an unknown dependency.
     UnknownTask(u32),
     /// A plan's placement list did not match the graph's task count.
-    PlanShapeMismatch { tasks: usize, placements: usize },
+    PlanShapeMismatch {
+        /// Number of tasks in the graph.
+        tasks: usize,
+        /// Number of placements the plan supplied.
+        placements: usize,
+    },
 }
 
 impl fmt::Display for CloudError {
@@ -22,10 +27,9 @@ impl fmt::Display for CloudError {
             CloudError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
             CloudError::CyclicTaskGraph => write!(f, "task graph contains a cycle"),
             CloudError::UnknownTask(id) => write!(f, "unknown task {id}"),
-            CloudError::PlanShapeMismatch { tasks, placements } => write!(
-                f,
-                "plan has {placements} placements for {tasks} tasks"
-            ),
+            CloudError::PlanShapeMismatch { tasks, placements } => {
+                write!(f, "plan has {placements} placements for {tasks} tasks")
+            }
         }
     }
 }

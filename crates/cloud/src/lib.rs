@@ -14,14 +14,24 @@
 //!   a device energy model (CloudRiDAR's decision problem, reference
 //!   \[13\] of the paper).
 
+/// The crate error type.
 pub mod error;
+/// Compute resources: the phone and the datacenter.
 pub mod executor;
+/// Parametric network link models.
 pub mod network;
+/// Offloading plans, latency estimation, energy accounting.
 pub mod offload;
+/// AR pipeline task graphs.
 pub mod task;
 
+/// The crate error type, re-exported from [`error`].
 pub use error::CloudError;
+/// Compute resources re-exported from [`executor`].
 pub use executor::ComputeResource;
+/// Network models re-exported from [`network`].
 pub use network::NetworkProfile;
+/// Offloading machinery re-exported from [`offload`].
 pub use offload::{best_plan, estimate, EnergyParams, Estimate, OffloadPlan, Placement};
+/// Task graphs re-exported from [`task`].
 pub use task::{Task, TaskGraph, TaskId};

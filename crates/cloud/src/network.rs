@@ -60,24 +60,36 @@ impl NetworkProfile {
         })
     }
 
+    // Presets are constructed directly: the constants satisfy `new`'s
+    // invariants by inspection, and the hot path must stay panic-free.
+    fn preset(name: &str, rtt_ms: f64, bandwidth_mbps: f64, jitter_ms: f64, loss: f64) -> Self {
+        NetworkProfile {
+            name: name.to_string(),
+            rtt_ms,
+            bandwidth_mbps,
+            jitter_ms,
+            loss,
+        }
+    }
+
     /// Home/office WiFi: ~10 ms RTT, 100 Mbps.
     pub fn wifi() -> Self {
-        Self::new("wifi", 10.0, 100.0, 2.0, 0.005).expect("preset is valid")
+        Self::preset("wifi", 10.0, 100.0, 2.0, 0.005)
     }
 
     /// LTE: ~50 ms RTT, 20 Mbps.
     pub fn lte() -> Self {
-        Self::new("lte", 50.0, 20.0, 10.0, 0.01).expect("preset is valid")
+        Self::preset("lte", 50.0, 20.0, 10.0, 0.01)
     }
 
     /// 5G NR: ~5 ms RTT, 300 Mbps.
     pub fn nr5g() -> Self {
-        Self::new("5g", 5.0, 300.0, 1.0, 0.002).expect("preset is valid")
+        Self::preset("5g", 5.0, 300.0, 1.0, 0.002)
     }
 
     /// 3G/UMTS: ~150 ms RTT, 2 Mbps.
     pub fn umts3g() -> Self {
-        Self::new("3g", 150.0, 2.0, 30.0, 0.03).expect("preset is valid")
+        Self::preset("3g", 150.0, 2.0, 30.0, 0.03)
     }
 
     /// All presets, fastest first.

@@ -167,9 +167,8 @@ pub fn estimate(
     }
     let latency_ms = finish.iter().cloned().fold(0.0, f64::max);
     let idle_ms = (latency_ms - device_busy_ms - radio_ms).max(0.0);
-    let device_energy_mj = device_busy_ms * energy.compute_w
-        + radio_ms * energy.radio_w
-        + idle_ms * energy.idle_w;
+    let device_energy_mj =
+        device_busy_ms * energy.compute_w + radio_ms * energy.radio_w + idle_ms * energy.idle_w;
     Ok(Estimate {
         latency_ms,
         device_energy_mj,
@@ -227,7 +226,10 @@ pub fn best_plan(
             best = Some((plan, est));
         }
     }
-    Ok(best.expect("at least the all-device plan was evaluated"))
+    // The mask loop always evaluates mask 0 (all-device), so `best` is Some
+    // whenever we reach this point; a missing plan still maps to an error
+    // rather than a panic.
+    best.ok_or(CloudError::InvalidParameter("no offload plan evaluated"))
 }
 
 #[cfg(test)]
@@ -236,7 +238,7 @@ mod tests {
 
     fn setup() -> (TaskGraph, ComputeResource, ComputeResource, EnergyParams) {
         (
-            TaskGraph::ar_pipeline(10.0, 500_000),
+            TaskGraph::ar_pipeline(10.0, 500_000).unwrap(),
             ComputeResource::phone(),
             ComputeResource::cloud_vm(),
             EnergyParams::default(),
@@ -293,7 +295,7 @@ mod tests {
     #[test]
     fn light_compute_on_slow_network_stays_local() {
         // Tiny analysis, huge frame: shipping the frame over 3G loses.
-        let g = TaskGraph::ar_pipeline(0.05, 5_000_000);
+        let g = TaskGraph::ar_pipeline(0.05, 5_000_000).unwrap();
         let phone = ComputeResource::phone();
         let cloud = ComputeResource::cloud_vm();
         let energy = EnergyParams::default();
@@ -343,10 +345,24 @@ mod tests {
     fn offloading_saves_device_energy_for_heavy_compute() {
         let (g, phone, cloud, energy) = setup();
         let net = NetworkProfile::wifi();
-        let local = estimate(&g, &OffloadPlan::all_device(&g), &phone, &cloud, &net, &energy)
-            .unwrap();
-        let remote =
-            estimate(&g, &OffloadPlan::all_cloud(&g), &phone, &cloud, &net, &energy).unwrap();
+        let local = estimate(
+            &g,
+            &OffloadPlan::all_device(&g),
+            &phone,
+            &cloud,
+            &net,
+            &energy,
+        )
+        .unwrap();
+        let remote = estimate(
+            &g,
+            &OffloadPlan::all_cloud(&g),
+            &phone,
+            &cloud,
+            &net,
+            &energy,
+        )
+        .unwrap();
         assert!(
             remote.device_energy_mj < local.device_energy_mj / 2.0,
             "remote {} vs local {} mJ",

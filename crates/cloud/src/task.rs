@@ -122,7 +122,12 @@ impl TaskGraph {
     /// pinned to the device. `analysis_gigaops` scales the data-hungry
     /// middle stage, `frame_bytes` the camera payload shipped if
     /// detection is offloaded.
-    pub fn ar_pipeline(analysis_gigaops: f64, frame_bytes: u64) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::InvalidParameter`] if `analysis_gigaops` is negative
+    /// or non-finite (the graph shape itself is statically acyclic).
+    pub fn ar_pipeline(analysis_gigaops: f64, frame_bytes: u64) -> Result<Self, CloudError> {
         TaskGraph::new(vec![
             Task {
                 name: "capture".into(),
@@ -160,7 +165,6 @@ impl TaskGraph {
                 pinned_to_device: true,
             },
         ])
-        .expect("canonical pipeline is a valid DAG")
     }
 }
 
@@ -201,7 +205,7 @@ mod tests {
 
     #[test]
     fn topo_order_respects_deps() {
-        let g = TaskGraph::ar_pipeline(5.0, 500_000);
+        let g = TaskGraph::ar_pipeline(5.0, 500_000).unwrap();
         let pos: std::collections::HashMap<TaskId, usize> = g
             .topo_order()
             .iter()
@@ -217,7 +221,7 @@ mod tests {
 
     #[test]
     fn ar_pipeline_shape() {
-        let g = TaskGraph::ar_pipeline(10.0, 1_000_000);
+        let g = TaskGraph::ar_pipeline(10.0, 1_000_000).unwrap();
         assert_eq!(g.len(), 5);
         assert!(g.get(TaskId(0)).unwrap().pinned_to_device);
         assert!(g.get(TaskId(4)).unwrap().pinned_to_device);

@@ -165,8 +165,8 @@ impl CollabSession {
             .ok_or(CoreError::InvalidScenario("unknown participant"))?;
         let mut out = Vec::new();
         for shared in &inner.shared {
-            let role_ok = shared.roles.is_empty()
-                || shared.roles.iter().any(|r| p.roles.contains(r));
+            let role_ok =
+                shared.roles.is_empty() || shared.roles.iter().any(|r| p.roles.contains(r));
             if !role_ok {
                 continue;
             }

@@ -172,8 +172,14 @@ mod tests {
         let mut e = ContextEngine::new(3);
         // One noisy fast sample must not flip to driving.
         e.update_pose(pose_with_speed(0.0, 0));
-        assert_eq!(e.update_pose(pose_with_speed(20.0, 100)), Activity::Stationary);
-        assert_eq!(e.update_pose(pose_with_speed(0.0, 200)), Activity::Stationary);
+        assert_eq!(
+            e.update_pose(pose_with_speed(20.0, 100)),
+            Activity::Stationary
+        );
+        assert_eq!(
+            e.update_pose(pose_with_speed(0.0, 200)),
+            Activity::Stationary
+        );
         // Three consecutive walking samples switch.
         e.update_pose(pose_with_speed(1.4, 300));
         e.update_pose(pose_with_speed(1.4, 400));

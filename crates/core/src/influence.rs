@@ -126,7 +126,8 @@ pub fn influence_report(
     {
         let data = volume_score(retail.log_size as f64);
         let uplift = clamp01((retail.uplift_vs_popularity - 1.0) / 2.0);
-        let delivery = clamp01(retail.naive_layout.overlap_ratio - retail.decluttered_layout.overlap_ratio);
+        let delivery =
+            clamp01(retail.naive_layout.overlap_ratio - retail.decluttered_layout.overlap_ratio);
         let score = combine(data, uplift, delivery);
         out.push(InfluenceReport {
             field: Field::Retail,

@@ -228,9 +228,7 @@ impl AugurPlatform {
                 Directive::ShowLabel { text, .. } => OverlayKind::Label(text.clone()),
                 Directive::Highlight { color, .. } => OverlayKind::Highlight(*color),
                 Directive::Alert { text, .. } => OverlayKind::Label(format!("⚠ {text}")),
-                Directive::SuggestRoute { reason, .. } => {
-                    OverlayKind::Label(format!("→ {reason}"))
-                }
+                Directive::SuggestRoute { reason, .. } => OverlayKind::Label(format!("→ {reason}")),
             };
             let priority = match d {
                 Directive::ShowLabel { priority, .. } => *priority,
@@ -343,7 +341,10 @@ mod tests {
         let p = platform();
         let mut topics = p.broker().topics();
         topics.sort();
-        assert_eq!(topics, vec!["camera", "gps", "imu", "interaction", "vitals"]);
+        assert_eq!(
+            topics,
+            vec!["camera", "gps", "imu", "interaction", "vitals"]
+        );
     }
 
     #[test]
@@ -354,7 +355,10 @@ mod tests {
         }
         assert_eq!(p.ingested(), 10);
         assert_eq!(p.broker().stats("vitals").unwrap().records, 10);
-        let series = p.timeseries().series_by_name("patient-1/heart-rate").unwrap();
+        let series = p
+            .timeseries()
+            .series_by_name("patient-1/heart-rate")
+            .unwrap();
         assert_eq!(p.timeseries().range(series, 0, u64::MAX).unwrap().len(), 10);
     }
 

@@ -118,7 +118,9 @@ pub fn run(params: &TrafficParams) -> Result<TrafficReport, CoreError> {
         return Err(CoreError::InvalidScenario("need at least two vehicles"));
     }
     if params.dt_s <= 0.0 || params.duration_s <= 0.0 || params.share_period_s <= 0.0 {
-        return Err(CoreError::InvalidScenario("time parameters must be positive"));
+        return Err(CoreError::InvalidScenario(
+            "time parameters must be positive",
+        ));
     }
     if !(0.0..1.0).contains(&params.loss) {
         return Err(CoreError::InvalidScenario("loss must be in [0, 1)"));
@@ -156,8 +158,7 @@ pub fn run(params: &TrafficParams) -> Result<TrafficReport, CoreError> {
     let mut beacons_lost = 0u64;
     let share_every = (params.share_period_s / params.dt_s).round().max(1.0) as usize;
 
-    let mut states: Vec<augur_sensor::MotionState> =
-        walkers.iter().map(|w| w.state()).collect();
+    let mut states: Vec<augur_sensor::MotionState> = walkers.iter().map(|w| w.state()).collect();
     for step in 0..steps {
         let now_s = step as f64 * params.dt_s;
         for (state, w) in states.iter_mut().zip(walkers.iter_mut()) {

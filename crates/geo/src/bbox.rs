@@ -41,6 +41,20 @@ impl Rect {
         })
     }
 
+    /// A rectangle spanning two opposite corners in either order. NaN
+    /// coordinates are treated as 0. Total counterpart of [`Rect::new`]
+    /// for callers whose geometry is monotone by construction.
+    pub fn spanning(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        let z = |v: f64| if v.is_nan() { 0.0 } else { v };
+        let (x0, y0, x1, y1) = (z(x0), z(y0), z(x1), z(y1));
+        Rect {
+            min_x: x0.min(x1),
+            min_y: y0.min(y1),
+            max_x: x0.max(x1),
+            max_y: y0.max(y1),
+        }
+    }
+
     /// A degenerate rectangle containing a single point.
     pub fn point(x: f64, y: f64) -> Self {
         Rect {
@@ -204,6 +218,21 @@ impl GeoBounds {
         })
     }
 
+    /// Creates a geodetic bounding box by clamping coordinates into range
+    /// and ordering each axis. Total counterpart of [`GeoBounds::new`] for
+    /// callers whose inputs are valid by construction (e.g. binary
+    /// subdivision of an already-valid cell).
+    pub fn clamped(south: f64, west: f64, north: f64, east: f64) -> Self {
+        let a = GeoPoint::clamped(south, west);
+        let b = GeoPoint::clamped(north, east);
+        GeoBounds {
+            south: a.latitude_deg().min(b.latitude_deg()),
+            west: a.longitude_deg().min(b.longitude_deg()),
+            north: a.latitude_deg().max(b.latitude_deg()),
+            east: a.longitude_deg().max(b.longitude_deg()),
+        }
+    }
+
     /// Southern latitude bound in degrees.
     pub fn south(&self) -> f64 {
         self.south
@@ -231,8 +260,12 @@ impl GeoBounds {
 
     /// Centre of the box.
     pub fn center(&self) -> GeoPoint {
-        GeoPoint::new((self.south + self.north) / 2.0, (self.west + self.east) / 2.0)
-            .expect("midpoint of valid bounds is valid")
+        // The midpoint of valid bounds is valid; `clamped` keeps the
+        // computation total without a panicking unwrap.
+        GeoPoint::clamped(
+            (self.south + self.north) / 2.0,
+            (self.west + self.east) / 2.0,
+        )
     }
 }
 

@@ -29,9 +29,7 @@ pub struct Building {
 impl Building {
     /// Whether a point (ENU) is inside the building volume.
     pub fn contains(&self, p: Enu) -> bool {
-        p.up >= 0.0
-            && p.up <= self.height_m
-            && self.footprint.contains_point(p.east, p.north)
+        p.up >= 0.0 && p.up <= self.height_m && self.footprint.contains_point(p.east, p.north)
     }
 
     /// Intersects the segment `a -> b` against the building volume.
@@ -44,7 +42,12 @@ impl Building {
         let mut t_min = 0.0f64;
         let mut t_max = 1.0f64;
         let axes = [
-            (a.east, dir.0, self.footprint.min_x(), self.footprint.max_x()),
+            (
+                a.east,
+                dir.0,
+                self.footprint.min_x(),
+                self.footprint.max_x(),
+            ),
             (
                 a.north,
                 dir.1,
@@ -98,7 +101,9 @@ impl RoadGrid {
     /// centreline).
     pub fn on_street(&self, east: f64, north: f64) -> bool {
         let half = self.street_width_m / 2.0;
-        self.vertical_streets.iter().any(|&s| (east - s).abs() <= half)
+        self.vertical_streets
+            .iter()
+            .any(|&s| (east - s).abs() <= half)
             || self
                 .horizontal_streets
                 .iter()
@@ -188,13 +193,11 @@ impl CityModel {
                         let y1 = by + cell * (cj + 1) as f64 - margin;
                         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                         let u2: f64 = rng.gen_range(0.0..1.0);
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         let height = params.mean_height_m * (params.height_spread * z).exp();
                         buildings.push(Building {
                             id,
-                            footprint: Rect::new(x0, y0, x1, y1)
-                                .expect("cell geometry is monotone"),
+                            footprint: Rect::spanning(x0, y0, x1, y1),
                             height_m: height.clamp(3.0, 400.0),
                         });
                         id += 1;
@@ -202,13 +205,12 @@ impl CityModel {
                 }
             }
         }
-        let extent = Rect::new(
+        let extent = Rect::spanning(
             origin_off - params.street_width_m,
             origin_off - params.street_width_m,
             origin_off + total,
             origin_off + total,
-        )
-        .expect("extent is monotone");
+        );
         CityModel {
             buildings,
             roads: RoadGrid {

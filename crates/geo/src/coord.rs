@@ -80,6 +80,27 @@ impl GeoPoint {
         })
     }
 
+    /// Creates a point by clamping into the valid range: NaN coordinates
+    /// become 0, latitudes saturate at the poles, longitudes at the
+    /// antimeridian. Total (never fails, never panics) — intended for
+    /// arithmetic on already-valid points (midpoints, cell bisection)
+    /// where the result is in range by construction and a fallible
+    /// constructor would force panic-prone unwrapping.
+    pub fn clamped(lat_deg: f64, lon_deg: f64) -> Self {
+        let sanitize = |v: f64, lo: f64, hi: f64| {
+            if v.is_nan() {
+                0.0
+            } else {
+                v.clamp(lo, hi)
+            }
+        };
+        GeoPoint {
+            lat_deg: sanitize(lat_deg, -90.0, 90.0),
+            lon_deg: sanitize(lon_deg, -180.0, 180.0),
+            alt_m: 0.0,
+        }
+    }
+
     /// Latitude in degrees, in `[-90, 90]`.
     pub fn latitude_deg(&self) -> f64 {
         self.lat_deg
@@ -127,8 +148,8 @@ impl GeoPoint {
         let brg = bearing_deg.to_radians();
         let ang = distance_m / EARTH_RADIUS_M;
         let lat2 = (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * brg.cos()).asin();
-        let lon2 = lon1
-            + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
+        let lon2 =
+            lon1 + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
         let lon2 = (lon2.to_degrees() + 540.0) % 360.0 - 180.0;
         GeoPoint {
             lat_deg: lat2.to_degrees().clamp(-90.0, 90.0),

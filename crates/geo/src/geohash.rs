@@ -120,7 +120,9 @@ impl Geohash {
         let (mut lon_lo, mut lon_hi) = (-180.0f64, 180.0f64);
         let mut even = true;
         for c in self.0.chars() {
-            let idx = base32_index(c).expect("validated at construction");
+            // Characters are validated at construction; an impossible miss
+            // decodes as cell 0 rather than panicking.
+            let idx = base32_index(c).unwrap_or(0);
             for shift in (0..5).rev() {
                 let bit = (idx >> shift) & 1;
                 if even {
@@ -141,7 +143,7 @@ impl Geohash {
                 even = !even;
             }
         }
-        GeoBounds::new(lat_lo, lon_lo, lat_hi, lon_hi).expect("bisection preserves validity")
+        GeoBounds::clamped(lat_lo, lon_lo, lat_hi, lon_hi)
     }
 
     /// Centre point of the cell.
@@ -171,7 +173,7 @@ impl Geohash {
     pub fn routing_key(&self) -> u64 {
         let mut key = 0u64;
         for (i, c) in self.0.chars().take(12).enumerate() {
-            let idx = base32_index(c).expect("validated at construction") as u64;
+            let idx = base32_index(c).unwrap_or(0) as u64;
             key |= idx << (64 - 5 * (i + 1));
         }
         key
@@ -202,10 +204,13 @@ impl Geohash {
                 if lon < -180.0 {
                     lon += 360.0;
                 }
-                let p = GeoPoint::new(lat, lon).expect("clamped above");
-                let h = Geohash::encode(p, self.precision()).expect("precision already valid");
-                if h != *self && !out.contains(&h) {
-                    out.push(h);
+                let p = GeoPoint::clamped(lat, lon);
+                // Precision came from an existing hash, so encode cannot
+                // fail; skip (rather than panic on) the impossible branch.
+                if let Ok(h) = Geohash::encode(p, self.precision()) {
+                    if h != *self && !out.contains(&h) {
+                        out.push(h);
+                    }
                 }
             }
         }

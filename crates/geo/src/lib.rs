@@ -30,20 +30,36 @@
 //! # Ok::<(), augur_geo::GeoError>(())
 //! ```
 
+/// Axis-aligned bounding regions, planar and geodetic.
 pub mod bbox;
+/// Synthetic city models: buildings on a street grid.
 pub mod city;
+/// WGS-84 coordinate types and frame conversions.
 pub mod coord;
+/// The crate error type.
 pub mod error;
+/// Geohash encoding for coarse spatial bucketing.
 pub mod geohash;
+/// Points of interest: database, queries, synthetic generator.
 pub mod poi;
+/// A point quadtree for planar range queries.
 pub mod quadtree;
+/// A Sort-Tile-Recursive packed R-tree.
 pub mod rtree;
 
+/// Bounding regions re-exported from [`bbox`].
 pub use bbox::{GeoBounds, Rect};
+/// City-model types re-exported from [`city`].
 pub use city::{Building, CityModel, CityParams, RoadGrid};
+/// Coordinate types re-exported from [`coord`].
 pub use coord::{Ecef, Enu, GeoPoint, LocalFrame, EARTH_RADIUS_M};
+/// The crate error type, re-exported from [`error`].
 pub use error::GeoError;
+/// Geohash cells re-exported from [`geohash`].
 pub use geohash::Geohash;
+/// POI types re-exported from [`poi`].
 pub use poi::{Poi, PoiCategory, PoiDatabase, PoiGenerator, PoiId};
+/// The quadtree re-exported from [`quadtree`].
 pub use quadtree::QuadTree;
+/// The R-tree re-exported from [`rtree`].
 pub use rtree::RTree;

@@ -243,11 +243,19 @@ impl PoiDatabase {
         self.pois.iter().find(|p| p.id == id)
     }
 
-    /// POIs within `radius_m` metres of `center`, unordered.
+    /// POIs within `radius_m` metres of `center`, unordered. A negative
+    /// radius yields no results.
     pub fn within_radius(&self, center: GeoPoint, radius_m: f64) -> Vec<&Poi> {
+        if radius_m < 0.0 {
+            return Vec::new();
+        }
         let c = self.frame.to_enu(center);
-        let query = Rect::centered(c.east, c.north, radius_m, radius_m)
-            .expect("radius is non-negative by construction");
+        let query = Rect::spanning(
+            c.east - radius_m,
+            c.north - radius_m,
+            c.east + radius_m,
+            c.north + radius_m,
+        );
         let r2 = radius_m * radius_m;
         self.index
             .range(&query)
@@ -288,12 +296,38 @@ impl PoiDatabase {
         }
     }
 
+    /// The `k` nearest POIs (no category filter), plus the search cost as
+    /// the number of distance evaluations the index performed — a
+    /// deterministic latency proxy for simulations that must not read the
+    /// wall clock (compare with [`PoiDatabase::within_radius_scan_counted`],
+    /// whose cost is always the full database size).
+    pub fn nearest_counted(&self, center: GeoPoint, k: usize) -> (Vec<&Poi>, usize) {
+        let c = self.frame.to_enu(center);
+        let (hits, work) = self.index.nearest_counted(c.east, c.north, k);
+        (
+            hits.into_iter().map(|(_, &i)| &self.pois[i]).collect(),
+            work,
+        )
+    }
+
     /// Linear-scan radius query, for benchmarking against the index.
     pub fn within_radius_scan(&self, center: GeoPoint, radius_m: f64) -> Vec<&Poi> {
-        self.pois
+        self.within_radius_scan_counted(center, radius_m).0
+    }
+
+    /// Like [`PoiDatabase::within_radius_scan`], reporting the scan cost:
+    /// one haversine evaluation per stored POI.
+    pub fn within_radius_scan_counted(
+        &self,
+        center: GeoPoint,
+        radius_m: f64,
+    ) -> (Vec<&Poi>, usize) {
+        let hits = self
+            .pois
             .iter()
             .filter(|p| p.position.haversine_m(center) <= radius_m)
-            .collect()
+            .collect();
+        (hits, self.pois.len())
     }
 }
 
@@ -420,7 +454,9 @@ mod tests {
             })
             .collect();
         let db = PoiDatabase::build(origin(), pois);
-        assert!(db.nearest(origin(), 3, Some(PoiCategory::Health)).is_empty());
+        assert!(db
+            .nearest(origin(), 3, Some(PoiCategory::Health))
+            .is_empty());
         assert_eq!(db.nearest(origin(), 3, Some(PoiCategory::Retail)).len(), 3);
     }
 

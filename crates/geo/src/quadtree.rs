@@ -26,13 +26,13 @@ impl<T> QNode<T> {
 
     fn quadrant_bounds(&self) -> [Rect; 4] {
         let (cx, cy) = self.bounds.center();
+        // Subdividing a valid rect is monotone; `spanning` keeps it total.
         [
-            Rect::new(self.bounds.min_x(), self.bounds.min_y(), cx, cy),
-            Rect::new(cx, self.bounds.min_y(), self.bounds.max_x(), cy),
-            Rect::new(self.bounds.min_x(), cy, cx, self.bounds.max_y()),
-            Rect::new(cx, cy, self.bounds.max_x(), self.bounds.max_y()),
+            Rect::spanning(self.bounds.min_x(), self.bounds.min_y(), cx, cy),
+            Rect::spanning(cx, self.bounds.min_y(), self.bounds.max_x(), cy),
+            Rect::spanning(self.bounds.min_x(), cy, cx, self.bounds.max_y()),
+            Rect::spanning(cx, cy, self.bounds.max_x(), self.bounds.max_y()),
         ]
-        .map(|r| r.expect("subdividing a valid rect yields valid rects"))
     }
 
     fn quadrant_of(&self, x: f64, y: f64) -> usize {
@@ -53,15 +53,18 @@ impl<T> QNode<T> {
             }
             // Split and redistribute.
             let qb = self.quadrant_bounds();
-            self.children = Some(Box::new(qb.map(QNode::new)));
+            let mut children = Box::new(qb.map(QNode::new));
             let pts = std::mem::take(&mut self.points);
             for (px, py, v) in pts {
                 let q = self.quadrant_of(px, py);
-                self.children.as_mut().unwrap()[q].insert(px, py, v, depth + 1);
+                children[q].insert(px, py, v, depth + 1);
             }
+            self.children = Some(children);
         }
         let q = self.quadrant_of(x, y);
-        self.children.as_mut().unwrap()[q].insert(x, y, value, depth + 1);
+        if let Some(children) = self.children.as_mut() {
+            children[q].insert(x, y, value, depth + 1);
+        }
     }
 
     fn range<'a>(&'a self, query: &Rect, out: &mut Vec<(f64, f64, &'a T)>) {

@@ -156,10 +156,13 @@ impl<T> RTree<T> {
             }
             level = next;
         }
-        RTree {
-            root: level.pop().expect("non-empty input yields a root"),
-            len,
-        }
+        // Non-empty input always leaves exactly one packed root; the
+        // fallback keeps the impossible branch panic-free.
+        let root = level.pop().unwrap_or(Node::Leaf {
+            bounds: Rect::empty(),
+            entries: Vec::new(),
+        });
+        RTree { root, len }
     }
 
     /// Number of stored entries.
@@ -223,7 +226,9 @@ impl<T> RTree<T> {
                             })
                     })
                     .map(|(i, _)| i)
-                    .expect("inner nodes are never empty");
+                    // Inner nodes are never empty; 0 is a harmless
+                    // stand-in for the impossible branch.
+                    .unwrap_or(0);
                 if let Some((a, b)) = Self::insert_into(&mut children[idx], rect, value) {
                     children.swap_remove(idx);
                     children.push(a);
@@ -344,8 +349,16 @@ impl<T> RTree<T> {
     /// The `k` entries nearest to `(x, y)` by rectangle distance, closest
     /// first. Returns fewer than `k` when the tree is smaller.
     pub fn nearest(&self, x: f64, y: f64, k: usize) -> Vec<(Rect, &T)> {
+        self.nearest_counted(x, y, k).0
+    }
+
+    /// Like [`RTree::nearest`], but also reports the search cost as the
+    /// number of rectangle-distance evaluations performed. The count is a
+    /// deterministic proxy for query latency, usable by simulations that
+    /// must not read the wall clock.
+    pub fn nearest_counted(&self, x: f64, y: f64, k: usize) -> (Vec<(Rect, &T)>, usize) {
         if k == 0 || self.len == 0 {
-            return Vec::new();
+            return (Vec::new(), 0);
         }
         // Best-first search over a min-heap of (distance², node-or-entry).
         enum Item<'a, T> {
@@ -377,6 +390,7 @@ impl<T> RTree<T> {
             }
         }
         let mut heap: BinaryHeap<HeapEntry<'_, T>> = BinaryHeap::new();
+        let mut work = 1usize;
         heap.push(HeapEntry {
             dist2: self.root.bounds().distance2_to_point(x, y),
             item: Item::Node(&self.root),
@@ -391,6 +405,7 @@ impl<T> RTree<T> {
                     }
                 }
                 Item::Node(Node::Leaf { entries, .. }) => {
+                    work += entries.len();
                     for (r, v) in entries {
                         heap.push(HeapEntry {
                             dist2: r.distance2_to_point(x, y),
@@ -399,6 +414,7 @@ impl<T> RTree<T> {
                     }
                 }
                 Item::Node(Node::Inner { children, .. }) => {
+                    work += children.len();
                     for c in children {
                         heap.push(HeapEntry {
                             dist2: c.bounds().distance2_to_point(x, y),
@@ -408,7 +424,7 @@ impl<T> RTree<T> {
                 }
             }
         }
-        out
+        (out, work)
     }
 
     /// Depth of the tree (1 for a single leaf). Exposed for tests and

@@ -235,12 +235,8 @@ mod tests {
 
     #[test]
     fn similarity_is_symmetric_and_bounded() {
-        let a = LocationSignature::build(
-            &Trace::new(vec![Enu::new(5.0, 5.0, 0.0); 10]),
-            100.0,
-            3,
-        )
-        .unwrap();
+        let a = LocationSignature::build(&Trace::new(vec![Enu::new(5.0, 5.0, 0.0); 10]), 100.0, 3)
+            .unwrap();
         let b = LocationSignature::build(
             &Trace::new(vec![Enu::new(5.0, 5.0, 0.0), Enu::new(500.0, 0.0, 0.0)]),
             100.0,

@@ -9,7 +9,12 @@ pub enum PrivacyError {
     /// A privacy parameter (ε, δ, sensitivity...) was out of domain.
     InvalidParameter(&'static str),
     /// The privacy budget is exhausted.
-    BudgetExhausted { requested: f64, remaining: f64 },
+    BudgetExhausted {
+        /// Epsilon the caller asked to spend.
+        requested: f64,
+        /// Epsilon still available in the budget.
+        remaining: f64,
+    },
 }
 
 impl fmt::Display for PrivacyError {

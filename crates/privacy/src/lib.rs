@@ -14,12 +14,20 @@
 //!   that quantifies how identifying mobility remains after each
 //!   protection.
 
+/// Re-identification attacks for measuring residual risk.
 pub mod attack;
+/// Differential-privacy mechanisms and budget accounting.
 pub mod dp;
+/// The crate error type.
 pub mod error;
+/// Location obfuscation: cloaking and geo-indistinguishability.
 pub mod location;
 
+/// Attack machinery re-exported from [`attack`].
 pub use attack::{LocationSignature, ReidentificationAttack, Trace};
+/// DP mechanisms re-exported from [`dp`].
 pub use dp::{gaussian_mechanism, laplace_mechanism, randomized_response, PrivacyBudget};
+/// The crate error type, re-exported from [`error`].
 pub use error::PrivacyError;
+/// Location obfuscation re-exported from [`location`].
 pub use location::{cloak_k_anonymous, geo_indistinguishable, CloakGrid};

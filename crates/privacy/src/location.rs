@@ -137,7 +137,11 @@ pub fn cloak_k_anonymous(
             return Ok((cloaked, cell_m, true));
         }
     }
-    let cell_m = *sorted.last().expect("non-empty candidates");
+    // Non-empty by the guard above; propagate rather than panic regardless.
+    let cell_m = sorted
+        .last()
+        .copied()
+        .ok_or(PrivacyError::InvalidParameter("candidate_cells_m"))?;
     let grid = CloakGrid::new(cell_m)?;
     let cloaked = positions.iter().map(|p| grid.cloak(*p)).collect();
     Ok((cloaked, cell_m, false))
@@ -198,7 +202,10 @@ mod tests {
         let p = Enu::new(137.0, -42.0, 0.0);
         let c = g.cloak(p);
         assert_eq!(c, Enu::new(150.0, -50.0, 0.0));
-        assert_eq!(g.cloak(Enu::new(199.0, -1.0, 5.0)), Enu::new(150.0, -50.0, 0.0));
+        assert_eq!(
+            g.cloak(Enu::new(199.0, -1.0, 5.0)),
+            Enu::new(150.0, -50.0, 0.0)
+        );
         assert!(CloakGrid::new(0.0).is_err());
     }
 

@@ -2,8 +2,8 @@
 
 use augur_geo::Enu;
 use augur_privacy::{
-    cloak_k_anonymous, geo_indistinguishable, laplace_mechanism, randomized_response,
-    CloakGrid, LocationSignature, PrivacyBudget, Trace,
+    cloak_k_anonymous, geo_indistinguishable, laplace_mechanism, randomized_response, CloakGrid,
+    LocationSignature, PrivacyBudget, Trace,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;

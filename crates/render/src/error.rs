@@ -29,7 +29,9 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(RenderError::InvalidParameter("fov").to_string().contains("fov"));
+        assert!(RenderError::InvalidParameter("fov")
+            .to_string()
+            .contains("fov"));
         assert!(RenderError::UnknownItem(3).to_string().contains('3'));
     }
 }

@@ -294,10 +294,7 @@ mod tests {
         (0..n)
             .map(|i| LabelBox {
                 id: i as u64,
-                anchor_px: (
-                    rng.gen_range(200.0..600.0),
-                    rng.gen_range(200.0..500.0),
-                ),
+                anchor_px: (rng.gen_range(200.0..600.0), rng.gen_range(200.0..500.0)),
                 width_px: 120.0,
                 height_px: 30.0,
                 priority: rng.gen_range(0.0..1.0),

@@ -17,18 +17,30 @@
 //!   detail, enforcing the 30 Hz interactivity bound (Azuma's second
 //!   requirement).
 
+/// The crate error type.
 pub mod error;
+/// Frame budgets and level-of-detail control.
 pub mod frame;
+/// Label layout: naive, greedy-decluttered, force-directed.
 pub mod layout;
+/// Occlusion classification and x-ray reveals against the city model.
 pub mod occlusion;
+/// The overlay scene graph.
 pub mod scene;
+/// Camera projection and viewport types.
 pub mod view;
 
+/// The crate error type, re-exported from [`error`].
 pub use error::RenderError;
+/// Frame pacing types re-exported from [`frame`].
 pub use frame::{FrameBudget, LodLevel, StageTiming};
-pub use layout::{
-    force_layout, greedy_layout, naive_layout, LabelBox, LayoutMetrics, PlacedLabel,
+/// Layout algorithms re-exported from [`layout`].
+pub use layout::{force_layout, greedy_layout, naive_layout, LabelBox, LayoutMetrics, PlacedLabel};
+/// Occlusion machinery re-exported from [`occlusion`].
+pub use occlusion::{
+    classify_visibility, xray_reveals, OcclusionClass, OcclusionIndex, XRayReveal,
 };
-pub use occlusion::{classify_visibility, xray_reveals, OcclusionClass, OcclusionIndex, XRayReveal};
+/// Scene-graph types re-exported from [`scene`].
 pub use scene::{OverlayItem, OverlayKind, SceneGraph};
+/// View types re-exported from [`view`].
 pub use view::{ViewCamera, Viewport};

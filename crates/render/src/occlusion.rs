@@ -77,13 +77,7 @@ impl OcclusionIndex {
             return OcclusionClass::OutOfView;
         }
         let a = camera.position;
-        let query = Rect::new(
-            a.east.min(target.east),
-            a.north.min(target.north),
-            a.east.max(target.east),
-            a.north.max(target.north),
-        )
-        .expect("min <= max by construction");
+        let query = Rect::spanning(a.east, a.north, target.east, target.north);
         let mut best: Option<(u32, f64)> = None;
         for (_, &i) in self.tree.range(&query) {
             let b = &self.buildings[i];
@@ -174,7 +168,10 @@ mod tests {
         let cam = cam_at(Enu::new(cx - 200.0, cy, 1.6), 90.0);
         let target = Enu::new(cx + 200.0, cy, 1.6);
         let class = classify_visibility(&cam, target, &c);
-        assert!(matches!(class, OcclusionClass::Occluded { .. }), "{class:?}");
+        assert!(
+            matches!(class, OcclusionClass::Occluded { .. }),
+            "{class:?}"
+        );
     }
 
     #[test]
@@ -184,7 +181,10 @@ mod tests {
         let target = Enu::new(400.0, 50.0, 450.0);
         // 450 m is above every generated building (clamped at 400).
         if cam.in_frustum(target) {
-            assert_eq!(classify_visibility(&cam, target, &c), OcclusionClass::Visible);
+            assert_eq!(
+                classify_visibility(&cam, target, &c),
+                OcclusionClass::Visible
+            );
         }
     }
 
@@ -237,9 +237,9 @@ mod tests {
         let (cx, cy) = b.footprint.center();
         let cam = cam_at(Enu::new(cx - 200.0, cy, 1.6), 90.0);
         let targets = vec![
-            (1u64, Enu::new(cx + 200.0, cy, 1.6)),   // occluded
-            (2u64, Enu::new(cx - 150.0, cy, 1.6)),   // visible, just ahead
-            (3u64, Enu::new(cx - 400.0, cy, 1.6)),   // behind camera
+            (1u64, Enu::new(cx + 200.0, cy, 1.6)), // occluded
+            (2u64, Enu::new(cx - 150.0, cy, 1.6)), // visible, just ahead
+            (3u64, Enu::new(cx - 400.0, cy, 1.6)), // behind camera
         ];
         let reveals = xray_reveals(&cam, &targets, &index);
         let ids: Vec<u64> = reveals.iter().map(|r| r.target_id).collect();

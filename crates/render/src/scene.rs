@@ -172,7 +172,7 @@ mod tests {
         s.extend([
             label(1, 0.0, 50.0, 0.2),
             label(2, 0.0, 80.0, 0.9),
-            label(3, 0.0, -50.0, 1.0), // behind
+            label(3, 0.0, -50.0, 1.0),   // behind
             label(4, 2000.0, 50.0, 1.0), // out of fov / far
         ]);
         let vis = s.visible_items(&cam());

@@ -108,7 +108,10 @@ impl ViewCamera {
         let f = self.focal_px();
         let u = self.viewport.width_px as f64 / 2.0 + f * right / forward;
         let v = self.viewport.height_px as f64 / 2.0 - f * up / forward;
-        let (w, h) = (self.viewport.width_px as f64, self.viewport.height_px as f64);
+        let (w, h) = (
+            self.viewport.width_px as f64,
+            self.viewport.height_px as f64,
+        );
         (u >= 0.0 && u <= w && v >= 0.0 && v <= h).then_some((u, v))
     }
 }

@@ -8,23 +8,21 @@ use augur_render::{
 use proptest::prelude::*;
 
 fn arb_labels() -> impl Strategy<Value = Vec<LabelBox>> {
-    prop::collection::vec(
-        (50.0f64..1870.0, 50.0f64..1030.0, 0.0f64..1.0),
-        1..60,
+    prop::collection::vec((50.0f64..1870.0, 50.0f64..1030.0, 0.0f64..1.0), 1..60).prop_map(
+        |specs| {
+            specs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (x, y, p))| LabelBox {
+                    id: i as u64,
+                    anchor_px: (x, y),
+                    width_px: 120.0,
+                    height_px: 30.0,
+                    priority: p,
+                })
+                .collect()
+        },
     )
-    .prop_map(|specs| {
-        specs
-            .into_iter()
-            .enumerate()
-            .map(|(i, (x, y, p))| LabelBox {
-                id: i as u64,
-                anchor_px: (x, y),
-                width_px: 120.0,
-                height_px: 30.0,
-                priority: p,
-            })
-            .collect()
-    })
 }
 
 proptest! {

@@ -249,8 +249,14 @@ impl FeatureCollection {
     }
 
     /// Features carrying `key == value` among their tags.
-    pub fn with_tag<'a>(&'a self, key: &'a str, value: &'a str) -> impl Iterator<Item = &'a Feature> {
-        self.features.iter().filter(move |f| f.tag(key) == Some(value))
+    pub fn with_tag<'a>(
+        &'a self,
+        key: &'a str,
+        value: &'a str,
+    ) -> impl Iterator<Item = &'a Feature> {
+        self.features
+            .iter()
+            .filter(move |f| f.tag(key) == Some(value))
     }
 
     /// Serialises the collection as a JSON array of features.
@@ -258,7 +264,9 @@ impl FeatureCollection {
         let items: Vec<JsonValue> = self
             .features
             .iter()
-            .map(|f| JsonValue::parse(&f.to_json()).expect("feature encoding is valid json"))
+            // Feature encoding round-trips by construction; an impossible
+            // parse failure degrades to `null` rather than panicking.
+            .map(|f| JsonValue::parse(&f.to_json()).unwrap_or(JsonValue::Null))
             .collect();
         JsonValue::Array(items).to_json()
     }

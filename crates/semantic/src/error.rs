@@ -7,7 +7,12 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum SemanticError {
     /// JSON text failed to parse at the given byte offset.
-    JsonParse { offset: usize, message: String },
+    JsonParse {
+        /// Byte offset where parsing failed.
+        offset: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
     /// A JSON document parsed but did not match the expected shape.
     JsonShape(String),
     /// A rule or parameter was out of domain.

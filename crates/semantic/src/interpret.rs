@@ -283,10 +283,7 @@ impl InterpretationEngine {
 
     /// Interprets a batch of facts.
     pub fn interpret_all(&mut self, facts: &[Fact], ctx: &UserContext) -> Vec<Directive> {
-        facts
-            .iter()
-            .flat_map(|f| self.interpret(f, ctx))
-            .collect()
+        facts.iter().flat_map(|f| self.interpret(f, ctx)).collect()
     }
 }
 
@@ -396,7 +393,10 @@ mod tests {
     #[test]
     fn value_at_most_and_highlight() {
         let mut e = engine();
-        let d = e.interpret(&Fact::new("stock", FeatureId(4), 2.0), &UserContext::default());
+        let d = e.interpret(
+            &Fact::new("stock", FeatureId(4), 2.0),
+            &UserContext::default(),
+        );
         assert_eq!(
             d,
             vec![Directive::Highlight {
@@ -405,7 +405,10 @@ mod tests {
             }]
         );
         assert!(e
-            .interpret(&Fact::new("stock", FeatureId(4), 10.0), &UserContext::default())
+            .interpret(
+                &Fact::new("stock", FeatureId(4), 10.0),
+                &UserContext::default()
+            )
             .is_empty());
     }
 

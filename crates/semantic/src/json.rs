@@ -257,9 +257,7 @@ fn parse_lit(
 
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, SemanticError> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
     if start == *pos {
@@ -312,9 +310,8 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, SemanticError> {
             }
             Some(_) => {
                 // Consume one UTF-8 scalar.
-                let s = std::str::from_utf8(&b[*pos..])
-                    .map_err(|_| err(*pos, "invalid utf-8"))?;
-                let c = s.chars().next().expect("non-empty by bounds check");
+                let s = std::str::from_utf8(&b[*pos..]).map_err(|_| err(*pos, "invalid utf-8"))?;
+                let c = s.chars().next().ok_or_else(|| err(*pos, "invalid utf-8"))?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -389,7 +386,10 @@ mod tests {
     fn parses_scalars() {
         assert_eq!(JsonValue::parse("null").unwrap(), JsonValue::Null);
         assert_eq!(JsonValue::parse("true").unwrap(), JsonValue::Bool(true));
-        assert_eq!(JsonValue::parse(" -1.5e2 ").unwrap(), JsonValue::Number(-150.0));
+        assert_eq!(
+            JsonValue::parse(" -1.5e2 ").unwrap(),
+            JsonValue::Number(-150.0)
+        );
         assert_eq!(
             JsonValue::parse("\"a\\nb\"").unwrap(),
             JsonValue::String("a\nb".into())

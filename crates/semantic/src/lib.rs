@@ -16,16 +16,26 @@
 //! - [`link`]: cross-source entity linking that merges the "fragmented,
 //!   redundant" records of §3.2 into unified entities.
 
+/// ARML-style feature/anchor/asset content model.
 pub mod arml;
+/// The crate error type.
 pub mod error;
+/// Rule-based interpretation of facts into AR directives.
 pub mod interpret;
+/// A minimal JSON value model with parser and printer.
 pub mod json;
+/// Cross-source entity linking.
 pub mod link;
 
+/// Content-model types re-exported from [`arml`].
 pub use arml::{Anchor, Feature, FeatureId, VirtualAsset};
+/// The crate error type, re-exported from [`error`].
 pub use error::SemanticError;
+/// Interpretation machinery re-exported from [`interpret`].
 pub use interpret::{
     ActionTemplate, Condition, Directive, Fact, InterpretationEngine, Rule, UserContext,
 };
+/// JSON values re-exported from [`json`].
 pub use json::JsonValue;
+/// Entity linking re-exported from [`link`].
 pub use link::{link_entities, EntityRecord, LinkParams, LinkedEntity};

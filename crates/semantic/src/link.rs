@@ -130,12 +130,14 @@ pub fn link_entities(
                 c.members.iter().map(|m| m.position.up).sum::<f64>() / n,
             );
             // Canonical name: the longest member name (most descriptive).
+            // Clusters are non-empty by construction; an impossible empty
+            // cluster gets an empty name rather than a panic.
             let name = c
                 .members
                 .iter()
                 .map(|m| m.name.clone())
                 .max_by_key(|s| s.len())
-                .expect("clusters are non-empty");
+                .unwrap_or_default();
             let mut attrs = BTreeMap::new();
             let mut sources = Vec::new();
             for m in &c.members {
@@ -185,8 +187,20 @@ mod tests {
     fn merges_same_venue_across_sources() {
         let records = vec![
             rec("poi-db", "Seafront Cafe", 0.0, 0.0, &[("phone", "123")]),
-            rec("geo-tweets", "seafront cafe!!", 8.0, -5.0, &[("rating", "4.5")]),
-            rec("ugc-photos", "The Seafront Cafe", -4.0, 3.0, &[("photo", "p1")]),
+            rec(
+                "geo-tweets",
+                "seafront cafe!!",
+                8.0,
+                -5.0,
+                &[("rating", "4.5")],
+            ),
+            rec(
+                "ugc-photos",
+                "The Seafront Cafe",
+                -4.0,
+                3.0,
+                &[("photo", "p1")],
+            ),
             rec("poi-db", "City Museum", 800.0, 800.0, &[("hours", "9-17")]),
         ];
         let linked = link_entities(&records, &LinkParams::default()).unwrap();

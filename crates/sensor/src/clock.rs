@@ -155,7 +155,10 @@ mod tests {
         assert_eq!(t.as_millis(), 1234);
         assert!((t.as_secs_f64() - 1.234).abs() < 1e-12);
         assert_eq!(Timestamp::from_secs(2), Timestamp::from_millis(2000));
-        assert_eq!(Timestamp::from_secs_f64(0.5), Timestamp::from_micros(500_000));
+        assert_eq!(
+            Timestamp::from_secs_f64(0.5),
+            Timestamp::from_micros(500_000)
+        );
     }
 
     #[test]

@@ -250,8 +250,8 @@ mod tests {
         };
         let mut imu = ImuSensor::new(params, rng(3));
         let readings = imu.track(&truth);
-        let mean: f64 = readings[1..].iter().map(|r| r.accel_east).sum::<f64>()
-            / (readings.len() - 1) as f64;
+        let mean: f64 =
+            readings[1..].iter().map(|r| r.accel_east).sum::<f64>() / (readings.len() - 1) as f64;
         assert!((mean - 1.0).abs() < 0.02, "mean accel {mean} != 1.0");
     }
 

@@ -17,20 +17,34 @@
 //! - [`physio`]: vitals streams with injected anomaly episodes.
 //! - [`event`]: the unified [`SensorEvent`] envelope fed into streams.
 
+/// A pinhole camera observing scene anchors.
 pub mod camera;
+/// The simulated clock all sensors are driven by.
 pub mod clock;
+/// Common sensor event envelope types.
 pub mod event;
+/// A GPS receiver model with noise and dropouts.
 pub mod gps;
+/// An IMU model with bias and noise.
 pub mod imu;
+/// Physiological vitals generation with anomaly episodes.
 pub mod physio;
+/// Ground-truth mobility models.
 pub mod trajectory;
 
+/// Camera types re-exported from [`camera`].
 pub use camera::{AnchorObservation, CameraModel, CameraSensor};
+/// Clock types re-exported from [`clock`].
 pub use clock::{SimClock, Timestamp};
+/// Event envelope types re-exported from [`event`].
 pub use event::{DeviceId, SensorEvent, SensorReading};
+/// GPS types re-exported from [`gps`].
 pub use gps::{GpsFix, GpsParams, GpsSensor};
+/// IMU types re-exported from [`imu`].
 pub use imu::{ImuParams, ImuReading, ImuSensor};
-pub use physio::{AnomalyKind, VitalSign, VitalsParams, VitalsGenerator, VitalsSample};
+/// Vitals types re-exported from [`physio`].
+pub use physio::{AnomalyKind, VitalSign, VitalsGenerator, VitalsParams, VitalsSample};
+/// Mobility models re-exported from [`trajectory`].
 pub use trajectory::{
     LevyFlight, MotionState, RandomWaypoint, RoadGridWalk, Trajectory, TrajectoryParams,
 };

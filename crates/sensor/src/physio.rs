@@ -26,7 +26,11 @@ pub enum VitalSign {
 
 impl VitalSign {
     /// All modelled signs.
-    pub const ALL: [VitalSign; 3] = [VitalSign::HeartRate, VitalSign::SpO2, VitalSign::Temperature];
+    pub const ALL: [VitalSign; 3] = [
+        VitalSign::HeartRate,
+        VitalSign::SpO2,
+        VitalSign::Temperature,
+    ];
 
     /// Healthy resting baseline for the sign.
     pub fn baseline(&self) -> f64 {
@@ -208,15 +212,12 @@ impl VitalsGenerator {
                         * p.circadian_amplitude
                         * (std::f64::consts::TAU * t.as_secs_f64() / 86_400.0).sin();
                     let episode = episodes.iter().find(|e| {
-                        e.patient == patient
-                            && e.kind.sign() == sign
-                            && t >= e.start
-                            && t < e.end
+                        e.patient == patient && e.kind.sign() == sign && t >= e.start && t < e.end
                     });
                     let offset = episode.map(|e| e.kind.offset()).unwrap_or(0.0);
                     let noise = normal(rng) * sign.noise_sigma();
                     let artifact = if rng.gen_bool(p.artifact_probability) {
-                        let magnitude = rng.gen_range(8.0..30.0) * sign.noise_sigma();
+                        let magnitude = rng.gen_range(8.0f64..30.0) * sign.noise_sigma();
                         if rng.gen_bool(0.5) {
                             magnitude
                         } else {
@@ -348,7 +349,10 @@ mod tests {
         let (samples, episodes) = VitalsGenerator::new(params).generate(&mut rng());
         for s in &samples {
             let inside = episodes.iter().any(|e| {
-                e.patient == s.patient && e.kind.sign() == s.sign && s.time >= e.start && s.time < e.end
+                e.patient == s.patient
+                    && e.kind.sign() == s.sign
+                    && s.time >= e.start
+                    && s.time < e.end
             });
             assert_eq!(s.in_anomaly, inside);
         }

@@ -185,7 +185,7 @@ impl<R: Rng> RoadGridWalk<R> {
     ) -> Self {
         let (e, n) = roads.nearest_intersection(0.0, 0.0);
         let dirs = [(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0)];
-        let direction = dirs[rng.gen_range(0..4)];
+        let direction = dirs[rng.gen_range(0..4usize)];
         RoadGridWalk {
             roads,
             speed_mps,
@@ -213,7 +213,7 @@ impl<R: Rng> Trajectory for RoadGridWalk<R> {
         // Turn or reverse at intersections.
         if self.at_intersection() && self.rng.gen_bool(self.turn_probability) {
             let dirs = [(1.0, 0.0), (-1.0, 0.0), (0.0, 1.0), (0.0, -1.0)];
-            self.direction = dirs[self.rng.gen_range(0..4)];
+            self.direction = dirs[self.rng.gen_range(0..4usize)];
         }
         let step = self.speed_mps * dt_s;
         let mut e = self.state.position.east + self.direction.0 * step;

@@ -102,9 +102,21 @@ impl Schema {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// Numeric column in `[lo, hi]` (either bound may be infinite).
-    NumBetween { column: String, lo: f64, hi: f64 },
+    NumBetween {
+        /// Column the predicate applies to.
+        column: String,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
     /// String column equals the given value.
-    StrEq { column: String, value: String },
+    StrEq {
+        /// Column the predicate applies to.
+        column: String,
+        /// Value the column must equal.
+        value: String,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -135,7 +147,14 @@ impl Column {
         match (self, v) {
             (Column::F64(col), Value::F64(x)) => col.push(x),
             (Column::I64(col), Value::I64(x)) => col.push(x),
-            (Column::Str { dict, lookup, codes }, Value::Str(s)) => {
+            (
+                Column::Str {
+                    dict,
+                    lookup,
+                    codes,
+                },
+                Value::Str(s),
+            ) => {
                 let code = *lookup.entry(s.clone()).or_insert_with(|| {
                     dict.push(s);
                     (dict.len() - 1) as u32
@@ -199,7 +218,11 @@ pub struct ColumnTable {
 impl ColumnTable {
     /// Creates an empty table.
     pub fn new(schema: Schema) -> Self {
-        let columns = schema.columns.iter().map(|(_, t)| Column::new(*t)).collect();
+        let columns = schema
+            .columns
+            .iter()
+            .map(|(_, t)| Column::new(*t))
+            .collect();
         ColumnTable {
             schema,
             columns,
@@ -249,7 +272,9 @@ impl ColumnTable {
             }
         }
         for (i, v) in row.into_iter().enumerate() {
-            self.columns[i].push(v).expect("types validated above");
+            // Types were validated above, so this cannot fail; propagating
+            // keeps the insert path panic-free.
+            self.columns[i].push(v)?;
         }
         self.rows += 1;
         Ok(())
@@ -359,11 +384,7 @@ impl ColumnTable {
     /// # Errors
     ///
     /// Same conditions as [`ColumnTable::sum`].
-    pub fn mean(
-        &self,
-        column: &str,
-        predicates: &[Predicate],
-    ) -> Result<Option<f64>, StoreError> {
+    pub fn mean(&self, column: &str, predicates: &[Predicate]) -> Result<Option<f64>, StoreError> {
         let rows = self.matching_rows(predicates)?;
         if rows.is_empty() {
             return Ok(None);

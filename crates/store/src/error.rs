@@ -13,7 +13,14 @@ pub enum StoreError {
     /// A series id was not registered.
     UnknownSeries(u64),
     /// Samples must be appended in non-decreasing time order per series.
-    OutOfOrderSample { series: u64, t_us: u64, last_us: u64 },
+    OutOfOrderSample {
+        /// Series the sample was appended to.
+        series: u64,
+        /// Timestamp of the rejected sample, in microseconds.
+        t_us: u64,
+        /// Timestamp of the latest accepted sample, in microseconds.
+        last_us: u64,
+    },
     /// A parameter was out of its valid domain.
     InvalidParameter(&'static str),
 }
@@ -24,7 +31,11 @@ impl fmt::Display for StoreError {
             StoreError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
             StoreError::SchemaMismatch(what) => write!(f, "schema mismatch: {what}"),
             StoreError::UnknownSeries(id) => write!(f, "unknown series {id}"),
-            StoreError::OutOfOrderSample { series, t_us, last_us } => write!(
+            StoreError::OutOfOrderSample {
+                series,
+                t_us,
+                last_us,
+            } => write!(
                 f,
                 "out-of-order sample for series {series}: {t_us} < last {last_us}"
             ),
@@ -41,7 +52,9 @@ mod tests {
 
     #[test]
     fn messages() {
-        assert!(StoreError::UnknownColumn("x".into()).to_string().contains("x"));
+        assert!(StoreError::UnknownColumn("x".into())
+            .to_string()
+            .contains("x"));
         assert!(StoreError::OutOfOrderSample {
             series: 1,
             t_us: 5,

@@ -15,12 +15,20 @@
 //! concern is the analysis pipeline, not disks), but the *asymptotics and
 //! interfaces* match their on-disk counterparts.
 
+/// A typed columnar table with predicate scans.
 pub mod columnar;
+/// The crate error type.
 pub mod error;
+/// A log-structured merge-tree key-value store.
 pub mod lsm;
+/// A time-series store with downsampling queries.
 pub mod timeseries;
 
+/// Columnar types re-exported from [`columnar`].
 pub use columnar::{ColumnTable, ColumnType, Predicate, Schema, Value};
+/// The crate error type, re-exported from [`error`].
 pub use error::StoreError;
+/// LSM types re-exported from [`lsm`].
 pub use lsm::{LsmParams, LsmStats, LsmStore};
+/// Time-series types re-exported from [`timeseries`].
 pub use timeseries::{Downsample, Sample, SeriesId, TimeSeriesStore};

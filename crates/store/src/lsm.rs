@@ -130,10 +130,10 @@ impl LsmStore {
                 merged.insert(k.clone(), v.clone());
             }
         }
-        for (k, v) in self.memtable.range::<[u8], _>((
-            Bound::Included(start),
-            Bound::Excluded(end),
-        )) {
+        for (k, v) in self
+            .memtable
+            .range::<[u8], _>((Bound::Included(start), Bound::Excluded(end)))
+        {
             merged.insert(k.clone(), v.clone());
         }
         merged
@@ -193,10 +193,7 @@ impl LsmStore {
                 merged.insert(k, v);
             }
         }
-        let compacted: Vec<RunEntry> = merged
-            .into_iter()
-            .filter(|(_, v)| v.is_some())
-            .collect();
+        let compacted: Vec<RunEntry> = merged.into_iter().filter(|(_, v)| v.is_some()).collect();
         if !compacted.is_empty() {
             self.runs.push(compacted);
         }

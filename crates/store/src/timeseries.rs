@@ -55,7 +55,9 @@ impl Downsample {
             Downsample::Min => values.iter().cloned().fold(f64::INFINITY, f64::min),
             Downsample::Max => values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
             Downsample::Count => values.len() as f64,
-            Downsample::Last => *values.last().expect("bucket is non-empty"),
+            // Buckets are only materialised non-empty; NaN marks the
+            // impossible branch like Mean's 0/0 would.
+            Downsample::Last => values.last().copied().unwrap_or(f64::NAN),
         }
     }
 }
@@ -312,17 +314,26 @@ mod tests {
         let counts = ts
             .downsample(id, 0, 100_000, 25_000, Downsample::Count)
             .unwrap();
-        assert_eq!(counts, vec![(0, 25.0), (25_000, 25.0), (50_000, 25.0), (75_000, 25.0)]);
+        assert_eq!(
+            counts,
+            vec![(0, 25.0), (25_000, 25.0), (50_000, 25.0), (75_000, 25.0)]
+        );
     }
 
     #[test]
     fn downsample_min_max_last() {
         let (ts, id) = filled();
-        let min = ts.downsample(id, 0, 30_000, 30_000, Downsample::Min).unwrap();
+        let min = ts
+            .downsample(id, 0, 30_000, 30_000, Downsample::Min)
+            .unwrap();
         assert_eq!(min, vec![(0, 0.0)]);
-        let max = ts.downsample(id, 0, 30_000, 30_000, Downsample::Max).unwrap();
+        let max = ts
+            .downsample(id, 0, 30_000, 30_000, Downsample::Max)
+            .unwrap();
         assert_eq!(max, vec![(0, 29.0)]);
-        let last = ts.downsample(id, 0, 30_000, 30_000, Downsample::Last).unwrap();
+        let last = ts
+            .downsample(id, 0, 30_000, 30_000, Downsample::Last)
+            .unwrap();
         assert_eq!(last, vec![(0, 29.0)]);
     }
 
@@ -332,7 +343,9 @@ mod tests {
         let id = ts.create_series("sparse");
         ts.append(id, 0, 1.0).unwrap();
         ts.append(id, 95_000, 2.0).unwrap();
-        let b = ts.downsample(id, 0, 100_000, 10_000, Downsample::Mean).unwrap();
+        let b = ts
+            .downsample(id, 0, 100_000, 10_000, Downsample::Mean)
+            .unwrap();
         assert_eq!(b, vec![(0, 1.0), (90_000, 2.0)]);
     }
 

@@ -220,7 +220,11 @@ impl Broker {
         for p in &t.partitions {
             let p = p.read();
             records += p.records.len() as u64;
-            bytes += p.records.iter().map(|r| r.payload.len() as u64).sum::<u64>();
+            bytes += p
+                .records
+                .iter()
+                .map(|r| r.payload.len() as u64)
+                .sum::<u64>();
         }
         Ok(TopicStats {
             partitions: t.partitions.len() as u32,
@@ -321,10 +325,16 @@ impl ConsumerGroup {
     }
 
     /// Commits `offset` (the *next* offset to read) for a partition.
+    ///
+    /// Commits are monotonic: a stale commit from a member that lost the
+    /// partition in a rebalance can never move the group backwards,
+    /// which would re-deliver already-processed records.
     pub fn commit(&self, topic: &str, partition: PartitionId, next_offset: u64) {
-        self.committed
-            .lock()
-            .insert((topic.to_string(), partition.0), next_offset);
+        let mut committed = self.committed.lock();
+        let entry = committed
+            .entry((topic.to_string(), partition.0))
+            .or_insert(0);
+        *entry = (*entry).max(next_offset);
     }
 
     /// The committed next-offset for a partition (0 if never committed).
@@ -368,7 +378,10 @@ mod tests {
             b.create_topic("a", 3),
             Err(StreamError::TopicExists("a".into()))
         );
-        assert_eq!(b.create_topic("z", 0), Err(StreamError::InvalidPartitionCount(0)));
+        assert_eq!(
+            b.create_topic("z", 0),
+            Err(StreamError::InvalidPartitionCount(0))
+        );
         assert_eq!(b.topics(), vec!["a".to_string()]);
     }
 
@@ -496,7 +509,8 @@ mod tests {
             let b = b.clone();
             handles.push(std::thread::spawn(move || {
                 for i in 0..1000u64 {
-                    b.append("t", Record::new(th * 1000 + i, vec![0u8], i)).unwrap();
+                    b.append("t", Record::new(th * 1000 + i, vec![0u8], i))
+                        .unwrap();
                 }
             }));
         }

@@ -11,11 +11,21 @@ pub enum StreamError {
     /// A topic with this name already exists.
     TopicExists(String),
     /// A partition index was out of range for the topic.
-    UnknownPartition { topic: String, partition: u32 },
+    UnknownPartition {
+        /// Topic the caller addressed.
+        topic: String,
+        /// Out-of-range partition index.
+        partition: u32,
+    },
     /// Partition count must be at least one.
     InvalidPartitionCount(u32),
     /// A consumer group member requested a partition it does not own.
-    NotAssigned { group: String, partition: u32 },
+    NotAssigned {
+        /// Consumer group the member belongs to.
+        group: String,
+        /// Partition the member is not assigned.
+        partition: u32,
+    },
     /// The pipeline was already started or already stopped.
     InvalidPipelineState(&'static str),
     /// No checkpoint exists to restore from.

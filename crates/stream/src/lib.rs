@@ -35,20 +35,34 @@
 //! # Ok::<(), augur_stream::StreamError>(())
 //! ```
 
+/// The partitioned in-memory broker and consumer groups.
 pub mod broker;
+/// Pipeline checkpointing for exactly-once resumption.
 pub mod checkpoint;
+/// The crate error type.
 pub mod error;
+/// Dataflow pipelines over the broker.
 pub mod pipeline;
+/// Record, offset, and partition types.
 pub mod record;
+/// Event-time watermarks.
 pub mod watermark;
+/// Windowed aggregation: tumbling, sliding, session.
 pub mod window;
 
+/// Broker types re-exported from [`broker`].
 pub use broker::{Broker, ConsumerGroup, TopicStats};
+/// Checkpoint types re-exported from [`checkpoint`].
 pub use checkpoint::{Checkpoint, CheckpointStore};
+/// The crate error type, re-exported from [`error`].
 pub use error::StreamError;
+/// Pipeline types re-exported from [`pipeline`].
 pub use pipeline::{Pipeline, PipelineBuilder, PipelineMetrics, StopHandle};
+/// Record types re-exported from [`record`].
 pub use record::{Offset, PartitionId, PolledRecord, Record};
+/// Watermark types re-exported from [`watermark`].
 pub use watermark::{BoundedOutOfOrderness, Watermark, WatermarkGenerator};
+/// Windowing types re-exported from [`window`].
 pub use window::{
     SessionWindows, SlidingWindows, TumblingWindows, Window, WindowAssigner, WindowResult,
     WindowState, WindowedAggregator,

@@ -179,10 +179,8 @@ impl<T: Send + 'static> Pipeline<T> {
                     from,
                     self.inner.poll_batch,
                 )?;
-                if batch.is_empty() {
-                    break;
-                }
-                from = batch.last().expect("non-empty batch").offset.0 + 1;
+                let Some(last) = batch.last() else { break };
+                from = last.offset.0 + 1;
                 for pr in batch {
                     if let Some(v) = (self.inner.decoder)(&pr.record) {
                         flows.push(Flow {
@@ -408,29 +406,27 @@ impl<T: Send + 'static> Pipeline<T> {
         let mut transforms = self.inner.transforms;
         let stop_worker = Arc::clone(&stop);
         let processed_worker = Arc::clone(&processed);
-        let worker = std::thread::spawn(move || {
-            loop {
-                match rx.recv_timeout(std::time::Duration::from_millis(5)) {
-                    Ok(flow) => {
-                        let mut v = Some(flow.value);
-                        for tr in &mut transforms {
-                            v = match v {
-                                Some(x) => tr(x),
-                                None => break,
-                            };
-                        }
-                        if let Some(x) = v {
-                            sink(x);
-                            processed_worker.fetch_add(1, Ordering::Relaxed);
-                        }
+        let worker = std::thread::spawn(move || loop {
+            match rx.recv_timeout(std::time::Duration::from_millis(5)) {
+                Ok(flow) => {
+                    let mut v = Some(flow.value);
+                    for tr in &mut transforms {
+                        v = match v {
+                            Some(x) => tr(x),
+                            None => break,
+                        };
                     }
-                    Err(channel::RecvTimeoutError::Timeout) => {
-                        if stop_worker.load(Ordering::Relaxed) {
-                            break;
-                        }
+                    if let Some(x) = v {
+                        sink(x);
+                        processed_worker.fetch_add(1, Ordering::Relaxed);
                     }
-                    Err(channel::RecvTimeoutError::Disconnected) => break,
                 }
+                Err(channel::RecvTimeoutError::Timeout) => {
+                    if stop_worker.load(Ordering::Relaxed) {
+                        break;
+                    }
+                }
+                Err(channel::RecvTimeoutError::Disconnected) => break,
             }
         });
         Ok(StopHandle {
@@ -490,11 +486,7 @@ mod tests {
     }
 
     fn decode(r: &Record) -> Option<u64> {
-        r.payload
-            .as_ref()
-            .try_into()
-            .ok()
-            .map(u64::from_le_bytes)
+        r.payload.as_ref().try_into().ok().map(u64::from_le_bytes)
     }
 
     #[test]
@@ -517,7 +509,8 @@ mod tests {
         let b = Broker::new();
         b.create_topic("t", 1).unwrap();
         b.append("t", Record::new(1, vec![1, 2, 3], 0)).unwrap(); // 3 bytes: bad
-        b.append("t", Record::new(1, 42u64.to_le_bytes().to_vec(), 1)).unwrap();
+        b.append("t", Record::new(1, 42u64.to_le_bytes().to_vec(), 1))
+            .unwrap();
         let mut p = PipelineBuilder::new(b, "t", decode).build();
         let (items, _) = p.collect().unwrap();
         assert_eq!(items, vec![42]);
@@ -555,7 +548,13 @@ mod tests {
             .watermark_bound_us(0)
             .build();
         let (mut want, _) = p_ref
-            .run_windowed(TumblingWindows::new(20_000), CountAggregation, None, None, false)
+            .run_windowed(
+                TumblingWindows::new(20_000),
+                CountAggregation,
+                None,
+                None,
+                false,
+            )
             .unwrap();
 
         // Crashing run: checkpoint every 50, crash at 120.
@@ -625,15 +624,22 @@ mod tests {
         let b = Broker::new();
         b.create_topic("t", 1).unwrap();
         for t in [10_000u64, 20_000, 5_000, 30_000, 6_000] {
-            b.append("t", Record::new(1, t.to_le_bytes().to_vec(), t)).unwrap();
+            b.append("t", Record::new(1, t.to_le_bytes().to_vec(), t))
+                .unwrap();
         }
         let windowed = |arrival: bool, bound: u64| {
             let mut p = PipelineBuilder::new(b.clone(), "t", decode)
                 .watermark_bound_us(bound)
                 .arrival_order(arrival)
                 .build();
-            p.run_windowed(TumblingWindows::new(8_000), CountAggregation, None, None, false)
-                .unwrap()
+            p.run_windowed(
+                TumblingWindows::new(8_000),
+                CountAggregation,
+                None,
+                None,
+                false,
+            )
+            .unwrap()
         };
         // Event-time merge: nothing is late even with a zero bound.
         let (_, m) = windowed(false, 0);
@@ -662,7 +668,8 @@ mod tests {
             .spawn_continuous(move |v| sink_ref.lock().push(v))
             .unwrap();
         for i in 0..500u64 {
-            b.append("live", Record::new(i, i.to_le_bytes().to_vec(), i)).unwrap();
+            b.append("live", Record::new(i, i.to_le_bytes().to_vec(), i))
+                .unwrap();
         }
         // Wait for drain.
         let deadline = Instant::now() + std::time::Duration::from_secs(5);

@@ -14,9 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::watermark::Watermark;
 
 /// A half-open event-time window `[start_us, end_us)`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Window {
     /// Inclusive start, microseconds.
     pub start_us: u64,
@@ -115,7 +113,10 @@ impl SlidingWindows {
     ///
     /// Panics if either parameter is zero or `slide_us > size_us`.
     pub fn new(size_us: u64, slide_us: u64) -> Self {
-        assert!(size_us > 0 && slide_us > 0, "window parameters must be positive");
+        assert!(
+            size_us > 0 && slide_us > 0,
+            "window parameters must be positive"
+        );
         assert!(slide_us <= size_us, "slide must not exceed size");
         SlidingWindows { size_us, slide_us }
     }
@@ -389,18 +390,17 @@ where
         let mergeable: Vec<(u64, u64, u64)> = self
             .state
             .keys()
-            .filter(|(end, k, start)| {
-                *k == key
-                    && Window::new(*start, *end).mergeable(&window)
-            })
+            .filter(|(end, k, start)| *k == key && Window::new(*start, *end).mergeable(&window))
             .cloned()
             .collect();
         for k in mergeable {
-            let existing = self.state.remove(&k).expect("key just enumerated");
-            window = window.merge(&Window::new(k.2, k.0));
-            acc = self.aggregation.merge(acc, existing);
+            if let Some(existing) = self.state.remove(&k) {
+                window = window.merge(&Window::new(k.2, k.0));
+                acc = self.aggregation.merge(acc, existing);
+            }
         }
-        self.state.insert((window.end_us, key, window.start_us), acc);
+        self.state
+            .insert((window.end_us, key, window.start_us), acc);
     }
 
     /// Advances the watermark, emitting every window whose end has
@@ -413,18 +413,15 @@ where
         let mut fired = Vec::new();
         // All keys with end_us <= watermark: range up to (watermark+1, 0, 0).
         let boundary = (watermark.0 + 1, 0u64, 0u64);
-        let to_fire: Vec<(u64, u64, u64)> = self
-            .state
-            .range(..boundary)
-            .map(|(k, _)| *k)
-            .collect();
+        let to_fire: Vec<(u64, u64, u64)> = self.state.range(..boundary).map(|(k, _)| *k).collect();
         for k in to_fire {
-            let value = self.state.remove(&k).expect("key just enumerated");
-            fired.push(WindowResult {
-                key: k.1,
-                window: Window::new(k.2, k.0),
-                value,
-            });
+            if let Some(value) = self.state.remove(&k) {
+                fired.push(WindowResult {
+                    key: k.1,
+                    window: Window::new(k.2, k.0),
+                    value,
+                });
+            }
         }
         fired
     }

@@ -1,0 +1,168 @@
+//! Multi-threaded broker / consumer-group stress test.
+//!
+//! N producer threads append concurrently while M consumer threads poll
+//! and commit through a [`ConsumerGroup`]; more consumers join mid-run,
+//! forcing a rebalance. Per-partition fencing tokens (the stand-in for a
+//! real system's epoch fencing) serialise poll+commit per partition, so
+//! the group must deliver every record exactly once: nothing lost,
+//! nothing double-committed.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use augur_stream::{Broker, ConsumerGroup, PartitionId, Record};
+
+const TOPIC: &str = "stress";
+const PARTITIONS: u32 = 8;
+const PRODUCERS: u64 = 4;
+const RECORDS_PER_PRODUCER: u64 = 500;
+const INITIAL_CONSUMERS: usize = 2;
+const LATE_CONSUMERS: usize = 2;
+
+fn key_of(producer: u64, seq: u64) -> u64 {
+    producer * 1_000_000 + seq
+}
+
+/// One consumer loop: sweep the member's current assignment, and for each
+/// partition whose fencing token we win, poll from the committed offset,
+/// record what we saw, and commit past it before releasing the token.
+#[allow(clippy::needless_pass_by_value)]
+fn consume(
+    group: Arc<ConsumerGroup>,
+    member: String,
+    tokens: Arc<Vec<AtomicBool>>,
+    stop: Arc<AtomicBool>,
+) -> Vec<(u32, u64, u64)> {
+    group.join(&member);
+    let mut seen: Vec<(u32, u64, u64)> = Vec::new(); // (partition, offset, key)
+    while !stop.load(Ordering::Acquire) {
+        let assigned = group.assignment(TOPIC, &member).unwrap_or_default();
+        for p in assigned {
+            let token = &tokens[p.0 as usize];
+            if token
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue; // another member is mid-poll on this partition
+            }
+            // Assignment may have changed between the sweep and the token
+            // acquisition; NotAssigned here is a benign race, not a failure.
+            if let Ok(batch) = group.poll(TOPIC, &member, p, 64) {
+                if let Some(last) = batch.last() {
+                    let next = last.offset.0 + 1;
+                    for pr in &batch {
+                        seen.push((p.0, pr.offset.0, pr.record.key));
+                    }
+                    group.commit(TOPIC, p, next);
+                }
+            }
+            token.store(false, Ordering::Release);
+        }
+        thread::yield_now();
+    }
+    seen
+}
+
+#[test]
+fn rebalance_loses_and_duplicates_nothing() {
+    let broker = Broker::new();
+    broker.create_topic(TOPIC, PARTITIONS).unwrap();
+    let group = Arc::new(ConsumerGroup::new("stress-group", broker.clone()));
+    let tokens: Arc<Vec<AtomicBool>> =
+        Arc::new((0..PARTITIONS).map(|_| AtomicBool::new(false)).collect());
+    let stop = Arc::new(AtomicBool::new(false));
+    let produced_count = Arc::new(AtomicUsize::new(0));
+
+    // Producers: unique keys, concurrent appends.
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|id| {
+            let broker = broker.clone();
+            let produced_count = Arc::clone(&produced_count);
+            thread::spawn(move || {
+                for seq in 0..RECORDS_PER_PRODUCER {
+                    let key = key_of(id, seq);
+                    let payload = key.to_le_bytes().to_vec();
+                    broker
+                        .append(TOPIC, Record::new(key, payload, seq))
+                        .unwrap();
+                    produced_count.fetch_add(1, Ordering::Release);
+                    if seq % 64 == 0 {
+                        thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Initial consumer cohort.
+    let mut consumers: Vec<_> = (0..INITIAL_CONSUMERS)
+        .map(|i| {
+            let group = Arc::clone(&group);
+            let tokens = Arc::clone(&tokens);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || consume(group, format!("early-{i}"), tokens, stop))
+        })
+        .collect();
+
+    // Once production is underway, more members join: a live rebalance.
+    while produced_count.load(Ordering::Acquire) < (PRODUCERS * RECORDS_PER_PRODUCER / 2) as usize {
+        thread::yield_now();
+    }
+    consumers.extend((0..LATE_CONSUMERS).map(|i| {
+        let group = Arc::clone(&group);
+        let tokens = Arc::clone(&tokens);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || consume(group, format!("late-{i}"), tokens, stop))
+    }));
+
+    for p in producers {
+        p.join().expect("producer thread panicked");
+    }
+    // Drain: wait until the group has committed everything, then stop.
+    while group.lag(TOPIC).unwrap() > 0 {
+        thread::yield_now();
+    }
+    stop.store(true, Ordering::Release);
+    let per_member: Vec<Vec<(u32, u64, u64)>> = consumers
+        .into_iter()
+        .map(|c| c.join().expect("consumer thread panicked"))
+        .collect();
+
+    let total_produced = (PRODUCERS * RECORDS_PER_PRODUCER) as usize;
+
+    // Exactly-once per slot: no (partition, offset) delivered twice.
+    let all: Vec<(u32, u64, u64)> = per_member.iter().flatten().copied().collect();
+    let slots: HashSet<(u32, u64)> = all.iter().map(|(p, o, _)| (*p, *o)).collect();
+    assert_eq!(
+        slots.len(),
+        all.len(),
+        "some (partition, offset) slot was delivered twice"
+    );
+    assert_eq!(all.len(), total_produced, "record count mismatch");
+
+    // No record lost: every produced key came back exactly once.
+    let keys: HashSet<u64> = all.iter().map(|(_, _, k)| *k).collect();
+    assert_eq!(keys.len(), total_produced, "duplicate or missing keys");
+    for id in 0..PRODUCERS {
+        for seq in 0..RECORDS_PER_PRODUCER {
+            assert!(keys.contains(&key_of(id, seq)), "lost {id}/{seq}");
+        }
+    }
+
+    // Commits cover each partition exactly to its end: nothing
+    // double-committed (monotonic commits cannot overshoot the end offset).
+    for p in 0..PARTITIONS {
+        let end = broker.end_offset(TOPIC, PartitionId(p)).unwrap();
+        assert_eq!(
+            group.committed_offset(TOPIC, PartitionId(p)),
+            end,
+            "partition {p} not committed to its end"
+        );
+    }
+
+    // The rebalance actually redistributed work: late joiners consumed.
+    let late_total: usize = per_member[INITIAL_CONSUMERS..].iter().map(Vec::len).sum();
+    assert!(late_total > 0, "late members never received a partition");
+}

@@ -32,6 +32,8 @@ mod tests {
         assert!(TrackError::InvalidParameter("q")
             .to_string()
             .contains("invalid"));
-        assert!(TrackError::NotInitialized.to_string().contains("no measurements"));
+        assert!(TrackError::NotInitialized
+            .to_string()
+            .contains("no measurements"));
     }
 }

@@ -336,7 +336,11 @@ mod tests {
             t.update_gps(&fix(i * 1000, 2.0 * i as f64, 0.0, 1.0));
         }
         let p = t.pose(Timestamp::from_secs(30));
-        assert!((p.velocity.east - 2.0).abs() < 0.2, "ve {}", p.velocity.east);
+        assert!(
+            (p.velocity.east - 2.0).abs() < 0.2,
+            "ve {}",
+            p.velocity.east
+        );
         // Extrapolation continues the track.
         assert!((p.position.east - 60.0).abs() < 1.0);
     }

@@ -30,14 +30,24 @@
 //! assert!(pose.position.horizontal_norm() < 50.0);
 //! ```
 
+/// A complementary-filter fallback tracker.
 pub mod complementary;
+/// The crate error type.
 pub mod error;
+/// The Kalman-filter pose tracker.
 pub mod kalman;
+/// The tracker trait and pose types.
 pub mod pose;
+/// Registration-error evaluation against ground truth.
 pub mod registration;
 
+/// The complementary tracker re-exported from [`complementary`].
 pub use complementary::{ComplementaryParams, ComplementaryTracker};
+/// The crate error type, re-exported from [`error`].
 pub use error::TrackError;
+/// The Kalman tracker re-exported from [`kalman`].
 pub use kalman::{KalmanParams, KalmanTracker};
+/// Pose types re-exported from [`pose`].
 pub use pose::{GpsOnlyTracker, Pose, Tracker};
+/// Registration metrics re-exported from [`registration`].
 pub use registration::{registration_error_px, RegistrationReport, RegistrationSummary};

@@ -234,10 +234,7 @@ mod tests {
             &anchors,
         ));
         let g = RegistrationSummary::from_reports(&registration_error_px(
-            &cam,
-            &truth,
-            &gps_poses,
-            &anchors,
+            &cam, &truth, &gps_poses, &anchors,
         ));
         assert!(
             k.mean_position_m < g.mean_position_m,

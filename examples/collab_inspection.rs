@@ -32,11 +32,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The city's asset database publishes the subsurface layout once;
     // role tags decide who sees what.
     for (id, east, north, kind, roles) in [
-        (1u64, 10.0, 0.0, OverlayKind::Highlight(0xFFCC00), vec!["electrical".to_string()]),
-        (2, 15.0, 5.0, OverlayKind::Highlight(0xFFCC00), vec!["electrical".to_string()]),
-        (3, 20.0, 10.0, OverlayKind::Highlight(0x3399FF), vec!["plumbing".to_string()]),
-        (4, 25.0, 20.0, OverlayKind::Highlight(0x3399FF), vec!["plumbing".to_string()]),
-        (5, 18.0, 8.0, OverlayKind::Label("manhole M-17".into()), vec![]),
+        (
+            1u64,
+            10.0,
+            0.0,
+            OverlayKind::Highlight(0xFFCC00),
+            vec!["electrical".to_string()],
+        ),
+        (
+            2,
+            15.0,
+            5.0,
+            OverlayKind::Highlight(0xFFCC00),
+            vec!["electrical".to_string()],
+        ),
+        (
+            3,
+            20.0,
+            10.0,
+            OverlayKind::Highlight(0x3399FF),
+            vec!["plumbing".to_string()],
+        ),
+        (
+            4,
+            25.0,
+            20.0,
+            OverlayKind::Highlight(0x3399FF),
+            vec!["plumbing".to_string()],
+        ),
+        (
+            5,
+            18.0,
+            8.0,
+            OverlayKind::Label("manhole M-17".into()),
+            vec![],
+        ),
     ] {
         session.publish(SharedOverlay {
             item: OverlayItem {
@@ -60,11 +90,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
 
-    for (name, id) in [("electrician", ParticipantId(1)), ("plumber", ParticipantId(2))] {
+    for (name, id) in [
+        ("electrician", ParticipantId(1)),
+        ("plumber", ParticipantId(2)),
+    ] {
         let view = session.view(id)?;
         println!("{name} sees {} overlay(s):", view.len());
         for (item, (u, v)) in &view {
-            println!("  #{:<3} at ({u:6.0}, {v:6.0}) px — {:?}", item.id, item.kind);
+            println!(
+                "  #{:<3} at ({u:6.0}, {v:6.0}) px — {:?}",
+                item.id, item.kind
+            );
         }
         println!();
     }

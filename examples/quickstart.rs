@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut platform = AugurPlatform::new(PlatformConfig::new(origin))?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     platform.set_pois(synthetic_database(origin, 500, &mut rng)?);
-    println!("platform ready: {} POIs indexed", platform.pois().unwrap().len());
+    println!(
+        "platform ready: {} POIs indexed",
+        platform.pois().map_or(0, |db| db.len())
+    );
 
     // 2. Ingest a little data: a wearable streaming heart rate.
     for i in 0..30u64 {
@@ -35,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }),
         ))?;
     }
-    println!("ingested {} events into the stream substrate", platform.ingested());
+    println!(
+        "ingested {} events into the stream substrate",
+        platform.ingested()
+    );
 
     // 3. One interpretation rule: recommendations become shelf labels
     //    while the user is shopping.
@@ -59,6 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for d in &directives {
         println!("  {d:?}");
     }
-    println!("scene graph now holds {} overlay item(s)", platform.scene().len());
+    println!(
+        "scene graph now holds {} overlay item(s)",
+        platform.scene().len()
+    );
     Ok(())
 }

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.users, params.interactions_per_user, params.groups
     );
     let report = run(&params)?;
-    println!("\nrecommender quality (leave-one-out, hit-rate@{}):", params.top_k);
+    println!(
+        "\nrecommender quality (leave-one-out, hit-rate@{}):",
+        params.top_k
+    );
     println!(
         "  {:<14} hit-rate {:>6.3}   mrr {:>6.4}",
         "item-item CF", report.cf.hit_rate, report.cf.mrr

@@ -16,10 +16,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = run(&params)?;
     println!("\nretrieval ({} queries):", report.queries);
-    println!("  R-tree k-NN     {:>9.1} µs/query", report.knn_indexed_us);
-    println!("  linear scan     {:>9.1} µs/query", report.scan_us);
+    println!(
+        "  R-tree k-NN     {:>9.1} dist-evals/query",
+        report.knn_indexed_work
+    );
+    println!(
+        "  linear scan     {:>9.1} dist-evals/query",
+        report.scan_work
+    );
     println!("  index speed-up  {:>9.1}x", report.index_speedup);
-    println!("\ntracking: mean position error {:.2} m (Kalman fusion)", report.tracking_error_m);
+    println!(
+        "\ntracking: mean position error {:.2} m (Kalman fusion)",
+        report.tracking_error_m
+    );
     println!("\npresentation:");
     println!("  POIs surfaced        {}", report.pois_surfaced);
     println!("  x-ray reveals        {}", report.xray_reveals);

@@ -51,14 +51,25 @@
 //! `augur-bench` (`e1_influence` … `e12_stream`, ablations `a1`–`a3`);
 //! DESIGN.md carries the index and EXPERIMENTS.md the measured results.
 
+/// Streaming analytics: detectors, sketches, mining, recommenders.
 pub use augur_analytics as analytics;
+/// Computation offloading between device and cloud.
 pub use augur_cloud as cloud;
+/// Platform assembly, scenarios, and the influence matrix.
 pub use augur_core as core;
+/// Geospatial substrate: coordinates, indexes, POIs, city models.
 pub use augur_geo as geo;
+/// Privacy mechanisms and attack evaluations.
 pub use augur_privacy as privacy;
+/// AR presentation: occlusion, layout, frame pacing.
 pub use augur_render as render;
+/// Semantic content model, JSON, interpretation, entity linking.
 pub use augur_semantic as semantic;
+/// Synthetic sensors and mobility models.
 pub use augur_sensor as sensor;
+/// Storage engines: columnar, LSM, time-series.
 pub use augur_store as store;
+/// The streaming substrate: broker, pipelines, windows.
 pub use augur_stream as stream;
+/// Pose tracking and registration.
 pub use augur_track as track;

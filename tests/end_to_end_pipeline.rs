@@ -1,5 +1,6 @@
 //! End-to-end integration: sensors → platform → stream → interpretation
 //! → scene graph. Exercises the full §2–§3 loop across crates.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // integration tests: a panic here IS the test failure
 
 use augur::core::{AugurPlatform, PlatformConfig};
 use augur::geo::{poi::synthetic_database, GeoPoint, PoiId};
@@ -78,7 +79,13 @@ fn vitals_flow_through_platform_into_timeseries_and_pipeline() {
         .unwrap();
     let buckets = platform
         .timeseries()
-        .downsample(series, 0, 120_000_000, 30_000_000, augur::store::Downsample::Mean)
+        .downsample(
+            series,
+            0,
+            120_000_000,
+            30_000_000,
+            augur::store::Downsample::Mean,
+        )
         .unwrap();
     assert_eq!(buckets.len(), 4);
     for (_, mean) in buckets {
@@ -150,7 +157,11 @@ fn fact_to_overlay_full_loop() {
     assert!(unmatched.is_empty());
     // A health alert also lands in the scene.
     let alert = platform
-        .surface(&Fact::new("heart_rate", FeatureId(1), 140.0), PoiId(1), None)
+        .surface(
+            &Fact::new("heart_rate", FeatureId(1), 140.0),
+            PoiId(1),
+            None,
+        )
         .unwrap();
     assert_eq!(alert.len(), 1);
     assert_eq!(platform.scene().len(), 2);

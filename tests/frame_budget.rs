@@ -11,9 +11,7 @@ use std::time::Instant;
 
 use augur::analytics::IncrementalView;
 use augur::geo::{poi::synthetic_database, CityModel, CityParams, Enu, GeoPoint, LocalFrame};
-use augur::render::{
-    greedy_layout, FrameBudget, LabelBox, OcclusionIndex, ViewCamera, Viewport,
-};
+use augur::render::{greedy_layout, FrameBudget, LabelBox, OcclusionIndex, ViewCamera, Viewport};
 use augur::sensor::{
     GpsParams, GpsSensor, ImuParams, ImuSensor, RandomWaypoint, Trajectory, TrajectoryParams,
 };
@@ -36,16 +34,10 @@ fn full_frame_loop_fits_budget_structure() {
         rand::rngs::StdRng::seed_from_u64(78),
     )
     .sample(30.0, 10.0);
-    let fixes = GpsSensor::new(
-        GpsParams::default(),
-        rand::rngs::StdRng::seed_from_u64(79),
-    )
-    .track(&truth);
-    let readings = ImuSensor::new(
-        ImuParams::default(),
-        rand::rngs::StdRng::seed_from_u64(80),
-    )
-    .track(&truth);
+    let fixes =
+        GpsSensor::new(GpsParams::default(), rand::rngs::StdRng::seed_from_u64(79)).track(&truth);
+    let readings =
+        ImuSensor::new(ImuParams::default(), rand::rngs::StdRng::seed_from_u64(80)).track(&truth);
     let mut tracker = KalmanTracker::new(KalmanParams::default());
     let mut gi = 0usize;
     let mut ii = 0usize;

@@ -24,11 +24,8 @@ fn tracker_survives_total_gps_outage() {
     };
     let fixes = GpsSensor::new(gps_params, rand::rngs::StdRng::seed_from_u64(2)).track(&truth);
     assert!(fixes.is_empty());
-    let readings = ImuSensor::new(
-        ImuParams::default(),
-        rand::rngs::StdRng::seed_from_u64(3),
-    )
-    .track(&truth);
+    let readings =
+        ImuSensor::new(ImuParams::default(), rand::rngs::StdRng::seed_from_u64(3)).track(&truth);
     let mut tracker = KalmanTracker::new(KalmanParams::default());
     let poses = run_tracker(&mut tracker, &truth, &fixes, &readings);
     assert_eq!(poses.len(), truth.len());
@@ -36,7 +33,10 @@ fn tracker_survives_total_gps_outage() {
         assert!(p.position.east.is_finite() && p.position.north.is_finite());
         assert!(p.heading_deg.is_finite());
     }
-    assert!(!tracker.is_initialized(), "no fix ever initialised position");
+    assert!(
+        !tracker.is_initialized(),
+        "no fix ever initialised position"
+    );
 }
 
 #[test]
@@ -79,7 +79,12 @@ fn pipeline_survives_hostile_payloads() {
                     1 => vec![0u8; 10_000],
                     2 => vec![1, 2, 3],
                     3 => i.to_le_bytes().to_vec(),
-                    _ => i.to_le_bytes().iter().chain([0xFFu8].iter()).copied().collect(),
+                    _ => i
+                        .to_le_bytes()
+                        .iter()
+                        .chain([0xFFu8].iter())
+                        .copied()
+                        .collect(),
                 };
                 Record::new(i, payload, i)
             }),
@@ -105,7 +110,8 @@ fn continuous_pipeline_stops_cleanly_under_load() {
     // consumer; nothing may deadlock or panic.
     let producer = std::thread::spawn(move || {
         for i in 0..50_000u64 {
-            b2.append("t", Record::new(i, i.to_le_bytes().to_vec(), i)).unwrap();
+            b2.append("t", Record::new(i, i.to_le_bytes().to_vec(), i))
+                .unwrap();
         }
     });
     let p = PipelineBuilder::new(broker, "t", |r| {
@@ -113,10 +119,11 @@ fn continuous_pipeline_stops_cleanly_under_load() {
     })
     .channel_capacity(16)
     .build();
-    let handle = p.spawn_continuous(|v| {
-        std::hint::black_box(v);
-    })
-    .unwrap();
+    let handle = p
+        .spawn_continuous(|v| {
+            std::hint::black_box(v);
+        })
+        .unwrap();
     std::thread::sleep(std::time::Duration::from_millis(50));
     let seen_before_stop = handle.processed();
     handle.stop(); // must join promptly even with the producer running

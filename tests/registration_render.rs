@@ -4,8 +4,8 @@
 
 use augur::geo::{poi::synthetic_database, CityModel, CityParams, Enu, GeoPoint, LocalFrame};
 use augur::render::{
-    greedy_layout, naive_layout, xray_reveals, LabelBox, LayoutMetrics, OcclusionIndex,
-    ViewCamera, Viewport,
+    greedy_layout, naive_layout, xray_reveals, LabelBox, LayoutMetrics, OcclusionIndex, ViewCamera,
+    Viewport,
 };
 use augur::sensor::{
     GpsParams, GpsSensor, ImuParams, ImuSensor, RandomWaypoint, Trajectory, TrajectoryParams,
@@ -28,16 +28,10 @@ fn tracked_pose_projects_pois_and_declutters() {
     };
     let truth =
         RandomWaypoint::new(params, rand::rngs::StdRng::seed_from_u64(21)).sample(30.0, 30.0);
-    let fixes = GpsSensor::new(
-        GpsParams::default(),
-        rand::rngs::StdRng::seed_from_u64(22),
-    )
-    .track(&truth);
-    let readings = ImuSensor::new(
-        ImuParams::default(),
-        rand::rngs::StdRng::seed_from_u64(23),
-    )
-    .track(&truth);
+    let fixes =
+        GpsSensor::new(GpsParams::default(), rand::rngs::StdRng::seed_from_u64(22)).track(&truth);
+    let readings =
+        ImuSensor::new(ImuParams::default(), rand::rngs::StdRng::seed_from_u64(23)).track(&truth);
     let mut tracker = KalmanTracker::new(KalmanParams::default());
     let poses = run_tracker(&mut tracker, &truth, &fixes, &readings);
     let pose = poses.last().unwrap();

@@ -1,0 +1,45 @@
+//! Tier-1 gate for the in-repo static analyzer.
+//!
+//! Running `cargo test` must fail if anyone reintroduces a panic path,
+//! a std lock, or wall-clock/entropy use into the enforced crates — the
+//! same policy `cargo run -p augur-audit` applies, wired into the test
+//! suite so CI and local runs cannot skip it.
+
+use std::path::Path;
+
+use augur_audit::{audit_workspace, Severity};
+
+/// The shipped tree is clean under the audit policy.
+#[test]
+fn workspace_is_audit_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = audit_workspace(root).expect("workspace sources are readable");
+    let denials: Vec<String> = report
+        .denials()
+        .map(|v| format!("{}:{} [{}] {}", v.file, v.line, v.rule, v.message))
+        .collect();
+    assert!(
+        denials.is_empty(),
+        "static audit found {} denial(s):\n{}",
+        denials.len(),
+        denials.join("\n")
+    );
+}
+
+/// The analyzer itself still detects every seeded violation class —
+/// guards against the audit silently going blind.
+#[test]
+fn analyzer_detects_seeded_violations() {
+    augur_audit::selftest::run().expect("self-test detects all fixture violations");
+}
+
+/// Advisories (e.g. slice indexing) are informational: they must never
+/// be promoted to denials without a policy change in `rules.rs`.
+#[test]
+fn advisories_are_not_denials() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = audit_workspace(root).expect("workspace sources are readable");
+    assert!(report
+        .denials()
+        .all(|v| matches!(v.severity, Severity::Deny)));
+}

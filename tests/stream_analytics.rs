@@ -1,14 +1,15 @@
 //! Integration: stream substrate × analytics — windowed statistics over
 //! broker-resident sensor data match direct computation, and recovery
 //! preserves results across a simulated crash.
+#![allow(clippy::unwrap_used, clippy::expect_used)] // integration tests: a panic here IS the test failure
 
 use augur::analytics::IncrementalView;
+use augur::core::{decode_vitals, encode_vitals};
 use augur::sensor::{VitalsGenerator, VitalsParams};
 use augur::stream::window::StatsAggregation;
 use augur::stream::{
     Broker, CheckpointStore, PipelineBuilder, Record, TumblingWindows, WindowState,
 };
-use augur::core::{decode_vitals, encode_vitals};
 use rand::SeedableRng;
 
 fn vitals_broker(patients: u32, duration_s: f64, seed: u64) -> (Broker, usize) {
@@ -37,11 +38,10 @@ fn vitals_broker(patients: u32, duration_s: f64, seed: u64) -> (Broker, usize) {
 fn windowed_stats_match_direct_aggregation() {
     let (broker, total) = vitals_broker(5, 300.0, 10);
     // Windowed per-patient stats over 60 s tumbling windows.
-    let mut pipeline = PipelineBuilder::new(broker.clone(), "vitals", |r| {
-        decode_vitals(&r.payload)
-    })
-    .watermark_bound_us(0)
-    .build();
+    let mut pipeline =
+        PipelineBuilder::new(broker.clone(), "vitals", |r| decode_vitals(&r.payload))
+            .watermark_bound_us(0)
+            .build();
     let (results, metrics) = pipeline
         .run_windowed(
             TumblingWindows::new(60_000_000),
@@ -88,16 +88,18 @@ fn crash_recovery_preserves_every_window() {
     let window = TumblingWindows::new(30_000_000);
     let agg = || StatsAggregation::new(|r: &augur::core::VitalsRecord| r.value);
 
-    let mut reference = PipelineBuilder::new(broker.clone(), "vitals", |r| decode_vitals(&r.payload))
-        .watermark_bound_us(0)
-        .build();
+    let mut reference =
+        PipelineBuilder::new(broker.clone(), "vitals", |r| decode_vitals(&r.payload))
+            .watermark_bound_us(0)
+            .build();
     let (mut want, _) = reference
         .run_windowed(window, agg(), None, None, false)
         .unwrap();
 
-    let mut crashing = PipelineBuilder::new(broker.clone(), "vitals", |r| decode_vitals(&r.payload))
-        .watermark_bound_us(0)
-        .build();
+    let mut crashing =
+        PipelineBuilder::new(broker.clone(), "vitals", |r| decode_vitals(&r.payload))
+            .watermark_bound_us(0)
+            .build();
     let (partial, _) = crashing
         .run_windowed(window, agg(), Some((&store, 500)), Some(1_300), false)
         .unwrap();

@@ -1,0 +1,226 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! A minimal timing harness exposing the API the workspace's benches use:
+//! `Criterion::bench_function` / `bench_with_input` / `benchmark_group`,
+//! `Bencher::iter`, `BenchmarkId`, `Throughput`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. There is no statistical
+//! analysis — each benchmark is warmed up briefly, timed over a fixed batch,
+//! and its mean iteration time printed. Good enough to detect gross
+//! regressions offline; use the real criterion for publication numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id combining a function name and a parameter display value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Units-of-work declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs one benchmark body repeatedly and records its mean time.
+pub struct Bencher {
+    mean: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            mean: Duration::ZERO,
+            iters_done: 0,
+        }
+    }
+
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until ~20ms have elapsed to fault in caches/allocs.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < Duration::from_millis(20) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        // Measure: aim for ~100ms of work, at least 10 iterations.
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        let target = (100_000_000 / per_iter.max(1)) as u64;
+        let iters = target.clamp(10, 1_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / iters as u32;
+        self.iters_done = iters;
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, bencher: &Bencher) {
+    let mean = bencher.mean;
+    let rate = throughput.map(|t| {
+        let secs = mean.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => format!("  {:.3} Melem/s", n as f64 / secs / 1e6),
+            Throughput::Bytes(n) => format!("  {:.3} MiB/s", n as f64 / secs / (1024.0 * 1024.0)),
+        }
+    });
+    println!(
+        "bench: {name:<48} {:>12.3?} /iter ({} iters){}",
+        mean,
+        bencher.iters_done,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks a closure under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(name, None, &b);
+        self
+    }
+
+    /// Benchmarks a closure with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&id.name, None, &b);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-of-work for subsequent benchmarks in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure under `id` within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.into().name),
+            self.throughput,
+            &b,
+        );
+        self
+    }
+
+    /// Benchmarks a closure with a borrowed input within the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.name), self.throughput, &b);
+        self
+    }
+
+    /// Ends the group (no-op in the shim; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! Exposes only `crossbeam::channel::bounded`, implemented over
+//! `std::sync::mpsc::sync_channel`. Semantics the workspace relies on are
+//! preserved: bounded capacity provides producer backpressure (`send` blocks
+//! when full), senders are cloneable, and `recv_timeout` distinguishes
+//! `Timeout` from `Disconnected`. Multi-consumer (`Receiver: Clone`) is *not*
+//! provided — the stream pipeline uses a single consumer thread.
+
+/// Bounded MPSC channel, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Creates a bounded channel with the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// Cloneable sending half; `send` blocks while the channel is full.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is enqueued or all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// Receiving half (single consumer).
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Blocks up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+
+        /// Blocking iterator over received values.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.inner.iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::{bounded, RecvTimeoutError};
+        use std::time::Duration;
+
+        #[test]
+        fn backpressure_and_timeout() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).expect("send into empty channel");
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cloned_senders_fan_in() {
+            let (tx, rx) = bounded::<u32>(8);
+            let tx2 = tx.clone();
+            std::thread::spawn(move || tx.send(1).ok());
+            std::thread::spawn(move || tx2.send(2).ok());
+            let mut got = vec![rx.recv().ok(), rx.recv().ok()];
+            got.sort();
+            assert_eq!(got, vec![Some(1), Some(2)]);
+        }
+    }
+}

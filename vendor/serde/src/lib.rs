@@ -1,0 +1,20 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The workspace annotates data-model types with `#[derive(Serialize,
+//! Deserialize)]` as forward-looking wire-format markers, but nothing actually
+//! serializes through serde yet (the ARML codec in `augur-semantic` is
+//! in-tree). This shim keeps those annotations compiling in an offline build:
+//! the derives expand to nothing and the traits are blanket-implemented so any
+//! future `T: Serialize` bound also holds.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros for the vendored serde shim.
+//!
+//! The workspace only uses serde derives as forward-looking annotations — no
+//! code path serializes through serde today (the ARML wire format has its own
+//! in-tree JSON codec in `augur-semantic`). These derives therefore expand to
+//! nothing, which keeps the annotations compiling offline without pulling the
+//! real proc-macro stack (syn/quote/proc-macro2).
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the shim `serde::Serialize` trait is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the shim `serde::Deserialize` trait is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
