@@ -13,7 +13,13 @@
 //! 3. **Determinism** — no `SystemTime::now()` in library code, no
 //!    entropy-seeded RNG anywhere, no `Instant::now()` in simulation paths
 //!    ([`scan::SIM_PATHS`]).
-//! 4. **Documented exports** — every `pub` item in a crate root (`lib.rs`)
+//! 4. **Time-source discipline** — telemetry-instrumented crates
+//!    ([`scan::TELEMETRY_CRATES`]) never call raw `Instant::now()`; time is
+//!    read through `augur_telemetry::TimeSource`, so instrumentation runs
+//!    deterministically under `ManualTime` and against the monotonic clock
+//!    in benches. The single sanctioned wall-clock read is
+//!    [`scan::TIME_SOURCE_EXEMPT`].
+//! 5. **Documented exports** — every `pub` item in a crate root (`lib.rs`)
 //!    carries a doc comment.
 //!
 //! Run it three ways: `cargo run -p augur-audit` (CLI), the tier-1

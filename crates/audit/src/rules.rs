@@ -38,6 +38,9 @@ pub struct FilePolicy {
     pub deny_panics: bool,
     /// Wall-clock and entropy sources are denied (simulation determinism).
     pub deny_wall_clock: bool,
+    /// Raw `Instant::now()` is denied: telemetry-instrumented crates must
+    /// read time through `augur_telemetry::TimeSource`.
+    pub deny_raw_instant: bool,
     /// Slice-indexing advisories are collected.
     pub advise_indexing: bool,
     /// The file is a crate root whose public items must be documented.
@@ -161,18 +164,30 @@ pub fn check_source(file: &str, src: &str, policy: FilePolicy, out: &mut Vec<Vio
         }
     }
 
-    if policy.deny_wall_clock {
+    // One `Instant::now` scan serves both flags; the stricter simulation
+    // rule wins when a path is covered by both so a site is reported once.
+    if policy.deny_wall_clock || policy.deny_raw_instant {
+        let (rule, message) = if policy.deny_wall_clock {
+            (
+                "no-wall-clock",
+                "`Instant::now()` in simulation code: derive time from the simulated clock",
+            )
+        } else {
+            (
+                "time-source-only",
+                "raw `Instant::now()` in a telemetry-instrumented crate: read time through \
+                 `augur_telemetry::TimeSource` (ManualTime in simulations, MonotonicTime in benches)",
+            )
+        };
         for idx in find_all(&lib_code, "Instant::now(") {
             push(
                 out,
                 file,
                 &lib_code,
                 idx,
-                "no-wall-clock",
+                rule,
                 Severity::Deny,
-                String::from(
-                    "`Instant::now()` in simulation code: derive time from the simulated clock",
-                ),
+                String::from(message),
             );
         }
     }
@@ -348,6 +363,7 @@ mod tests {
     const STRICT: FilePolicy = FilePolicy {
         deny_panics: true,
         deny_wall_clock: true,
+        deny_raw_instant: false,
         advise_indexing: true,
         require_docs: false,
     };
@@ -410,6 +426,7 @@ mod tests {
         let policy = FilePolicy {
             deny_panics: false,
             deny_wall_clock: false,
+            deny_raw_instant: false,
             advise_indexing: false,
             require_docs: true,
         };
@@ -423,6 +440,50 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].rule, "documented-exports");
         assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn raw_instant_rule_and_precedence() {
+        let instrumented = FilePolicy {
+            deny_wall_clock: false,
+            deny_raw_instant: true,
+            ..STRICT
+        };
+        let mut v = Vec::new();
+        check_source(
+            "t.rs",
+            "fn f() { let t = std::time::Instant::now(); }",
+            instrumented,
+            &mut v,
+        );
+        let rules: Vec<_> = v
+            .iter()
+            .filter(|x| x.severity == Severity::Deny)
+            .map(|x| x.rule)
+            .collect();
+        assert_eq!(rules, vec!["time-source-only"]);
+
+        // When a path is both simulation and instrumented, the site is
+        // reported once, under the simulation rule.
+        let both = FilePolicy {
+            deny_raw_instant: true,
+            ..STRICT
+        };
+        let mut v = Vec::new();
+        check_source("t.rs", "fn f() { Instant::now(); }", both, &mut v);
+        let rules: Vec<_> = v.iter().map(|x| x.rule).collect();
+        assert_eq!(rules, vec!["no-wall-clock"]);
+
+        // Elapsed reads on an existing Instant are fine; only `now` is the
+        // sanctioned-clock bypass.
+        let mut v = Vec::new();
+        check_source(
+            "t.rs",
+            "fn f(t: std::time::Instant) -> u128 { t.elapsed().as_nanos() }",
+            instrumented,
+            &mut v,
+        );
+        assert!(v.iter().all(|x| x.severity != Severity::Deny));
     }
 
     #[test]

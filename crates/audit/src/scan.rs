@@ -9,13 +9,30 @@ use crate::rules::{self, FilePolicy, Severity, Violation};
 
 /// Crates whose library code must be panic-free (the AR hot path: a panic
 /// here aborts a frame mid-flight).
-pub const HOT_CRATES: [&str; 7] = [
-    "stream", "geo", "store", "semantic", "cloud", "core", "audit",
+pub const HOT_CRATES: [&str; 8] = [
+    "stream",
+    "geo",
+    "store",
+    "semantic",
+    "cloud",
+    "core",
+    "audit",
+    "telemetry",
 ];
 
 /// Path fragments identifying simulation code, where wall-clock reads are
 /// denied so experiment runs stay reproducible (ExpAR-style determinism).
 pub const SIM_PATHS: [&str; 2] = ["crates/sensor/src", "crates/core/src/scenario"];
+
+/// Telemetry-instrumented crates: library code must read time through
+/// `augur_telemetry::TimeSource` rather than raw `Instant::now()`, so the
+/// same instrumentation runs deterministically under `ManualTime` in
+/// simulations and against the monotonic clock in benches.
+pub const TELEMETRY_CRATES: [&str; 5] = ["stream", "store", "cloud", "core", "telemetry"];
+
+/// The one sanctioned wall-clock read: `MonotonicTime` in the telemetry
+/// crate's time-source module.
+pub const TIME_SOURCE_EXEMPT: &str = "crates/telemetry/src/time.rs";
 
 /// Result of auditing a tree.
 #[derive(Debug, Default)]
@@ -99,6 +116,7 @@ pub fn policy_for(rel: &str) -> FilePolicy {
         .unwrap_or("");
     let hot = HOT_CRATES.contains(&crate_name);
     let sim = SIM_PATHS.iter().any(|p| rel.starts_with(p));
+    let instrumented = TELEMETRY_CRATES.contains(&crate_name);
     // Experiment driver binaries (crates/bench/src/bin) are CLIs, not library
     // code; only the workspace-wide determinism and lock rules apply there.
     let is_bin = rel.contains("/src/bin/");
@@ -106,6 +124,7 @@ pub fn policy_for(rel: &str) -> FilePolicy {
     FilePolicy {
         deny_panics: hot && !is_bin,
         deny_wall_clock: sim,
+        deny_raw_instant: instrumented && !is_bin && rel != TIME_SOURCE_EXEMPT,
         advise_indexing: hot && !is_bin,
         require_docs: is_crate_root,
     }
@@ -126,5 +145,19 @@ mod tests {
         assert!(!policy_for("crates/stream/src/broker.rs").deny_wall_clock);
         assert!(policy_for("crates/semantic/src/lib.rs").require_docs);
         assert!(!policy_for("crates/semantic/src/json.rs").require_docs);
+    }
+
+    #[test]
+    fn time_source_policy_mapping() {
+        assert!(policy_for("crates/stream/src/pipeline.rs").deny_raw_instant);
+        assert!(policy_for("crates/store/src/lsm.rs").deny_raw_instant);
+        assert!(policy_for("crates/cloud/src/offload.rs").deny_raw_instant);
+        assert!(policy_for("crates/telemetry/src/registry.rs").deny_raw_instant);
+        // The sanctioned monotonic source and non-instrumented crates.
+        assert!(!policy_for("crates/telemetry/src/time.rs").deny_raw_instant);
+        assert!(!policy_for("crates/render/src/frame.rs").deny_raw_instant);
+        assert!(!policy_for("crates/bench/src/bin/e2_timeliness.rs").deny_raw_instant);
+        // Telemetry is hot-path code: panic discipline applies.
+        assert!(policy_for("crates/telemetry/src/metric.rs").deny_panics);
     }
 }

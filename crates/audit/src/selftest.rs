@@ -10,7 +10,7 @@ use crate::scan;
 
 /// A seeded violation fixture: file path (workspace-relative), source, and
 /// the deny rules the scanner must fire on it.
-const FIXTURES: [(&str, &str, &[&str]); 6] = [
+const FIXTURES: [(&str, &str, &[&str]); 7] = [
     (
         "crates/stream/src/bad_unwrap.rs",
         "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
@@ -37,11 +37,30 @@ const FIXTURES: [(&str, &str, &[&str]); 6] = [
         &["seeded-rng-only"],
     ),
     (
+        "crates/store/src/bad_instant.rs",
+        "fn now_us() -> u128 { std::time::Instant::now().elapsed().as_micros() }\n",
+        &["time-source-only"],
+    ),
+    (
         "crates/semantic/src/lib.rs",
         "//! Crate docs.\npub mod undocumented_item;\n",
         &["documented-exports"],
     ),
 ];
+
+/// Clean fixture for the time-source exemption: raw `Instant::now()` is
+/// allowed only at `crates/telemetry/src/time.rs`, the sanctioned
+/// `MonotonicTime` implementation site. (Telemetry is a hot crate, so the
+/// fixture must also be panic-free.)
+const CLEAN_TIME_SOURCE: &str = r#"//! Clean fixture: the sanctioned monotonic clock read.
+use std::time::Instant;
+
+/// Nanoseconds since an origin instant.
+pub fn since(origin: Instant) -> u64 {
+    let nanos = Instant::now().duration_since(origin).as_nanos();
+    u64::try_from(nanos).unwrap_or(u64::MAX)
+}
+"#;
 
 /// Clean source that must produce zero deny findings even under the strictest
 /// policy (hot crate): test-gated panics, literals, and error propagation.
@@ -85,6 +104,7 @@ fn run_in(root: &Path) -> Result<(), String> {
         write_fixture(root, rel, source)?;
     }
     write_fixture(root, "crates/stream/src/clean.rs", CLEAN)?;
+    write_fixture(root, "crates/telemetry/src/time.rs", CLEAN_TIME_SOURCE)?;
 
     let report = scan::audit_workspace(root).map_err(|e| format!("self-test scan failed: {e}"))?;
 
@@ -106,6 +126,16 @@ fn run_in(root: &Path) -> Result<(), String> {
     if !clean_denials.is_empty() {
         return Err(format!(
             "self-test: clean fixture produced deny findings: {clean_denials:?}"
+        ));
+    }
+
+    let exempt_denials: Vec<_> = report
+        .denials()
+        .filter(|v| v.file == "crates/telemetry/src/time.rs")
+        .collect();
+    if !exempt_denials.is_empty() {
+        return Err(format!(
+            "self-test: sanctioned time-source site produced deny findings: {exempt_denials:?}"
         ));
     }
     Ok(())

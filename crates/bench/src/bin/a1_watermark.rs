@@ -6,7 +6,7 @@
 //! deployment makes once per source.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row};
+use augur_bench::{f, header, row, sized, Snapshot};
 use augur_stream::window::CountAggregation;
 use augur_stream::{Broker, PipelineBuilder, Record, TumblingWindows};
 use rand::{Rng, SeedableRng};
@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("A1", "watermark bound vs late drops (disorder up to 50 ms)");
     // Events in timestamp order per device, but devices' clocks jitter:
     // each event's time is its sequence time ± up to 50 ms.
-    let n = 100_000u64;
+    let n = sized(100_000, 5_000) as u64;
+    let mut snap = Snapshot::new("a1_watermark");
+    snap.param_num("events", n as f64);
+    snap.param_num("disorder_us", 50_000.0);
     let disorder_us = 50_000i64;
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let mut events: Vec<(u64, u64)> = (0..n)
@@ -63,8 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             false,
         )?;
         let counted: u64 = results.iter().map(|r| r.value).sum();
+        let bound = bound_ms.to_string();
+        let labels = [("bound_ms", bound.as_str())];
+        snap.gauge("late_dropped", &labels, metrics.late_dropped as f64);
+        snap.gauge("windows", &labels, results.len() as f64);
         row(&[
-            bound_ms.to_string(),
+            bound,
             metrics.late_dropped.to_string(),
             f(metrics.late_dropped as f64 / n as f64 * 100.0, 2),
             results.len().to_string(),
@@ -76,5 +83,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          disorder (~100 ms here); larger bounds cost only result delay, which\n\
          is why the default errs high (1 s)"
     );
+    snap.write()?;
     Ok(())
 }

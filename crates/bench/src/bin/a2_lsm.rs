@@ -2,7 +2,7 @@
 //! trigger vs write cost, read cost, and space amplification.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, timed, timed_mean};
+use augur_bench::{f, header, row, sized, timed, timed_mean, Snapshot};
 use augur_store::{LsmParams, LsmStore};
 use rand::{Rng, SeedableRng};
 
@@ -11,6 +11,12 @@ fn main() {
         "A2",
         "LSM flush/compaction tuning (100k writes, 20% deletes)",
     );
+    let writes = sized(100_000, 5_000);
+    let gets = sized(20_000, 2_000);
+    let mut snap = Snapshot::new("a2_lsm");
+    snap.param_num("writes", writes as f64);
+    snap.param_num("gets", gets as f64);
+    snap.param_num("delete_fraction", 0.2);
     row(&[
         "flush at".into(),
         "compact at".into(),
@@ -32,8 +38,9 @@ fn main() {
             memtable_flush_entries: flush,
             compaction_trigger_runs: compact,
         });
+        db.instrument(snap.registry(), &format!("lsm_{flush}_{compact}"));
         let (_, write_us) = timed(|| {
-            for _ in 0..100_000 {
+            for _ in 0..writes {
                 let k: u32 = rng.gen_range(0..20_000);
                 if rng.gen_bool(0.2) {
                     db.delete(k.to_be_bytes().to_vec());
@@ -46,12 +53,21 @@ fn main() {
             }
         });
         let mut qk: u32 = 0;
-        let get_us = timed_mean(20_000, || {
+        let get_us = timed_mean(gets, || {
             qk = qk.wrapping_add(7919) % 20_000;
             std::hint::black_box(db.get(&qk.to_be_bytes()));
         });
         let stats = db.stats();
         let live = db.len().max(1);
+        let (fl, cp) = (flush.to_string(), compact.to_string());
+        let labels = [("flush", fl.as_str()), ("compact", cp.as_str())];
+        snap.gauge("write_ms", &labels, write_us / 1e3);
+        snap.gauge("get_us", &labels, get_us);
+        snap.gauge(
+            "space_amplification",
+            &labels,
+            (stats.run_entries + stats.memtable_entries) as f64 / live as f64,
+        );
         row(&[
             flush.to_string(),
             compact.to_string(),
@@ -69,4 +85,5 @@ fn main() {
          more runs → reads touch more levels); lazy compaction grows space\n\
          amplification and read cost; the defaults sit in the basin"
     );
+    snap.write().expect("snapshot write");
 }

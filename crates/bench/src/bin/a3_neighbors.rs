@@ -3,13 +3,17 @@
 
 use augur_analytics::recommend::{evaluate, leave_one_out};
 use augur_analytics::{ItemItemRecommender, Recommender};
-use augur_bench::{f, header, row, timed};
+use augur_bench::{f, header, row, sized, timed, Snapshot};
 use augur_core::retail::{purchase_log, RetailParams};
 
 fn main() {
     header("A3", "CF neighbourhood size vs hit-rate@10 and cost");
+    let users = sized(1_000, 200) as u64;
+    let mut snap = Snapshot::new("a3_neighbors");
+    snap.param_num("users", users as f64);
+    snap.param_num("top_k", 10.0);
     let log = purchase_log(&RetailParams {
-        users: 1_000,
+        users,
         ..RetailParams::default()
     });
     let (train, held) = leave_one_out(&log);
@@ -28,6 +32,11 @@ fn main() {
                 std::hint::black_box(model.recommend(u, 10));
             }
         });
+        let kl = k.to_string();
+        let labels = [("neighbors", kl.as_str())];
+        snap.gauge("hit_rate", &labels, eval.hit_rate);
+        snap.gauge("mrr", &labels, eval.mrr);
+        snap.gauge("train_ms", &labels, train_us / 1e3);
         row(&[
             k.to_string(),
             f(eval.hit_rate, 3),
@@ -41,4 +50,5 @@ fn main() {
          while recommendation cost keeps rising — the truncation the\n\
          platform defaults to (30) buys nearly all the quality"
     );
+    snap.write().expect("snapshot write");
 }

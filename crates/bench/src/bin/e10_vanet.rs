@@ -2,7 +2,7 @@
 //! sharing period and channel loss.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row};
+use augur_bench::{f, header, row, smoke, Snapshot};
 use augur_core::traffic::{run, TrafficParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -10,6 +10,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "E10",
         "§3.4: warning coverage / lead time vs sharing period",
     );
+    let base = TrafficParams {
+        vehicles: if smoke() { 20 } else { 60 },
+        duration_s: if smoke() { 30.0 } else { 120.0 },
+        ..TrafficParams::default()
+    };
+    let mut snap = Snapshot::new("e10_vanet");
+    snap.param_num("vehicles", base.vehicles as f64);
+    snap.param_num("duration_s", base.duration_s);
     row(&[
         "period s".into(),
         "coverage%".into(),
@@ -20,8 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &period in &[0.2f64, 0.5, 1.0, 2.0, 4.0] {
         let r = run(&TrafficParams {
             share_period_s: period,
-            ..TrafficParams::default()
+            ..base.clone()
         })?;
+        let p = format!("{period}");
+        let labels = [("share_period_s", p.as_str())];
+        snap.gauge("coverage", &labels, r.coverage);
+        snap.gauge("mean_lead_time_s", &labels, r.mean_lead_time_s);
         row(&[
             f(period, 1),
             f(r.coverage * 100.0, 1),
@@ -41,8 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &loss in &[0.0f64, 0.05, 0.15, 0.3, 0.5] {
         let r = run(&TrafficParams {
             loss,
-            ..TrafficParams::default()
+            ..base.clone()
         })?;
+        let l = format!("{loss}");
+        let labels = [("loss", l.as_str())];
+        snap.gauge("coverage_vs_loss", &labels, r.coverage);
         row(&[
             f(loss * 100.0, 0),
             f(r.coverage * 100.0, 1),
@@ -56,5 +71,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          while lead time stays near the prediction horizon for covered events —\n\
          the freshness requirement of §3.4's traffic vision, quantified"
     );
+    snap.write()?;
     Ok(())
 }

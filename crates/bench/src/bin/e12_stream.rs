@@ -2,7 +2,8 @@
 //! count, variety mix handling, and checkpoint/recovery cost.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, timed};
+use augur_bench::timed;
+use augur_bench::{f, header, row, sized, Snapshot};
 use augur_stream::window::CountAggregation;
 use augur_stream::{
     Broker, CheckpointStore, PipelineBuilder, Record, TumblingWindows, WindowState,
@@ -52,12 +53,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "p99 µs".into(),
         "windows out".into(),
     ]);
-    let n = 200_000u64;
+    let n = sized(200_000, 10_000) as u64;
+    let mut snap = Snapshot::new("e12_stream");
+    snap.param_num("records", n as f64);
+    snap.param_num("schema_families", 3.0);
     for &parts in &[1u32, 2, 4, 8, 16] {
         let broker = Broker::new();
         broker.create_topic("events", parts)?;
         fill(&broker, "events", n, 3, parts as u64);
-        let mut pipeline = PipelineBuilder::new(broker.clone(), "events", decode).build();
+        let mut pipeline = PipelineBuilder::new(broker.clone(), "events", decode)
+            .registry(snap.registry())
+            .build();
         let (_items, metrics) = pipeline.collect()?;
         let mut windowed = PipelineBuilder::new(broker, "events", decode)
             .watermark_bound_us(1_000)
@@ -69,6 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None,
             false,
         )?;
+        let pl = parts.to_string();
+        let labels = [("partitions", pl.as_str())];
+        snap.gauge("throughput_rps", &labels, metrics.throughput_rps());
+        snap.gauge("p99_latency_us", &labels, metrics.p99_latency_us);
         row(&[
             parts.to_string(),
             f(metrics.throughput_rps(), 0),
@@ -83,9 +93,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     header("E12b", "checkpoint / crash / recovery cost (100k records)");
+    let cp_n = sized(100_000, 20_000) as u64;
+    let crash_at = (cp_n * 6 / 10) as usize;
+    let every = (cp_n / 10) as usize;
+    snap.param_num("checkpoint_records", cp_n as f64);
     let broker = Broker::new();
     broker.create_topic("cp", 4)?;
-    fill(&broker, "cp", 100_000, 3, 99);
+    fill(&broker, "cp", cp_n, 3, 99);
     let store: CheckpointStore<WindowState<u64>> = CheckpointStore::new(4);
     let mut p1 = PipelineBuilder::new(broker.clone(), "cp", decode)
         .watermark_bound_us(1_000)
@@ -94,8 +108,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p1.run_windowed(
             TumblingWindows::new(1_000_000),
             CountAggregation,
-            Some((&store, 10_000)),
-            Some(60_000),
+            Some((&store, every)),
+            Some(crash_at),
             false,
         )
         .expect("crash run")
@@ -107,7 +121,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p2.run_windowed(
             TumblingWindows::new(1_000_000),
             CountAggregation,
-            Some((&store, 10_000)),
+            Some((&store, every)),
             None,
             true,
         )
@@ -133,7 +147,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     row(&[
         "run to crash".into(),
         f(crash_run_us / 1e3, 1),
-        "60000".into(),
+        crash_at.to_string(),
         "".into(),
     ]);
     row(&[
@@ -145,9 +159,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     row(&[
         "uninterrupted".into(),
         f(full_us / 1e3, 1),
-        "100000".into(),
+        cp_n.to_string(),
         "".into(),
     ]);
+    snap.gauge("crash_run_ms", &[], crash_run_us / 1e3);
+    snap.gauge("resume_ms", &[], resume_us / 1e3);
+    snap.gauge("uninterrupted_ms", &[], full_us / 1e3);
+    snap.gauge(
+        "exactly_once",
+        &[],
+        f64::from(u8::from(recovered_total == reference_total)),
+    );
     println!(
         "\nwindow-count totals: crash+resume {recovered_total} vs reference {reference_total}\n\
          (equal totals ⇒ effective exactly-once across the simulated failure)\n\
@@ -155,5 +177,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          crash+resume ≈ uninterrupted cost; throughput scales with partitions\n\
          until the in-process merge dominates"
     );
+    snap.write()?;
     Ok(())
 }

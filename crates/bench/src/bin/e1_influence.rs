@@ -1,16 +1,34 @@
 //! E1 — Figure 5 "influence circles", derived from measured scenarios.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row};
+use augur_bench::{f, header, row, smoke, Snapshot};
 use augur_core::{healthcare, influence_report, retail, tourism, traffic};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("E1", "Figure 5: influence of AR × big data per field");
     println!("running all four scenarios (this takes ~a minute)...");
-    let retail_report = retail::run(&retail::RetailParams::default())?;
-    let tourism_report = tourism::run(&tourism::TourismParams::default())?;
-    let health_report = healthcare::run(&healthcare::HealthcareParams::default())?;
-    let traffic_report = traffic::run(&traffic::TrafficParams::default())?;
+    let mut retail_params = retail::RetailParams::default();
+    let mut tourism_params = tourism::TourismParams::default();
+    let mut health_params = healthcare::HealthcareParams::default();
+    let mut traffic_params = traffic::TrafficParams::default();
+    if smoke() {
+        retail_params.users = 200;
+        tourism_params.pois = 3_000;
+        tourism_params.duration_s = 30.0;
+        health_params.patients = 10;
+        health_params.duration_s = 300.0;
+        traffic_params.vehicles = 20;
+        traffic_params.duration_s = 30.0;
+    }
+    let mut snap = Snapshot::new("e1_influence");
+    snap.param_num("retail_users", retail_params.users as f64);
+    snap.param_num("tourism_pois", tourism_params.pois as f64);
+    snap.param_num("health_patients", health_params.patients as f64);
+    snap.param_num("traffic_vehicles", traffic_params.vehicles as f64);
+    let retail_report = retail::run(&retail_params)?;
+    let tourism_report = tourism::run(&tourism_params)?;
+    let health_report = healthcare::run(&health_params)?;
+    let traffic_report = traffic::run(&traffic_params)?;
     let entries = influence_report(
         &retail_report,
         &tourism_report,
@@ -26,6 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "level".into(),
     ]);
     for e in &entries {
+        let field = e.field.to_string();
+        let labels = [("field", field.as_str())];
+        snap.gauge("influence_score", &labels, e.score);
+        snap.gauge("analytic_uplift", &labels, e.analytic_uplift);
         row(&[
             e.field.to_string(),
             f(e.data_intensity, 2),
@@ -44,5 +66,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "DOES NOT HOLD"
         }
     );
+    snap.write()?;
     Ok(())
 }

@@ -6,7 +6,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_analytics::{BatchAggregator, IncrementalView};
-use augur_bench::{f, header, row, timed, timed_mean};
+use augur_bench::{f, header, row, smoke, timed, timed_mean, Snapshot};
 use rand::{Rng, SeedableRng};
 
 const FRAME_BUDGET_US: f64 = 33_333.0;
@@ -16,6 +16,15 @@ fn main() {
         "E2",
         "§4.1: batch vs incremental analytics latency vs data volume",
     );
+    let volumes: &[u64] = if smoke() {
+        &[1_000, 10_000, 100_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000, 5_000_000]
+    };
+    let mut snap = Snapshot::new("e2_timeliness");
+    snap.param_num("frame_budget_us", FRAME_BUDGET_US);
+    snap.param_num("groups", 50.0);
+    snap.param_num("max_events", volumes[volumes.len() - 1] as f64);
     row(&[
         "events".into(),
         "batch µs".into(),
@@ -24,7 +33,7 @@ fn main() {
         "verdict".into(),
     ]);
     let mut crossover: Option<u64> = None;
-    for &n in &[1_000u64, 10_000, 100_000, 1_000_000, 5_000_000] {
+    for &n in volumes {
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         let mut batch = BatchAggregator::new();
         let mut view = IncrementalView::new();
@@ -47,6 +56,10 @@ fn main() {
         if over && crossover.is_none() {
             crossover = Some(n);
         }
+        let nl = n.to_string();
+        let labels = [("events", nl.as_str())];
+        snap.gauge("batch_us", &labels, batch_us);
+        snap.gauge("incremental_us_per_event", &labels, incr_us);
         row(&[
             n.to_string(),
             f(batch_us, 0),
@@ -70,4 +83,8 @@ fn main() {
             println!("\nno crossover found in the swept range (unexpected on typical hardware)")
         }
     }
+    if let Some(n) = crossover {
+        snap.gauge("crossover_events", &[], n as f64);
+    }
+    snap.write().expect("snapshot write");
 }

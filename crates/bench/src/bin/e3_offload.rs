@@ -2,10 +2,12 @@
 //! break-even compute demand per network profile.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row};
+use augur_bench::{f, header, row, smoke, Snapshot};
 use augur_cloud::{
-    best_plan, estimate, ComputeResource, EnergyParams, NetworkProfile, OffloadPlan, TaskGraph,
+    best_plan, estimate, estimate_traced, ComputeResource, EnergyParams, NetworkProfile,
+    OffloadPlan, TaskGraph,
 };
+use augur_telemetry::{ManualTime, Tracer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header(
@@ -16,7 +18,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cloud = ComputeResource::cloud_vm();
     let energy = EnergyParams::default();
     let frame_bytes = 500_000u64; // one compressed camera frame
-    let demands = [0.01f64, 0.05, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0];
+    let demands: &[f64] = if smoke() {
+        &[0.1, 1.0, 10.0]
+    } else {
+        &[0.01, 0.05, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0]
+    };
+    let mut snap = Snapshot::new("e3_offload");
+    snap.param_num("frame_bytes", frame_bytes as f64);
+    snap.param_num("demand_points", demands.len() as f64);
+    let tracer = Tracer::new(snap.registry(), ManualTime::shared());
 
     for net in NetworkProfile::presets() {
         println!(
@@ -32,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "energy save".into(),
         ]);
         let mut break_even: Option<f64> = None;
-        for &g in &demands {
+        for &g in demands {
             let graph = TaskGraph::ar_pipeline(g, frame_bytes).expect("valid pipeline");
             let local = estimate(
                 &graph,
@@ -51,9 +61,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &energy,
             )?;
             let (plan, best) = best_plan(&graph, &phone, &cloud, &net, &energy)?;
+            // Re-estimate the winning plan traced so per-task spans and
+            // headline gauges land in the snapshot registry.
+            let _ = estimate_traced(&graph, &plan, &phone, &cloud, &net, &energy, &tracer)?;
             if remote.latency_ms < local.latency_ms && break_even.is_none() {
                 break_even = Some(g);
             }
+            let gl = format!("{g}");
+            let labels = [("network", net.name.as_str()), ("gigaops", gl.as_str())];
+            snap.gauge("device_ms", &labels, local.latency_ms);
+            snap.gauge("cloud_ms", &labels, remote.latency_ms);
+            snap.gauge("best_ms", &labels, best.latency_ms);
             row(&[
                 f(g, 1),
                 f(local.latency_ms, 1),
@@ -79,5 +97,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          demand than LTE/3G; heavy analytics always offloads — the paper's cloud\n\
          argument HOLDS if the break-even ordering follows network speed"
     );
+    snap.write()?;
     Ok(())
 }

@@ -2,7 +2,7 @@
 //! cost vs label density.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, timed};
+use augur_bench::{f, header, row, smoke, timed, Snapshot};
 use augur_render::{force_layout, greedy_layout, naive_layout, LabelBox, LayoutMetrics, Viewport};
 use rand::{Rng, SeedableRng};
 
@@ -22,6 +22,14 @@ fn labels(n: usize, seed: u64) -> Vec<LabelBox> {
 fn main() {
     header("E4", "§2.1: naive bubbles vs greedy vs force label layout");
     let vp = Viewport::default();
+    let densities: &[usize] = if smoke() {
+        &[10, 50, 200]
+    } else {
+        &[10, 25, 50, 100, 200, 500]
+    };
+    let mut snap = Snapshot::new("e4_declutter");
+    snap.param_num("force_iterations", 50.0);
+    snap.param_num("density_points", densities.len() as f64);
     row(&[
         "labels".into(),
         "naive clut%".into(),
@@ -32,13 +40,19 @@ fn main() {
         "greedy µs".into(),
         "force µs".into(),
     ]);
-    for &n in &[10usize, 25, 50, 100, 200, 500] {
+    for &n in densities {
         let ls = labels(n, n as u64);
         let naive = LayoutMetrics::measure(&ls, &naive_layout(&ls, vp));
         let (greedy_placed, greedy_us) = timed(|| greedy_layout(&ls, vp));
         let greedy = LayoutMetrics::measure(&ls, &greedy_placed);
         let (force_placed, force_us) = timed(|| force_layout(&ls, vp, 50));
         let force = LayoutMetrics::measure(&ls, &force_placed);
+        let nl = n.to_string();
+        let labels = [("labels", nl.as_str())];
+        snap.gauge("naive_overlap", &labels, naive.overlapped_label_ratio);
+        snap.gauge("greedy_overlap", &labels, greedy.overlapped_label_ratio);
+        snap.gauge("greedy_us", &labels, greedy_us);
+        snap.gauge("force_us", &labels, force_us);
         row(&[
             n.to_string(),
             f(naive.overlapped_label_ratio * 100.0, 1),
@@ -55,4 +69,5 @@ fn main() {
          declutterers hold 0% overlap (paying with drops/displacement) —\n\
          MacIntyre's bubble critique quantified"
     );
+    snap.write().expect("snapshot write");
 }

@@ -2,13 +2,22 @@
 //! city size, naive scan vs R-tree index, plus agreement checking.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, timed_mean};
+use augur_bench::{f, header, row, sized, smoke, timed_mean, Snapshot};
 use augur_geo::{CityModel, CityParams, Enu};
 use augur_render::{classify_visibility, OcclusionClass, OcclusionIndex, ViewCamera, Viewport};
 use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("E5", "occlusion classification cost vs building count");
+    let block_counts: &[usize] = if smoke() {
+        &[2, 8]
+    } else {
+        &[2, 4, 8, 12, 16, 24]
+    };
+    let reps = sized(400, 50);
+    let mut snap = Snapshot::new("e5_occlusion");
+    snap.param_num("targets", 200.0);
+    snap.param_num("timing_reps", reps as f64);
     row(&[
         "buildings".into(),
         "naive µs".into(),
@@ -17,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "occluded%".into(),
         "agree".into(),
     ]);
-    for &blocks in &[2usize, 4, 8, 12, 16, 24] {
+    for &blocks in block_counts {
         let params = CityParams {
             blocks,
             buildings_per_block_axis: 3,
@@ -44,13 +53,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect();
         let mut ti = 0usize;
-        let naive_us = timed_mean(400, || {
+        let naive_us = timed_mean(reps, || {
             let t = targets[ti % targets.len()];
             ti += 1;
             std::hint::black_box(classify_visibility(&camera, t, &city));
         });
         let mut tj = 0usize;
-        let indexed_us = timed_mean(400, || {
+        let indexed_us = timed_mean(reps, || {
             let t = targets[tj % targets.len()];
             tj += 1;
             std::hint::black_box(index.classify(&camera, t));
@@ -73,6 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 occluded += 1;
             }
         }
+        let b = city.buildings().len().to_string();
+        let labels = [("buildings", b.as_str())];
+        snap.gauge("naive_us", &labels, naive_us);
+        snap.gauge("indexed_us", &labels, indexed_us);
+        snap.gauge("agreement", &labels, f64::from(u8::from(agree)));
         row(&[
             city.buildings().len().to_string(),
             f(naive_us, 1),
@@ -87,5 +101,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          the indexed path grows with ray-footprint only; classifications agree —\n\
          the x-ray primitive stays within frame budget at city scale"
     );
+    snap.write()?;
     Ok(())
 }

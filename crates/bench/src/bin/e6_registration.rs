@@ -2,7 +2,7 @@
 //! complementary vs Kalman fusion across GPS noise levels.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row};
+use augur_bench::{f, header, row, smoke, Snapshot};
 use augur_geo::Enu;
 use augur_sensor::{
     CameraModel, GpsParams, GpsSensor, ImuParams, ImuSensor, MotionState, RandomWaypoint,
@@ -75,7 +75,15 @@ fn main() {
     ]);
     // One fixed walk across noise levels so rows differ only in noise.
     let truth = walk(50);
-    for &sigma in &[2.0f64, 4.0, 8.0, 12.0, 16.0] {
+    let noise_levels: &[f64] = if smoke() {
+        &[4.0, 12.0]
+    } else {
+        &[2.0, 4.0, 8.0, 12.0, 16.0]
+    };
+    let mut snap = Snapshot::new("e6_registration");
+    snap.param_num("walk_duration_s", 90.0);
+    snap.param_num("anchors", 24.0);
+    for &sigma in noise_levels {
         let g = summarise(GpsOnlyTracker::new(), &truth, sigma, 1, false);
         let c = summarise(
             ComplementaryTracker::new(ComplementaryParams::default()),
@@ -91,6 +99,11 @@ fn main() {
             3,
             true,
         );
+        let sl = format!("{sigma}");
+        let labels = [("gps_sigma_m", sl.as_str())];
+        snap.gauge("gps_only_px", &labels, g.mean_px);
+        snap.gauge("complementary_px", &labels, c.mean_px);
+        snap.gauge("kalman_px", &labels, k.mean_px);
         row(&[
             f(sigma, 0),
             f(g.mean_px, 0),
@@ -105,4 +118,5 @@ fn main() {
          with the gap widening as noise grows — sensor fusion is what makes\n\
          street-scale registration usable"
     );
+    snap.write().expect("snapshot write");
 }

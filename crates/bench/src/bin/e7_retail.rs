@@ -1,11 +1,19 @@
 //! E7 — §3.1 retail: recommender quality at several data scales.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row};
+use augur_bench::{f, header, row, smoke, Snapshot};
 use augur_core::retail::{run, RetailParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("E7", "§3.1: recommendation hit-rate@10 vs log scale");
+    let scales: &[u64] = if smoke() {
+        &[100, 300]
+    } else {
+        &[100, 300, 1_000, 3_000]
+    };
+    let mut snap = Snapshot::new("e7_retail");
+    snap.param_num("top_k", 10.0);
+    snap.param_num("scale_points", scales.len() as f64);
     row(&[
         "users".into(),
         "log size".into(),
@@ -14,11 +22,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "random".into(),
         "uplift".into(),
     ]);
-    for &users in &[100u64, 300, 1_000, 3_000] {
+    for &users in scales {
         let report = run(&RetailParams {
             users,
             ..RetailParams::default()
         })?;
+        let ul = users.to_string();
+        let labels = [("users", ul.as_str())];
+        snap.gauge("cf_hit_rate", &labels, report.cf.hit_rate);
+        snap.gauge("popularity_hit_rate", &labels, report.popularity.hit_rate);
+        snap.gauge("uplift_vs_popularity", &labels, report.uplift_vs_popularity);
         row(&[
             users.to_string(),
             report.log_size.to_string(),
@@ -33,5 +46,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          improving as the log grows — the \"big data makes AR retail work\"\n\
          claim in measurable form"
     );
+    snap.write()?;
     Ok(())
 }

@@ -3,8 +3,123 @@
 //! Each `e*` binary under `src/bin/` regenerates one experiment from the
 //! index in DESIGN.md, printing the rows/series the corresponding figure
 //! would plot. Keep output plain and columnar so runs can be diffed.
+//!
+//! Every binary also writes a machine-readable [`Snapshot`] to
+//! `results/<bench>.json` with the schema
+//! `{"bench": ..., "params": {...}, "metrics": {...}}`, where `metrics`
+//! is an [`augur_telemetry::Registry`] JSON rendering — the artefact CI
+//! and trajectory tooling consume. Passing `--smoke` (or setting
+//! `AUGUR_SMOKE=1`) shrinks workloads so a run finishes in seconds.
 
+use std::io;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+use augur_telemetry::{escape_json, json_f64, Registry};
+
+/// True when the binary should run a fast smoke-sized workload: the
+/// `--smoke` flag is present or `AUGUR_SMOKE` is set in the environment.
+pub fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke") || std::env::var_os("AUGUR_SMOKE").is_some()
+}
+
+/// Scales a workload size down to `small` in smoke mode.
+pub fn sized(full: usize, small: usize) -> usize {
+    if smoke() {
+        small
+    } else {
+        full
+    }
+}
+
+/// A machine-readable bench result: named parameters plus a metric
+/// registry, serialised as `{"bench", "params", "metrics"}`.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    bench: String,
+    params: Vec<(String, String)>,
+    registry: Registry,
+}
+
+impl Snapshot {
+    /// Starts a snapshot for the bench binary `bench` (the output file
+    /// stem).
+    pub fn new(bench: &str) -> Snapshot {
+        Snapshot {
+            bench: bench.to_string(),
+            params: Vec::new(),
+            registry: Registry::new(),
+        }
+    }
+
+    /// Records a numeric parameter (rendered as a JSON number).
+    pub fn param_num(&mut self, name: &str, value: f64) {
+        self.params.push((name.to_string(), json_f64(value)));
+    }
+
+    /// Records a string parameter.
+    pub fn param_str(&mut self, name: &str, value: &str) {
+        self.params
+            .push((name.to_string(), format!("\"{}\"", escape_json(value))));
+    }
+
+    /// The metric registry backing this snapshot; hand it to
+    /// instrumented code to capture its counters and spans.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Sets the labeled gauge `name{labels}` — the idiom for one sweep
+    /// point's headline numbers.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.registry.gauge_labeled(name, labels).set(value);
+    }
+
+    /// Renders the snapshot JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"bench\":\"");
+        out.push_str(&escape_json(&self.bench));
+        out.push_str("\",\"params\":{");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(&escape_json(k));
+            out.push_str("\":");
+            out.push_str(v);
+        }
+        out.push_str("},\"metrics\":");
+        out.push_str(&self.registry.render_json());
+        out.push('}');
+        out
+    }
+
+    /// Writes the snapshot to `<dir>/<bench>.json`, creating `dir` if
+    /// needed, and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and write failures.
+    pub fn write_to(&self, dir: &Path) -> io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.bench));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+
+    /// Writes the snapshot to `results/<bench>.json` under the current
+    /// directory and prints the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and write failures.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let path = self.write_to(Path::new("results"))?;
+        println!("\nsnapshot: {}", path.display());
+        Ok(path)
+    }
+}
 
 /// Prints a section header.
 pub fn header(experiment: &str, anchor: &str) {
@@ -53,5 +168,30 @@ mod tests {
     #[test]
     fn formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn snapshot_schema_round_trips_through_json_parser() {
+        let mut snap = Snapshot::new("unit_test_bench");
+        snap.param_num("events", 100_000.0);
+        snap.param_str("mode", "sweep");
+        snap.gauge("late_dropped", &[("bound_ms", "25")], 17.0);
+        snap.registry().counter("iterations_total").add(3);
+        let dir = std::env::temp_dir().join("augur-bench-snapshot-test");
+        let path = snap.write_to(&dir).expect("snapshot write");
+        let text = std::fs::read_to_string(&path).expect("snapshot read");
+        let doc = augur_semantic::json::JsonValue::parse(&text).expect("snapshot parses");
+        assert_eq!(
+            doc.field("bench").unwrap().as_str().unwrap(),
+            "unit_test_bench"
+        );
+        let params = doc.field("params").unwrap().as_object().unwrap();
+        assert_eq!(params.get("events").unwrap().as_f64().unwrap(), 100_000.0);
+        assert_eq!(params.get("mode").unwrap().as_str().unwrap(), "sweep");
+        let metrics = doc.field("metrics").unwrap().as_object().unwrap();
+        for key in ["counters", "gauges", "histograms"] {
+            assert!(metrics.contains_key(key), "metrics missing {key}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

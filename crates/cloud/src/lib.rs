@@ -32,6 +32,8 @@ pub use executor::ComputeResource;
 /// Network models re-exported from [`network`].
 pub use network::NetworkProfile;
 /// Offloading machinery re-exported from [`offload`].
-pub use offload::{best_plan, estimate, EnergyParams, Estimate, OffloadPlan, Placement};
+pub use offload::{
+    best_plan, estimate, estimate_traced, EnergyParams, Estimate, OffloadPlan, Placement,
+};
 /// Task graphs re-exported from [`task`].
 pub use task::{Task, TaskGraph, TaskId};

@@ -8,6 +8,7 @@
 //! all valid plans — AR pipelines are small DAGs, so exhaustive search
 //! is exact and fast — giving experiment E3 its optimum curve.
 
+use augur_telemetry::Tracer;
 use serde::{Deserialize, Serialize};
 
 use crate::error::CloudError;
@@ -126,6 +127,62 @@ pub fn estimate(
     network: &NetworkProfile,
     energy: &EnergyParams,
 ) -> Result<Estimate, CloudError> {
+    estimate_inner(graph, plan, device, cloud, network, energy, None)
+}
+
+/// [`estimate`] with per-task telemetry: each task's modeled compute time
+/// lands in the span family `span_duration_us{span="offload/<task>",
+/// placement}` via `tracer`, boundary transfers land in
+/// `span_duration_us{span="offload/transfer"}`, and the plan's totals are
+/// published as the gauges `offload_latency_ms` /
+/// `offload_device_energy_mj` and counter `offload_transferred_bytes_total`.
+///
+/// The spans are *modeled* durations (the estimator's arithmetic), so
+/// they are deterministic regardless of the tracer's clock.
+///
+/// # Errors
+///
+/// Same contract as [`estimate`].
+pub fn estimate_traced(
+    graph: &TaskGraph,
+    plan: &OffloadPlan,
+    device: &ComputeResource,
+    cloud: &ComputeResource,
+    network: &NetworkProfile,
+    energy: &EnergyParams,
+    tracer: &Tracer,
+) -> Result<Estimate, CloudError> {
+    let est = estimate_inner(graph, plan, device, cloud, network, energy, Some(tracer))?;
+    let registry = tracer.registry();
+    registry.gauge("offload_latency_ms").set(est.latency_ms);
+    registry
+        .gauge("offload_device_energy_mj")
+        .set(est.device_energy_mj);
+    registry
+        .counter("offload_transferred_bytes_total")
+        .add(est.transferred_bytes);
+    Ok(est)
+}
+
+/// Milliseconds (modeled, f64) to whole non-negative microseconds.
+fn ms_to_us(ms: f64) -> u64 {
+    if ms.is_finite() && ms > 0.0 {
+        (ms * 1_000.0).round() as u64
+    } else {
+        0
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn estimate_inner(
+    graph: &TaskGraph,
+    plan: &OffloadPlan,
+    device: &ComputeResource,
+    cloud: &ComputeResource,
+    network: &NetworkProfile,
+    energy: &EnergyParams,
+    tracer: Option<&Tracer>,
+) -> Result<Estimate, CloudError> {
     if plan.placements.len() != graph.len() {
         return Err(CloudError::PlanShapeMismatch {
             tasks: graph.len(),
@@ -152,6 +209,9 @@ pub fn estimate(
                 at += ms;
                 radio_ms += ms;
                 transferred += dep_task.output_bytes;
+                if let Some(tr) = tracer {
+                    tr.record_span_micros("offload/transfer", ms_to_us(ms));
+                }
             }
             ready = ready.max(at);
         }
@@ -163,6 +223,12 @@ pub fn estimate(
             }
             Placement::Cloud => cloud.compute_ms(t.gigaops),
         };
+        if let Some(tr) = tracer {
+            let mut span = String::with_capacity(8 + t.name.len());
+            span.push_str("offload/");
+            span.push_str(&t.name);
+            tr.record_span_micros(&span, ms_to_us(compute_ms));
+        }
         finish[tid.0 as usize] = ready + compute_ms;
     }
     let latency_ms = finish.iter().cloned().fold(0.0, f64::max);
@@ -339,6 +405,49 @@ mod tests {
         let mut bad = OffloadPlan::all_device(&g);
         bad.placements[0] = Placement::Cloud; // capture is pinned
         assert!(estimate(&g, &bad, &phone, &cloud, &NetworkProfile::wifi(), &energy).is_err());
+    }
+
+    #[test]
+    fn traced_estimate_matches_plain_and_records_spans() {
+        use augur_telemetry::{ManualTime, Registry, SPAN_LABEL, SPAN_METRIC};
+        let (g, phone, cloud, energy) = setup();
+        let net = NetworkProfile::wifi();
+        let plan = OffloadPlan::all_cloud(&g);
+        let plain = estimate(&g, &plan, &phone, &cloud, &net, &energy).unwrap();
+        let reg = Registry::new();
+        let tracer = Tracer::new(&reg, ManualTime::shared());
+        let traced = estimate_traced(&g, &plan, &phone, &cloud, &net, &energy, &tracer).unwrap();
+        assert_eq!(plain, traced, "tracing must not change the estimate");
+        let snap = reg.snapshot();
+        // One span family per task plus the transfer family.
+        let span_names: Vec<&str> = snap
+            .histograms
+            .iter()
+            .filter(|h| h.name == SPAN_METRIC)
+            .flat_map(|h| &h.labels)
+            .filter(|(k, _)| k == SPAN_LABEL)
+            .map(|(_, v)| v.as_str())
+            .collect();
+        for t in g.tasks() {
+            let span = format!("offload/{}", t.name);
+            assert!(span_names.contains(&span.as_str()), "missing {span}");
+        }
+        assert!(span_names.contains(&"offload/transfer"));
+        // Plan totals published as gauges/counters.
+        assert_eq!(
+            snap.gauges
+                .iter()
+                .find(|g| g.name == "offload_latency_ms")
+                .map(|g| g.value),
+            Some(traced.latency_ms)
+        );
+        assert_eq!(
+            snap.counters
+                .iter()
+                .find(|c| c.name == "offload_transferred_bytes_total")
+                .map(|c| c.value),
+            Some(traced.transferred_bytes)
+        );
     }
 
     #[test]

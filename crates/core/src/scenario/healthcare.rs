@@ -12,6 +12,8 @@ use std::collections::HashMap;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use augur_telemetry::{ManualTime, Registry, Tracer};
+
 use augur_analytics::ThresholdDetector;
 use augur_sensor::{VitalsGenerator, VitalsParams};
 use augur_stream::{Broker, PipelineBuilder, Record};
@@ -88,12 +90,32 @@ pub struct HealthcareReport {
 /// [`CoreError::InvalidScenario`] for degenerate parameters; stream and
 /// analytics errors propagate.
 pub fn run(params: &HealthcareParams) -> Result<HealthcareReport, CoreError> {
+    run_instrumented(params, &Registry::new())
+}
+
+/// [`run`] with a per-stage latency breakdown recorded into `registry`
+/// as span histograms (`span_duration_us{span="healthcare/…"}`), using
+/// the modeled-work-unit convention described in
+/// [the module docs](crate::scenario). The broker pipeline itself runs
+/// against the same registry and manual clock, so its stage spans and
+/// counters land beside the scenario's.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_instrumented(
+    params: &HealthcareParams,
+    registry: &Registry,
+) -> Result<HealthcareReport, CoreError> {
     if params.patients == 0 {
         return Err(CoreError::InvalidScenario("patients must be positive"));
     }
     if params.duration_s <= 0.0 || params.period_s <= 0.0 {
         return Err(CoreError::InvalidScenario("durations must be positive"));
     }
+    let clock = ManualTime::shared();
+    let tracer = Tracer::with_labels(registry, clock.clone(), &[("scenario", "healthcare")]);
+    let generate_span = tracer.span("healthcare/generate");
     let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
     let gen_params = VitalsParams {
         patients: params.patients,
@@ -105,9 +127,15 @@ pub fn run(params: &HealthcareParams) -> Result<HealthcareReport, CoreError> {
         artifact_probability: params.artifact_probability,
     };
     let (samples, episodes) = VitalsGenerator::new(gen_params).generate(&mut rng);
+    clock.advance_micros(samples.len() as u64);
+    generate_span.end();
 
     // Stream through the broker keyed by patient (per-patient order is
-    // preserved within a partition).
+    // preserved within a partition). The pipeline shares the scenario's
+    // registry and manual clock; a map stage advances the clock one work
+    // unit per record, so pipeline latency and throughput are modeled
+    // and deterministic.
+    let stream_span = tracer.span("healthcare/stream");
     let broker = Broker::new();
     broker.create_topic("vitals", params.partitions)?;
     broker.append_batch(
@@ -117,11 +145,20 @@ pub fn run(params: &HealthcareParams) -> Result<HealthcareReport, CoreError> {
             .map(|s| Record::new(s.patient as u64, encode_vitals(s), s.time.as_micros())),
     )?;
 
-    let mut pipeline =
-        PipelineBuilder::new(broker, "vitals", |r| decode_vitals(&r.payload)).build();
+    let pipeline_clock = clock.clone();
+    let mut pipeline = PipelineBuilder::new(broker, "vitals", |r| decode_vitals(&r.payload))
+        .registry(registry)
+        .clock(clock.clone())
+        .map(move |v| {
+            pipeline_clock.advance_micros(1);
+            v
+        })
+        .build();
     let (records, metrics) = pipeline.collect()?;
+    stream_span.end();
 
     // Per-(patient, sign) m-of-n threshold detectors.
+    let detect_span = tracer.span("healthcare/detect");
     let mut detectors: HashMap<(u32, u8), ThresholdDetector> = HashMap::new();
     let mut alerts: Vec<(u32, augur_sensor::VitalSign, u64)> = Vec::new();
     for r in &records {
@@ -142,8 +179,11 @@ pub fn run(params: &HealthcareParams) -> Result<HealthcareReport, CoreError> {
             alerts.push((r.patient, r.sign, alert.t_us));
         }
     }
+    clock.advance_micros(records.len() as u64);
+    detect_span.end();
 
     // Score against episode ground truth.
+    let score_span = tracer.span("healthcare/score");
     let mut detected = 0usize;
     let mut latencies: Vec<f64> = Vec::new();
     for ep in &episodes {
@@ -182,6 +222,8 @@ pub fn run(params: &HealthcareParams) -> Result<HealthcareReport, CoreError> {
         }
     };
     let patient_hours = params.patients as f64 * params.duration_s / 3600.0;
+    clock.advance_micros(episodes.len() as u64);
+    score_span.end();
     Ok(HealthcareReport {
         episodes: episodes.len(),
         detected,
@@ -258,6 +300,38 @@ mod tests {
         assert_eq!(a.episodes, b.episodes);
         assert_eq!(a.detected, b.detected);
         assert_eq!(a.false_alarms, b.false_alarms);
+    }
+
+    #[test]
+    fn instrumented_spans_cover_scenario_and_pipeline_stages() {
+        let snapshot_of = || {
+            let reg = Registry::new();
+            run_instrumented(&small(), &reg).unwrap();
+            reg.snapshot()
+        };
+        let a = snapshot_of();
+        let b = snapshot_of();
+        assert_eq!(a, b, "span breakdown must be seed-deterministic");
+        let spans: Vec<&str> = a
+            .histograms
+            .iter()
+            .filter(|h| h.name == augur_telemetry::SPAN_METRIC)
+            .flat_map(|h| &h.labels)
+            .filter(|(k, _)| k == augur_telemetry::SPAN_LABEL)
+            .map(|(_, v)| v.as_str())
+            .collect();
+        // The scenario's own stages plus the broker pipeline's, since the
+        // pipeline shares the scenario registry.
+        for stage in [
+            "healthcare/generate",
+            "healthcare/stream",
+            "healthcare/detect",
+            "healthcare/score",
+            "pipeline/read",
+            "pipeline/transform",
+        ] {
+            assert!(spans.contains(&stage), "missing stage span {stage}");
+        }
     }
 
     #[test]

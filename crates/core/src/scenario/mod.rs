@@ -4,6 +4,15 @@
 //! `run` entry point, and a typed `Report` carrying the quantities the
 //! experiment index in DESIGN.md references. The reports also feed the
 //! Figure 5 reconstruction in [`crate::influence`].
+//!
+//! Every scenario also has a `run_instrumented(params, &Registry)`
+//! variant that records a per-stage latency breakdown as span histograms
+//! (`span_duration_us{span="<scenario>/<stage>", scenario}`). Stage
+//! durations are **modeled**: a [`augur_telemetry::ManualTime`] is
+//! advanced by each stage's deterministic work count under the
+//! convention one work unit ≙ one microsecond, so the breakdown is
+//! bit-for-bit reproducible under the scenario seed — wall-clock timing
+//! stays in the benches, per the audit's simulation rules.
 
 pub mod healthcare;
 pub mod retail;

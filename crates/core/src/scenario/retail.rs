@@ -8,6 +8,8 @@
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use augur_telemetry::{ManualTime, Registry, Tracer};
+
 use augur_analytics::recommend::{evaluate, leave_one_out};
 use augur_analytics::{
     EvalReport, Interaction, ItemItemRecommender, PopularityRecommender, RandomRecommender,
@@ -109,23 +111,51 @@ pub fn purchase_log(params: &RetailParams) -> Vec<Interaction> {
 ///
 /// [`CoreError::InvalidScenario`] for degenerate parameters.
 pub fn run(params: &RetailParams) -> Result<RetailReport, CoreError> {
+    run_instrumented(params, &Registry::new())
+}
+
+/// [`run`] with a per-stage latency breakdown recorded into `registry`
+/// as span histograms (`span_duration_us{span="retail/…"}`), using the
+/// modeled-work-unit convention described in [the module docs](crate::scenario).
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_instrumented(
+    params: &RetailParams,
+    registry: &Registry,
+) -> Result<RetailReport, CoreError> {
     if params.users == 0 || params.groups == 0 || params.products_per_group == 0 {
         return Err(CoreError::InvalidScenario("retail sizes must be positive"));
     }
     if params.top_k == 0 {
         return Err(CoreError::InvalidScenario("top_k must be positive"));
     }
+    let clock = ManualTime::shared();
+    let tracer = Tracer::with_labels(registry, clock.clone(), &[("scenario", "retail")]);
+    let log_span = tracer.span("retail/log");
     let log = purchase_log(params);
+    clock.advance_micros(log.len() as u64);
+    log_span.end();
+
+    let train_span = tracer.span("retail/train");
     let (train, held) = leave_one_out(&log);
     let cf_model = ItemItemRecommender::train(&train, 30);
     let pop_model = PopularityRecommender::train(&train);
     let rnd_model = RandomRecommender::train(&train, params.seed);
+    clock.advance_micros(train.len() as u64);
+    train_span.end();
+
+    let eval_span = tracer.span("retail/evaluate");
     let cf = evaluate(&cf_model, &held, params.top_k);
     let popularity = evaluate(&pop_model, &held, params.top_k);
     let random = evaluate(&rnd_model, &held, params.top_k);
+    clock.advance_micros(3 * held.len() as u64);
+    eval_span.end();
 
     // AR session: shopper 0 walks an aisle; their top-k recommendations
     // become shelf labels, interpreted under a shopping context.
+    let session_span = tracer.span("retail/session");
     let mut engine = InterpretationEngine::new();
     engine.add_rule(
         Rule::new(
@@ -176,6 +206,8 @@ pub fn run(params: &RetailParams) -> Result<RetailReport, CoreError> {
     let vp = Viewport::default();
     let naive = LayoutMetrics::measure(&labels, &naive_layout(&labels, vp));
     let decluttered = LayoutMetrics::measure(&labels, &greedy_layout(&labels, vp));
+    clock.advance_micros((directives.len() + labels.len()) as u64);
+    session_span.end();
 
     Ok(RetailReport {
         uplift_vs_popularity: if popularity.hit_rate > 0.0 {

@@ -8,6 +8,8 @@
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use augur_telemetry::{ManualTime, Registry, Tracer};
+
 use augur_geo::{poi::synthetic_database, CityModel, CityParams, Enu, GeoPoint, LocalFrame};
 use augur_render::{
     greedy_layout, naive_layout, xray_reveals, LabelBox, LayoutMetrics, OcclusionIndex, ViewCamera,
@@ -82,20 +84,40 @@ pub struct TourismReport {
 /// [`CoreError::InvalidScenario`] for degenerate parameters; geospatial
 /// errors propagate.
 pub fn run(params: &TourismParams) -> Result<TourismReport, CoreError> {
+    run_instrumented(params, &Registry::new())
+}
+
+/// [`run`] with a per-stage latency breakdown recorded into `registry`
+/// as span histograms (`span_duration_us{span="tourism/…"}`), using the
+/// modeled-work-unit convention described in [the module docs](crate::scenario).
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_instrumented(
+    params: &TourismParams,
+    registry: &Registry,
+) -> Result<TourismReport, CoreError> {
     if params.pois == 0 || params.k == 0 {
         return Err(CoreError::InvalidScenario("pois and k must be positive"));
     }
     if params.duration_s <= 0.0 {
         return Err(CoreError::InvalidScenario("duration must be positive"));
     }
+    let clock = ManualTime::shared();
+    let tracer = Tracer::with_labels(registry, clock.clone(), &[("scenario", "tourism")]);
+    let setup_span = tracer.span("tourism/setup");
     let origin = GeoPoint::new(22.3364, 114.2655)?;
     let frame = LocalFrame::new(origin);
     let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
     let db = synthetic_database(origin, params.pois, &mut rng)?;
     let city = CityModel::generate(&CityParams::default(), &mut rng);
     let occlusion = OcclusionIndex::build(&city);
+    clock.advance_micros(params.pois as u64);
+    setup_span.end();
 
     // Ground truth walk + fused tracking.
+    let tracking_span = tracer.span("tourism/tracking");
     let traj_params = TrajectoryParams {
         half_extent_m: 350.0,
         speed_mps: 1.4,
@@ -119,6 +141,8 @@ pub fn run(params: &TourismParams) -> Result<TourismReport, CoreError> {
     .track(&truth);
     let mut tracker = KalmanTracker::new(KalmanParams::default());
     let poses = run_tracker(&mut tracker, &truth, &fixes, &readings);
+    clock.advance_micros(truth.len() as u64);
+    tracking_span.end();
     let tracking_error_m = truth
         .iter()
         .zip(&poses)
@@ -142,15 +166,19 @@ pub fn run(params: &TourismParams) -> Result<TourismReport, CoreError> {
     let mut drop_sum = 0.0;
     for (i, pose) in poses.iter().enumerate().step_by(10) {
         queries += 1;
+        let retrieve_span = tracer.span("tourism/retrieve");
         let here = frame.to_geodetic(pose.position);
         let (near, knn_work) = db.nearest_counted(here, params.k);
         knn_total_work += knn_work;
         let (in_radius, scan_work) = db.within_radius_scan_counted(here, params.radius_m);
         scan_total_work += scan_work;
+        clock.advance_micros((knn_work + scan_work) as u64);
+        retrieve_span.end();
         let _ = in_radius.len();
         pois_surfaced += near.len();
 
         // Occlusion + x-ray for this frame.
+        let occlusion_span = tracer.span("tourism/occlusion");
         let camera = ViewCamera::new(
             Enu::new(pose.position.east, pose.position.north, 1.6),
             truth[i].heading_deg,
@@ -167,8 +195,11 @@ pub fn run(params: &TourismParams) -> Result<TourismReport, CoreError> {
             .collect();
         let frame_reveals = xray_reveals(&camera, &targets, &occlusion);
         reveals += frame_reveals.iter().filter(|r| r.reveal).count();
+        clock.advance_micros(targets.len() as u64);
+        occlusion_span.end();
 
         // Layout the labels for targets in view.
+        let layout_span = tracer.span("tourism/layout");
         let labels: Vec<LabelBox> = targets
             .iter()
             .filter_map(|(id, pos)| {
@@ -188,6 +219,8 @@ pub fn run(params: &TourismParams) -> Result<TourismReport, CoreError> {
             declutter_overlap_sum += greedy.overlap_ratio;
             drop_sum += greedy.drop_ratio;
         }
+        clock.advance_micros(labels.len() as u64);
+        layout_span.end();
     }
     let q = queries.max(1) as f64;
     let knn_indexed_work = knn_total_work as f64 / q;
@@ -256,6 +289,49 @@ mod tests {
         .unwrap();
         assert!(r.decluttered_overlap <= r.naive_overlap);
         assert_eq!(r.decluttered_overlap, 0.0);
+    }
+
+    #[test]
+    fn instrumented_span_breakdown_is_deterministic() {
+        let snapshot_of = || {
+            let reg = Registry::new();
+            run_instrumented(&small(), &reg).unwrap();
+            reg.snapshot()
+        };
+        let a = snapshot_of();
+        let b = snapshot_of();
+        assert_eq!(a, b, "span breakdown must be seed-deterministic");
+        let spans: Vec<&str> = a
+            .histograms
+            .iter()
+            .filter(|h| h.name == augur_telemetry::SPAN_METRIC)
+            .flat_map(|h| &h.labels)
+            .filter(|(k, _)| k == augur_telemetry::SPAN_LABEL)
+            .map(|(_, v)| v.as_str())
+            .collect();
+        for stage in [
+            "tourism/setup",
+            "tourism/tracking",
+            "tourism/retrieve",
+            "tourism/occlusion",
+            "tourism/layout",
+        ] {
+            assert!(spans.contains(&stage), "missing stage span {stage}");
+        }
+        // Retrieval dominates the modeled work: its span sum (knn + scan
+        // distance evaluations) dwarfs the per-frame layout work.
+        let sum_of = |stage: &str| {
+            a.histograms
+                .iter()
+                .find(|h| {
+                    h.name == augur_telemetry::SPAN_METRIC
+                        && h.labels
+                            .iter()
+                            .any(|(k, v)| k == augur_telemetry::SPAN_LABEL && v == stage)
+                })
+                .map_or(0, |h| h.stats.sum)
+        };
+        assert!(sum_of("tourism/retrieve") > sum_of("tourism/layout"));
     }
 
     #[test]

@@ -13,6 +13,8 @@ use std::collections::HashMap;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use augur_telemetry::{ManualTime, Registry, Tracer};
+
 use augur_geo::{CityModel, CityParams, Enu};
 use augur_sensor::{RoadGridWalk, Trajectory};
 
@@ -114,6 +116,20 @@ fn predicted_min_distance(a: &Beacon, b: &Beacon, now_s: f64, horizon_s: f64) ->
 ///
 /// [`CoreError::InvalidScenario`] for degenerate parameters.
 pub fn run(params: &TrafficParams) -> Result<TrafficReport, CoreError> {
+    run_instrumented(params, &Registry::new())
+}
+
+/// [`run`] with a per-stage latency breakdown recorded into `registry`
+/// as span histograms (`span_duration_us{span="traffic/…"}`), using the
+/// modeled-work-unit convention described in [the module docs](crate::scenario).
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_instrumented(
+    params: &TrafficParams,
+    registry: &Registry,
+) -> Result<TrafficReport, CoreError> {
     if params.vehicles < 2 {
         return Err(CoreError::InvalidScenario("need at least two vehicles"));
     }
@@ -125,6 +141,9 @@ pub fn run(params: &TrafficParams) -> Result<TrafficReport, CoreError> {
     if !(0.0..1.0).contains(&params.loss) {
         return Err(CoreError::InvalidScenario("loss must be in [0, 1)"));
     }
+    let clock = ManualTime::shared();
+    let tracer = Tracer::with_labels(registry, clock.clone(), &[("scenario", "traffic")]);
+    let setup_span = tracer.span("traffic/setup");
     let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
     let city = CityModel::generate(&CityParams::default(), &mut rng);
     let half_extent = city.extent().max_x();
@@ -146,7 +165,10 @@ pub fn run(params: &TrafficParams) -> Result<TrafficReport, CoreError> {
             w.step(params.dt_s);
         }
     }
+    clock.advance_micros(params.vehicles as u64);
+    setup_span.end();
 
+    let simulate_span = tracer.span("traffic/simulate");
     let steps = (params.duration_s / params.dt_s) as usize;
     let n = params.vehicles;
     let mut last_heard: Vec<HashMap<usize, Beacon>> = vec![HashMap::new(); n];
@@ -222,9 +244,13 @@ pub fn run(params: &TrafficParams) -> Result<TrafficReport, CoreError> {
         }
     }
 
+    clock.advance_micros(beacons_delivered + beacons_lost);
+    simulate_span.end();
+
     // Score: a near miss is covered if a warning for the pair was raised
     // within [event - horizon, event]; a warning is a false alarm if no
     // near miss for the pair occurred within horizon after it.
+    let score_span = tracer.span("traffic/score");
     let mut warned_in_time = 0usize;
     let mut lead_times = Vec::new();
     for (pair, t_event) in &near_miss_events {
@@ -251,6 +277,8 @@ pub fn run(params: &TrafficParams) -> Result<TrafficReport, CoreError> {
     } else {
         lead_times.iter().sum::<f64>() / lead_times.len() as f64
     };
+    clock.advance_micros((warnings.len() + near_miss_events.len()) as u64);
+    score_span.end();
     Ok(TrafficReport {
         near_misses: near_miss_events.len(),
         warned_in_time,
@@ -350,6 +378,29 @@ mod tests {
         let a = run(&small()).unwrap();
         let b = run(&small()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn instrumented_span_breakdown_is_deterministic() {
+        let snapshot_of = || {
+            let reg = Registry::new();
+            run_instrumented(&small(), &reg).unwrap();
+            reg.snapshot()
+        };
+        let a = snapshot_of();
+        let b = snapshot_of();
+        assert_eq!(a, b, "span breakdown must be seed-deterministic");
+        let spans: Vec<&str> = a
+            .histograms
+            .iter()
+            .filter(|h| h.name == augur_telemetry::SPAN_METRIC)
+            .flat_map(|h| &h.labels)
+            .filter(|(k, _)| k == augur_telemetry::SPAN_LABEL)
+            .map(|(_, v)| v.as_str())
+            .collect();
+        for stage in ["traffic/setup", "traffic/simulate", "traffic/score"] {
+            assert!(spans.contains(&stage), "missing stage span {stage}");
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
+use augur_telemetry::{Counter, Histogram, Registry};
 use bytes::Bytes;
 
 use crate::error::StoreError;
@@ -33,6 +34,10 @@ impl Default for LsmParams {
 }
 
 /// Statistics snapshot of an [`LsmStore`].
+///
+/// A view over the store's telemetry counters plus its structural state;
+/// when the store is [instrumented](LsmStore::instrument), the same
+/// flush/compaction counts are visible through the registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LsmStats {
     /// Entries currently in the memtable.
@@ -63,13 +68,52 @@ type RunEntry = (Bytes, Option<Bytes>);
 /// db.delete(b"user:1".as_ref());
 /// assert_eq!(db.get(b"user:1"), None);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct LsmStore {
     params: LsmParams,
     memtable: BTreeMap<Bytes, Option<Bytes>>,
     runs: Vec<Vec<RunEntry>>, // newest last; each sorted by key
-    stats_flushes: u64,
-    stats_compactions: u64,
+    metrics: LsmMetrics,
+}
+
+/// Telemetry handles: detached atomics by default, swapped for
+/// registry-registered families by [`LsmStore::instrument`].
+#[derive(Debug)]
+struct LsmMetrics {
+    flushes: Counter,
+    compactions: Counter,
+    /// Sorted runs probed per [`LsmStore::get`] — the store's read
+    /// amplification (0 = memtable hit).
+    read_amp: Histogram,
+}
+
+impl LsmMetrics {
+    fn detached() -> LsmMetrics {
+        LsmMetrics {
+            flushes: Counter::new(),
+            compactions: Counter::new(),
+            read_amp: Histogram::new(),
+        }
+    }
+}
+
+impl Clone for LsmStore {
+    /// Clones the data; the clone gets its own metric cells seeded with
+    /// the current flush/compaction counts (shared cells would make two
+    /// independent stores double-count) and a fresh read-amplification
+    /// histogram.
+    fn clone(&self) -> Self {
+        LsmStore {
+            params: self.params,
+            memtable: self.memtable.clone(),
+            runs: self.runs.clone(),
+            metrics: LsmMetrics {
+                flushes: Counter::with_value(self.metrics.flushes.get()),
+                compactions: Counter::with_value(self.metrics.compactions.get()),
+                read_amp: Histogram::new(),
+            },
+        }
+    }
 }
 
 impl Default for LsmStore {
@@ -85,9 +129,26 @@ impl LsmStore {
             params,
             memtable: BTreeMap::new(),
             runs: Vec::new(),
-            stats_flushes: 0,
-            stats_compactions: 0,
+            metrics: LsmMetrics::detached(),
         }
+    }
+
+    /// Publishes this store's metrics through `registry` under the
+    /// families `lsm_flushes_total`, `lsm_compactions_total`, and
+    /// `lsm_read_amplification`, all labeled `{store=name}`. Counts
+    /// accumulated so far carry over; read-amplification history does not
+    /// (histograms cannot be seeded).
+    pub fn instrument(&mut self, registry: &Registry, name: &str) {
+        let labels = [("store", name)];
+        let flushes = registry.counter_labeled("lsm_flushes_total", &labels);
+        flushes.add(self.metrics.flushes.get());
+        let compactions = registry.counter_labeled("lsm_compactions_total", &labels);
+        compactions.add(self.metrics.compactions.get());
+        self.metrics = LsmMetrics {
+            flushes,
+            compactions,
+            read_amp: registry.histogram_labeled("lsm_read_amplification", &labels),
+        };
     }
 
     /// Inserts or overwrites a key.
@@ -102,16 +163,22 @@ impl LsmStore {
         self.maybe_flush();
     }
 
-    /// Looks a key up (memtable first, then runs newest-first).
+    /// Looks a key up (memtable first, then runs newest-first), recording
+    /// the number of runs probed into the read-amplification histogram.
     pub fn get(&self, key: &[u8]) -> Option<Bytes> {
         if let Some(v) = self.memtable.get(key) {
+            self.metrics.read_amp.record(0);
             return v.clone();
         }
+        let mut probed = 0u64;
         for run in self.runs.iter().rev() {
+            probed += 1;
             if let Ok(i) = run.binary_search_by(|(k, _)| k.as_ref().cmp(key)) {
+                self.metrics.read_amp.record(probed);
                 return run[i].1.clone();
             }
         }
+        self.metrics.read_amp.record(probed);
         None
     }
 
@@ -169,7 +236,7 @@ impl LsmStore {
         }
         let run: Vec<RunEntry> = std::mem::take(&mut self.memtable).into_iter().collect();
         self.runs.push(run);
-        self.stats_flushes += 1;
+        self.metrics.flushes.inc();
         if self.runs.len() >= self.params.compaction_trigger_runs {
             self.compact();
         }
@@ -197,18 +264,27 @@ impl LsmStore {
         if !compacted.is_empty() {
             self.runs.push(compacted);
         }
-        self.stats_compactions += 1;
+        self.metrics.compactions.inc();
     }
 
-    /// Statistics snapshot.
+    /// Statistics snapshot (a view over the telemetry counters).
     pub fn stats(&self) -> LsmStats {
         LsmStats {
             memtable_entries: self.memtable.len(),
             runs: self.runs.len(),
             run_entries: self.runs.iter().map(|r| r.len()).sum(),
-            flushes: self.stats_flushes,
-            compactions: self.stats_compactions,
+            flushes: self.metrics.flushes.get(),
+            compactions: self.metrics.compactions.get(),
         }
+    }
+
+    /// Read-amplification quantiles observed so far: the (p50, p99) of
+    /// runs probed per `get` (0 means the memtable answered).
+    pub fn read_amplification(&self) -> (u64, u64) {
+        (
+            self.metrics.read_amp.quantile(0.50),
+            self.metrics.read_amp.quantile(0.99),
+        )
     }
 
     /// Validates an `LsmParams` before use elsewhere.
@@ -326,6 +402,58 @@ mod tests {
             compaction_trigger_runs: 1
         })
         .is_err());
+    }
+
+    #[test]
+    fn instrument_publishes_counters_and_read_amplification() {
+        let mut db = small();
+        for i in 0..16u8 {
+            db.put(vec![i], vec![i]);
+        }
+        let reg = Registry::new();
+        db.instrument(&reg, "hot");
+        // Pre-instrumentation flushes carried over into the registry.
+        let pre = db.stats().flushes;
+        assert!(pre >= 2);
+        db.put(b"z".as_ref(), b"z".as_ref());
+        db.flush();
+        let snap = reg.snapshot();
+        let flushes = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "lsm_flushes_total")
+            .expect("flush counter registered");
+        assert_eq!(flushes.value, pre + 1);
+        assert!(flushes.labels.contains(&("store".into(), "hot".into())));
+        // Probing runs records read amplification; memtable hits record 0.
+        db.put(b"mem".as_ref(), b"hit".as_ref());
+        let _ = db.get(b"mem");
+        let _ = db.get(&[0u8]);
+        let (p50, p99) = db.read_amplification();
+        assert!(p99 >= p50);
+        let ra = reg
+            .snapshot()
+            .histograms
+            .into_iter()
+            .find(|h| h.name == "lsm_read_amplification")
+            .expect("read-amp histogram registered");
+        assert_eq!(ra.stats.count, 2);
+        assert_eq!(ra.stats.min, 0, "memtable hit probes zero runs");
+        assert!(ra.stats.max >= 1, "run lookup probes at least one run");
+    }
+
+    #[test]
+    fn clone_does_not_share_metric_cells() {
+        let mut db = small();
+        for i in 0..16u8 {
+            db.put(vec![i], vec![i]);
+        }
+        let before = db.stats().flushes;
+        let mut copy = db.clone();
+        copy.put(b"c".as_ref(), b"c".as_ref());
+        copy.flush();
+        assert_eq!(db.stats().flushes, before, "original unaffected by clone");
+        assert_eq!(copy.stats().flushes, before + 1);
     }
 
     #[test]

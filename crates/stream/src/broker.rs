@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use augur_telemetry::Registry;
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::StreamError;
@@ -249,6 +250,7 @@ pub struct ConsumerGroup {
     broker: Broker,
     committed: Mutex<HashMap<(String, u32), u64>>,
     members: Mutex<Vec<String>>,
+    telemetry: Mutex<Option<Registry>>,
 }
 
 impl ConsumerGroup {
@@ -259,7 +261,15 @@ impl ConsumerGroup {
             broker,
             committed: Mutex::new(HashMap::new()),
             members: Mutex::new(Vec::new()),
+            telemetry: Mutex::new(None),
         }
+    }
+
+    /// Attaches a metric registry: every subsequent [`ConsumerGroup::lag`]
+    /// call publishes its result to the gauge
+    /// `consumer_lag_records{group, topic}`.
+    pub fn instrument(&self, registry: &Registry) {
+        *self.telemetry.lock() = Some(registry.clone());
     }
 
     /// The group name.
@@ -357,6 +367,14 @@ impl ConsumerGroup {
         for p in 0..n {
             let end = self.broker.end_offset(topic, PartitionId(p))?;
             lag += end.saturating_sub(self.committed_offset(topic, PartitionId(p)));
+        }
+        if let Some(registry) = self.telemetry.lock().as_ref() {
+            registry
+                .gauge_labeled(
+                    "consumer_lag_records",
+                    &[("group", self.name.as_str()), ("topic", topic)],
+                )
+                .set_u64(lag);
         }
         Ok(lag)
     }

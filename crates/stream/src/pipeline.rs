@@ -10,11 +10,19 @@
 //! - **Continuous mode** ([`Pipeline::spawn_continuous`]) runs a source
 //!   thread feeding a bounded crossbeam channel (providing backpressure)
 //!   into a worker thread, until the returned [`StopHandle`] stops it.
+//!
+//! Every run is instrumented through `augur-telemetry`: per-stage spans
+//! (`span_duration_us{span="pipeline/…", topic}`), record/byte counters,
+//! a per-record latency histogram, and a watermark-lateness histogram all
+//! land in the builder's [`Registry`] (a private one by default; plug in
+//! [`Registry::global`] or a shared one via [`PipelineBuilder::registry`]).
+//! Time is read through the pluggable [`Clock`] — [`MonotonicTime`] by
+//! default, a [`augur_telemetry::ManualTime`] for deterministic runs.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
+use augur_telemetry::{Clock, Counter, Histogram, MonotonicTime, Registry, Tracer};
 use crossbeam::channel;
 
 use crate::broker::Broker;
@@ -25,6 +33,12 @@ use crate::watermark::{BoundedOutOfOrderness, WatermarkGenerator};
 use crate::window::{Aggregation, WindowAssigner, WindowResult, WindowState, WindowedAggregator};
 
 /// Metrics from a pipeline run.
+///
+/// This is a **view over the registry**: the fields are computed by
+/// reading the pipeline's pre-registered counters at run start and end
+/// and diffing, so the same numbers are visible to any exporter attached
+/// to the registry (cumulatively, across runs) and to the caller (per
+/// run, here).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PipelineMetrics {
     /// Records read from the log.
@@ -73,6 +87,8 @@ pub struct PipelineBuilder<T> {
     poll_batch: usize,
     channel_capacity: usize,
     arrival_order: bool,
+    registry: Registry,
+    clock: Clock,
 }
 
 impl<T> std::fmt::Debug for PipelineBuilder<T> {
@@ -103,7 +119,27 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             poll_batch: 1024,
             channel_capacity: 4096,
             arrival_order: false,
+            registry: Registry::new(),
+            clock: MonotonicTime::shared(),
         }
+    }
+
+    /// Records this pipeline's metrics and spans into `registry` instead
+    /// of the builder's private default registry. Pass
+    /// [`Registry::global`] (or any shared registry) to make the
+    /// pipeline's counters, latency histograms, and stage spans visible
+    /// to exporters.
+    pub fn registry(mut self, registry: &Registry) -> Self {
+        self.registry = registry.clone();
+        self
+    }
+
+    /// Reads time from `clock` instead of the default [`MonotonicTime`].
+    /// Plug in an [`augur_telemetry::ManualTime`] to make span durations
+    /// and `elapsed_s` deterministic in simulations.
+    pub fn clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// Keeps only items satisfying `pred`.
@@ -143,9 +179,88 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         self
     }
 
-    /// Finalises the pipeline.
+    /// Finalises the pipeline, registering its metric families up front
+    /// so the record hot path touches only pre-registered atomic handles.
     pub fn build(self) -> Pipeline<T> {
-        Pipeline { inner: self }
+        let instruments = Instruments::new(&self.registry, &self.clock, &self.topic);
+        Pipeline {
+            inner: self,
+            instruments,
+        }
+    }
+}
+
+/// Pre-registered metric handles for one pipeline. The per-record hot
+/// path updates these atomics only; the registry maps are never touched
+/// after construction.
+struct Instruments {
+    tracer: Tracer,
+    clock: Clock,
+    records_in: Counter,
+    records_out: Counter,
+    late_dropped: Counter,
+    record_latency_ns: Histogram,
+    lateness_us: Histogram,
+}
+
+impl std::fmt::Debug for Instruments {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instruments").finish_non_exhaustive()
+    }
+}
+
+/// Counter readings captured at run start; diffing against them at run
+/// end yields the per-run [`PipelineMetrics`] view.
+struct RunStart {
+    records_in: u64,
+    records_out: u64,
+    late_dropped: u64,
+    start_nanos: u64,
+}
+
+impl Instruments {
+    fn new(registry: &Registry, clock: &Clock, topic: &str) -> Instruments {
+        let labels = [("topic", topic)];
+        Instruments {
+            tracer: Tracer::with_labels(registry, Arc::clone(clock), &labels),
+            clock: Arc::clone(clock),
+            records_in: registry.counter_labeled("pipeline_records_in_total", &labels),
+            records_out: registry.counter_labeled("pipeline_records_out_total", &labels),
+            late_dropped: registry.counter_labeled("pipeline_late_dropped_total", &labels),
+            record_latency_ns: registry.histogram_labeled("pipeline_record_latency_ns", &labels),
+            lateness_us: registry.histogram_labeled("watermark_lateness_us", &labels),
+        }
+    }
+
+    fn run_start(&self) -> RunStart {
+        RunStart {
+            records_in: self.records_in.get(),
+            records_out: self.records_out.get(),
+            late_dropped: self.late_dropped.get(),
+            start_nanos: self.clock.now_nanos(),
+        }
+    }
+
+    /// The per-run metrics view: counters diffed against `start`, elapsed
+    /// time from the pipeline clock, latency quantiles from the run-local
+    /// histogram (`None` for windowed runs, which do not time individual
+    /// records).
+    fn per_run(
+        &self,
+        start: &RunStart,
+        bytes_in: u64,
+        latency: Option<&Histogram>,
+    ) -> PipelineMetrics {
+        let elapsed_ns = self.clock.now_nanos().saturating_sub(start.start_nanos);
+        PipelineMetrics {
+            records_in: self.records_in.get().saturating_sub(start.records_in),
+            records_out: self.records_out.get().saturating_sub(start.records_out),
+            bytes_in,
+            late_dropped: self.late_dropped.get().saturating_sub(start.late_dropped),
+            elapsed_s: elapsed_ns as f64 / 1e9,
+            p50_latency_us: latency.map_or(0.0, |h| h.quantile(0.50) as f64 / 1_000.0),
+            p99_latency_us: latency.map_or(0.0, |h| h.quantile(0.99) as f64 / 1_000.0),
+        }
     }
 }
 
@@ -153,6 +268,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
 #[derive(Debug)]
 pub struct Pipeline<T> {
     inner: PipelineBuilder<T>,
+    instruments: Instruments,
 }
 
 /// Item with routing metadata flowing through a pipeline.
@@ -206,43 +322,40 @@ impl<T: Send + 'static> Pipeline<T> {
     ///
     /// Propagates broker errors ([`StreamError::UnknownTopic`] etc.).
     pub fn collect(&mut self) -> Result<(Vec<T>, PipelineMetrics), StreamError> {
-        let start = Instant::now();
+        let run = self.instruments.run_start();
         let stats = self.inner.broker.stats(&self.inner.topic)?;
-        let flows = self.read_all()?;
-        let records_in = flows.len() as u64;
+        let flows = {
+            let _read = self.instruments.tracer.span("pipeline/read");
+            self.read_all()?
+        };
+        self.instruments.records_in.add(flows.len() as u64);
+        // Run-local histogram for the per-run quantile view; the shared
+        // `pipeline_record_latency_ns` family accumulates across runs.
+        let run_latency = Histogram::new();
         let mut out = Vec::new();
-        let mut latencies = Vec::with_capacity(flows.len());
-        for flow in flows {
-            let t0 = Instant::now();
-            let mut v = Some(flow.value);
-            for tr in &mut self.inner.transforms {
-                v = match v {
-                    Some(x) => tr(x),
-                    None => break,
-                };
-            }
-            if let Some(x) = v {
-                latencies.push(t0.elapsed().as_nanos() as f64 / 1_000.0);
-                out.push(x);
+        {
+            let _transform = self.instruments.tracer.span("pipeline/transform");
+            for flow in flows {
+                let t0 = self.instruments.clock.now_nanos();
+                let mut v = Some(flow.value);
+                for tr in &mut self.inner.transforms {
+                    v = match v {
+                        Some(x) => tr(x),
+                        None => break,
+                    };
+                }
+                if let Some(x) = v {
+                    let dt = self.instruments.clock.now_nanos().saturating_sub(t0);
+                    run_latency.record(dt);
+                    self.instruments.record_latency_ns.record(dt);
+                    self.instruments.records_out.inc();
+                    out.push(x);
+                }
             }
         }
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-        let pct = |p: f64| -> f64 {
-            if latencies.is_empty() {
-                0.0
-            } else {
-                latencies[((latencies.len() as f64 * p) as usize).min(latencies.len() - 1)]
-            }
-        };
-        let metrics = PipelineMetrics {
-            records_in,
-            records_out: out.len() as u64,
-            bytes_in: stats.bytes,
-            late_dropped: 0,
-            elapsed_s: start.elapsed().as_secs_f64(),
-            p50_latency_us: pct(0.50),
-            p99_latency_us: pct(0.99),
-        };
+        let metrics = self
+            .instruments
+            .per_run(&run, stats.bytes, Some(&run_latency));
         Ok((out, metrics))
     }
 
@@ -272,7 +385,7 @@ impl<T: Send + 'static> Pipeline<T> {
         W: WindowAssigner,
         A: Aggregation<T>,
     {
-        let start = Instant::now();
+        let run = self.instruments.run_start();
         let mut agg = WindowedAggregator::new(assigner, aggregation);
         let mut wm = BoundedOutOfOrderness::new(self.inner.watermark_bound_us);
         let mut processed_before: u64 = 0;
@@ -293,56 +406,60 @@ impl<T: Send + 'static> Pipeline<T> {
         // The bounded run reads a time-ordered merge of all partitions;
         // the "offset" we checkpoint is the index into that merged order,
         // stored under partition u32::MAX (single logical cursor).
-        let flows = self.read_all()?;
-        let mut emitted: Vec<WindowResult<A::Acc>> = Vec::new();
-        let mut records_in = 0u64;
-        let mut crashed = false;
-        for (i, flow) in flows.iter().enumerate() {
-            if (i as u64) < processed_before {
-                continue;
-            }
-            if let Some(limit) = crash_after {
-                if i >= limit {
-                    crashed = true;
-                    break;
-                }
-            }
-            records_in += 1;
-            let mut v = Some(flow.value.clone());
-            for tr in &mut self.inner.transforms {
-                v = match v {
-                    Some(x) => tr(x),
-                    None => break,
-                };
-            }
-            if let Some(x) = v {
-                if wm.observe(flow.time_us).is_some() {
-                    emitted.extend(agg.advance(wm.current()));
-                }
-                agg.offer(flow.key, flow.time_us, &x);
-            }
-            if let Some((store, interval)) = &checkpoints {
-                if interval > &0 && (i + 1) % interval == 0 {
-                    let mut offsets = std::collections::HashMap::new();
-                    offsets.insert((self.inner.topic.clone(), u32::MAX), (i + 1) as u64);
-                    store.save(offsets, agg.snapshot());
-                }
-            }
-        }
-        if !crashed {
-            emitted.extend(agg.flush());
-        }
-        let late = agg.late_dropped();
-        let stats = self.inner.broker.stats(&self.inner.topic)?;
-        let metrics = PipelineMetrics {
-            records_in,
-            records_out: emitted.len() as u64,
-            bytes_in: stats.bytes,
-            late_dropped: late,
-            elapsed_s: start.elapsed().as_secs_f64(),
-            p50_latency_us: 0.0,
-            p99_latency_us: 0.0,
+        let flows = {
+            let _read = self.instruments.tracer.span("pipeline/read");
+            self.read_all()?
         };
+        let mut emitted: Vec<WindowResult<A::Acc>> = Vec::new();
+        let mut crashed = false;
+        {
+            let _window = self.instruments.tracer.span("pipeline/window");
+            for (i, flow) in flows.iter().enumerate() {
+                if (i as u64) < processed_before {
+                    continue;
+                }
+                if let Some(limit) = crash_after {
+                    if i >= limit {
+                        crashed = true;
+                        break;
+                    }
+                }
+                self.instruments.records_in.inc();
+                let mut v = Some(flow.value.clone());
+                for tr in &mut self.inner.transforms {
+                    v = match v {
+                        Some(x) => tr(x),
+                        None => break,
+                    };
+                }
+                if let Some(x) = v {
+                    if wm.observe(flow.time_us).is_some() {
+                        emitted.extend(agg.advance(wm.current()));
+                    }
+                    // Lateness relative to the current watermark: 0 for
+                    // on-time records, positive for stragglers — the
+                    // distribution A1 uses to size the disorder bound.
+                    self.instruments
+                        .lateness_us
+                        .record(wm.current().0.saturating_sub(flow.time_us));
+                    agg.offer(flow.key, flow.time_us, &x);
+                }
+                if let Some((store, interval)) = &checkpoints {
+                    if interval > &0 && (i + 1) % interval == 0 {
+                        let mut offsets = std::collections::HashMap::new();
+                        offsets.insert((self.inner.topic.clone(), u32::MAX), (i + 1) as u64);
+                        store.save(offsets, agg.snapshot());
+                    }
+                }
+            }
+            if !crashed {
+                emitted.extend(agg.flush());
+            }
+        }
+        self.instruments.records_out.add(emitted.len() as u64);
+        self.instruments.late_dropped.add(agg.late_dropped());
+        let stats = self.inner.broker.stats(&self.inner.topic)?;
+        let metrics = self.instruments.per_run(&run, stats.bytes, None);
         Ok((emitted, metrics))
     }
 
@@ -366,6 +483,8 @@ impl<T: Send + 'static> Pipeline<T> {
         let decoder = Arc::clone(&self.inner.decoder);
         let poll_batch = self.inner.poll_batch;
         let stop_src = Arc::clone(&stop);
+        let records_in = self.instruments.records_in.clone();
+        let records_out = self.instruments.records_out.clone();
         let source = std::thread::spawn(move || {
             let mut offsets = vec![0u64; parts as usize];
             while !stop_src.load(Ordering::Relaxed) {
@@ -385,6 +504,7 @@ impl<T: Send + 'static> Pipeline<T> {
                         idle = false;
                     }
                     for pr in batch {
+                        records_in.inc();
                         if let Some(v) = decoder(&pr.record) {
                             let flow = Flow {
                                 key: pr.record.key,
@@ -418,6 +538,7 @@ impl<T: Send + 'static> Pipeline<T> {
                     }
                     if let Some(x) = v {
                         sink(x);
+                        records_out.inc();
                         processed_worker.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -473,6 +594,7 @@ impl Drop for StopHandle {
 mod tests {
     use super::*;
     use crate::window::{CountAggregation, TumblingWindows};
+    use std::time::Instant;
 
     fn setup(partitions: u32, n: u64) -> Broker {
         let b = Broker::new();
@@ -502,6 +624,104 @@ mod tests {
         assert_eq!(metrics.records_in, 100);
         assert_eq!(metrics.records_out, 50);
         assert!(metrics.throughput_rps() > 0.0);
+    }
+
+    #[test]
+    fn metrics_are_a_registry_view_and_deterministic_under_manual_time() {
+        use augur_telemetry::ManualTime;
+        let b = setup(2, 60);
+        let reg = Registry::new();
+        let clock = ManualTime::shared();
+        let mut p = PipelineBuilder::new(b, "t", decode)
+            .filter(|v| v % 3 == 0)
+            .registry(&reg)
+            .clock(clock.clone())
+            .build();
+        let (items, metrics) = p.collect().unwrap();
+        assert_eq!(items.len(), 20);
+        // The clock never advanced: a fully deterministic zero-duration run.
+        assert_eq!(metrics.elapsed_s, 0.0);
+        assert_eq!(metrics.p50_latency_us, 0.0);
+        // The same numbers are visible through the registry.
+        let snap = reg.snapshot();
+        let counter = |name: &str| {
+            snap.counters
+                .iter()
+                .find(|c| c.name == name)
+                .map(|c| c.value)
+        };
+        assert_eq!(counter("pipeline_records_in_total"), Some(60));
+        assert_eq!(counter("pipeline_records_out_total"), Some(20));
+        assert!(snap
+            .counters
+            .iter()
+            .all(|c| c.labels.contains(&("topic".into(), "t".into()))));
+        // Stage spans were recorded (read + transform).
+        let spans: Vec<&str> = snap
+            .histograms
+            .iter()
+            .filter(|h| h.name == augur_telemetry::SPAN_METRIC)
+            .flat_map(|h| &h.labels)
+            .filter(|(k, _)| k == augur_telemetry::SPAN_LABEL)
+            .map(|(_, v)| v.as_str())
+            .collect();
+        assert!(spans.contains(&"pipeline/read"));
+        assert!(spans.contains(&"pipeline/transform"));
+        // A second run diffs cleanly: per-run metrics, cumulative registry.
+        let (_, m2) = p.collect().unwrap();
+        assert_eq!(m2.records_in, 60);
+        let snap2 = reg.snapshot();
+        assert_eq!(
+            snap2
+                .counters
+                .iter()
+                .find(|c| c.name == "pipeline_records_in_total")
+                .map(|c| c.value),
+            Some(120)
+        );
+    }
+
+    #[test]
+    fn windowed_run_records_lateness_distribution() {
+        let b = Broker::new();
+        b.create_topic("t", 1).unwrap();
+        for t in [10_000u64, 20_000, 5_000, 30_000, 6_000] {
+            b.append("t", Record::new(1, t.to_le_bytes().to_vec(), t))
+                .unwrap();
+        }
+        let reg = Registry::new();
+        let mut p = PipelineBuilder::new(b, "t", decode)
+            .watermark_bound_us(0)
+            .arrival_order(true)
+            .registry(&reg)
+            .build();
+        let (_, m) = p
+            .run_windowed(
+                TumblingWindows::new(8_000),
+                CountAggregation,
+                None,
+                None,
+                false,
+            )
+            .unwrap();
+        assert_eq!(m.late_dropped, 2);
+        let snap = reg.snapshot();
+        let lateness = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "watermark_lateness_us")
+            .expect("lateness histogram registered");
+        assert_eq!(lateness.stats.count, 5);
+        // The last straggler (6 ms) arrives behind the 30 ms watermark:
+        // max lateness is 30_000 - 6_000 = 24_000 µs.
+        assert_eq!(lateness.stats.max, 24_000);
+        assert_eq!(
+            snap.counters
+                .iter()
+                .find(|c| c.name == "pipeline_late_dropped_total")
+                .map(|c| c.value),
+            Some(2)
+        );
     }
 
     #[test]

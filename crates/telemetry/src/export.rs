@@ -1,0 +1,291 @@
+//! Exposition formats: Prometheus text and JSON snapshots.
+//!
+//! Both exporters render a [`RegistrySnapshot`], so a single consistent
+//! read feeds either format. Histograms are exposed Prometheus-style as
+//! summaries (`{quantile="0.5"}` series plus `_sum`/`_count`), and as
+//! objects with explicit quantile fields in JSON — the shape the bench
+//! harness writes to `results/<bench>.json` for trajectory tracking.
+
+use std::fmt::Write as _;
+
+use crate::registry::{Labels, Registry, RegistrySnapshot};
+
+/// Escapes `s` for inclusion in a double-quoted JSON string.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite `f64` as a JSON number, non-finite as `null`.
+pub fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return String::from("null");
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_block(labels: &Labels, extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn json_labels(labels: &Labels) -> String {
+    let parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)))
+        .collect();
+    format!("{{{}}}", parts.join(","))
+}
+
+impl Registry {
+    /// Renders every metric in the Prometheus text exposition format.
+    ///
+    /// Counters become `counter` families, gauges `gauge`, histograms
+    /// `summary` (quantile series + `_sum` + `_count`). `# TYPE` lines are
+    /// emitted once per family.
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let line = format!("# TYPE {name} {kind}\n");
+            if line != last_type_line {
+                out.push_str(&line);
+                last_type_line = line;
+            }
+        };
+        for c in &snap.counters {
+            type_line(&mut out, &c.name, "counter");
+            let _ = writeln!(
+                out,
+                "{}{} {}",
+                c.name,
+                label_block(&c.labels, None),
+                c.value
+            );
+        }
+        for g in &snap.gauges {
+            type_line(&mut out, &g.name, "gauge");
+            let v = if g.value.is_finite() {
+                format!("{}", g.value)
+            } else {
+                String::from("NaN")
+            };
+            let _ = writeln!(out, "{}{} {}", g.name, label_block(&g.labels, None), v);
+        }
+        for h in &snap.histograms {
+            type_line(&mut out, &h.name, "summary");
+            for (q, v) in [
+                ("0.5", h.stats.p50),
+                ("0.9", h.stats.p90),
+                ("0.95", h.stats.p95),
+                ("0.99", h.stats.p99),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    h.name,
+                    label_block(&h.labels, Some(("quantile", q))),
+                    v
+                );
+            }
+            let lb = label_block(&h.labels, None);
+            let _ = writeln!(out, "{}_sum{} {}", h.name, lb, h.stats.sum);
+            let _ = writeln!(out, "{}_count{} {}", h.name, lb, h.stats.count);
+        }
+        out
+    }
+
+    /// Renders every metric as a compact JSON object:
+    /// `{"counters":[...],"gauges":[...],"histograms":[...]}`.
+    pub fn render_json(&self) -> String {
+        render_snapshot_json(&self.snapshot())
+    }
+}
+
+/// Renders the span histograms in `snap` as an aligned per-stage latency
+/// table (`count`, total, p50, p99 in microseconds), sorted by total time
+/// descending — the shape the scenario examples print. Returns an empty
+/// string when the snapshot holds no spans.
+pub fn render_span_breakdown(snap: &RegistrySnapshot) -> String {
+    let mut rows: Vec<(&str, u64, u64, u64, u64)> = snap
+        .histograms
+        .iter()
+        .filter(|h| h.name == crate::span::SPAN_METRIC)
+        .filter_map(|h| {
+            h.labels
+                .iter()
+                .find(|(k, _)| k == crate::span::SPAN_LABEL)
+                .map(|(_, v)| {
+                    (
+                        v.as_str(),
+                        h.stats.count,
+                        h.stats.sum,
+                        h.stats.p50,
+                        h.stats.p99,
+                    )
+                })
+        })
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    rows.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(b.0)));
+    let name_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(4).max(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<name_w$}  {:>7}  {:>12}  {:>9}  {:>9}",
+        "span", "count", "total_us", "p50_us", "p99_us"
+    );
+    for (name, count, sum, p50, p99) in rows {
+        let _ = writeln!(
+            out,
+            "  {name:<name_w$}  {count:>7}  {sum:>12}  {p50:>9}  {p99:>9}"
+        );
+    }
+    out
+}
+
+/// Renders an already-taken snapshot as JSON (see
+/// [`Registry::render_json`]).
+pub fn render_snapshot_json(snap: &RegistrySnapshot) -> String {
+    let mut out = String::from("{\"counters\":[");
+    for (i, c) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+            escape_json(&c.name),
+            json_labels(&c.labels),
+            c.value
+        );
+    }
+    out.push_str("],\"gauges\":[");
+    for (i, g) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+            escape_json(&g.name),
+            json_labels(&g.labels),
+            json_f64(g.value)
+        );
+    }
+    out.push_str("],\"histograms\":[");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let s = &h.stats;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"labels\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+             \"mean\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}",
+            escape_json(&h.name),
+            json_labels(&h.labels),
+            s.count,
+            s.sum,
+            s.min,
+            s.max,
+            json_f64(s.mean()),
+            s.p50,
+            s.p90,
+            s.p95,
+            s.p99
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter_labeled("requests_total", &[("route", "poi")])
+            .add(7);
+        reg.gauge("lag").set(3.5);
+        let h = reg.histogram("latency_us");
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample_registry().render_prometheus();
+        assert!(text.contains("# TYPE requests_total counter"));
+        assert!(text.contains("requests_total{route=\"poi\"} 7"));
+        assert!(text.contains("# TYPE lag gauge"));
+        assert!(text.contains("lag 3.5"));
+        assert!(text.contains("# TYPE latency_us summary"));
+        assert!(text.contains("latency_us{quantile=\"0.5\"}"));
+        assert!(text.contains("latency_us_sum 60"));
+        assert!(text.contains("latency_us_count 3"));
+    }
+
+    #[test]
+    fn span_breakdown_table_sorts_by_total_time() {
+        let reg = Registry::new();
+        let tracer = crate::span::Tracer::new(&reg, crate::time::ManualTime::shared());
+        tracer.record_span_micros("fast", 10);
+        tracer.record_span_micros("slow", 500);
+        tracer.record_span_micros("slow", 500);
+        let table = render_span_breakdown(&reg.snapshot());
+        let slow_at = table.find("slow").unwrap();
+        let fast_at = table.find("fast").unwrap();
+        assert!(slow_at < fast_at, "rows must sort by total descending");
+        assert!(table.contains("total_us"));
+        assert!(table.contains("1000"));
+        assert_eq!(render_span_breakdown(&Registry::new().snapshot()), "");
+    }
+
+    #[test]
+    fn json_escaping_and_structure() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(2.0), "2");
+        assert_eq!(json_f64(2.5), "2.5");
+        let json = sample_registry().render_json();
+        assert!(json.starts_with("{\"counters\":["));
+        assert!(json.contains("\"name\":\"latency_us\""));
+        assert!(json.contains("\"count\":3"));
+        assert!(json.contains("\"route\":\"poi\""));
+        assert!(json.ends_with("]}"));
+    }
+}

@@ -1,0 +1,70 @@
+//! # augur-telemetry
+//!
+//! Unified observability for the Augur platform: lock-free metrics, span
+//! tracing over pluggable time sources, and machine-readable exposition.
+//!
+//! The paper's central constraint is **timeliness** — an AR platform must
+//! answer inside a 33 ms frame budget — and you cannot keep a latency
+//! budget you cannot measure. This crate is the measurement substrate
+//! every other crate instruments against:
+//!
+//! - [`Counter`] / [`Gauge`] / [`Histogram`]: `Arc`-shared atomic cells;
+//!   the record path is wait-free and allocation-free. The histogram is
+//!   log-linear (32 sub-buckets per power of two) with a documented
+//!   quantile relative-error bound of 1/32.
+//! - [`Registry`]: sharded, labeled metric families. Registration takes a
+//!   short shard lock (`parking_lot`, the workspace standard); the hot
+//!   path holds pre-registered handles and never touches the registry.
+//! - [`Tracer`] / [`SpanGuard`]: named timed sections recorded into the
+//!   `span_duration_us` histogram family.
+//! - [`TimeSource`]: the only sanctioned clock. Simulation code uses
+//!   [`ManualTime`] (advanced from event time or modeled work units, so
+//!   instrumented runs stay deterministic); bench binaries use
+//!   [`MonotonicTime`]. `augur-audit` denies raw `Instant::now()` in
+//!   instrumented crates.
+//! - Exporters: [`Registry::render_prometheus`] (text exposition) and
+//!   [`Registry::render_json`] (the `metrics` object in every
+//!   `results/<bench>.json` snapshot).
+//!
+//! ## Example
+//!
+//! ```
+//! use augur_telemetry::{ManualTime, Registry, Tracer};
+//!
+//! let registry = Registry::new();
+//! let clock = ManualTime::shared();
+//! let tracer = Tracer::new(&registry, clock.clone());
+//!
+//! registry.counter("frames_total").inc();
+//! {
+//!     let _span = tracer.span("layout");
+//!     clock.advance_micros(1_200); // modeled work
+//! }
+//! let text = registry.render_prometheus();
+//! assert!(text.contains("frames_total 1"));
+//! assert!(text.contains("span_duration_us"));
+//! ```
+
+/// Prometheus/JSON renderers and the span-breakdown table.
+pub mod export;
+/// The atomic instruments: counters, gauges, histograms.
+pub mod metric;
+/// Sharded registry of labeled metric families.
+pub mod registry;
+/// Span tracing recorded as duration histograms.
+pub mod span;
+/// Pluggable time sources (`ManualTime`, `MonotonicTime`).
+pub mod time;
+
+/// JSON string escaping shared with the bench snapshot writer.
+pub use export::{escape_json, json_f64, render_snapshot_json, render_span_breakdown};
+/// Lock-free instruments.
+pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+/// Labeled metric families and snapshots.
+pub use registry::{
+    CounterSnapshot, GaugeSnapshot, HistogramFamilySnapshot, Labels, Registry, RegistrySnapshot,
+};
+/// Span tracing.
+pub use span::{SpanGuard, Tracer, SPAN_LABEL, SPAN_METRIC};
+/// Pluggable clocks.
+pub use time::{Clock, ManualTime, MonotonicTime, TimeSource};

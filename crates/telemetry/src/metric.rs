@@ -1,0 +1,371 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! Every instrument is a thin handle over `Arc`-shared atomics: cloning a
+//! handle shares the underlying cells, so the same metric can be updated
+//! from any number of threads while a registry (or a test) reads it. The
+//! record paths are wait-free single atomic RMW operations and perform no
+//! allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event count.
+///
+/// # Example
+///
+/// ```
+/// use augur_telemetry::Counter;
+///
+/// let c = Counter::new();
+/// c.inc();
+/// c.add(4);
+/// assert_eq!(c.get(), 5);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// A counter seeded at `value` (used when migrating prior bookkeeping
+    /// into the registry, e.g. cloning a store's stats).
+    pub fn with_value(value: u64) -> Self {
+        Counter {
+            value: Arc::new(AtomicU64::new(value)),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins instantaneous value (consumer lag, queue depth, a
+/// sweep's headline number).
+///
+/// Stored as `f64` bits in an atomic; non-finite writes are recorded as
+/// written but rendered as `null`/`0` by the exporters.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Sets the gauge from an integer (convenience for counts).
+    pub fn set_u64(&self, v: u64) {
+        self.set(v as f64);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Sub-bucket resolution: each power-of-two range is split into
+/// `2^SUB_BITS` linear sub-buckets.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per power-of-two range (32).
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range (highest index is
+/// `(64 - SUB_BITS) * SUB + SUB - 1` for values with the top bit set).
+const BUCKETS: usize = ((64 - SUB_BITS) as usize + 1) * (SUB as usize);
+
+/// A log-linear histogram of `u64` samples (microseconds, work units,
+/// probe counts — unit-agnostic).
+///
+/// Values below 32 are exact; above that, each power-of-two range is
+/// split into 32 linear sub-buckets, so a bucket spans at most 1/32 of
+/// its lower bound. Quantile readouts return the bucket midpoint, giving
+/// a **relative error ≤ 1/32 (≈3.2%) plus one unit of integer rounding**
+/// — the bound the property tests in this crate assert. The record path
+/// is a bucket-index computation plus three atomic adds; no allocation,
+/// no locks.
+///
+/// # Example
+///
+/// ```
+/// use augur_telemetry::Histogram;
+///
+/// let h = Histogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// let p50 = h.quantile(0.5);
+/// assert!((49..=52).contains(&p50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramCells>,
+}
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A point-in-time readout of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        // Safe: v >= 32 so leading_zeros <= 58 and msb >= SUB_BITS.
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = ((v >> shift) - SUB) as usize;
+        let exp = (msb - SUB_BITS + 1) as usize;
+        (exp << SUB_BITS) + sub
+    }
+}
+
+/// Midpoint value represented by bucket `idx` (inverse of
+/// [`bucket_index`] up to the documented error bound).
+fn bucket_value(idx: usize) -> u64 {
+    let exp = idx >> SUB_BITS;
+    let sub = (idx & (SUB as usize - 1)) as u64;
+    if exp == 0 {
+        sub
+    } else {
+        let width = 1u64 << (exp - 1);
+        let lo = (SUB + sub) << (exp - 1);
+        lo + width / 2
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramCells {
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one sample. Wait-free, allocation-free.
+    pub fn record(&self, v: u64) {
+        let cells = &*self.inner;
+        if let Some(b) = cells.buckets.get(bucket_index(v)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        cells.count.fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(v, Ordering::Relaxed);
+        cells.min.fetch_min(v, Ordering::Relaxed);
+        cells.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples recorded so far.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) as the midpoint of the bucket holding
+    /// the rank-`⌈q·count⌉` sample; 0 when empty. See the type docs for
+    /// the error bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 || !q.is_finite() {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (idx, b) in self.inner.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_value(idx);
+            }
+        }
+        // Racy concurrent records can leave `seen < rank`; fall back to max.
+        self.inner.max.load(Ordering::Relaxed)
+    }
+
+    /// Number of recorded samples whose bucket lies entirely at or above
+    /// `threshold` (an under-approximation within one bucket width).
+    pub fn count_above(&self, threshold: u64) -> u64 {
+        let start = bucket_index(threshold);
+        self.inner
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i > start)
+            .map(|(_, b)| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// A consistent-enough point-in-time readout (individual cells are
+    /// loaded independently; under concurrent writes the fields may be
+    /// off by in-flight samples, which is fine for reporting).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let min = self.inner.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum(),
+            min: if count == 0 { 0 } else { min },
+            max: self.inner.max.load(Ordering::Relaxed),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::with_value(10);
+        c.inc();
+        assert_eq!(c.get(), 11);
+        let c2 = c.clone();
+        c2.add(9);
+        assert_eq!(c.get(), 20, "clones share the cell");
+
+        let g = Gauge::new();
+        g.set(1.5);
+        assert_eq!(g.get(), 1.5);
+        g.set_u64(7);
+        assert_eq!(g.get(), 7.0);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_invertible_within_bound() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1_000, 65_535, 1 << 40] {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index must not decrease: v={v}");
+            last = idx;
+            let back = bucket_value(idx);
+            let err = back.abs_diff(v);
+            assert!(
+                err <= v / 32 + 1,
+                "v={v} idx={idx} back={back} err={err} exceeds bound"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_contiguous_at_range_boundaries() {
+        assert_eq!(bucket_index(31), 31);
+        assert_eq!(bucket_index(32), 32);
+        assert_eq!(bucket_index(63), 63);
+        assert_eq!(bucket_index(64), 64);
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn histogram_quantiles_on_uniform_data() {
+        let h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1_000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1_000);
+        for (q, exact) in [(0.50, 500u64), (0.90, 900), (0.99, 990)] {
+            let got = h.quantile(q);
+            let err = got.abs_diff(exact);
+            assert!(err <= exact / 32 + 1, "q={q} got={got} want≈{exact}");
+        }
+        assert!((s.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s, HistogramSnapshot::default());
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn count_above_threshold() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 1_000, 2_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count_above(500), 2);
+        assert_eq!(h.count_above(2_500), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Span tracing: named timed sections recorded as duration histograms.
+//!
+//! A [`Tracer`] binds a [`Registry`] to a [`TimeSource`] and an optional
+//! set of base labels (e.g. `scenario="tourism"`). Opening a span returns
+//! a [`SpanGuard`] that measures the clock across its lifetime and, on
+//! drop, records the elapsed **microseconds** into the histogram family
+//! `span_duration_us{span="<name>", ..base}`. Under a
+//! [`crate::ManualTime`] advanced by modeled work units, span durations
+//! are deterministic — the property the scenario latency breakdowns rely
+//! on.
+
+use crate::metric::Histogram;
+use crate::registry::Registry;
+use crate::time::Clock;
+
+/// The histogram family spans record into.
+pub const SPAN_METRIC: &str = "span_duration_us";
+/// The label carrying the span name.
+pub const SPAN_LABEL: &str = "span";
+
+/// Factory for [`SpanGuard`]s; see the module docs.
+#[derive(Clone)]
+pub struct Tracer {
+    registry: Registry,
+    clock: Clock,
+    base_labels: Vec<(String, String)>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("base_labels", &self.base_labels)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// A tracer over `registry` reading time from `clock`.
+    pub fn new(registry: &Registry, clock: Clock) -> Self {
+        Tracer::with_labels(registry, clock, &[])
+    }
+
+    /// A tracer whose spans all carry `labels` in addition to the span
+    /// name (e.g. `[("scenario", "tourism")]`).
+    pub fn with_labels(registry: &Registry, clock: Clock, labels: &[(&str, &str)]) -> Self {
+        Tracer {
+            registry: registry.clone(),
+            clock,
+            base_labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+
+    /// The registry this tracer records into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The tracer's time source.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    fn span_histogram(&self, name: &str) -> Histogram {
+        let mut labels: Vec<(&str, &str)> = vec![(SPAN_LABEL, name)];
+        for (k, v) in &self.base_labels {
+            labels.push((k.as_str(), v.as_str()));
+        }
+        self.registry.histogram_labeled(SPAN_METRIC, &labels)
+    }
+
+    /// Opens a span; the elapsed time from now until the guard drops is
+    /// recorded into `span_duration_us{span=name}`.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        SpanGuard {
+            histogram: self.span_histogram(name),
+            clock: self.clock.clone(),
+            start_nanos: self.clock.now_nanos(),
+        }
+    }
+
+    /// Records a span duration directly, for call sites that compute a
+    /// modeled latency instead of measuring one (e.g. the offload
+    /// estimator's per-task times).
+    pub fn record_span_micros(&self, name: &str, micros: u64) {
+        self.span_histogram(name).record(micros);
+    }
+}
+
+/// Live span; records its duration on drop (or via [`SpanGuard::end`]).
+pub struct SpanGuard {
+    histogram: Histogram,
+    clock: Clock,
+    start_nanos: u64,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("start_nanos", &self.start_nanos)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpanGuard {
+    /// Microseconds elapsed since the span opened.
+    pub fn elapsed_micros(&self) -> u64 {
+        self.clock.now_nanos().saturating_sub(self.start_nanos) / 1_000
+    }
+
+    /// Ends the span now (equivalent to dropping it, but reads better at
+    /// call sites that end a stage explicitly).
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.histogram.record(self.elapsed_micros());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::ManualTime;
+
+    #[test]
+    fn span_records_elapsed_manual_time() {
+        let reg = Registry::new();
+        let clock = ManualTime::shared();
+        let tracer = Tracer::with_labels(&reg, clock.clone(), &[("scenario", "test")]);
+        {
+            let _s = tracer.span("stage_a");
+            clock.advance_micros(120);
+        }
+        {
+            let s = tracer.span("stage_a");
+            clock.advance_micros(80);
+            assert_eq!(s.elapsed_micros(), 80);
+            s.end();
+        }
+        let snap = reg.snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| {
+                h.name == SPAN_METRIC
+                    && h.labels
+                        .iter()
+                        .any(|(k, v)| k == SPAN_LABEL && v == "stage_a")
+            })
+            .cloned();
+        let Some(h) = h else {
+            panic!("span histogram not registered");
+        };
+        assert_eq!(h.stats.count, 2);
+        assert_eq!(h.stats.sum, 200);
+        assert!(h.labels.contains(&("scenario".into(), "test".into())));
+    }
+
+    #[test]
+    fn record_span_micros_is_direct() {
+        let reg = Registry::new();
+        let tracer = Tracer::new(&reg, ManualTime::shared());
+        tracer.record_span_micros("modeled", 42);
+        let snap = reg.snapshot();
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms.first().map(|h| h.stats.sum), Some(42));
+    }
+}

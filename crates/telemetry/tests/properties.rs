@@ -1,0 +1,123 @@
+//! Property and concurrency tests for the telemetry primitives.
+//!
+//! 1. The log-linear histogram's quantile readout stays within its
+//!    documented relative-error bound (1/32 plus one unit of integer
+//!    rounding) against exact sorted quantiles, for arbitrary samples.
+//! 2. Concurrent recording from multiple threads loses no updates:
+//!    counter totals and histogram counts/sums are exact.
+
+use augur_telemetry::{Counter, Histogram, Registry};
+use proptest::prelude::*;
+
+/// Exact quantile with the same rank convention as `Histogram::quantile`:
+/// the rank-`⌈q·n⌉` smallest sample (1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted.get(rank - 1).copied().unwrap_or(0)
+}
+
+proptest! {
+    #[test]
+    fn histogram_quantiles_within_documented_error_bound(
+        values in prop::collection::vec(0u64..2_000_000_000, 1..300),
+        // Probe a spread of quantiles including the tails.
+        qs in prop::collection::vec(0.01f64..1.0, 1..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut values = values;
+        values.sort_unstable();
+        for &q in &qs {
+            let exact = exact_quantile(&values, q);
+            let approx = h.quantile(q);
+            let bound = exact / 32 + 1;
+            prop_assert!(
+                approx.abs_diff(exact) <= bound,
+                "q={} approx={} exact={} bound={}",
+                q, approx, exact, bound
+            );
+        }
+        // count/sum/min/max are exact regardless of bucketing.
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(Some(s.min), values.first().copied());
+        prop_assert_eq!(Some(s.max), values.last().copied());
+    }
+}
+
+#[test]
+fn concurrent_recording_loses_no_updates() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 50_000;
+
+    let registry = Registry::new();
+    let counter: Counter = registry.counter("contended_total");
+    let histogram: Histogram = registry.histogram("contended_us");
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let histogram = histogram.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    // Distinct per-thread value streams to hit many buckets.
+                    histogram.record(t * 1_000 + (i % 997));
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        counter.get(),
+        THREADS * PER_THREAD,
+        "counter must not lose increments under contention"
+    );
+    let s = histogram.snapshot();
+    assert_eq!(
+        s.count,
+        THREADS * PER_THREAD,
+        "histogram must not lose samples under contention"
+    );
+    let expected_sum: u64 = (0..THREADS)
+        .map(|t| (0..PER_THREAD).map(|i| t * 1_000 + (i % 997)).sum::<u64>())
+        .sum();
+    assert_eq!(s.sum, expected_sum, "histogram sum must be exact");
+
+    // The registry view agrees with the handles.
+    let snap = registry.snapshot();
+    assert_eq!(
+        snap.counters
+            .iter()
+            .find(|c| c.name == "contended_total")
+            .map(|c| c.value),
+        Some(THREADS * PER_THREAD)
+    );
+}
+
+#[test]
+fn concurrent_registration_converges_to_shared_handles() {
+    let registry = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                for i in 0..1_000u64 {
+                    // Same family from every thread: get-or-register must
+                    // hand every thread the same underlying cell.
+                    registry.counter_labeled("race_total", &[("k", "v")]).inc();
+                    registry.histogram("race_us").record(i);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        registry.counter_labeled("race_total", &[("k", "v")]).get(),
+        4_000
+    );
+    assert_eq!(registry.histogram("race_us").count(), 4_000);
+}

@@ -6,7 +6,8 @@
 //!
 //! Run with: `cargo run --release --example healthcare_ward`
 
-use augur::core::healthcare::{run, HealthcareParams};
+use augur::core::healthcare::{run_instrumented, HealthcareParams};
+use augur::telemetry::{render_span_breakdown, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = HealthcareParams::default();
@@ -16,7 +17,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.duration_s / 60.0,
         1.0 / params.period_s
     );
-    let report = run(&params)?;
+    let registry = Registry::new();
+    let report = run_instrumented(&params, &registry)?;
     println!("\nstreaming:");
     println!("  samples through broker  {}", report.samples_streamed);
     println!(
@@ -31,5 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  false alarms           {} ({:.2}/patient-hour)",
         report.false_alarms, report.false_alarm_rate_per_patient_hour
     );
+    println!("\nper-stage breakdown (modeled work units, deterministic under the seed):");
+    print!("{}", render_span_breakdown(&registry.snapshot()));
     Ok(())
 }

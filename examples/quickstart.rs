@@ -10,6 +10,7 @@ use augur::core::{AugurPlatform, PlatformConfig};
 use augur::geo::{poi::synthetic_database, GeoPoint, PoiId};
 use augur::semantic::{ActionTemplate, Condition, Fact, FeatureId, Rule};
 use augur::sensor::{DeviceId, SensorEvent, SensorReading, Timestamp, VitalSign, VitalsSample};
+use augur::telemetry::Registry;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -69,5 +70,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "scene graph now holds {} overlay item(s)",
         platform.scene().len()
     );
+
+    // 5. Observability: any component can publish to the process-wide
+    //    registry; one call renders everything for a Prometheus scrape.
+    let telemetry = Registry::global();
+    telemetry
+        .counter("quickstart_events_total")
+        .add(platform.ingested());
+    telemetry
+        .gauge("quickstart_pois_indexed")
+        .set(platform.pois().map_or(0, |db| db.len()) as f64);
+    println!("\nmetrics exposition:");
+    print!("{}", telemetry.render_prometheus());
     Ok(())
 }

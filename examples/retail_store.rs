@@ -6,7 +6,8 @@
 //!
 //! Run with: `cargo run --release --example retail_store`
 
-use augur::core::retail::{run, RetailParams};
+use augur::core::retail::{run_instrumented, RetailParams};
+use augur::telemetry::{render_span_breakdown, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = RetailParams::default();
@@ -14,7 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "retail scenario: {} users × {} interactions, {} product groups",
         params.users, params.interactions_per_user, params.groups
     );
-    let report = run(&params)?;
+    let registry = Registry::new();
+    let report = run_instrumented(&params, &registry)?;
     println!(
         "\nrecommender quality (leave-one-out, hit-rate@{}):",
         params.top_k
@@ -45,5 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.decluttered_layout.overlap_ratio * 100.0,
         report.decluttered_layout.mean_displacement_px
     );
+    println!("\nper-stage breakdown (modeled work units, deterministic under the seed):");
+    print!("{}", render_span_breakdown(&registry.snapshot()));
     Ok(())
 }

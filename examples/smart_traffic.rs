@@ -7,7 +7,8 @@
 //!
 //! Run with: `cargo run --release --example smart_traffic`
 
-use augur::core::traffic::{run, TrafficParams};
+use augur::core::traffic::{run, run_instrumented, TrafficParams};
+use augur::telemetry::{render_span_breakdown, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = TrafficParams::default();
@@ -18,7 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.share_period_s,
         params.loss * 100.0
     );
-    let report = run(&params)?;
+    let registry = Registry::new();
+    let report = run_instrumented(&params, &registry)?;
     println!("\nchannel:");
     println!(
         "  beacons delivered/lost  {}/{}",
@@ -46,5 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.mean_lead_time_s
         );
     }
+    println!("\nper-stage breakdown (modeled work units, deterministic under the seed):");
+    print!("{}", render_span_breakdown(&registry.snapshot()));
     Ok(())
 }

@@ -6,7 +6,8 @@
 //!
 //! Run with: `cargo run --release --example tourism_city`
 
-use augur::core::tourism::{run, TourismParams};
+use augur::core::tourism::{run_instrumented, TourismParams};
+use augur::telemetry::{render_span_breakdown, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = TourismParams::default();
@@ -14,7 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "tourism scenario: {} POIs, {:.0} s tour, k={} per retrieval",
         params.pois, params.duration_s, params.k
     );
-    let report = run(&params)?;
+    let registry = Registry::new();
+    let report = run_instrumented(&params, &registry)?;
     println!("\nretrieval ({} queries):", report.queries);
     println!(
         "  R-tree k-NN     {:>9.1} dist-evals/query",
@@ -38,5 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.decluttered_overlap * 100.0,
         report.declutter_drop_ratio * 100.0
     );
+    println!("\nper-stage breakdown (modeled work units, deterministic under the seed):");
+    print!("{}", render_span_breakdown(&registry.snapshot()));
     Ok(())
 }

@@ -71,5 +71,7 @@ pub use augur_sensor as sensor;
 pub use augur_store as store;
 /// The streaming substrate: broker, pipelines, windows.
 pub use augur_stream as stream;
+/// Observability: metrics, spans, time sources, exposition.
+pub use augur_telemetry as telemetry;
 /// Pose tracking and registration.
 pub use augur_track as track;
