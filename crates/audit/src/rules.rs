@@ -41,6 +41,11 @@ pub struct FilePolicy {
     /// Raw `Instant::now()` is denied: telemetry-instrumented crates must
     /// read time through `augur_telemetry::TimeSource`.
     pub deny_raw_instant: bool,
+    /// `Registry::global()` is denied: library code must take a
+    /// `&Registry` (or a `Tracer`) from the caller so metrics land in the
+    /// caller's snapshot; the process-global registry is an
+    /// examples/bin-only convenience.
+    pub deny_global_registry: bool,
     /// Slice-indexing advisories are collected.
     pub advise_indexing: bool,
     /// The file is a crate root whose public items must be documented.
@@ -188,6 +193,24 @@ pub fn check_source(file: &str, src: &str, policy: FilePolicy, out: &mut Vec<Vio
                 rule,
                 Severity::Deny,
                 String::from(message),
+            );
+        }
+    }
+
+    if policy.deny_global_registry {
+        for idx in find_all(&lib_code, "Registry::global(") {
+            push(
+                out,
+                file,
+                &lib_code,
+                idx,
+                "no-global-registry",
+                Severity::Deny,
+                String::from(
+                    "`Registry::global()` in library code: accept a `&Registry` (or `Tracer`) \
+                     from the caller so metrics land in the caller's snapshot; the global \
+                     registry is for examples and binaries only",
+                ),
             );
         }
     }
@@ -364,6 +387,7 @@ mod tests {
         deny_panics: true,
         deny_wall_clock: true,
         deny_raw_instant: false,
+        deny_global_registry: true,
         advise_indexing: true,
         require_docs: false,
     };
@@ -427,6 +451,7 @@ mod tests {
             deny_panics: false,
             deny_wall_clock: false,
             deny_raw_instant: false,
+            deny_global_registry: false,
             advise_indexing: false,
             require_docs: true,
         };
@@ -484,6 +509,30 @@ mod tests {
             &mut v,
         );
         assert!(v.iter().all(|x| x.severity != Severity::Deny));
+    }
+
+    #[test]
+    fn flags_global_registry_in_library_code() {
+        assert_eq!(
+            deny_rules("fn f() { let c = Registry::global().counter(\"x\"); }"),
+            vec!["no-global-registry"]
+        );
+        assert_eq!(
+            deny_rules("fn f() { augur_telemetry::Registry::global().gauge(\"g\").set(1.0); }"),
+            vec!["no-global-registry"]
+        );
+        // Test code, comments, and passing a registry are all fine.
+        assert!(deny_rules("#[cfg(test)] mod t { fn f() { Registry::global(); } }").is_empty());
+        assert!(deny_rules("// call Registry::global() from bins only\nfn f() {}").is_empty());
+        assert!(deny_rules("fn f(r: &Registry) { r.counter(\"x\").inc(); }").is_empty());
+        // Exempt policy (bins): no finding.
+        let bin_policy = FilePolicy {
+            deny_global_registry: false,
+            ..STRICT
+        };
+        let mut v = Vec::new();
+        check_source("b.rs", "fn f() { Registry::global(); }", bin_policy, &mut v);
+        assert!(v.iter().all(|x| x.rule != "no-global-registry"));
     }
 
     #[test]

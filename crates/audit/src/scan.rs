@@ -9,7 +9,7 @@ use crate::rules::{self, FilePolicy, Severity, Violation};
 
 /// Crates whose library code must be panic-free (the AR hot path: a panic
 /// here aborts a frame mid-flight).
-pub const HOT_CRATES: [&str; 8] = [
+pub const HOT_CRATES: [&str; 9] = [
     "stream",
     "geo",
     "store",
@@ -18,6 +18,7 @@ pub const HOT_CRATES: [&str; 8] = [
     "core",
     "audit",
     "telemetry",
+    "doctor",
 ];
 
 /// Path fragments identifying simulation code, where wall-clock reads are
@@ -125,6 +126,10 @@ pub fn policy_for(rel: &str) -> FilePolicy {
         deny_panics: hot && !is_bin,
         deny_wall_clock: sim,
         deny_raw_instant: instrumented && !is_bin && rel != TIME_SOURCE_EXEMPT,
+        // The process-global registry is an examples/bin convenience;
+        // library code must thread a `&Registry` so metrics are scoped to
+        // the caller's run. Experiment driver binaries are exempt.
+        deny_global_registry: !is_bin,
         advise_indexing: hot && !is_bin,
         require_docs: is_crate_root,
     }
@@ -145,6 +150,18 @@ mod tests {
         assert!(!policy_for("crates/stream/src/broker.rs").deny_wall_clock);
         assert!(policy_for("crates/semantic/src/lib.rs").require_docs);
         assert!(!policy_for("crates/semantic/src/json.rs").require_docs);
+    }
+
+    #[test]
+    fn global_registry_policy_mapping() {
+        assert!(policy_for("crates/telemetry/src/metric.rs").deny_global_registry);
+        assert!(policy_for("crates/render/src/layout.rs").deny_global_registry);
+        assert!(policy_for("crates/doctor/src/lib.rs").deny_global_registry);
+        assert!(!policy_for("crates/bench/src/bin/e3_offload.rs").deny_global_registry);
+        // Doctor is hot-path tooling: its verdicts gate CI, so panics are
+        // denied like the rest of the hot set.
+        assert!(policy_for("crates/doctor/src/lib.rs").deny_panics);
+        assert!(policy_for("crates/doctor/src/main.rs").deny_panics);
     }
 
     #[test]

@@ -10,7 +10,12 @@ use crate::scan;
 
 /// A seeded violation fixture: file path (workspace-relative), source, and
 /// the deny rules the scanner must fire on it.
-const FIXTURES: [(&str, &str, &[&str]); 7] = [
+const FIXTURES: [(&str, &str, &[&str]); 8] = [
+    (
+        "crates/render/src/bad_global_registry.rs",
+        "fn f() { let c = augur_telemetry::Registry::global().counter(\"frames\"); c.inc(); }\n",
+        &["no-global-registry"],
+    ),
     (
         "crates/stream/src/bad_unwrap.rs",
         "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",

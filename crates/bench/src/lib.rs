@@ -32,6 +32,27 @@ pub fn sized(full: usize, small: usize) -> usize {
     }
 }
 
+/// The snapshot output directory: `--out-dir <dir>` (or `--out-dir=<dir>`)
+/// on the command line, else the `AUGUR_OUT_DIR` environment variable,
+/// else `results/`. This is how baselines are (re)generated:
+/// `cargo run -p augur-bench --bin e3_offload -- --smoke --out-dir results/baseline`.
+pub fn out_dir() -> PathBuf {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--out-dir" {
+            if let Some(d) = args.next() {
+                return PathBuf::from(d);
+            }
+        } else if let Some(d) = a.strip_prefix("--out-dir=") {
+            return PathBuf::from(d);
+        }
+    }
+    if let Some(d) = std::env::var_os("AUGUR_OUT_DIR") {
+        return PathBuf::from(d);
+    }
+    PathBuf::from("results")
+}
+
 /// A machine-readable bench result: named parameters plus a metric
 /// registry, serialised as `{"bench", "params", "metrics"}`.
 #[derive(Debug, Clone)]
@@ -108,14 +129,15 @@ impl Snapshot {
         Ok(path)
     }
 
-    /// Writes the snapshot to `results/<bench>.json` under the current
-    /// directory and prints the path.
+    /// Writes the snapshot to `<out_dir>/<bench>.json` (see [`out_dir`]:
+    /// `--out-dir` flag, `AUGUR_OUT_DIR`, or `results/`) and prints the
+    /// path.
     ///
     /// # Errors
     ///
     /// Propagates directory-creation and write failures.
     pub fn write(&self) -> io::Result<PathBuf> {
-        let path = self.write_to(Path::new("results"))?;
+        let path = self.write_to(&out_dir())?;
         println!("\nsnapshot: {}", path.display());
         Ok(path)
     }
@@ -168,6 +190,17 @@ mod tests {
     #[test]
     fn formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
+    }
+
+    #[test]
+    fn out_dir_defaults_and_honors_env() {
+        // The test binary's argv carries no --out-dir, so the fallback
+        // chain is env var then the default.
+        std::env::remove_var("AUGUR_OUT_DIR");
+        assert_eq!(out_dir(), PathBuf::from("results"));
+        std::env::set_var("AUGUR_OUT_DIR", "results/baseline");
+        assert_eq!(out_dir(), PathBuf::from("results/baseline"));
+        std::env::remove_var("AUGUR_OUT_DIR");
     }
 
     #[test]

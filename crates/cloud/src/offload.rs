@@ -8,7 +8,7 @@
 //! all valid plans — AR pipelines are small DAGs, so exhaustive search
 //! is exact and fast — giving experiment E3 its optimum curve.
 
-use augur_telemetry::Tracer;
+use augur_telemetry::{FlightRecorder, TraceContext, Tracer};
 use serde::{Deserialize, Serialize};
 
 use crate::error::CloudError;
@@ -127,7 +127,7 @@ pub fn estimate(
     network: &NetworkProfile,
     energy: &EnergyParams,
 ) -> Result<Estimate, CloudError> {
-    estimate_inner(graph, plan, device, cloud, network, energy, None)
+    estimate_inner(graph, plan, device, cloud, network, energy, None, None)
 }
 
 /// [`estimate`] with per-task telemetry: each task's modeled compute time
@@ -152,7 +152,61 @@ pub fn estimate_traced(
     energy: &EnergyParams,
     tracer: &Tracer,
 ) -> Result<Estimate, CloudError> {
-    let est = estimate_inner(graph, plan, device, cloud, network, energy, Some(tracer))?;
+    let est = estimate_inner(
+        graph,
+        plan,
+        device,
+        cloud,
+        network,
+        energy,
+        Some(tracer),
+        None,
+    )?;
+    publish_totals(tracer, &est);
+    Ok(est)
+}
+
+/// [`estimate_traced`] plus **causal flight events**: every task span
+/// lands on `recorder` as a child of its critical-path predecessor (the
+/// dependency whose finish time gated the task's start), rooted under
+/// `parent`; boundary transfers become children of the *producing* task.
+/// The resulting Chrome trace renders the offload DAG as a timeline whose
+/// parent links spell out exactly which edge made the plan slow.
+///
+/// Modeled times are the estimator's arithmetic, so with a fixed graph
+/// and plan the emitted events are bit-for-bit deterministic.
+///
+/// # Errors
+///
+/// Same contract as [`estimate`].
+#[allow(clippy::too_many_arguments)]
+pub fn estimate_flight(
+    graph: &TaskGraph,
+    plan: &OffloadPlan,
+    device: &ComputeResource,
+    cloud: &ComputeResource,
+    network: &NetworkProfile,
+    energy: &EnergyParams,
+    tracer: &Tracer,
+    recorder: &FlightRecorder,
+    parent: TraceContext,
+) -> Result<Estimate, CloudError> {
+    let est = estimate_inner(
+        graph,
+        plan,
+        device,
+        cloud,
+        network,
+        energy,
+        Some(tracer),
+        Some((recorder, parent)),
+    )?;
+    publish_totals(tracer, &est);
+    Ok(est)
+}
+
+/// Publishes a plan's headline numbers to the tracer's registry.
+fn publish_totals(tracer: &Tracer, est: &Estimate) {
     let registry = tracer.registry();
     registry.gauge("offload_latency_ms").set(est.latency_ms);
     registry
@@ -161,7 +215,6 @@ pub fn estimate_traced(
     registry
         .counter("offload_transferred_bytes_total")
         .add(est.transferred_bytes);
-    Ok(est)
 }
 
 /// Milliseconds (modeled, f64) to whole non-negative microseconds.
@@ -182,6 +235,7 @@ fn estimate_inner(
     network: &NetworkProfile,
     energy: &EnergyParams,
     tracer: Option<&Tracer>,
+    flight: Option<(&FlightRecorder, TraceContext)>,
 ) -> Result<Estimate, CloudError> {
     if plan.placements.len() != graph.len() {
         return Err(CloudError::PlanShapeMismatch {
@@ -193,6 +247,12 @@ fn estimate_inner(
         return Err(CloudError::InvalidParameter("plan violates device pinning"));
     }
     let mut finish = vec![0.0f64; graph.len()];
+    // Per-task flight contexts: a task hangs off its critical-path
+    // predecessor so parent links follow the latency-determining edges.
+    let mut ctxs: Vec<TraceContext> = Vec::new();
+    if let Some((_, parent)) = flight {
+        ctxs = vec![parent; graph.len()];
+    }
     let mut device_busy_ms = 0.0; // local compute time
     let mut radio_ms = 0.0; // boundary transfer time
     let mut transferred = 0u64;
@@ -200,6 +260,7 @@ fn estimate_inner(
         let t = graph.get(tid)?;
         let place = plan.placements[tid.0 as usize];
         let mut ready = 0.0f64;
+        let mut gating: Option<u32> = None; // dep that determines `ready`
         for d in &t.deps {
             let dep_place = plan.placements[d.0 as usize];
             let dep_task = graph.get(*d)?;
@@ -212,8 +273,18 @@ fn estimate_inner(
                 if let Some(tr) = tracer {
                     tr.record_span_micros("offload/transfer", ms_to_us(ms));
                 }
+                if let Some((rec, parent)) = flight {
+                    // The transfer is caused by the producing task.
+                    let dep_ctx = ctxs.get(d.0 as usize).copied().unwrap_or(parent);
+                    let ctx = dep_ctx.child_named("offload/transfer");
+                    let name = rec.intern("offload/transfer");
+                    rec.record_span(ctx, name, ms_to_us(finish[d.0 as usize]), ms_to_us(ms));
+                }
             }
-            ready = ready.max(at);
+            if at > ready {
+                ready = at;
+                gating = Some(d.0);
+            }
         }
         let compute_ms = match place {
             Placement::Device => {
@@ -223,11 +294,23 @@ fn estimate_inner(
             }
             Placement::Cloud => cloud.compute_ms(t.gigaops),
         };
+        let mut span = String::with_capacity(8 + t.name.len());
+        span.push_str("offload/");
+        span.push_str(&t.name);
         if let Some(tr) = tracer {
-            let mut span = String::with_capacity(8 + t.name.len());
-            span.push_str("offload/");
-            span.push_str(&t.name);
             tr.record_span_micros(&span, ms_to_us(compute_ms));
+        }
+        if let Some((rec, parent)) = flight {
+            let base = match gating {
+                Some(d) => ctxs.get(d as usize).copied().unwrap_or(parent),
+                None => parent,
+            };
+            let ctx = base.child_named(&span);
+            let name = rec.intern(&span);
+            rec.record_span(ctx, name, ms_to_us(ready), ms_to_us(compute_ms));
+            if let Some(slot) = ctxs.get_mut(tid.0 as usize) {
+                *slot = ctx;
+            }
         }
         finish[tid.0 as usize] = ready + compute_ms;
     }
@@ -448,6 +531,53 @@ mod tests {
                 .map(|c| c.value),
             Some(traced.transferred_bytes)
         );
+    }
+
+    #[test]
+    fn flight_estimate_emits_causally_linked_task_spans() {
+        use augur_telemetry::{ManualTime, Registry};
+        let (g, phone, cloud, energy) = setup();
+        let net = NetworkProfile::wifi();
+        let plan = OffloadPlan::all_cloud(&g);
+        let reg = Registry::new();
+        let tracer = Tracer::new(&reg, ManualTime::shared());
+        let recorder = FlightRecorder::new(128);
+        let parent = TraceContext::root(11, 0);
+        let plain = estimate(&g, &plan, &phone, &cloud, &net, &energy).unwrap();
+        let est = estimate_flight(
+            &g, &plan, &phone, &cloud, &net, &energy, &tracer, &recorder, parent,
+        )
+        .unwrap();
+        assert_eq!(plain, est, "flight recording must not change the estimate");
+        let events = recorder.drain();
+        // One span per task plus at least one boundary transfer.
+        let task_spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.name.starts_with("offload/") && e.name != "offload/transfer")
+            .collect();
+        assert_eq!(task_spans.len(), g.len());
+        assert!(events.iter().any(|e| e.name == "offload/transfer"));
+        // Every event is reachable from `parent` via parent_span_id links.
+        for e in &events {
+            assert_eq!(e.trace_id, parent.trace_id);
+            let mut cursor = e.parent_span_id;
+            let mut hops = 0;
+            while cursor != parent.span_id {
+                let Some(p) = events.iter().find(|x| x.span_id == cursor) else {
+                    panic!("span {} has dangling parent {cursor:x}", e.name);
+                };
+                cursor = p.parent_span_id;
+                hops += 1;
+                assert!(hops <= events.len(), "parent chain must not cycle");
+            }
+        }
+        // Determinism: a second identical run emits identical events.
+        let recorder2 = FlightRecorder::new(128);
+        estimate_flight(
+            &g, &plan, &phone, &cloud, &net, &energy, &tracer, &recorder2, parent,
+        )
+        .unwrap();
+        assert_eq!(events, recorder2.drain());
     }
 
     #[test]

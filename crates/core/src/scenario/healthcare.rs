@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use augur_telemetry::{ManualTime, Registry, Tracer};
+use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, TraceContext, Tracer};
 
 use augur_analytics::ThresholdDetector;
 use augur_sensor::{VitalsGenerator, VitalsParams};
@@ -107,6 +107,34 @@ pub fn run_instrumented(
     params: &HealthcareParams,
     registry: &Registry,
 ) -> Result<HealthcareReport, CoreError> {
+    run_inner(params, registry, None)
+}
+
+/// [`run_instrumented`] plus causal flight-recorder emission. A root
+/// span covers the run with the four stages as children; patient 0's
+/// vitals samples additionally carry per-record root trace contexts
+/// through the broker, so the pipeline's per-record spans link back to
+/// the producing sample via `parent_span_id` (the broker pipeline itself
+/// is wired with [`PipelineBuilder::flight`]). Everything is timestamped
+/// on the scenario's manual clock — byte-identical traces under the
+/// same seed.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_traced(
+    params: &HealthcareParams,
+    registry: &Registry,
+    recorder: &FlightRecorder,
+) -> Result<HealthcareReport, CoreError> {
+    run_inner(params, registry, Some(recorder))
+}
+
+fn run_inner(
+    params: &HealthcareParams,
+    registry: &Registry,
+    recorder: Option<&FlightRecorder>,
+) -> Result<HealthcareReport, CoreError> {
     if params.patients == 0 {
         return Err(CoreError::InvalidScenario("patients must be positive"));
     }
@@ -115,6 +143,9 @@ pub fn run_instrumented(
     }
     let clock = ManualTime::shared();
     let tracer = Tracer::with_labels(registry, clock.clone(), &[("scenario", "healthcare")]);
+    let flight =
+        super::ScenarioFlight::start(recorder, "healthcare", params.seed, clock.now_micros());
+    let generate_t0 = clock.now_micros();
     let generate_span = tracer.span("healthcare/generate");
     let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
     let gen_params = VitalsParams {
@@ -129,26 +160,48 @@ pub fn run_instrumented(
     let (samples, episodes) = VitalsGenerator::new(gen_params).generate(&mut rng);
     clock.advance_micros(samples.len() as u64);
     generate_span.end();
+    if let Some(f) = &flight {
+        f.stage("healthcare/generate", generate_t0, clock.now_micros());
+    }
 
     // Stream through the broker keyed by patient (per-patient order is
     // preserved within a partition). The pipeline shares the scenario's
     // registry and manual clock; a map stage advances the clock one work
     // unit per record, so pipeline latency and throughput are modeled
     // and deterministic.
+    let stream_t0 = clock.now_micros();
     let stream_span = tracer.span("healthcare/stream");
     let broker = Broker::new();
     broker.create_topic("vitals", params.partitions)?;
+    // Under tracing, patient 0's samples become causal roots: each gets
+    // a producer span (modeled production order within the generate
+    // window, one work unit apiece) and carries its context through the
+    // broker so the pipeline's per-record spans link back to it.
+    let sample_name = recorder.map(|r| r.intern("healthcare/sample"));
     broker.append_batch(
         "vitals",
-        samples
-            .iter()
-            .map(|s| Record::new(s.patient as u64, encode_vitals(s), s.time.as_micros())),
+        samples.iter().enumerate().map(|(i, s)| {
+            let rec = Record::new(s.patient as u64, encode_vitals(s), s.time.as_micros());
+            match (&flight, sample_name) {
+                (Some(f), Some(name)) if s.patient == 0 => {
+                    let ctx = TraceContext::root(params.seed, i as u64);
+                    f.recorder()
+                        .record_span(ctx, name, generate_t0 + i as u64, 1);
+                    rec.with_trace(ctx)
+                }
+                _ => rec,
+            }
+        }),
     )?;
 
     let pipeline_clock = clock.clone();
-    let mut pipeline = PipelineBuilder::new(broker, "vitals", |r| decode_vitals(&r.payload))
+    let mut builder = PipelineBuilder::new(broker, "vitals", |r| decode_vitals(&r.payload))
         .registry(registry)
-        .clock(clock.clone())
+        .clock(clock.clone());
+    if let Some(f) = &flight {
+        builder = builder.flight(f.recorder(), f.root());
+    }
+    let mut pipeline = builder
         .map(move |v| {
             pipeline_clock.advance_micros(1);
             v
@@ -156,8 +209,12 @@ pub fn run_instrumented(
         .build();
     let (records, metrics) = pipeline.collect()?;
     stream_span.end();
+    if let Some(f) = &flight {
+        f.stage("healthcare/stream", stream_t0, clock.now_micros());
+    }
 
     // Per-(patient, sign) m-of-n threshold detectors.
+    let detect_t0 = clock.now_micros();
     let detect_span = tracer.span("healthcare/detect");
     let mut detectors: HashMap<(u32, u8), ThresholdDetector> = HashMap::new();
     let mut alerts: Vec<(u32, augur_sensor::VitalSign, u64)> = Vec::new();
@@ -181,8 +238,12 @@ pub fn run_instrumented(
     }
     clock.advance_micros(records.len() as u64);
     detect_span.end();
+    if let Some(f) = &flight {
+        f.stage("healthcare/detect", detect_t0, clock.now_micros());
+    }
 
     // Score against episode ground truth.
+    let score_t0 = clock.now_micros();
     let score_span = tracer.span("healthcare/score");
     let mut detected = 0usize;
     let mut latencies: Vec<f64> = Vec::new();
@@ -224,6 +285,10 @@ pub fn run_instrumented(
     let patient_hours = params.patients as f64 * params.duration_s / 3600.0;
     clock.advance_micros(episodes.len() as u64);
     score_span.end();
+    if let Some(f) = flight {
+        f.stage("healthcare/score", score_t0, clock.now_micros());
+        f.finish(clock.now_micros());
+    }
     Ok(HealthcareReport {
         episodes: episodes.len(),
         detected,

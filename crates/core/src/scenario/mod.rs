@@ -14,7 +14,83 @@
 //! bit-for-bit reproducible under the scenario seed — wall-clock timing
 //! stays in the benches, per the audit's simulation rules.
 
+//! Every scenario additionally has a
+//! `run_traced(params, &Registry, &FlightRecorder)` variant that emits
+//! causal flight-recorder spans alongside the histograms: a root span
+//! per run (per frame, for tourism) with the stage work as children, all
+//! timestamped on the same manual clock — so two runs under the same
+//! seed produce byte-identical traces.
+
 pub mod healthcare;
 pub mod retail;
 pub mod tourism;
 pub mod traffic;
+
+use augur_telemetry::{FlightRecorder, NameId, TraceContext};
+
+/// Coarse flight wiring shared by the scenario runners: one root span
+/// covering the run, one child span per stage. All timestamps come from
+/// the scenario's [`augur_telemetry::ManualTime`], so emission is
+/// deterministic under the scenario seed.
+pub(crate) struct ScenarioFlight<'a> {
+    rec: &'a FlightRecorder,
+    root: TraceContext,
+    run_name: NameId,
+    t0: u64,
+}
+
+impl<'a> ScenarioFlight<'a> {
+    /// Starts a run-root trace for `scenario`, or returns `None` when no
+    /// recorder was supplied (so call sites stay branch-free). The trace
+    /// id derives from the seed and an FNV-1a hash of the scenario name,
+    /// matching the record-routing hash in `augur-stream`.
+    pub(crate) fn start(
+        rec: Option<&'a FlightRecorder>,
+        scenario: &str,
+        seed: u64,
+        now_us: u64,
+    ) -> Option<Self> {
+        let rec = rec?;
+        let key = scenario.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        Some(ScenarioFlight {
+            rec,
+            root: TraceContext::root(seed, key),
+            run_name: rec.intern(scenario),
+            t0: now_us,
+        })
+    }
+
+    /// The run-root context — parent for pipeline/store instrumentation
+    /// that should hang off this run in the trace.
+    pub(crate) fn root(&self) -> TraceContext {
+        self.root
+    }
+
+    /// The recorder this run emits into.
+    pub(crate) fn recorder(&self) -> &'a FlightRecorder {
+        self.rec
+    }
+
+    /// Records one completed stage span `[start_us, end_us)` as a child
+    /// of the run root.
+    pub(crate) fn stage(&self, name: &str, start_us: u64, end_us: u64) {
+        self.rec.record_span(
+            self.root.child_named(name),
+            self.rec.intern(name),
+            start_us,
+            end_us.saturating_sub(start_us),
+        );
+    }
+
+    /// Ends the run: records the root span covering start → `now_us`.
+    pub(crate) fn finish(self, now_us: u64) {
+        self.rec.record_span(
+            self.root,
+            self.run_name,
+            self.t0,
+            now_us.saturating_sub(self.t0),
+        );
+    }
+}

@@ -8,7 +8,7 @@
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use augur_telemetry::{ManualTime, Registry, Tracer};
+use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, Tracer};
 
 use augur_analytics::recommend::{evaluate, leave_one_out};
 use augur_analytics::{
@@ -125,6 +125,30 @@ pub fn run_instrumented(
     params: &RetailParams,
     registry: &Registry,
 ) -> Result<RetailReport, CoreError> {
+    run_inner(params, registry, None)
+}
+
+/// [`run_instrumented`] plus causal flight-recorder emission: a root
+/// span covers the run, with `retail/log`, `retail/train`,
+/// `retail/evaluate`, and `retail/session` as children on the same
+/// manual clock — byte-identical traces under the same seed.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_traced(
+    params: &RetailParams,
+    registry: &Registry,
+    recorder: &FlightRecorder,
+) -> Result<RetailReport, CoreError> {
+    run_inner(params, registry, Some(recorder))
+}
+
+fn run_inner(
+    params: &RetailParams,
+    registry: &Registry,
+    recorder: Option<&FlightRecorder>,
+) -> Result<RetailReport, CoreError> {
     if params.users == 0 || params.groups == 0 || params.products_per_group == 0 {
         return Err(CoreError::InvalidScenario("retail sizes must be positive"));
     }
@@ -133,11 +157,17 @@ pub fn run_instrumented(
     }
     let clock = ManualTime::shared();
     let tracer = Tracer::with_labels(registry, clock.clone(), &[("scenario", "retail")]);
+    let flight = super::ScenarioFlight::start(recorder, "retail", params.seed, clock.now_micros());
+    let log_t0 = clock.now_micros();
     let log_span = tracer.span("retail/log");
     let log = purchase_log(params);
     clock.advance_micros(log.len() as u64);
     log_span.end();
+    if let Some(f) = &flight {
+        f.stage("retail/log", log_t0, clock.now_micros());
+    }
 
+    let train_t0 = clock.now_micros();
     let train_span = tracer.span("retail/train");
     let (train, held) = leave_one_out(&log);
     let cf_model = ItemItemRecommender::train(&train, 30);
@@ -145,16 +175,24 @@ pub fn run_instrumented(
     let rnd_model = RandomRecommender::train(&train, params.seed);
     clock.advance_micros(train.len() as u64);
     train_span.end();
+    if let Some(f) = &flight {
+        f.stage("retail/train", train_t0, clock.now_micros());
+    }
 
+    let eval_t0 = clock.now_micros();
     let eval_span = tracer.span("retail/evaluate");
     let cf = evaluate(&cf_model, &held, params.top_k);
     let popularity = evaluate(&pop_model, &held, params.top_k);
     let random = evaluate(&rnd_model, &held, params.top_k);
     clock.advance_micros(3 * held.len() as u64);
     eval_span.end();
+    if let Some(f) = &flight {
+        f.stage("retail/evaluate", eval_t0, clock.now_micros());
+    }
 
     // AR session: shopper 0 walks an aisle; their top-k recommendations
     // become shelf labels, interpreted under a shopping context.
+    let session_t0 = clock.now_micros();
     let session_span = tracer.span("retail/session");
     let mut engine = InterpretationEngine::new();
     engine.add_rule(
@@ -208,6 +246,10 @@ pub fn run_instrumented(
     let decluttered = LayoutMetrics::measure(&labels, &greedy_layout(&labels, vp));
     clock.advance_micros((directives.len() + labels.len()) as u64);
     session_span.end();
+    if let Some(f) = flight {
+        f.stage("retail/session", session_t0, clock.now_micros());
+        f.finish(clock.now_micros());
+    }
 
     Ok(RetailReport {
         uplift_vs_popularity: if popularity.hit_rate > 0.0 {

@@ -8,7 +8,9 @@
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use augur_telemetry::{ManualTime, Registry, Tracer};
+use augur_telemetry::{
+    FlightRecorder, ManualTime, NameId, Registry, TimeSource, TraceContext, Tracer,
+};
 
 use augur_geo::{poi::synthetic_database, CityModel, CityParams, Enu, GeoPoint, LocalFrame};
 use augur_render::{
@@ -98,6 +100,42 @@ pub fn run_instrumented(
     params: &TourismParams,
     registry: &Registry,
 ) -> Result<TourismReport, CoreError> {
+    run_inner(params, registry, None)
+}
+
+/// [`run_instrumented`] plus causal flight-recorder emission: each
+/// rendered frame becomes a **root** span (`TraceContext::root(seed,
+/// frame_idx)`) with `tourism/retrieve`, `tourism/occlusion`, and
+/// `tourism/layout` children, and the setup/tracking stages hang off a
+/// per-run root. Timestamps come from the scenario's manual clock, so
+/// two runs under the same seed emit byte-identical traces.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_traced(
+    params: &TourismParams,
+    registry: &Registry,
+    recorder: &FlightRecorder,
+) -> Result<TourismReport, CoreError> {
+    run_inner(params, registry, Some(recorder))
+}
+
+/// Interned frame-stage names, so the per-frame loop never takes the
+/// recorder's name-table write lock.
+struct FrameWire<'a> {
+    rec: &'a FlightRecorder,
+    frame: NameId,
+    retrieve: NameId,
+    occlusion: NameId,
+    layout: NameId,
+}
+
+fn run_inner(
+    params: &TourismParams,
+    registry: &Registry,
+    recorder: Option<&FlightRecorder>,
+) -> Result<TourismReport, CoreError> {
     if params.pois == 0 || params.k == 0 {
         return Err(CoreError::InvalidScenario("pois and k must be positive"));
     }
@@ -106,6 +144,15 @@ pub fn run_instrumented(
     }
     let clock = ManualTime::shared();
     let tracer = Tracer::with_labels(registry, clock.clone(), &[("scenario", "tourism")]);
+    let flight = super::ScenarioFlight::start(recorder, "tourism", params.seed, clock.now_micros());
+    let wire = recorder.map(|rec| FrameWire {
+        rec,
+        frame: rec.intern("tourism/frame"),
+        retrieve: rec.intern("tourism/retrieve"),
+        occlusion: rec.intern("tourism/occlusion"),
+        layout: rec.intern("tourism/layout"),
+    });
+    let setup_t0 = clock.now_micros();
     let setup_span = tracer.span("tourism/setup");
     let origin = GeoPoint::new(22.3364, 114.2655)?;
     let frame = LocalFrame::new(origin);
@@ -115,8 +162,12 @@ pub fn run_instrumented(
     let occlusion = OcclusionIndex::build(&city);
     clock.advance_micros(params.pois as u64);
     setup_span.end();
+    if let Some(f) = &flight {
+        f.stage("tourism/setup", setup_t0, clock.now_micros());
+    }
 
     // Ground truth walk + fused tracking.
+    let tracking_t0 = clock.now_micros();
     let tracking_span = tracer.span("tourism/tracking");
     let traj_params = TrajectoryParams {
         half_extent_m: 350.0,
@@ -143,6 +194,9 @@ pub fn run_instrumented(
     let poses = run_tracker(&mut tracker, &truth, &fixes, &readings);
     clock.advance_micros(truth.len() as u64);
     tracking_span.end();
+    if let Some(f) = &flight {
+        f.stage("tourism/tracking", tracking_t0, clock.now_micros());
+    }
     let tracking_error_m = truth
         .iter()
         .zip(&poses)
@@ -166,6 +220,12 @@ pub fn run_instrumented(
     let mut drop_sum = 0.0;
     for (i, pose) in poses.iter().enumerate().step_by(10) {
         queries += 1;
+        // Each rendered frame is a root in the causal trace: downstream
+        // spans (retrieve/occlusion/layout) link back to the frame that
+        // produced them via `parent_span_id`.
+        let frame_ctx = TraceContext::root(params.seed, i as u64);
+        let frame_t0 = clock.now_micros();
+        let retrieve_t0 = frame_t0;
         let retrieve_span = tracer.span("tourism/retrieve");
         let here = frame.to_geodetic(pose.position);
         let (near, knn_work) = db.nearest_counted(here, params.k);
@@ -174,10 +234,19 @@ pub fn run_instrumented(
         scan_total_work += scan_work;
         clock.advance_micros((knn_work + scan_work) as u64);
         retrieve_span.end();
+        if let Some(w) = &wire {
+            w.rec.record_span(
+                frame_ctx.child_named("tourism/retrieve"),
+                w.retrieve,
+                retrieve_t0,
+                clock.now_micros() - retrieve_t0,
+            );
+        }
         let _ = in_radius.len();
         pois_surfaced += near.len();
 
         // Occlusion + x-ray for this frame.
+        let occlusion_t0 = clock.now_micros();
         let occlusion_span = tracer.span("tourism/occlusion");
         let camera = ViewCamera::new(
             Enu::new(pose.position.east, pose.position.north, 1.6),
@@ -197,8 +266,17 @@ pub fn run_instrumented(
         reveals += frame_reveals.iter().filter(|r| r.reveal).count();
         clock.advance_micros(targets.len() as u64);
         occlusion_span.end();
+        if let Some(w) = &wire {
+            w.rec.record_span(
+                frame_ctx.child_named("tourism/occlusion"),
+                w.occlusion,
+                occlusion_t0,
+                clock.now_micros() - occlusion_t0,
+            );
+        }
 
         // Layout the labels for targets in view.
+        let layout_t0 = clock.now_micros();
         let layout_span = tracer.span("tourism/layout");
         let labels: Vec<LabelBox> = targets
             .iter()
@@ -221,6 +299,19 @@ pub fn run_instrumented(
         }
         clock.advance_micros(labels.len() as u64);
         layout_span.end();
+        if let Some(w) = &wire {
+            w.rec.record_span(
+                frame_ctx.child_named("tourism/layout"),
+                w.layout,
+                layout_t0,
+                clock.now_micros() - layout_t0,
+            );
+            w.rec
+                .record_span(frame_ctx, w.frame, frame_t0, clock.now_micros() - frame_t0);
+        }
+    }
+    if let Some(f) = flight {
+        f.finish(clock.now_micros());
     }
     let q = queries.max(1) as f64;
     let knn_indexed_work = knn_total_work as f64 / q;

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use augur_telemetry::{ManualTime, Registry, Tracer};
+use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, Tracer};
 
 use augur_geo::{CityModel, CityParams, Enu};
 use augur_sensor::{RoadGridWalk, Trajectory};
@@ -130,6 +130,30 @@ pub fn run_instrumented(
     params: &TrafficParams,
     registry: &Registry,
 ) -> Result<TrafficReport, CoreError> {
+    run_inner(params, registry, None)
+}
+
+/// [`run_instrumented`] plus causal flight-recorder emission: a root
+/// span covers the run, with `traffic/setup`, `traffic/simulate`, and
+/// `traffic/score` as children on the same manual clock —
+/// byte-identical traces under the same seed.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_traced(
+    params: &TrafficParams,
+    registry: &Registry,
+    recorder: &FlightRecorder,
+) -> Result<TrafficReport, CoreError> {
+    run_inner(params, registry, Some(recorder))
+}
+
+fn run_inner(
+    params: &TrafficParams,
+    registry: &Registry,
+    recorder: Option<&FlightRecorder>,
+) -> Result<TrafficReport, CoreError> {
     if params.vehicles < 2 {
         return Err(CoreError::InvalidScenario("need at least two vehicles"));
     }
@@ -143,6 +167,8 @@ pub fn run_instrumented(
     }
     let clock = ManualTime::shared();
     let tracer = Tracer::with_labels(registry, clock.clone(), &[("scenario", "traffic")]);
+    let flight = super::ScenarioFlight::start(recorder, "traffic", params.seed, clock.now_micros());
+    let setup_t0 = clock.now_micros();
     let setup_span = tracer.span("traffic/setup");
     let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
     let city = CityModel::generate(&CityParams::default(), &mut rng);
@@ -167,7 +193,11 @@ pub fn run_instrumented(
     }
     clock.advance_micros(params.vehicles as u64);
     setup_span.end();
+    if let Some(f) = &flight {
+        f.stage("traffic/setup", setup_t0, clock.now_micros());
+    }
 
+    let simulate_t0 = clock.now_micros();
     let simulate_span = tracer.span("traffic/simulate");
     let steps = (params.duration_s / params.dt_s) as usize;
     let n = params.vehicles;
@@ -246,10 +276,14 @@ pub fn run_instrumented(
 
     clock.advance_micros(beacons_delivered + beacons_lost);
     simulate_span.end();
+    if let Some(f) = &flight {
+        f.stage("traffic/simulate", simulate_t0, clock.now_micros());
+    }
 
     // Score: a near miss is covered if a warning for the pair was raised
     // within [event - horizon, event]; a warning is a false alarm if no
     // near miss for the pair occurred within horizon after it.
+    let score_t0 = clock.now_micros();
     let score_span = tracer.span("traffic/score");
     let mut warned_in_time = 0usize;
     let mut lead_times = Vec::new();
@@ -279,6 +313,10 @@ pub fn run_instrumented(
     };
     clock.advance_micros((warnings.len() + near_miss_events.len()) as u64);
     score_span.end();
+    if let Some(f) = flight {
+        f.stage("traffic/score", score_t0, clock.now_micros());
+        f.finish(clock.now_micros());
+    }
     Ok(TrafficReport {
         near_misses: near_miss_events.len(),
         warned_in_time,

@@ -1,0 +1,86 @@
+//! `augur-doctor` CLI: the perf-regression gate.
+//!
+//! ```text
+//! augur-doctor --baseline results/baseline --current results [--json results/doctor.json]
+//! ```
+//!
+//! Compares every bench snapshot present in BOTH directories (the
+//! intersection rule: wall-clock benches without a committed baseline
+//! never flake the gate), prints a markdown verdict, optionally writes a
+//! JSON verdict, and exits 0 when clean, 1 on any regression, 2 on
+//! usage or I/O errors.
+
+use std::path::PathBuf;
+
+use augur_doctor::{has_regressions, render_json, render_markdown, run_gate, Tolerances};
+
+struct Args {
+    baseline: PathBuf,
+    current: PathBuf,
+    json_out: Option<PathBuf>,
+}
+
+const USAGE: &str = "usage: augur-doctor --baseline <dir> --current <dir> [--json <path>]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut json_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(PathBuf::from(take("--baseline")?)),
+            "--current" => current = Some(PathBuf::from(take("--current")?)),
+            "--json" => json_out = Some(PathBuf::from(take("--json")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or_else(|| format!("--baseline is required\n{USAGE}"))?,
+        current: current.ok_or_else(|| format!("--current is required\n{USAGE}"))?,
+        json_out,
+    })
+}
+
+fn run() -> i32 {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let comps = match run_gate(&args.baseline, &args.current, &Tolerances::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "augur-doctor: failed reading {} / {}: {e}",
+                args.baseline.display(),
+                args.current.display()
+            );
+            return 2;
+        }
+    };
+    print!("{}", render_markdown(&comps));
+    if let Some(path) = &args.json_out {
+        if let Err(e) = std::fs::write(path, render_json(&comps)) {
+            eprintln!("augur-doctor: failed writing {}: {e}", path.display());
+            return 2;
+        }
+        println!("\nverdict JSON: {}", path.display());
+    }
+    if has_regressions(&comps) {
+        1
+    } else {
+        0
+    }
+}
+
+fn main() {
+    std::process::exit(run());
+}

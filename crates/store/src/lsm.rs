@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
-use augur_telemetry::{Counter, Histogram, Registry};
+use augur_telemetry::{Clock, Counter, FlightRecorder, Histogram, NameId, Registry, TraceContext};
 use bytes::Bytes;
 
 use crate::error::StoreError;
@@ -74,6 +74,30 @@ pub struct LsmStore {
     memtable: BTreeMap<Bytes, Option<Bytes>>,
     runs: Vec<Vec<RunEntry>>, // newest last; each sorted by key
     metrics: LsmMetrics,
+    flight: Option<LsmFlight>,
+}
+
+/// Flight-recorder wiring (see [`LsmStore::instrument_flight`]): flush
+/// and compaction work become causally linked spans on the ring.
+#[derive(Clone)]
+struct LsmFlight {
+    recorder: FlightRecorder,
+    clock: Clock,
+    parent: TraceContext,
+    flush_name: NameId,
+    compact_name: NameId,
+    /// Ordinal salting each event's span id so repeated flushes stay
+    /// distinct (and deterministic) within one store's trace.
+    ops: u64,
+}
+
+impl std::fmt::Debug for LsmFlight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmFlight")
+            .field("parent", &self.parent)
+            .field("ops", &self.ops)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Telemetry handles: detached atomics by default, swapped for
@@ -112,6 +136,9 @@ impl Clone for LsmStore {
                 compactions: Counter::with_value(self.metrics.compactions.get()),
                 read_amp: Histogram::new(),
             },
+            // The clone keeps recording to the same (shared) ring; its op
+            // ordinal carries over so span ids stay distinct.
+            flight: self.flight.clone(),
         }
     }
 }
@@ -130,6 +157,7 @@ impl LsmStore {
             memtable: BTreeMap::new(),
             runs: Vec::new(),
             metrics: LsmMetrics::detached(),
+            flight: None,
         }
     }
 
@@ -149,6 +177,44 @@ impl LsmStore {
             compactions,
             read_amp: registry.histogram_labeled("lsm_read_amplification", &labels),
         };
+    }
+
+    /// Records flush and compaction work as causal flight spans under
+    /// `parent`: `lsm/flush` spans carry a **modeled** duration of one
+    /// microsecond per entry written (the workspace's work-unit
+    /// convention), `lsm/compact` one per entry merged, both timestamped
+    /// on `clock`. With a deterministic clock and workload the emitted
+    /// events are bit-for-bit reproducible.
+    pub fn instrument_flight(
+        &mut self,
+        recorder: &FlightRecorder,
+        clock: &Clock,
+        parent: TraceContext,
+    ) {
+        self.flight = Some(LsmFlight {
+            flush_name: recorder.intern("lsm/flush"),
+            compact_name: recorder.intern("lsm/compact"),
+            recorder: recorder.clone(),
+            clock: clock.clone(),
+            parent,
+            ops: 0,
+        });
+    }
+
+    /// Emits one flush/compaction span on the flight ring (no-op when
+    /// [`LsmStore::instrument_flight`] was never called).
+    fn flight_span(&mut self, compact: bool, modeled_entries: u64) {
+        if let Some(f) = &mut self.flight {
+            let (name, salt) = if compact {
+                (f.compact_name, 0x636f_6d70u64) // "comp"
+            } else {
+                (f.flush_name, 0x666c_7573u64) // "flus"
+            };
+            let ctx = f.parent.child(salt ^ (f.ops << 32));
+            f.ops += 1;
+            f.recorder
+                .record_span(ctx, name, f.clock.now_micros(), modeled_entries);
+        }
     }
 
     /// Inserts or overwrites a key.
@@ -235,8 +301,10 @@ impl LsmStore {
             return;
         }
         let run: Vec<RunEntry> = std::mem::take(&mut self.memtable).into_iter().collect();
+        let entries = run.len() as u64;
         self.runs.push(run);
         self.metrics.flushes.inc();
+        self.flight_span(false, entries);
         if self.runs.len() >= self.params.compaction_trigger_runs {
             self.compact();
         }
@@ -255,7 +323,9 @@ impl LsmStore {
             return;
         }
         let mut merged: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
+        let mut merged_entries = 0u64;
         for run in self.runs.drain(..) {
+            merged_entries += run.len() as u64;
             for (k, v) in run {
                 merged.insert(k, v);
             }
@@ -265,6 +335,7 @@ impl LsmStore {
             self.runs.push(compacted);
         }
         self.metrics.compactions.inc();
+        self.flight_span(true, merged_entries);
     }
 
     /// Statistics snapshot (a view over the telemetry counters).
@@ -312,6 +383,43 @@ mod tests {
             memtable_flush_entries: 8,
             compaction_trigger_runs: 4,
         })
+    }
+
+    #[test]
+    fn instrumented_store_emits_causal_flush_and_compact_spans() {
+        use augur_telemetry::{FlightEventKind, ManualTime};
+        use std::sync::Arc;
+
+        let recorder = FlightRecorder::new(256);
+        let clock: Clock = Arc::new(ManualTime::new());
+        let parent = TraceContext::root(7, 0xDB);
+        let mut db = LsmStore::new(LsmParams {
+            memtable_flush_entries: 4,
+            compaction_trigger_runs: 2,
+        });
+        db.instrument_flight(&recorder, &clock, parent);
+        // 12 distinct keys through a 4-entry memtable: 3 flushes, and the
+        // 2-run compaction trigger fires along the way.
+        for i in 0..12u8 {
+            db.put(vec![i], vec![i]);
+        }
+        let events = recorder.drain();
+        assert_eq!(recorder.dropped_events(), 0);
+        let flushes: Vec<_> = events.iter().filter(|e| e.name == "lsm/flush").collect();
+        let compacts: Vec<_> = events.iter().filter(|e| e.name == "lsm/compact").collect();
+        assert_eq!(flushes.len() as u64, db.stats().flushes);
+        assert_eq!(compacts.len() as u64, db.stats().compactions);
+        assert!(!flushes.is_empty() && !compacts.is_empty());
+        let mut span_ids = std::collections::HashSet::new();
+        for e in &events {
+            assert_eq!(e.kind, FlightEventKind::Span);
+            assert_eq!(e.trace_id, parent.trace_id, "same causal tree");
+            assert_eq!(e.parent_span_id, parent.span_id, "child of store root");
+            assert!(span_ids.insert(e.span_id), "span ids must be distinct");
+        }
+        for f in &flushes {
+            assert_eq!(f.dur_us, 4, "modeled 1 us per flushed entry");
+        }
     }
 
     #[test]

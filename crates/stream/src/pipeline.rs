@@ -22,7 +22,10 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use augur_telemetry::{Clock, Counter, Histogram, MonotonicTime, Registry, Tracer};
+use augur_telemetry::{
+    Clock, Counter, FlightRecorder, Histogram, MonotonicTime, NameId, Registry, TraceContext,
+    Tracer,
+};
 use crossbeam::channel;
 
 use crate::broker::Broker;
@@ -89,6 +92,7 @@ pub struct PipelineBuilder<T> {
     arrival_order: bool,
     registry: Registry,
     clock: Clock,
+    flight: Option<(FlightRecorder, TraceContext)>,
 }
 
 impl<T> std::fmt::Debug for PipelineBuilder<T> {
@@ -121,6 +125,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             arrival_order: false,
             registry: Registry::new(),
             clock: MonotonicTime::shared(),
+            flight: None,
         }
     }
 
@@ -139,6 +144,18 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     /// and `elapsed_s` deterministic in simulations.
     pub fn clock(mut self, clock: Clock) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Records causal flight events into `recorder`, parented under
+    /// `parent`. Each bounded run emits a `pipeline/run` span with
+    /// `pipeline/read` / `pipeline/transform` / `pipeline/window` stage
+    /// children; records carrying their own [`TraceContext`] additionally
+    /// get per-record events linked to the *producer's* chain, so a slow
+    /// frame can be traced through the stream layer. The recorder's hot
+    /// path is lock-free; leaving this unset costs nothing.
+    pub fn flight(mut self, recorder: &FlightRecorder, parent: TraceContext) -> Self {
+        self.flight = Some((recorder.clone(), parent));
         self
     }
 
@@ -182,10 +199,45 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     /// Finalises the pipeline, registering its metric families up front
     /// so the record hot path touches only pre-registered atomic handles.
     pub fn build(self) -> Pipeline<T> {
-        let instruments = Instruments::new(&self.registry, &self.clock, &self.topic);
+        let instruments = Instruments::new(
+            &self.registry,
+            &self.clock,
+            &self.topic,
+            self.flight.clone(),
+        );
         Pipeline {
             inner: self,
             instruments,
+        }
+    }
+}
+
+/// Flight-recorder wiring for one pipeline: the recorder, the causal
+/// parent every run hangs off, and names interned once at build time so
+/// the per-record path never takes the interner lock.
+#[derive(Clone)]
+struct FlightWire {
+    recorder: FlightRecorder,
+    parent: TraceContext,
+    run_name: NameId,
+    read_name: NameId,
+    transform_name: NameId,
+    window_name: NameId,
+    record_name: NameId,
+    late_name: NameId,
+}
+
+impl FlightWire {
+    fn new(recorder: FlightRecorder, parent: TraceContext) -> FlightWire {
+        FlightWire {
+            run_name: recorder.intern("pipeline/run"),
+            read_name: recorder.intern("pipeline/read"),
+            transform_name: recorder.intern("pipeline/transform"),
+            window_name: recorder.intern("pipeline/window"),
+            record_name: recorder.intern("pipeline/record"),
+            late_name: recorder.intern("pipeline/late_drop"),
+            recorder,
+            parent,
         }
     }
 }
@@ -201,12 +253,25 @@ struct Instruments {
     late_dropped: Counter,
     record_latency_ns: Histogram,
     lateness_us: Histogram,
+    flight: Option<FlightWire>,
+    /// Ordinal of the next bounded run; salts the per-run trace context
+    /// so consecutive runs get distinct (but deterministic) span ids.
+    runs: AtomicU64,
 }
 
 impl std::fmt::Debug for Instruments {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Instruments").finish_non_exhaustive()
     }
+}
+
+/// Pipeline stages named on the flight ring.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Run,
+    Read,
+    Transform,
+    Window,
 }
 
 /// Counter readings captured at run start; diffing against them at run
@@ -219,7 +284,12 @@ struct RunStart {
 }
 
 impl Instruments {
-    fn new(registry: &Registry, clock: &Clock, topic: &str) -> Instruments {
+    fn new(
+        registry: &Registry,
+        clock: &Clock,
+        topic: &str,
+        flight: Option<(FlightRecorder, TraceContext)>,
+    ) -> Instruments {
         let labels = [("topic", topic)];
         Instruments {
             tracer: Tracer::with_labels(registry, Arc::clone(clock), &labels),
@@ -229,6 +299,38 @@ impl Instruments {
             late_dropped: registry.counter_labeled("pipeline_late_dropped_total", &labels),
             record_latency_ns: registry.histogram_labeled("pipeline_record_latency_ns", &labels),
             lateness_us: registry.histogram_labeled("watermark_lateness_us", &labels),
+            flight: flight.map(|(rec, parent)| FlightWire::new(rec, parent)),
+            runs: AtomicU64::new(0),
+        }
+    }
+
+    /// The flight context for a fresh bounded run: a `pipeline/run` child
+    /// of the configured parent, salted by the run ordinal.
+    fn run_ctx(&self) -> Option<TraceContext> {
+        self.flight.as_ref().map(|w| {
+            let ordinal = self.runs.fetch_add(1, Ordering::Relaxed);
+            w.parent.child(ordinal ^ 0x70_69_70_65) // "pipe" salt
+        })
+    }
+
+    /// Records a completed stage span as a child of `run_ctx` on the
+    /// flight ring (no-op when flight recording is off).
+    fn flight_stage(&self, run_ctx: Option<TraceContext>, stage: Stage, start_us: u64) {
+        if let (Some(w), Some(ctx)) = (&self.flight, run_ctx) {
+            let (name, label) = match stage {
+                Stage::Run => (w.run_name, "pipeline/run"),
+                Stage::Read => (w.read_name, "pipeline/read"),
+                Stage::Transform => (w.transform_name, "pipeline/transform"),
+                Stage::Window => (w.window_name, "pipeline/window"),
+            };
+            let child = if stage == Stage::Run {
+                ctx
+            } else {
+                ctx.child_named(label)
+            };
+            let end = self.clock.now_micros();
+            w.recorder
+                .record_span(child, name, start_us, end.saturating_sub(start_us));
         }
     }
 
@@ -275,6 +377,7 @@ pub struct Pipeline<T> {
 struct Flow<T> {
     key: u64,
     time_us: u64,
+    trace: Option<TraceContext>,
     value: T,
 }
 
@@ -302,6 +405,7 @@ impl<T: Send + 'static> Pipeline<T> {
                         flows.push(Flow {
                             key: pr.record.key,
                             time_us: pr.record.event_time_us,
+                            trace: pr.record.trace,
                             value: v,
                         });
                     }
@@ -323,18 +427,24 @@ impl<T: Send + 'static> Pipeline<T> {
     /// Propagates broker errors ([`StreamError::UnknownTopic`] etc.).
     pub fn collect(&mut self) -> Result<(Vec<T>, PipelineMetrics), StreamError> {
         let run = self.instruments.run_start();
+        let run_ctx = self.instruments.run_ctx();
+        let run_t0 = self.instruments.clock.now_micros();
         let stats = self.inner.broker.stats(&self.inner.topic)?;
+        let read_t0 = run_t0;
         let flows = {
             let _read = self.instruments.tracer.span("pipeline/read");
             self.read_all()?
         };
+        self.instruments.flight_stage(run_ctx, Stage::Read, read_t0);
         self.instruments.records_in.add(flows.len() as u64);
-        // Run-local histogram for the per-run quantile view; the shared
-        // `pipeline_record_latency_ns` family accumulates across runs.
+        // Run-local histogram for the per-run quantile view, folded into
+        // the shared `pipeline_record_latency_ns` family once at run end
+        // (`Histogram::merge`) — one atomic path per record, not two.
         let run_latency = Histogram::new();
         let mut out = Vec::new();
         {
             let _transform = self.instruments.tracer.span("pipeline/transform");
+            let transform_t0 = self.instruments.clock.now_micros();
             for flow in flows {
                 let t0 = self.instruments.clock.now_nanos();
                 let mut v = Some(flow.value);
@@ -347,12 +457,25 @@ impl<T: Send + 'static> Pipeline<T> {
                 if let Some(x) = v {
                     let dt = self.instruments.clock.now_nanos().saturating_sub(t0);
                     run_latency.record(dt);
-                    self.instruments.record_latency_ns.record(dt);
                     self.instruments.records_out.inc();
+                    // A record carrying its producer's context gets a
+                    // per-record span on that chain: the cross-layer link.
+                    if let (Some(w), Some(ctx)) = (&self.instruments.flight, flow.trace) {
+                        w.recorder.record_span(
+                            ctx.child_named("pipeline/record"),
+                            w.record_name,
+                            t0 / 1_000,
+                            dt / 1_000,
+                        );
+                    }
                     out.push(x);
                 }
             }
+            self.instruments
+                .flight_stage(run_ctx, Stage::Transform, transform_t0);
         }
+        self.instruments.record_latency_ns.merge(&run_latency);
+        self.instruments.flight_stage(run_ctx, Stage::Run, run_t0);
         let metrics = self
             .instruments
             .per_run(&run, stats.bytes, Some(&run_latency));
@@ -403,6 +526,8 @@ impl<T: Send + 'static> Pipeline<T> {
                 .get(&(self.inner.topic.clone(), u32::MAX))
                 .unwrap_or(&0);
         }
+        let run_ctx = self.instruments.run_ctx();
+        let run_t0 = self.instruments.clock.now_micros();
         // The bounded run reads a time-ordered merge of all partitions;
         // the "offset" we checkpoint is the index into that merged order,
         // stored under partition u32::MAX (single logical cursor).
@@ -410,10 +535,12 @@ impl<T: Send + 'static> Pipeline<T> {
             let _read = self.instruments.tracer.span("pipeline/read");
             self.read_all()?
         };
+        self.instruments.flight_stage(run_ctx, Stage::Read, run_t0);
         let mut emitted: Vec<WindowResult<A::Acc>> = Vec::new();
         let mut crashed = false;
         {
             let _window = self.instruments.tracer.span("pipeline/window");
+            let window_t0 = self.instruments.clock.now_micros();
             for (i, flow) in flows.iter().enumerate() {
                 if (i as u64) < processed_before {
                     continue;
@@ -439,10 +566,21 @@ impl<T: Send + 'static> Pipeline<T> {
                     // Lateness relative to the current watermark: 0 for
                     // on-time records, positive for stragglers — the
                     // distribution A1 uses to size the disorder bound.
-                    self.instruments
-                        .lateness_us
-                        .record(wm.current().0.saturating_sub(flow.time_us));
-                    agg.offer(flow.key, flow.time_us, &x);
+                    let lateness = wm.current().0.saturating_sub(flow.time_us);
+                    self.instruments.lateness_us.record(lateness);
+                    let accepted = agg.offer(flow.key, flow.time_us, &x);
+                    // Late drops become flight instants on the producer's
+                    // chain: the trace shows *which* frame lost data.
+                    if let (Some(w), Some(ctx), false) =
+                        (&self.instruments.flight, flow.trace, accepted)
+                    {
+                        w.recorder.record_instant(
+                            ctx.child_named("pipeline/late_drop"),
+                            w.late_name,
+                            self.instruments.clock.now_micros(),
+                            lateness,
+                        );
+                    }
                 }
                 if let Some((store, interval)) = &checkpoints {
                     if interval > &0 && (i + 1) % interval == 0 {
@@ -455,7 +593,10 @@ impl<T: Send + 'static> Pipeline<T> {
             if !crashed {
                 emitted.extend(agg.flush());
             }
+            self.instruments
+                .flight_stage(run_ctx, Stage::Window, window_t0);
         }
+        self.instruments.flight_stage(run_ctx, Stage::Run, run_t0);
         self.instruments.records_out.add(emitted.len() as u64);
         self.instruments.late_dropped.add(agg.late_dropped());
         let stats = self.inner.broker.stats(&self.inner.topic)?;
@@ -509,6 +650,7 @@ impl<T: Send + 'static> Pipeline<T> {
                             let flow = Flow {
                                 key: pr.record.key,
                                 time_us: pr.record.event_time_us,
+                                trace: pr.record.trace,
                                 value: v,
                             };
                             // Blocking send: this is the backpressure.
@@ -722,6 +864,105 @@ mod tests {
                 .map(|c| c.value),
             Some(2)
         );
+    }
+
+    #[test]
+    fn flight_recording_links_stages_and_records_causally() {
+        use augur_telemetry::{FlightEventKind, FlightRecorder, ManualTime};
+        let b = Broker::new();
+        b.create_topic("t", 1).unwrap();
+        // Producer side: every record carries a root context derived from
+        // (seed, key) — the deterministic cross-layer link.
+        for i in 0..4u64 {
+            b.append(
+                "t",
+                Record::new(i, i.to_le_bytes().to_vec(), i * 1_000)
+                    .with_trace(TraceContext::root(99, i)),
+            )
+            .unwrap();
+        }
+        let recorder = FlightRecorder::new(64);
+        let parent = TraceContext::root(99, u64::MAX);
+        let clock = ManualTime::shared();
+        let mut p = PipelineBuilder::new(b, "t", decode)
+            .clock(clock.clone())
+            .flight(&recorder, parent)
+            .build();
+        p.collect().unwrap();
+        let events = recorder.drain();
+        // Stage spans: run + read + transform, all in the parent's trace.
+        let stage_names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.trace_id == parent.trace_id)
+            .map(|e| e.name.as_str())
+            .collect();
+        assert!(stage_names.contains(&"pipeline/run"));
+        assert!(stage_names.contains(&"pipeline/read"));
+        assert!(stage_names.contains(&"pipeline/transform"));
+        // Per-record spans live on each *producer's* chain.
+        let record_events: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "pipeline/record")
+            .collect();
+        assert_eq!(record_events.len(), 4);
+        for (i, e) in record_events.iter().enumerate() {
+            let root = TraceContext::root(99, i as u64);
+            assert_eq!(e.trace_id, root.trace_id);
+            assert_eq!(e.parent_span_id, root.span_id);
+            assert_eq!(e.kind, FlightEventKind::Span);
+        }
+        assert_eq!(recorder.dropped_events(), 0);
+        // Two runs produce distinct run span ids (salted by ordinal).
+        p.collect().unwrap();
+        let run_ids: Vec<u64> = recorder
+            .drain()
+            .iter()
+            .chain(events.iter())
+            .filter(|e| e.name == "pipeline/run")
+            .map(|e| e.span_id)
+            .collect();
+        assert_eq!(run_ids.len(), 2);
+        assert_ne!(run_ids[0], run_ids[1]);
+    }
+
+    #[test]
+    fn late_drops_emit_flight_instants_on_the_producer_chain() {
+        use augur_telemetry::FlightRecorder;
+        let b = Broker::new();
+        b.create_topic("t", 1).unwrap();
+        for t in [10_000u64, 20_000, 5_000] {
+            b.append(
+                "t",
+                Record::new(1, t.to_le_bytes().to_vec(), t).with_trace(TraceContext::root(7, t)),
+            )
+            .unwrap();
+        }
+        let recorder = FlightRecorder::new(64);
+        let mut p = PipelineBuilder::new(b, "t", decode)
+            .watermark_bound_us(0)
+            .arrival_order(true)
+            .flight(&recorder, TraceContext::root(7, u64::MAX))
+            .build();
+        let (_, m) = p
+            .run_windowed(
+                TumblingWindows::new(8_000),
+                CountAggregation,
+                None,
+                None,
+                false,
+            )
+            .unwrap();
+        assert_eq!(m.late_dropped, 1);
+        let events = recorder.drain();
+        let late: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "pipeline/late_drop")
+            .collect();
+        assert_eq!(late.len(), 1);
+        // The instant sits on the chain of the frame that lost data.
+        let victim = TraceContext::root(7, 5_000);
+        assert_eq!(late[0].trace_id, victim.trace_id);
+        assert_eq!(late[0].arg, 20_000 - 5_000, "arg carries the lateness");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Wire records for the partitioned log.
 
+use augur_telemetry::TraceContext;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +49,10 @@ pub struct Record {
     pub payload: Bytes,
     /// Event time, microseconds since the epoch.
     pub event_time_us: u64,
+    /// Causal trace context, if the producer is tracing. Propagated
+    /// verbatim through the log and the pipeline so downstream spans can
+    /// link back to the producing frame. Not part of the wire payload.
+    pub trace: Option<TraceContext>,
 }
 
 impl Record {
@@ -58,7 +63,23 @@ impl Record {
             key,
             payload: payload.into(),
             event_time_us,
+            trace: None,
         }
+    }
+
+    /// Attaches a causal trace context (builder style).
+    ///
+    /// ```
+    /// use augur_stream::Record;
+    /// use augur_telemetry::TraceContext;
+    ///
+    /// let ctx = TraceContext::root(42, 7);
+    /// let r = Record::new(7, vec![1u8], 10).with_trace(ctx);
+    /// assert_eq!(r.trace, Some(ctx));
+    /// ```
+    pub fn with_trace(mut self, ctx: TraceContext) -> Self {
+        self.trace = Some(ctx);
+        self
     }
 
     /// Payload length in bytes.

@@ -1,0 +1,129 @@
+//! Chrome trace-event export: turns drained [`FlightEvent`]s into the
+//! JSON Array Format understood by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) (open the file via "Open trace
+//! file"). Spans become complete events (`"ph":"X"`) with microsecond
+//! `ts`/`dur`; instants become `"ph":"i"`. Causal ids travel in `args`
+//! as zero-padded hex strings, so a span's parent can be located by
+//! searching for its `parent_span_id`.
+//!
+//! Rendering is a pure function of the drained event list: under a
+//! [`ManualTime`](crate::ManualTime)-driven run the output is
+//! byte-for-byte reproducible, which is what lets
+//! `tests/trace_causality.rs` assert trace stability across runs.
+
+use std::fmt::Write as _;
+
+use crate::export::escape_json;
+use crate::flight::{FlightEvent, FlightEventKind};
+
+/// Renders `events` (in drain order) as a Chrome trace-event JSON
+/// document. `process_name` labels the single emitted process (Perfetto
+/// shows it as the track group title). Each distinct `trace_id` is
+/// assigned a thread id in order of first appearance, so one causal
+/// chain renders as one timeline row group.
+pub fn render_chrome_trace(process_name: &str, events: &[FlightEvent]) -> String {
+    let mut tids: Vec<u64> = Vec::new();
+    let mut out = String::from("{\"traceEvents\":[");
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape_json(process_name)
+    );
+    for e in events {
+        let tid = match tids.iter().position(|t| *t == e.trace_id) {
+            Some(pos) => pos + 1,
+            None => {
+                tids.push(e.trace_id);
+                tids.len()
+            }
+        };
+        out.push(',');
+        match e.kind {
+            FlightEventKind::Span => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":1,\"tid\":{tid},\"args\":{{\"trace_id\":\"{:016x}\",\
+                     \"span_id\":\"{:016x}\",\"parent_span_id\":\"{:016x}\"}}}}",
+                    escape_json(&e.name),
+                    e.ts_us,
+                    e.dur_us,
+                    e.trace_id,
+                    e.span_id,
+                    e.parent_span_id
+                );
+            }
+            FlightEventKind::Instant => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                     \"pid\":1,\"tid\":{tid},\"args\":{{\"trace_id\":\"{:016x}\",\
+                     \"span_id\":\"{:016x}\",\"parent_span_id\":\"{:016x}\",\"arg\":{}}}}}",
+                    escape_json(&e.name),
+                    e.ts_us,
+                    e.trace_id,
+                    e.span_id,
+                    e.parent_span_id,
+                    e.arg
+                );
+            }
+        }
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::FlightRecorder;
+    use crate::trace::TraceContext;
+
+    fn sample_events() -> Vec<FlightEvent> {
+        let rec = FlightRecorder::new(16);
+        let frame = rec.intern("frame");
+        let layout = rec.intern("layout \"q\"");
+        let drop_ev = rec.intern("drop");
+        let root = TraceContext::root(7, 0);
+        rec.record_span(root, frame, 0, 1_000);
+        rec.record_span(root.child_named("layout"), layout, 100, 400);
+        rec.record_instant(root.child_named("drop"), drop_ev, 600, 3);
+        rec.drain()
+    }
+
+    #[test]
+    fn renders_spans_instants_and_metadata() {
+        let json = render_chrome_trace("augur tourism", &sample_events());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("augur tourism"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":1000"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"arg\":3"));
+        // Hostile span names are JSON-escaped.
+        assert!(json.contains("layout \\\"q\\\""));
+        // Same trace -> same tid for every event.
+        let tid_count = json.matches("\"tid\":1,").count();
+        assert_eq!(tid_count, 3, "all events share one causal-chain tid");
+    }
+
+    #[test]
+    fn rendering_is_a_pure_function_of_events() {
+        let events = sample_events();
+        assert_eq!(
+            render_chrome_trace("p", &events),
+            render_chrome_trace("p", &events)
+        );
+    }
+
+    #[test]
+    fn parent_ids_are_preserved_in_args() {
+        let events = sample_events();
+        let json = render_chrome_trace("p", &events);
+        let root_span = events[0].span_id;
+        assert!(json.contains(&format!("\"parent_span_id\":\"{root_span:016x}\"")));
+    }
+}

@@ -41,10 +41,20 @@ pub fn json_f64(v: f64) -> String {
     }
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote, and line-feed must be backslash-escaped
+/// (in that order — escaping `\` first keeps the output unambiguous,
+/// which is what lets the round-trip test parse it back).
+pub fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 fn label_block(labels: &Labels, extra: Option<(&str, &str)>) -> String {
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
         .collect();
     if let Some((k, v)) = extra {
         parts.push(format!("{k}=\"{v}\""));
@@ -273,6 +283,78 @@ mod tests {
         assert!(table.contains("total_us"));
         assert!(table.contains("1000"));
         assert_eq!(render_span_breakdown(&Registry::new().snapshot()), "");
+    }
+
+    /// Parses one `name{k="v",..} value` exposition line back into label
+    /// pairs, undoing the three escapes the format defines. A test-only
+    /// decoder: its whole job is to prove the encoder is unambiguous.
+    fn parse_labels(line: &str) -> Vec<(String, String)> {
+        let inner = line
+            .split_once('{')
+            .and_then(|(_, rest)| rest.rsplit_once('}'))
+            .map(|(inner, _)| inner)
+            .unwrap_or("");
+        let mut out = Vec::new();
+        let mut chars = inner.chars().peekable();
+        while chars.peek().is_some() {
+            let key: String = chars.by_ref().take_while(|c| *c != '=').collect();
+            assert_eq!(chars.next(), Some('"'), "label value must be quoted");
+            let mut value = String::new();
+            loop {
+                match chars.next() {
+                    Some('\\') => match chars.next() {
+                        Some('\\') => value.push('\\'),
+                        Some('"') => value.push('"'),
+                        Some('n') => value.push('\n'),
+                        other => panic!("unknown escape: {other:?}"),
+                    },
+                    Some('"') => break,
+                    Some(c) => value.push(c),
+                    None => panic!("unterminated label value"),
+                }
+            }
+            out.push((key, value));
+            if chars.peek() == Some(&',') {
+                chars.next();
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn hostile_label_values_round_trip_through_exposition() {
+        let hostile = [
+            ("backslash", "a\\b"),
+            ("newline", "line1\nline2"),
+            ("quote", "say \"hi\""),
+            ("all_three", "\\\"\n\\\\\"\"\n"),
+            ("trailing_escape", "ends with \\"),
+        ];
+        let reg = Registry::new();
+        for (k, v) in hostile {
+            reg.counter_labeled("hostile_total", &[(k, v)]).inc();
+        }
+        let text = reg.render_prometheus();
+        let mut seen = Vec::new();
+        for line in text.lines() {
+            if line.starts_with("hostile_total{") {
+                seen.extend(parse_labels(line));
+            }
+        }
+        for (k, v) in hostile {
+            assert!(
+                seen.iter().any(|(sk, sv)| sk == k && sv == v),
+                "label {k:?}={v:?} did not survive the round trip; saw {seen:?}"
+            );
+        }
+        // Each sample stays on its own line: embedded newlines must not
+        // split the exposition.
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.starts_with("hostile_total{"))
+                .count(),
+            hostile.len()
+        );
     }
 
     #[test]

@@ -17,6 +17,12 @@
 //!   path holds pre-registered handles and never touches the registry.
 //! - [`Tracer`] / [`SpanGuard`]: named timed sections recorded into the
 //!   `span_duration_us` histogram family.
+//! - [`TraceContext`] / [`FlightRecorder`]: causal tracing. Deterministic
+//!   trace ids derived from `(seed, key)` travel across layer boundaries
+//!   (stream records, pipeline stages, offload tasks, store flushes);
+//!   structured span/event records land in a bounded lock-free ring with
+//!   explicit drop accounting and export as Chrome trace-event JSON via
+//!   [`render_chrome_trace`] for Perfetto timelines.
 //! - [`TimeSource`]: the only sanctioned clock. Simulation code uses
 //!   [`ManualTime`] (advanced from event time or modeled work units, so
 //!   instrumented runs stay deterministic); bench binaries use
@@ -45,8 +51,12 @@
 //! assert!(text.contains("span_duration_us"));
 //! ```
 
+/// Chrome trace-event (Perfetto-compatible) JSON export.
+pub mod chrome;
 /// Prometheus/JSON renderers and the span-breakdown table.
 pub mod export;
+/// The lock-free flight recorder (bounded span/event ring).
+pub mod flight;
 /// The atomic instruments: counters, gauges, histograms.
 pub mod metric;
 /// Sharded registry of labeled metric families.
@@ -55,9 +65,17 @@ pub mod registry;
 pub mod span;
 /// Pluggable time sources (`ManualTime`, `MonotonicTime`).
 pub mod time;
+/// Causal trace context (deterministic id derivation).
+pub mod trace;
 
+/// Chrome trace-event rendering for drained flight events.
+pub use chrome::render_chrome_trace;
 /// JSON string escaping shared with the bench snapshot writer.
-pub use export::{escape_json, json_f64, render_snapshot_json, render_span_breakdown};
+pub use export::{
+    escape_json, escape_label_value, json_f64, render_snapshot_json, render_span_breakdown,
+};
+/// The flight recorder and its drained event type.
+pub use flight::{FlightEvent, FlightEventKind, FlightRecorder, NameId, TraceSpan};
 /// Lock-free instruments.
 pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
 /// Labeled metric families and snapshots.
@@ -68,3 +86,5 @@ pub use registry::{
 pub use span::{SpanGuard, Tracer, SPAN_LABEL, SPAN_METRIC};
 /// Pluggable clocks.
 pub use time::{Clock, ManualTime, MonotonicTime, TimeSource};
+/// Causal trace identity carried across layer boundaries.
+pub use trace::TraceContext;

@@ -47,6 +47,49 @@ proptest! {
         prop_assert_eq!(Some(s.min), values.first().copied());
         prop_assert_eq!(Some(s.max), values.last().copied());
     }
+
+    #[test]
+    fn merged_histogram_quantiles_stay_within_error_bound(
+        // `left` non-empty so the merged population always has samples;
+        // `right` may be empty to exercise the empty-merge no-op.
+        left in prop::collection::vec(0u64..2_000_000_000, 1..200),
+        right in prop::collection::vec(0u64..2_000_000_000, 0..200),
+        qs in prop::collection::vec(0.01f64..1.0, 1..8),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for &v in &left {
+            a.record(v);
+        }
+        for &v in &right {
+            b.record(v);
+        }
+        a.merge(&b);
+
+        let mut all: Vec<u64> = left.iter().chain(right.iter()).copied().collect();
+        all.sort_unstable();
+        for &q in &qs {
+            let exact = exact_quantile(&all, q);
+            let approx = a.quantile(q);
+            // The documented merge contract is ≤12.5% (exact/8); the
+            // shared bucket layout actually keeps merges at the native
+            // 1/32 bound, so assert the tighter figure — any regression
+            // toward the contract ceiling shows up immediately.
+            let bound = exact / 32 + 1;
+            prop_assert!(bound <= exact / 8 + 1, "native bound is inside the contract");
+            prop_assert!(
+                approx.abs_diff(exact) <= bound,
+                "merged q={} approx={} exact={} bound={}",
+                q, approx, exact, bound
+            );
+        }
+        // Count/sum/min/max merge exactly.
+        let s = a.snapshot();
+        prop_assert_eq!(s.count, all.len() as u64);
+        prop_assert_eq!(s.sum, all.iter().sum::<u64>());
+        prop_assert_eq!(Some(s.min), all.first().copied());
+        prop_assert_eq!(Some(s.max), all.last().copied());
+    }
 }
 
 #[test]

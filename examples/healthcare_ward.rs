@@ -5,11 +5,16 @@
 //! episode ground truth — recall, false alarms, and alert latency.
 //!
 //! Run with: `cargo run --release --example healthcare_ward`
+//!
+//! Pass `--trace` to also write a Perfetto-compatible causal trace to
+//! `results/healthcare.trace.json` (open at <https://ui.perfetto.dev>);
+//! patient 0's samples trace end-to-end through the broker pipeline.
 
-use augur::core::healthcare::{run_instrumented, HealthcareParams};
-use augur::telemetry::{render_span_breakdown, Registry};
+use augur::core::healthcare::{run_instrumented, run_traced, HealthcareParams};
+use augur::telemetry::{render_chrome_trace, render_span_breakdown, FlightRecorder, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = std::env::args().any(|a| a == "--trace");
     let params = HealthcareParams::default();
     println!(
         "healthcare scenario: {} patients for {:.0} min at {:.0} Hz",
@@ -18,7 +23,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         1.0 / params.period_s
     );
     let registry = Registry::new();
-    let report = run_instrumented(&params, &registry)?;
+    let report = if trace {
+        let recorder = FlightRecorder::new(1 << 16);
+        let report = run_traced(&params, &registry, &recorder)?;
+        let events = recorder.drain();
+        std::fs::create_dir_all("results")?;
+        let path = "results/healthcare.trace.json";
+        std::fs::write(path, render_chrome_trace("healthcare", &events))?;
+        println!(
+            "trace: wrote {path} ({} events, {} dropped)",
+            events.len(),
+            recorder.dropped_events()
+        );
+        report
+    } else {
+        run_instrumented(&params, &registry)?
+    };
     println!("\nstreaming:");
     println!("  samples through broker  {}", report.samples_streamed);
     println!(

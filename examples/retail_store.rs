@@ -5,18 +5,37 @@
 //! session's label-layout quality — the full E7 story.
 //!
 //! Run with: `cargo run --release --example retail_store`
+//!
+//! Pass `--trace` to also write a Perfetto-compatible causal trace to
+//! `results/retail.trace.json` (open at <https://ui.perfetto.dev>).
 
-use augur::core::retail::{run_instrumented, RetailParams};
-use augur::telemetry::{render_span_breakdown, Registry};
+use augur::core::retail::{run_instrumented, run_traced, RetailParams};
+use augur::telemetry::{render_chrome_trace, render_span_breakdown, FlightRecorder, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = std::env::args().any(|a| a == "--trace");
     let params = RetailParams::default();
     println!(
         "retail scenario: {} users × {} interactions, {} product groups",
         params.users, params.interactions_per_user, params.groups
     );
     let registry = Registry::new();
-    let report = run_instrumented(&params, &registry)?;
+    let report = if trace {
+        let recorder = FlightRecorder::new(1 << 16);
+        let report = run_traced(&params, &registry, &recorder)?;
+        let events = recorder.drain();
+        std::fs::create_dir_all("results")?;
+        let path = "results/retail.trace.json";
+        std::fs::write(path, render_chrome_trace("retail", &events))?;
+        println!(
+            "trace: wrote {path} ({} events, {} dropped)",
+            events.len(),
+            recorder.dropped_events()
+        );
+        report
+    } else {
+        run_instrumented(&params, &registry)?
+    };
     println!(
         "\nrecommender quality (leave-one-out, hit-rate@{}):",
         params.top_k

@@ -6,11 +6,15 @@
 //! misses, then reconstructs the Figure 5 influence entry for the field.
 //!
 //! Run with: `cargo run --release --example smart_traffic`
+//!
+//! Pass `--trace` to also write a Perfetto-compatible causal trace to
+//! `results/traffic.trace.json` (open at <https://ui.perfetto.dev>).
 
-use augur::core::traffic::{run, run_instrumented, TrafficParams};
-use augur::telemetry::{render_span_breakdown, Registry};
+use augur::core::traffic::{run, run_instrumented, run_traced, TrafficParams};
+use augur::telemetry::{render_chrome_trace, render_span_breakdown, FlightRecorder, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = std::env::args().any(|a| a == "--trace");
     let params = TrafficParams::default();
     println!(
         "traffic scenario: {} vehicles for {:.0} s, beacons every {:.1} s, {:.0}% loss",
@@ -20,7 +24,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.loss * 100.0
     );
     let registry = Registry::new();
-    let report = run_instrumented(&params, &registry)?;
+    let report = if trace {
+        let recorder = FlightRecorder::new(1 << 16);
+        let report = run_traced(&params, &registry, &recorder)?;
+        let events = recorder.drain();
+        std::fs::create_dir_all("results")?;
+        let path = "results/traffic.trace.json";
+        std::fs::write(path, render_chrome_trace("traffic", &events))?;
+        println!(
+            "trace: wrote {path} ({} events, {} dropped)",
+            events.len(),
+            recorder.dropped_events()
+        );
+        report
+    } else {
+        run_instrumented(&params, &registry)?
+    };
     println!("\nchannel:");
     println!(
         "  beacons delivered/lost  {}/{}",

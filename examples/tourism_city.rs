@@ -5,18 +5,37 @@
 //! resolves occlusion for x-ray reveals, and lays labels out on screen.
 //!
 //! Run with: `cargo run --release --example tourism_city`
+//!
+//! Pass `--trace` to also write a Perfetto-compatible causal trace to
+//! `results/tourism.trace.json` (open at <https://ui.perfetto.dev>).
 
-use augur::core::tourism::{run_instrumented, TourismParams};
-use augur::telemetry::{render_span_breakdown, Registry};
+use augur::core::tourism::{run_instrumented, run_traced, TourismParams};
+use augur::telemetry::{render_chrome_trace, render_span_breakdown, FlightRecorder, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = std::env::args().any(|a| a == "--trace");
     let params = TourismParams::default();
     println!(
         "tourism scenario: {} POIs, {:.0} s tour, k={} per retrieval",
         params.pois, params.duration_s, params.k
     );
     let registry = Registry::new();
-    let report = run_instrumented(&params, &registry)?;
+    let report = if trace {
+        let recorder = FlightRecorder::new(1 << 16);
+        let report = run_traced(&params, &registry, &recorder)?;
+        let events = recorder.drain();
+        std::fs::create_dir_all("results")?;
+        let path = "results/tourism.trace.json";
+        std::fs::write(path, render_chrome_trace("tourism", &events))?;
+        println!(
+            "trace: wrote {path} ({} events, {} dropped)",
+            events.len(),
+            recorder.dropped_events()
+        );
+        report
+    } else {
+        run_instrumented(&params, &registry)?
+    };
     println!("\nretrieval ({} queries):", report.queries);
     println!(
         "  R-tree k-NN     {:>9.1} dist-evals/query",
