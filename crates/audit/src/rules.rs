@@ -46,6 +46,10 @@ pub struct FilePolicy {
     /// caller's snapshot; the process-global registry is an
     /// examples/bin-only convenience.
     pub deny_global_registry: bool,
+    /// Raw `std::net` socket use is denied: the live health endpoint in
+    /// `crates/watch/src/serve.rs` is the sole sanctioned network site, so
+    /// every listener the workspace opens is inventoried in one place.
+    pub deny_raw_net: bool,
     /// Slice-indexing advisories are collected.
     pub advise_indexing: bool,
     /// The file is a crate root whose public items must be documented.
@@ -73,6 +77,9 @@ const STD_LOCKS: [&str; 2] = ["std::sync::Mutex", "std::sync::RwLock"];
 
 /// Determinism patterns denied everywhere: entropy-based RNG construction.
 const ENTROPY: [&str; 3] = ["thread_rng", "from_entropy", "rand::random"];
+
+/// Network-socket patterns confined to the sanctioned endpoint module.
+const RAW_NET: [&str; 4] = ["std::net::", "TcpListener", "TcpStream", "UdpSocket"];
 
 /// Checks one file's source, appending findings to `out`.
 pub fn check_source(file: &str, src: &str, policy: FilePolicy, out: &mut Vec<Violation>) {
@@ -212,6 +219,28 @@ pub fn check_source(file: &str, src: &str, policy: FilePolicy, out: &mut Vec<Vio
                      registry is for examples and binaries only",
                 ),
             );
+        }
+    }
+
+    if policy.deny_raw_net {
+        for pat in RAW_NET {
+            for idx in find_all(&lib_code, pat) {
+                if is_word_start(&lib_code, idx) {
+                    push(
+                        out,
+                        file,
+                        &lib_code,
+                        idx,
+                        "net-confined",
+                        Severity::Deny,
+                        format!(
+                            "`{pat}`: raw std::net sockets are confined to the watch \
+                             endpoint (crates/watch/src/serve.rs); expose state through \
+                             `augur_watch::WatchSession::serve` instead"
+                        ),
+                    );
+                }
+            }
         }
     }
 
@@ -388,6 +417,7 @@ mod tests {
         deny_wall_clock: true,
         deny_raw_instant: false,
         deny_global_registry: true,
+        deny_raw_net: true,
         advise_indexing: true,
         require_docs: false,
     };
@@ -452,6 +482,7 @@ mod tests {
             deny_wall_clock: false,
             deny_raw_instant: false,
             deny_global_registry: false,
+            deny_raw_net: false,
             advise_indexing: false,
             require_docs: true,
         };
@@ -533,6 +564,43 @@ mod tests {
         let mut v = Vec::new();
         check_source("b.rs", "fn f() { Registry::global(); }", bin_policy, &mut v);
         assert!(v.iter().all(|x| x.rule != "no-global-registry"));
+    }
+
+    #[test]
+    fn flags_raw_net_outside_the_endpoint() {
+        // The path form is reported once at the `std::net::` site (the
+        // type name after `::` is not at a word boundary), and bare type
+        // names are caught wherever the import was split from the use.
+        assert_eq!(
+            deny_rules("fn f() { let l = std::net::TcpListener::bind(\"a\"); }"),
+            vec!["net-confined"]
+        );
+        assert_eq!(
+            deny_rules("fn f() { let s = TcpStream::connect(\"a\"); }"),
+            vec!["net-confined"]
+        );
+        assert_eq!(
+            deny_rules("fn f() { let u = UdpSocket::bind(\"a\"); }"),
+            vec!["net-confined"]
+        );
+        // Comments, strings, and test code never trip the rule.
+        assert!(deny_rules("// std::net::TcpStream is confined\nfn f() {}").is_empty());
+        assert!(
+            deny_rules("#[cfg(test)] mod t { fn f() { TcpListener::bind(\"a\"); } }").is_empty()
+        );
+        // The sanctioned endpoint policy is exempt.
+        let endpoint = FilePolicy {
+            deny_raw_net: false,
+            ..STRICT
+        };
+        let mut v = Vec::new();
+        check_source(
+            "serve.rs",
+            "fn f() { let l = std::net::TcpListener::bind(\"a\"); }",
+            endpoint,
+            &mut v,
+        );
+        assert!(v.iter().all(|x| x.rule != "net-confined"));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::rules::{self, FilePolicy, Severity, Violation};
 
 /// Crates whose library code must be panic-free (the AR hot path: a panic
 /// here aborts a frame mid-flight).
-pub const HOT_CRATES: [&str; 9] = [
+pub const HOT_CRATES: [&str; 10] = [
     "stream",
     "geo",
     "store",
@@ -19,6 +19,7 @@ pub const HOT_CRATES: [&str; 9] = [
     "audit",
     "telemetry",
     "doctor",
+    "watch",
 ];
 
 /// Path fragments identifying simulation code, where wall-clock reads are
@@ -29,11 +30,16 @@ pub const SIM_PATHS: [&str; 2] = ["crates/sensor/src", "crates/core/src/scenario
 /// `augur_telemetry::TimeSource` rather than raw `Instant::now()`, so the
 /// same instrumentation runs deterministically under `ManualTime` in
 /// simulations and against the monotonic clock in benches.
-pub const TELEMETRY_CRATES: [&str; 5] = ["stream", "store", "cloud", "core", "telemetry"];
+pub const TELEMETRY_CRATES: [&str; 6] = ["stream", "store", "cloud", "core", "telemetry", "watch"];
 
 /// The one sanctioned wall-clock read: `MonotonicTime` in the telemetry
 /// crate's time-source module.
 pub const TIME_SOURCE_EXEMPT: &str = "crates/telemetry/src/time.rs";
+
+/// The one sanctioned `std::net` site: the watch crate's live endpoint.
+/// Confining sockets to a single module keeps the workspace's network
+/// surface auditable at a glance (and trivially greppable).
+pub const NET_EXEMPT: &str = "crates/watch/src/serve.rs";
 
 /// Result of auditing a tree.
 #[derive(Debug, Default)]
@@ -130,6 +136,9 @@ pub fn policy_for(rel: &str) -> FilePolicy {
         // library code must thread a `&Registry` so metrics are scoped to
         // the caller's run. Experiment driver binaries are exempt.
         deny_global_registry: !is_bin,
+        // Sockets are confined workspace-wide — bins included: demo and
+        // experiment binaries serve state through `WatchSession::serve`.
+        deny_raw_net: rel != NET_EXEMPT,
         advise_indexing: hot && !is_bin,
         require_docs: is_crate_root,
     }
@@ -176,5 +185,19 @@ mod tests {
         assert!(!policy_for("crates/bench/src/bin/e2_timeliness.rs").deny_raw_instant);
         // Telemetry is hot-path code: panic discipline applies.
         assert!(policy_for("crates/telemetry/src/metric.rs").deny_panics);
+    }
+
+    #[test]
+    fn net_confinement_policy_mapping() {
+        // The endpoint module is the sole sanctioned socket site.
+        assert!(!policy_for("crates/watch/src/serve.rs").deny_raw_net);
+        assert!(policy_for("crates/watch/src/rollup.rs").deny_raw_net);
+        assert!(policy_for("crates/stream/src/pipeline.rs").deny_raw_net);
+        // Unlike the panic rules, bins are NOT exempt: they serve state
+        // through `WatchSession::serve` rather than opening sockets.
+        assert!(policy_for("crates/bench/src/bin/e2_timeliness.rs").deny_raw_net);
+        // Watch joined the hot + instrumented sets.
+        assert!(policy_for("crates/watch/src/slo.rs").deny_panics);
+        assert!(policy_for("crates/watch/src/rollup.rs").deny_raw_instant);
     }
 }

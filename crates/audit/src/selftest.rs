@@ -10,7 +10,7 @@ use crate::scan;
 
 /// A seeded violation fixture: file path (workspace-relative), source, and
 /// the deny rules the scanner must fire on it.
-const FIXTURES: [(&str, &str, &[&str]); 8] = [
+const FIXTURES: [(&str, &str, &[&str]); 9] = [
     (
         "crates/render/src/bad_global_registry.rs",
         "fn f() { let c = augur_telemetry::Registry::global().counter(\"frames\"); c.inc(); }\n",
@@ -51,6 +51,11 @@ const FIXTURES: [(&str, &str, &[&str]); 8] = [
         "//! Crate docs.\npub mod undocumented_item;\n",
         &["documented-exports"],
     ),
+    (
+        "crates/stream/src/bad_net.rs",
+        "fn f() -> std::io::Result<()> { let _l = std::net::TcpListener::bind(\"127.0.0.1:0\")?; Ok(()) }\n",
+        &["net-confined"],
+    ),
 ];
 
 /// Clean fixture for the time-source exemption: raw `Instant::now()` is
@@ -64,6 +69,19 @@ use std::time::Instant;
 pub fn since(origin: Instant) -> u64 {
     let nanos = Instant::now().duration_since(origin).as_nanos();
     u64::try_from(nanos).unwrap_or(u64::MAX)
+}
+"#;
+
+/// Clean fixture for the net exemption: raw `std::net` sockets are allowed
+/// only at `crates/watch/src/serve.rs`, the sanctioned live-endpoint site.
+/// (Watch is a hot, instrumented crate, so the fixture must also be
+/// panic-free and must not read `Instant::now()`.)
+const CLEAN_NET_ENDPOINT: &str = r#"//! Clean fixture: the sanctioned endpoint socket site.
+use std::net::TcpListener;
+
+/// Binds an ephemeral listener.
+pub fn bind_any() -> std::io::Result<TcpListener> {
+    TcpListener::bind("127.0.0.1:0")
 }
 "#;
 
@@ -110,6 +128,7 @@ fn run_in(root: &Path) -> Result<(), String> {
     }
     write_fixture(root, "crates/stream/src/clean.rs", CLEAN)?;
     write_fixture(root, "crates/telemetry/src/time.rs", CLEAN_TIME_SOURCE)?;
+    write_fixture(root, "crates/watch/src/serve.rs", CLEAN_NET_ENDPOINT)?;
 
     let report = scan::audit_workspace(root).map_err(|e| format!("self-test scan failed: {e}"))?;
 
@@ -141,6 +160,16 @@ fn run_in(root: &Path) -> Result<(), String> {
     if !exempt_denials.is_empty() {
         return Err(format!(
             "self-test: sanctioned time-source site produced deny findings: {exempt_denials:?}"
+        ));
+    }
+
+    let endpoint_denials: Vec<_> = report
+        .denials()
+        .filter(|v| v.file == "crates/watch/src/serve.rs")
+        .collect();
+    if !endpoint_denials.is_empty() {
+        return Err(format!(
+            "self-test: sanctioned endpoint socket site produced deny findings: {endpoint_denials:?}"
         ));
     }
     Ok(())

@@ -60,6 +60,13 @@ fn main() {
         let labels = [("events", nl.as_str())];
         snap.gauge("batch_us", &labels, batch_us);
         snap.gauge("incremental_us_per_event", &labels, incr_us);
+        // Modeled costs (one work unit ≙ 1 µs, deterministic under the
+        // seed, so the doctor gate can pin them): a batch answer
+        // re-touches all n events; the incremental view folds exactly one
+        // event per update regardless of history volume.
+        snap.gauge("batch_recompute_modeled_us", &labels, n as f64);
+        snap.gauge("incremental_update_modeled_us", &labels, 1.0);
+        snap.gauge("groups_active", &labels, result.len() as f64);
         row(&[
             n.to_string(),
             f(batch_us, 0),

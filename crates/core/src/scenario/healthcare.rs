@@ -13,6 +13,9 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, TraceContext, Tracer};
+use augur_watch::{
+    BurnRule, Objective, RollupConfig, SloSpec, TierSpec, WatchConfig, WatchSession,
+};
 
 use augur_analytics::ThresholdDetector;
 use augur_sensor::{VitalsGenerator, VitalsParams};
@@ -107,7 +110,7 @@ pub fn run_instrumented(
     params: &HealthcareParams,
     registry: &Registry,
 ) -> Result<HealthcareReport, CoreError> {
-    run_inner(params, registry, None)
+    run_inner(params, registry, None, None)
 }
 
 /// [`run_instrumented`] plus causal flight-recorder emission. A root
@@ -127,13 +130,119 @@ pub fn run_traced(
     registry: &Registry,
     recorder: &FlightRecorder,
 ) -> Result<HealthcareReport, CoreError> {
-    run_inner(params, registry, Some(recorder))
+    run_inner(params, registry, Some(recorder), None)
+}
+
+/// Detector records processed per observed watch cycle (see
+/// [`run_watched`]): the detect stage reports once per chunk, so a
+/// healthy cycle models ~1 ms of work.
+const WATCH_CHUNK: usize = 1_000;
+
+/// The ward's declared service-level objectives — the paper's
+/// "immediate field diagnosis" promise, monitored:
+///
+/// 1. `healthcare_detect_p95` — p95 of the detect stage's per-chunk
+///    cycle latency stays under 5 ms of modeled work.
+/// 2. `healthcare_alert_p95` — p95 sample-to-alert latency (episode
+///    onset → detector alert, sim time) stays under 10 s.
+/// 3. `healthcare_drop_ratio` — the vitals stream drops fewer than
+///    0.1% of records late (`pipeline_late_dropped_total` over
+///    `pipeline_records_in_total`, both `{topic=vitals}`).
+pub fn watch_config(seed: u64) -> WatchConfig {
+    WatchConfig {
+        seed,
+        rollup: RollupConfig {
+            tiers: vec![
+                TierSpec {
+                    window_us: 50_000,
+                    capacity: 256,
+                },
+                TierSpec {
+                    window_us: 250_000,
+                    capacity: 64,
+                },
+            ],
+        },
+        slos: vec![
+            SloSpec {
+                name: "healthcare_detect_p95".to_string(),
+                objective: Objective::LatencyQuantile {
+                    series: "frame_latency_us{scenario=healthcare}".to_string(),
+                    q: 0.95,
+                    threshold_us: 5_000,
+                },
+                budget: 0.1,
+                period_us: 5_000_000,
+                rules: vec![BurnRule {
+                    name: "fast".to_string(),
+                    short_us: 100_000,
+                    long_us: 250_000,
+                    factor: 2.0,
+                }],
+            },
+            SloSpec {
+                name: "healthcare_alert_p95".to_string(),
+                objective: Objective::LatencyQuantile {
+                    series: "alert_latency_us{scenario=healthcare}".to_string(),
+                    q: 0.95,
+                    threshold_us: 10_000_000,
+                },
+                budget: 0.1,
+                period_us: 5_000_000,
+                rules: vec![BurnRule {
+                    name: "fast".to_string(),
+                    short_us: 100_000,
+                    long_us: 250_000,
+                    factor: 2.0,
+                }],
+            },
+            SloSpec {
+                name: "healthcare_drop_ratio".to_string(),
+                objective: Objective::RatioBelow {
+                    bad_series: "pipeline_late_dropped_total{topic=vitals}".to_string(),
+                    total_series: "pipeline_records_in_total{topic=vitals}".to_string(),
+                    max_ratio: 0.001,
+                },
+                budget: 0.1,
+                period_us: 5_000_000,
+                rules: vec![BurnRule {
+                    name: "fast".to_string(),
+                    short_us: 100_000,
+                    long_us: 250_000,
+                    factor: 2.0,
+                }],
+            },
+        ],
+        ..WatchConfig::default()
+    }
+}
+
+/// [`run_traced`] under live health monitoring: stage boundaries tick
+/// the session's rollup clock, the detect stage reports one observed
+/// cycle per [`WATCH_CHUNK`] records, and every detected episode's
+/// sample-to-alert latency lands in
+/// `alert_latency_us{scenario=healthcare}` for the declared SLOs to
+/// grade. The session is finished when the run ends.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_watched(
+    params: &HealthcareParams,
+    session: &mut WatchSession,
+) -> Result<HealthcareReport, CoreError> {
+    let registry = session.registry();
+    let recorder = session.recorder();
+    let report = run_inner(params, &registry, Some(&recorder), Some(session))?;
+    session.finish();
+    Ok(report)
 }
 
 fn run_inner(
     params: &HealthcareParams,
     registry: &Registry,
     recorder: Option<&FlightRecorder>,
+    mut watch: Option<&mut WatchSession>,
 ) -> Result<HealthcareReport, CoreError> {
     if params.patients == 0 {
         return Err(CoreError::InvalidScenario("patients must be positive"));
@@ -162,6 +271,9 @@ fn run_inner(
     generate_span.end();
     if let Some(f) = &flight {
         f.stage("healthcare/generate", generate_t0, clock.now_micros());
+    }
+    if let Some(s) = watch.as_deref_mut() {
+        s.tick_clock(&clock);
     }
 
     // Stream through the broker keyed by patient (per-patient order is
@@ -212,13 +324,20 @@ fn run_inner(
     if let Some(f) = &flight {
         f.stage("healthcare/stream", stream_t0, clock.now_micros());
     }
+    if let Some(s) = watch.as_deref_mut() {
+        s.tick_clock(&clock);
+    }
 
     // Per-(patient, sign) m-of-n threshold detectors.
     let detect_t0 = clock.now_micros();
     let detect_span = tracer.span("healthcare/detect");
     let mut detectors: HashMap<(u32, u8), ThresholdDetector> = HashMap::new();
     let mut alerts: Vec<(u32, augur_sensor::VitalSign, u64)> = Vec::new();
-    for r in &records {
+    // The clock advances one work unit per record *inside* the loop
+    // (same stage total as a bulk advance), so a watched session can
+    // observe the detect stage as per-chunk cycles.
+    let mut chunk_t0 = clock.now_micros();
+    for (i, r) in records.iter().enumerate() {
         let key = (r.patient, sign_idx(r.sign));
         let det = match detectors.entry(key) {
             Entry::Occupied(e) => e.into_mut(),
@@ -235,8 +354,19 @@ fn run_inner(
         if let Some(alert) = det.observe(r.t_us, r.value) {
             alerts.push((r.patient, r.sign, alert.t_us));
         }
+        clock.advance_micros(1);
+        if (i + 1) % WATCH_CHUNK == 0 {
+            if let Some(s) = watch.as_deref_mut() {
+                s.observe_cycle("healthcare", &clock, chunk_t0);
+                chunk_t0 = clock.now_micros();
+            }
+        }
     }
-    clock.advance_micros(records.len() as u64);
+    if records.len() % WATCH_CHUNK != 0 {
+        if let Some(s) = watch {
+            s.observe_cycle("healthcare", &clock, chunk_t0);
+        }
+    }
     detect_span.end();
     if let Some(f) = &flight {
         f.stage("healthcare/detect", detect_t0, clock.now_micros());
@@ -247,6 +377,11 @@ fn run_inner(
     let score_span = tracer.span("healthcare/score");
     let mut detected = 0usize;
     let mut latencies: Vec<f64> = Vec::new();
+    // Sample-to-alert latency distribution, for the declared
+    // `healthcare_alert_p95` objective (and anyone else scraping the
+    // registry). Sim time, microseconds.
+    let alert_latency =
+        registry.histogram_labeled("alert_latency_us", &[("scenario", "healthcare")]);
     for ep in &episodes {
         let hit = alerts
             .iter()
@@ -261,6 +396,7 @@ fn run_inner(
         if hit.is_finite() {
             detected += 1;
             latencies.push(hit);
+            alert_latency.record((hit * 1e6) as u64);
         }
     }
     let false_alarms = alerts

@@ -20,6 +20,15 @@
 //! per run (per frame, for tourism) with the stage work as children, all
 //! timestamped on the same manual clock — so two runs under the same
 //! seed produce byte-identical traces.
+//!
+//! Finally, each scenario declares its service-level objectives in a
+//! `watch_config(seed)` and exposes
+//! `run_watched(params, &mut WatchSession)`: the run reports observed
+//! cycles (frames, simulation steps, detector chunks, or stages) into
+//! an [`augur_watch::WatchSession`], whose rollup windows, SLO burn-rate
+//! verdicts, and alert events all advance on the scenario's manual
+//! clock — bit-reproducible under the seed, and servable live via
+//! [`augur_watch::WatchSession::serve`].
 
 pub mod healthcare;
 pub mod retail;

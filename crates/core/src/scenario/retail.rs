@@ -9,6 +9,9 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, Tracer};
+use augur_watch::{
+    BurnRule, Objective, RollupConfig, SloSpec, TierSpec, WatchConfig, WatchSession,
+};
 
 use augur_analytics::recommend::{evaluate, leave_one_out};
 use augur_analytics::{
@@ -125,7 +128,7 @@ pub fn run_instrumented(
     params: &RetailParams,
     registry: &Registry,
 ) -> Result<RetailReport, CoreError> {
-    run_inner(params, registry, None)
+    run_inner(params, registry, None, None)
 }
 
 /// [`run_instrumented`] plus causal flight-recorder emission: a root
@@ -141,13 +144,71 @@ pub fn run_traced(
     registry: &Registry,
     recorder: &FlightRecorder,
 ) -> Result<RetailReport, CoreError> {
-    run_inner(params, registry, Some(recorder))
+    run_inner(params, registry, Some(recorder), None)
+}
+
+/// The scenario's declared service-level objective: p95 stage latency
+/// (`frame_latency_us{scenario=retail}` — each of log/train/evaluate/
+/// session is one observed cycle) at or under 50 ms of modeled work, so
+/// the in-store recommender refresh stays interactive.
+pub fn watch_config(seed: u64) -> WatchConfig {
+    WatchConfig {
+        seed,
+        rollup: RollupConfig {
+            tiers: vec![
+                TierSpec {
+                    window_us: 100_000,
+                    capacity: 128,
+                },
+                TierSpec {
+                    window_us: 500_000,
+                    capacity: 32,
+                },
+            ],
+        },
+        slos: vec![SloSpec {
+            name: "retail_stage_p95".to_string(),
+            objective: Objective::LatencyQuantile {
+                series: "frame_latency_us{scenario=retail}".to_string(),
+                q: 0.95,
+                threshold_us: 50_000,
+            },
+            budget: 0.1,
+            period_us: 2_000_000,
+            rules: vec![BurnRule {
+                name: "fast".to_string(),
+                short_us: 200_000,
+                long_us: 500_000,
+                factor: 2.0,
+            }],
+        }],
+        ..WatchConfig::default()
+    }
+}
+
+/// [`run_traced`] under live health monitoring: each pipeline stage
+/// (log, train, evaluate, session) is reported to `session` as one
+/// observed cycle, and the session is finished when the run ends.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_watched(
+    params: &RetailParams,
+    session: &mut WatchSession,
+) -> Result<RetailReport, CoreError> {
+    let registry = session.registry();
+    let recorder = session.recorder();
+    let report = run_inner(params, &registry, Some(&recorder), Some(session))?;
+    session.finish();
+    Ok(report)
 }
 
 fn run_inner(
     params: &RetailParams,
     registry: &Registry,
     recorder: Option<&FlightRecorder>,
+    mut watch: Option<&mut WatchSession>,
 ) -> Result<RetailReport, CoreError> {
     if params.users == 0 || params.groups == 0 || params.products_per_group == 0 {
         return Err(CoreError::InvalidScenario("retail sizes must be positive"));
@@ -166,6 +227,9 @@ fn run_inner(
     if let Some(f) = &flight {
         f.stage("retail/log", log_t0, clock.now_micros());
     }
+    if let Some(s) = watch.as_deref_mut() {
+        s.observe_cycle("retail", &clock, log_t0);
+    }
 
     let train_t0 = clock.now_micros();
     let train_span = tracer.span("retail/train");
@@ -178,6 +242,9 @@ fn run_inner(
     if let Some(f) = &flight {
         f.stage("retail/train", train_t0, clock.now_micros());
     }
+    if let Some(s) = watch.as_deref_mut() {
+        s.observe_cycle("retail", &clock, train_t0);
+    }
 
     let eval_t0 = clock.now_micros();
     let eval_span = tracer.span("retail/evaluate");
@@ -188,6 +255,9 @@ fn run_inner(
     eval_span.end();
     if let Some(f) = &flight {
         f.stage("retail/evaluate", eval_t0, clock.now_micros());
+    }
+    if let Some(s) = watch.as_deref_mut() {
+        s.observe_cycle("retail", &clock, eval_t0);
     }
 
     // AR session: shopper 0 walks an aisle; their top-k recommendations
@@ -246,6 +316,9 @@ fn run_inner(
     let decluttered = LayoutMetrics::measure(&labels, &greedy_layout(&labels, vp));
     clock.advance_micros((directives.len() + labels.len()) as u64);
     session_span.end();
+    if let Some(s) = watch {
+        s.observe_cycle("retail", &clock, session_t0);
+    }
     if let Some(f) = flight {
         f.stage("retail/session", session_t0, clock.now_micros());
         f.finish(clock.now_micros());

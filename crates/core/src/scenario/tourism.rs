@@ -11,6 +11,9 @@ use serde::{Deserialize, Serialize};
 use augur_telemetry::{
     FlightRecorder, ManualTime, NameId, Registry, TimeSource, TraceContext, Tracer,
 };
+use augur_watch::{
+    BurnRule, Objective, RollupConfig, SloSpec, TierSpec, WatchConfig, WatchSession,
+};
 
 use augur_geo::{poi::synthetic_database, CityModel, CityParams, Enu, GeoPoint, LocalFrame};
 use augur_render::{
@@ -100,7 +103,7 @@ pub fn run_instrumented(
     params: &TourismParams,
     registry: &Registry,
 ) -> Result<TourismReport, CoreError> {
-    run_inner(params, registry, None)
+    run_inner(params, registry, None, None)
 }
 
 /// [`run_instrumented`] plus causal flight-recorder emission: each
@@ -118,7 +121,84 @@ pub fn run_traced(
     registry: &Registry,
     recorder: &FlightRecorder,
 ) -> Result<TourismReport, CoreError> {
-    run_inner(params, registry, Some(recorder))
+    run_inner(params, registry, Some(recorder), None)
+}
+
+/// The scenario's declared service-level objectives: a 60 FPS frame
+/// budget — p95 of `frame_latency_us{scenario=tourism}` at or under
+/// 16.6 ms of modeled work — guarded by a fast and a slow multi-window
+/// burn-rate rule. Rollup windows are sized so one frame fits inside a
+/// tier-0 window even under heavy fault injection (see
+/// [`WatchConfig::inject_cycle_delay_us`]); a sustained regression
+/// therefore marks consecutive windows bad instead of diluting across
+/// empty ones.
+pub fn watch_config(seed: u64) -> WatchConfig {
+    WatchConfig {
+        seed,
+        rollup: RollupConfig {
+            tiers: vec![
+                TierSpec {
+                    window_us: 50_000,
+                    capacity: 256,
+                },
+                TierSpec {
+                    window_us: 250_000,
+                    capacity: 64,
+                },
+                TierSpec {
+                    window_us: 1_000_000,
+                    capacity: 32,
+                },
+            ],
+        },
+        slos: vec![SloSpec {
+            name: "tourism_frame_p95".to_string(),
+            objective: Objective::LatencyQuantile {
+                series: "frame_latency_us{scenario=tourism}".to_string(),
+                q: 0.95,
+                threshold_us: 16_600,
+            },
+            budget: 0.1,
+            period_us: 5_000_000,
+            rules: vec![
+                BurnRule {
+                    name: "fast".to_string(),
+                    short_us: 100_000,
+                    long_us: 250_000,
+                    factor: 2.0,
+                },
+                BurnRule {
+                    name: "slow".to_string(),
+                    short_us: 250_000,
+                    long_us: 1_000_000,
+                    factor: 1.0,
+                },
+            ],
+        }],
+        ..WatchConfig::default()
+    }
+}
+
+/// [`run_traced`] under live health monitoring: every rendered frame is
+/// reported to `session` as an observed cycle (so the session's rollup
+/// windows, SLO verdicts, and burn-rate alerts advance on the scenario's
+/// own manual clock), and the session is finished when the run ends. The
+/// session's registry receives the scenario instrumentation and its
+/// flight ring the causal trace, so alert instants emitted by the SLO
+/// engine appear beside the frame spans they indict.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_watched(
+    params: &TourismParams,
+    session: &mut WatchSession,
+) -> Result<TourismReport, CoreError> {
+    let registry = session.registry();
+    let recorder = session.recorder();
+    let report = run_inner(params, &registry, Some(&recorder), Some(session))?;
+    session.finish();
+    Ok(report)
 }
 
 /// Interned frame-stage names, so the per-frame loop never takes the
@@ -135,6 +215,7 @@ fn run_inner(
     params: &TourismParams,
     registry: &Registry,
     recorder: Option<&FlightRecorder>,
+    mut watch: Option<&mut WatchSession>,
 ) -> Result<TourismReport, CoreError> {
     if params.pois == 0 || params.k == 0 {
         return Err(CoreError::InvalidScenario("pois and k must be positive"));
@@ -164,6 +245,9 @@ fn run_inner(
     setup_span.end();
     if let Some(f) = &flight {
         f.stage("tourism/setup", setup_t0, clock.now_micros());
+    }
+    if let Some(s) = watch.as_deref_mut() {
+        s.tick_clock(&clock);
     }
 
     // Ground truth walk + fused tracking.
@@ -196,6 +280,9 @@ fn run_inner(
     tracking_span.end();
     if let Some(f) = &flight {
         f.stage("tourism/tracking", tracking_t0, clock.now_micros());
+    }
+    if let Some(s) = watch.as_deref_mut() {
+        s.tick_clock(&clock);
     }
     let tracking_error_m = truth
         .iter()
@@ -306,6 +393,15 @@ fn run_inner(
                 layout_t0,
                 clock.now_micros() - layout_t0,
             );
+        }
+        // Observe the frame cycle before closing its span, so injected
+        // fault latency (which advances the clock) inflates the recorded
+        // `tourism/frame` span — the regression is causally visible in
+        // the trace, not just in the SLO verdicts.
+        if let Some(s) = watch.as_deref_mut() {
+            s.observe_cycle("tourism", &clock, frame_t0);
+        }
+        if let Some(w) = &wire {
             w.rec
                 .record_span(frame_ctx, w.frame, frame_t0, clock.now_micros() - frame_t0);
         }

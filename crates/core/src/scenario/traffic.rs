@@ -14,6 +14,9 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, Tracer};
+use augur_watch::{
+    BurnRule, Objective, RollupConfig, SloSpec, TierSpec, WatchConfig, WatchSession,
+};
 
 use augur_geo::{CityModel, CityParams, Enu};
 use augur_sensor::{RoadGridWalk, Trajectory};
@@ -130,7 +133,7 @@ pub fn run_instrumented(
     params: &TrafficParams,
     registry: &Registry,
 ) -> Result<TrafficReport, CoreError> {
-    run_inner(params, registry, None)
+    run_inner(params, registry, None, None)
 }
 
 /// [`run_instrumented`] plus causal flight-recorder emission: a root
@@ -146,13 +149,71 @@ pub fn run_traced(
     registry: &Registry,
     recorder: &FlightRecorder,
 ) -> Result<TrafficReport, CoreError> {
-    run_inner(params, registry, Some(recorder))
+    run_inner(params, registry, Some(recorder), None)
+}
+
+/// The scenario's declared service-level objective: p95 per-step beacon
+/// processing latency (`frame_latency_us{scenario=traffic}`, modeled
+/// one work unit per beacon sent) at or under 10 ms — the windshield
+/// display must keep up with the VANET fan-out.
+pub fn watch_config(seed: u64) -> WatchConfig {
+    WatchConfig {
+        seed,
+        rollup: RollupConfig {
+            tiers: vec![
+                TierSpec {
+                    window_us: 50_000,
+                    capacity: 256,
+                },
+                TierSpec {
+                    window_us: 250_000,
+                    capacity: 64,
+                },
+            ],
+        },
+        slos: vec![SloSpec {
+            name: "traffic_step_p95".to_string(),
+            objective: Objective::LatencyQuantile {
+                series: "frame_latency_us{scenario=traffic}".to_string(),
+                q: 0.95,
+                threshold_us: 10_000,
+            },
+            budget: 0.1,
+            period_us: 5_000_000,
+            rules: vec![BurnRule {
+                name: "fast".to_string(),
+                short_us: 100_000,
+                long_us: 250_000,
+                factor: 2.0,
+            }],
+        }],
+        ..WatchConfig::default()
+    }
+}
+
+/// [`run_traced`] under live health monitoring: every simulation step
+/// is reported to `session` as an observed cycle, and the session is
+/// finished when the run ends.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_watched(
+    params: &TrafficParams,
+    session: &mut WatchSession,
+) -> Result<TrafficReport, CoreError> {
+    let registry = session.registry();
+    let recorder = session.recorder();
+    let report = run_inner(params, &registry, Some(&recorder), Some(session))?;
+    session.finish();
+    Ok(report)
 }
 
 fn run_inner(
     params: &TrafficParams,
     registry: &Registry,
     recorder: Option<&FlightRecorder>,
+    mut watch: Option<&mut WatchSession>,
 ) -> Result<TrafficReport, CoreError> {
     if params.vehicles < 2 {
         return Err(CoreError::InvalidScenario("need at least two vehicles"));
@@ -196,6 +257,9 @@ fn run_inner(
     if let Some(f) = &flight {
         f.stage("traffic/setup", setup_t0, clock.now_micros());
     }
+    if let Some(s) = watch.as_deref_mut() {
+        s.tick_clock(&clock);
+    }
 
     let simulate_t0 = clock.now_micros();
     let simulate_span = tracer.span("traffic/simulate");
@@ -213,6 +277,8 @@ fn run_inner(
     let mut states: Vec<augur_sensor::MotionState> = walkers.iter().map(|w| w.state()).collect();
     for step in 0..steps {
         let now_s = step as f64 * params.dt_s;
+        let step_t0 = clock.now_micros();
+        let beacons_before = beacons_delivered + beacons_lost;
         for (state, w) in states.iter_mut().zip(walkers.iter_mut()) {
             *state = w.step(params.dt_s);
         }
@@ -272,9 +338,15 @@ fn run_inner(
                 }
             }
         }
+        // One work unit per beacon sent this step; advancing inside the
+        // loop (same stage total as a bulk advance) lets a watched
+        // session observe each simulation step as a cycle.
+        clock.advance_micros(beacons_delivered + beacons_lost - beacons_before);
+        if let Some(s) = watch.as_deref_mut() {
+            s.observe_cycle("traffic", &clock, step_t0);
+        }
     }
 
-    clock.advance_micros(beacons_delivered + beacons_lost);
     simulate_span.end();
     if let Some(f) = &flight {
         f.stage("traffic/simulate", simulate_t0, clock.now_micros());

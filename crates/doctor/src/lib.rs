@@ -28,6 +28,9 @@ use std::path::Path;
 
 use augur_semantic::json::JsonValue;
 
+/// Trend fitting over snapshot histories (`--trend`).
+pub mod trend;
+
 /// Which tolerance rule a metric falls under, derived from its name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricClass {

@@ -2,30 +2,45 @@
 //!
 //! ```text
 //! augur-doctor --baseline results/baseline --current results [--json results/doctor.json]
+//! augur-doctor --trend results/baseline/history
 //! ```
 //!
-//! Compares every bench snapshot present in BOTH directories (the
-//! intersection rule: wall-clock benches without a committed baseline
-//! never flake the gate), prints a markdown verdict, optionally writes a
-//! JSON verdict, and exits 0 when clean, 1 on any regression, 2 on
-//! usage or I/O errors.
+//! Pairwise mode compares every bench snapshot present in BOTH
+//! directories (the intersection rule: wall-clock benches without a
+//! committed baseline never flake the gate), prints a markdown verdict,
+//! optionally writes a JSON verdict, and exits 0 when clean, 1 on any
+//! regression, 2 on usage or I/O errors.
+//!
+//! Trend mode (`--trend`, exclusive with the pairwise flags) fits every
+//! snapshot history under one directory — files ordered by name, grouped
+//! by bench — and exits 1 on **sustained drift**: a metric whose fitted
+//! worsening across the whole history exceeds its class tolerance, even
+//! when every individual step was inside tolerance.
 
 use std::path::PathBuf;
 
+use augur_doctor::trend::{has_drift, render_trend_markdown, run_trend};
 use augur_doctor::{has_regressions, render_json, render_markdown, run_gate, Tolerances};
 
-struct Args {
-    baseline: PathBuf,
-    current: PathBuf,
-    json_out: Option<PathBuf>,
+enum Mode {
+    Pairwise {
+        baseline: PathBuf,
+        current: PathBuf,
+        json_out: Option<PathBuf>,
+    },
+    Trend {
+        history: PathBuf,
+    },
 }
 
-const USAGE: &str = "usage: augur-doctor --baseline <dir> --current <dir> [--json <path>]";
+const USAGE: &str = "usage: augur-doctor --baseline <dir> --current <dir> [--json <path>]\n\
+       augur-doctor --trend <dir>";
 
-fn parse_args() -> Result<Args, String> {
+fn parse_args() -> Result<Mode, String> {
     let mut baseline = None;
     let mut current = None;
     let mut json_out = None;
+    let mut trend = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -36,11 +51,20 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => baseline = Some(PathBuf::from(take("--baseline")?)),
             "--current" => current = Some(PathBuf::from(take("--current")?)),
             "--json" => json_out = Some(PathBuf::from(take("--json")?)),
+            "--trend" => trend = Some(PathBuf::from(take("--trend")?)),
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
     }
-    Ok(Args {
+    if let Some(history) = trend {
+        if baseline.is_some() || current.is_some() || json_out.is_some() {
+            return Err(format!(
+                "--trend is exclusive with --baseline/--current/--json\n{USAGE}"
+            ));
+        }
+        return Ok(Mode::Trend { history });
+    }
+    Ok(Mode::Pairwise {
         baseline: baseline.ok_or_else(|| format!("--baseline is required\n{USAGE}"))?,
         current: current.ok_or_else(|| format!("--current is required\n{USAGE}"))?,
         json_out,
@@ -48,36 +72,59 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn run() -> i32 {
-    let args = match parse_args() {
-        Ok(a) => a,
+    let mode = match parse_args() {
+        Ok(m) => m,
         Err(msg) => {
             eprintln!("{msg}");
             return 2;
         }
     };
-    let comps = match run_gate(&args.baseline, &args.current, &Tolerances::default()) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!(
-                "augur-doctor: failed reading {} / {}: {e}",
-                args.baseline.display(),
-                args.current.display()
-            );
-            return 2;
+    match mode {
+        Mode::Trend { history } => {
+            let reports = match run_trend(&history, &Tolerances::default()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("augur-doctor: failed reading {}: {e}", history.display());
+                    return 2;
+                }
+            };
+            print!("{}", render_trend_markdown(&reports));
+            if has_drift(&reports) {
+                1
+            } else {
+                0
+            }
         }
-    };
-    print!("{}", render_markdown(&comps));
-    if let Some(path) = &args.json_out {
-        if let Err(e) = std::fs::write(path, render_json(&comps)) {
-            eprintln!("augur-doctor: failed writing {}: {e}", path.display());
-            return 2;
+        Mode::Pairwise {
+            baseline,
+            current,
+            json_out,
+        } => {
+            let comps = match run_gate(&baseline, &current, &Tolerances::default()) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!(
+                        "augur-doctor: failed reading {} / {}: {e}",
+                        baseline.display(),
+                        current.display()
+                    );
+                    return 2;
+                }
+            };
+            print!("{}", render_markdown(&comps));
+            if let Some(path) = &json_out {
+                if let Err(e) = std::fs::write(path, render_json(&comps)) {
+                    eprintln!("augur-doctor: failed writing {}: {e}", path.display());
+                    return 2;
+                }
+                println!("\nverdict JSON: {}", path.display());
+            }
+            if has_regressions(&comps) {
+                1
+            } else {
+                0
+            }
         }
-        println!("\nverdict JSON: {}", path.display());
-    }
-    if has_regressions(&comps) {
-        1
-    } else {
-        0
     }
 }
 

@@ -1,0 +1,385 @@
+//! Trend analysis over a snapshot history directory.
+//!
+//! The pairwise gate in [`crate::compare`] only sees two snapshots, so a
+//! slow leak — say +4% p95 per release, forever — never trips it: each
+//! step is inside the 15% latency tolerance. `--trend` closes that hole.
+//! It loads every `*.json` snapshot under one directory, orders them by
+//! filename (the convention: zero-padded sequence or timestamp
+//! prefixes), groups them by bench, fits a least-squares line to every
+//! gated metric, and flags **sustained drift**: the fitted worsening
+//! over the whole history exceeds the class tolerance relative to the
+//! first sample, and most steps move in the worsening direction — even
+//! when every individual step is inside tolerance.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::{classify, BenchDoc, MetricClass, Tolerances};
+
+/// Minimum history length for a trend fit. With two points a "trend" is
+/// just a pairwise diff, which the ordinary gate already covers.
+pub const MIN_SNAPSHOTS: usize = 3;
+
+/// Fraction of inter-snapshot steps that must move in the worsening
+/// direction for a drift to count as sustained (noise around a flat
+/// line worsens ~half its steps; a leak worsens nearly all of them).
+pub const SUSTAINED_STEP_FRACTION: f64 = 0.6;
+
+/// One metric's fitted trend across the history.
+#[derive(Debug, Clone)]
+pub struct TrendFinding {
+    /// The metric identity key (`name{labels}` or `….p95`).
+    pub metric: String,
+    /// Tolerance class the metric fell under.
+    pub class: MetricClass,
+    /// Value in the oldest snapshot.
+    pub first: f64,
+    /// Value in the newest snapshot.
+    pub last: f64,
+    /// Least-squares slope per snapshot step, oriented so positive =
+    /// worse for the metric's class.
+    pub worse_per_step: f64,
+    /// Steps that moved in the worsening direction.
+    pub worsening_steps: usize,
+    /// Total inter-snapshot steps.
+    pub steps: usize,
+    /// Whether this metric drifts (see module docs).
+    pub drifting: bool,
+}
+
+/// One bench's trend verdict (or the reason it was skipped).
+#[derive(Debug, Clone)]
+pub struct TrendReport {
+    /// The bench name.
+    pub bench: String,
+    /// Snapshots in the fitted history.
+    pub snapshots: usize,
+    /// When `Some`, the bench was not fitted and this is the reason.
+    pub skipped: Option<String>,
+    /// Per-metric findings (empty when skipped).
+    pub findings: Vec<TrendFinding>,
+}
+
+impl TrendReport {
+    /// Findings that fail the trend gate.
+    pub fn drifts(&self) -> impl Iterator<Item = &TrendFinding> {
+        self.findings.iter().filter(|f| f.drifting)
+    }
+}
+
+/// Loads every `*.json` snapshot under `dir`, sorted by filename, and
+/// groups them by bench name in file order — so a history directory of
+/// `001_run.json`, `002_run.json`, … yields chronological series.
+/// Non-snapshot JSON artefacts are skipped.
+///
+/// # Errors
+///
+/// Propagates directory-read failures; unreadable files are skipped.
+pub fn load_history(dir: &Path) -> io::Result<BTreeMap<String, Vec<BenchDoc>>> {
+    let mut histories: BTreeMap<String, Vec<BenchDoc>> = BTreeMap::new();
+    let mut paths: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    paths.sort();
+    for path in paths {
+        if path.extension().and_then(|e| e.to_str()) != Some("json") || !path.is_file() {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        if let Ok(doc) = crate::parse_snapshot(&text) {
+            histories.entry(doc.bench.clone()).or_default().push(doc);
+        }
+    }
+    Ok(histories)
+}
+
+/// Fits one bench's chronological history. Metrics must be present in
+/// every snapshot to be fitted (the intersection rule, extended over the
+/// whole series); mismatched params skip the bench — a changed workload
+/// is not a drift.
+pub fn analyze(bench: &str, history: &[BenchDoc], tol: &Tolerances) -> TrendReport {
+    if history.len() < MIN_SNAPSHOTS {
+        return TrendReport {
+            bench: bench.to_string(),
+            snapshots: history.len(),
+            skipped: Some(format!(
+                "need at least {MIN_SNAPSHOTS} snapshots, have {}",
+                history.len()
+            )),
+            findings: Vec::new(),
+        };
+    }
+    let first = &history[0];
+    if history.iter().any(|d| d.params != first.params) {
+        return TrendReport {
+            bench: bench.to_string(),
+            snapshots: history.len(),
+            skipped: Some("params changed across the history; not comparable".to_string()),
+            findings: Vec::new(),
+        };
+    }
+    let steps = history.len() - 1;
+    let mut findings = Vec::new();
+    for (key, &v0) in &first.metrics {
+        let values: Vec<f64> = history
+            .iter()
+            .filter_map(|d| d.metrics.get(key).copied())
+            .collect();
+        if values.len() != history.len() {
+            continue; // not present in every snapshot
+        }
+        let class = classify(key);
+        // Orient the series so an increase means "worse".
+        let (rule, sign) = match class {
+            MetricClass::Latency => (tol.latency, 1.0),
+            MetricClass::Drop => (tol.drops, 1.0),
+            MetricClass::Throughput => (tol.throughput, -1.0),
+            MetricClass::Count => continue,
+        };
+        let oriented: Vec<f64> = values.iter().map(|v| v * sign).collect();
+        let slope = least_squares_slope(&oriented);
+        let worsening_steps = oriented.windows(2).filter(|w| w[1] > w[0]).count();
+        // Sustained drift: the fitted worsening across the whole span
+        // exceeds the class tolerance (relative to the first sample),
+        // and most steps worsen.
+        let fitted_worsening = slope * steps as f64;
+        let drifting = !rule.allows(v0, fitted_worsening)
+            && (worsening_steps as f64) >= SUSTAINED_STEP_FRACTION * steps as f64;
+        findings.push(TrendFinding {
+            metric: key.clone(),
+            class,
+            first: v0,
+            last: values[values.len() - 1],
+            worse_per_step: slope,
+            worsening_steps,
+            steps,
+            drifting,
+        });
+    }
+    TrendReport {
+        bench: bench.to_string(),
+        snapshots: history.len(),
+        skipped: None,
+        findings,
+    }
+}
+
+/// Runs the trend gate over a history directory: one report per bench.
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn run_trend(dir: &Path, tol: &Tolerances) -> io::Result<Vec<TrendReport>> {
+    let histories = load_history(dir)?;
+    Ok(histories
+        .iter()
+        .map(|(bench, history)| analyze(bench, history, tol))
+        .collect())
+}
+
+/// Whether any report carries a drifting metric.
+pub fn has_drift(reports: &[TrendReport]) -> bool {
+    reports.iter().any(|r| r.drifts().next().is_some())
+}
+
+/// Renders the markdown trend report.
+pub fn render_trend_markdown(reports: &[TrendReport]) -> String {
+    let mut out = String::from("# augur-doctor trend verdict\n\n");
+    if reports.is_empty() {
+        out.push_str("No snapshot histories to fit.\n");
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "**{}** — {} bench histor(y/ies) fitted.\n",
+        if has_drift(reports) { "DRIFT" } else { "OK" },
+        reports.len()
+    );
+    for r in reports {
+        if let Some(reason) = &r.skipped {
+            let _ = writeln!(
+                out,
+                "- `{}` ({} snapshot(s)): **skipped** — {reason}",
+                r.bench, r.snapshots
+            );
+            continue;
+        }
+        let drifts: Vec<&TrendFinding> = r.drifts().collect();
+        let _ = writeln!(
+            out,
+            "- `{}` ({} snapshots): {} metric(s) fitted, {} drifting",
+            r.bench,
+            r.snapshots,
+            r.findings.len(),
+            drifts.len()
+        );
+        if !drifts.is_empty() {
+            out.push_str("\n  | metric | class | first | last | worse/step | worsening steps |\n");
+            out.push_str("  |---|---|---|---|---|---|\n");
+            for f in drifts {
+                let _ = writeln!(
+                    out,
+                    "  | `{}` | {} | {} | {} | {:.3} | {}/{} |",
+                    f.metric,
+                    f.class.label(),
+                    f.first,
+                    f.last,
+                    f.worse_per_step,
+                    f.worsening_steps,
+                    f.steps
+                );
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Least-squares slope of `values` against their indices 0..n. Returns
+/// 0 for histories shorter than two points (callers guard anyway).
+fn least_squares_slope(values: &[f64]) -> f64 {
+    let n = values.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mean_x = (nf - 1.0) / 2.0;
+    let mean_y = values.iter().sum::<f64>() / nf;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (i, v) in values.iter().enumerate() {
+        let dx = i as f64 - mean_x;
+        num += dx * (v - mean_y);
+        den += dx * dx;
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_snapshot;
+
+    fn snapshot(bench: &str, p95: f64, throughput: f64) -> String {
+        format!(
+            concat!(
+                "{{\"bench\":\"{}\",\"params\":{{\"events\":1000}},\"metrics\":{{",
+                "\"counters\":[],",
+                "\"gauges\":[{{\"name\":\"pipeline_throughput_rps\",\"labels\":{{}},\"value\":{}}}],",
+                "\"histograms\":[{{\"name\":\"record_latency_ns\",\"labels\":{{}},",
+                "\"count\":1000,\"sum\":50000,\"min\":10,\"max\":900,\"mean\":50,",
+                "\"p50\":40,\"p90\":80,\"p95\":{},\"p99\":200}}]}}}}"
+            ),
+            bench, throughput, p95
+        )
+    }
+
+    fn doc(p95: f64, throughput: f64) -> BenchDoc {
+        match parse_snapshot(&snapshot("e_trend", p95, throughput)) {
+            Ok(d) => d,
+            Err(e) => unreachable!("fixture must parse: {e}"),
+        }
+    }
+
+    #[test]
+    fn slope_fits_a_line() {
+        assert!((least_squares_slope(&[1.0, 2.0, 3.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(least_squares_slope(&[5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(least_squares_slope(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn sustained_drift_fires_even_when_each_step_is_inside_tolerance() {
+        // +6% per step for 5 steps: every pairwise step is inside the
+        // 15% latency tolerance, but the cumulative fit is ~+34%.
+        let history: Vec<BenchDoc> = (0..6)
+            .map(|i| doc(100.0 * 1.06f64.powi(i), 5000.0))
+            .collect();
+        // Pairwise gate sees nothing step to step.
+        for w in history.windows(2) {
+            let comp = crate::compare(&w[0], &w[1], &Tolerances::default());
+            assert!(
+                comp.regressions().next().is_none(),
+                "steps inside tolerance"
+            );
+        }
+        let report = analyze("e_trend", &history, &Tolerances::default());
+        let drifts: Vec<_> = report.drifts().collect();
+        assert_eq!(drifts.len(), 1, "findings: {:?}", report.findings);
+        assert_eq!(drifts[0].metric, "record_latency_ns.p95");
+        assert_eq!(drifts[0].worsening_steps, 5);
+        assert!(has_drift(&[report]));
+    }
+
+    #[test]
+    fn throughput_decay_drifts_and_growth_does_not() {
+        let decay: Vec<BenchDoc> = (0..6)
+            .map(|i| doc(100.0, 5000.0 * 0.94f64.powi(i)))
+            .collect();
+        let report = analyze("e_trend", &decay, &Tolerances::default());
+        assert!(report
+            .drifts()
+            .any(|f| f.metric == "pipeline_throughput_rps"));
+
+        let growth: Vec<BenchDoc> = (0..6)
+            .map(|i| doc(100.0, 5000.0 * 1.06f64.powi(i)))
+            .collect();
+        let report = analyze("e_trend", &growth, &Tolerances::default());
+        assert!(!has_drift(&[report]));
+    }
+
+    #[test]
+    fn noise_without_direction_does_not_drift() {
+        // Alternating around a flat line: only half the steps worsen.
+        let values = [100.0, 108.0, 98.0, 109.0, 97.0, 110.0];
+        let history: Vec<BenchDoc> = values.iter().map(|&v| doc(v, 5000.0)).collect();
+        let report = analyze("e_trend", &history, &Tolerances::default());
+        assert!(
+            !has_drift(&[report]),
+            "3/5 worsening steps is below the sustained fraction"
+        );
+    }
+
+    #[test]
+    fn short_or_mismatched_histories_are_skipped() {
+        let short = vec![doc(100.0, 5000.0), doc(200.0, 5000.0)];
+        let report = analyze("e_trend", &short, &Tolerances::default());
+        assert!(report.skipped.is_some());
+        assert!(!has_drift(&[report]));
+
+        let mut changed = vec![doc(100.0, 5000.0), doc(100.0, 5000.0), doc(100.0, 5000.0)];
+        changed[2].params.insert("events".into(), "2000".into());
+        let report = analyze("e_trend", &changed, &Tolerances::default());
+        assert!(report.skipped.is_some());
+    }
+
+    #[test]
+    fn trend_gate_runs_over_a_directory_and_renders() {
+        let dir = std::env::temp_dir().join("augur-doctor-trend-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for i in 0..5 {
+            std::fs::write(
+                dir.join(format!("{i:03}_run.json")),
+                snapshot("e_trend", 100.0 * 1.08f64.powi(i), 5000.0),
+            )
+            .unwrap();
+        }
+        std::fs::write(dir.join("weird.trace.json"), "[]").unwrap();
+        let reports = run_trend(&dir, &Tolerances::default()).unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(has_drift(&reports));
+        let md = render_trend_markdown(&reports);
+        assert!(md.contains("DRIFT"), "markdown: {md}");
+        assert!(md.contains("record_latency_ns.p95"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -76,8 +76,8 @@ pub use export::{
 };
 /// The flight recorder and its drained event type.
 pub use flight::{FlightEvent, FlightEventKind, FlightRecorder, NameId, TraceSpan};
-/// Lock-free instruments.
-pub use metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+/// Lock-free instruments and the bucket-layout helper for aggregators.
+pub use metric::{bucket_midpoint, Counter, Gauge, Histogram, HistogramSnapshot};
 /// Labeled metric families and snapshots.
 pub use registry::{
     CounterSnapshot, GaugeSnapshot, HistogramFamilySnapshot, Labels, Registry, RegistrySnapshot,

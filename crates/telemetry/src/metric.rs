@@ -180,6 +180,15 @@ fn bucket_index(v: u64) -> usize {
     }
 }
 
+/// Midpoint value represented by bucket `idx` — the inverse of the
+/// internal bucket-index mapping up to the documented 1/32 error bound.
+/// Public so downstream aggregators (the `augur-watch` rollup engine)
+/// can interpret the sparse readout from [`Histogram::nonzero_buckets`]
+/// without re-deriving the bucket layout.
+pub fn bucket_midpoint(idx: usize) -> u64 {
+    bucket_value(idx)
+}
+
 /// Midpoint value represented by bucket `idx` (inverse of
 /// [`bucket_index`] up to the documented error bound).
 fn bucket_value(idx: usize) -> u64 {
@@ -267,6 +276,24 @@ impl Histogram {
             .filter(|(i, _)| *i > start)
             .map(|(_, b)| b.load(Ordering::Relaxed))
             .sum()
+    }
+
+    /// The non-empty buckets as `(bucket_index, count)` pairs, in index
+    /// order, together with the totals needed to reconstruct windowed
+    /// deltas: `(buckets, count, sum)`. The sparse form is what rollup
+    /// engines persist per window — a handful of pairs instead of the
+    /// full dense bucket array. Interpret indexes with
+    /// [`bucket_midpoint`]; counts are relaxed loads, so a concurrent
+    /// writer may leave the totals off by in-flight samples.
+    pub fn nonzero_buckets(&self) -> (Vec<(u32, u64)>, u64, u64) {
+        let mut buckets = Vec::new();
+        for (idx, b) in self.inner.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((idx as u32, n));
+            }
+        }
+        (buckets, self.count(), self.sum())
     }
 
     /// Merges `other`'s samples into `self` bucket-by-bucket: counts and
@@ -419,6 +446,31 @@ mod tests {
         let before = a.snapshot();
         a.merge(&a.clone());
         assert_eq!(a.snapshot(), before);
+    }
+
+    #[test]
+    fn nonzero_buckets_round_trips_through_midpoints() {
+        let h = Histogram::new();
+        for v in [3u64, 3, 700, 1_000_000] {
+            h.record(v);
+        }
+        let (buckets, count, sum) = h.nonzero_buckets();
+        assert_eq!(count, 4);
+        assert_eq!(sum, 3 + 3 + 700 + 1_000_000);
+        assert_eq!(buckets.len(), 3, "two identical samples share a bucket");
+        let total: u64 = buckets.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, count);
+        for &(idx, _) in &buckets {
+            let mid = bucket_midpoint(idx as usize);
+            // Every reported bucket must sit near one of the samples.
+            assert!(
+                [3u64, 700, 1_000_000]
+                    .iter()
+                    .any(|v| mid.abs_diff(*v) <= v / 32 + 1),
+                "midpoint {mid} matches no recorded sample"
+            );
+        }
+        assert!(Histogram::new().nonzero_buckets().0.is_empty());
     }
 
     #[test]

@@ -183,6 +183,24 @@ impl Registry {
         }
     }
 
+    /// Live handles to every registered histogram, sorted by
+    /// `(name, labels)`. Unlike [`Registry::snapshot`], which bakes
+    /// quantiles into a [`HistogramSnapshot`], this hands back the shared
+    /// instruments themselves so an aggregator (the `augur-watch` rollup
+    /// engine) can read raw bucket contents and compute windowed deltas.
+    pub fn histogram_handles(&self) -> Vec<(String, Labels, Histogram)> {
+        let mut out: Vec<(String, Labels, Histogram)> = Vec::new();
+        for shard in &self.inner.shards {
+            for (k, v) in shard.read().iter() {
+                if let MetricEntry::Histogram(h) = v {
+                    out.push((k.name.clone(), k.labels.clone(), h.clone()));
+                }
+            }
+        }
+        out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        out
+    }
+
     /// Reads every registered metric, sorted by `(name, labels)`.
     pub fn snapshot(&self) -> RegistrySnapshot {
         let mut entries: Vec<(MetricKey, MetricEntry)> = Vec::new();
@@ -269,6 +287,27 @@ mod tests {
         assert_eq!(names, vec!["a_first", "z_last"]);
         assert_eq!(snap.histograms.len(), 1);
         assert_eq!(snap.histograms.first().map(|h| h.stats.count), Some(1));
+    }
+
+    #[test]
+    fn histogram_handles_are_live_and_sorted() {
+        let reg = Registry::new();
+        reg.histogram_labeled("lat", &[("s", "b")]).record(1);
+        reg.histogram_labeled("lat", &[("s", "a")]).record(1);
+        reg.histogram("alpha").record(1);
+        reg.counter("not_a_histogram").inc();
+        let handles = reg.histogram_handles();
+        let keys: Vec<(String, Labels)> = handles
+            .iter()
+            .map(|(n, l, _)| (n.clone(), l.clone()))
+            .collect();
+        assert_eq!(keys[0].0, "alpha");
+        assert_eq!(keys[1].1, vec![("s".to_string(), "a".to_string())]);
+        assert_eq!(keys[2].1, vec![("s".to_string(), "b".to_string())]);
+        // Handles are live: recording through the registry is visible.
+        reg.histogram("alpha").record(2);
+        let alpha = handles.iter().find(|(n, _, _)| n == "alpha");
+        assert_eq!(alpha.map(|(_, _, h)| h.count()), Some(2));
     }
 
     #[test]

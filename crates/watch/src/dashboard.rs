@@ -1,0 +1,170 @@
+//! Plain-text dashboard renderer for examples and the `/` route.
+//!
+//! No TUI dependency: a fixed-width SLO table followed by one sparkline
+//! per rolled-up series (tier 0, newest windows last). Output is fully
+//! deterministic for a deterministic session.
+
+use crate::rollup::{PointValue, RollupEngine, WindowPoint};
+use crate::slo::SloStatus;
+
+/// Sparkline glyphs, lowest to highest.
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Maximum series rows rendered (keeps example output readable).
+const MAX_SERIES: usize = 16;
+
+/// Windows shown per sparkline.
+const SPARK_WINDOWS: usize = 24;
+
+/// Renders the dashboard for the given verdicts and rollup state.
+pub fn render(statuses: &[SloStatus], rollup: &RollupEngine) -> String {
+    let mut out = String::new();
+    out.push_str("augur-watch dashboard\n");
+    out.push_str("=====================\n");
+    if statuses.is_empty() {
+        out.push_str("(no SLOs declared)\n");
+    } else {
+        out.push_str(&format!(
+            "{:<28} {:<9} {:>11} {:>9}  burn rules\n",
+            "SLO", "status", "bad/total", "budget"
+        ));
+        for s in statuses {
+            let status = if s.ok { "ok" } else { "VIOLATED" };
+            let mut rules = String::new();
+            for b in &s.burn {
+                if !rules.is_empty() {
+                    rules.push_str("  ");
+                }
+                rules.push_str(&format!(
+                    "{}={:.1}/{:.1}{}",
+                    b.rule,
+                    b.short_burn,
+                    b.long_burn,
+                    if b.firing { "!" } else { "" }
+                ));
+            }
+            out.push_str(&format!(
+                "{:<28} {:<9} {:>5}/{:<5} {:>8.1}%  {}\n",
+                truncate(&s.name, 28),
+                status,
+                s.bad_windows,
+                s.total_windows,
+                s.budget_remaining * 100.0,
+                rules
+            ));
+        }
+    }
+    out.push_str("\nseries (tier 0, oldest→newest)\n");
+    let keys = rollup.series_keys();
+    for key in keys.iter().take(MAX_SERIES) {
+        let points = rollup.series_points(key, 0);
+        if points.is_empty() {
+            continue;
+        }
+        let tail: Vec<&WindowPoint> = points
+            .iter()
+            .skip(points.len().saturating_sub(SPARK_WINDOWS))
+            .collect();
+        let values: Vec<f64> = tail.iter().map(|p| point_magnitude(&p.value)).collect();
+        let latest = values.last().copied().unwrap_or(0.0);
+        out.push_str(&format!(
+            "{:<44} {} latest={}\n",
+            truncate(key, 44),
+            sparkline(&values),
+            format_value(latest)
+        ));
+    }
+    if keys.len() > MAX_SERIES {
+        out.push_str(&format!("… and {} more series\n", keys.len() - MAX_SERIES));
+    }
+    out
+}
+
+/// Scalar magnitude plotted for one windowed value (histograms plot p95).
+fn point_magnitude(value: &PointValue) -> f64 {
+    match value {
+        PointValue::Counter(n) => *n as f64,
+        PointValue::Gauge(v) => {
+            if v.is_finite() {
+                *v
+            } else {
+                0.0
+            }
+        }
+        PointValue::Hist(h) => h.quantile(0.95) as f64,
+    }
+}
+
+/// Renders values as a max-normalized sparkline.
+fn sparkline(values: &[f64]) -> String {
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    values
+        .iter()
+        .map(|v| {
+            if max <= 0.0 || *v <= 0.0 {
+                BARS[0]
+            } else {
+                let level = ((v / max) * (BARS.len() - 1) as f64).round() as usize;
+                *BARS.get(level.min(BARS.len() - 1)).unwrap_or(&BARS[0])
+            }
+        })
+        .collect()
+}
+
+/// Compact human formatting for the latest value.
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Truncates long keys with an ellipsis.
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let head: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{head}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollup::{RollupConfig, TierSpec};
+    use augur_telemetry::Registry;
+
+    #[test]
+    fn dashboard_renders_slos_and_sparklines() {
+        let reg = Registry::new();
+        let config = RollupConfig {
+            tiers: vec![TierSpec {
+                window_us: 100,
+                capacity: 32,
+            }],
+        };
+        let mut rollup = RollupEngine::new(reg.clone(), config)
+            .unwrap_or_else(|e| unreachable!("valid config: {e}"));
+        let c = reg.counter("events_total");
+        for i in 1..=4u64 {
+            c.add(i);
+            rollup.tick(i * 100);
+        }
+        let text = render(&[], &rollup);
+        assert!(text.contains("(no SLOs declared)"));
+        assert!(text.contains("events_total"));
+        // Rising counter deltas end on the tallest bar.
+        assert!(text.contains('█'));
+        let rendered_twice = render(&[], &rollup);
+        assert_eq!(text, rendered_twice, "rendering is deterministic");
+    }
+
+    #[test]
+    fn sparkline_handles_flat_and_empty_input() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0.0, 0.0]), "▁▁");
+        assert_eq!(sparkline(&[5.0, 5.0]), "██");
+    }
+}

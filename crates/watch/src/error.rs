@@ -1,0 +1,27 @@
+//! Error type for watch configuration and serving.
+
+use std::fmt;
+
+/// Errors building or running a watch session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WatchError {
+    /// A configuration invariant was violated (tier layout, SLO windows).
+    InvalidConfig(String),
+}
+
+impl WatchError {
+    /// Shorthand for an [`WatchError::InvalidConfig`].
+    pub fn config(msg: impl Into<String>) -> WatchError {
+        WatchError::InvalidConfig(msg.into())
+    }
+}
+
+impl fmt::Display for WatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchError::InvalidConfig(msg) => write!(f, "invalid watch config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WatchError {}

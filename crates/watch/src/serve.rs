@@ -1,0 +1,280 @@
+//! The zero-dependency live endpoint.
+//!
+//! A [`WatchServer`] is a blocking `std::net` TCP listener on a
+//! dedicated thread — no async runtime — serving four routes from a
+//! session's shared state:
+//!
+//! | route      | payload                                             |
+//! |------------|-----------------------------------------------------|
+//! | `/metrics` | Prometheus text exposition of the live registry     |
+//! | `/health`  | JSON SLO verdicts; HTTP 503 when any rule is firing |
+//! | `/slo`     | JSON budget-remaining and burn rates per objective  |
+//! | `/`        | the plain-text dashboard                            |
+//!
+//! This file is the **sole sanctioned networking site** in the
+//! workspace: `augur-audit`'s `net-confined` rule denies raw `std::net`
+//! sockets everywhere else, mirroring the time-source rule.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use augur_telemetry::{escape_json, json_f64};
+
+use crate::session::{HealthReport, SharedState};
+use crate::slo::SloStatus;
+
+/// A running endpoint; shuts down (best effort) on drop.
+#[derive(Debug)]
+pub struct WatchServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WatchServer {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the serving thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        if let Ok(conn) = TcpStream::connect(self.addr) {
+            drop(conn);
+        }
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WatchServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+/// Binds `addr` and starts the accept loop.
+pub(crate) fn spawn(shared: Arc<SharedState>, addr: &str) -> io::Result<WatchServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("augur-watch-serve".to_string())
+        .spawn(move || {
+            accept_loop(&listener, &shared, &thread_stop);
+        })?;
+    Ok(WatchServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &SharedState, stop: &AtomicBool) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                handle_connection(stream, shared);
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Reads one request, routes it, writes one response, closes.
+fn handle_connection(mut stream: TcpStream, shared: &SharedState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut buf = [0u8; 2048];
+    let mut len = 0usize;
+    // Read until the header terminator or the buffer fills.
+    while len < buf.len() {
+        let n = match buf.get_mut(len..).map(|b| stream.read(b)) {
+            Some(Ok(0)) | None => break,
+            Some(Ok(n)) => n,
+            Some(Err(_)) => return,
+        };
+        len += n;
+        if buf.get(..len).is_some_and(contains_crlf2) {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(buf.get(..len).unwrap_or(&[]));
+    let path = request_path(&head).unwrap_or("/");
+    let (status, content_type, body) = route(path, shared);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Whether `buf` contains the `\r\n\r\n` header terminator.
+fn contains_crlf2(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n")
+}
+
+/// Extracts the request path from `GET <path> HTTP/1.1`.
+fn request_path(head: &str) -> Option<&str> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let _method = parts.next()?;
+    parts.next()
+}
+
+/// Routes a path to `(status line, content type, body)`.
+fn route(path: &str, shared: &SharedState) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            shared.registry.render_prometheus(),
+        ),
+        "/health" => {
+            let slos = shared.status.lock().clone();
+            let report = HealthReport {
+                ok: slos.iter().all(|s| s.ok),
+                slos,
+            };
+            let status = if report.ok {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            (status, "application/json", render_health_json(&report))
+        }
+        "/slo" => {
+            let slos = shared.status.lock().clone();
+            ("200 OK", "application/json", render_slo_json(&slos))
+        }
+        "/" => ("200 OK", "text/plain", shared.dashboard.lock().clone()),
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            String::from("not found; routes: /metrics /health /slo /\n"),
+        ),
+    }
+}
+
+/// The `/health` payload: aggregate verdict plus one line per SLO.
+pub fn render_health_json(report: &HealthReport) -> String {
+    let mut out = String::from("{\"status\":\"");
+    out.push_str(if report.ok { "ok" } else { "violated" });
+    out.push_str("\",\"slos\":[");
+    for (i, s) in report.slos.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ok\":{},\"last_window_good\":{},\"budget_remaining\":{}}}",
+            escape_json(&s.name),
+            s.ok,
+            s.last_window_good
+                .map(|g| g.to_string())
+                .unwrap_or_else(|| "null".to_string()),
+            json_f64(s.budget_remaining),
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// The `/slo` payload: budgets and burn rates per objective.
+pub fn render_slo_json(slos: &[SloStatus]) -> String {
+    let mut out = String::from("{\"slos\":[");
+    for (i, s) in slos.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ok\":{},\"bad_windows\":{},\"total_windows\":{},\"budget_consumed\":{},\"budget_remaining\":{},\"burn\":[",
+            escape_json(&s.name),
+            s.ok,
+            s.bad_windows,
+            s.total_windows,
+            json_f64(s.budget_consumed),
+            json_f64(s.budget_remaining),
+        ));
+        for (j, b) in s.burn.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"short_burn\":{},\"long_burn\":{},\"firing\":{}}}",
+                escape_json(&b.rule),
+                json_f64(b.short_burn),
+                json_f64(b.long_burn),
+                b.firing,
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_path_parses_and_rejects_garbage() {
+        assert_eq!(request_path("GET /health HTTP/1.1\r\n"), Some("/health"));
+        assert_eq!(request_path("POST / HTTP/1.1\r\n"), Some("/"));
+        assert_eq!(request_path(""), None);
+        assert_eq!(request_path("GET"), None);
+    }
+
+    #[test]
+    fn health_json_shapes() {
+        let report = HealthReport {
+            ok: true,
+            slos: Vec::new(),
+        };
+        assert_eq!(
+            render_health_json(&report),
+            "{\"status\":\"ok\",\"slos\":[]}"
+        );
+        let violated = HealthReport {
+            ok: false,
+            slos: vec![SloStatus {
+                name: "frame_p95".to_string(),
+                ok: false,
+                last_window_good: Some(false),
+                bad_windows: 3,
+                total_windows: 10,
+                budget_consumed: 1.5,
+                budget_remaining: 0.0,
+                burn: Vec::new(),
+            }],
+        };
+        let json = render_health_json(&violated);
+        assert!(json.contains("\"status\":\"violated\""));
+        assert!(json.contains("\"name\":\"frame_p95\""));
+        assert!(json.contains("\"budget_remaining\":0"));
+        let slo_json = render_slo_json(&violated.slos);
+        assert!(slo_json.contains("\"bad_windows\":3"));
+    }
+}

@@ -1,0 +1,345 @@
+//! The watch session: one observed run of an instrumented workload.
+//!
+//! A [`WatchSession`] owns the four moving parts the tentpole wires
+//! together — a telemetry [`Registry`], a [`FlightRecorder`], a
+//! [`RollupEngine`] sampling the registry into windowed series (with an
+//! instrumented [`LsmStore`](augur_store::LsmStore) cold sink), and an
+//! [`SloEngine`] grading each closed window. Scenarios drive it through
+//! [`WatchSession::observe_cycle`] once per frame/step; the session
+//! closes rollup windows as modeled time passes, evaluates SLOs, and
+//! emits burn-rate alert transitions onto the flight ring as children of
+//! the session's root span — so alerts are causally reachable in the
+//! exported Chrome trace.
+//!
+//! Everything is driven by the caller's clock. Under
+//! [`ManualTime`] the full observable output — rollup series, SLO
+//! verdicts, and the alert event sequence — is bit-for-bit reproducible
+//! for a fixed seed.
+
+use std::sync::Arc;
+
+use augur_store::{LsmParams, LsmStore};
+use augur_telemetry::{
+    FlightRecorder, Histogram, ManualTime, NameId, Registry, TimeSource, TraceContext,
+};
+use parking_lot::Mutex;
+
+use crate::error::WatchError;
+use crate::rollup::{RollupConfig, RollupEngine};
+use crate::serve::{self, WatchServer};
+use crate::slo::{SloEngine, SloSpec, SloStatus};
+
+/// Trace key salting the session's root context (`"WATC"`).
+const SESSION_TRACE_KEY: u64 = 0x5741_5443;
+
+/// Configuration for a [`WatchSession`].
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Seed deriving the session's deterministic trace identity.
+    pub seed: u64,
+    /// Rollup tier layout.
+    pub rollup: RollupConfig,
+    /// Declared objectives.
+    pub slos: Vec<SloSpec>,
+    /// Flight-recorder ring capacity (events).
+    pub flight_capacity: usize,
+    /// Fault injection: extra modeled latency added to every observed
+    /// cycle, in microseconds. 0 disables. This is the lever the
+    /// acceptance tests use to reproduce a latency regression.
+    pub inject_cycle_delay_us: u64,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        WatchConfig {
+            seed: 0,
+            rollup: RollupConfig::default(),
+            slos: Vec::new(),
+            flight_capacity: 65_536,
+            inject_cycle_delay_us: 0,
+        }
+    }
+}
+
+/// Aggregate health verdict served at `/health`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// `true` when no SLO has a firing burn rule.
+    pub ok: bool,
+    /// Per-SLO verdicts.
+    pub slos: Vec<SloStatus>,
+}
+
+/// State shared with the serving thread (see [`crate::serve`]).
+#[derive(Debug)]
+pub(crate) struct SharedState {
+    pub(crate) registry: Registry,
+    pub(crate) status: Mutex<Vec<SloStatus>>,
+    pub(crate) dashboard: Mutex<String>,
+}
+
+/// One observed run; see the module docs.
+#[derive(Debug)]
+pub struct WatchSession {
+    registry: Registry,
+    recorder: FlightRecorder,
+    rollup: RollupEngine,
+    slo: SloEngine,
+    root: TraceContext,
+    session_span: NameId,
+    inject_cycle_delay_us: u64,
+    /// Cached per-scenario latency histogram handles.
+    cycle_hists: Vec<(String, Histogram)>,
+    last_now_us: u64,
+    shared: Arc<SharedState>,
+}
+
+impl WatchSession {
+    /// Builds a session: fresh registry and flight ring, rollup engine
+    /// with an instrumented LSM cold sink, and the declared SLOs.
+    pub fn new(config: WatchConfig) -> Result<WatchSession, WatchError> {
+        let registry = Registry::new();
+        let recorder = FlightRecorder::new(config.flight_capacity);
+        let mut cold = LsmStore::new(LsmParams::default());
+        // The cold sink reports into the registry the engine samples, so
+        // the watcher's own storage activity shows up as series too.
+        cold.instrument(&registry, "watch_cold");
+        let rollup = RollupEngine::new(registry.clone(), config.rollup)?.with_cold_store(cold);
+        let slo = SloEngine::new(config.slos, rollup.tier0_window_us())?;
+        let root = TraceContext::root(config.seed, SESSION_TRACE_KEY);
+        let session_span = recorder.intern("watch/session");
+        let shared = Arc::new(SharedState {
+            registry: registry.clone(),
+            status: Mutex::new(Vec::new()),
+            dashboard: Mutex::new(String::new()),
+        });
+        Ok(WatchSession {
+            registry,
+            recorder,
+            rollup,
+            slo,
+            root,
+            session_span,
+            inject_cycle_delay_us: config.inject_cycle_delay_us,
+            cycle_hists: Vec::new(),
+            last_now_us: 0,
+            shared,
+        })
+    }
+
+    /// The session's registry (cloning shares the underlying map).
+    pub fn registry(&self) -> Registry {
+        self.registry.clone()
+    }
+
+    /// The session's flight recorder (cloning shares the ring).
+    pub fn recorder(&self) -> FlightRecorder {
+        self.recorder.clone()
+    }
+
+    /// The session's deterministic root trace context. Alert instants
+    /// and the `watch/session` span are its children/self.
+    pub fn root(&self) -> TraceContext {
+        self.root
+    }
+
+    /// Observes one work cycle (a frame, a pipeline step, a stage) that
+    /// began at `cycle_start_us` on `clock`: applies configured fault
+    /// injection (advancing the clock like any other modeled work),
+    /// records the cycle latency into `frame_latency_us{scenario=...}`,
+    /// and advances the rollup/SLO machinery to the clock's now.
+    pub fn observe_cycle(&mut self, scenario: &str, clock: &ManualTime, cycle_start_us: u64) {
+        if self.inject_cycle_delay_us > 0 {
+            clock.advance_micros(self.inject_cycle_delay_us);
+        }
+        let now = clock.now_micros();
+        self.cycle_hist(scenario)
+            .record(now.saturating_sub(cycle_start_us));
+        self.tick_to(now);
+    }
+
+    /// Advances rollup windows and SLO evaluation to `now_us` without
+    /// recording a cycle (for workloads that advance time between
+    /// observed cycles).
+    pub fn tick_to(&mut self, now_us: u64) {
+        self.last_now_us = self.last_now_us.max(now_us);
+        let closed = self.rollup.tick(now_us);
+        for start in &closed {
+            self.slo
+                .evaluate_window(&self.rollup, *start, &self.recorder, self.root);
+        }
+        if !closed.is_empty() {
+            self.refresh_shared();
+        }
+    }
+
+    /// Convenience: [`WatchSession::tick_to`] at `clock`'s current time.
+    pub fn tick_clock(&mut self, clock: &ManualTime) {
+        self.tick_to(clock.now_micros());
+    }
+
+    /// Finishes the session: closes the trailing partial window,
+    /// evaluates it, records the `watch/session` root span covering the
+    /// whole run, and refreshes the served state. Call once per run.
+    pub fn finish(&mut self) {
+        if let Some(start) = self.rollup.flush(self.last_now_us) {
+            self.slo
+                .evaluate_window(&self.rollup, start, &self.recorder, self.root);
+        }
+        self.recorder
+            .record_span(self.root, self.session_span, 0, self.last_now_us);
+        self.refresh_shared();
+    }
+
+    /// Current per-SLO verdicts.
+    pub fn statuses(&self) -> Vec<SloStatus> {
+        self.slo.status()
+    }
+
+    /// Aggregate health verdict (what `/health` serves).
+    pub fn health(&self) -> HealthReport {
+        let slos = self.statuses();
+        HealthReport {
+            ok: slos.iter().all(|s| s.ok),
+            slos,
+        }
+    }
+
+    /// The rollup engine, for dashboards and tests.
+    pub fn rollup(&self) -> &RollupEngine {
+        &self.rollup
+    }
+
+    /// Renders the plain-text dashboard for the current state.
+    pub fn dashboard(&self) -> String {
+        crate::dashboard::render(&self.slo.status(), &self.rollup)
+    }
+
+    /// Starts the live endpoint on `addr` (e.g. `127.0.0.1:0` for an
+    /// ephemeral port), serving `/metrics`, `/health`, `/slo`, and the
+    /// dashboard at `/` from this session's shared state. The server
+    /// keeps serving the last refreshed state after the run finishes.
+    pub fn serve(&self, addr: &str) -> std::io::Result<WatchServer> {
+        serve::spawn(Arc::clone(&self.shared), addr)
+    }
+
+    /// Publishes current verdicts + dashboard to the serving thread.
+    fn refresh_shared(&self) {
+        let status = self.slo.status();
+        *self.shared.dashboard.lock() = crate::dashboard::render(&status, &self.rollup);
+        *self.shared.status.lock() = status;
+    }
+
+    /// Get-or-register the cycle latency histogram for `scenario`.
+    fn cycle_hist(&mut self, scenario: &str) -> Histogram {
+        if let Some((_, h)) = self.cycle_hists.iter().find(|(s, _)| s == scenario) {
+            return h.clone();
+        }
+        let h = self
+            .registry
+            .histogram_labeled("frame_latency_us", &[("scenario", scenario)]);
+        self.cycle_hists.push((scenario.to_string(), h.clone()));
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollup::TierSpec;
+    use crate::slo::{BurnRule, Objective};
+
+    fn test_config(inject_us: u64) -> WatchConfig {
+        WatchConfig {
+            seed: 42,
+            rollup: RollupConfig {
+                tiers: vec![TierSpec {
+                    window_us: 1_000,
+                    capacity: 256,
+                }],
+            },
+            slos: vec![SloSpec {
+                name: "frame_p95".to_string(),
+                objective: Objective::LatencyQuantile {
+                    series: "frame_latency_us{scenario=test}".to_string(),
+                    q: 0.95,
+                    threshold_us: 500,
+                },
+                budget: 0.1,
+                period_us: 100_000,
+                rules: vec![BurnRule {
+                    name: "fast".to_string(),
+                    short_us: 2_000,
+                    long_us: 4_000,
+                    factor: 2.0,
+                }],
+            }],
+            flight_capacity: 1024,
+            inject_cycle_delay_us: inject_us,
+        }
+    }
+
+    fn run_session(inject_us: u64) -> (WatchSession, Vec<augur_telemetry::FlightEvent>) {
+        let mut session =
+            WatchSession::new(test_config(inject_us)).unwrap_or_else(|e| unreachable!("{e}"));
+        let clock = ManualTime::new();
+        for _ in 0..20 {
+            let start = clock.now_micros();
+            clock.advance_micros(400); // modeled healthy work
+            session.observe_cycle("test", &clock, start);
+        }
+        session.finish();
+        let events = session.recorder().drain();
+        (session, events)
+    }
+
+    #[test]
+    fn healthy_run_stays_ok_and_records_root_span() {
+        let (session, events) = run_session(0);
+        let health = session.health();
+        assert!(health.ok);
+        assert!(!events.iter().any(|e| e.name.starts_with("slo/")));
+        let root = events.iter().find(|e| e.name == "watch/session");
+        assert_eq!(root.map(|e| e.parent_span_id), Some(0));
+    }
+
+    #[test]
+    fn injected_regression_fires_alert_with_causal_parent() {
+        let (session, events) = run_session(1_200);
+        let health = session.health();
+        assert!(!health.ok, "injected 1.2ms on a 500us objective must fire");
+        let violated: Vec<&str> = health
+            .slos
+            .iter()
+            .filter(|s| !s.ok)
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(violated, vec!["frame_p95"]);
+        let alert = events
+            .iter()
+            .find(|e| e.name == "slo/frame_p95/fast/alert")
+            .cloned();
+        let root = session.root();
+        assert_eq!(alert.as_ref().map(|e| e.parent_span_id), Some(root.span_id));
+        // The parent span is present in the same drained set.
+        assert!(events
+            .iter()
+            .any(|e| e.span_id == root.span_id && e.name == "watch/session"));
+    }
+
+    #[test]
+    fn alert_sequence_is_bit_reproducible() {
+        let (_, a) = run_session(1_200);
+        let (_, b) = run_session(1_200);
+        let fmt = |events: &[augur_telemetry::FlightEvent]| {
+            events
+                .iter()
+                .filter(|e| e.name.starts_with("slo/"))
+                .map(|e| format!("{e:?}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert!(!fmt(&a).is_empty());
+        assert_eq!(fmt(&a), fmt(&b));
+    }
+}

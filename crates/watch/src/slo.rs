@@ -1,0 +1,539 @@
+//! The SLO engine: declarative objectives, error budgets, and
+//! multi-window burn-rate alerting.
+//!
+//! Each [`SloSpec`] names an objective evaluated per closed tier-0
+//! rollup window — a window is either *good* or *bad* (classic
+//! request-based SLO counting, with windows standing in for requests).
+//! The error budget is the fraction of bad windows the objective
+//! tolerates over its compliance period; **burn rate** is how fast the
+//! budget is being consumed relative to that allowance (burn 1.0 =
+//! exactly exhausting the budget by period end).
+//!
+//! Alerting follows the SRE multi-window pattern: a [`BurnRule`] fires
+//! only when **both** its short and long windows exceed the burn-rate
+//! factor — the long window filters blips, the short window clears the
+//! alert promptly once the regression stops. Rules are declared in
+//! microseconds of watched time (the canonical pairs are fast 5 m/1 h
+//! and slow 6 h/3 d) and discretized onto rollup windows, so under
+//! `ManualTime` the whole evaluation — including the emitted alert
+//! sequence — is bit-for-bit reproducible for a fixed seed.
+//!
+//! Alert and clear transitions are emitted as [`FlightRecorder`]
+//! instants parented to the watch session's root span, which makes every
+//! alert causally reachable in the exported Chrome trace.
+
+use std::collections::VecDeque;
+
+use augur_telemetry::{FlightRecorder, TraceContext};
+
+use crate::error::WatchError;
+use crate::rollup::{PointValue, RollupEngine};
+
+/// What one SLO measures, addressed by rollup series key
+/// (see [`crate::rollup::series_key`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Objective {
+    /// The `q`-quantile of a histogram series must stay at or below
+    /// `threshold_us` within each window. Empty windows are good.
+    LatencyQuantile {
+        /// Histogram series key, e.g. `frame_latency_us{scenario=tourism}`.
+        series: String,
+        /// Quantile in (0, 1], e.g. 0.95.
+        q: f64,
+        /// Ceiling in the histogram's unit (microseconds by convention).
+        threshold_us: u64,
+    },
+    /// The ratio of two counter series' window deltas must stay at or
+    /// below `max_ratio`. Windows with a zero denominator are good.
+    RatioBelow {
+        /// Numerator (bad events) series key.
+        bad_series: String,
+        /// Denominator (total events) series key.
+        total_series: String,
+        /// Maximum tolerated bad/total ratio, e.g. 0.001.
+        max_ratio: f64,
+    },
+}
+
+/// One multi-window burn-rate alert rule. Fires iff **both** the short-
+/// and long-window burn rates reach `factor`. A rule stays silent until
+/// `long_us` of watched time has elapsed (no cold-start alerts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnRule {
+    /// Rule label, e.g. `fast` or `slow`.
+    pub name: String,
+    /// Short lookback in microseconds.
+    pub short_us: u64,
+    /// Long lookback in microseconds (≥ `short_us`).
+    pub long_us: u64,
+    /// Burn-rate threshold (1.0 = budget exactly exhausted at period end).
+    pub factor: f64,
+}
+
+impl BurnRule {
+    /// The canonical production pair: fast 5 m/1 h at 14.4× and slow
+    /// 6 h/3 d at 1.0×. Scenario configs scale these down to modeled
+    /// time; the structure is what matters.
+    pub fn classic() -> Vec<BurnRule> {
+        vec![
+            BurnRule {
+                name: "fast".to_string(),
+                short_us: 5 * 60 * 1_000_000,
+                long_us: 60 * 60 * 1_000_000,
+                factor: 14.4,
+            },
+            BurnRule {
+                name: "slow".to_string(),
+                short_us: 6 * 60 * 60 * 1_000_000,
+                long_us: 3 * 24 * 60 * 60 * 1_000_000,
+                factor: 1.0,
+            },
+        ]
+    }
+}
+
+/// One declared objective with its budget and alert rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Objective name, e.g. `tourism_frame_p95`.
+    pub name: String,
+    /// What is measured.
+    pub objective: Objective,
+    /// Error budget: tolerated bad-window fraction in (0, 1].
+    pub budget: f64,
+    /// Compliance period in microseconds (the horizon the budget spans).
+    pub period_us: u64,
+    /// Burn-rate alert rules.
+    pub rules: Vec<BurnRule>,
+}
+
+/// Live burn-rate readout of one rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BurnStatus {
+    /// Rule label.
+    pub rule: String,
+    /// Burn rate over the short window.
+    pub short_burn: f64,
+    /// Burn rate over the long window.
+    pub long_burn: f64,
+    /// Whether the rule is currently firing.
+    pub firing: bool,
+}
+
+/// Point-in-time verdict for one SLO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// Objective name.
+    pub name: String,
+    /// `true` when no rule is firing **and** the error budget is not
+    /// exhausted. A blown budget keeps the SLO violated even after burn
+    /// subsides (e.g. because the run ended) — that is the verdict
+    /// `/health` reports.
+    pub ok: bool,
+    /// Verdict of the most recently evaluated window.
+    pub last_window_good: Option<bool>,
+    /// Bad windows observed so far (monotonic).
+    pub bad_windows: u64,
+    /// Windows observed so far (monotonic).
+    pub total_windows: u64,
+    /// Fraction of the period's error budget consumed so far (monotonic,
+    /// may exceed 1.0 once the budget is blown).
+    pub budget_consumed: f64,
+    /// `max(0, 1 - budget_consumed)`.
+    pub budget_remaining: f64,
+    /// Per-rule burn rates.
+    pub burn: Vec<BurnStatus>,
+}
+
+/// Per-SLO evaluation state.
+#[derive(Debug)]
+struct SloState {
+    /// Good/bad verdicts, newest last, capped at the longest rule window.
+    history: VecDeque<bool>,
+    keep: usize,
+    bad_windows: u64,
+    total_windows: u64,
+    firing: Vec<bool>,
+}
+
+/// The SLO engine; see the module docs.
+#[derive(Debug)]
+pub struct SloEngine {
+    specs: Vec<SloSpec>,
+    states: Vec<SloState>,
+    window_us: u64,
+    /// Ordinal salting alert-event span ids: each emitted transition gets
+    /// a distinct, deterministic identity.
+    alert_seq: u64,
+}
+
+/// Windows needed to cover `us` at resolution `window_us` (at least 1).
+fn windows_for(us: u64, window_us: u64) -> usize {
+    (us.div_ceil(window_us.max(1)) as usize).max(1)
+}
+
+impl SloEngine {
+    /// An engine evaluating `specs` over tier-0 windows of `window_us`.
+    pub fn new(specs: Vec<SloSpec>, window_us: u64) -> Result<SloEngine, WatchError> {
+        if window_us == 0 {
+            return Err(WatchError::config("SLO window must be nonzero"));
+        }
+        for spec in &specs {
+            if !(spec.budget > 0.0 && spec.budget <= 1.0) {
+                return Err(WatchError::config(format!(
+                    "SLO `{}`: budget must be in (0, 1]",
+                    spec.name
+                )));
+            }
+            if spec.period_us == 0 {
+                return Err(WatchError::config(format!(
+                    "SLO `{}`: period must be nonzero",
+                    spec.name
+                )));
+            }
+            for rule in &spec.rules {
+                if rule.short_us == 0 || rule.long_us < rule.short_us {
+                    return Err(WatchError::config(format!(
+                        "SLO `{}` rule `{}`: need 0 < short ≤ long",
+                        spec.name, rule.name
+                    )));
+                }
+            }
+        }
+        let states = specs
+            .iter()
+            .map(|spec| {
+                let keep = spec
+                    .rules
+                    .iter()
+                    .map(|r| windows_for(r.long_us, window_us))
+                    .max()
+                    .unwrap_or(1);
+                SloState {
+                    history: VecDeque::with_capacity(keep),
+                    keep,
+                    bad_windows: 0,
+                    total_windows: 0,
+                    firing: vec![false; spec.rules.len()],
+                }
+            })
+            .collect();
+        Ok(SloEngine {
+            specs,
+            states,
+            window_us,
+            alert_seq: 0,
+        })
+    }
+
+    /// Evaluates every SLO against the rollup window that started at
+    /// `start_us`, updating burn state and emitting alert/clear instants
+    /// through `recorder` as children of `root`.
+    pub fn evaluate_window(
+        &mut self,
+        rollup: &RollupEngine,
+        start_us: u64,
+        recorder: &FlightRecorder,
+        root: TraceContext,
+    ) {
+        for (spec, state) in self.specs.iter().zip(self.states.iter_mut()) {
+            let good = window_is_good(&spec.objective, rollup, start_us);
+            state.total_windows += 1;
+            if !good {
+                state.bad_windows += 1;
+            }
+            state.history.push_back(good);
+            while state.history.len() > state.keep {
+                state.history.pop_front();
+            }
+            for (idx, rule) in spec.rules.iter().enumerate() {
+                let long_n = windows_for(rule.long_us, self.window_us);
+                let short_n = windows_for(rule.short_us, self.window_us);
+                // Silent until one full long window of history exists.
+                if state.history.len() < long_n {
+                    continue;
+                }
+                let short_burn = burn_rate(&state.history, short_n, spec.budget);
+                let long_burn = burn_rate(&state.history, long_n, spec.budget);
+                let now_firing = short_burn >= rule.factor && long_burn >= rule.factor;
+                let was_firing = state.firing.get(idx).copied().unwrap_or(false);
+                if now_firing != was_firing {
+                    let transition = if now_firing { "alert" } else { "clear" };
+                    let name =
+                        recorder.intern(&format!("slo/{}/{}/{transition}", spec.name, rule.name));
+                    let ctx = root.child(self.alert_seq);
+                    self.alert_seq += 1;
+                    // `arg` carries the long-window burn rate in millis.
+                    let arg = (long_burn * 1_000.0).clamp(0.0, u64::MAX as f64) as u64;
+                    let end_us = start_us.saturating_add(self.window_us);
+                    recorder.record_instant(ctx, name, end_us, arg);
+                }
+                if let Some(slot) = state.firing.get_mut(idx) {
+                    *slot = now_firing;
+                }
+            }
+        }
+    }
+
+    /// Current verdicts, one per declared SLO, in declaration order.
+    pub fn status(&self) -> Vec<SloStatus> {
+        self.specs
+            .iter()
+            .zip(self.states.iter())
+            .map(|(spec, state)| {
+                let period_windows = windows_for(spec.period_us, self.window_us) as f64;
+                let consumed = state.bad_windows as f64 / (spec.budget * period_windows);
+                let burn = spec
+                    .rules
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, rule)| {
+                        let short_n = windows_for(rule.short_us, self.window_us);
+                        let long_n = windows_for(rule.long_us, self.window_us);
+                        BurnStatus {
+                            rule: rule.name.clone(),
+                            short_burn: burn_rate(&state.history, short_n, spec.budget),
+                            long_burn: burn_rate(&state.history, long_n, spec.budget),
+                            firing: state.firing.get(idx).copied().unwrap_or(false),
+                        }
+                    })
+                    .collect();
+                SloStatus {
+                    name: spec.name.clone(),
+                    ok: !state.firing.iter().any(|f| *f) && consumed < 1.0,
+                    last_window_good: state.history.back().copied(),
+                    bad_windows: state.bad_windows,
+                    total_windows: state.total_windows,
+                    budget_consumed: consumed,
+                    budget_remaining: (1.0 - consumed).max(0.0),
+                    burn,
+                }
+            })
+            .collect()
+    }
+
+    /// The declared specs (used by renderers).
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+}
+
+/// Burn rate over the newest `n` windows of `history`: bad fraction
+/// divided by the budget. 0 when the history is empty.
+fn burn_rate(history: &VecDeque<bool>, n: usize, budget: f64) -> f64 {
+    let take = n.min(history.len());
+    if take == 0 || budget <= 0.0 {
+        return 0.0;
+    }
+    let bad = history.iter().rev().take(take).filter(|g| !**g).count();
+    (bad as f64 / take as f64) / budget
+}
+
+/// Evaluates one objective over the tier-0 window at `start_us`.
+fn window_is_good(objective: &Objective, rollup: &RollupEngine, start_us: u64) -> bool {
+    match objective {
+        Objective::LatencyQuantile {
+            series,
+            q,
+            threshold_us,
+        } => match rollup.point_at(series, 0, start_us).map(|p| p.value) {
+            Some(PointValue::Hist(h)) => h.is_empty() || h.quantile(*q) <= *threshold_us,
+            _ => true,
+        },
+        Objective::RatioBelow {
+            bad_series,
+            total_series,
+            max_ratio,
+        } => {
+            let delta = |key: &str| match rollup.point_at(key, 0, start_us).map(|p| p.value) {
+                Some(PointValue::Counter(n)) => n,
+                _ => 0,
+            };
+            let total = delta(total_series);
+            if total == 0 {
+                return true;
+            }
+            delta(bad_series) as f64 / total as f64 <= *max_ratio
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rollup::{RollupConfig, TierSpec};
+    use augur_telemetry::Registry;
+
+    fn engine_with_hist() -> (Registry, RollupEngine) {
+        let reg = Registry::new();
+        let config = RollupConfig {
+            tiers: vec![TierSpec {
+                window_us: 100,
+                capacity: 64,
+            }],
+        };
+        let eng = RollupEngine::new(reg.clone(), config)
+            .unwrap_or_else(|e| unreachable!("valid config: {e}"));
+        (reg, eng)
+    }
+
+    fn latency_spec(threshold_us: u64) -> SloSpec {
+        SloSpec {
+            name: "lat_p95".to_string(),
+            objective: Objective::LatencyQuantile {
+                series: "lat_us".to_string(),
+                q: 0.95,
+                threshold_us,
+            },
+            budget: 0.1,
+            period_us: 10_000,
+            rules: vec![BurnRule {
+                name: "fast".to_string(),
+                short_us: 200,
+                long_us: 400,
+                factor: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(SloEngine::new(vec![], 0).is_err());
+        let mut bad_budget = latency_spec(100);
+        bad_budget.budget = 0.0;
+        assert!(SloEngine::new(vec![bad_budget], 100).is_err());
+        let mut bad_rule = latency_spec(100);
+        if let Some(r) = bad_rule.rules.first_mut() {
+            r.long_us = 50; // < short_us
+        }
+        assert!(SloEngine::new(vec![bad_rule], 100).is_err());
+        assert!(SloEngine::new(vec![latency_spec(100)], 100).is_ok());
+    }
+
+    #[test]
+    fn alert_fires_on_sustained_violation_and_clears_after() {
+        let (reg, mut rollup) = engine_with_hist();
+        let mut slo = SloEngine::new(vec![latency_spec(1_000)], 100)
+            .unwrap_or_else(|e| unreachable!("valid spec: {e}"));
+        let recorder = FlightRecorder::new(256);
+        let root = TraceContext::root(7, 1);
+        let h = reg.histogram("lat_us");
+        let mut now = 0u64;
+        // 8 bad windows: every window's p95 is 5000 > 1000.
+        for _ in 0..8 {
+            h.record(5_000);
+            now += 100;
+            for start in rollup.tick(now) {
+                slo.evaluate_window(&rollup, start, &recorder, root);
+            }
+        }
+        let firing: Vec<bool> = slo
+            .status()
+            .iter()
+            .flat_map(|s| s.burn.iter().map(|b| b.firing))
+            .collect();
+        assert_eq!(firing, vec![true]);
+        // 8 good windows: burn decays below the factor and it clears.
+        for _ in 0..8 {
+            h.record(10);
+            now += 100;
+            for start in rollup.tick(now) {
+                slo.evaluate_window(&rollup, start, &recorder, root);
+            }
+        }
+        let status = slo.status();
+        assert!(status.iter().all(|s| s.ok));
+        let events = recorder.drain();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["slo/lat_p95/fast/alert", "slo/lat_p95/fast/clear"]
+        );
+        // Alert instants are children of the provided root.
+        assert!(events.iter().all(|e| e.parent_span_id == root.span_id));
+    }
+
+    #[test]
+    fn no_alerts_before_one_full_long_window() {
+        let (reg, mut rollup) = engine_with_hist();
+        let mut slo = SloEngine::new(vec![latency_spec(1_000)], 100)
+            .unwrap_or_else(|e| unreachable!("valid spec: {e}"));
+        let recorder = FlightRecorder::new(64);
+        let root = TraceContext::root(7, 1);
+        let h = reg.histogram("lat_us");
+        // 3 bad windows < long_n = 4: must stay silent.
+        let mut now = 0u64;
+        for _ in 0..3 {
+            h.record(5_000);
+            now += 100;
+            for start in rollup.tick(now) {
+                slo.evaluate_window(&rollup, start, &recorder, root);
+            }
+        }
+        assert!(recorder.drain().is_empty());
+        assert!(slo.status().iter().all(|s| s.ok));
+    }
+
+    #[test]
+    fn ratio_objective_and_budget_accounting() {
+        let reg = Registry::new();
+        let config = RollupConfig {
+            tiers: vec![TierSpec {
+                window_us: 100,
+                capacity: 64,
+            }],
+        };
+        let mut rollup = RollupEngine::new(reg.clone(), config)
+            .unwrap_or_else(|e| unreachable!("valid config: {e}"));
+        let spec = SloSpec {
+            name: "drops".to_string(),
+            objective: Objective::RatioBelow {
+                bad_series: "dropped_total".to_string(),
+                total_series: "in_total".to_string(),
+                max_ratio: 0.001,
+            },
+            budget: 0.5,
+            period_us: 1_000,
+            rules: vec![BurnRule {
+                name: "fast".to_string(),
+                short_us: 100,
+                long_us: 200,
+                factor: 1.9,
+            }],
+        };
+        let mut slo =
+            SloEngine::new(vec![spec], 100).unwrap_or_else(|e| unreachable!("valid spec: {e}"));
+        let recorder = FlightRecorder::new(64);
+        let root = TraceContext::root(1, 1);
+        let dropped = reg.counter("dropped_total");
+        let input = reg.counter("in_total");
+        let mut consumed_series = Vec::new();
+        let mut now = 0u64;
+        for round in 0..6u64 {
+            input.add(100);
+            if round >= 2 {
+                dropped.add(10); // 10% >> 0.1% permitted
+            }
+            now += 100;
+            for start in rollup.tick(now) {
+                slo.evaluate_window(&rollup, start, &recorder, root);
+            }
+            let status = slo.status();
+            let s = status.first();
+            consumed_series.push(s.map(|s| s.budget_consumed).unwrap_or(-1.0));
+            if round == 1 {
+                assert_eq!(s.map(|s| s.last_window_good), Some(Some(true)));
+            }
+            if round == 5 {
+                assert_eq!(s.map(|s| s.bad_windows), Some(4));
+                assert!(!s.map(|s| s.ok).unwrap_or(true), "both windows bad: firing");
+            }
+        }
+        // Budget consumption never decreases.
+        for pair in consumed_series.windows(2) {
+            if let [a, b] = pair {
+                assert!(b >= a, "budget consumed must be monotonic: {a} -> {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the watch crate — the two satellite contracts:
+//!
+//! 1. Tiered downsampling preserves histogram quantiles within the
+//!    workspace's established ≤ 12.5% bound across rollup levels (the
+//!    merge is bucket-wise over one shared layout, so coarsening tiers
+//!    adds no error beyond bucketing).
+//! 2. Burn-rate alerting: budget consumed is monotonic, and a rule
+//!    fires iff BOTH its fast and slow windows exceed the threshold
+//!    (verified against an independent reference computation).
+
+use augur_telemetry::{FlightRecorder, Registry, TraceContext};
+use augur_watch::{
+    BurnRule, Objective, PointValue, RollupConfig, RollupEngine, SloEngine, SloSpec, TierSpec,
+};
+use proptest::prelude::*;
+
+/// Exact quantile with `Histogram::quantile`'s rank convention.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted.get(rank - 1).copied().unwrap_or(0)
+}
+
+/// Reference burn rate: bad fraction over the newest `n` verdicts,
+/// divided by the budget.
+fn reference_burn(history: &[bool], n: usize, budget: f64) -> f64 {
+    let take = n.min(history.len());
+    if take == 0 {
+        return 0.0;
+    }
+    let bad = history.iter().rev().take(take).filter(|g| !**g).count();
+    (bad as f64 / take as f64) / budget
+}
+
+proptest! {
+    #[test]
+    fn tiered_downsampling_preserves_quantiles(
+        // Per tier-0 window: how many samples land in it (may be zero).
+        window_fill in prop::collection::vec(0usize..12, 10..30),
+        values in prop::collection::vec(1u64..500_000_000, 1..200),
+        qs in prop::collection::vec(0.05f64..1.0, 1..6),
+    ) {
+        let reg = Registry::new();
+        // Three tiers: 100us windows -> 500us -> 1000us.
+        let config = RollupConfig {
+            tiers: vec![
+                TierSpec { window_us: 100, capacity: 64 },
+                TierSpec { window_us: 500, capacity: 32 },
+                TierSpec { window_us: 1_000, capacity: 16 },
+            ],
+        };
+        let mut eng = RollupEngine::new(reg.clone(), config)
+            .expect("valid config");
+        let h = reg.histogram("lat_us");
+        let mut vi = 0usize;
+        let mut recorded: Vec<u64> = Vec::new();
+        let mut now = 0u64;
+        // Guarantee a non-empty population regardless of the fill pattern.
+        if let Some(v) = values.first() {
+            h.record(*v);
+            recorded.push(*v);
+        }
+        for fill in &window_fill {
+            for _ in 0..*fill {
+                if let Some(v) = values.get(vi % values.len()) {
+                    h.record(*v);
+                    recorded.push(*v);
+                }
+                vi += 1;
+            }
+            now += 100;
+            eng.tick(now);
+        }
+        // Align to the coarsest boundary so every sample is downsampled.
+        let aligned = now.div_ceil(1_000) * 1_000;
+        eng.tick(aligned);
+        recorded.sort_unstable();
+        for tier in 0..3usize {
+            // Merge every retained window of this tier back together;
+            // the union covers exactly the recorded population.
+            let mut merged = augur_watch::WindowHist::default();
+            for p in eng.series_points("lat_us", tier) {
+                if let PointValue::Hist(h) = p.value {
+                    merged.merge(&h);
+                }
+            }
+            prop_assert_eq!(merged.count, recorded.len() as u64,
+                "tier {} lost samples", tier);
+            for &q in &qs {
+                let exact = exact_quantile(&recorded, q);
+                let approx = merged.quantile(q);
+                // The established workspace bound: ≤ 12.5% + 1 unit.
+                let bound = exact / 8 + 1;
+                prop_assert!(
+                    approx.abs_diff(exact) <= bound,
+                    "tier={} q={} approx={} exact={} bound={}",
+                    tier, q, approx, exact, bound
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn burn_rate_budget_monotonic_and_fires_iff_both_windows_exceed(
+        bad_pattern in prop::collection::vec(any::<bool>(), 4..80),
+        short_n in 1usize..6,
+        long_extra in 0usize..8,
+        factor in 0.5f64..8.0,
+        budget_pct in 1u32..60,
+    ) {
+        let budget = budget_pct as f64 / 100.0;
+        let long_n = short_n + long_extra;
+        let window_us = 100u64;
+        let reg = Registry::new();
+        let config = RollupConfig {
+            tiers: vec![TierSpec { window_us, capacity: 128 }],
+        };
+        let mut rollup = RollupEngine::new(reg.clone(), config)
+            .expect("valid config");
+        let spec = SloSpec {
+            name: "prop".to_string(),
+            objective: Objective::RatioBelow {
+                bad_series: "bad_total".to_string(),
+                total_series: "all_total".to_string(),
+                max_ratio: 0.0,
+            },
+            budget,
+            period_us: window_us * 1_000,
+            rules: vec![BurnRule {
+                name: "r".to_string(),
+                short_us: short_n as u64 * window_us,
+                long_us: long_n as u64 * window_us,
+                factor,
+            }],
+        };
+        let mut slo = SloEngine::new(vec![spec], window_us)
+            .expect("valid config");
+        let recorder = FlightRecorder::new(1024);
+        let root = TraceContext::root(1, 1);
+        let bad_counter = reg.counter("bad_total");
+        let all_counter = reg.counter("all_total");
+        let mut history: Vec<bool> = Vec::new();
+        let mut prev_consumed = 0.0f64;
+        let mut now = 0u64;
+        for &bad in &bad_pattern {
+            all_counter.add(10);
+            if bad {
+                bad_counter.add(1);
+            }
+            now += window_us;
+            for start in rollup.tick(now) {
+                slo.evaluate_window(&rollup, start, &recorder, root);
+            }
+            history.push(!bad);
+            let status = slo.status();
+            let s = status.first().expect("one SLO status");
+            // Property 1: budget consumed is monotonic.
+            prop_assert!(
+                s.budget_consumed >= prev_consumed - 1e-12,
+                "budget consumed decreased: {} -> {}",
+                prev_consumed, s.budget_consumed
+            );
+            prev_consumed = s.budget_consumed;
+            // Property 2: fires iff BOTH windows exceed the factor
+            // (and a full long window of history exists).
+            let short_burn = reference_burn(&history, short_n, budget);
+            let long_burn = reference_burn(&history, long_n, budget);
+            let expect_firing =
+                history.len() >= long_n && short_burn >= factor && long_burn >= factor;
+            let firing = s.burn.first().map(|b| b.firing).unwrap_or(false);
+            prop_assert_eq!(
+                firing, expect_firing,
+                "windows={} short={} ({} w) long={} ({} w) factor={}",
+                history.len(), short_burn, short_n, long_burn, long_n, factor
+            );
+        }
+        // Alert/clear events alternate, starting with an alert.
+        let events = recorder.drain();
+        let mut expect_alert = true;
+        for e in events.iter().filter(|e| e.name.starts_with("slo/")) {
+            if expect_alert {
+                prop_assert!(e.name.ends_with("/alert"), "expected alert, got {}", e.name);
+            } else {
+                prop_assert!(e.name.ends_with("/clear"), "expected clear, got {}", e.name);
+            }
+            expect_alert = !expect_alert;
+        }
+    }
+}

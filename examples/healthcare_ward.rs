@@ -9,12 +9,20 @@
 //! Pass `--trace` to also write a Perfetto-compatible causal trace to
 //! `results/healthcare.trace.json` (open at <https://ui.perfetto.dev>);
 //! patient 0's samples trace end-to-end through the broker pipeline.
+//!
+//! Pass `--watch` to grade the ward against its three SLOs (detect
+//! latency, sample-to-alert latency, vitals drop ratio) under a watch
+//! session and print the live dashboard; a violated objective exits 2.
 
-use augur::core::healthcare::{run_instrumented, run_traced, HealthcareParams};
+use augur::core::healthcare::{
+    run_instrumented, run_traced, run_watched, watch_config, HealthcareParams,
+};
 use augur::telemetry::{render_chrome_trace, render_span_breakdown, FlightRecorder, Registry};
+use augur::watch::WatchSession;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = std::env::args().any(|a| a == "--trace");
+    let watch = std::env::args().any(|a| a == "--watch");
     let params = HealthcareParams::default();
     println!(
         "healthcare scenario: {} patients for {:.0} min at {:.0} Hz",
@@ -23,7 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         1.0 / params.period_s
     );
     let registry = Registry::new();
-    let report = if trace {
+    let mut watch_session = None;
+    let report = if watch {
+        let mut session = WatchSession::new(watch_config(params.seed))?;
+        let report = run_watched(&params, &mut session)?;
+        watch_session = Some(session);
+        report
+    } else if trace {
         let recorder = FlightRecorder::new(1 << 16);
         let report = run_traced(&params, &registry, &recorder)?;
         let events = recorder.drain();
@@ -54,6 +68,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.false_alarms, report.false_alarm_rate_per_patient_hour
     );
     println!("\nper-stage breakdown (modeled work units, deterministic under the seed):");
-    print!("{}", render_span_breakdown(&registry.snapshot()));
+    let snapshot = match &watch_session {
+        Some(session) => session.registry().snapshot(),
+        None => registry.snapshot(),
+    };
+    print!("{}", render_span_breakdown(&snapshot));
+    if let Some(session) = &watch_session {
+        println!("\nwatch (SLO burn-rate verdicts on the ward's manual clock):");
+        print!("{}", session.dashboard());
+        let health = session.health();
+        if health.ok {
+            println!("\nhealth OK — every objective inside its error budget");
+        } else {
+            let violated: Vec<&str> = health
+                .slos
+                .iter()
+                .filter(|s| !s.ok)
+                .map(|s| s.name.as_str())
+                .collect();
+            println!("\nhealth VIOLATED — {}", violated.join(", "));
+            std::process::exit(2);
+        }
+    }
     Ok(())
 }

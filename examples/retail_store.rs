@@ -8,19 +8,31 @@
 //!
 //! Pass `--trace` to also write a Perfetto-compatible causal trace to
 //! `results/retail.trace.json` (open at <https://ui.perfetto.dev>).
+//!
+//! Pass `--watch` to run the pipeline under an SLO watch session
+//! (per-stage latency objective) and print the live dashboard; a
+//! violated objective exits 2.
 
-use augur::core::retail::{run_instrumented, run_traced, RetailParams};
+use augur::core::retail::{run_instrumented, run_traced, run_watched, watch_config, RetailParams};
 use augur::telemetry::{render_chrome_trace, render_span_breakdown, FlightRecorder, Registry};
+use augur::watch::WatchSession;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = std::env::args().any(|a| a == "--trace");
+    let watch = std::env::args().any(|a| a == "--watch");
     let params = RetailParams::default();
     println!(
         "retail scenario: {} users × {} interactions, {} product groups",
         params.users, params.interactions_per_user, params.groups
     );
     let registry = Registry::new();
-    let report = if trace {
+    let mut watch_session = None;
+    let report = if watch {
+        let mut session = WatchSession::new(watch_config(params.seed))?;
+        let report = run_watched(&params, &mut session)?;
+        watch_session = Some(session);
+        report
+    } else if trace {
         let recorder = FlightRecorder::new(1 << 16);
         let report = run_traced(&params, &registry, &recorder)?;
         let events = recorder.drain();
@@ -67,6 +79,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.decluttered_layout.mean_displacement_px
     );
     println!("\nper-stage breakdown (modeled work units, deterministic under the seed):");
-    print!("{}", render_span_breakdown(&registry.snapshot()));
+    let snapshot = match &watch_session {
+        Some(session) => session.registry().snapshot(),
+        None => registry.snapshot(),
+    };
+    print!("{}", render_span_breakdown(&snapshot));
+    if let Some(session) = &watch_session {
+        println!("\nwatch (SLO burn-rate verdicts on the pipeline's manual clock):");
+        print!("{}", session.dashboard());
+        let health = session.health();
+        if health.ok {
+            println!("\nhealth OK — every objective inside its error budget");
+        } else {
+            let violated: Vec<&str> = health
+                .slos
+                .iter()
+                .filter(|s| !s.ok)
+                .map(|s| s.name.as_str())
+                .collect();
+            println!("\nhealth VIOLATED — {}", violated.join(", "));
+            std::process::exit(2);
+        }
+    }
     Ok(())
 }

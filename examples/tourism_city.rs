@@ -8,19 +8,54 @@
 //!
 //! Pass `--trace` to also write a Perfetto-compatible causal trace to
 //! `results/tourism.trace.json` (open at <https://ui.perfetto.dev>).
+//!
+//! Pass `--watch` to run the tour under an SLO watch session (rollups +
+//! burn-rate alerting on the tour's manual clock) and print the live
+//! dashboard; add `--inject-us 20000` to inject a per-frame latency
+//! regression and watch the frame objective blow its error budget (the
+//! example then exits 2, like `augur-watch`'s demo binary).
 
-use augur::core::tourism::{run_instrumented, run_traced, TourismParams};
+use augur::core::tourism::{
+    run_instrumented, run_traced, run_watched, watch_config, TourismParams,
+};
 use augur::telemetry::{render_chrome_trace, render_span_breakdown, FlightRecorder, Registry};
+use augur::watch::WatchSession;
+
+/// The value following `name` in the argument list, if present.
+fn arg_u64(name: &str) -> Option<u64> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next()?.parse().ok();
+        }
+    }
+    None
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = std::env::args().any(|a| a == "--trace");
-    let params = TourismParams::default();
+    let watch = std::env::args().any(|a| a == "--watch");
+    let mut params = TourismParams::default();
+    if watch {
+        // A lighter tour keeps the healthy modeled frame p95 inside the
+        // 16.6 ms objective, so `--inject-us` alone decides the verdict
+        // instead of the default load riding the threshold.
+        params.pois = 8_000;
+    }
     println!(
         "tourism scenario: {} POIs, {:.0} s tour, k={} per retrieval",
         params.pois, params.duration_s, params.k
     );
     let registry = Registry::new();
-    let report = if trace {
+    let mut watch_session = None;
+    let report = if watch {
+        let mut config = watch_config(params.seed);
+        config.inject_cycle_delay_us = arg_u64("--inject-us").unwrap_or(0);
+        let mut session = WatchSession::new(config)?;
+        let report = run_watched(&params, &mut session)?;
+        watch_session = Some(session);
+        report
+    } else if trace {
         let recorder = FlightRecorder::new(1 << 16);
         let report = run_traced(&params, &registry, &recorder)?;
         let events = recorder.drain();
@@ -60,6 +95,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.declutter_drop_ratio * 100.0
     );
     println!("\nper-stage breakdown (modeled work units, deterministic under the seed):");
-    print!("{}", render_span_breakdown(&registry.snapshot()));
+    let snapshot = match &watch_session {
+        Some(session) => session.registry().snapshot(),
+        None => registry.snapshot(),
+    };
+    print!("{}", render_span_breakdown(&snapshot));
+    if let Some(session) = &watch_session {
+        println!("\nwatch (SLO burn-rate verdicts on the tour's manual clock):");
+        print!("{}", session.dashboard());
+        let health = session.health();
+        if health.ok {
+            println!("\nhealth OK — every objective inside its error budget");
+        } else {
+            let violated: Vec<&str> = health
+                .slos
+                .iter()
+                .filter(|s| !s.ok)
+                .map(|s| s.name.as_str())
+                .collect();
+            println!("\nhealth VIOLATED — {}", violated.join(", "));
+            std::process::exit(2);
+        }
+    }
     Ok(())
 }

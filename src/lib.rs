@@ -75,3 +75,5 @@ pub use augur_stream as stream;
 pub use augur_telemetry as telemetry;
 /// Pose tracking and registration.
 pub use augur_track as track;
+/// Health monitoring: rollups, SLO burn-rate alerts, live endpoint.
+pub use augur_watch as watch;
