@@ -50,6 +50,11 @@ pub struct FilePolicy {
     /// `crates/watch/src/serve.rs` is the sole sanctioned network site, so
     /// every listener the workspace opens is inventoried in one place.
     pub deny_raw_net: bool,
+    /// Declaring or implementing a global allocator is denied: the counting
+    /// allocator in `crates/profile/src/alloc.rs` is the sole sanctioned
+    /// site (bins/tests opt in via the `global-alloc` cargo feature, never
+    /// by declaring their own).
+    pub deny_global_alloc: bool,
     /// Slice-indexing advisories are collected.
     pub advise_indexing: bool,
     /// The file is a crate root whose public items must be documented.
@@ -80,6 +85,9 @@ const ENTROPY: [&str; 3] = ["thread_rng", "from_entropy", "rand::random"];
 
 /// Network-socket patterns confined to the sanctioned endpoint module.
 const RAW_NET: [&str; 4] = ["std::net::", "TcpListener", "TcpStream", "UdpSocket"];
+
+/// Global-allocator patterns confined to the sanctioned accounting module.
+const GLOBAL_ALLOC: [&str; 2] = ["global_allocator", "GlobalAlloc"];
 
 /// Checks one file's source, appending findings to `out`.
 pub fn check_source(file: &str, src: &str, policy: FilePolicy, out: &mut Vec<Violation>) {
@@ -237,6 +245,29 @@ pub fn check_source(file: &str, src: &str, policy: FilePolicy, out: &mut Vec<Vio
                             "`{pat}`: raw std::net sockets are confined to the watch \
                              endpoint (crates/watch/src/serve.rs); expose state through \
                              `augur_watch::WatchSession::serve` instead"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    if policy.deny_global_alloc {
+        for pat in GLOBAL_ALLOC {
+            for idx in find_all(&lib_code, pat) {
+                if is_word_start(&lib_code, idx) {
+                    push(
+                        out,
+                        file,
+                        &lib_code,
+                        idx,
+                        "alloc-confined",
+                        Severity::Deny,
+                        format!(
+                            "`{pat}`: global allocators are confined to the counting \
+                             allocator (crates/profile/src/alloc.rs); enable the \
+                             `global-alloc` feature of augur-profile instead of \
+                             declaring one"
                         ),
                     );
                 }
@@ -418,6 +449,7 @@ mod tests {
         deny_raw_instant: false,
         deny_global_registry: true,
         deny_raw_net: true,
+        deny_global_alloc: true,
         advise_indexing: true,
         require_docs: false,
     };
@@ -483,6 +515,7 @@ mod tests {
             deny_raw_instant: false,
             deny_global_registry: false,
             deny_raw_net: false,
+            deny_global_alloc: false,
             advise_indexing: false,
             require_docs: true,
         };
@@ -601,6 +634,34 @@ mod tests {
             &mut v,
         );
         assert!(v.iter().all(|x| x.rule != "net-confined"));
+    }
+
+    #[test]
+    fn flags_global_allocator_outside_the_sanctioned_site() {
+        assert_eq!(
+            deny_rules("#[global_allocator]\nstatic A: std::alloc::System = std::alloc::System;\n"),
+            vec!["alloc-confined"]
+        );
+        assert_eq!(
+            deny_rules("unsafe impl GlobalAlloc for MyAlloc {}\n"),
+            vec!["alloc-confined"]
+        );
+        // Comments, strings, and test code never trip the rule.
+        assert!(deny_rules("// a #[global_allocator] would be denied\nfn f() {}").is_empty());
+        assert!(deny_rules("#[cfg(test)] mod t { unsafe impl GlobalAlloc for T {} }").is_empty());
+        // The sanctioned accounting-module policy is exempt.
+        let sanctioned = FilePolicy {
+            deny_global_alloc: false,
+            ..STRICT
+        };
+        let mut v = Vec::new();
+        check_source(
+            "alloc.rs",
+            "#[global_allocator]\nstatic G: C = C;\n",
+            sanctioned,
+            &mut v,
+        );
+        assert!(v.iter().all(|x| x.rule != "alloc-confined"));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::rules::{self, FilePolicy, Severity, Violation};
 
 /// Crates whose library code must be panic-free (the AR hot path: a panic
 /// here aborts a frame mid-flight).
-pub const HOT_CRATES: [&str; 10] = [
+pub const HOT_CRATES: [&str; 11] = [
     "stream",
     "geo",
     "store",
@@ -20,6 +20,7 @@ pub const HOT_CRATES: [&str; 10] = [
     "telemetry",
     "doctor",
     "watch",
+    "profile",
 ];
 
 /// Path fragments identifying simulation code, where wall-clock reads are
@@ -30,7 +31,15 @@ pub const SIM_PATHS: [&str; 2] = ["crates/sensor/src", "crates/core/src/scenario
 /// `augur_telemetry::TimeSource` rather than raw `Instant::now()`, so the
 /// same instrumentation runs deterministically under `ManualTime` in
 /// simulations and against the monotonic clock in benches.
-pub const TELEMETRY_CRATES: [&str; 6] = ["stream", "store", "cloud", "core", "telemetry", "watch"];
+pub const TELEMETRY_CRATES: [&str; 7] = [
+    "stream",
+    "store",
+    "cloud",
+    "core",
+    "telemetry",
+    "watch",
+    "profile",
+];
 
 /// The one sanctioned wall-clock read: `MonotonicTime` in the telemetry
 /// crate's time-source module.
@@ -40,6 +49,12 @@ pub const TIME_SOURCE_EXEMPT: &str = "crates/telemetry/src/time.rs";
 /// Confining sockets to a single module keeps the workspace's network
 /// surface auditable at a glance (and trivially greppable).
 pub const NET_EXEMPT: &str = "crates/watch/src/serve.rs";
+
+/// The one sanctioned global-allocator site: the profile crate's counting
+/// allocator. Everything else opts in through the `global-alloc` cargo
+/// feature (bins/tests only), so allocation accounting has exactly one
+/// implementation to audit.
+pub const ALLOC_EXEMPT: &str = "crates/profile/src/alloc.rs";
 
 /// Result of auditing a tree.
 #[derive(Debug, Default)]
@@ -139,6 +154,10 @@ pub fn policy_for(rel: &str) -> FilePolicy {
         // Sockets are confined workspace-wide — bins included: demo and
         // experiment binaries serve state through `WatchSession::serve`.
         deny_raw_net: rel != NET_EXEMPT,
+        // Global allocators are confined workspace-wide — bins included:
+        // they enable the counting allocator via the `global-alloc`
+        // feature rather than declaring their own.
+        deny_global_alloc: rel != ALLOC_EXEMPT,
         advise_indexing: hot && !is_bin,
         require_docs: is_crate_root,
     }
@@ -199,5 +218,19 @@ mod tests {
         // Watch joined the hot + instrumented sets.
         assert!(policy_for("crates/watch/src/slo.rs").deny_panics);
         assert!(policy_for("crates/watch/src/rollup.rs").deny_raw_instant);
+    }
+
+    #[test]
+    fn alloc_confinement_policy_mapping() {
+        // The counting allocator is the sole sanctioned declaration site.
+        assert!(!policy_for("crates/profile/src/alloc.rs").deny_global_alloc);
+        assert!(policy_for("crates/profile/src/fold.rs").deny_global_alloc);
+        assert!(policy_for("crates/stream/src/pipeline.rs").deny_global_alloc);
+        // Bins are NOT exempt: they opt in via the cargo feature.
+        assert!(policy_for("crates/bench/src/bin/e2_timeliness.rs").deny_global_alloc);
+        // Profile joined the hot + instrumented sets.
+        assert!(policy_for("crates/profile/src/fold.rs").deny_panics);
+        assert!(policy_for("crates/profile/src/diff.rs").deny_raw_instant);
+        assert!(policy_for("crates/profile/src/lib.rs").require_docs);
     }
 }

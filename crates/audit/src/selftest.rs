@@ -10,7 +10,7 @@ use crate::scan;
 
 /// A seeded violation fixture: file path (workspace-relative), source, and
 /// the deny rules the scanner must fire on it.
-const FIXTURES: [(&str, &str, &[&str]); 9] = [
+const FIXTURES: [(&str, &str, &[&str]); 10] = [
     (
         "crates/render/src/bad_global_registry.rs",
         "fn f() { let c = augur_telemetry::Registry::global().counter(\"frames\"); c.inc(); }\n",
@@ -56,6 +56,11 @@ const FIXTURES: [(&str, &str, &[&str]); 9] = [
         "fn f() -> std::io::Result<()> { let _l = std::net::TcpListener::bind(\"127.0.0.1:0\")?; Ok(()) }\n",
         &["net-confined"],
     ),
+    (
+        "crates/stream/src/bad_alloc.rs",
+        "#[global_allocator]\nstatic ALLOC: std::alloc::System = std::alloc::System;\n",
+        &["alloc-confined"],
+    ),
 ];
 
 /// Clean fixture for the time-source exemption: raw `Instant::now()` is
@@ -82,6 +87,26 @@ use std::net::TcpListener;
 /// Binds an ephemeral listener.
 pub fn bind_any() -> std::io::Result<TcpListener> {
     TcpListener::bind("127.0.0.1:0")
+}
+"#;
+
+/// Clean fixture for the alloc exemption: declaring/implementing a global
+/// allocator is allowed only at `crates/profile/src/alloc.rs`, the
+/// sanctioned counting-allocator site. (Profile is a hot, instrumented
+/// crate, so the fixture must also be panic-free and clock-clean.)
+const CLEAN_ALLOC_SITE: &str = r#"//! Clean fixture: the sanctioned counting-allocator site.
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Counts allocations while forwarding to the system allocator.
+pub struct Counting;
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
 }
 "#;
 
@@ -129,6 +154,7 @@ fn run_in(root: &Path) -> Result<(), String> {
     write_fixture(root, "crates/stream/src/clean.rs", CLEAN)?;
     write_fixture(root, "crates/telemetry/src/time.rs", CLEAN_TIME_SOURCE)?;
     write_fixture(root, "crates/watch/src/serve.rs", CLEAN_NET_ENDPOINT)?;
+    write_fixture(root, "crates/profile/src/alloc.rs", CLEAN_ALLOC_SITE)?;
 
     let report = scan::audit_workspace(root).map_err(|e| format!("self-test scan failed: {e}"))?;
 
@@ -170,6 +196,16 @@ fn run_in(root: &Path) -> Result<(), String> {
     if !endpoint_denials.is_empty() {
         return Err(format!(
             "self-test: sanctioned endpoint socket site produced deny findings: {endpoint_denials:?}"
+        ));
+    }
+
+    let alloc_denials: Vec<_> = report
+        .denials()
+        .filter(|v| v.file == "crates/profile/src/alloc.rs")
+        .collect();
+    if !alloc_denials.is_empty() {
+        return Err(format!(
+            "self-test: sanctioned allocator site produced deny findings: {alloc_denials:?}"
         ));
     }
     Ok(())

@@ -3,11 +3,13 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::timed;
-use augur_bench::{f, header, row, sized, Snapshot};
+use augur_bench::{f, header, profile_requested, row, sized, write_profile, Snapshot};
+use augur_profile::Profile;
 use augur_stream::window::CountAggregation;
 use augur_stream::{
     Broker, CheckpointStore, PipelineBuilder, Record, TumblingWindows, WindowState,
 };
+use augur_telemetry::{FlightRecorder, TraceContext};
 use rand::{Rng, SeedableRng};
 
 fn fill(broker: &Broker, topic: &str, n: u64, schema_families: u32, seed: u64) {
@@ -57,17 +59,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut snap = Snapshot::new("e12_stream");
     snap.param_num("records", n as f64);
     snap.param_num("schema_families", 3.0);
+    // --profile: record the pipeline's stage span tree on a flight ring.
+    // Stack paths are deterministic; weights are wall-clock (this bench
+    // measures real throughput, not modeled time).
+    let profiling = profile_requested();
+    let recorder = FlightRecorder::new(1 << 16);
+    let flight_root = TraceContext::root(12, 0xE12);
     for &parts in &[1u32, 2, 4, 8, 16] {
         let broker = Broker::new();
         broker.create_topic("events", parts)?;
         fill(&broker, "events", n, 3, parts as u64);
-        let mut pipeline = PipelineBuilder::new(broker.clone(), "events", decode)
-            .registry(snap.registry())
-            .build();
+        let mut builder =
+            PipelineBuilder::new(broker.clone(), "events", decode).registry(snap.registry());
+        if profiling {
+            builder = builder.flight(&recorder, flight_root.child(u64::from(parts)));
+        }
+        let mut pipeline = builder.build();
         let (_items, metrics) = pipeline.collect()?;
-        let mut windowed = PipelineBuilder::new(broker, "events", decode)
-            .watermark_bound_us(1_000)
-            .build();
+        let mut builder = PipelineBuilder::new(broker, "events", decode).watermark_bound_us(1_000);
+        if profiling {
+            builder = builder.flight(&recorder, flight_root.child(u64::from(parts) | 0x100));
+        }
+        let mut windowed = builder.build();
         let (results, wm) = windowed.run_windowed(
             TumblingWindows::new(1_000_000),
             CountAggregation,
@@ -177,6 +190,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          crash+resume ≈ uninterrupted cost; throughput scales with partitions\n\
          until the in-process merge dominates"
     );
+    if profiling {
+        write_profile("e12_stream", &Profile::from_events(&recorder.drain()))?;
+    }
     snap.write()?;
     Ok(())
 }

@@ -6,7 +6,11 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_analytics::{BatchAggregator, IncrementalView};
-use augur_bench::{f, header, row, smoke, timed, timed_mean, Snapshot};
+use augur_bench::{
+    f, header, profile_requested, row, smoke, timed, timed_mean, write_profile, Snapshot,
+};
+use augur_profile::Profile;
+use augur_telemetry::{FlightRecorder, ManualTime, TimeSource, TraceContext};
 use rand::{Rng, SeedableRng};
 
 const FRAME_BUDGET_US: f64 = 33_333.0;
@@ -25,6 +29,17 @@ fn main() {
     snap.param_num("frame_budget_us", FRAME_BUDGET_US);
     snap.param_num("groups", 50.0);
     snap.param_num("max_events", volumes[volumes.len() - 1] as f64);
+    // --profile: record the modeled costs as a span tree on a ManualTime
+    // clock (1 work unit ≙ 1 µs), so the artifacts are byte-identical
+    // across runs even though the measured timings above vary.
+    let profiling = profile_requested();
+    let recorder = FlightRecorder::new(4096);
+    let clock = ManualTime::shared();
+    let flight_root = TraceContext::root(2, 0xE2);
+    let root_name = recorder.intern("e2");
+    let batch_name = recorder.intern("e2/batch_recompute");
+    let incr_name = recorder.intern("e2/incremental_update");
+    let run_t0 = clock.now_micros();
     row(&[
         "events".into(),
         "batch µs".into(),
@@ -67,6 +82,24 @@ fn main() {
         snap.gauge("batch_recompute_modeled_us", &labels, n as f64);
         snap.gauge("incremental_update_modeled_us", &labels, 1.0);
         snap.gauge("groups_active", &labels, result.len() as f64);
+        if profiling {
+            let vol = format!("e2/vol_{n}");
+            let vol_name = recorder.intern(&vol);
+            let vol_ctx = flight_root.child(n);
+            let t0 = clock.now_micros();
+            let b0 = clock.now_micros();
+            clock.advance_micros(n);
+            recorder.record_span(vol_ctx.child_named("e2/batch_recompute"), batch_name, b0, n);
+            let i0 = clock.now_micros();
+            clock.advance_micros(1);
+            recorder.record_span(
+                vol_ctx.child_named("e2/incremental_update"),
+                incr_name,
+                i0,
+                1,
+            );
+            recorder.record_span(vol_ctx, vol_name, t0, clock.now_micros() - t0);
+        }
         row(&[
             n.to_string(),
             f(batch_us, 0),
@@ -92,6 +125,11 @@ fn main() {
     }
     if let Some(n) = crossover {
         snap.gauge("crossover_events", &[], n as f64);
+    }
+    if profiling {
+        recorder.record_span(flight_root, root_name, run_t0, clock.now_micros() - run_t0);
+        write_profile("e2_timeliness", &Profile::from_events(&recorder.drain()))
+            .expect("profile write");
     }
     snap.write().expect("snapshot write");
 }

@@ -2,12 +2,13 @@
 //! break-even compute demand per network profile.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, smoke, Snapshot};
+use augur_bench::{f, header, profile_requested, row, smoke, write_profile, Snapshot};
 use augur_cloud::{
-    best_plan, estimate, estimate_traced, ComputeResource, EnergyParams, NetworkProfile,
-    OffloadPlan, TaskGraph,
+    best_plan, estimate, estimate_flight, estimate_traced, ComputeResource, EnergyParams,
+    NetworkProfile, OffloadPlan, TaskGraph,
 };
-use augur_telemetry::{ManualTime, Tracer};
+use augur_profile::Profile;
+use augur_telemetry::{FlightRecorder, ManualTime, TraceContext, Tracer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header(
@@ -27,6 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     snap.param_num("frame_bytes", frame_bytes as f64);
     snap.param_num("demand_points", demands.len() as f64);
     let tracer = Tracer::new(snap.registry(), ManualTime::shared());
+    let profiling = profile_requested();
+    let recorder = FlightRecorder::new(1 << 16);
+    let flight_root = TraceContext::root(3, 0xE3);
 
     for net in NetworkProfile::presets() {
         println!(
@@ -62,8 +66,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
             let (plan, best) = best_plan(&graph, &phone, &cloud, &net, &energy)?;
             // Re-estimate the winning plan traced so per-task spans and
-            // headline gauges land in the snapshot registry.
-            let _ = estimate_traced(&graph, &plan, &phone, &cloud, &net, &energy, &tracer)?;
+            // headline gauges land in the snapshot registry; under
+            // --profile the flight variant also records the per-task
+            // span tree (identical metrics otherwise).
+            if profiling {
+                let _ = estimate_flight(
+                    &graph,
+                    &plan,
+                    &phone,
+                    &cloud,
+                    &net,
+                    &energy,
+                    &tracer,
+                    &recorder,
+                    flight_root,
+                )?;
+            } else {
+                let _ = estimate_traced(&graph, &plan, &phone, &cloud, &net, &energy, &tracer)?;
+            }
             if remote.latency_ms < local.latency_ms && break_even.is_none() {
                 break_even = Some(g);
             }
@@ -97,6 +117,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          demand than LTE/3G; heavy analytics always offloads — the paper's cloud\n\
          argument HOLDS if the break-even ordering follows network speed"
     );
+    if profiling {
+        write_profile("e3_offload", &Profile::from_events(&recorder.drain()))?;
+    }
     snap.write()?;
     Ok(())
 }

@@ -15,12 +15,40 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use augur_profile::Profile;
 use augur_telemetry::{escape_json, json_f64, Registry};
 
 /// True when the binary should run a fast smoke-sized workload: the
 /// `--smoke` flag is present or `AUGUR_SMOKE` is set in the environment.
 pub fn smoke() -> bool {
     std::env::args().any(|a| a == "--smoke") || std::env::var_os("AUGUR_SMOKE").is_some()
+}
+
+/// True when the binary should emit profile artifacts: the `--profile`
+/// flag is present or `AUGUR_PROFILE` is set in the environment.
+pub fn profile_requested() -> bool {
+    std::env::args().any(|a| a == "--profile") || std::env::var_os("AUGUR_PROFILE").is_some()
+}
+
+/// Writes `profile` as `<out_dir>/<bench>.folded` (flamegraph.pl /
+/// inferno collapsed stacks) and `<out_dir>/<bench>.speedscope.json`,
+/// printing both paths, and returns them. Since the profiled work is
+/// modeled time under fixed seeds, both artifacts are byte-identical
+/// across runs.
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn write_profile(bench: &str, profile: &Profile) -> io::Result<(PathBuf, PathBuf)> {
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir)?;
+    let folded = dir.join(format!("{bench}.folded"));
+    std::fs::write(&folded, profile.render_folded())?;
+    let speedscope = dir.join(format!("{bench}.speedscope.json"));
+    std::fs::write(&speedscope, profile.render_speedscope(bench))?;
+    println!("profile: {}", folded.display());
+    println!("profile: {}", speedscope.display());
+    Ok((folded, speedscope))
 }
 
 /// Scales a workload size down to `small` in smoke mode.
@@ -201,6 +229,27 @@ mod tests {
         std::env::set_var("AUGUR_OUT_DIR", "results/baseline");
         assert_eq!(out_dir(), PathBuf::from("results/baseline"));
         std::env::remove_var("AUGUR_OUT_DIR");
+    }
+
+    #[test]
+    fn write_profile_emits_folded_and_speedscope_artifacts() {
+        use augur_telemetry::{FlightRecorder, TraceContext};
+        let rec = FlightRecorder::new(64);
+        let name = rec.intern("bench_root");
+        rec.record_span(TraceContext::root(1, 0xB), name, 0, 42);
+        let profile = Profile::from_events(&rec.drain());
+        // out_dir() in the test binary falls back to results/; write to a
+        // temp dir explicitly via the env override.
+        let dir = std::env::temp_dir().join("augur-bench-profile-test");
+        std::env::set_var("AUGUR_OUT_DIR", &dir);
+        let (folded, speedscope) =
+            write_profile("unit_test_profile", &profile).expect("profile write");
+        std::env::remove_var("AUGUR_OUT_DIR");
+        let folded_text = std::fs::read_to_string(&folded).expect("folded read");
+        assert_eq!(folded_text, "bench_root 42\n");
+        let ss = std::fs::read_to_string(&speedscope).expect("speedscope read");
+        assert!(ss.contains("\"$schema\""), "{ss}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

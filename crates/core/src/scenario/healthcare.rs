@@ -133,6 +133,24 @@ pub fn run_traced(
     run_inner(params, registry, Some(recorder), None)
 }
 
+/// [`run_traced`] folded into a deterministic profile
+/// (`healthcare;healthcare/detect`, …): per-stack-path
+/// inclusive/exclusive modeled time plus allocation stats when the
+/// counting allocator is installed. Same-seed runs render
+/// byte-identical artifacts.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_profiled(
+    params: &HealthcareParams,
+    registry: &Registry,
+) -> Result<(HealthcareReport, augur_profile::Profile), CoreError> {
+    super::profiled_run("healthcare", registry, |rec| {
+        run_inner(params, registry, Some(rec), None)
+    })
+}
+
 /// Detector records processed per observed watch cycle (see
 /// [`run_watched`]): the detect stage reports once per chunk, so a
 /// healthy cycle models ~1 ms of work.
@@ -212,6 +230,7 @@ pub fn watch_config(seed: u64) -> WatchConfig {
                     factor: 2.0,
                 }],
             },
+            super::trace_loss_slo(),
         ],
         ..WatchConfig::default()
     }

@@ -30,12 +30,83 @@
 //! clock — bit-reproducible under the seed, and servable live via
 //! [`augur_watch::WatchSession::serve`].
 
+//! Each scenario also exposes `run_profiled(params, &Registry)`: the
+//! traced run folded into an [`augur_profile::Profile`] — per-stack-path
+//! inclusive/exclusive modeled time plus per-scope allocation stats —
+//! ready to export as a flamegraph (`render_folded`) or speedscope
+//! document. Same-seed runs produce byte-identical artifacts.
+
 pub mod healthcare;
 pub mod retail;
 pub mod tourism;
 pub mod traffic;
 
-use augur_telemetry::{FlightRecorder, NameId, TraceContext};
+use augur_profile::Profile;
+use augur_telemetry::{FlightRecorder, NameId, Registry, TraceContext};
+use augur_watch::{BurnRule, Objective, SloSpec};
+
+use crate::error::CoreError;
+
+/// Ring capacity for `run_profiled` recorders: large enough that no
+/// default-parameter scenario run ever wraps (a lapped ring would drop
+/// spans and corrupt the profile — the trace-loss SLO guards the
+/// watched variants of the same risk).
+const PROFILE_FLIGHT_CAPACITY: usize = 1 << 16;
+
+/// The shared trace-loss objective every scenario's `watch_config`
+/// declares: the flight ring must lose fewer than 1% of its records
+/// (`flight_dropped_events_total` over `flight_events_total`, both
+/// exported by the watch session each tick). Silent span loss corrupts
+/// profiles and traces, so it alerts like any other SLO.
+pub(crate) fn trace_loss_slo() -> SloSpec {
+    SloSpec {
+        name: "trace_loss".to_string(),
+        objective: Objective::RatioBelow {
+            bad_series: "flight_dropped_events_total".to_string(),
+            total_series: "flight_events_total".to_string(),
+            max_ratio: 0.01,
+        },
+        budget: 0.1,
+        period_us: 5_000_000,
+        rules: vec![BurnRule {
+            name: "fast".to_string(),
+            short_us: 100_000,
+            long_us: 250_000,
+            factor: 2.0,
+        }],
+    }
+}
+
+/// Shared implementation of the scenarios' `run_profiled` variants:
+/// runs `run` against a fresh flight ring inside a `scenario`-named
+/// allocation scope, then folds the drained spans into a [`Profile`],
+/// attaches the run's per-scope allocation stats (scenario scope plus
+/// any `scenario/...` stage scopes), and exports those stats into
+/// `registry` as `profile_alloc_total` / `profile_alloc_bytes_total`
+/// counters.
+pub(crate) fn profiled_run<R>(
+    scenario: &str,
+    registry: &Registry,
+    run: impl FnOnce(&FlightRecorder) -> Result<R, CoreError>,
+) -> Result<(R, Profile), CoreError> {
+    let recorder = FlightRecorder::new(PROFILE_FLIGHT_CAPACITY);
+    let scope = augur_profile::register_scope(scenario);
+    let snapshot = augur_profile::AllocSnapshot::capture();
+    let guard = augur_profile::AllocScope::enter(scope);
+    let result = run(&recorder);
+    drop(guard);
+    let report = result?;
+    let prefix = format!("{scenario}/");
+    let stats: Vec<augur_profile::ScopeStat> = snapshot
+        .delta()
+        .into_iter()
+        .filter(|s| s.name == scenario || s.name.starts_with(&prefix))
+        .collect();
+    augur_profile::export_alloc_to_registry(&stats, registry);
+    let mut profile = Profile::from_events(&recorder.drain());
+    profile.attach_alloc(&stats);
+    Ok((report, profile))
+}
 
 /// Coarse flight wiring shared by the scenario runners: one root span
 /// covering the run, one child span per stage. All timestamps come from

@@ -147,6 +147,23 @@ pub fn run_traced(
     run_inner(params, registry, Some(recorder), None)
 }
 
+/// [`run_traced`] folded into a deterministic profile
+/// (`retail;retail/train`, …): per-stack-path inclusive/exclusive
+/// modeled time plus allocation stats when the counting allocator is
+/// installed. Same-seed runs render byte-identical artifacts.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_profiled(
+    params: &RetailParams,
+    registry: &Registry,
+) -> Result<(RetailReport, augur_profile::Profile), CoreError> {
+    super::profiled_run("retail", registry, |rec| {
+        run_inner(params, registry, Some(rec), None)
+    })
+}
+
 /// The scenario's declared service-level objective: p95 stage latency
 /// (`frame_latency_us{scenario=retail}` — each of log/train/evaluate/
 /// session is one observed cycle) at or under 50 ms of modeled work, so
@@ -166,22 +183,25 @@ pub fn watch_config(seed: u64) -> WatchConfig {
                 },
             ],
         },
-        slos: vec![SloSpec {
-            name: "retail_stage_p95".to_string(),
-            objective: Objective::LatencyQuantile {
-                series: "frame_latency_us{scenario=retail}".to_string(),
-                q: 0.95,
-                threshold_us: 50_000,
+        slos: vec![
+            SloSpec {
+                name: "retail_stage_p95".to_string(),
+                objective: Objective::LatencyQuantile {
+                    series: "frame_latency_us{scenario=retail}".to_string(),
+                    q: 0.95,
+                    threshold_us: 50_000,
+                },
+                budget: 0.1,
+                period_us: 2_000_000,
+                rules: vec![BurnRule {
+                    name: "fast".to_string(),
+                    short_us: 200_000,
+                    long_us: 500_000,
+                    factor: 2.0,
+                }],
             },
-            budget: 0.1,
-            period_us: 2_000_000,
-            rules: vec![BurnRule {
-                name: "fast".to_string(),
-                short_us: 200_000,
-                long_us: 500_000,
-                factor: 2.0,
-            }],
-        }],
+            super::trace_loss_slo(),
+        ],
         ..WatchConfig::default()
     }
 }

@@ -124,6 +124,24 @@ pub fn run_traced(
     run_inner(params, registry, Some(recorder), None)
 }
 
+/// [`run_traced`] folded into a deterministic profile: per-frame root
+/// stacks (`tourism/frame;tourism/retrieve`, …) with inclusive and
+/// exclusive modeled time, plus per-stage allocation stats when the
+/// counting allocator is installed (see [`augur_profile::alloc`]).
+/// Same-seed runs render byte-identical folded/speedscope artifacts.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_profiled(
+    params: &TourismParams,
+    registry: &Registry,
+) -> Result<(TourismReport, augur_profile::Profile), CoreError> {
+    super::profiled_run("tourism", registry, |rec| {
+        run_inner(params, registry, Some(rec), None)
+    })
+}
+
 /// The scenario's declared service-level objectives: a 60 FPS frame
 /// budget — p95 of `frame_latency_us{scenario=tourism}` at or under
 /// 16.6 ms of modeled work — guarded by a fast and a slow multi-window
@@ -151,30 +169,33 @@ pub fn watch_config(seed: u64) -> WatchConfig {
                 },
             ],
         },
-        slos: vec![SloSpec {
-            name: "tourism_frame_p95".to_string(),
-            objective: Objective::LatencyQuantile {
-                series: "frame_latency_us{scenario=tourism}".to_string(),
-                q: 0.95,
-                threshold_us: 16_600,
+        slos: vec![
+            SloSpec {
+                name: "tourism_frame_p95".to_string(),
+                objective: Objective::LatencyQuantile {
+                    series: "frame_latency_us{scenario=tourism}".to_string(),
+                    q: 0.95,
+                    threshold_us: 16_600,
+                },
+                budget: 0.1,
+                period_us: 5_000_000,
+                rules: vec![
+                    BurnRule {
+                        name: "fast".to_string(),
+                        short_us: 100_000,
+                        long_us: 250_000,
+                        factor: 2.0,
+                    },
+                    BurnRule {
+                        name: "slow".to_string(),
+                        short_us: 250_000,
+                        long_us: 1_000_000,
+                        factor: 1.0,
+                    },
+                ],
             },
-            budget: 0.1,
-            period_us: 5_000_000,
-            rules: vec![
-                BurnRule {
-                    name: "fast".to_string(),
-                    short_us: 100_000,
-                    long_us: 250_000,
-                    factor: 2.0,
-                },
-                BurnRule {
-                    name: "slow".to_string(),
-                    short_us: 250_000,
-                    long_us: 1_000_000,
-                    factor: 1.0,
-                },
-            ],
-        }],
+            super::trace_loss_slo(),
+        ],
         ..WatchConfig::default()
     }
 }
@@ -233,8 +254,19 @@ fn run_inner(
         occlusion: rec.intern("tourism/occlusion"),
         layout: rec.intern("tourism/layout"),
     });
+    // Per-stage allocation scopes: when the counting allocator is
+    // installed (`augur-profile`'s `global-alloc` feature, bins/tests
+    // only) every stage's allocations are charged to its span name, so
+    // profiles can be rendered by bytes as well as modeled time. The
+    // guards are plain thread-local stores — negligible either way.
+    let alloc_setup = augur_profile::register_scope("tourism/setup");
+    let alloc_tracking = augur_profile::register_scope("tourism/tracking");
+    let alloc_retrieve = augur_profile::register_scope("tourism/retrieve");
+    let alloc_occlusion = augur_profile::register_scope("tourism/occlusion");
+    let alloc_layout = augur_profile::register_scope("tourism/layout");
     let setup_t0 = clock.now_micros();
     let setup_span = tracer.span("tourism/setup");
+    let setup_alloc = augur_profile::AllocScope::enter(alloc_setup);
     let origin = GeoPoint::new(22.3364, 114.2655)?;
     let frame = LocalFrame::new(origin);
     let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
@@ -242,6 +274,7 @@ fn run_inner(
     let city = CityModel::generate(&CityParams::default(), &mut rng);
     let occlusion = OcclusionIndex::build(&city);
     clock.advance_micros(params.pois as u64);
+    drop(setup_alloc);
     setup_span.end();
     if let Some(f) = &flight {
         f.stage("tourism/setup", setup_t0, clock.now_micros());
@@ -253,6 +286,7 @@ fn run_inner(
     // Ground truth walk + fused tracking.
     let tracking_t0 = clock.now_micros();
     let tracking_span = tracer.span("tourism/tracking");
+    let tracking_alloc = augur_profile::AllocScope::enter(alloc_tracking);
     let traj_params = TrajectoryParams {
         half_extent_m: 350.0,
         speed_mps: 1.4,
@@ -277,6 +311,7 @@ fn run_inner(
     let mut tracker = KalmanTracker::new(KalmanParams::default());
     let poses = run_tracker(&mut tracker, &truth, &fixes, &readings);
     clock.advance_micros(truth.len() as u64);
+    drop(tracking_alloc);
     tracking_span.end();
     if let Some(f) = &flight {
         f.stage("tourism/tracking", tracking_t0, clock.now_micros());
@@ -314,12 +349,14 @@ fn run_inner(
         let frame_t0 = clock.now_micros();
         let retrieve_t0 = frame_t0;
         let retrieve_span = tracer.span("tourism/retrieve");
+        let retrieve_alloc = augur_profile::AllocScope::enter(alloc_retrieve);
         let here = frame.to_geodetic(pose.position);
         let (near, knn_work) = db.nearest_counted(here, params.k);
         knn_total_work += knn_work;
         let (in_radius, scan_work) = db.within_radius_scan_counted(here, params.radius_m);
         scan_total_work += scan_work;
         clock.advance_micros((knn_work + scan_work) as u64);
+        drop(retrieve_alloc);
         retrieve_span.end();
         if let Some(w) = &wire {
             w.rec.record_span(
@@ -335,6 +372,7 @@ fn run_inner(
         // Occlusion + x-ray for this frame.
         let occlusion_t0 = clock.now_micros();
         let occlusion_span = tracer.span("tourism/occlusion");
+        let occlusion_alloc = augur_profile::AllocScope::enter(alloc_occlusion);
         let camera = ViewCamera::new(
             Enu::new(pose.position.east, pose.position.north, 1.6),
             truth[i].heading_deg,
@@ -352,6 +390,7 @@ fn run_inner(
         let frame_reveals = xray_reveals(&camera, &targets, &occlusion);
         reveals += frame_reveals.iter().filter(|r| r.reveal).count();
         clock.advance_micros(targets.len() as u64);
+        drop(occlusion_alloc);
         occlusion_span.end();
         if let Some(w) = &wire {
             w.rec.record_span(
@@ -365,6 +404,7 @@ fn run_inner(
         // Layout the labels for targets in view.
         let layout_t0 = clock.now_micros();
         let layout_span = tracer.span("tourism/layout");
+        let layout_alloc = augur_profile::AllocScope::enter(alloc_layout);
         let labels: Vec<LabelBox> = targets
             .iter()
             .filter_map(|(id, pos)| {
@@ -385,6 +425,7 @@ fn run_inner(
             drop_sum += greedy.drop_ratio;
         }
         clock.advance_micros(labels.len() as u64);
+        drop(layout_alloc);
         layout_span.end();
         if let Some(w) = &wire {
             w.rec.record_span(

@@ -152,6 +152,23 @@ pub fn run_traced(
     run_inner(params, registry, Some(recorder), None)
 }
 
+/// [`run_traced`] folded into a deterministic profile
+/// (`traffic;traffic/simulate`, …): per-stack-path inclusive/exclusive
+/// modeled time plus allocation stats when the counting allocator is
+/// installed. Same-seed runs render byte-identical artifacts.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_profiled(
+    params: &TrafficParams,
+    registry: &Registry,
+) -> Result<(TrafficReport, augur_profile::Profile), CoreError> {
+    super::profiled_run("traffic", registry, |rec| {
+        run_inner(params, registry, Some(rec), None)
+    })
+}
+
 /// The scenario's declared service-level objective: p95 per-step beacon
 /// processing latency (`frame_latency_us{scenario=traffic}`, modeled
 /// one work unit per beacon sent) at or under 10 ms — the windshield
@@ -171,22 +188,25 @@ pub fn watch_config(seed: u64) -> WatchConfig {
                 },
             ],
         },
-        slos: vec![SloSpec {
-            name: "traffic_step_p95".to_string(),
-            objective: Objective::LatencyQuantile {
-                series: "frame_latency_us{scenario=traffic}".to_string(),
-                q: 0.95,
-                threshold_us: 10_000,
+        slos: vec![
+            SloSpec {
+                name: "traffic_step_p95".to_string(),
+                objective: Objective::LatencyQuantile {
+                    series: "frame_latency_us{scenario=traffic}".to_string(),
+                    q: 0.95,
+                    threshold_us: 10_000,
+                },
+                budget: 0.1,
+                period_us: 5_000_000,
+                rules: vec![BurnRule {
+                    name: "fast".to_string(),
+                    short_us: 100_000,
+                    long_us: 250_000,
+                    factor: 2.0,
+                }],
             },
-            budget: 0.1,
-            period_us: 5_000_000,
-            rules: vec![BurnRule {
-                name: "fast".to_string(),
-                short_us: 100_000,
-                long_us: 250_000,
-                factor: 2.0,
-            }],
-        }],
+            super::trace_loss_slo(),
+        ],
         ..WatchConfig::default()
     }
 }

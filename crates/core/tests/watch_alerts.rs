@@ -71,8 +71,8 @@ fn healthy_tourism_run_declares_slo_and_stays_ok() {
     let (session, events) = watched_tourism(0);
     let health = session.health();
     assert!(health.ok, "healthy run must meet the frame budget");
-    assert_eq!(health.slos.len(), 1);
-    assert_eq!(health.slos[0].name, "tourism_frame_p95");
+    let names: Vec<&str> = health.slos.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, vec!["tourism_frame_p95", "trace_loss"]);
     assert!(
         !events.iter().any(|e| e.name.starts_with("slo/")),
         "no alert events without injection"
@@ -83,6 +83,34 @@ fn healthy_tourism_run_declares_slo_and_stays_ok() {
         .series_keys()
         .iter()
         .any(|k| k == "frame_latency_us{scenario=tourism}"));
+}
+
+#[test]
+fn undersized_flight_ring_fires_the_trace_loss_slo() {
+    // An 8-slot ring under a run emitting hundreds of spans loses far
+    // more than the 1% the trace-loss objective tolerates; the watch
+    // session's exported flight counters must surface that as a fired
+    // SLO instead of silently corrupting traces and profiles.
+    let mut config = tourism::watch_config(7);
+    config.flight_capacity = 8;
+    let mut session = WatchSession::new(config).expect("valid watch config");
+    let params = tourism::TourismParams {
+        duration_s: 120.0,
+        ..small_tourism()
+    };
+    tourism::run_watched(&params, &mut session).expect("scenario runs");
+    let health = session.health();
+    let trace_loss = health
+        .slos
+        .iter()
+        .find(|s| s.name == "trace_loss")
+        .expect("trace_loss SLO is declared");
+    assert!(!trace_loss.ok, "an 8-slot ring must lose >1% of spans");
+    // The healthy-capacity run in the test above keeps the same SLO ok.
+    let registry = session.registry();
+    let lost = registry.counter("flight_dropped_events_total").get();
+    let total = registry.counter("flight_events_total").get();
+    assert!(lost > 0 && total > lost, "lost {lost} of {total}");
 }
 
 #[test]
@@ -165,7 +193,8 @@ fn healthcare_watch_grades_alert_latency_and_drop_ratio() {
         vec![
             "healthcare_detect_p95",
             "healthcare_alert_p95",
-            "healthcare_drop_ratio"
+            "healthcare_drop_ratio",
+            "trace_loss"
         ]
     );
     let keys = session.rollup().series_keys();

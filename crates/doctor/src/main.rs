@@ -3,6 +3,7 @@
 //! ```text
 //! augur-doctor --baseline results/baseline --current results [--json results/doctor.json]
 //! augur-doctor --trend results/baseline/history
+//! augur-doctor --profile-diff baseline.folded current.folded
 //! ```
 //!
 //! Pairwise mode compares every bench snapshot present in BOTH
@@ -16,9 +17,19 @@
 //! by bench — and exits 1 on **sustained drift**: a metric whose fitted
 //! worsening across the whole history exceeds its class tolerance, even
 //! when every individual step was inside tolerance.
+//!
+//! Profile-diff mode (`--profile-diff <baseline.folded>
+//! <current.folded>`, exclusive with the others) localizes a
+//! regression: it ranks every stack frame by exclusive self-time delta
+//! between the two folded profiles (the artifacts `--profile` runs
+//! write) and exits 1 — naming the frame — when the worst growth
+//! exceeds the latency tolerance.
 
 use std::path::PathBuf;
 
+use augur_doctor::profile_diff::{
+    has_profile_regressions, render_profile_diff_markdown, run_profile_diff,
+};
 use augur_doctor::trend::{has_drift, render_trend_markdown, run_trend};
 use augur_doctor::{has_regressions, render_json, render_markdown, run_gate, Tolerances};
 
@@ -31,16 +42,22 @@ enum Mode {
     Trend {
         history: PathBuf,
     },
+    ProfileDiff {
+        baseline: PathBuf,
+        current: PathBuf,
+    },
 }
 
 const USAGE: &str = "usage: augur-doctor --baseline <dir> --current <dir> [--json <path>]\n\
-       augur-doctor --trend <dir>";
+       augur-doctor --trend <dir>\n\
+       augur-doctor --profile-diff <baseline.folded> <current.folded>";
 
 fn parse_args() -> Result<Mode, String> {
     let mut baseline = None;
     let mut current = None;
     let mut json_out = None;
     let mut trend = None;
+    let mut profile_diff = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -52,9 +69,25 @@ fn parse_args() -> Result<Mode, String> {
             "--current" => current = Some(PathBuf::from(take("--current")?)),
             "--json" => json_out = Some(PathBuf::from(take("--json")?)),
             "--trend" => trend = Some(PathBuf::from(take("--trend")?)),
+            "--profile-diff" => {
+                let base = PathBuf::from(take("--profile-diff")?);
+                let cur = PathBuf::from(take("--profile-diff")?);
+                profile_diff = Some((base, cur));
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
+    }
+    if let Some((base, cur)) = profile_diff {
+        if baseline.is_some() || current.is_some() || json_out.is_some() || trend.is_some() {
+            return Err(format!(
+                "--profile-diff is exclusive with other modes\n{USAGE}"
+            ));
+        }
+        return Ok(Mode::ProfileDiff {
+            baseline: base,
+            current: cur,
+        });
     }
     if let Some(history) = trend {
         if baseline.is_some() || current.is_some() || json_out.is_some() {
@@ -80,6 +113,25 @@ fn run() -> i32 {
         }
     };
     match mode {
+        Mode::ProfileDiff { baseline, current } => {
+            let report = match run_profile_diff(&baseline, &current, &Tolerances::default()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!(
+                        "augur-doctor: failed diffing {} / {}: {e}",
+                        baseline.display(),
+                        current.display()
+                    );
+                    return 2;
+                }
+            };
+            print!("{}", render_profile_diff_markdown(&report));
+            if has_profile_regressions(&report) {
+                1
+            } else {
+                0
+            }
+        }
         Mode::Trend { history } => {
             let reports = match run_trend(&history, &Tolerances::default()) {
                 Ok(r) => r,

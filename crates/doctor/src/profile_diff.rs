@@ -1,0 +1,134 @@
+//! Differential-profile mode (`--profile-diff`): regression
+//! localization.
+//!
+//! The pairwise and trend gates answer *whether* a bench regressed;
+//! this mode answers *where*. Given two folded-stack profiles (the
+//! `.folded` artifacts `--profile` runs write), it ranks every frame by
+//! exclusive self-time delta and fails — naming the frame — when the
+//! worst movement exceeds the latency tolerance the snapshot gate
+//! already uses. A failing doctor verdict thus comes with the stack
+//! frame that caused it.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use augur_profile::{diff_folded, parse_folded, FrameDelta};
+
+use crate::Tolerances;
+
+/// Outcome of diffing two folded profiles.
+#[derive(Debug, Clone)]
+pub struct ProfileDiffReport {
+    /// Every frame present in either profile, worst regression first.
+    pub deltas: Vec<FrameDelta>,
+    /// Names of frames whose self-time growth exceeds the latency
+    /// tolerance, in delta order (worst first).
+    pub regressed: Vec<String>,
+}
+
+/// Diffs `baseline` against `current` (both folded-stack files),
+/// gating each frame's self-time growth on `tol.latency`.
+///
+/// # Errors
+///
+/// I/O errors reading either file; malformed folded input surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn run_profile_diff(
+    baseline: &Path,
+    current: &Path,
+    tol: &Tolerances,
+) -> io::Result<ProfileDiffReport> {
+    let parse = |path: &Path| -> io::Result<_> {
+        let text = std::fs::read_to_string(path)?;
+        parse_folded(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    };
+    let base = parse(baseline)?;
+    let cur = parse(current)?;
+    let deltas = diff_folded(&base, &cur);
+    let regressed = deltas
+        .iter()
+        .filter(|d| d.delta_us > 0 && !tol.latency.allows(d.baseline_us as f64, d.delta_us as f64))
+        .map(|d| d.name.clone())
+        .collect();
+    Ok(ProfileDiffReport { deltas, regressed })
+}
+
+/// True when any frame's growth breaks the tolerance.
+pub fn has_profile_regressions(report: &ProfileDiffReport) -> bool {
+    !report.regressed.is_empty()
+}
+
+/// Renders the localization verdict: the ranked frame table plus a
+/// verdict line naming the worst offender (or declaring the profiles
+/// within tolerance).
+pub fn render_profile_diff_markdown(report: &ProfileDiffReport) -> String {
+    let mut out = String::from("# augur-doctor profile diff\n\n");
+    out.push_str(&augur_profile::render_diff_markdown(&report.deltas));
+    out.push('\n');
+    match report.regressed.first() {
+        Some(worst) => {
+            let _ = writeln!(
+                out,
+                "**REGRESSION**: {} frame(s) over latency tolerance; worst: `{worst}`",
+                report.regressed.len()
+            );
+        }
+        None => {
+            out.push_str("No frame exceeds the latency tolerance.\n");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_tmp(name: &str, text: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("augur-doctor-profile-diff-test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap_or_else(|e| unreachable!("{e}"));
+        path
+    }
+
+    #[test]
+    fn flags_only_out_of_tolerance_growth() {
+        let base = write_tmp("base.folded", "run 1000\nrun;slow 500\nrun;noise 500\n");
+        let cur = write_tmp("cur.folded", "run 1000\nrun;slow 800\nrun;noise 510\n");
+        let report = run_profile_diff(&base, &cur, &Tolerances::default())
+            .unwrap_or_else(|e| unreachable!("{e}"));
+        assert!(has_profile_regressions(&report));
+        assert_eq!(report.regressed, vec!["slow"], "2% noise stays inside");
+        assert_eq!(report.deltas[0].name, "slow");
+        let md = render_profile_diff_markdown(&report);
+        assert!(md.contains("worst: `slow`"), "{md}");
+    }
+
+    #[test]
+    fn clean_diff_has_no_regressions() {
+        let base = write_tmp("clean-base.folded", "run 1000\n");
+        let cur = write_tmp("clean-cur.folded", "run 1005\n");
+        let report = run_profile_diff(&base, &cur, &Tolerances::default())
+            .unwrap_or_else(|e| unreachable!("{e}"));
+        assert!(!has_profile_regressions(&report));
+        assert!(render_profile_diff_markdown(&report)
+            .contains("No frame exceeds the latency tolerance."));
+    }
+
+    #[test]
+    fn malformed_input_is_invalid_data() {
+        let bad = write_tmp("bad.folded", "not-a-profile\n");
+        let ok = write_tmp("ok.folded", "run 10\n");
+        let err = run_profile_diff(&bad, &ok, &Tolerances::default())
+            .err()
+            .unwrap_or_else(|| unreachable!());
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,191 @@
+//! Differential profiling: diff two folded profiles and rank frames by
+//! self-time delta.
+//!
+//! This is the localization half of the regression story: when
+//! `augur-doctor` fails a gate, `--profile-diff baseline.folded
+//! current.folded` names the stack frame whose exclusive time moved the
+//! most — turning "e2 got 20% slower" into "`pipeline/transform` gained
+//! 400µs of self time".
+
+use std::collections::BTreeMap;
+
+use crate::ProfileError;
+
+/// One frame's self-time movement between two profiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameDelta {
+    /// Frame (span) name.
+    pub name: String,
+    /// Self time in the baseline profile, microseconds.
+    pub baseline_us: u64,
+    /// Self time in the current profile, microseconds.
+    pub current_us: u64,
+    /// `current - baseline` (negative = improvement).
+    pub delta_us: i64,
+}
+
+impl FrameDelta {
+    /// Relative change against the baseline (`delta / baseline`);
+    /// a frame appearing from nothing reports `f64::INFINITY`.
+    pub fn ratio(&self) -> f64 {
+        if self.baseline_us == 0 {
+            if self.delta_us == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.delta_us as f64 / self.baseline_us as f64
+        }
+    }
+}
+
+/// Parses collapsed-stack text (`path<space>value` per line) into a
+/// stack → weight map. Duplicate paths accumulate; blank lines are
+/// skipped.
+///
+/// # Errors
+///
+/// [`ProfileError::MalformedFolded`] when a non-blank line has no
+/// space-separated trailing integer.
+pub fn parse_folded(text: &str) -> Result<BTreeMap<String, u64>, ProfileError> {
+    let mut stacks = BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((path, value)) = line.rsplit_once(' ') else {
+            return Err(ProfileError::MalformedFolded { line: i + 1 });
+        };
+        let Ok(value) = value.parse::<u64>() else {
+            return Err(ProfileError::MalformedFolded { line: i + 1 });
+        };
+        let slot = stacks.entry(path.to_string()).or_insert(0u64);
+        *slot = slot.saturating_add(value);
+    }
+    Ok(stacks)
+}
+
+/// Collapses a stack map to per-frame self time, keyed by each path's
+/// leaf frame.
+fn frame_self_times(stacks: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    let mut frames = BTreeMap::new();
+    for (path, weight) in stacks {
+        let leaf = path.rsplit(';').next().unwrap_or(path);
+        let slot = frames.entry(leaf.to_string()).or_insert(0u64);
+        *slot = slot.saturating_add(*weight);
+    }
+    frames
+}
+
+/// Diffs two folded stack maps, returning every frame present in either
+/// profile ranked by self-time delta, worst regression first (ties
+/// broken by name).
+pub fn diff_folded(
+    baseline: &BTreeMap<String, u64>,
+    current: &BTreeMap<String, u64>,
+) -> Vec<FrameDelta> {
+    let base_frames = frame_self_times(baseline);
+    let cur_frames = frame_self_times(current);
+    let mut names: Vec<&String> = base_frames.keys().collect();
+    for name in cur_frames.keys() {
+        if !base_frames.contains_key(name) {
+            names.push(name);
+        }
+    }
+    let mut out: Vec<FrameDelta> = names
+        .into_iter()
+        .map(|name| {
+            let baseline_us = base_frames.get(name).copied().unwrap_or(0);
+            let current_us = cur_frames.get(name).copied().unwrap_or(0);
+            FrameDelta {
+                name: name.clone(),
+                baseline_us,
+                current_us,
+                delta_us: current_us as i64 - baseline_us as i64,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.delta_us
+            .cmp(&a.delta_us)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    out
+}
+
+/// Renders a profile diff as a markdown table, worst regression first.
+pub fn render_diff_markdown(deltas: &[FrameDelta]) -> String {
+    let mut out = String::from("| frame | baseline µs | current µs | delta µs | delta % |\n");
+    out.push_str("|---|---:|---:|---:|---:|\n");
+    for d in deltas {
+        let pct = if d.ratio().is_infinite() {
+            String::from("new")
+        } else {
+            format!("{:+.1}%", d.ratio() * 100.0)
+        };
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {:+} | {} |\n",
+            d.name, d.baseline_us, d.current_us, d.delta_us, pct
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accumulates_and_rejects_garbage() {
+        let stacks =
+            parse_folded("a;b 10\na;b 5\nroot 3\n\n").unwrap_or_else(|e| unreachable!("{e}"));
+        assert_eq!(stacks.get("a;b"), Some(&15));
+        assert_eq!(stacks.get("root"), Some(&3));
+        assert_eq!(
+            parse_folded("nospace\n"),
+            Err(ProfileError::MalformedFolded { line: 1 })
+        );
+        assert_eq!(
+            parse_folded("a;b ten\n"),
+            Err(ProfileError::MalformedFolded { line: 1 })
+        );
+    }
+
+    #[test]
+    fn diff_ranks_worst_regression_first() {
+        let base = parse_folded("run 100\nrun;slow 50\nrun;fast 50\n")
+            .unwrap_or_else(|e| unreachable!("{e}"));
+        let cur = parse_folded("run 100\nrun;slow 450\nrun;fast 45\n")
+            .unwrap_or_else(|e| unreachable!("{e}"));
+        let deltas = diff_folded(&base, &cur);
+        assert_eq!(deltas[0].name, "slow");
+        assert_eq!(deltas[0].delta_us, 400);
+        assert!((deltas[0].ratio() - 8.0).abs() < 1e-9);
+        let fast = deltas
+            .iter()
+            .find(|d| d.name == "fast")
+            .unwrap_or_else(|| unreachable!());
+        assert_eq!(fast.delta_us, -5);
+    }
+
+    #[test]
+    fn frames_new_and_gone_are_reported() {
+        let base = parse_folded("a 10\n").unwrap_or_else(|e| unreachable!("{e}"));
+        let cur = parse_folded("b 10\n").unwrap_or_else(|e| unreachable!("{e}"));
+        let deltas = diff_folded(&base, &cur);
+        assert_eq!(deltas[0].name, "b");
+        assert!(deltas[0].ratio().is_infinite());
+        assert_eq!(deltas[1].name, "a");
+        assert_eq!(deltas[1].delta_us, -10);
+    }
+
+    #[test]
+    fn markdown_table_renders_every_frame() {
+        let base = parse_folded("a 10\n").unwrap_or_else(|e| unreachable!("{e}"));
+        let cur = parse_folded("a 20\n").unwrap_or_else(|e| unreachable!("{e}"));
+        let md = render_diff_markdown(&diff_folded(&base, &cur));
+        assert!(md.contains("| `a` | 10 | 20 | +10 | +100.0% |"));
+    }
+}

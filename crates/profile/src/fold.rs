@@ -1,0 +1,274 @@
+//! Span-tree folding: drained flight events → per-stack-path cost.
+//!
+//! [`Profile::from_events`] reconstructs the span tree from
+//! `parent_span_id` links and folds it into one aggregate per stack
+//! *path* (the `;`-joined chain of span names from the root, the unit
+//! flamegraph tooling works in). Each path carries inclusive modeled
+//! time (the span's own duration), exclusive self time (duration minus
+//! the duration of its direct children), and an occurrence count.
+//!
+//! Everything aggregates through [`BTreeMap`], so folding is a pure,
+//! order-insensitive function of the drained events: two drains of the
+//! same recorded stream — or two same-seed runs under
+//! [`augur_telemetry::ManualTime`] — produce identical profiles.
+
+use std::collections::BTreeMap;
+
+use augur_telemetry::{FlightEvent, FlightEventKind};
+
+/// Caps parent-chain walks so a corrupt drain (cyclic parent links)
+/// cannot loop the fold.
+const MAX_DEPTH: usize = 64;
+
+/// One stack path's aggregated cost (top-down view row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathStat {
+    /// `;`-joined span names from the root, e.g. `tourism;tourism/layout`.
+    pub path: String,
+    /// Total duration of spans at this path, microseconds.
+    pub inclusive_us: u64,
+    /// Duration not covered by direct children, microseconds.
+    pub self_us: u64,
+    /// How many spans folded into this path.
+    pub count: u64,
+}
+
+/// One frame's aggregated cost across every path it appears as the leaf
+/// of (bottom-up view row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameStat {
+    /// Span name.
+    pub name: String,
+    /// Exclusive self time summed over all paths ending in this frame.
+    pub self_us: u64,
+    /// Inclusive time summed over all paths ending in this frame.
+    pub inclusive_us: u64,
+    /// Spans folded into this frame.
+    pub count: u64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct PathAgg {
+    inclusive_us: u64,
+    self_us: u64,
+    count: u64,
+}
+
+/// A folded profile: per-stack-path modeled-time aggregates plus
+/// (optionally) per-scope allocation stats attached by
+/// [`Profile::attach_alloc`]. See the module docs for semantics.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    paths: BTreeMap<String, PathAgg>,
+    /// Scope name → (allocation count, allocated bytes).
+    alloc: BTreeMap<String, (u64, u64)>,
+}
+
+/// Folded-format hygiene: path separators and value separators inside a
+/// span name would corrupt the collapsed-stack output, so they are
+/// rewritten at fold time and every view sees the sanitized name.
+fn sanitize(name: &str) -> String {
+    name.replace(';', ":").replace(' ', "_")
+}
+
+impl Profile {
+    /// Folds a drained event slice into a profile. Only
+    /// [`FlightEventKind::Span`] events participate; instants are
+    /// skipped. A span whose parent is absent from the drain (dropped
+    /// by the ring, or `parent_span_id == 0`) is treated as a root.
+    pub fn from_events(events: &[FlightEvent]) -> Profile {
+        // First occurrence wins on span-id collisions, matching drain order.
+        let mut by_id: BTreeMap<u64, &FlightEvent> = BTreeMap::new();
+        let mut child_dur: BTreeMap<u64, u64> = BTreeMap::new();
+        for ev in events {
+            if ev.kind == FlightEventKind::Span {
+                by_id.entry(ev.span_id).or_insert(ev);
+            }
+        }
+        for ev in events {
+            if ev.kind == FlightEventKind::Span
+                && ev.parent_span_id != 0
+                && ev.parent_span_id != ev.span_id
+                && by_id.contains_key(&ev.parent_span_id)
+            {
+                let dur = child_dur.entry(ev.parent_span_id).or_insert(0);
+                *dur = dur.saturating_add(ev.dur_us);
+            }
+        }
+        let mut paths: BTreeMap<String, PathAgg> = BTreeMap::new();
+        for ev in events {
+            if ev.kind != FlightEventKind::Span {
+                continue;
+            }
+            let mut names = vec![sanitize(&ev.name)];
+            let mut cursor = ev.parent_span_id;
+            while cursor != 0 && names.len() < MAX_DEPTH {
+                let Some(parent) = by_id.get(&cursor) else {
+                    break;
+                };
+                names.push(sanitize(&parent.name));
+                if parent.parent_span_id == parent.span_id {
+                    break;
+                }
+                cursor = parent.parent_span_id;
+            }
+            names.reverse();
+            let path = names.join(";");
+            let children = child_dur.get(&ev.span_id).copied().unwrap_or(0);
+            let agg = paths.entry(path).or_default();
+            agg.inclusive_us = agg.inclusive_us.saturating_add(ev.dur_us);
+            agg.self_us = agg
+                .self_us
+                .saturating_add(ev.dur_us.saturating_sub(children));
+            agg.count += 1;
+        }
+        Profile {
+            paths,
+            alloc: BTreeMap::new(),
+        }
+    }
+
+    /// True when no span folded in.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Sum of exclusive self time over every path — by construction
+    /// equal to the summed inclusive time of the root spans whenever
+    /// children nest inside their parents (the proptest invariant).
+    pub fn total_self_us(&self) -> u64 {
+        self.paths.values().map(|a| a.self_us).sum()
+    }
+
+    /// Summed inclusive time of root paths (paths with no `;`).
+    pub fn root_inclusive_us(&self) -> u64 {
+        self.paths
+            .iter()
+            .filter(|(p, _)| !p.contains(';'))
+            .map(|(_, a)| a.inclusive_us)
+            .sum()
+    }
+
+    /// Top-down view: one row per stack path, in path order.
+    pub fn top_down(&self) -> Vec<PathStat> {
+        self.paths
+            .iter()
+            .map(|(path, a)| PathStat {
+                path: path.clone(),
+                inclusive_us: a.inclusive_us,
+                self_us: a.self_us,
+                count: a.count,
+            })
+            .collect()
+    }
+
+    /// Bottom-up view: per-frame aggregation over every path the frame
+    /// terminates, heaviest self time first (ties broken by name).
+    pub fn bottom_up(&self) -> Vec<FrameStat> {
+        let mut frames: BTreeMap<&str, FrameStat> = BTreeMap::new();
+        for (path, agg) in &self.paths {
+            let leaf = path.rsplit(';').next().unwrap_or(path);
+            let stat = frames.entry(leaf).or_insert_with(|| FrameStat {
+                name: leaf.to_string(),
+                self_us: 0,
+                inclusive_us: 0,
+                count: 0,
+            });
+            stat.self_us = stat.self_us.saturating_add(agg.self_us);
+            stat.inclusive_us = stat.inclusive_us.saturating_add(agg.inclusive_us);
+            stat.count += agg.count;
+        }
+        let mut out: Vec<FrameStat> = frames.into_values().collect();
+        out.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+        out
+    }
+
+    /// Attaches per-scope allocation stats (from
+    /// [`crate::alloc::AllocSnapshot::delta`]) so the profile can also
+    /// be rendered by bytes allocated. Repeated calls accumulate.
+    pub fn attach_alloc(&mut self, stats: &[crate::alloc::ScopeStat]) {
+        for s in stats {
+            let slot = self.alloc.entry(sanitize(&s.name)).or_insert((0, 0));
+            slot.0 = slot.0.saturating_add(s.count);
+            slot.1 = slot.1.saturating_add(s.bytes);
+        }
+    }
+
+    /// The attached allocation stats: scope name → (count, bytes).
+    pub fn alloc_stats(&self) -> &BTreeMap<String, (u64, u64)> {
+        &self.alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_telemetry::{FlightRecorder, TraceContext};
+
+    fn tree_events() -> Vec<FlightEvent> {
+        let rec = FlightRecorder::new(64);
+        let root = TraceContext::root(42, 1);
+        let run = rec.intern("run");
+        let a = rec.intern("a");
+        let b = rec.intern("b");
+        let leaf = rec.intern("leaf");
+        let ctx_a = root.child_named("a");
+        rec.record_span(ctx_a.child_named("leaf"), leaf, 0, 10);
+        rec.record_span(ctx_a, a, 0, 40);
+        rec.record_span(root.child_named("b"), b, 40, 25);
+        rec.record_span(root, run, 0, 100);
+        rec.drain()
+    }
+
+    #[test]
+    fn folds_inclusive_and_exclusive() {
+        let profile = Profile::from_events(&tree_events());
+        let rows = profile.top_down();
+        let by_path: BTreeMap<&str, &PathStat> =
+            rows.iter().map(|r| (r.path.as_str(), r)).collect();
+        assert_eq!(by_path["run"].inclusive_us, 100);
+        assert_eq!(by_path["run"].self_us, 35, "100 - (40 + 25)");
+        assert_eq!(by_path["run;a"].self_us, 30, "40 - 10");
+        assert_eq!(by_path["run;a;leaf"].self_us, 10);
+        assert_eq!(by_path["run;b"].self_us, 25);
+        assert_eq!(profile.total_self_us(), profile.root_inclusive_us());
+    }
+
+    #[test]
+    fn bottom_up_ranks_by_self_time() {
+        let profile = Profile::from_events(&tree_events());
+        let frames = profile.bottom_up();
+        assert_eq!(frames[0].name, "run");
+        assert_eq!(frames[0].self_us, 35);
+        assert_eq!(frames[1].name, "a");
+        assert_eq!(frames[1].self_us, 30);
+    }
+
+    #[test]
+    fn orphan_spans_become_roots() {
+        let rec = FlightRecorder::new(8);
+        let n = rec.intern("orphan");
+        let ctx = TraceContext::root(1, 1).child_named("x");
+        rec.record_span(ctx, n, 0, 5);
+        let profile = Profile::from_events(&rec.drain());
+        assert_eq!(profile.top_down()[0].path, "orphan");
+        assert_eq!(profile.root_inclusive_us(), 5);
+    }
+
+    #[test]
+    fn sanitizes_separator_characters() {
+        let rec = FlightRecorder::new(8);
+        let n = rec.intern("weird;name with space");
+        rec.record_span(TraceContext::root(1, 2), n, 0, 5);
+        let profile = Profile::from_events(&rec.drain());
+        assert_eq!(profile.top_down()[0].path, "weird:name_with_space");
+    }
+
+    #[test]
+    fn instants_are_ignored() {
+        let rec = FlightRecorder::new(8);
+        let n = rec.intern("i");
+        rec.record_instant(TraceContext::root(1, 3), n, 0, 9);
+        assert!(Profile::from_events(&rec.drain()).is_empty());
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the profile fold: conservation of modeled
+//! time and byte-determinism of the exported artifacts over arbitrary
+//! span trees.
+
+use augur_profile::{diff_folded, parse_folded, Profile};
+use augur_telemetry::{FlightRecorder, TraceContext};
+use proptest::prelude::*;
+
+/// One node of a random span tree: (raw parent pick, exclusive modeled
+/// work, name selector). Node 0 is the root; node `i > 0` attaches to
+/// node `raw % i`, so parents always precede children.
+type Shape = Vec<(usize, u64, u8)>;
+
+/// Records `shape` as a span tree on a fresh flight ring and folds it.
+/// Inclusive durations are built bottom-up so every parent's duration
+/// covers exactly its own work plus its children's — the invariant the
+/// fold is supposed to recover.
+fn profile_from(shape: &Shape) -> Profile {
+    let n = shape.len();
+    let mut parents = vec![0usize; n];
+    let mut incl: Vec<u64> = shape.iter().map(|&(_, work, _)| work).collect();
+    for i in (1..n).rev() {
+        parents[i] = shape[i].0 % i;
+        incl[parents[i]] += incl[i];
+    }
+    let rec = FlightRecorder::new(4096);
+    let mut ctxs = Vec::with_capacity(n);
+    for (i, &(_, _, name_sel)) in shape.iter().enumerate() {
+        let ctx = if i == 0 {
+            TraceContext::root(42, 0x505)
+        } else {
+            ctxs[parents[i]]
+        };
+        let ctx = if i == 0 { ctx } else { ctx.child(i as u64) };
+        ctxs.push(ctx);
+        let name = format!("stage{}", name_sel % 4);
+        let id = rec.intern(&name);
+        rec.record_span(ctx, id, i as u64 * 1_000_000, incl[i]);
+    }
+    Profile::from_events(&rec.drain())
+}
+
+proptest! {
+    /// Modeled time is conserved by the fold: the sum of every path's
+    /// exclusive self-time equals the root's inclusive time, which by
+    /// construction is the sum of all nodes' exclusive work.
+    #[test]
+    fn exclusive_self_times_sum_to_root_inclusive(
+        shape in prop::collection::vec((0usize..64, 1u64..1_000, 0u8..=255), 1..40),
+    ) {
+        let profile = profile_from(&shape);
+        let total_work: u64 = shape.iter().map(|&(_, w, _)| w).sum();
+        prop_assert_eq!(profile.total_self_us(), total_work);
+        prop_assert_eq!(profile.root_inclusive_us(), total_work);
+    }
+
+    /// Two independent recordings of the same tree produce byte-identical
+    /// folded and speedscope artifacts (the determinism the doctor's
+    /// profile diff relies on), and the folded text round-trips through
+    /// the parser without losing a microsecond.
+    #[test]
+    fn artifacts_are_byte_identical_and_round_trip(
+        shape in prop::collection::vec((0usize..64, 1u64..1_000, 0u8..=255), 1..40),
+    ) {
+        let a = profile_from(&shape);
+        let b = profile_from(&shape);
+        prop_assert_eq!(a.render_folded(), b.render_folded());
+        prop_assert_eq!(a.render_speedscope("prop"), b.render_speedscope("prop"));
+        let parsed = parse_folded(&a.render_folded())
+            .unwrap_or_else(|e| unreachable!("own rendering parses: {e}"));
+        let parsed_total: u64 = parsed.values().sum();
+        prop_assert_eq!(parsed_total, a.total_self_us());
+        // A profile diffed against itself never moves.
+        let deltas = diff_folded(&parsed, &parsed);
+        prop_assert!(deltas.iter().all(|d| d.delta_us == 0));
+    }
+}

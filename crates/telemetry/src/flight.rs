@@ -190,6 +190,20 @@ impl FlightRecorder {
         self.inner.dropped.load(Ordering::Relaxed)
     }
 
+    /// Live loss estimate: already-charged drops **plus** tickets the
+    /// ring has overwritten since the last drain. Unlike
+    /// [`FlightRecorder::dropped_events`] this moves between drains, so
+    /// monitors (e.g. the watch session's trace-loss SLO) can alert on
+    /// span loss while a run is still in flight. Takes the read-cursor
+    /// lock briefly; call from control-plane code, not hot paths.
+    pub fn lost_events(&self) -> u64 {
+        let inner = &*self.inner;
+        let r = *inner.read.lock();
+        let w = inner.write.load(Ordering::Acquire);
+        let pending_overwrites = w.saturating_sub(r).saturating_sub(inner.slots.len() as u64);
+        inner.dropped.load(Ordering::Relaxed) + pending_overwrites
+    }
+
     fn record(
         &self,
         ctx: TraceContext,
@@ -400,6 +414,25 @@ mod tests {
         // The survivors are the most recent tickets, in order.
         assert_eq!(events[0].ts_us, 12);
         assert_eq!(events[7].ts_us, 19);
+    }
+
+    #[test]
+    fn lost_events_tracks_overwrites_before_drain() {
+        let rec = FlightRecorder::new(8);
+        let n = rec.intern("x");
+        let ctx = TraceContext::root(5, 5);
+        for i in 0..6u64 {
+            rec.record_span(ctx, n, i, 1);
+        }
+        assert_eq!(rec.lost_events(), 0, "ring not yet lapped");
+        for i in 6..20u64 {
+            rec.record_span(ctx, n, i, 1);
+        }
+        assert_eq!(rec.lost_events(), 12, "live estimate sees overwrites");
+        assert_eq!(rec.dropped_events(), 0, "not yet charged: no drain ran");
+        let _ = rec.drain();
+        assert_eq!(rec.dropped_events(), 12);
+        assert_eq!(rec.lost_events(), 12, "estimate matches after drain");
     }
 
     #[test]

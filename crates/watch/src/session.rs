@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use augur_store::{LsmParams, LsmStore};
 use augur_telemetry::{
-    FlightRecorder, Histogram, ManualTime, NameId, Registry, TimeSource, TraceContext,
+    Counter, FlightRecorder, Histogram, ManualTime, NameId, Registry, TimeSource, TraceContext,
 };
 use parking_lot::Mutex;
 
@@ -90,6 +90,12 @@ pub struct WatchSession {
     inject_cycle_delay_us: u64,
     /// Cached per-scenario latency histogram handles.
     cycle_hists: Vec<(String, Histogram)>,
+    /// Flight-ring loss accounting exported as registry counters (the
+    /// trace-loss SLO's series): total accepted and lost-before-drain.
+    flight_events: Counter,
+    flight_lost: Counter,
+    prev_flight_total: u64,
+    prev_flight_lost: u64,
     last_now_us: u64,
     shared: Arc<SharedState>,
 }
@@ -113,6 +119,8 @@ impl WatchSession {
             status: Mutex::new(Vec::new()),
             dashboard: Mutex::new(String::new()),
         });
+        let flight_events = registry.counter("flight_events_total");
+        let flight_lost = registry.counter("flight_dropped_events_total");
         Ok(WatchSession {
             registry,
             recorder,
@@ -122,6 +130,10 @@ impl WatchSession {
             session_span,
             inject_cycle_delay_us: config.inject_cycle_delay_us,
             cycle_hists: Vec::new(),
+            flight_events,
+            flight_lost,
+            prev_flight_total: 0,
+            prev_flight_lost: 0,
             last_now_us: 0,
             shared,
         })
@@ -163,6 +175,7 @@ impl WatchSession {
     /// observed cycles).
     pub fn tick_to(&mut self, now_us: u64) {
         self.last_now_us = self.last_now_us.max(now_us);
+        self.export_flight_loss();
         let closed = self.rollup.tick(now_us);
         for start in &closed {
             self.slo
@@ -182,6 +195,7 @@ impl WatchSession {
     /// evaluates it, records the `watch/session` root span covering the
     /// whole run, and refreshes the served state. Call once per run.
     pub fn finish(&mut self) {
+        self.export_flight_loss();
         if let Some(start) = self.rollup.flush(self.last_now_us) {
             self.slo
                 .evaluate_window(&self.rollup, start, &self.recorder, self.root);
@@ -221,6 +235,21 @@ impl WatchSession {
     /// keeps serving the last refreshed state after the run finishes.
     pub fn serve(&self, addr: &str) -> std::io::Result<WatchServer> {
         serve::spawn(Arc::clone(&self.shared), addr)
+    }
+
+    /// Advances `flight_events_total` / `flight_dropped_events_total`
+    /// by the ring's movement since the last tick, so silent span loss
+    /// (which would corrupt exported profiles and traces) is a series
+    /// the trace-loss SLO can grade.
+    fn export_flight_loss(&mut self) {
+        let total = self.recorder.total_events();
+        let lost = self.recorder.lost_events();
+        self.flight_events
+            .add(total.saturating_sub(self.prev_flight_total));
+        self.flight_lost
+            .add(lost.saturating_sub(self.prev_flight_lost));
+        self.prev_flight_total = total;
+        self.prev_flight_lost = lost;
     }
 
     /// Publishes current verdicts + dashboard to the serving thread.
@@ -325,6 +354,32 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| e.span_id == root.span_id && e.name == "watch/session"));
+    }
+
+    #[test]
+    fn flight_loss_is_exported_as_counters() {
+        let mut cfg = test_config(0);
+        cfg.flight_capacity = 8;
+        let mut session = WatchSession::new(cfg).unwrap_or_else(|e| unreachable!("{e}"));
+        let rec = session.recorder();
+        let n = rec.intern("spam");
+        let ctx = TraceContext::root(1, 1);
+        for i in 0..20u64 {
+            rec.record_span(ctx, n, i, 1);
+        }
+        session.tick_to(1_000);
+        let registry = session.registry();
+        assert_eq!(registry.counter("flight_events_total").get(), 20);
+        assert_eq!(
+            registry.counter("flight_dropped_events_total").get(),
+            12,
+            "20 records through an 8-slot ring lose 12"
+        );
+        // Deltas, not absolutes: a second tick with no new records must
+        // not re-charge the counters.
+        session.tick_to(2_000);
+        assert_eq!(registry.counter("flight_events_total").get(), 20);
+        assert_eq!(registry.counter("flight_dropped_events_total").get(), 12);
     }
 
     #[test]

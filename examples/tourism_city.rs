@@ -14,9 +14,15 @@
 //! dashboard; add `--inject-us 20000` to inject a per-frame latency
 //! regression and watch the frame objective blow its error budget (the
 //! example then exits 2, like `augur-watch`'s demo binary).
+//!
+//! Pass `--profile` to write deterministic flamegraph artifacts —
+//! `results/tourism_city.folded` (flamegraph.pl / inferno collapsed
+//! stacks) and `results/tourism_city.speedscope.json` (open at
+//! <https://www.speedscope.app>). Span times are modeled work under the
+//! fixed seed, so both files are byte-identical across runs.
 
 use augur::core::tourism::{
-    run_instrumented, run_traced, run_watched, watch_config, TourismParams,
+    run_instrumented, run_profiled, run_traced, run_watched, watch_config, TourismParams,
 };
 use augur::telemetry::{render_chrome_trace, render_span_breakdown, FlightRecorder, Registry};
 use augur::watch::WatchSession;
@@ -35,6 +41,7 @@ fn arg_u64(name: &str) -> Option<u64> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = std::env::args().any(|a| a == "--trace");
     let watch = std::env::args().any(|a| a == "--watch");
+    let profile_run = std::env::args().any(|a| a == "--profile");
     let mut params = TourismParams::default();
     if watch {
         // A lighter tour keeps the healthy modeled frame p95 inside the
@@ -54,6 +61,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut session = WatchSession::new(config)?;
         let report = run_watched(&params, &mut session)?;
         watch_session = Some(session);
+        report
+    } else if profile_run {
+        let (report, profile) = run_profiled(&params, &registry)?;
+        std::fs::create_dir_all("results")?;
+        let folded = "results/tourism_city.folded";
+        std::fs::write(folded, profile.render_folded())?;
+        let speedscope = "results/tourism_city.speedscope.json";
+        std::fs::write(speedscope, profile.render_speedscope("tourism_city"))?;
+        println!("profile: wrote {folded} and {speedscope}");
         report
     } else if trace {
         let recorder = FlightRecorder::new(1 << 16);
