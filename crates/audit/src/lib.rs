@@ -22,21 +22,56 @@
 //! 5. **Documented exports** — every `pub` item in a crate root (`lib.rs`)
 //!    carries a doc comment.
 //!
+//! On top of the per-file token rules sits a cross-file concurrency pass
+//! (the [`scope`] symbol layer feeding [`concurrency`]) enforcing five
+//! more invariants for the sharded dataflow engine (ROADMAP item 1):
+//!
+//! 6. **Deadlock freedom** — the workspace-wide lock-order graph
+//!    (guard lifetimes + one call-index hop) must be acyclic
+//!    (`lock-order-cycle`).
+//! 7. **Non-blocking hot path** — no blocking calls in per-record crates,
+//!    directly or one hop away (`no-blocking-hot-path`).
+//! 8. **Channel discipline** — bounded channels only, with named
+//!    capacities (`bounded-channels-only`).
+//! 9. **Spawn confinement** — threads only in the sanctioned worker-pool
+//!    modules (`spawn-confined`).
+//! 10. **Atomics-ordering discipline** — `Ordering::Relaxed` only for
+//!     counters in sanctioned modules or reviewed [`baseline::Allowlist`]
+//!     entries (`atomics-ordering`).
+//!
+//! New rules land strict: pre-existing findings live in the committed
+//! `audit.baseline.json` ([`baseline::Baseline`]) with exact counts, so a
+//! fixed finding forces its suppression to be pruned (stale entries fail
+//! the run). Reports export as SARIF 2.1.0 ([`sarif`]) for CI ingestion,
+//! and every rule code is documented via `--explain` ([`explain`]).
+//!
 //! Run it three ways: `cargo run -p augur-audit` (CLI), the tier-1
 //! integration test `tests/static_audit.rs` (keeps `cargo test` enforcing the
 //! invariants forever), and `cargo run -p augur-audit -- --self-test` (the
 //! analyzer checks itself against seeded violations).
 
+/// Baseline (suppression) and allowlist files, plus a minimal JSON reader.
+pub mod baseline;
+/// Cross-file concurrency rules over the scope pass.
+pub mod concurrency;
+/// `--explain` documentation for every rule code.
+pub mod explain;
 /// Source scrubbing: comments, literals, `#[cfg(test)]` stripping.
 pub mod lexer;
 /// The audit rules and the per-file policy they run under.
 pub mod rules;
+/// SARIF 2.1.0 export.
+pub mod sarif;
 /// Workspace traversal and report assembly.
 pub mod scan;
+/// Scope/symbol pass: `fn` spans, guard lifetimes, call sites.
+pub mod scope;
 /// Seeded-violation self-test fixtures.
 pub mod selftest;
 
+/// Baseline types re-exported from [`baseline`].
+pub use baseline::{Allowlist, Baseline};
 /// Rule types re-exported from [`rules`].
 pub use rules::{FilePolicy, Severity, Violation};
 /// Scanning entry points re-exported from [`scan`].
-pub use scan::{audit_workspace, Report};
+pub use scan::{analyze_files, audit_workspace, audit_workspace_with, AuditOptions, Report};

@@ -1,48 +1,121 @@
 //! CLI for the workspace static audit.
 //!
-//! Exit codes: `0` clean, `1` deny-level violations (or failed self-test),
-//! `2` usage or I/O error.
+//! Exit codes: `0` clean (no unsuppressed denials, no stale baseline
+//! entries), `1` violations / stale suppressions / failed self-test,
+//! `2` usage error, `3` internal error (I/O, malformed baseline or
+//! allowlist). The 1-vs-3 split matters in CI: a red `1` means the tree
+//! regressed; a red `3` means the audit itself could not run.
 
+use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use augur_audit::{scan, selftest, Severity};
+use augur_audit::{explain, sarif, scan, selftest};
 
-fn main() -> ExitCode {
-    let mut root: Option<PathBuf> = None;
-    let mut verbose = false;
-    let mut self_test = false;
+const USAGE: &str = "augur-audit — workspace static analysis\n\n\
+USAGE: augur-audit [OPTIONS]\n\n\
+OPTIONS:\n\
+  --root <dir>       workspace root (default: the build workspace)\n\
+  --format <fmt>     output format: text (default) or sarif\n\
+  --output <path>    write the report to a file instead of stdout\n\
+  --baseline <path>  suppression file (default: <root>/audit.baseline.json)\n\
+  --allow <path>     Relaxed-ordering allowlist (default: <root>/audit.allow)\n\
+  --explain <rule>   print one rule's documentation (or `all`) and exit\n\
+  --verbose, -v      also print advisories and baseline-suppressed findings\n\
+  --self-test        run the analyzer against seeded violation fixtures\n\
+  --help, -h         this text\n\n\
+EXIT CODES: 0 clean, 1 violations or stale baseline entries, 2 usage,\n\
+3 internal error (I/O or malformed baseline/allowlist).";
 
+struct Cli {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    allow: Option<PathBuf>,
+    output: Option<PathBuf>,
+    format: String,
+    verbose: bool,
+    self_test: bool,
+}
+
+enum Parsed {
+    Run(Cli),
+    Done(ExitCode),
+}
+
+fn parse_args() -> Parsed {
+    let mut cli = Cli {
+        root: None,
+        baseline: None,
+        allow: None,
+        output: None,
+        format: String::from("text"),
+        verbose: false,
+        self_test: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--self-test" => self_test = true,
-            "--verbose" | "-v" => verbose = true,
-            "--root" => match args.next() {
-                Some(p) => root = Some(PathBuf::from(p)),
-                None => {
-                    eprintln!("error: --root requires a path");
-                    return ExitCode::from(2);
+            "--self-test" => cli.self_test = true,
+            "--verbose" | "-v" => cli.verbose = true,
+            "--root" | "--baseline" | "--allow" | "--output" | "--format" => {
+                let Some(value) = args.next() else {
+                    eprintln!("error: {arg} requires a value");
+                    return Parsed::Done(ExitCode::from(2));
+                };
+                match arg.as_str() {
+                    "--root" => cli.root = Some(PathBuf::from(value)),
+                    "--baseline" => cli.baseline = Some(PathBuf::from(value)),
+                    "--allow" => cli.allow = Some(PathBuf::from(value)),
+                    "--output" => cli.output = Some(PathBuf::from(value)),
+                    _ => {
+                        if value != "text" && value != "sarif" {
+                            eprintln!("error: --format must be `text` or `sarif`");
+                            return Parsed::Done(ExitCode::from(2));
+                        }
+                        cli.format = value;
+                    }
                 }
-            },
+            }
+            "--explain" => {
+                let Some(code) = args.next() else {
+                    eprintln!("error: --explain requires a rule code (or `all`)");
+                    return Parsed::Done(ExitCode::from(2));
+                };
+                if code == "all" {
+                    print!("{}", explain::index());
+                    return Parsed::Done(ExitCode::SUCCESS);
+                }
+                return match explain::explain(&code) {
+                    Some(text) => {
+                        print!("{text}");
+                        Parsed::Done(ExitCode::SUCCESS)
+                    }
+                    None => {
+                        eprintln!("error: unknown rule `{code}`; try --explain all");
+                        Parsed::Done(ExitCode::from(2))
+                    }
+                };
+            }
             "--help" | "-h" => {
-                println!(
-                    "augur-audit — workspace static analysis\n\n\
-                     USAGE: augur-audit [--root <dir>] [--verbose] [--self-test]\n\n\
-                     Checks panic-freedom (hot crates), parking_lot lock discipline,\n\
-                     determinism (no wall clock / unseeded RNG in simulation code), and\n\
-                     documented crate-root exports. Exit 0 = clean, 1 = violations."
-                );
-                return ExitCode::SUCCESS;
+                println!("{USAGE}");
+                return Parsed::Done(ExitCode::SUCCESS);
             }
             other => {
                 eprintln!("error: unknown argument `{other}` (try --help)");
-                return ExitCode::from(2);
+                return Parsed::Done(ExitCode::from(2));
             }
         }
     }
+    Parsed::Run(cli)
+}
 
-    if self_test {
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Parsed::Run(cli) => cli,
+        Parsed::Done(code) => return code,
+    };
+
+    if cli.self_test {
         return match selftest::run() {
             Ok(()) => {
                 println!("audit self-test: ok (all seeded violations detected)");
@@ -56,48 +129,64 @@ fn main() -> ExitCode {
     }
 
     // Default root: the workspace this binary was built from.
-    let root = root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    let root = cli
+        .root
+        .unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."));
 
-    let report = match scan::audit_workspace(&root) {
+    // Explicit baseline/allow paths must exist and parse (exit 3 if not);
+    // the default discovery treats missing files as empty inputs.
+    let mut opts = match scan::AuditOptions::discover(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    if let Some(path) = &cli.baseline {
+        opts.baseline = match augur_audit::Baseline::load(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(3);
+            }
+        };
+    }
+    if let Some(path) = &cli.allow {
+        opts.allow = match augur_audit::Allowlist::load(path) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(3);
+            }
+        };
+    }
+
+    let report = match scan::audit_workspace_with(&root, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: audit scan failed under {}: {e}", root.display());
-            return ExitCode::from(2);
+            return ExitCode::from(3);
         }
     };
 
-    let mut denials = 0usize;
-    let mut advice = 0usize;
-    for v in &report.violations {
-        match v.severity {
-            Severity::Deny => {
-                denials += 1;
-                eprintln!("deny  {}:{} [{}] {}", v.file, v.line, v.rule, v.message);
-            }
-            Severity::Advice => {
-                advice += 1;
-                if verbose {
-                    eprintln!("note  {}:{} [{}] {}", v.file, v.line, v.rule, v.message);
-                }
+    let rendered = if cli.format == "sarif" {
+        sarif::render(&report)
+    } else {
+        report.render_text(cli.verbose)
+    };
+    match &cli.output {
+        Some(path) => {
+            if let Err(e) = fs::write(path, &rendered) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                return ExitCode::from(3);
             }
         }
+        None => print!("{rendered}"),
     }
 
-    println!(
-        "audit: {} files scanned, {} deny, {} advisory{}",
-        report.files_scanned,
-        denials,
-        advice,
-        if advice > 0 && !verbose {
-            " (re-run with --verbose to list advisories)"
-        } else {
-            ""
-        }
-    );
-
-    if denials > 0 {
-        ExitCode::FAILURE
-    } else {
+    if report.pass() {
         ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

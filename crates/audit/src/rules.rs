@@ -59,6 +59,23 @@ pub struct FilePolicy {
     pub advise_indexing: bool,
     /// The file is a crate root whose public items must be documented.
     pub require_docs: bool,
+    /// `thread::spawn` / `thread::Builder` are denied: threads are confined
+    /// to the sanctioned worker-pool modules ([`crate::scan::SPAWN_EXEMPT`]),
+    /// bins, and tests.
+    pub deny_unsanctioned_spawn: bool,
+    /// Unbounded channels (and bare-literal `bounded()` capacities) are
+    /// denied: every queue needs named, auditable backpressure.
+    pub deny_unbounded_channel: bool,
+    /// Blocking operations are denied, directly and one call hop away: the
+    /// file is on the per-record hot path and must never stall a frame.
+    pub deny_blocking_hot_path: bool,
+    /// `Ordering::Relaxed` is permitted without an allowlist entry: the
+    /// file is a sanctioned counter module
+    /// ([`crate::scan::ATOMICS_EXEMPT`]).
+    pub relaxed_exempt: bool,
+    /// The file is a binary entry point (`src/bin/` or `src/main.rs`):
+    /// exempt from spawn confinement and excluded from the call index.
+    pub is_entry: bool,
 }
 
 /// Panic-family patterns: method calls checked with exact substrings, macros
@@ -452,6 +469,11 @@ mod tests {
         deny_global_alloc: true,
         advise_indexing: true,
         require_docs: false,
+        deny_unsanctioned_spawn: true,
+        deny_unbounded_channel: true,
+        deny_blocking_hot_path: false,
+        relaxed_exempt: false,
+        is_entry: false,
     };
 
     fn deny_rules(src: &str) -> Vec<&'static str> {
@@ -518,6 +540,11 @@ mod tests {
             deny_global_alloc: false,
             advise_indexing: false,
             require_docs: true,
+            deny_unsanctioned_spawn: false,
+            deny_unbounded_channel: false,
+            deny_blocking_hot_path: false,
+            relaxed_exempt: false,
+            is_entry: false,
         };
         let mut v = Vec::new();
         check_source(

@@ -1,0 +1,129 @@
+//! SARIF 2.1.0 export.
+//!
+//! Emits the audit report in the Static Analysis Results Interchange
+//! Format so CI systems and editors can ingest findings natively. The
+//! document carries one run: the tool descriptor lists every rule with
+//! its `--explain` summary; each finding becomes a `result` with a
+//! physical location; baseline-suppressed findings are included with an
+//! `external` suppression record so the burn-down backlog stays visible
+//! in SARIF viewers instead of vanishing.
+
+use crate::explain;
+use crate::rules::{Severity, Violation};
+use crate::scan::Report;
+
+/// Escapes a string for embedding in a JSON document.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn result_json(v: &Violation, suppressed: bool) -> String {
+    let level = match v.severity {
+        Severity::Deny => "error",
+        Severity::Advice => "note",
+    };
+    let suppressions = if suppressed {
+        ",\"suppressions\":[{\"kind\":\"external\"}]"
+    } else {
+        ""
+    };
+    format!(
+        "{{\"ruleId\":\"{}\",\"level\":\"{level}\",\"message\":{{\"text\":\"{}\"}},\
+         \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\",\
+         \"uriBaseId\":\"SRCROOT\"}},\"region\":{{\"startLine\":{}}}}}}}]{suppressions}}}",
+        esc(v.rule),
+        esc(&v.message),
+        esc(&v.file),
+        v.line.max(1),
+    )
+}
+
+/// Renders a [`Report`] as a SARIF 2.1.0 document.
+pub fn render(report: &Report) -> String {
+    let mut rules = Vec::new();
+    for (code, summary, detail) in explain::RULES {
+        rules.push(format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\
+             \"fullDescription\":{{\"text\":\"{}\"}}}}",
+            esc(code),
+            esc(summary),
+            esc(detail)
+        ));
+    }
+    let mut results = Vec::new();
+    for v in &report.violations {
+        results.push(result_json(v, false));
+    }
+    for v in &report.suppressed {
+        results.push(result_json(v, true));
+    }
+    format!(
+        "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{{\"tool\":\
+         {{\"driver\":{{\"name\":\"augur-audit\",\"informationUri\":\
+         \"https://example.invalid/augur\",\"version\":\"0.2.0\",\"rules\":[{}]}}}},\
+         \"results\":[{}],\"columnKind\":\"utf16CodeUnits\"}}]}}",
+        rules.join(","),
+        results.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline;
+
+    fn vio(rule: &'static str, msg: &str) -> Violation {
+        Violation {
+            file: String::from("crates/x/src/a.rs"),
+            line: 7,
+            rule,
+            severity: Severity::Deny,
+            message: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn emits_valid_json_with_rules_results_and_suppressions() {
+        let report = Report {
+            violations: vec![vio("no-unwrap", "quote \" and \\ and\nnewline")],
+            suppressed: vec![vio("no-blocking-hot-path", "suppressed one")],
+            stale_suppressions: Vec::new(),
+            files_scanned: 1,
+        };
+        let doc = render(&report);
+        let parsed = match baseline::parse_json(&doc) {
+            Ok(p) => p,
+            Err(e) => panic!("SARIF must parse as JSON: {e}"),
+        };
+        assert_eq!(
+            parsed.get("version").and_then(baseline::Json::as_str),
+            Some("2.1.0")
+        );
+        let runs = parsed.get("runs").and_then(baseline::Json::as_array);
+        let run = runs.and_then(<[baseline::Json]>::first);
+        let results = run
+            .and_then(|r| r.get("results"))
+            .and_then(baseline::Json::as_array)
+            .map(<[baseline::Json]>::len);
+        assert_eq!(results, Some(2));
+        assert!(doc.contains("\"suppressions\":[{\"kind\":\"external\"}]"));
+        assert!(doc.contains("\"startLine\":7"));
+        // Every documented rule appears in the driver descriptor.
+        for (code, _, _) in explain::RULES {
+            assert!(doc.contains(&format!("\"id\":\"{code}\"")), "{code}");
+        }
+    }
+}

@@ -1,10 +1,21 @@
-//! Workspace walker: maps each library source file to its rule policy and
-//! collects findings.
+//! Workspace walker: maps each library source file to its rule policy,
+//! runs the per-file token rules and the cross-file concurrency pass, and
+//! applies the committed baseline/allowlist.
+//!
+//! The analysis is deliberately two-phase so results are a pure function
+//! of the *set* of files: phase one collects per-file facts (token
+//! findings plus the concurrency sites from [`crate::scope`]); phase two
+//! ([`crate::concurrency::check_workspace`]) runs the workspace-level
+//! rules over all files at once. [`analyze_files`] sorts its input and
+//! every workspace structure is a BTree map/set, so a shuffled file list
+//! produces a byte-identical report (property-tested).
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::baseline::{Allowlist, Baseline};
+use crate::concurrency;
 use crate::rules::{self, FilePolicy, Severity, Violation};
 
 /// Crates whose library code must be panic-free (the AR hot path: a panic
@@ -56,32 +67,155 @@ pub const NET_EXEMPT: &str = "crates/watch/src/serve.rs";
 /// implementation to audit.
 pub const ALLOC_EXEMPT: &str = "crates/profile/src/alloc.rs";
 
+/// Sanctioned `thread::spawn` sites: the sharded engine's worker pool and
+/// the watch endpoint's listener thread. Keeping one spawn surface gives
+/// thread budgets, shutdown, and panic handling a single owner.
+pub const SPAWN_EXEMPT: [&str; 3] = [
+    "crates/stream/src/pipeline.rs",
+    "crates/stream/src/broker.rs",
+    "crates/watch/src/serve.rs",
+];
+
+/// Sanctioned `Ordering::Relaxed` modules: monotonic counters that are
+/// only ever summed. Everything else needs acquire/release or a reviewed
+/// `audit.allow` entry.
+pub const ATOMICS_EXEMPT: [&str; 3] = [
+    "crates/telemetry/src/metric.rs",
+    "crates/telemetry/src/time.rs",
+    "crates/profile/src/alloc.rs",
+];
+
+/// Crates on the per-record hot path, where blocking operations are
+/// denied directly and one call-index hop away (paper §4: never stall a
+/// frame).
+pub const PER_RECORD_CRATES: [&str; 1] = ["stream"];
+
 /// Result of auditing a tree.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// Every finding, deny and advice alike.
+    /// Findings that were not suppressed, deny and advice alike.
     pub violations: Vec<Violation>,
+    /// Deny findings suppressed by the committed baseline (the burn-down
+    /// backlog — still exported to SARIF, never silently dropped).
+    pub suppressed: Vec<Violation>,
+    /// Baseline entries that matched fewer findings than they declare:
+    /// the finding was fixed, so the suppression must be pruned.
+    pub stale_suppressions: Vec<String>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
 
 impl Report {
-    /// Findings that fail the audit.
+    /// Unsuppressed findings that fail the audit.
     pub fn denials(&self) -> impl Iterator<Item = &Violation> {
         self.violations
             .iter()
             .filter(|v| v.severity == Severity::Deny)
     }
 
-    /// Whether the audit passes.
+    /// Whether no unsuppressed deny findings remain.
     pub fn clean(&self) -> bool {
         self.denials().next().is_none()
     }
+
+    /// Whether the audit passes overall: clean *and* no stale baseline
+    /// entries (a stale suppression fails the run so the baseline only
+    /// ever shrinks).
+    pub fn pass(&self) -> bool {
+        self.clean() && self.stale_suppressions.is_empty()
+    }
+
+    /// Renders the report as deterministic plain text. With `verbose`,
+    /// advisories and baseline-suppressed findings are included.
+    pub fn render_text(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for v in self.denials() {
+            out.push_str(&format!(
+                "deny  {:<22} {}:{} {}\n",
+                v.rule, v.file, v.line, v.message
+            ));
+        }
+        for s in &self.stale_suppressions {
+            out.push_str(&format!("stale baseline entry: {s}\n"));
+        }
+        if verbose {
+            for v in &self.violations {
+                if v.severity == Severity::Advice {
+                    out.push_str(&format!(
+                        "advice {:<21} {}:{} {}\n",
+                        v.rule, v.file, v.line, v.message
+                    ));
+                }
+            }
+            for v in &self.suppressed {
+                out.push_str(&format!(
+                    "baselined {:<18} {}:{} {}\n",
+                    v.rule, v.file, v.line, v.message
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{} files scanned, {} deny, {} advice, {} baselined, {} stale\n",
+            self.files_scanned,
+            self.denials().count(),
+            self.violations
+                .iter()
+                .filter(|v| v.severity == Severity::Advice)
+                .count(),
+            self.suppressed.len(),
+            self.stale_suppressions.len()
+        ));
+        out
+    }
 }
 
-/// Audits a workspace rooted at `root` (the directory holding `crates/`).
+/// Baseline and allowlist inputs for a run.
+#[derive(Debug, Default)]
+pub struct AuditOptions {
+    /// Committed suppressions (`audit.baseline.json`).
+    pub baseline: Baseline,
+    /// Reviewed `Ordering::Relaxed` exceptions (`audit.allow`).
+    pub allow: Allowlist,
+}
+
+impl AuditOptions {
+    /// Discovers `audit.baseline.json` and `audit.allow` under `root`.
+    /// Missing files mean empty inputs; malformed files are an error
+    /// (mapped to [`io::ErrorKind::InvalidData`] so the CLI exits 3).
+    pub fn discover(root: &Path) -> io::Result<Self> {
+        let mut opts = Self::default();
+        let baseline_path = root.join("audit.baseline.json");
+        if baseline_path.is_file() {
+            opts.baseline = Baseline::load(&baseline_path)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        }
+        let allow_path = root.join("audit.allow");
+        if allow_path.is_file() {
+            opts.allow = Allowlist::load(&allow_path)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        }
+        Ok(opts)
+    }
+}
+
+/// Audits a workspace rooted at `root` (the directory holding `crates/`),
+/// discovering the committed baseline and allowlist next to it.
 pub fn audit_workspace(root: &Path) -> io::Result<Report> {
-    let mut report = Report::default();
+    let opts = AuditOptions::discover(root)?;
+    audit_workspace_with(root, &opts)
+}
+
+/// Audits a workspace with explicit baseline/allowlist inputs.
+pub fn audit_workspace_with(root: &Path, opts: &AuditOptions) -> io::Result<Report> {
+    let files = collect_files(root)?;
+    Ok(analyze_files(&files, &opts.baseline, &opts.allow))
+}
+
+/// Reads every library source file under `root`: `crates/*/src` plus the
+/// facade crate's `src/`. Returns `(workspace-relative path, contents)`
+/// pairs.
+pub fn collect_files(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = Vec::new();
     for entry in fs::read_dir(&crates_dir)? {
@@ -94,19 +228,18 @@ pub fn audit_workspace(root: &Path) -> io::Result<Report> {
     for crate_dir in crate_dirs {
         let src = crate_dir.join("src");
         if src.is_dir() {
-            audit_tree(root, &src, &mut report)?;
+            collect_tree(root, &src, &mut files)?;
         }
     }
     // The facade crate's root lives at <root>/src.
     let facade = root.join("src");
     if facade.is_dir() {
-        audit_tree(root, &facade, &mut report)?;
+        collect_tree(root, &facade, &mut files)?;
     }
-    Ok(report)
+    Ok(files)
 }
 
-/// Recursively audits every `.rs` file under `dir`.
-pub fn audit_tree(root: &Path, dir: &Path, report: &mut Report) -> io::Result<()> {
+fn collect_tree(root: &Path, dir: &Path, out: &mut Vec<(String, String)>) -> io::Result<()> {
     let mut entries: Vec<PathBuf> = Vec::new();
     for entry in fs::read_dir(dir)? {
         entries.push(entry?.path());
@@ -114,20 +247,56 @@ pub fn audit_tree(root: &Path, dir: &Path, report: &mut Report) -> io::Result<()
     entries.sort();
     for path in entries {
         if path.is_dir() {
-            audit_tree(root, &path, report)?;
+            collect_tree(root, &path, out)?;
         } else if path.extension().is_some_and(|e| e == "rs") {
             let rel = path
                 .strip_prefix(root)
                 .unwrap_or(&path)
                 .to_string_lossy()
                 .replace('\\', "/");
-            let source = fs::read_to_string(&path)?;
-            let policy = policy_for(&rel);
-            rules::check_source(&rel, &source, policy, &mut report.violations);
-            report.files_scanned += 1;
+            out.push((rel, fs::read_to_string(&path)?));
         }
     }
     Ok(())
+}
+
+/// Runs both analysis phases over an in-memory file set and applies the
+/// baseline. Pure and order-independent: the input is sorted (and
+/// deduplicated by path) first, and every workspace-level structure is
+/// ordered, so any permutation of `files` yields an identical [`Report`].
+pub fn analyze_files(files: &[(String, String)], baseline: &Baseline, allow: &Allowlist) -> Report {
+    let mut sorted: Vec<&(String, String)> = files.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    sorted.dedup_by(|a, b| a.0 == b.0);
+
+    let mut violations = Vec::new();
+    let mut concs = Vec::new();
+    for (rel, src) in &sorted {
+        let policy = policy_for(rel);
+        rules::check_source(rel, src, policy, &mut violations);
+        concs.push(concurrency::collect(rel, src, policy));
+    }
+    concurrency::check_workspace(&concs, allow, &mut violations);
+
+    violations.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.file.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    violations.dedup_by(|a, b| {
+        a.file == b.file && a.line == b.line && a.rule == b.rule && a.message == b.message
+    });
+
+    let (kept, suppressed, stale) = baseline.apply(violations);
+    Report {
+        violations: kept,
+        suppressed,
+        stale_suppressions: stale,
+        files_scanned: sorted.len(),
+    }
 }
 
 /// Derives the rule policy for a workspace-relative file path.
@@ -142,6 +311,7 @@ pub fn policy_for(rel: &str) -> FilePolicy {
     // Experiment driver binaries (crates/bench/src/bin) are CLIs, not library
     // code; only the workspace-wide determinism and lock rules apply there.
     let is_bin = rel.contains("/src/bin/");
+    let is_entry = is_bin || rel.ends_with("src/main.rs");
     let is_crate_root = rel.ends_with("src/lib.rs");
     FilePolicy {
         deny_panics: hot && !is_bin,
@@ -160,6 +330,15 @@ pub fn policy_for(rel: &str) -> FilePolicy {
         deny_global_alloc: rel != ALLOC_EXEMPT,
         advise_indexing: hot && !is_bin,
         require_docs: is_crate_root,
+        // Threads are confined to the sanctioned worker-pool modules;
+        // binary entry points own their process and may spawn.
+        deny_unsanctioned_spawn: !is_entry && !SPAWN_EXEMPT.contains(&rel),
+        // Backpressure is workspace-wide — bins included: an unbounded
+        // queue in a driver binary still masks overload.
+        deny_unbounded_channel: true,
+        deny_blocking_hot_path: PER_RECORD_CRATES.contains(&crate_name) && !is_entry,
+        relaxed_exempt: ATOMICS_EXEMPT.contains(&rel),
+        is_entry,
     }
 }
 
@@ -232,5 +411,56 @@ mod tests {
         assert!(policy_for("crates/profile/src/fold.rs").deny_panics);
         assert!(policy_for("crates/profile/src/diff.rs").deny_raw_instant);
         assert!(policy_for("crates/profile/src/lib.rs").require_docs);
+    }
+
+    #[test]
+    fn concurrency_policy_mapping() {
+        // Spawn confinement: sanctioned modules, bins, and main.rs only.
+        assert!(!policy_for("crates/stream/src/pipeline.rs").deny_unsanctioned_spawn);
+        assert!(!policy_for("crates/stream/src/broker.rs").deny_unsanctioned_spawn);
+        assert!(!policy_for("crates/watch/src/serve.rs").deny_unsanctioned_spawn);
+        assert!(!policy_for("crates/bench/src/bin/e1_ingest.rs").deny_unsanctioned_spawn);
+        assert!(!policy_for("crates/doctor/src/main.rs").deny_unsanctioned_spawn);
+        assert!(policy_for("crates/store/src/lsm.rs").deny_unsanctioned_spawn);
+        assert!(policy_for("crates/watch/src/rollup.rs").deny_unsanctioned_spawn);
+        // Channels: workspace-wide, bins included.
+        assert!(policy_for("crates/bench/src/bin/e1_ingest.rs").deny_unbounded_channel);
+        assert!(policy_for("crates/render/src/layout.rs").deny_unbounded_channel);
+        // Blocking: per-record crates only; entries exempt.
+        assert!(policy_for("crates/stream/src/pipeline.rs").deny_blocking_hot_path);
+        assert!(!policy_for("crates/store/src/lsm.rs").deny_blocking_hot_path);
+        assert!(!policy_for("crates/watch/src/main.rs").deny_blocking_hot_path);
+        // Atomics: the three counter modules are exempt.
+        assert!(policy_for("crates/telemetry/src/metric.rs").relaxed_exempt);
+        assert!(policy_for("crates/telemetry/src/time.rs").relaxed_exempt);
+        assert!(policy_for("crates/profile/src/alloc.rs").relaxed_exempt);
+        assert!(!policy_for("crates/telemetry/src/flight.rs").relaxed_exempt);
+        assert!(!policy_for("crates/stream/src/pipeline.rs").relaxed_exempt);
+    }
+
+    #[test]
+    fn analyze_is_order_independent() {
+        let files = vec![
+            (
+                String::from("crates/stream/src/z.rs"),
+                String::from(
+                    "fn z(s: &S) { let g = s.beta.lock(); let h = s.alpha.lock(); g; h; }",
+                ),
+            ),
+            (
+                String::from("crates/stream/src/a.rs"),
+                String::from(
+                    "fn a(s: &S) { let g = s.alpha.lock(); let h = s.beta.lock(); g; h; }",
+                ),
+            ),
+        ];
+        let mut reversed = files.clone();
+        reversed.reverse();
+        let b = Baseline::empty();
+        let al = Allowlist::empty();
+        let r1 = analyze_files(&files, &b, &al);
+        let r2 = analyze_files(&reversed, &b, &al);
+        assert_eq!(r1.render_text(true), r2.render_text(true));
+        assert!(!r1.clean(), "the cycle must be found");
     }
 }

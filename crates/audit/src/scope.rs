@@ -1,0 +1,513 @@
+//! Scope/symbol pass: recovers `fn` boundaries, statement structure, and
+//! receiver chains from scrubbed, test-stripped source.
+//!
+//! The cross-file concurrency rules ([`crate::concurrency`]) need more than
+//! token matching: a lock acquisition matters only *while its guard lives*,
+//! a call site matters only *inside the function that makes it*, and an
+//! atomic-ordering finding needs the receiver it loads or stores. This pass
+//! recovers exactly that much structure — function spans by brace matching,
+//! statement kinds by scanning back to the statement head, guard lifetimes
+//! by Rust's temporary-scope rules (a `let`-bound guard lives to the end of
+//! the enclosing block; an `if let`/`while let`/`match` scrutinee temporary
+//! lives to the end of the control statement; a plain expression temporary
+//! dies at its `;`) — without ever needing a full parser. Like the lexer,
+//! it over-approximates conservatively: any imprecision widens a guard's
+//! assumed lifetime, which can only *add* order edges, never hide one.
+
+/// A function item recovered from scrubbed source: its name and the char
+/// span of its body (`{` .. matching `}`).
+#[derive(Debug, Clone)]
+pub struct FnScope {
+    /// The identifier after `fn`.
+    pub name: String,
+    /// Char index of the `fn` keyword.
+    pub sig_pos: usize,
+    /// Char index of the body's opening `{`.
+    pub body_start: usize,
+    /// Char index of the body's closing `}` (inclusive).
+    pub body_end: usize,
+}
+
+/// A file decomposed into chars plus every `fn` item found in it
+/// (including nested functions; methods in `impl` blocks are plain `fn`s).
+#[derive(Debug)]
+pub struct ScopedFile {
+    /// Scrubbed, test-stripped source as chars (newlines preserved).
+    pub text: Vec<char>,
+    /// Every function item, in declaration order.
+    pub fns: Vec<FnScope>,
+}
+
+/// How the statement containing a temporary decides the temporary's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `let g = ...;` — a bound guard lives to the end of the enclosing
+    /// block.
+    Let,
+    /// `if` / `while` / `match` / `for` / `else` — a scrutinee temporary
+    /// lives to the end of the control statement's block(s).
+    Control,
+    /// Anything else — the temporary dies at the statement's `;` (or the
+    /// end of the block for a tail expression).
+    Expr,
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Whether `word` occurs at `pos` bounded by non-identifier chars.
+pub fn word_at(text: &[char], pos: usize, word: &str) -> bool {
+    let w: Vec<char> = word.chars().collect();
+    if pos + w.len() > text.len() || text[pos..pos + w.len()] != w[..] {
+        return false;
+    }
+    let before_ok = pos == 0 || !is_ident_char(text[pos - 1]);
+    let after_ok = text
+        .get(pos + w.len())
+        .is_none_or(|c: &char| !is_ident_char(*c));
+    before_ok && after_ok
+}
+
+/// All positions where `pat` occurs with a non-identifier char before its
+/// first char (path separators `:` and dots are *allowed* before, unlike
+/// the stricter boundary used by the token rules).
+pub fn find_pattern(text: &[char], pat: &str) -> Vec<usize> {
+    let p: Vec<char> = pat.chars().collect();
+    let mut hits = Vec::new();
+    if p.is_empty() || text.len() < p.len() {
+        return hits;
+    }
+    for i in 0..=(text.len() - p.len()) {
+        if text[i..i + p.len()] == p[..] && (i == 0 || !is_ident_char(text[i - 1])) {
+            hits.push(i);
+        }
+    }
+    hits
+}
+
+/// All positions where `pat` occurs, with a word boundary required only
+/// when the pattern *starts* with an identifier char. Method patterns like
+/// `.lock()` match anywhere (the receiver chain precedes the dot).
+pub fn find_pattern_any(text: &[char], pat: &str) -> Vec<usize> {
+    let p: Vec<char> = pat.chars().collect();
+    let mut hits = Vec::new();
+    if p.is_empty() || text.len() < p.len() {
+        return hits;
+    }
+    let need_boundary = is_ident_char(p[0]);
+    for i in 0..=(text.len() - p.len()) {
+        if text[i..i + p.len()] == p[..]
+            && (!need_boundary || i == 0 || !is_ident_char(text[i - 1]))
+        {
+            hits.push(i);
+        }
+    }
+    hits
+}
+
+/// 1-based line number of a char position.
+pub fn line_of(text: &[char], pos: usize) -> usize {
+    1 + text
+        .iter()
+        .take(pos.min(text.len()))
+        .filter(|&&c| c == '\n')
+        .count()
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last char if the
+/// source is unbalanced — scrubbing guarantees balance for valid Rust).
+pub fn match_brace(text: &[char], open: usize) -> usize {
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < text.len() {
+        match text[i] {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    text.len().saturating_sub(1)
+}
+
+/// Recovers every `fn` item in scrubbed, test-stripped source.
+pub fn scope_file(lib_code: &str) -> ScopedFile {
+    let text: Vec<char> = lib_code.chars().collect();
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < text.len() {
+        if !word_at(&text, i, "fn") {
+            i += 1;
+            continue;
+        }
+        let sig_pos = i;
+        let mut j = i + 2;
+        while j < text.len() && text[j].is_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < text.len() && is_ident_char(text[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            // `fn(` — a function-pointer type, not an item.
+            i += 2;
+            continue;
+        }
+        let name: String = text[name_start..j].iter().collect();
+        // Scan the signature for the body `{` (or `;` for a bodyless trait
+        // method), tracking paren/bracket depth so argument lists and
+        // where-clauses cannot fool the scan.
+        let mut k = j;
+        let mut depth = 0isize;
+        let mut body = None;
+        while k < text.len() {
+            match text[k] {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                '{' if depth == 0 => {
+                    body = Some(k);
+                    break;
+                }
+                ';' if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(body_start) = body {
+            let body_end = match_brace(&text, body_start);
+            fns.push(FnScope {
+                name,
+                sig_pos,
+                body_start,
+                body_end,
+            });
+            // Descend into the body so nested `fn` items are found too.
+            i = body_start + 1;
+        } else {
+            i = k + 1;
+        }
+    }
+    ScopedFile { text, fns }
+}
+
+impl ScopedFile {
+    /// The innermost function containing `pos`, if any.
+    pub fn enclosing_fn(&self, pos: usize) -> Option<&FnScope> {
+        self.fns
+            .iter()
+            .filter(|f| f.sig_pos <= pos && pos <= f.body_end)
+            .max_by_key(|f| f.sig_pos)
+    }
+}
+
+/// Classifies the statement containing `pos` by scanning back to the
+/// statement head (the char after the previous `;`, `{`, or `}`).
+pub fn statement_kind(text: &[char], pos: usize, lower_bound: usize) -> StmtKind {
+    let mut i = pos;
+    while i > lower_bound {
+        i -= 1;
+        if matches!(text[i], ';' | '{' | '}') {
+            i += 1;
+            break;
+        }
+    }
+    while i < pos && text[i].is_whitespace() {
+        i += 1;
+    }
+    for kw in ["if", "while", "match", "for", "else"] {
+        if word_at(text, i, kw) {
+            return StmtKind::Control;
+        }
+    }
+    if word_at(text, i, "let") {
+        return StmtKind::Let;
+    }
+    StmtKind::Expr
+}
+
+/// How long a temporary created at `pos` is (conservatively) live, by the
+/// statement kind: returns the char index past which it is surely dead.
+/// Bounded by `body_end` (the enclosing function's closing brace).
+pub fn held_until(text: &[char], pos: usize, body_end: usize, kind: StmtKind) -> usize {
+    match kind {
+        StmtKind::Let => {
+            // To the end of the enclosing block: the first `}` that closes
+            // a brace we did not see opened.
+            let mut depth = 0isize;
+            let mut i = pos;
+            while i <= body_end && i < text.len() {
+                match text[i] {
+                    '{' => depth += 1,
+                    '}' => {
+                        if depth == 0 {
+                            return i;
+                        }
+                        depth -= 1;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            body_end
+        }
+        StmtKind::Control => {
+            // To the end of the control statement: the matching `}` of its
+            // first block, continuing through `else` chains.
+            let mut i = pos;
+            loop {
+                while i <= body_end && i < text.len() && text[i] != '{' {
+                    if text[i] == ';' {
+                        return i; // bodyless control (e.g. `while x();`)
+                    }
+                    i += 1;
+                }
+                if i > body_end || i >= text.len() {
+                    return body_end;
+                }
+                let close = match_brace(text, i);
+                // Skip whitespace after the block; an `else` continues the
+                // statement (and may hold the scrutinee temporary).
+                let mut j = close + 1;
+                while j <= body_end && j < text.len() && text[j].is_whitespace() {
+                    j += 1;
+                }
+                if j <= body_end && word_at(text, j, "else") {
+                    i = j + 4;
+                    continue;
+                }
+                return close.min(body_end);
+            }
+        }
+        StmtKind::Expr => {
+            // To the statement's `;` at the current brace depth, or the
+            // end of the enclosing block for a tail expression.
+            let mut depth = 0isize;
+            let mut i = pos;
+            while i <= body_end && i < text.len() {
+                match text[i] {
+                    '{' => depth += 1,
+                    '}' => {
+                        if depth == 0 {
+                            return i;
+                        }
+                        depth -= 1;
+                    }
+                    ';' if depth == 0 => return i,
+                    _ => {}
+                }
+                i += 1;
+            }
+            body_end
+        }
+    }
+}
+
+/// The last receiver-chain component before position `end` (exclusive),
+/// e.g. `partitions` for `t.partitions[pid as usize]` with `end` at the
+/// trailing `.`. Skips `?`, whitespace, and bracket/paren groups.
+pub fn receiver_component(text: &[char], end: usize) -> Option<String> {
+    let mut i = end;
+    // Skip trailing `?`, whitespace, and one bracket/paren group.
+    loop {
+        while i > 0 && (text[i - 1].is_whitespace() || text[i - 1] == '?') {
+            i -= 1;
+        }
+        if i > 0 && (text[i - 1] == ']' || text[i - 1] == ')') {
+            let close = text[i - 1];
+            let open = if close == ']' { '[' } else { '(' };
+            let mut depth = 0isize;
+            while i > 0 {
+                i -= 1;
+                if text[i] == close {
+                    depth += 1;
+                } else if text[i] == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            continue;
+        }
+        break;
+    }
+    let ident_end = i;
+    while i > 0 && is_ident_char(text[i - 1]) {
+        i -= 1;
+    }
+    if i == ident_end {
+        return None;
+    }
+    Some(text[i..ident_end].iter().collect())
+}
+
+/// Every call site in `[start, end]`: the char index of the `(` plus the
+/// callee identifier (handles `name(`, `path::name(`, `.method(`, and
+/// turbofish `name::<T>(`). Keywords and macro invocations are excluded.
+pub fn call_sites(text: &[char], start: usize, end: usize) -> Vec<(usize, String)> {
+    const KEYWORDS: [&str; 12] = [
+        "if", "while", "for", "match", "return", "fn", "loop", "move", "in", "as", "else", "impl",
+    ];
+    let mut out = Vec::new();
+    let mut i = start;
+    while i <= end && i < text.len() {
+        if text[i] != '(' {
+            i += 1;
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && text[j - 1].is_whitespace() {
+            j -= 1;
+        }
+        // Turbofish: `name::<...>(` — hop back over the generic args.
+        if j > 0 && text[j - 1] == '>' {
+            let mut depth = 0isize;
+            let mut k = j;
+            while k > 0 {
+                k -= 1;
+                if text[k] == '>' {
+                    depth += 1;
+                } else if text[k] == '<' {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+            if k >= 2 && text[k - 1] == ':' && text[k - 2] == ':' {
+                j = k - 2;
+            } else {
+                i += 1;
+                continue;
+            }
+        }
+        let ident_end = j;
+        while j > 0 && is_ident_char(text[j - 1]) {
+            j -= 1;
+        }
+        if j == ident_end {
+            i += 1;
+            continue;
+        }
+        let name: String = text[j..ident_end].iter().collect();
+        if KEYWORDS.contains(&name.as_str()) || name.chars().next().is_some_and(char::is_numeric) {
+            i += 1;
+            continue;
+        }
+        out.push((i, name));
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chars(s: &str) -> Vec<char> {
+        s.chars().collect()
+    }
+
+    #[test]
+    fn finds_fn_items_and_bodies() {
+        let src = "pub fn outer(a: u32) -> u32 {\n  fn inner() {}\n  a\n}\nfn plain() {}";
+        let sf = scope_file(src);
+        let names: Vec<&str> = sf.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner", "plain"]);
+        let outer = &sf.fns[0];
+        assert_eq!(sf.text[outer.body_start], '{');
+        assert_eq!(sf.text[outer.body_end], '}');
+        // Innermost attribution: a position inside `inner` maps to it.
+        let inner = &sf.fns[1];
+        let got = sf.enclosing_fn(inner.body_start + 1).map(|f| &f.name);
+        assert_eq!(got.map(String::as_str), Some("inner"));
+    }
+
+    #[test]
+    fn skips_fn_pointer_types_and_trait_sigs() {
+        let src = "type F = fn(u32) -> u32;\ntrait T { fn m(&self); }\nfn real() {}";
+        let sf = scope_file(src);
+        let names: Vec<&str> = sf.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn statement_kinds() {
+        let src = "fn f() { let g = a.lock(); if b.lock().x { } c.lock(); }";
+        let t = chars(src);
+        let first = src.find("a.lock").map(|i| i + 1).unwrap_or(0);
+        let second = src.find("b.lock").map(|i| i + 1).unwrap_or(0);
+        let third = src.find("c.lock").map(|i| i + 1).unwrap_or(0);
+        assert_eq!(statement_kind(&t, first, 0), StmtKind::Let);
+        assert_eq!(statement_kind(&t, second, 0), StmtKind::Control);
+        assert_eq!(statement_kind(&t, third, 0), StmtKind::Expr);
+    }
+
+    #[test]
+    fn held_ranges_respect_temporaries() {
+        // A statement-temporary guard dies at its `;` — the second lock is
+        // NOT nested under it.
+        let src = "fn f(s: &S) { *s.a.lock() = 1; s.b.lock(); }";
+        let t = chars(src);
+        let a = src.find("a.lock").unwrap_or(0) + 1;
+        let b = src.find("b.lock").unwrap_or(0) + 1;
+        let end = held_until(&t, a, t.len() - 1, StmtKind::Expr);
+        assert!(end < b, "expr temp must end before the second acquisition");
+
+        // A let-bound guard lives to the end of the block.
+        let src2 = "fn f(s: &S) { let g = s.a.lock(); s.b.lock(); }";
+        let t2 = chars(src2);
+        let a2 = src2.find("a.lock").unwrap_or(0) + 1;
+        let b2 = src2.find("b.lock").unwrap_or(0) + 1;
+        let end2 = held_until(&t2, a2, t2.len() - 1, StmtKind::Let);
+        assert!(end2 > b2, "let guard must cover the second acquisition");
+
+        // An if-let scrutinee temporary dies with the if statement.
+        let src3 = "fn f(s: &S) { if let Some(x) = s.a.lock().get() { use_it(x); } s.b.lock(); }";
+        let t3 = chars(src3);
+        let a3 = src3.find("a.lock").unwrap_or(0) + 1;
+        let b3 = src3.find("b.lock").unwrap_or(0) + 1;
+        let end3 = held_until(&t3, a3, t3.len() - 1, StmtKind::Control);
+        assert!(end3 < b3, "if-let temp must end before the trailing lock");
+        let inside = src3.find("use_it").unwrap_or(0);
+        assert!(end3 > inside, "if-let temp must cover the if body");
+    }
+
+    #[test]
+    fn receiver_components() {
+        let t = chars("t.partitions[pid as usize].write()");
+        let dot = 26; // the `.` before write
+        assert_eq!(t[dot], '.');
+        assert_eq!(receiver_component(&t, dot).as_deref(), Some("partitions"));
+
+        let t2 = chars("self.inner.read()");
+        let dot2 = 10;
+        assert_eq!(t2[dot2], '.');
+        assert_eq!(receiver_component(&t2, dot2).as_deref(), Some("inner"));
+
+        let t3 = chars("shard.read()");
+        assert_eq!(receiver_component(&t3, 5).as_deref(), Some("shard"));
+    }
+
+    #[test]
+    fn call_site_extraction() {
+        let t = chars("fn f() { helper(1); path::other(); x.method(); chan::bounded::<u32>(CAP); if cond { } m!(arg) }");
+        let calls: Vec<String> = call_sites(&t, 0, t.len() - 1)
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
+        assert!(calls.contains(&"helper".to_string()));
+        assert!(calls.contains(&"other".to_string()));
+        assert!(calls.contains(&"method".to_string()));
+        assert!(calls.contains(&"bounded".to_string()), "{calls:?}");
+        assert!(!calls.contains(&"if".to_string()));
+        assert!(!calls.contains(&"m".to_string()), "macros are not calls");
+    }
+}

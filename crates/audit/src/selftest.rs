@@ -10,7 +10,52 @@ use crate::scan;
 
 /// A seeded violation fixture: file path (workspace-relative), source, and
 /// the deny rules the scanner must fire on it.
-const FIXTURES: [(&str, &str, &[&str]); 10] = [
+const FIXTURES: [(&str, &str, &[&str]); 19] = [
+    (
+        "crates/stream/src/bad_cycle_a.rs",
+        "pub fn ab(s: &Shared) {\n    let g = s.alpha.lock();\n    let h = s.beta.lock();\n    drop(h);\n    drop(g);\n}\n",
+        &["lock-order-cycle"],
+    ),
+    (
+        "crates/stream/src/bad_cycle_b.rs",
+        "pub fn ba(s: &Shared) {\n    let g = s.beta.lock();\n    let h = s.alpha.lock();\n    drop(h);\n    drop(g);\n}\n",
+        &["lock-order-cycle"],
+    ),
+    (
+        "crates/stream/src/bad_block_op.rs",
+        "pub fn op() {\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n",
+        &["no-blocking-hot-path"],
+    ),
+    (
+        "crates/stream/src/bad_reach.rs",
+        "pub fn per_record(x: u32) -> u32 {\n    helper_wait();\n    x\n}\n",
+        &["no-blocking-hot-path"],
+    ),
+    (
+        "crates/semantic/src/bad_wait_helper.rs",
+        "pub fn helper_wait() {\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n",
+        &[],
+    ),
+    (
+        "crates/semantic/src/bad_unbounded.rs",
+        "pub fn make() -> (crossbeam::channel::Sender<u32>, crossbeam::channel::Receiver<u32>) {\n    crossbeam::channel::unbounded::<u32>()\n}\n",
+        &["bounded-channels-only"],
+    ),
+    (
+        "crates/stream/src/bad_bounded_literal.rs",
+        "pub fn make() -> (crossbeam::channel::Sender<u32>, crossbeam::channel::Receiver<u32>) {\n    crossbeam::channel::bounded::<u32>(4096)\n}\n",
+        &["bounded-channels-only"],
+    ),
+    (
+        "crates/store/src/bad_spawn.rs",
+        "pub fn background() -> std::thread::JoinHandle<()> {\n    std::thread::spawn(|| {})\n}\n",
+        &["spawn-confined"],
+    ),
+    (
+        "crates/geo/src/bad_relaxed.rs",
+        "use std::sync::atomic::{AtomicBool, Ordering};\npub fn raise(flag: &AtomicBool) {\n    flag.store(true, Ordering::Relaxed);\n}\n",
+        &["atomics-ordering"],
+    ),
     (
         "crates/render/src/bad_global_registry.rs",
         "fn f() { let c = augur_telemetry::Registry::global().counter(\"frames\"); c.inc(); }\n",
@@ -110,6 +155,55 @@ unsafe impl GlobalAlloc for Counting {
 }
 "#;
 
+/// Clean fixture for spawn confinement and channel discipline: a
+/// `thread::spawn` and a named-capacity `bounded()` are both fine inside
+/// the sanctioned worker-pool module `crates/stream/src/pipeline.rs`.
+/// (Stream is hot and per-record, so the fixture is also panic-free and
+/// contains no blocking operations.)
+const CLEAN_SPAWN_SITE: &str = r#"//! Clean fixture: the sanctioned worker-pool spawn site.
+use std::thread;
+
+/// Channel capacity for the worker pool.
+pub const POOL_CAPACITY: usize = 64;
+
+/// Builds the pool's bounded channel (named capacity: passes the audit).
+pub fn pool_channel() -> (crossbeam::channel::Sender<u32>, crossbeam::channel::Receiver<u32>) {
+    crossbeam::channel::bounded::<u32>(POOL_CAPACITY)
+}
+
+/// Spawns one worker (sanctioned site: passes the audit).
+pub fn spawn_worker<F: FnOnce() + Send + 'static>(f: F) -> thread::JoinHandle<()> {
+    thread::spawn(f)
+}
+"#;
+
+/// Clean fixture for atomics-ordering: `Ordering::Relaxed` on a counter is
+/// fine inside the sanctioned counter module `crates/telemetry/src/metric.rs`.
+const CLEAN_RELAXED_COUNTER: &str = r#"//! Clean fixture: the sanctioned counter module.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Increments a monotonic event counter.
+pub fn bump(events: &AtomicU64) {
+    events.fetch_add(1, Ordering::Relaxed);
+}
+"#;
+
+/// Fixture for the `audit.allow` mechanism: a `Relaxed` counter *outside*
+/// the sanctioned modules, suppressed by a reviewed allowlist entry that
+/// the self-test writes into the temp root.
+const CLEAN_ALLOWED_RELAXED: &str = r#"//! Clean fixture: a reviewed Relaxed exception via audit.allow.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Records one hit on a counter reviewed in audit.allow.
+pub fn record(hits: &AtomicU64) {
+    hits.fetch_add(1, Ordering::Relaxed);
+}
+"#;
+
+/// The allowlist covering [`CLEAN_ALLOWED_RELAXED`].
+const ALLOW_FILE: &str = "# self-test allowlist\n\
+crates/telemetry/src/allowed_relaxed.rs hits monotonic counter, only ever summed by the snapshotter\n";
+
 /// Clean source that must produce zero deny findings even under the strictest
 /// policy (hot crate): test-gated panics, literals, and error propagation.
 const CLEAN: &str = r#"//! Clean fixture.
@@ -155,6 +249,18 @@ fn run_in(root: &Path) -> Result<(), String> {
     write_fixture(root, "crates/telemetry/src/time.rs", CLEAN_TIME_SOURCE)?;
     write_fixture(root, "crates/watch/src/serve.rs", CLEAN_NET_ENDPOINT)?;
     write_fixture(root, "crates/profile/src/alloc.rs", CLEAN_ALLOC_SITE)?;
+    write_fixture(root, "crates/stream/src/pipeline.rs", CLEAN_SPAWN_SITE)?;
+    write_fixture(
+        root,
+        "crates/telemetry/src/metric.rs",
+        CLEAN_RELAXED_COUNTER,
+    )?;
+    write_fixture(
+        root,
+        "crates/telemetry/src/allowed_relaxed.rs",
+        CLEAN_ALLOWED_RELAXED,
+    )?;
+    fs::write(root.join("audit.allow"), ALLOW_FILE).map_err(|e| format!("self-test write: {e}"))?;
 
     let report = scan::audit_workspace(root).map_err(|e| format!("self-test scan failed: {e}"))?;
 
@@ -206,6 +312,35 @@ fn run_in(root: &Path) -> Result<(), String> {
     if !alloc_denials.is_empty() {
         return Err(format!(
             "self-test: sanctioned allocator site produced deny findings: {alloc_denials:?}"
+        ));
+    }
+
+    // Sanctioned concurrency sites: the worker-pool spawn module, the
+    // counter module, and the allowlisted Relaxed counter must all pass.
+    for sanctioned in [
+        "crates/stream/src/pipeline.rs",
+        "crates/telemetry/src/metric.rs",
+        "crates/telemetry/src/allowed_relaxed.rs",
+    ] {
+        let denials: Vec<_> = report.denials().filter(|v| v.file == sanctioned).collect();
+        if !denials.is_empty() {
+            return Err(format!(
+                "self-test: sanctioned concurrency site {sanctioned} produced deny \
+                 findings: {denials:?}"
+            ));
+        }
+    }
+
+    // The one-hop blocking finding must land at the per-record caller, not
+    // inside the helper crate (which is not on the per-record path).
+    let helper_denials: Vec<_> = report
+        .denials()
+        .filter(|v| v.file == "crates/semantic/src/bad_wait_helper.rs")
+        .collect();
+    if !helper_denials.is_empty() {
+        return Err(format!(
+            "self-test: blocking helper outside the per-record path must not be \
+             flagged directly: {helper_denials:?}"
         ));
     }
     Ok(())

@@ -628,7 +628,7 @@ impl<T: Send + 'static> Pipeline<T> {
         let records_out = self.instruments.records_out.clone();
         let source = std::thread::spawn(move || {
             let mut offsets = vec![0u64; parts as usize];
-            while !stop_src.load(Ordering::Relaxed) {
+            while !stop_src.load(Ordering::Acquire) {
                 let mut idle = true;
                 for p in 0..parts {
                     let batch = match broker.poll(
@@ -685,7 +685,7 @@ impl<T: Send + 'static> Pipeline<T> {
                     }
                 }
                 Err(channel::RecvTimeoutError::Timeout) => {
-                    if stop_worker.load(Ordering::Relaxed) {
+                    if stop_worker.load(Ordering::Acquire) {
                         break;
                     }
                 }
@@ -716,7 +716,7 @@ impl StopHandle {
 
     /// Signals stop and joins the threads.
     pub fn stop(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -725,7 +725,7 @@ impl StopHandle {
 
 impl Drop for StopHandle {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         for h in self.handles.drain(..) {
             let _ = h.join();
         }

@@ -1,15 +1,21 @@
 //! Tier-1 gate for the in-repo static analyzer.
 //!
 //! Running `cargo test` must fail if anyone reintroduces a panic path,
-//! a std lock, or wall-clock/entropy use into the enforced crates — the
-//! same policy `cargo run -p augur-audit` applies, wired into the test
-//! suite so CI and local runs cannot skip it.
+//! a std lock, wall-clock/entropy use, a lock-order cycle, a blocking
+//! call on the per-record path, an unbounded channel, a stray
+//! `thread::spawn`, or an unreviewed `Ordering::Relaxed` — the same
+//! policy `cargo run -p augur-audit` applies, wired into the test suite
+//! so CI and local runs cannot skip it. The committed
+//! `audit.baseline.json` is honored (pre-existing findings burn down
+//! explicitly), and a stale baseline entry fails the gate so the
+//! baseline only ever shrinks.
 
 use std::path::Path;
 
 use augur_audit::{audit_workspace, Severity};
 
-/// The shipped tree is clean under the audit policy.
+/// The shipped tree passes the audit: no unsuppressed denials, and every
+/// committed baseline entry still matches its exact finding count.
 #[test]
 fn workspace_is_audit_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
@@ -24,10 +30,19 @@ fn workspace_is_audit_clean() {
         denials.len(),
         denials.join("\n")
     );
+    assert!(
+        report.stale_suppressions.is_empty(),
+        "stale audit.baseline.json entries (the finding was fixed; prune them):\n{}",
+        report.stale_suppressions.join("\n")
+    );
+    assert!(report.pass());
 }
 
 /// The analyzer itself still detects every seeded violation class —
-/// guards against the audit silently going blind.
+/// guards against the audit silently going blind. Covers the five
+/// concurrency rules (lock-order cycle, blocking reachability, channel
+/// discipline, spawn confinement, atomics ordering) alongside the
+/// original per-file rules.
 #[test]
 fn analyzer_detects_seeded_violations() {
     augur_audit::selftest::run().expect("self-test detects all fixture violations");
@@ -42,4 +57,25 @@ fn advisories_are_not_denials() {
     assert!(report
         .denials()
         .all(|v| matches!(v.severity, Severity::Deny)));
+}
+
+/// The baseline burn-down backlog is visible, bounded, and honest: every
+/// suppressed finding is deny-severity and named by a baseline entry.
+#[test]
+fn baseline_suppressions_are_deny_only_and_bounded() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = audit_workspace(root).expect("workspace sources are readable");
+    assert!(report
+        .suppressed
+        .iter()
+        .all(|v| matches!(v.severity, Severity::Deny)));
+    // The backlog shrinks over time; it must never silently grow past the
+    // committed entries' total count.
+    let opts = augur_audit::AuditOptions::discover(root).expect("baseline parses");
+    let budget: usize = opts.baseline.entries.iter().map(|e| e.count).sum();
+    assert!(
+        report.suppressed.len() <= budget,
+        "suppressed {} findings but the baseline only budgets {budget}",
+        report.suppressed.len()
+    );
 }
