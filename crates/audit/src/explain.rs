@@ -8,7 +8,7 @@
 pub type RuleDoc = (&'static str, &'static str, &'static str);
 
 /// Every rule the audit can emit, in stable (alphabetical) order.
-pub const RULES: [RuleDoc; 17] = [
+pub const RULES: [RuleDoc; 18] = [
     (
         "alloc-confined",
         "Global allocators are confined to the counting allocator module.",
@@ -126,6 +126,16 @@ pub const RULES: [RuleDoc; 17] = [
          acquisition/guard semantics only.",
     ),
     (
+        "print-confined",
+        "Console-print macros are confined to the log crate's writer module.",
+        "`println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in library code bypass levels, \
+         per-site rate limits, and the deterministic JSONL exporters — and they litter bench \
+         stdout CI has to parse. Emit a structured event through `augur-log`; a genuine \
+         console line (progress tables, exporter summaries) goes through \
+         crates/log/src/writer.rs, the sole sanctioned library print site. Binaries, CLIs, \
+         and tests are exempt and may print directly.",
+    ),
+    (
         "seeded-rng-only",
         "All randomness comes from a seeded StdRng.",
         "`thread_rng()`, `from_entropy()`, and `rand::random()` draw from OS entropy, so no two \
@@ -197,6 +207,7 @@ mod tests {
             "no-global-registry",
             "net-confined",
             "alloc-confined",
+            "print-confined",
             "documented-exports",
             "indexing",
             "lock-order-cycle",

@@ -55,6 +55,11 @@ pub struct FilePolicy {
     /// site (bins/tests opt in via the `global-alloc` cargo feature, never
     /// by declaring their own).
     pub deny_global_alloc: bool,
+    /// `println!`/`eprintln!`/`dbg!` are denied: library code emits
+    /// structured events through `augur-log`, or routes a genuine console
+    /// line through the sanctioned writer
+    /// ([`crate::scan::PRINT_EXEMPT`]). Bins, CLIs, and tests are exempt.
+    pub deny_prints: bool,
     /// Slice-indexing advisories are collected.
     pub advise_indexing: bool,
     /// The file is a crate root whose public items must be documented.
@@ -105,6 +110,10 @@ const RAW_NET: [&str; 4] = ["std::net::", "TcpListener", "TcpStream", "UdpSocket
 
 /// Global-allocator patterns confined to the sanctioned accounting module.
 const GLOBAL_ALLOC: [&str; 2] = ["global_allocator", "GlobalAlloc"];
+
+/// Console-print macros confined to the sanctioned writer module. Matched at
+/// word boundaries, so `println!` inside `eprintln!` reports once.
+const PRINT_MACROS: [&str; 5] = ["println!", "eprintln!", "print!", "eprint!", "dbg!"];
 
 /// Checks one file's source, appending findings to `out`.
 pub fn check_source(file: &str, src: &str, policy: FilePolicy, out: &mut Vec<Violation>) {
@@ -292,6 +301,29 @@ pub fn check_source(file: &str, src: &str, policy: FilePolicy, out: &mut Vec<Vio
         }
     }
 
+    if policy.deny_prints {
+        for pat in PRINT_MACROS {
+            for idx in find_all(&lib_code, pat) {
+                if is_word_start(&lib_code, idx) {
+                    push(
+                        out,
+                        file,
+                        &lib_code,
+                        idx,
+                        "print-confined",
+                        Severity::Deny,
+                        format!(
+                            "`{pat}` in library code: emit a structured event through \
+                             `augur-log`, or route a genuine console line through the \
+                             sanctioned writer (crates/log/src/writer.rs); ad-hoc prints \
+                             bypass levels, rate limits, and the deterministic exporters"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     if policy.advise_indexing {
         for idx in indexing_sites(&lib_code) {
             push(
@@ -467,6 +499,7 @@ mod tests {
         deny_global_registry: true,
         deny_raw_net: true,
         deny_global_alloc: true,
+        deny_prints: true,
         advise_indexing: true,
         require_docs: false,
         deny_unsanctioned_spawn: true,
@@ -538,6 +571,7 @@ mod tests {
             deny_global_registry: false,
             deny_raw_net: false,
             deny_global_alloc: false,
+            deny_prints: false,
             advise_indexing: false,
             require_docs: true,
             deny_unsanctioned_spawn: false,
@@ -689,6 +723,46 @@ mod tests {
             &mut v,
         );
         assert!(v.iter().all(|x| x.rule != "alloc-confined"));
+    }
+
+    #[test]
+    fn flags_prints_outside_the_sanctioned_writer() {
+        assert_eq!(
+            deny_rules("fn f() { println!(\"progress {}\", 1); }"),
+            vec!["print-confined"]
+        );
+        // `println!` inside `eprintln!` is not a second word-boundary
+        // match: the site reports exactly once.
+        assert_eq!(
+            deny_rules("fn f() { eprintln!(\"oops\"); }"),
+            vec!["print-confined"]
+        );
+        assert_eq!(
+            deny_rules("fn f(x: u32) { dbg!(x); }"),
+            vec!["print-confined"]
+        );
+        assert_eq!(
+            deny_rules("fn f() { print!(\"a\"); eprint!(\"b\"); }"),
+            vec!["print-confined", "print-confined"]
+        );
+        // Comments, strings, test code, and lookalike names never trip it.
+        assert!(deny_rules("// println!(\"doc\") is denied here\nfn f() {}").is_empty());
+        assert!(deny_rules("fn f() { let s = \"println!(no)\"; }").is_empty());
+        assert!(deny_rules("#[cfg(test)] mod t { fn f() { println!(\"ok\"); } }").is_empty());
+        assert!(deny_rules("fn f(w: &mut String) { my_println!(w); }").is_empty());
+        // The sanctioned writer policy is exempt.
+        let writer = FilePolicy {
+            deny_prints: false,
+            ..STRICT
+        };
+        let mut v = Vec::new();
+        check_source(
+            "writer.rs",
+            "pub fn out_line(line: &str) { println!(\"{line}\"); }",
+            writer,
+            &mut v,
+        );
+        assert!(v.iter().all(|x| x.rule != "print-confined"));
     }
 
     #[test]

@@ -67,6 +67,12 @@ pub const NET_EXEMPT: &str = "crates/watch/src/serve.rs";
 /// implementation to audit.
 pub const ALLOC_EXEMPT: &str = "crates/profile/src/alloc.rs";
 
+/// The one sanctioned console-print site: the log crate's writer module.
+/// Library code that genuinely needs a console line routes it through
+/// `augur_log`'s writer; everything else emits structured events. Bins,
+/// CLIs, and tests stay exempt and may print directly.
+pub const PRINT_EXEMPT: &str = "crates/log/src/writer.rs";
+
 /// Sanctioned `thread::spawn` sites: the sharded engine's worker pool and
 /// the watch endpoint's listener thread. Keeping one spawn surface gives
 /// thread budgets, shutdown, and panic handling a single owner.
@@ -328,6 +334,9 @@ pub fn policy_for(rel: &str) -> FilePolicy {
         // they enable the counting allocator via the `global-alloc`
         // feature rather than declaring their own.
         deny_global_alloc: rel != ALLOC_EXEMPT,
+        // Library code logs through augur-log; only the sanctioned writer
+        // and process entry points (bins, CLIs) touch stdio directly.
+        deny_prints: !is_entry && rel != PRINT_EXEMPT,
         advise_indexing: hot && !is_bin,
         require_docs: is_crate_root,
         // Threads are confined to the sanctioned worker-pool modules;
@@ -411,6 +420,18 @@ mod tests {
         assert!(policy_for("crates/profile/src/fold.rs").deny_panics);
         assert!(policy_for("crates/profile/src/diff.rs").deny_raw_instant);
         assert!(policy_for("crates/profile/src/lib.rs").require_docs);
+    }
+
+    #[test]
+    fn print_confinement_policy_mapping() {
+        // The log writer is the sole sanctioned library print site.
+        assert!(!policy_for("crates/log/src/writer.rs").deny_prints);
+        assert!(policy_for("crates/log/src/export.rs").deny_prints);
+        assert!(policy_for("crates/bench/src/lib.rs").deny_prints);
+        assert!(policy_for("crates/stream/src/pipeline.rs").deny_prints);
+        // Bins and CLI entry points own their stdout.
+        assert!(!policy_for("crates/bench/src/bin/e2_timeliness.rs").deny_prints);
+        assert!(!policy_for("crates/doctor/src/main.rs").deny_prints);
     }
 
     #[test]

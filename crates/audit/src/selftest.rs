@@ -10,7 +10,7 @@ use crate::scan;
 
 /// A seeded violation fixture: file path (workspace-relative), source, and
 /// the deny rules the scanner must fire on it.
-const FIXTURES: [(&str, &str, &[&str]); 19] = [
+const FIXTURES: [(&str, &str, &[&str]); 20] = [
     (
         "crates/stream/src/bad_cycle_a.rs",
         "pub fn ab(s: &Shared) {\n    let g = s.alpha.lock();\n    let h = s.beta.lock();\n    drop(h);\n    drop(g);\n}\n",
@@ -106,6 +106,11 @@ const FIXTURES: [(&str, &str, &[&str]); 19] = [
         "#[global_allocator]\nstatic ALLOC: std::alloc::System = std::alloc::System;\n",
         &["alloc-confined"],
     ),
+    (
+        "crates/render/src/bad_print.rs",
+        "pub fn report(frames: usize) {\n    println!(\"rendered {frames} frames\");\n    dbg!(frames);\n}\n",
+        &["print-confined"],
+    ),
 ];
 
 /// Clean fixture for the time-source exemption: raw `Instant::now()` is
@@ -174,6 +179,22 @@ pub fn pool_channel() -> (crossbeam::channel::Sender<u32>, crossbeam::channel::R
 /// Spawns one worker (sanctioned site: passes the audit).
 pub fn spawn_worker<F: FnOnce() + Send + 'static>(f: F) -> thread::JoinHandle<()> {
     thread::spawn(f)
+}
+"#;
+
+/// Clean fixture for print confinement: console macros are allowed only at
+/// `crates/log/src/writer.rs`, the sanctioned console sink every library
+/// crate routes genuine console lines through.
+const CLEAN_PRINT_WRITER: &str = r#"//! Clean fixture: the sanctioned console sink.
+
+/// Writes one line to stdout.
+pub fn out_line(line: &str) {
+    println!("{line}");
+}
+
+/// Writes one line to stderr.
+pub fn err_line(line: &str) {
+    eprintln!("{line}");
 }
 "#;
 
@@ -250,6 +271,7 @@ fn run_in(root: &Path) -> Result<(), String> {
     write_fixture(root, "crates/watch/src/serve.rs", CLEAN_NET_ENDPOINT)?;
     write_fixture(root, "crates/profile/src/alloc.rs", CLEAN_ALLOC_SITE)?;
     write_fixture(root, "crates/stream/src/pipeline.rs", CLEAN_SPAWN_SITE)?;
+    write_fixture(root, "crates/log/src/writer.rs", CLEAN_PRINT_WRITER)?;
     write_fixture(
         root,
         "crates/telemetry/src/metric.rs",
@@ -315,12 +337,14 @@ fn run_in(root: &Path) -> Result<(), String> {
         ));
     }
 
-    // Sanctioned concurrency sites: the worker-pool spawn module, the
-    // counter module, and the allowlisted Relaxed counter must all pass.
+    // Sanctioned concurrency and print sites: the worker-pool spawn
+    // module, the counter module, the allowlisted Relaxed counter, and
+    // the console-sink writer must all pass.
     for sanctioned in [
         "crates/stream/src/pipeline.rs",
         "crates/telemetry/src/metric.rs",
         "crates/telemetry/src/allowed_relaxed.rs",
+        "crates/log/src/writer.rs",
     ] {
         let denials: Vec<_> = report.denials().filter(|v| v.file == sanctioned).collect();
         if !denials.is_empty() {

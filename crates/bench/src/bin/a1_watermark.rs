@@ -6,7 +6,7 @@
 //! deployment makes once per source.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, sized, Snapshot};
+use augur_bench::{f, header, row, sized, BenchLog, Snapshot};
 use augur_stream::window::CountAggregation;
 use augur_stream::{Broker, PipelineBuilder, Record, TumblingWindows};
 use rand::{Rng, SeedableRng};
@@ -19,6 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut snap = Snapshot::new("a1_watermark");
     snap.param_num("events", n as f64);
     snap.param_num("disorder_us", 50_000.0);
+    // Pipeline-emitted log records (run summaries, rate-limited late-drop
+    // warnings) land here and print on stderr at exit.
+    let blog = BenchLog::new("a1_watermark");
     let disorder_us = 50_000i64;
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);
     let mut events: Vec<(u64, u64)> = (0..n)
@@ -57,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Arrival order preserves the simulated clock skew — the whole
         // point of this ablation.
         .arrival_order(true)
+        .log(blog.handle(), blog.root().child(bound_ms))
         .build();
         let (results, metrics) = pipeline.run_windowed(
             TumblingWindows::new(100_000),
@@ -83,6 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          disorder (~100 ms here); larger bounds cost only result delay, which\n\
          is why the default errs high (1 s)"
     );
+    blog.finish();
     snap.write()?;
     Ok(())
 }

@@ -2,8 +2,9 @@
 //! trigger vs write cost, read cost, and space amplification.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, sized, timed, timed_mean, Snapshot};
+use augur_bench::{f, header, row, sized, timed, timed_mean, BenchLog, Snapshot};
 use augur_store::{LsmParams, LsmStore};
+use augur_telemetry::{Clock, ManualTime};
 use rand::{Rng, SeedableRng};
 
 fn main() {
@@ -17,6 +18,11 @@ fn main() {
     snap.param_num("writes", writes as f64);
     snap.param_num("gets", gets as f64);
     snap.param_num("delete_fraction", 0.2);
+    // Flush/compaction decision records: timestamped on a manual clock
+    // advanced once per configuration, so each config's events group.
+    let blog = BenchLog::new("a2_lsm");
+    let manual = ManualTime::shared();
+    let clock: Clock = manual.clone();
     row(&[
         "flush at".into(),
         "compact at".into(),
@@ -25,20 +31,25 @@ fn main() {
         "runs".into(),
         "space amp".into(),
     ]);
-    for &(flush, compact) in &[
+    for (config, &(flush, compact)) in [
         (256usize, 4usize),
         (1024, 4),
         (4096, 4),
         (4096, 16),
         (16384, 4),
         (65536, 64), // effectively never compacts at this volume
-    ] {
+    ]
+    .iter()
+    .enumerate()
+    {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let mut db = LsmStore::new(LsmParams {
             memtable_flush_entries: flush,
             compaction_trigger_runs: compact,
         });
         db.instrument(snap.registry(), &format!("lsm_{flush}_{compact}"));
+        manual.advance_micros(1_000_000);
+        db.instrument_log(blog.handle(), &clock, blog.root().child(config as u64));
         let (_, write_us) = timed(|| {
             for _ in 0..writes {
                 let k: u32 = rng.gen_range(0..20_000);
@@ -85,5 +96,6 @@ fn main() {
          more runs → reads touch more levels); lazy compaction grows space\n\
          amplification and read cost; the defaults sit in the basin"
     );
+    blog.finish();
     snap.write().expect("snapshot write");
 }

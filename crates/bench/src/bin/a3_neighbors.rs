@@ -3,8 +3,9 @@
 
 use augur_analytics::recommend::{evaluate, leave_one_out};
 use augur_analytics::{ItemItemRecommender, Recommender};
-use augur_bench::{f, header, row, sized, timed, Snapshot};
+use augur_bench::{f, header, row, sized, timed, BenchLog, Snapshot};
 use augur_core::retail::{purchase_log, RetailParams};
+use augur_log::Arg;
 
 fn main() {
     header("A3", "CF neighbourhood size vs hit-rate@10 and cost");
@@ -12,6 +13,7 @@ fn main() {
     let mut snap = Snapshot::new("a3_neighbors");
     snap.param_num("users", users as f64);
     snap.param_num("top_k", 10.0);
+    let blog = BenchLog::new("a3_neighbors");
     let log = purchase_log(&RetailParams {
         users,
         ..RetailParams::default()
@@ -32,6 +34,14 @@ fn main() {
                 std::hint::black_box(model.recommend(u, 10));
             }
         });
+        blog.note(
+            "a3/neighbors_point",
+            &[
+                ("k", Arg::U64(k as u64)),
+                ("hit_rate", Arg::F64(eval.hit_rate)),
+                ("train_ms", Arg::F64(train_us / 1e3)),
+            ],
+        );
         let kl = k.to_string();
         let labels = [("neighbors", kl.as_str())];
         snap.gauge("hit_rate", &labels, eval.hit_rate);
@@ -50,5 +60,6 @@ fn main() {
          while recommendation cost keeps rising — the truncation the\n\
          platform defaults to (30) buys nearly all the quality"
     );
+    blog.finish();
     snap.write().expect("snapshot write");
 }

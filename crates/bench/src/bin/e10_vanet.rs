@@ -2,8 +2,9 @@
 //! sharing period and channel loss.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, smoke, Snapshot};
-use augur_core::traffic::{run, TrafficParams};
+use augur_bench::{f, header, row, smoke, BenchLog, Snapshot};
+use augur_core::traffic::{run_logged, TrafficParams};
+use augur_telemetry::{FlightRecorder, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header(
@@ -18,6 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut snap = Snapshot::new("e10_vanet");
     snap.param_num("vehicles", base.vehicles as f64);
     snap.param_num("duration_s", base.duration_s);
+    let blog = BenchLog::new("e10_vanet");
+    let scratch = Registry::new();
+    let recorder = FlightRecorder::new(1 << 14);
     row(&[
         "period s".into(),
         "coverage%".into(),
@@ -26,10 +30,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "near misses".into(),
     ]);
     for &period in &[0.2f64, 0.5, 1.0, 2.0, 4.0] {
-        let r = run(&TrafficParams {
-            share_period_s: period,
-            ..base.clone()
-        })?;
+        let r = run_logged(
+            &TrafficParams {
+                share_period_s: period,
+                ..base.clone()
+            },
+            &scratch,
+            &recorder,
+            blog.handle(),
+        )?;
         let p = format!("{period}");
         let labels = [("share_period_s", p.as_str())];
         snap.gauge("coverage", &labels, r.coverage);
@@ -51,10 +60,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "lost".into(),
     ]);
     for &loss in &[0.0f64, 0.05, 0.15, 0.3, 0.5] {
-        let r = run(&TrafficParams {
-            loss,
-            ..base.clone()
-        })?;
+        let r = run_logged(
+            &TrafficParams {
+                loss,
+                ..base.clone()
+            },
+            &scratch,
+            &recorder,
+            blog.handle(),
+        )?;
         let l = format!("{loss}");
         let labels = [("loss", l.as_str())];
         snap.gauge("coverage_vs_loss", &labels, r.coverage);
@@ -71,6 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          while lead time stays near the prediction horizon for covered events —\n\
          the freshness requirement of §3.4's traffic vision, quantified"
     );
+    blog.finish();
     snap.write()?;
     Ok(())
 }

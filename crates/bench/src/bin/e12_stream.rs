@@ -3,7 +3,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
 use augur_bench::timed;
-use augur_bench::{f, header, profile_requested, row, sized, write_profile, Snapshot};
+use augur_bench::{f, header, profile_requested, row, sized, write_profile, BenchLog, Snapshot};
 use augur_profile::Profile;
 use augur_stream::window::CountAggregation;
 use augur_stream::{
@@ -63,22 +63,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Stack paths are deterministic; weights are wall-clock (this bench
     // measures real throughput, not modeled time).
     let profiling = profile_requested();
+    // Run summaries and late-drop warnings share the flight spans' ids:
+    // under --profile the same child contexts parent both signals.
+    let blog = BenchLog::new("e12_stream");
     let recorder = FlightRecorder::new(1 << 16);
     let flight_root = TraceContext::root(12, 0xE12);
     for &parts in &[1u32, 2, 4, 8, 16] {
         let broker = Broker::new();
         broker.create_topic("events", parts)?;
         fill(&broker, "events", n, 3, parts as u64);
-        let mut builder =
-            PipelineBuilder::new(broker.clone(), "events", decode).registry(snap.registry());
+        let collect_ctx = flight_root.child(u64::from(parts));
+        let mut builder = PipelineBuilder::new(broker.clone(), "events", decode)
+            .registry(snap.registry())
+            .log(blog.handle(), collect_ctx);
         if profiling {
-            builder = builder.flight(&recorder, flight_root.child(u64::from(parts)));
+            builder = builder.flight(&recorder, collect_ctx);
         }
         let mut pipeline = builder.build();
         let (_items, metrics) = pipeline.collect()?;
-        let mut builder = PipelineBuilder::new(broker, "events", decode).watermark_bound_us(1_000);
+        let windowed_ctx = flight_root.child(u64::from(parts) | 0x100);
+        let mut builder = PipelineBuilder::new(broker, "events", decode)
+            .watermark_bound_us(1_000)
+            .log(blog.handle(), windowed_ctx);
         if profiling {
-            builder = builder.flight(&recorder, flight_root.child(u64::from(parts) | 0x100));
+            builder = builder.flight(&recorder, windowed_ctx);
         }
         let mut windowed = builder.build();
         let (results, wm) = windowed.run_windowed(
@@ -116,6 +124,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let store: CheckpointStore<WindowState<u64>> = CheckpointStore::new(4);
     let mut p1 = PipelineBuilder::new(broker.clone(), "cp", decode)
         .watermark_bound_us(1_000)
+        .log(blog.handle(), flight_root.child(0x201))
         .build();
     let ((partial, _), crash_run_us) = timed(|| {
         p1.run_windowed(
@@ -129,6 +138,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let mut p2 = PipelineBuilder::new(broker.clone(), "cp", decode)
         .watermark_bound_us(1_000)
+        .log(blog.handle(), flight_root.child(0x202))
         .build();
     let ((rest, m2), resume_us) = timed(|| {
         p2.run_windowed(
@@ -142,6 +152,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let mut p_ref = PipelineBuilder::new(broker, "cp", decode)
         .watermark_bound_us(1_000)
+        .log(blog.handle(), flight_root.child(0x203))
         .build();
     let ((want, _), full_us) = timed(|| {
         p_ref
@@ -193,6 +204,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if profiling {
         write_profile("e12_stream", &Profile::from_events(&recorder.drain()))?;
     }
+    blog.finish();
     snap.write()?;
     Ok(())
 }

@@ -1,8 +1,9 @@
 //! E1 — Figure 5 "influence circles", derived from measured scenarios.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, smoke, Snapshot};
+use augur_bench::{f, header, row, smoke, BenchLog, Snapshot};
 use augur_core::{healthcare, influence_report, retail, tourism, traffic};
+use augur_telemetry::{FlightRecorder, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("E1", "Figure 5: influence of AR × big data per field");
@@ -25,10 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     snap.param_num("tourism_pois", tourism_params.pois as f64);
     snap.param_num("health_patients", health_params.patients as f64);
     snap.param_num("traffic_vehicles", traffic_params.vehicles as f64);
-    let retail_report = retail::run(&retail_params)?;
-    let tourism_report = tourism::run(&tourism_params)?;
-    let health_report = healthcare::run(&health_params)?;
-    let traffic_report = traffic::run(&traffic_params)?;
+    // Logged variants: each scenario narrates its shedding/alerting
+    // decisions into one shared ring, drained to stderr at exit. The
+    // scratch registry keeps scenario-internal metrics out of the
+    // snapshot (whose gauge set the doctor baseline pins).
+    let blog = BenchLog::new("e1_influence");
+    let scratch = Registry::new();
+    let recorder = FlightRecorder::new(1 << 14);
+    let retail_report = retail::run_logged(&retail_params, &scratch, &recorder, blog.handle())?;
+    let tourism_report = tourism::run_logged(&tourism_params, &scratch, &recorder, blog.handle())?;
+    let health_report = healthcare::run_logged(&health_params, &scratch, &recorder, blog.handle())?;
+    let traffic_report = traffic::run_logged(&traffic_params, &scratch, &recorder, blog.handle())?;
     let entries = influence_report(
         &retail_report,
         &tourism_report,
@@ -66,6 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "DOES NOT HOLD"
         }
     );
+    blog.finish();
     snap.write()?;
     Ok(())
 }

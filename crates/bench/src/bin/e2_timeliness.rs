@@ -7,8 +7,9 @@
 
 use augur_analytics::{BatchAggregator, IncrementalView};
 use augur_bench::{
-    f, header, profile_requested, row, smoke, timed, timed_mean, write_profile, Snapshot,
+    f, header, profile_requested, row, smoke, timed, timed_mean, write_profile, BenchLog, Snapshot,
 };
+use augur_log::Arg;
 use augur_profile::Profile;
 use augur_telemetry::{FlightRecorder, ManualTime, TimeSource, TraceContext};
 use rand::{Rng, SeedableRng};
@@ -33,6 +34,7 @@ fn main() {
     // clock (1 work unit ≙ 1 µs), so the artifacts are byte-identical
     // across runs even though the measured timings above vary.
     let profiling = profile_requested();
+    let blog = BenchLog::new("e2_timeliness");
     let recorder = FlightRecorder::new(4096);
     let clock = ManualTime::shared();
     let flight_root = TraceContext::root(2, 0xE2);
@@ -71,6 +73,15 @@ fn main() {
         if over && crossover.is_none() {
             crossover = Some(n);
         }
+        blog.note(
+            "e2/volume_point",
+            &[
+                ("events", Arg::U64(n)),
+                ("batch_us", Arg::F64(batch_us)),
+                ("incr_us_per_event", Arg::F64(incr_us)),
+                ("over_budget", Arg::Bool(over)),
+            ],
+        );
         let nl = n.to_string();
         let labels = [("events", nl.as_str())];
         snap.gauge("batch_us", &labels, batch_us);
@@ -131,5 +142,6 @@ fn main() {
         write_profile("e2_timeliness", &Profile::from_events(&recorder.drain()))
             .expect("profile write");
     }
+    blog.finish();
     snap.write().expect("snapshot write");
 }

@@ -2,9 +2,9 @@
 //! break-even compute demand per network profile.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, profile_requested, row, smoke, write_profile, Snapshot};
+use augur_bench::{f, header, profile_requested, row, smoke, write_profile, BenchLog, Snapshot};
 use augur_cloud::{
-    best_plan, estimate, estimate_flight, estimate_traced, ComputeResource, EnergyParams,
+    best_plan_logged, estimate, estimate_flight, estimate_traced, ComputeResource, EnergyParams,
     NetworkProfile, OffloadPlan, TaskGraph,
 };
 use augur_profile::Profile;
@@ -28,6 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     snap.param_num("frame_bytes", frame_bytes as f64);
     snap.param_num("demand_points", demands.len() as f64);
     let tracer = Tracer::new(snap.registry(), ManualTime::shared());
+    // Every planning decision logs its rationale (INFO "offload/plan"):
+    // which plan won, against what all-device baseline.
+    let blog = BenchLog::new("e3_offload");
+    let mut plan_seq = 0u64;
     let profiling = profile_requested();
     let recorder = FlightRecorder::new(1 << 16);
     let flight_root = TraceContext::root(3, 0xE3);
@@ -64,7 +68,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 &net,
                 &energy,
             )?;
-            let (plan, best) = best_plan(&graph, &phone, &cloud, &net, &energy)?;
+            plan_seq += 1;
+            let (plan, best) = best_plan_logged(
+                &graph,
+                &phone,
+                &cloud,
+                &net,
+                &energy,
+                blog.handle(),
+                blog.root().child(plan_seq),
+                plan_seq,
+            )?;
             // Re-estimate the winning plan traced so per-task spans and
             // headline gauges land in the snapshot registry; under
             // --profile the flight variant also records the per-task
@@ -120,6 +134,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if profiling {
         write_profile("e3_offload", &Profile::from_events(&recorder.drain()))?;
     }
+    blog.finish();
     snap.write()?;
     Ok(())
 }

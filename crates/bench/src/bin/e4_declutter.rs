@@ -2,7 +2,8 @@
 //! cost vs label density.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, smoke, timed, Snapshot};
+use augur_bench::{f, header, row, smoke, timed, BenchLog, Snapshot};
+use augur_log::Arg;
 use augur_render::{force_layout, greedy_layout, naive_layout, LabelBox, LayoutMetrics, Viewport};
 use rand::{Rng, SeedableRng};
 
@@ -30,6 +31,7 @@ fn main() {
     let mut snap = Snapshot::new("e4_declutter");
     snap.param_num("force_iterations", 50.0);
     snap.param_num("density_points", densities.len() as f64);
+    let blog = BenchLog::new("e4_declutter");
     row(&[
         "labels".into(),
         "naive clut%".into(),
@@ -47,6 +49,14 @@ fn main() {
         let greedy = LayoutMetrics::measure(&ls, &greedy_placed);
         let (force_placed, force_us) = timed(|| force_layout(&ls, vp, 50));
         let force = LayoutMetrics::measure(&ls, &force_placed);
+        blog.note(
+            "e4/density_point",
+            &[
+                ("labels", Arg::U64(n as u64)),
+                ("greedy_drop_ratio", Arg::F64(greedy.drop_ratio)),
+                ("force_us", Arg::F64(force_us)),
+            ],
+        );
         let nl = n.to_string();
         let labels = [("labels", nl.as_str())];
         snap.gauge("naive_overlap", &labels, naive.overlapped_label_ratio);
@@ -69,5 +79,6 @@ fn main() {
          declutterers hold 0% overlap (paying with drops/displacement) —\n\
          MacIntyre's bubble critique quantified"
     );
+    blog.finish();
     snap.write().expect("snapshot write");
 }

@@ -2,8 +2,9 @@
 //! city size, naive scan vs R-tree index, plus agreement checking.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, sized, smoke, timed_mean, Snapshot};
+use augur_bench::{f, header, row, sized, smoke, timed_mean, BenchLog, Snapshot};
 use augur_geo::{CityModel, CityParams, Enu};
+use augur_log::Arg;
 use augur_render::{classify_visibility, OcclusionClass, OcclusionIndex, ViewCamera, Viewport};
 use rand::{Rng, SeedableRng};
 
@@ -18,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut snap = Snapshot::new("e5_occlusion");
     snap.param_num("targets", 200.0);
     snap.param_num("timing_reps", reps as f64);
+    let blog = BenchLog::new("e5_occlusion");
     row(&[
         "buildings".into(),
         "naive µs".into(),
@@ -82,6 +84,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 occluded += 1;
             }
         }
+        blog.note(
+            "e5/city_point",
+            &[
+                ("buildings", Arg::U64(city.buildings().len() as u64)),
+                ("speedup", Arg::F64(naive_us / indexed_us.max(1e-9))),
+                ("agree", Arg::Bool(agree)),
+            ],
+        );
         let b = city.buildings().len().to_string();
         let labels = [("buildings", b.as_str())];
         snap.gauge("naive_us", &labels, naive_us);
@@ -101,6 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          the indexed path grows with ray-footprint only; classifications agree —\n\
          the x-ray primitive stays within frame budget at city scale"
     );
+    blog.finish();
     snap.write()?;
     Ok(())
 }

@@ -2,8 +2,9 @@
 //! complementary vs Kalman fusion across GPS noise levels.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, smoke, Snapshot};
+use augur_bench::{f, header, row, smoke, BenchLog, Snapshot};
 use augur_geo::Enu;
+use augur_log::Arg;
 use augur_sensor::{
     CameraModel, GpsParams, GpsSensor, ImuParams, ImuSensor, MotionState, RandomWaypoint,
     Trajectory, TrajectoryParams,
@@ -83,6 +84,7 @@ fn main() {
     let mut snap = Snapshot::new("e6_registration");
     snap.param_num("walk_duration_s", 90.0);
     snap.param_num("anchors", 24.0);
+    let blog = BenchLog::new("e6_registration");
     for &sigma in noise_levels {
         let g = summarise(GpsOnlyTracker::new(), &truth, sigma, 1, false);
         let c = summarise(
@@ -98,6 +100,14 @@ fn main() {
             sigma,
             3,
             true,
+        );
+        blog.note(
+            "e6/noise_point",
+            &[
+                ("gps_sigma_m", Arg::F64(sigma)),
+                ("gps_only_px", Arg::F64(g.mean_px)),
+                ("kalman_px", Arg::F64(k.mean_px)),
+            ],
         );
         let sl = format!("{sigma}");
         let labels = [("gps_sigma_m", sl.as_str())];
@@ -118,5 +128,6 @@ fn main() {
          with the gap widening as noise grows — sensor fusion is what makes\n\
          street-scale registration usable"
     );
+    blog.finish();
     snap.write().expect("snapshot write");
 }

@@ -1,8 +1,9 @@
 //! E7 — §3.1 retail: recommender quality at several data scales.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, smoke, Snapshot};
-use augur_core::retail::{run, RetailParams};
+use augur_bench::{f, header, row, smoke, BenchLog, Snapshot};
+use augur_core::retail::{run_logged, RetailParams};
+use augur_telemetry::{FlightRecorder, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("E7", "§3.1: recommendation hit-rate@10 vs log scale");
@@ -14,6 +15,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut snap = Snapshot::new("e7_retail");
     snap.param_num("top_k", 10.0);
     snap.param_num("scale_points", scales.len() as f64);
+    // The logged scenario narrates shelf-declutter drops (WARN) and the
+    // per-run summary (INFO); scratch registry keeps scenario-internal
+    // metrics out of the baselined snapshot.
+    let blog = BenchLog::new("e7_retail");
+    let scratch = Registry::new();
+    let recorder = FlightRecorder::new(1 << 14);
     row(&[
         "users".into(),
         "log size".into(),
@@ -23,10 +30,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "uplift".into(),
     ]);
     for &users in scales {
-        let report = run(&RetailParams {
-            users,
-            ..RetailParams::default()
-        })?;
+        let report = run_logged(
+            &RetailParams {
+                users,
+                ..RetailParams::default()
+            },
+            &scratch,
+            &recorder,
+            blog.handle(),
+        )?;
         let ul = users.to_string();
         let labels = [("users", ul.as_str())];
         snap.gauge("cf_hit_rate", &labels, report.cf.hit_rate);
@@ -46,6 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          improving as the log grows — the \"big data makes AR retail work\"\n\
          claim in measurable form"
     );
+    blog.finish();
     snap.write()?;
     Ok(())
 }

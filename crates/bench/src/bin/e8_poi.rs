@@ -2,8 +2,9 @@
 //! quadtree vs linear scan.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, sized, smoke, timed_mean, Snapshot};
+use augur_bench::{f, header, row, sized, smoke, timed_mean, BenchLog, Snapshot};
 use augur_geo::{poi::synthetic_database, GeoPoint, QuadTree, Rect};
+use augur_log::Arg;
 use rand::{Rng, SeedableRng};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -18,6 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut snap = Snapshot::new("e8_poi");
     snap.param_num("k", 10.0);
     snap.param_num("timing_reps", reps as f64);
+    let blog = BenchLog::new("e8_poi");
     row(&[
         "pois".into(),
         "rtree µs".into(),
@@ -62,6 +64,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             qk += 1;
             std::hint::black_box(db.within_radius_scan(q, 200.0));
         });
+        blog.note(
+            "e8/db_point",
+            &[
+                ("pois", Arg::U64(n as u64)),
+                ("rtree_us", Arg::F64(rtree_us)),
+                ("scan_us", Arg::F64(scan_us)),
+            ],
+        );
         let nl = n.to_string();
         let labels = [("pois", nl.as_str())];
         snap.gauge("rtree_us", &labels, rtree_us);
@@ -79,6 +89,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nexpected shape: both indexes grow ~logarithmically while the scan\n\
          grows linearly; at 10⁶ POIs only the indexed paths fit an AR frame"
     );
+    blog.finish();
     snap.write()?;
     Ok(())
 }

@@ -2,8 +2,9 @@
 //! confirmation requirement (m consecutive breaches).
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, row, smoke, Snapshot};
-use augur_core::healthcare::{run, HealthcareParams};
+use augur_bench::{f, header, row, smoke, BenchLog, Snapshot};
+use augur_core::healthcare::{run_logged, HealthcareParams};
+use augur_telemetry::{FlightRecorder, Registry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header("E9", "§3.3: alerting quality vs confirmation strictness");
@@ -15,6 +16,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut snap = Snapshot::new("e9_health");
     snap.param_num("patients", base.patients as f64);
     snap.param_num("duration_s", base.duration_s);
+    let blog = BenchLog::new("e9_health");
+    let scratch = Registry::new();
+    let recorder = FlightRecorder::new(1 << 14);
     row(&[
         "confirm m".into(),
         "recall%".into(),
@@ -24,10 +28,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "throughput r/s".into(),
     ]);
     for &m in &[1usize, 2, 3, 5] {
-        let report = run(&HealthcareParams {
-            confirm_m: m,
-            ..base.clone()
-        })?;
+        let report = run_logged(
+            &HealthcareParams {
+                confirm_m: m,
+                ..base.clone()
+            },
+            &scratch,
+            &recorder,
+            blog.handle(),
+        )?;
         let ml = m.to_string();
         let labels = [("confirm_m", ml.as_str())];
         snap.gauge("recall", &labels, report.recall);
@@ -51,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          false alarms at near-constant recall — the knob a deployment turns to\n\
          keep the AR alert channel trustworthy"
     );
+    blog.finish();
     snap.write()?;
     Ok(())
 }

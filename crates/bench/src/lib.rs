@@ -15,8 +15,10 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use augur_log::writer::{err_line, out_line};
+use augur_log::{render_human, Arg, EventLog, Level, LogSite};
 use augur_profile::Profile;
-use augur_telemetry::{escape_json, json_f64, Registry};
+use augur_telemetry::{escape_json, json_f64, Registry, TraceContext};
 
 /// True when the binary should run a fast smoke-sized workload: the
 /// `--smoke` flag is present or `AUGUR_SMOKE` is set in the environment.
@@ -46,9 +48,112 @@ pub fn write_profile(bench: &str, profile: &Profile) -> io::Result<(PathBuf, Pat
     std::fs::write(&folded, profile.render_folded())?;
     let speedscope = dir.join(format!("{bench}.speedscope.json"));
     std::fs::write(&speedscope, profile.render_speedscope(bench))?;
-    println!("profile: {}", folded.display());
-    println!("profile: {}", speedscope.display());
+    out_line(&format!("profile: {}", folded.display()));
+    out_line(&format!("profile: {}", speedscope.display()));
     Ok((folded, speedscope))
+}
+
+/// The minimum severity a bench binary keeps in its event log:
+/// `--log-level <level>` (or `--log-level=<level>`) on the command
+/// line, else the `AUGUR_LOG` environment variable, else INFO — WARN
+/// under smoke mode so CI output stays readable.
+pub fn log_level() -> Level {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--log-level" {
+            if let Some(level) = args.next().as_deref().and_then(Level::parse) {
+                return level;
+            }
+        } else if let Some(level) = a.strip_prefix("--log-level=").and_then(Level::parse) {
+            return level;
+        }
+    }
+    if let Some(level) = std::env::var_os("AUGUR_LOG")
+        .map(|v| v.to_string_lossy().into_owned())
+        .as_deref()
+        .and_then(Level::parse)
+    {
+        return level;
+    }
+    if smoke() {
+        Level::Warn
+    } else {
+        Level::Info
+    }
+}
+
+/// The structured event log a bench binary attaches to instrumented
+/// runs, floored at [`log_level`] so suppressed severities never cost a
+/// ring slot. [`BenchLog::finish`] drains the ring and prints the
+/// surviving records as human lines on stderr, through the sanctioned
+/// console writer.
+#[derive(Debug)]
+pub struct BenchLog {
+    log: EventLog,
+    site: LogSite,
+    root: TraceContext,
+    t0: Instant,
+}
+
+impl BenchLog {
+    /// Starts a log for the bench binary `bench`; the trace root is
+    /// derived from the bench name (FNV-1a), so exported ids are stable
+    /// across runs.
+    pub fn new(bench: &str) -> BenchLog {
+        let key = bench.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        BenchLog {
+            log: EventLog::with_min_level(1 << 14, log_level()),
+            site: LogSite::unlimited(),
+            root: TraceContext::root(0, key),
+            t0: Instant::now(),
+        }
+    }
+
+    /// The underlying event log, for `builder.log(...)`, `run_logged`,
+    /// and the other instrumentation hooks.
+    pub fn handle(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The root context bench-level events hang off.
+    pub fn root(&self) -> TraceContext {
+        self.root
+    }
+
+    /// Records one INFO lifecycle event (sweep point, phase boundary)
+    /// stamped with wall-clock µs since the bench started — bench logs
+    /// narrate measured runs, unlike the ManualTime scenario logs.
+    pub fn note(&self, msg: &str, fields: &[(&str, Arg)]) {
+        let ts = u64::try_from(self.t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.log
+            .event(&self.site, Level::Info, self.root, msg, ts, fields);
+    }
+
+    /// At most this many records are rendered by [`BenchLog::finish`];
+    /// chattier runs get one elision line instead of a wall of stderr.
+    pub const FINISH_RENDER_CAP: usize = 48;
+
+    /// Drains the ring and prints the surviving records on stderr (up to
+    /// [`BenchLog::FINISH_RENDER_CAP`] lines, then an elision note),
+    /// returning `(drained, dropped_by_ring)`.
+    pub fn finish(&self) -> (usize, u64) {
+        let records = self.log.drain();
+        if !records.is_empty() {
+            let rendered = render_human(&records);
+            for line in rendered.lines().take(Self::FINISH_RENDER_CAP) {
+                err_line(line);
+            }
+            if records.len() > Self::FINISH_RENDER_CAP {
+                err_line(&format!(
+                    "... {} more log records (raise --log-level to quiet)",
+                    records.len() - Self::FINISH_RENDER_CAP
+                ));
+            }
+        }
+        (records.len(), self.log.dropped_records())
+    }
 }
 
 /// Scales a workload size down to `small` in smoke mode.
@@ -166,20 +271,22 @@ impl Snapshot {
     /// Propagates directory-creation and write failures.
     pub fn write(&self) -> io::Result<PathBuf> {
         let path = self.write_to(&out_dir())?;
-        println!("\nsnapshot: {}", path.display());
+        out_line(&format!("\nsnapshot: {}", path.display()));
         Ok(path)
     }
 }
 
-/// Prints a section header.
+/// Prints a section header (through the sanctioned console writer —
+/// `augur-audit`'s `print-confined` rule keeps stdio macros out of
+/// library code).
 pub fn header(experiment: &str, anchor: &str) {
-    println!("\n=== {experiment} — {anchor} ===");
+    out_line(&format!("\n=== {experiment} — {anchor} ==="));
 }
 
 /// Prints a row of columns padded to width 14.
 pub fn row(cols: &[String]) {
     let line: Vec<String> = cols.iter().map(|c| format!("{c:>14}")).collect();
-    println!("{}", line.join(" "));
+    out_line(&line.join(" "));
 }
 
 /// Formats a float with the given precision.
@@ -218,6 +325,33 @@ mod tests {
     #[test]
     fn formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
+    }
+
+    // One test covers log_level() and BenchLog: BenchLog::new reads
+    // AUGUR_LOG, so the env manipulation and the construction must not
+    // race across parallel test threads.
+    #[test]
+    fn log_level_env_chain_and_bench_log_notes() {
+        // The test binary's argv carries no --log-level or --smoke, so
+        // the chain is AUGUR_LOG then the full-run default (INFO).
+        std::env::remove_var("AUGUR_LOG");
+        std::env::remove_var("AUGUR_SMOKE");
+        assert_eq!(log_level(), Level::Info);
+        std::env::set_var("AUGUR_LOG", "error");
+        assert_eq!(log_level(), Level::Error);
+        std::env::set_var("AUGUR_LOG", "not-a-level");
+        assert_eq!(log_level(), Level::Info, "garbage falls through");
+        std::env::remove_var("AUGUR_LOG");
+
+        let blog = BenchLog::new("unit_test_bench");
+        assert_eq!(blog.root(), BenchLog::new("unit_test_bench").root());
+        blog.note("bench/sweep_point", &[("size", Arg::U64(7))]);
+        let records = blog.handle().drain();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].msg, "bench/sweep_point");
+        assert_eq!(records[0].trace_id, blog.root().trace_id);
+        // After the explicit drain above, finish has nothing left.
+        assert_eq!(blog.finish(), (0, 0));
     }
 
     #[test]

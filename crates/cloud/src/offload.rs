@@ -8,6 +8,7 @@
 //! all valid plans — AR pipelines are small DAGs, so exhaustive search
 //! is exact and fast — giving experiment E3 its optimum curve.
 
+use augur_log::{Arg, EventLog, Level, LogSite};
 use augur_telemetry::{FlightRecorder, TraceContext, Tracer};
 use serde::{Deserialize, Serialize};
 
@@ -381,6 +382,53 @@ pub fn best_plan(
     best.ok_or(CloudError::InvalidParameter("no offload plan evaluated"))
 }
 
+/// [`best_plan`] with the selection **rationale** on the structured log:
+/// one INFO `offload/plan` record under `ctx` (timestamped `now_us`)
+/// saying how many tasks went to the cloud, the winning latency, how
+/// many milliseconds that saves over running everything on the device,
+/// and the device energy spent. Plan selection is a rare, deliberate
+/// decision, so the record is never rate-limited.
+///
+/// # Errors
+///
+/// Same contract as [`best_plan`].
+#[allow(clippy::too_many_arguments)]
+pub fn best_plan_logged(
+    graph: &TaskGraph,
+    device: &ComputeResource,
+    cloud: &ComputeResource,
+    network: &NetworkProfile,
+    energy: &EnergyParams,
+    log: &EventLog,
+    ctx: TraceContext,
+    now_us: u64,
+) -> Result<(OffloadPlan, Estimate), CloudError> {
+    let (plan, est) = best_plan(graph, device, cloud, network, energy)?;
+    let baseline = estimate(
+        graph,
+        &OffloadPlan::all_device(graph),
+        device,
+        cloud,
+        network,
+        energy,
+    )?;
+    let site = LogSite::unlimited();
+    log.event(
+        &site,
+        Level::Info,
+        ctx,
+        "offload/plan",
+        now_us,
+        &[
+            ("offloaded", Arg::U64(plan.offloaded_count() as u64)),
+            ("latency_ms", Arg::F64(est.latency_ms)),
+            ("saved_ms", Arg::F64(baseline.latency_ms - est.latency_ms)),
+            ("energy_mj", Arg::F64(est.device_energy_mj)),
+        ],
+    );
+    Ok((plan, est))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +440,46 @@ mod tests {
             ComputeResource::cloud_vm(),
             EnergyParams::default(),
         )
+    }
+
+    #[test]
+    fn best_plan_logged_records_the_selection_rationale() {
+        let (g, phone, cloud, energy) = setup();
+        let log = EventLog::new(16);
+        let ctx = TraceContext::root(11, 3).child_named("offload");
+        let (plan, est) = best_plan_logged(
+            &g,
+            &phone,
+            &cloud,
+            &NetworkProfile::wifi(),
+            &energy,
+            &log,
+            ctx,
+            2_500,
+        )
+        .unwrap();
+        // Same winner as the unlogged search.
+        let (want_plan, want_est) =
+            best_plan(&g, &phone, &cloud, &NetworkProfile::wifi(), &energy).unwrap();
+        assert_eq!(plan.placements, want_plan.placements);
+        assert_eq!(est.latency_ms, want_est.latency_ms);
+        let records = log.drain();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.msg, "offload/plan");
+        assert_eq!(r.level, augur_log::Level::Info);
+        assert_eq!((r.trace_id, r.span_id), (ctx.trace_id, ctx.span_id));
+        assert_eq!(r.ts_us, 2_500);
+        let field = |k: &str| r.fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert_eq!(
+            field("offloaded"),
+            Some(&augur_log::FieldValue::U64(plan.offloaded_count() as u64))
+        );
+        // Offloading the heavy analysis on wifi must save latency.
+        match field("saved_ms") {
+            Some(augur_log::FieldValue::F64(saved)) => assert!(*saved > 0.0, "{saved}"),
+            other => panic!("saved_ms missing or mistyped: {other:?}"),
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use augur_log::{Arg, EventLog};
 use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, TraceContext, Tracer};
 use augur_watch::{
     BurnRule, Objective, RollupConfig, SloSpec, TierSpec, WatchConfig, WatchSession,
@@ -110,7 +111,7 @@ pub fn run_instrumented(
     params: &HealthcareParams,
     registry: &Registry,
 ) -> Result<HealthcareReport, CoreError> {
-    run_inner(params, registry, None, None)
+    run_inner(params, registry, None, None, None)
 }
 
 /// [`run_instrumented`] plus causal flight-recorder emission. A root
@@ -130,7 +131,27 @@ pub fn run_traced(
     registry: &Registry,
     recorder: &FlightRecorder,
 ) -> Result<HealthcareReport, CoreError> {
-    run_inner(params, registry, Some(recorder), None)
+    run_inner(params, registry, Some(recorder), None, None)
+}
+
+/// [`run_traced`] plus a structured event log of the run's decisions:
+/// the vitals pipeline logs its run/checkpoint/late-drop rationale under
+/// the run root (see [`PipelineBuilder::log`]), each undetected episode
+/// gets a WARN (`healthcare/missed_episode`) during scoring, and the run
+/// closes with an INFO (`healthcare/summary`). Log records share the
+/// flight spans' trace ids, and same-seed runs render byte-identical
+/// JSONL.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_logged(
+    params: &HealthcareParams,
+    registry: &Registry,
+    recorder: &FlightRecorder,
+    log: &EventLog,
+) -> Result<HealthcareReport, CoreError> {
+    run_inner(params, registry, Some(recorder), None, Some(log))
 }
 
 /// [`run_traced`] folded into a deterministic profile
@@ -147,7 +168,7 @@ pub fn run_profiled(
     registry: &Registry,
 ) -> Result<(HealthcareReport, augur_profile::Profile), CoreError> {
     super::profiled_run("healthcare", registry, |rec| {
-        run_inner(params, registry, Some(rec), None)
+        run_inner(params, registry, Some(rec), None, None)
     })
 }
 
@@ -231,6 +252,7 @@ pub fn watch_config(seed: u64) -> WatchConfig {
                 }],
             },
             super::trace_loss_slo(),
+            super::log_error_slo(),
         ],
         ..WatchConfig::default()
     }
@@ -252,7 +274,14 @@ pub fn run_watched(
 ) -> Result<HealthcareReport, CoreError> {
     let registry = session.registry();
     let recorder = session.recorder();
-    let report = run_inner(params, &registry, Some(&recorder), Some(session))?;
+    let log = session.log();
+    let report = run_inner(
+        params,
+        &registry,
+        Some(&recorder),
+        Some(session),
+        Some(&log),
+    )?;
     session.finish();
     Ok(report)
 }
@@ -262,6 +291,7 @@ fn run_inner(
     registry: &Registry,
     recorder: Option<&FlightRecorder>,
     mut watch: Option<&mut WatchSession>,
+    log: Option<&EventLog>,
 ) -> Result<HealthcareReport, CoreError> {
     if params.patients == 0 {
         return Err(CoreError::InvalidScenario("patients must be positive"));
@@ -273,6 +303,7 @@ fn run_inner(
     let tracer = Tracer::with_labels(registry, clock.clone(), &[("scenario", "healthcare")]);
     let flight =
         super::ScenarioFlight::start(recorder, "healthcare", params.seed, clock.now_micros());
+    let slog = super::ScenarioLog::start(log, "healthcare", params.seed);
     let generate_t0 = clock.now_micros();
     let generate_span = tracer.span("healthcare/generate");
     let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
@@ -331,6 +362,9 @@ fn run_inner(
         .clock(clock.clone());
     if let Some(f) = &flight {
         builder = builder.flight(f.recorder(), f.root());
+    }
+    if let Some(l) = &slog {
+        builder = builder.log(l.handle(), l.root());
     }
     let mut pipeline = builder
         .map(move |v| {
@@ -416,6 +450,15 @@ fn run_inner(
             detected += 1;
             latencies.push(hit);
             alert_latency.record((hit * 1e6) as u64);
+        } else if let Some(l) = &slog {
+            l.warn(
+                "healthcare/missed_episode",
+                clock.now_micros(),
+                &[
+                    ("patient", Arg::U64(ep.patient as u64)),
+                    ("onset_us", Arg::U64(ep.start.as_micros())),
+                ],
+            );
         }
     }
     let false_alarms = alerts
@@ -443,6 +486,18 @@ fn run_inner(
     if let Some(f) = flight {
         f.stage("healthcare/score", score_t0, clock.now_micros());
         f.finish(clock.now_micros());
+    }
+    if let Some(l) = &slog {
+        l.info(
+            "healthcare/summary",
+            clock.now_micros(),
+            &[
+                ("episodes", Arg::U64(episodes.len() as u64)),
+                ("detected", Arg::U64(detected as u64)),
+                ("false_alarms", Arg::U64(false_alarms as u64)),
+                ("samples", Arg::U64(metrics.records_in)),
+            ],
+        );
     }
     Ok(HealthcareReport {
         episodes: episodes.len(),

@@ -36,11 +36,21 @@
 //! ready to export as a flamegraph (`render_folded`) or speedscope
 //! document. Same-seed runs produce byte-identical artifacts.
 
+//! And each exposes `run_logged(params, &Registry, &FlightRecorder,
+//! &EventLog)`: the traced run plus a **structured event log** of the
+//! run's decisions — stream drop/checkpoint/resume rationale, stage
+//! summaries, and scenario-specific warnings — correlated to the same
+//! trace ids as the flight spans (see [`augur_log`]). Same-seed runs
+//! render byte-identical JSONL. Watched runs (`run_watched`) write the
+//! same records into the session's own event log, so the tail is served
+//! live at `/logs` and the declared log-error-rate SLO grades it.
+
 pub mod healthcare;
 pub mod retail;
 pub mod tourism;
 pub mod traffic;
 
+use augur_log::{Arg, EventLog, Level, LogSite};
 use augur_profile::Profile;
 use augur_telemetry::{FlightRecorder, NameId, Registry, TraceContext};
 use augur_watch::{BurnRule, Objective, SloSpec};
@@ -64,6 +74,32 @@ pub(crate) fn trace_loss_slo() -> SloSpec {
         objective: Objective::RatioBelow {
             bad_series: "flight_dropped_events_total".to_string(),
             total_series: "flight_events_total".to_string(),
+            max_ratio: 0.01,
+        },
+        budget: 0.1,
+        period_us: 5_000_000,
+        rules: vec![BurnRule {
+            name: "fast".to_string(),
+            short_us: 100_000,
+            long_us: 250_000,
+            factor: 2.0,
+        }],
+    }
+}
+
+/// The shared log-error-rate objective every scenario's `watch_config`
+/// declares: fewer than 1% of the structured log records the session
+/// drains each tick may be ERROR
+/// (`log_error_records_total` over `log_records_total`, both exported
+/// by the watch session). A healthy run logs decisions at INFO/WARN;
+/// a burst of ERROR records is an incident regardless of what the
+/// latency series say.
+pub(crate) fn log_error_slo() -> SloSpec {
+    SloSpec {
+        name: "log_error_rate".to_string(),
+        objective: Objective::RatioBelow {
+            bad_series: "log_error_records_total".to_string(),
+            total_series: "log_records_total".to_string(),
             max_ratio: 0.01,
         },
         budget: 0.1,
@@ -106,6 +142,68 @@ pub(crate) fn profiled_run<R>(
     let mut profile = Profile::from_events(&recorder.drain());
     profile.attach_alloc(&stats);
     Ok((report, profile))
+}
+
+/// Structured-log wiring shared by the scenario runners. The root
+/// context derives exactly like [`ScenarioFlight`]'s (seed + FNV-1a of
+/// the scenario name), so when a run is both traced and logged the log
+/// records share the flight spans' trace ids — Perfetto shows them
+/// inline via [`augur_log::render_chrome_trace_with_logs`].
+pub(crate) struct ScenarioLog<'a> {
+    log: &'a EventLog,
+    root: TraceContext,
+    /// Lifecycle records (stage and run summaries): unlimited.
+    lifecycle: LogSite,
+    /// Per-event warnings: a deterministic burst cap, so a degenerate
+    /// parameterisation cannot flood the ring (the suppressed count
+    /// still says how often the decision fired).
+    warn_site: LogSite,
+}
+
+impl<'a> ScenarioLog<'a> {
+    /// Starts log wiring for `scenario`, or `None` when no log was
+    /// supplied (call sites stay branch-free, like [`ScenarioFlight`]).
+    pub(crate) fn start(log: Option<&'a EventLog>, scenario: &str, seed: u64) -> Option<Self> {
+        let log = log?;
+        let key = scenario.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+        });
+        Some(ScenarioLog {
+            log,
+            root: TraceContext::root(seed, key),
+            lifecycle: LogSite::unlimited(),
+            warn_site: LogSite::new(32, 0),
+        })
+    }
+
+    /// The run-root context — same ids as [`ScenarioFlight::root`].
+    pub(crate) fn root(&self) -> TraceContext {
+        self.root
+    }
+
+    /// The underlying log, for wiring into substrate builders.
+    pub(crate) fn handle(&self) -> &'a EventLog {
+        self.log
+    }
+
+    /// Records a lifecycle INFO on the run root (never rate-limited).
+    pub(crate) fn info(&self, msg: &str, now_us: u64, fields: &[(&str, Arg)]) {
+        self.log
+            .event(&self.lifecycle, Level::Info, self.root, msg, now_us, fields);
+    }
+
+    /// Records a WARN decision on a named child of the run root,
+    /// rate-limited to a deterministic burst.
+    pub(crate) fn warn(&self, msg: &str, now_us: u64, fields: &[(&str, Arg)]) {
+        self.log.event(
+            &self.warn_site,
+            Level::Warn,
+            self.root.child_named(msg),
+            msg,
+            now_us,
+            fields,
+        );
+    }
 }
 
 /// Coarse flight wiring shared by the scenario runners: one root span
@@ -172,5 +270,117 @@ impl<'a> ScenarioFlight<'a> {
             self.t0,
             now_us.saturating_sub(self.t0),
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_log::render_jsonl;
+
+    fn tourism_logged() -> (Vec<augur_log::LogRecord>, Vec<augur_telemetry::FlightEvent>) {
+        let params = tourism::TourismParams {
+            pois: 3_000,
+            duration_s: 30.0,
+            k: 8,
+            radius_m: 200.0,
+            seed: 9,
+        };
+        let log = EventLog::new(1 << 12);
+        let rec = FlightRecorder::new(1 << 14);
+        tourism::run_logged(&params, &Registry::new(), &rec, &log).expect("tourism run");
+        assert_eq!(log.dropped_records(), 0, "log ring must not overflow");
+        (log.drain(), rec.drain())
+    }
+
+    #[test]
+    fn tourism_run_logged_correlates_with_flight_trace() {
+        let (records, spans) = tourism_logged();
+        let summary = records
+            .iter()
+            .find(|r| r.msg == "tourism/summary")
+            .expect("summary record");
+        assert_eq!(summary.level, Level::Info);
+        // The summary sits on the run root: the flight recorder holds a
+        // span with the same trace AND span id (the run-root span).
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.trace_id == summary.trace_id && s.span_id == summary.span_id),
+            "summary must share the flight run-root ids"
+        );
+        let queries = summary
+            .fields
+            .iter()
+            .find(|(k, _)| k == "queries")
+            .expect("queries field");
+        assert_eq!(queries.1, augur_log::FieldValue::U64(30));
+    }
+
+    #[test]
+    fn scenario_jsonl_is_byte_identical_across_runs() {
+        let (a, _) = tourism_logged();
+        let (b, _) = tourism_logged();
+        assert_eq!(render_jsonl(&a), render_jsonl(&b));
+    }
+
+    #[test]
+    fn healthcare_run_logged_captures_pipeline_decisions() {
+        let params = healthcare::HealthcareParams {
+            patients: 10,
+            duration_s: 300.0,
+            ..Default::default()
+        };
+        let log = EventLog::new(1 << 12);
+        let rec = FlightRecorder::new(1 << 15);
+        healthcare::run_logged(&params, &Registry::new(), &rec, &log).expect("healthcare run");
+        let records = log.drain();
+        let summary = records
+            .iter()
+            .find(|r| r.msg == "healthcare/summary")
+            .expect("summary record");
+        // The vitals pipeline was wired to the same root, so its run
+        // record shares the scenario trace.
+        let pipeline_run = records
+            .iter()
+            .find(|r| r.msg == "pipeline/run")
+            .expect("pipeline run record");
+        assert_eq!(pipeline_run.trace_id, summary.trace_id);
+        assert!(pipeline_run
+            .fields
+            .iter()
+            .any(|(k, v)| k == "topic" && *v == augur_log::FieldValue::Str("vitals".to_string())));
+    }
+
+    #[test]
+    fn traffic_run_logged_rate_limits_warning_storms() {
+        let params = traffic::TrafficParams {
+            vehicles: 30,
+            duration_s: 60.0,
+            ..Default::default()
+        };
+        let log = EventLog::new(1 << 12);
+        let rec = FlightRecorder::new(1 << 14);
+        let report =
+            traffic::run_logged(&params, &Registry::new(), &rec, &log).expect("traffic run");
+        let records = log.drain();
+        let warns: Vec<_> = records
+            .iter()
+            .filter(|r| r.msg == "traffic/warning_raised")
+            .collect();
+        assert!(!warns.is_empty(), "dense traffic should raise warnings");
+        // The warn site's burst cap bounds the stored records even when
+        // the scenario raised more warnings than that.
+        assert!(
+            warns.len() <= 32,
+            "warn burst cap exceeded: {}",
+            warns.len()
+        );
+        let summary = records
+            .iter()
+            .find(|r| r.msg == "traffic/summary")
+            .expect("summary record");
+        assert!(summary.fields.iter().any(|(k, v)| k == "near_misses"
+            && *v == augur_log::FieldValue::U64(report.near_misses as u64)));
     }
 }

@@ -8,6 +8,7 @@
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use augur_log::{Arg, EventLog};
 use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, Tracer};
 use augur_watch::{
     BurnRule, Objective, RollupConfig, SloSpec, TierSpec, WatchConfig, WatchSession,
@@ -128,7 +129,7 @@ pub fn run_instrumented(
     params: &RetailParams,
     registry: &Registry,
 ) -> Result<RetailReport, CoreError> {
-    run_inner(params, registry, None, None)
+    run_inner(params, registry, None, None, None)
 }
 
 /// [`run_instrumented`] plus causal flight-recorder emission: a root
@@ -144,7 +145,26 @@ pub fn run_traced(
     registry: &Registry,
     recorder: &FlightRecorder,
 ) -> Result<RetailReport, CoreError> {
-    run_inner(params, registry, Some(recorder), None)
+    run_inner(params, registry, Some(recorder), None, None)
+}
+
+/// [`run_traced`] plus a structured event log of the run's decisions: a
+/// WARN (`retail/declutter_drop`) when the AR session's decluttered
+/// shelf layout had to drop labels, and a closing INFO
+/// (`retail/summary`) with the headline report numbers. Log records
+/// share the flight spans' trace ids, and same-seed runs render
+/// byte-identical JSONL.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_logged(
+    params: &RetailParams,
+    registry: &Registry,
+    recorder: &FlightRecorder,
+    log: &EventLog,
+) -> Result<RetailReport, CoreError> {
+    run_inner(params, registry, Some(recorder), None, Some(log))
 }
 
 /// [`run_traced`] folded into a deterministic profile
@@ -160,7 +180,7 @@ pub fn run_profiled(
     registry: &Registry,
 ) -> Result<(RetailReport, augur_profile::Profile), CoreError> {
     super::profiled_run("retail", registry, |rec| {
-        run_inner(params, registry, Some(rec), None)
+        run_inner(params, registry, Some(rec), None, None)
     })
 }
 
@@ -201,6 +221,7 @@ pub fn watch_config(seed: u64) -> WatchConfig {
                 }],
             },
             super::trace_loss_slo(),
+            super::log_error_slo(),
         ],
         ..WatchConfig::default()
     }
@@ -219,7 +240,14 @@ pub fn run_watched(
 ) -> Result<RetailReport, CoreError> {
     let registry = session.registry();
     let recorder = session.recorder();
-    let report = run_inner(params, &registry, Some(&recorder), Some(session))?;
+    let log = session.log();
+    let report = run_inner(
+        params,
+        &registry,
+        Some(&recorder),
+        Some(session),
+        Some(&log),
+    )?;
     session.finish();
     Ok(report)
 }
@@ -229,6 +257,7 @@ fn run_inner(
     registry: &Registry,
     recorder: Option<&FlightRecorder>,
     mut watch: Option<&mut WatchSession>,
+    event_log: Option<&EventLog>,
 ) -> Result<RetailReport, CoreError> {
     if params.users == 0 || params.groups == 0 || params.products_per_group == 0 {
         return Err(CoreError::InvalidScenario("retail sizes must be positive"));
@@ -239,6 +268,7 @@ fn run_inner(
     let clock = ManualTime::shared();
     let tracer = Tracer::with_labels(registry, clock.clone(), &[("scenario", "retail")]);
     let flight = super::ScenarioFlight::start(recorder, "retail", params.seed, clock.now_micros());
+    let slog = super::ScenarioLog::start(event_log, "retail", params.seed);
     let log_t0 = clock.now_micros();
     let log_span = tracer.span("retail/log");
     let log = purchase_log(params);
@@ -334,6 +364,18 @@ fn run_inner(
     let vp = Viewport::default();
     let naive = LayoutMetrics::measure(&labels, &naive_layout(&labels, vp));
     let decluttered = LayoutMetrics::measure(&labels, &greedy_layout(&labels, vp));
+    if decluttered.drop_ratio > 0.0 {
+        if let Some(l) = &slog {
+            l.warn(
+                "retail/declutter_drop",
+                clock.now_micros(),
+                &[
+                    ("labels", Arg::U64(labels.len() as u64)),
+                    ("drop_ratio", Arg::F64(decluttered.drop_ratio)),
+                ],
+            );
+        }
+    }
     clock.advance_micros((directives.len() + labels.len()) as u64);
     session_span.end();
     if let Some(s) = watch {
@@ -342,6 +384,18 @@ fn run_inner(
     if let Some(f) = flight {
         f.stage("retail/session", session_t0, clock.now_micros());
         f.finish(clock.now_micros());
+    }
+    if let Some(l) = &slog {
+        l.info(
+            "retail/summary",
+            clock.now_micros(),
+            &[
+                ("log_size", Arg::U64(log.len() as u64)),
+                ("overlays", Arg::U64(directives.len() as u64)),
+                ("cf_hit_rate", Arg::F64(cf.hit_rate)),
+                ("pop_hit_rate", Arg::F64(popularity.hit_rate)),
+            ],
+        );
     }
 
     Ok(RetailReport {

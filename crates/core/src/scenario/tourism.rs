@@ -8,6 +8,7 @@
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use augur_log::{Arg, EventLog};
 use augur_telemetry::{
     FlightRecorder, ManualTime, NameId, Registry, TimeSource, TraceContext, Tracer,
 };
@@ -103,7 +104,7 @@ pub fn run_instrumented(
     params: &TourismParams,
     registry: &Registry,
 ) -> Result<TourismReport, CoreError> {
-    run_inner(params, registry, None, None)
+    run_inner(params, registry, None, None, None)
 }
 
 /// [`run_instrumented`] plus causal flight-recorder emission: each
@@ -121,7 +122,27 @@ pub fn run_traced(
     registry: &Registry,
     recorder: &FlightRecorder,
 ) -> Result<TourismReport, CoreError> {
-    run_inner(params, registry, Some(recorder), None)
+    run_inner(params, registry, Some(recorder), None, None)
+}
+
+/// [`run_traced`] plus a structured event log of the run's decisions:
+/// one rate-limited WARN (`tourism/declutter_drop`) per frame whose
+/// decluttered layout dropped labels, and a final INFO
+/// (`tourism/summary`) with the headline report numbers. Log records
+/// share the flight spans' trace ids (same seed + scenario-name root),
+/// so [`augur_log::render_chrome_trace_with_logs`] interleaves them,
+/// and same-seed runs render byte-identical JSONL.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_logged(
+    params: &TourismParams,
+    registry: &Registry,
+    recorder: &FlightRecorder,
+    log: &EventLog,
+) -> Result<TourismReport, CoreError> {
+    run_inner(params, registry, Some(recorder), None, Some(log))
 }
 
 /// [`run_traced`] folded into a deterministic profile: per-frame root
@@ -138,7 +159,7 @@ pub fn run_profiled(
     registry: &Registry,
 ) -> Result<(TourismReport, augur_profile::Profile), CoreError> {
     super::profiled_run("tourism", registry, |rec| {
-        run_inner(params, registry, Some(rec), None)
+        run_inner(params, registry, Some(rec), None, None)
     })
 }
 
@@ -195,6 +216,7 @@ pub fn watch_config(seed: u64) -> WatchConfig {
                 ],
             },
             super::trace_loss_slo(),
+            super::log_error_slo(),
         ],
         ..WatchConfig::default()
     }
@@ -217,7 +239,14 @@ pub fn run_watched(
 ) -> Result<TourismReport, CoreError> {
     let registry = session.registry();
     let recorder = session.recorder();
-    let report = run_inner(params, &registry, Some(&recorder), Some(session))?;
+    let log = session.log();
+    let report = run_inner(
+        params,
+        &registry,
+        Some(&recorder),
+        Some(session),
+        Some(&log),
+    )?;
     session.finish();
     Ok(report)
 }
@@ -237,6 +266,7 @@ fn run_inner(
     registry: &Registry,
     recorder: Option<&FlightRecorder>,
     mut watch: Option<&mut WatchSession>,
+    log: Option<&EventLog>,
 ) -> Result<TourismReport, CoreError> {
     if params.pois == 0 || params.k == 0 {
         return Err(CoreError::InvalidScenario("pois and k must be positive"));
@@ -247,6 +277,7 @@ fn run_inner(
     let clock = ManualTime::shared();
     let tracer = Tracer::with_labels(registry, clock.clone(), &[("scenario", "tourism")]);
     let flight = super::ScenarioFlight::start(recorder, "tourism", params.seed, clock.now_micros());
+    let slog = super::ScenarioLog::start(log, "tourism", params.seed);
     let wire = recorder.map(|rec| FrameWire {
         rec,
         frame: rec.intern("tourism/frame"),
@@ -423,6 +454,19 @@ fn run_inner(
             naive_overlap_sum += naive.overlap_ratio;
             declutter_overlap_sum += greedy.overlap_ratio;
             drop_sum += greedy.drop_ratio;
+            if greedy.drop_ratio > 0.0 {
+                if let Some(l) = &slog {
+                    l.warn(
+                        "tourism/declutter_drop",
+                        clock.now_micros(),
+                        &[
+                            ("frame", Arg::U64(i as u64)),
+                            ("labels", Arg::U64(labels.len() as u64)),
+                            ("drop_ratio", Arg::F64(greedy.drop_ratio)),
+                        ],
+                    );
+                }
+            }
         }
         clock.advance_micros(labels.len() as u64);
         drop(layout_alloc);
@@ -451,6 +495,18 @@ fn run_inner(
         f.finish(clock.now_micros());
     }
     let q = queries.max(1) as f64;
+    if let Some(l) = &slog {
+        l.info(
+            "tourism/summary",
+            clock.now_micros(),
+            &[
+                ("queries", Arg::U64(queries as u64)),
+                ("pois_surfaced", Arg::U64(pois_surfaced as u64)),
+                ("xray_reveals", Arg::U64(reveals as u64)),
+                ("drop_ratio", Arg::F64(drop_sum / q)),
+            ],
+        );
+    }
     let knn_indexed_work = knn_total_work as f64 / q;
     let scan_work = scan_total_work as f64 / q;
     Ok(TourismReport {

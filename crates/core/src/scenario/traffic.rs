@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use augur_log::{Arg, EventLog};
 use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, Tracer};
 use augur_watch::{
     BurnRule, Objective, RollupConfig, SloSpec, TierSpec, WatchConfig, WatchSession,
@@ -133,7 +134,7 @@ pub fn run_instrumented(
     params: &TrafficParams,
     registry: &Registry,
 ) -> Result<TrafficReport, CoreError> {
-    run_inner(params, registry, None, None)
+    run_inner(params, registry, None, None, None)
 }
 
 /// [`run_instrumented`] plus causal flight-recorder emission: a root
@@ -149,7 +150,26 @@ pub fn run_traced(
     registry: &Registry,
     recorder: &FlightRecorder,
 ) -> Result<TrafficReport, CoreError> {
-    run_inner(params, registry, Some(recorder), None)
+    run_inner(params, registry, Some(recorder), None, None)
+}
+
+/// [`run_traced`] plus a structured event log of the run's decisions: a
+/// rate-limited WARN (`traffic/warning_raised`) each time a vehicle's
+/// windshield display raises a collision warning, and a closing INFO
+/// (`traffic/summary`) with the headline report numbers. Log records
+/// share the flight spans' trace ids, and same-seed runs render
+/// byte-identical JSONL.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_logged(
+    params: &TrafficParams,
+    registry: &Registry,
+    recorder: &FlightRecorder,
+    log: &EventLog,
+) -> Result<TrafficReport, CoreError> {
+    run_inner(params, registry, Some(recorder), None, Some(log))
 }
 
 /// [`run_traced`] folded into a deterministic profile
@@ -165,7 +185,7 @@ pub fn run_profiled(
     registry: &Registry,
 ) -> Result<(TrafficReport, augur_profile::Profile), CoreError> {
     super::profiled_run("traffic", registry, |rec| {
-        run_inner(params, registry, Some(rec), None)
+        run_inner(params, registry, Some(rec), None, None)
     })
 }
 
@@ -206,6 +226,7 @@ pub fn watch_config(seed: u64) -> WatchConfig {
                 }],
             },
             super::trace_loss_slo(),
+            super::log_error_slo(),
         ],
         ..WatchConfig::default()
     }
@@ -224,7 +245,14 @@ pub fn run_watched(
 ) -> Result<TrafficReport, CoreError> {
     let registry = session.registry();
     let recorder = session.recorder();
-    let report = run_inner(params, &registry, Some(&recorder), Some(session))?;
+    let log = session.log();
+    let report = run_inner(
+        params,
+        &registry,
+        Some(&recorder),
+        Some(session),
+        Some(&log),
+    )?;
     session.finish();
     Ok(report)
 }
@@ -234,6 +262,7 @@ fn run_inner(
     registry: &Registry,
     recorder: Option<&FlightRecorder>,
     mut watch: Option<&mut WatchSession>,
+    log: Option<&EventLog>,
 ) -> Result<TrafficReport, CoreError> {
     if params.vehicles < 2 {
         return Err(CoreError::InvalidScenario("need at least two vehicles"));
@@ -249,6 +278,7 @@ fn run_inner(
     let clock = ManualTime::shared();
     let tracer = Tracer::with_labels(registry, clock.clone(), &[("scenario", "traffic")]);
     let flight = super::ScenarioFlight::start(recorder, "traffic", params.seed, clock.now_micros());
+    let slog = super::ScenarioLog::start(log, "traffic", params.seed);
     let setup_t0 = clock.now_micros();
     let setup_span = tracer.span("traffic/setup");
     let mut rng = rand::rngs::StdRng::seed_from_u64(params.seed);
@@ -352,6 +382,17 @@ fn run_inner(
                     if pred < params.warn_threshold_m && !active {
                         warned_at.insert(pair, now_s);
                         warnings.push((pair, now_s));
+                        if let Some(l) = &slog {
+                            l.warn(
+                                "traffic/warning_raised",
+                                clock.now_micros(),
+                                &[
+                                    ("vehicle", Arg::U64(i as u64)),
+                                    ("neighbour", Arg::U64(j as u64)),
+                                    ("predicted_m", Arg::F64(pred)),
+                                ],
+                            );
+                        }
                     } else if pred >= params.warn_threshold_m * 2.0 && active {
                         warned_at.remove(&pair);
                     }
@@ -408,6 +449,18 @@ fn run_inner(
     if let Some(f) = flight {
         f.stage("traffic/score", score_t0, clock.now_micros());
         f.finish(clock.now_micros());
+    }
+    if let Some(l) = &slog {
+        l.info(
+            "traffic/summary",
+            clock.now_micros(),
+            &[
+                ("near_misses", Arg::U64(near_miss_events.len() as u64)),
+                ("warned_in_time", Arg::U64(warned_in_time as u64)),
+                ("false_alarms", Arg::U64(false_alarms as u64)),
+                ("beacons_lost", Arg::U64(beacons_lost)),
+            ],
+        );
     }
     Ok(TrafficReport {
         near_misses: near_miss_events.len(),

@@ -72,7 +72,10 @@ fn healthy_tourism_run_declares_slo_and_stays_ok() {
     let health = session.health();
     assert!(health.ok, "healthy run must meet the frame budget");
     let names: Vec<&str> = health.slos.iter().map(|s| s.name.as_str()).collect();
-    assert_eq!(names, vec!["tourism_frame_p95", "trace_loss"]);
+    assert_eq!(
+        names,
+        vec!["tourism_frame_p95", "trace_loss", "log_error_rate"]
+    );
     assert!(
         !events.iter().any(|e| e.name.starts_with("slo/")),
         "no alert events without injection"
@@ -194,7 +197,8 @@ fn healthcare_watch_grades_alert_latency_and_drop_ratio() {
             "healthcare_detect_p95",
             "healthcare_alert_p95",
             "healthcare_drop_ratio",
-            "trace_loss"
+            "trace_loss",
+            "log_error_rate"
         ]
     );
     let keys = session.rollup().series_keys();
@@ -202,12 +206,29 @@ fn healthcare_watch_grades_alert_latency_and_drop_ratio() {
         "frame_latency_us{scenario=healthcare}",
         "alert_latency_us{scenario=healthcare}",
         "pipeline_records_in_total{topic=vitals}",
+        "log_records_total",
     ] {
         assert!(
             keys.iter().any(|k| k == series),
             "missing rolled-up series {series}; have {keys:?}"
         );
     }
+    // The watched run wrote its decision log into the session's event
+    // log: the tail is non-empty, carries the pipeline's run record,
+    // and no ERROR reached the error-rate SLO's bad series.
+    let tail = session.log_tail_jsonl();
+    assert!(tail.contains("pipeline/run"), "tail: {tail}");
+    assert!(tail.contains("healthcare/summary"), "tail: {tail}");
+    assert_eq!(
+        session.registry().counter("log_error_records_total").get(),
+        0
+    );
+    // And the same tail is live on the `/logs` route.
+    let server = session.serve("127.0.0.1:0").expect("bind ephemeral port");
+    let (status, body) = http_get(server.addr(), "/logs");
+    assert!(status.contains("200"), "status: {status}");
+    assert!(body.contains("healthcare/summary"), "body: {body}");
+    server.shutdown();
 }
 
 #[test]

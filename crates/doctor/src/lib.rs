@@ -28,6 +28,8 @@ use std::path::Path;
 
 use augur_semantic::json::JsonValue;
 
+/// Log-fingerprint gate over JSONL event logs (`--logs`).
+pub mod logs;
 /// Differential-profile regression localization (`--profile-diff`).
 pub mod profile_diff;
 /// Trend fitting over snapshot histories (`--trend`).

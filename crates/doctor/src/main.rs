@@ -4,6 +4,7 @@
 //! augur-doctor --baseline results/baseline --current results [--json results/doctor.json]
 //! augur-doctor --trend results/baseline/history
 //! augur-doctor --profile-diff baseline.folded current.folded
+//! augur-doctor --logs current.jsonl results/baseline/log_fingerprints.json
 //! ```
 //!
 //! Pairwise mode compares every bench snapshot present in BOTH
@@ -24,9 +25,19 @@
 //! between the two folded profiles (the artifacts `--profile` runs
 //! write) and exits 1 — naming the frame — when the worst growth
 //! exceeds the latency tolerance.
+//!
+//! Log-gate mode (`--logs <current.jsonl> <baseline.json>`, exclusive
+//! with the others) diffs the WARN/ERROR pattern fingerprints of a
+//! JSONL event log against a committed baseline and exits 1 on any
+//! novel pattern. `--json <path>` here writes the current fingerprint
+//! set in baseline format — the way to refresh the committed file.
 
 use std::path::PathBuf;
 
+use augur_doctor::logs::{
+    extract_fingerprints, has_novel_patterns, render_baseline_json, render_log_gate_markdown,
+    run_log_gate,
+};
 use augur_doctor::profile_diff::{
     has_profile_regressions, render_profile_diff_markdown, run_profile_diff,
 };
@@ -46,11 +57,17 @@ enum Mode {
         baseline: PathBuf,
         current: PathBuf,
     },
+    Logs {
+        current: PathBuf,
+        baseline: PathBuf,
+        json_out: Option<PathBuf>,
+    },
 }
 
 const USAGE: &str = "usage: augur-doctor --baseline <dir> --current <dir> [--json <path>]\n\
        augur-doctor --trend <dir>\n\
-       augur-doctor --profile-diff <baseline.folded> <current.folded>";
+       augur-doctor --profile-diff <baseline.folded> <current.folded>\n\
+       augur-doctor --logs <current.jsonl> <baseline.json> [--json <path>]";
 
 fn parse_args() -> Result<Mode, String> {
     let mut baseline = None;
@@ -58,6 +75,7 @@ fn parse_args() -> Result<Mode, String> {
     let mut json_out = None;
     let mut trend = None;
     let mut profile_diff = None;
+    let mut logs = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -74,9 +92,24 @@ fn parse_args() -> Result<Mode, String> {
                 let cur = PathBuf::from(take("--profile-diff")?);
                 profile_diff = Some((base, cur));
             }
+            "--logs" => {
+                let cur = PathBuf::from(take("--logs")?);
+                let base = PathBuf::from(take("--logs")?);
+                logs = Some((cur, base));
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
+    }
+    if let Some((cur, base)) = logs {
+        if baseline.is_some() || current.is_some() || trend.is_some() || profile_diff.is_some() {
+            return Err(format!("--logs is exclusive with other modes\n{USAGE}"));
+        }
+        return Ok(Mode::Logs {
+            current: cur,
+            baseline: base,
+            json_out,
+        });
     }
     if let Some((base, cur)) = profile_diff {
         if baseline.is_some() || current.is_some() || json_out.is_some() || trend.is_some() {
@@ -113,6 +146,37 @@ fn run() -> i32 {
         }
     };
     match mode {
+        Mode::Logs {
+            current,
+            baseline,
+            json_out,
+        } => {
+            let report = match run_log_gate(&current, &baseline) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("augur-doctor: log gate failed: {e}");
+                    return 2;
+                }
+            };
+            print!("{}", render_log_gate_markdown(&report));
+            if let Some(path) = &json_out {
+                // Re-extract from the log so the written file is the
+                // exact baseline a clean future run will match.
+                let result = std::fs::read_to_string(&current)
+                    .and_then(|text| extract_fingerprints(&text))
+                    .and_then(|(fps, _)| std::fs::write(path, render_baseline_json(&fps)));
+                if let Err(e) = result {
+                    eprintln!("augur-doctor: failed writing {}: {e}", path.display());
+                    return 2;
+                }
+                println!("\nfingerprint baseline JSON: {}", path.display());
+            }
+            if has_novel_patterns(&report) {
+                1
+            } else {
+                0
+            }
+        }
         Mode::ProfileDiff { baseline, current } => {
             let report = match run_profile_diff(&baseline, &current, &Tolerances::default()) {
                 Ok(r) => r,

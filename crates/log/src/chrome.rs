@@ -1,0 +1,168 @@
+//! Merged Chrome trace-event export: spans from a drained
+//! [`FlightRecorder`](augur_telemetry::FlightRecorder) plus log records
+//! as instant events, in one Perfetto-loadable document — so a WARN
+//! about a late drop renders *inside* the frame span that caused it.
+//!
+//! The span rendering matches `augur_telemetry::render_chrome_trace`
+//! (same `ph`/`cat`/`args` shape); log records add `"cat":"log"`
+//! instants whose `args` carry the level and the typed fields. Thread
+//! ids are assigned per `trace_id` in order of first appearance over
+//! the merged stream, so a causal chain's spans and logs share a row.
+
+use std::fmt::Write as _;
+
+use augur_telemetry::{escape_json, json_f64, FlightEvent, FlightEventKind};
+
+use crate::export::canonical_order;
+use crate::ring::{FieldValue, LogRecord};
+
+/// Renders spans and logs (each in drain order) as one Chrome
+/// trace-event JSON document. Logs are canonically ordered first, so the
+/// output is a pure function of the two record sets.
+pub fn render_chrome_trace_with_logs(
+    process_name: &str,
+    spans: &[FlightEvent],
+    logs: &[LogRecord],
+) -> String {
+    let mut sorted_logs: Vec<LogRecord> = logs.to_vec();
+    canonical_order(&mut sorted_logs);
+    let mut tids: Vec<u64> = Vec::new();
+    let mut tid_of = |trace_id: u64| -> usize {
+        match tids.iter().position(|t| *t == trace_id) {
+            Some(pos) => pos + 1,
+            None => {
+                tids.push(trace_id);
+                tids.len()
+            }
+        }
+    };
+    let mut out = String::from("{\"traceEvents\":[");
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}}",
+        escape_json(process_name)
+    );
+    for e in spans {
+        let tid = tid_of(e.trace_id);
+        out.push(',');
+        match e.kind {
+            FlightEventKind::Span => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":1,\"tid\":{tid},\"args\":{{\"trace_id\":\"{:016x}\",\
+                     \"span_id\":\"{:016x}\",\"parent_span_id\":\"{:016x}\"}}}}",
+                    escape_json(&e.name),
+                    e.ts_us,
+                    e.dur_us,
+                    e.trace_id,
+                    e.span_id,
+                    e.parent_span_id
+                );
+            }
+            FlightEventKind::Instant => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+                     \"pid\":1,\"tid\":{tid},\"args\":{{\"trace_id\":\"{:016x}\",\
+                     \"span_id\":\"{:016x}\",\"parent_span_id\":\"{:016x}\",\"arg\":{}}}}}",
+                    escape_json(&e.name),
+                    e.ts_us,
+                    e.trace_id,
+                    e.span_id,
+                    e.parent_span_id,
+                    e.arg
+                );
+            }
+        }
+    }
+    for r in &sorted_logs {
+        let tid = tid_of(r.trace_id);
+        out.push(',');
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"log\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\
+             \"pid\":1,\"tid\":{tid},\"args\":{{\"trace_id\":\"{:016x}\",\
+             \"span_id\":\"{:016x}\",\"level\":\"{}\"",
+            escape_json(&r.msg),
+            r.ts_us,
+            r.trace_id,
+            r.span_id,
+            r.level
+        );
+        for (key, value) in &r.fields {
+            let _ = write!(out, ",\"{}\":", escape_json(key));
+            match value {
+                FieldValue::U64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::I64(v) => {
+                    let _ = write!(out, "{v}");
+                }
+                FieldValue::F64(v) => out.push_str(&json_f64(*v)),
+                FieldValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+                FieldValue::Str(s) => {
+                    let _ = write!(out, "\"{}\"", escape_json(s));
+                }
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::level::Level;
+    use crate::ring::EventLog;
+    use crate::site::LogSite;
+    use augur_telemetry::{FlightRecorder, TraceContext};
+
+    fn sample() -> (Vec<FlightEvent>, Vec<LogRecord>) {
+        let rec = FlightRecorder::new(16);
+        let frame = rec.intern("frame");
+        let root = TraceContext::root(7, 0);
+        rec.record_span(root, frame, 0, 1_000);
+        rec.record_span(root.child_named("layout"), rec.intern("layout"), 100, 400);
+
+        let log = EventLog::new(16);
+        let site = LogSite::unlimited();
+        log.event(
+            &site,
+            Level::Warn,
+            root.child_named("layout"),
+            "layout/declutter_drop",
+            450,
+            &[("dropped", crate::ring::Arg::U64(3))],
+        );
+        (rec.drain(), log.drain())
+    }
+
+    #[test]
+    fn logs_render_as_instants_on_the_span_chain_row() {
+        let (spans, logs) = sample();
+        let json = render_chrome_trace_with_logs("augur", &spans, &logs);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"cat\":\"log\""));
+        assert!(json.contains("\"level\":\"warn\""));
+        assert!(json.contains("\"dropped\":3"));
+        // The log instant shares the causal chain's tid with its spans.
+        assert_eq!(json.matches("\"tid\":1,").count(), 3);
+        // The log's span_id matches the layout span it was emitted under.
+        let layout_span = spans[1].span_id;
+        assert!(logs.iter().all(|r| r.span_id == layout_span));
+    }
+
+    #[test]
+    fn rendering_is_a_pure_function_of_inputs() {
+        let (spans, logs) = sample();
+        assert_eq!(
+            render_chrome_trace_with_logs("p", &spans, &logs),
+            render_chrome_trace_with_logs("p", &spans, &logs)
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Log severity levels.
+
+/// Severity of a log record, ordered from chattiest to most severe.
+///
+/// The numeric discriminants are part of the ring's slot encoding and
+/// the JSONL schema version — append-only, never renumber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Finest-grained tracing chatter (per-record detail).
+    Trace = 0,
+    /// Diagnostic detail useful when reading one run closely.
+    Debug = 1,
+    /// Notable lifecycle and decision events (the default floor).
+    Info = 2,
+    /// Degraded-but-continuing conditions (sheds, stalls, retries).
+    Warn = 3,
+    /// Failures; CI asserts scenario smoke runs emit none of these.
+    Error = 4,
+}
+
+impl Level {
+    /// Stable lowercase label used by every exporter.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Trace => "trace",
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses the lowercase/uppercase level names (`AUGUR_LOG=warn`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "trace" => Some(Level::Trace),
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+
+    /// The level a slot-encoded discriminant decodes to; out-of-range
+    /// values (impossible for untorn slots) clamp to `Error` so they
+    /// surface rather than vanish.
+    pub fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Trace,
+            1 => Level::Debug,
+            2 => Level::Info,
+            3 => Level::Warn,
+            _ => Level::Error,
+        }
+    }
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_severity() {
+        assert!(Level::Trace < Level::Debug);
+        assert!(Level::Debug < Level::Info);
+        assert!(Level::Info < Level::Warn);
+        assert!(Level::Warn < Level::Error);
+    }
+
+    #[test]
+    fn parse_round_trips_and_accepts_aliases() {
+        for level in [
+            Level::Trace,
+            Level::Debug,
+            Level::Info,
+            Level::Warn,
+            Level::Error,
+        ] {
+            assert_eq!(Level::parse(level.as_str()), Some(level));
+            assert_eq!(Level::from_u8(level as u8), level);
+        }
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse("loud"), None);
+        assert_eq!(Level::from_u8(200), Level::Error);
+    }
+}

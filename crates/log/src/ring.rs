@@ -1,0 +1,498 @@
+//! The bounded lock-free MPSC log ring.
+//!
+//! Same slot protocol as the telemetry
+//! [`FlightRecorder`](augur_telemetry::FlightRecorder) (see its module
+//! docs for the torn-read proof): a producer takes a ticket from one
+//! `fetch_add` on the write cursor, marks the slot `BUSY`, stores the
+//! payload cells with `Release`, and publishes the ticket — **no lock,
+//! no allocation, never blocks**. Overwritten or torn tickets are
+//! charged to [`EventLog::dropped_records`], so at quiescence
+//! `drained + dropped == total_records` exactly.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use augur_telemetry::TraceContext;
+
+use crate::level::Level;
+use crate::site::LogSite;
+
+/// Marks a slot whose payload is mid-write (or never written).
+const BUSY: u64 = 1 << 63;
+
+/// Fields beyond this many are truncated at emit time (the count that
+/// survives is encoded in the slot, so truncation is visible, not
+/// silent).
+pub const MAX_FIELDS: usize = 4;
+
+/// An interned symbol (message text, field key, or string field value):
+/// hot paths carry this copyable id instead of a heap string. Intern at
+/// setup via [`EventLog::intern`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymId(pub(crate) u32);
+
+/// A typed field value as carried on the emit path (one `u64` of bits
+/// plus a tag; strings travel as interned [`SymId`]s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (bit-exact through the ring).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// An interned string.
+    Sym(SymId),
+}
+
+/// A typed field value for the convenience [`EventLog::event`] path,
+/// which interns `Str` on the fly (short lock — keep off per-record hot
+/// paths; pre-intern and use [`EventLog::record`] there).
+#[derive(Debug, Clone, Copy)]
+pub enum Arg<'a> {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// A string value, interned at emit time.
+    Str(&'a str),
+}
+
+/// A field value as drained (symbols resolved back to strings).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Resolved string.
+    Str(String),
+}
+
+/// One drained log record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogRecord {
+    /// Emission time on the caller's clock, microseconds.
+    pub ts_us: u64,
+    /// Severity.
+    pub level: Level,
+    /// Resolved message text.
+    pub msg: String,
+    /// Causal chain the record belongs to (0 when logged outside one).
+    pub trace_id: u64,
+    /// The span the record was emitted under.
+    pub span_id: u64,
+    /// Typed key-value fields, in emission order.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+/// Value-cell tags (slot encoding; append-only).
+const TAG_U64: u64 = 0;
+const TAG_I64: u64 = 1;
+const TAG_F64: u64 = 2;
+const TAG_BOOL: u64 = 3;
+const TAG_SYM: u64 = 4;
+
+fn encode(value: Value) -> (u64, u64) {
+    match value {
+        Value::U64(v) => (TAG_U64, v),
+        Value::I64(v) => (TAG_I64, v as u64),
+        Value::F64(v) => (TAG_F64, v.to_bits()),
+        Value::Bool(v) => (TAG_BOOL, u64::from(v)),
+        Value::Sym(s) => (TAG_SYM, u64::from(s.0)),
+    }
+}
+
+#[derive(Debug)]
+struct Slot {
+    seq: AtomicU64,
+    trace_id: AtomicU64,
+    span_id: AtomicU64,
+    /// `(msg_id << 16) | (n_fields << 8) | level`.
+    meta: AtomicU64,
+    ts_us: AtomicU64,
+    /// Per field: `(tag << 32) | key_id`, then the value bits.
+    fields: [(AtomicU64, AtomicU64); MAX_FIELDS],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            seq: AtomicU64::new(BUSY | u64::MAX >> 1),
+            trace_id: AtomicU64::new(0),
+            span_id: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            ts_us: AtomicU64::new(0),
+            fields: std::array::from_fn(|_| (AtomicU64::new(0), AtomicU64::new(0))),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct LogInner {
+    slots: Vec<Slot>,
+    mask: u64,
+    /// Next ticket to hand out; also the total records admitted.
+    write: AtomicU64,
+    /// Tickets below this have been consumed (drained or dropped).
+    read: Mutex<u64>,
+    dropped: AtomicU64,
+    /// Interned symbols; written only on the registration path.
+    syms: RwLock<Vec<String>>,
+    min_level: AtomicU8,
+}
+
+/// The bounded lock-free structured log. Cloning shares the ring.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    inner: Arc<LogInner>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        EventLog::new(4096)
+    }
+}
+
+impl EventLog {
+    /// A log holding up to `capacity` records (rounded up to a power of
+    /// two, minimum 8), admitting `Info` and above.
+    pub fn new(capacity: usize) -> EventLog {
+        EventLog::with_min_level(capacity, Level::Info)
+    }
+
+    /// A log with an explicit severity floor.
+    pub fn with_min_level(capacity: usize, min_level: Level) -> EventLog {
+        let cap = capacity.max(8).next_power_of_two();
+        EventLog {
+            inner: Arc::new(LogInner {
+                slots: (0..cap).map(|_| Slot::empty()).collect(),
+                mask: cap as u64 - 1,
+                write: AtomicU64::new(0),
+                read: Mutex::new(0),
+                dropped: AtomicU64::new(0),
+                syms: RwLock::new(Vec::new()),
+                min_level: AtomicU8::new(min_level as u8),
+            }),
+        }
+    }
+
+    /// Ring capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// The current severity floor.
+    pub fn min_level(&self) -> Level {
+        Level::from_u8(self.inner.min_level.load(Ordering::Relaxed))
+    }
+
+    /// Changes the severity floor (takes effect for subsequent emits).
+    pub fn set_min_level(&self, level: Level) {
+        self.inner.min_level.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// Whether a record at `level` would pass the floor.
+    pub fn enabled(&self, level: Level) -> bool {
+        level >= self.min_level()
+    }
+
+    /// Interns a symbol, returning the id hot paths pass to
+    /// [`EventLog::record`]. Takes a short lock — call at setup.
+    pub fn intern(&self, s: &str) -> SymId {
+        let mut syms = self.inner.syms.write();
+        if let Some(pos) = syms.iter().position(|n| n == s) {
+            return SymId(pos as u32);
+        }
+        syms.push(s.to_string());
+        SymId((syms.len() - 1) as u32)
+    }
+
+    /// Records admitted so far (drained, pending, or dropped). Level- or
+    /// rate-suppressed emits never reach this count; suppression is
+    /// visible per site via [`LogSite::suppressed`].
+    pub fn total_records(&self) -> u64 {
+        self.inner.write.load(Ordering::Relaxed)
+    }
+
+    /// Records overwritten before a drain could read them (plus torn
+    /// slots rejected mid-drain). Monotonic; updated at drain time.
+    pub fn dropped_records(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Emits a record with pre-interned message and keys. Lock-free and
+    /// allocation-free; a no-op when the level is below the floor, the
+    /// context is unsampled, or `site`'s token bucket denies it. Fields
+    /// beyond [`MAX_FIELDS`] are truncated.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        site: &LogSite,
+        level: Level,
+        ctx: TraceContext,
+        msg: SymId,
+        ts_us: u64,
+        fields: &[(SymId, Value)],
+    ) {
+        if !ctx.sampled || !self.enabled(level) || !site.admit(ts_us) {
+            return;
+        }
+        let inner = &*self.inner;
+        let ticket = inner.write.fetch_add(1, Ordering::Relaxed);
+        let Some(slot) = inner.slots.get((ticket & inner.mask) as usize) else {
+            return; // unreachable: mask < slots.len()
+        };
+        let n = fields.len().min(MAX_FIELDS);
+        slot.seq.store(ticket | BUSY, Ordering::Relaxed);
+        slot.trace_id.store(ctx.trace_id, Ordering::Release);
+        slot.span_id.store(ctx.span_id, Ordering::Release);
+        slot.meta.store(
+            (u64::from(msg.0) << 16) | ((n as u64) << 8) | level as u64,
+            Ordering::Release,
+        );
+        slot.ts_us.store(ts_us, Ordering::Release);
+        for (cell, field) in slot.fields.iter().zip(fields.iter().take(MAX_FIELDS)) {
+            let (tag, bits) = encode(field.1);
+            cell.0
+                .store((tag << 32) | u64::from(field.0 .0), Ordering::Release);
+            cell.1.store(bits, Ordering::Release);
+        }
+        slot.seq.store(ticket, Ordering::Release);
+    }
+
+    /// Convenience emit that interns the message, keys, and string
+    /// values on the fly (short lock). For control-plane call sites;
+    /// per-record hot paths should pre-intern and use
+    /// [`EventLog::record`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn event(
+        &self,
+        site: &LogSite,
+        level: Level,
+        ctx: TraceContext,
+        msg: &str,
+        ts_us: u64,
+        fields: &[(&str, Arg<'_>)],
+    ) {
+        if !ctx.sampled || !self.enabled(level) {
+            return;
+        }
+        let msg = self.intern(msg);
+        let mut encoded: [(SymId, Value); MAX_FIELDS] = [(SymId(0), Value::U64(0)); MAX_FIELDS];
+        let n = fields.len().min(MAX_FIELDS);
+        for (dst, (key, arg)) in encoded.iter_mut().zip(fields.iter().take(MAX_FIELDS)) {
+            let value = match *arg {
+                Arg::U64(v) => Value::U64(v),
+                Arg::I64(v) => Value::I64(v),
+                Arg::F64(v) => Value::F64(v),
+                Arg::Bool(v) => Value::Bool(v),
+                Arg::Str(s) => Value::Sym(self.intern(s)),
+            };
+            *dst = (self.intern(key), value);
+        }
+        if let Some(encoded) = encoded.get(..n) {
+            self.record(site, level, ctx, msg, ts_us, encoded);
+        }
+    }
+
+    /// Drains every currently-readable record in ticket order, advancing
+    /// the read cursor and charging overwritten or torn tickets to
+    /// [`EventLog::dropped_records`]. At quiescence
+    /// `drained_total + dropped_records == total_records` exactly.
+    pub fn drain(&self) -> Vec<LogRecord> {
+        let inner = &*self.inner;
+        let mut read = inner.read.lock();
+        let w = inner.write.load(Ordering::Acquire);
+        let cap = inner.slots.len() as u64;
+        let mut r = *read;
+        if w.saturating_sub(r) > cap {
+            // The ring lapped the reader: everything below w - cap is gone.
+            inner.dropped.fetch_add(w - cap - r, Ordering::Relaxed);
+            r = w - cap;
+        }
+        let syms = inner.syms.read();
+        let resolve = |id: u64| -> String {
+            syms.get(id as usize)
+                .cloned()
+                .unwrap_or_else(|| String::from("?"))
+        };
+        let mut out = Vec::with_capacity((w - r) as usize);
+        for ticket in r..w {
+            let Some(slot) = inner.slots.get((ticket & inner.mask) as usize) else {
+                continue; // unreachable: mask < slots.len()
+            };
+            if slot.seq.load(Ordering::Acquire) != ticket {
+                inner.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let trace_id = slot.trace_id.load(Ordering::Acquire);
+            let span_id = slot.span_id.load(Ordering::Acquire);
+            let meta = slot.meta.load(Ordering::Acquire);
+            let ts_us = slot.ts_us.load(Ordering::Acquire);
+            let mut raw_fields = [(0u64, 0u64); MAX_FIELDS];
+            for (dst, cell) in raw_fields.iter_mut().zip(slot.fields.iter()) {
+                *dst = (
+                    cell.0.load(Ordering::Acquire),
+                    cell.1.load(Ordering::Acquire),
+                );
+            }
+            if slot.seq.load(Ordering::Acquire) != ticket {
+                // A writer raced us mid-read; its BUSY marker (made
+                // visible by the Acquire payload loads) fails this check.
+                inner.dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let n = ((meta >> 8) & 0xff) as usize;
+            let fields = raw_fields
+                .iter()
+                .take(n.min(MAX_FIELDS))
+                .map(|&(key_tag, bits)| {
+                    let value = match key_tag >> 32 {
+                        TAG_U64 => FieldValue::U64(bits),
+                        TAG_I64 => FieldValue::I64(bits as i64),
+                        TAG_F64 => FieldValue::F64(f64::from_bits(bits)),
+                        TAG_BOOL => FieldValue::Bool(bits != 0),
+                        _ => FieldValue::Str(resolve(bits)),
+                    };
+                    (resolve(key_tag & 0xffff_ffff), value)
+                })
+                .collect();
+            out.push(LogRecord {
+                ts_us,
+                level: Level::from_u8((meta & 0xff) as u8),
+                msg: resolve(meta >> 16),
+                trace_id,
+                span_id,
+                fields,
+            });
+        }
+        *read = w;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_drains_with_typed_fields() {
+        let log = EventLog::with_min_level(16, Level::Debug);
+        let site = LogSite::unlimited();
+        let msg = log.intern("pipeline/late_drop");
+        let key = log.intern("lag_us");
+        let reason = log.intern("reason");
+        let watermark = log.intern("watermark");
+        let ctx = TraceContext::root(9, 1);
+        log.record(
+            &site,
+            Level::Warn,
+            ctx,
+            msg,
+            1_500,
+            &[
+                (key, Value::U64(250)),
+                (reason, Value::Sym(watermark)),
+                (log.intern("ratio"), Value::F64(0.25)),
+                (log.intern("shed"), Value::Bool(true)),
+            ],
+        );
+        let records = log.drain();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.level, Level::Warn);
+        assert_eq!(r.msg, "pipeline/late_drop");
+        assert_eq!(r.ts_us, 1_500);
+        assert_eq!(r.trace_id, ctx.trace_id);
+        assert_eq!(r.span_id, ctx.span_id);
+        assert_eq!(r.fields.len(), 4);
+        assert_eq!(r.fields[0], ("lag_us".into(), FieldValue::U64(250)));
+        assert_eq!(
+            r.fields[1],
+            ("reason".into(), FieldValue::Str("watermark".into()))
+        );
+        assert_eq!(r.fields[2], ("ratio".into(), FieldValue::F64(0.25)));
+        assert_eq!(r.fields[3], ("shed".into(), FieldValue::Bool(true)));
+        assert!(log.drain().is_empty(), "drain consumes");
+        assert_eq!(log.dropped_records(), 0);
+    }
+
+    #[test]
+    fn level_floor_and_unsampled_contexts_are_noops() {
+        let log = EventLog::new(16); // floor: Info
+        let site = LogSite::unlimited();
+        let ctx = TraceContext::root(1, 1);
+        log.event(&site, Level::Debug, ctx, "chatty", 0, &[]);
+        log.event(&site, Level::Info, ctx.unsampled(), "unsampled", 0, &[]);
+        assert_eq!(log.total_records(), 0);
+        log.set_min_level(Level::Debug);
+        log.event(&site, Level::Debug, ctx, "chatty", 0, &[]);
+        assert_eq!(log.total_records(), 1);
+    }
+
+    #[test]
+    fn overflow_is_counted_not_silent() {
+        let log = EventLog::new(8);
+        let site = LogSite::unlimited();
+        let msg = log.intern("x");
+        let ctx = TraceContext::root(2, 2);
+        for i in 0..20u64 {
+            log.record(&site, Level::Info, ctx, msg, i, &[]);
+        }
+        let records = log.drain();
+        assert_eq!(records.len(), 8, "only the last `capacity` survive");
+        assert_eq!(log.dropped_records(), 12);
+        assert_eq!(
+            records.len() as u64 + log.dropped_records(),
+            log.total_records()
+        );
+        assert_eq!(records[0].ts_us, 12);
+        assert_eq!(records[7].ts_us, 19);
+    }
+
+    #[test]
+    fn rate_limited_site_suppresses_without_charging_the_ring() {
+        let log = EventLog::new(64);
+        let site = LogSite::new(2, 0); // 2-burst, never refills
+        let msg = log.intern("spam");
+        let ctx = TraceContext::root(3, 3);
+        for i in 0..10u64 {
+            log.record(&site, Level::Warn, ctx, msg, i, &[]);
+        }
+        assert_eq!(log.total_records(), 2);
+        assert_eq!(site.suppressed(), 8);
+        assert_eq!(log.drain().len(), 2);
+        assert_eq!(log.dropped_records(), 0);
+    }
+
+    #[test]
+    fn field_truncation_is_encoded_not_silent() {
+        let log = EventLog::new(8);
+        let site = LogSite::unlimited();
+        let ctx = TraceContext::root(4, 4);
+        let fields: Vec<(&str, Arg<'_>)> = vec![
+            ("a", Arg::U64(1)),
+            ("b", Arg::U64(2)),
+            ("c", Arg::U64(3)),
+            ("d", Arg::U64(4)),
+            ("e", Arg::U64(5)),
+        ];
+        log.event(&site, Level::Info, ctx, "wide", 0, &fields);
+        let records = log.drain();
+        assert_eq!(records[0].fields.len(), MAX_FIELDS);
+        assert_eq!(records[0].fields[3].0, "d");
+    }
+}

@@ -1,0 +1,21 @@
+//! The workspace's sole sanctioned console sink.
+//!
+//! `augur-audit`'s `print-confined` rule denies `println!`/`eprintln!`/
+//! `dbg!` in every library crate: ad-hoc prints bypass levels, rate
+//! limits, and the deterministic exporters, and they litter bench
+//! stdout CI has to parse. Library code that genuinely needs a console
+//! line (the bench harness's progress tables, exporter summaries)
+//! routes it through these two functions — the only library call sites
+//! where the macros are allowed (see `PRINT_EXEMPT` in
+//! `augur-audit`). Binaries, examples, and tests stay exempt from the
+//! rule and may print directly.
+
+/// Writes one line to stdout.
+pub fn out_line(line: &str) {
+    println!("{line}");
+}
+
+/// Writes one line to stderr.
+pub fn err_line(line: &str) {
+    eprintln!("{line}");
+}

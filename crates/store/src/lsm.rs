@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
+use augur_log::{EventLog, Level, LogSite, SymId, Value};
 use augur_telemetry::{Clock, Counter, FlightRecorder, Histogram, NameId, Registry, TraceContext};
 use bytes::Bytes;
 
@@ -75,6 +76,7 @@ pub struct LsmStore {
     runs: Vec<Vec<RunEntry>>, // newest last; each sorted by key
     metrics: LsmMetrics,
     flight: Option<LsmFlight>,
+    log: Option<LsmLog>,
 }
 
 /// Flight-recorder wiring (see [`LsmStore::instrument_flight`]): flush
@@ -94,6 +96,34 @@ struct LsmFlight {
 impl std::fmt::Debug for LsmFlight {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LsmFlight")
+            .field("parent", &self.parent)
+            .field("ops", &self.ops)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Structured-log wiring (see [`LsmStore::instrument_log`]): flush and
+/// compaction *decisions* — what fired and why — become INFO records.
+#[derive(Clone)]
+struct LsmLog {
+    log: EventLog,
+    clock: Clock,
+    parent: TraceContext,
+    flush_msg: SymId,
+    compact_msg: SymId,
+    key_entries: SymId,
+    key_runs: SymId,
+    key_trigger: SymId,
+    trigger_threshold: SymId,
+    trigger_forced: SymId,
+    site: std::sync::Arc<LogSite>,
+    /// Ordinal salting each record's span id, mirroring [`LsmFlight`].
+    ops: u64,
+}
+
+impl std::fmt::Debug for LsmLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmLog")
             .field("parent", &self.parent)
             .field("ops", &self.ops)
             .finish_non_exhaustive()
@@ -139,6 +169,7 @@ impl Clone for LsmStore {
             // The clone keeps recording to the same (shared) ring; its op
             // ordinal carries over so span ids stay distinct.
             flight: self.flight.clone(),
+            log: self.log.clone(),
         }
     }
 }
@@ -158,6 +189,7 @@ impl LsmStore {
             runs: Vec::new(),
             metrics: LsmMetrics::detached(),
             flight: None,
+            log: None,
         }
     }
 
@@ -199,6 +231,60 @@ impl LsmStore {
             parent,
             ops: 0,
         });
+    }
+
+    /// Attaches a structured log: every flush and compaction records an
+    /// INFO entry under `parent` saying what fired (`lsm/flush`,
+    /// `lsm/compact`), how much it moved (`entries`, `runs`), and **why**
+    /// (`trigger=threshold` when the memtable or run count crossed its
+    /// configured limit, `trigger=forced` for explicit calls) —
+    /// timestamped on `clock`, deterministic under a manual one.
+    pub fn instrument_log(&mut self, log: &EventLog, clock: &Clock, parent: TraceContext) {
+        self.log = Some(LsmLog {
+            flush_msg: log.intern("lsm/flush"),
+            compact_msg: log.intern("lsm/compact"),
+            key_entries: log.intern("entries"),
+            key_runs: log.intern("runs"),
+            key_trigger: log.intern("trigger"),
+            trigger_threshold: log.intern("threshold"),
+            trigger_forced: log.intern("forced"),
+            site: std::sync::Arc::new(LogSite::unlimited()),
+            log: log.clone(),
+            clock: clock.clone(),
+            parent,
+            ops: 0,
+        });
+    }
+
+    /// Emits one flush/compaction decision record (no-op when
+    /// [`LsmStore::instrument_log`] was never called).
+    fn log_decision(&mut self, compact: bool, entries: u64, runs: u64, forced: bool) {
+        if let Some(l) = &mut self.log {
+            let (msg, salt) = if compact {
+                (l.compact_msg, 0x636f_6d70u64)
+            } else {
+                (l.flush_msg, 0x666c_7573u64)
+            };
+            let ctx = l.parent.child(salt ^ (l.ops << 32));
+            l.ops += 1;
+            let trigger = if forced {
+                l.trigger_forced
+            } else {
+                l.trigger_threshold
+            };
+            l.log.record(
+                &l.site,
+                Level::Info,
+                ctx,
+                msg,
+                l.clock.now_micros(),
+                &[
+                    (l.key_entries, Value::U64(entries)),
+                    (l.key_runs, Value::U64(runs)),
+                    (l.key_trigger, Value::Sym(trigger)),
+                ],
+            );
+        }
     }
 
     /// Emits one flush/compaction span on the flight ring (no-op when
@@ -297,6 +383,10 @@ impl LsmStore {
 
     /// Forces the memtable out to a run.
     pub fn flush(&mut self) {
+        self.flush_inner(true);
+    }
+
+    fn flush_inner(&mut self, forced: bool) {
         if self.memtable.is_empty() {
             return;
         }
@@ -305,23 +395,29 @@ impl LsmStore {
         self.runs.push(run);
         self.metrics.flushes.inc();
         self.flight_span(false, entries);
+        self.log_decision(false, entries, self.runs.len() as u64, forced);
         if self.runs.len() >= self.params.compaction_trigger_runs {
-            self.compact();
+            self.compact_inner(false);
         }
     }
 
     fn maybe_flush(&mut self) {
         if self.memtable.len() >= self.params.memtable_flush_entries {
-            self.flush();
+            self.flush_inner(false);
         }
     }
 
     /// Merges all runs into one, dropping shadowed versions and
     /// tombstones.
     pub fn compact(&mut self) {
+        self.compact_inner(true);
+    }
+
+    fn compact_inner(&mut self, forced: bool) {
         if self.runs.len() <= 1 {
             return;
         }
+        let runs_before = self.runs.len() as u64;
         let mut merged: BTreeMap<Bytes, Option<Bytes>> = BTreeMap::new();
         let mut merged_entries = 0u64;
         for run in self.runs.drain(..) {
@@ -336,6 +432,7 @@ impl LsmStore {
         }
         self.metrics.compactions.inc();
         self.flight_span(true, merged_entries);
+        self.log_decision(true, merged_entries, runs_before, forced);
     }
 
     /// Statistics snapshot (a view over the telemetry counters).
@@ -420,6 +517,58 @@ mod tests {
         for f in &flushes {
             assert_eq!(f.dur_us, 4, "modeled 1 us per flushed entry");
         }
+    }
+
+    #[test]
+    fn log_records_carry_flush_and_compaction_rationale() {
+        use augur_telemetry::ManualTime;
+        use std::sync::Arc;
+
+        let log = EventLog::new(64);
+        let clock: Clock = Arc::new(ManualTime::new());
+        let parent = TraceContext::root(7, 0xDB);
+        let mut db = LsmStore::new(LsmParams {
+            memtable_flush_entries: 4,
+            compaction_trigger_runs: 2,
+        });
+        db.instrument_log(&log, &clock, parent);
+        for i in 0..8u8 {
+            db.put(vec![i], vec![i]);
+        }
+        db.put(vec![99], vec![99]);
+        db.flush(); // explicit: must say trigger=forced
+        let records = log.drain();
+        assert_eq!(log.dropped_records(), 0);
+        let trigger_of = |r: &augur_log::LogRecord| -> String {
+            r.fields
+                .iter()
+                .find(|(k, _)| k == "trigger")
+                .map(|(_, v)| match v {
+                    augur_log::FieldValue::Str(s) => s.clone(),
+                    other => format!("{other:?}"),
+                })
+                .unwrap_or_default()
+        };
+        let flushes: Vec<_> = records.iter().filter(|r| r.msg == "lsm/flush").collect();
+        let compacts: Vec<_> = records.iter().filter(|r| r.msg == "lsm/compact").collect();
+        assert_eq!(flushes.len() as u64, db.stats().flushes);
+        assert_eq!(compacts.len() as u64, db.stats().compactions);
+        // The two memtable-threshold flushes say so; the explicit one
+        // says forced. The auto compaction (2-run trigger) is threshold.
+        assert_eq!(trigger_of(flushes[0]), "threshold");
+        assert_eq!(trigger_of(flushes[1]), "threshold");
+        assert_eq!(trigger_of(flushes[2]), "forced");
+        assert!(compacts.iter().all(|r| trigger_of(r) == "threshold"));
+        assert!(records.iter().all(|r| r.level == augur_log::Level::Info));
+        assert!(records.iter().all(|r| r.trace_id == parent.trace_id));
+        // Span ids stay distinct across ops (ordinal-salted).
+        let ids: std::collections::HashSet<u64> = records.iter().map(|r| r.span_id).collect();
+        assert_eq!(ids.len(), records.len());
+        // Entries moved are spelled out.
+        assert!(flushes[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "entries" && *v == augur_log::FieldValue::U64(4)));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use augur_telemetry::Registry;
+use augur_log::{EventLog, Level, LogSite};
+use augur_telemetry::{Clock, Registry, TraceContext};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::StreamError;
@@ -251,6 +252,27 @@ pub struct ConsumerGroup {
     committed: Mutex<HashMap<(String, u32), u64>>,
     members: Mutex<Vec<String>>,
     telemetry: Mutex<Option<Registry>>,
+    log: Mutex<Option<GroupLog>>,
+}
+
+/// Structured-log wiring for a consumer group: pre-interned symbols plus
+/// an unlimited site (membership changes are rare lifecycle events).
+struct GroupLog {
+    log: EventLog,
+    ctx: TraceContext,
+    clock: Clock,
+    rebalance_msg: augur_log::SymId,
+    key_group: augur_log::SymId,
+    key_member: augur_log::SymId,
+    key_members: augur_log::SymId,
+    group_sym: augur_log::SymId,
+    site: LogSite,
+}
+
+impl std::fmt::Debug for GroupLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupLog").finish_non_exhaustive()
+    }
 }
 
 impl ConsumerGroup {
@@ -262,6 +284,7 @@ impl ConsumerGroup {
             committed: Mutex::new(HashMap::new()),
             members: Mutex::new(Vec::new()),
             telemetry: Mutex::new(None),
+            log: Mutex::new(None),
         }
     }
 
@@ -270,6 +293,24 @@ impl ConsumerGroup {
     /// `consumer_lag_records{group, topic}`.
     pub fn instrument(&self, registry: &Registry) {
         *self.telemetry.lock() = Some(registry.clone());
+    }
+
+    /// Attaches a structured log: every membership change that forces a
+    /// rebalance is recorded at INFO under `ctx` (`group/rebalance`,
+    /// with the member and the resulting member count), timestamped
+    /// from `clock`.
+    pub fn instrument_log(&self, log: &EventLog, ctx: TraceContext, clock: &Clock) {
+        *self.log.lock() = Some(GroupLog {
+            rebalance_msg: log.intern("group/rebalance"),
+            key_group: log.intern("group"),
+            key_member: log.intern("member"),
+            key_members: log.intern("members"),
+            group_sym: log.intern(&self.name),
+            site: LogSite::unlimited(),
+            log: log.clone(),
+            ctx,
+            clock: Arc::clone(clock),
+        });
     }
 
     /// The group name.
@@ -285,6 +326,22 @@ impl ConsumerGroup {
             return i;
         }
         members.push(member.to_string());
+        // A membership change redistributes partitions — the kind of
+        // decision a post-mortem wants on the record.
+        if let Some(g) = self.log.lock().as_ref() {
+            g.log.record(
+                &g.site,
+                Level::Info,
+                g.ctx.child_named(member),
+                g.rebalance_msg,
+                g.clock.now_micros(),
+                &[
+                    (g.key_group, augur_log::Value::Sym(g.group_sym)),
+                    (g.key_member, augur_log::Value::Sym(g.log.intern(member))),
+                    (g.key_members, augur_log::Value::U64(members.len() as u64)),
+                ],
+            );
+        }
         members.len() - 1
     }
 
@@ -386,6 +443,39 @@ mod tests {
 
     fn rec(key: u64, t: u64) -> Record {
         Record::new(key, format!("v{key}").into_bytes(), t)
+    }
+
+    #[test]
+    fn group_joins_log_rebalance_decisions() {
+        use augur_telemetry::ManualTime;
+        let group = ConsumerGroup::new("g", Broker::new());
+        let log = EventLog::new(16);
+        let ctx = TraceContext::root(3, 1);
+        let clock: Clock = ManualTime::shared();
+        group.instrument_log(&log, ctx, &clock);
+        group.join("a");
+        group.join("b");
+        group.join("a"); // re-join: no membership change, no record
+        let records = log.drain();
+        assert_eq!(records.len(), 2);
+        assert!(records.iter().all(|r| r.msg == "group/rebalance"));
+        assert!(records.iter().all(|r| r.trace_id == ctx.trace_id));
+        let counts: Vec<_> = records
+            .iter()
+            .map(|r| {
+                r.fields
+                    .iter()
+                    .find(|(k, _)| k == "members")
+                    .map(|(_, v)| v.clone())
+            })
+            .collect();
+        assert_eq!(
+            counts,
+            vec![
+                Some(augur_log::FieldValue::U64(1)),
+                Some(augur_log::FieldValue::U64(2))
+            ]
+        );
     }
 
     #[test]

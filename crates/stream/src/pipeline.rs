@@ -22,6 +22,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use augur_log::{EventLog, Level, LogSite, SymId, Value};
 use augur_telemetry::{
     Clock, Counter, FlightRecorder, Histogram, MonotonicTime, NameId, Registry, TraceContext,
     Tracer,
@@ -93,6 +94,7 @@ pub struct PipelineBuilder<T> {
     registry: Registry,
     clock: Clock,
     flight: Option<(FlightRecorder, TraceContext)>,
+    log: Option<(EventLog, TraceContext)>,
 }
 
 impl<T> std::fmt::Debug for PipelineBuilder<T> {
@@ -126,6 +128,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             registry: Registry::new(),
             clock: MonotonicTime::shared(),
             flight: None,
+            log: None,
         }
     }
 
@@ -156,6 +159,19 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     /// path is lock-free; leaving this unset costs nothing.
     pub fn flight(mut self, recorder: &FlightRecorder, parent: TraceContext) -> Self {
         self.flight = Some((recorder.clone(), parent));
+        self
+    }
+
+    /// Emits structured log records into `log`, correlated under
+    /// `parent`: run summaries and checkpoint/resume decisions at INFO,
+    /// late-drop and backpressure decisions at WARN (rate-limited per
+    /// site, so a storm of drops cannot flood the ring). Pass the same
+    /// `parent` as [`PipelineBuilder::flight`] and the log records
+    /// carry the *same* span ids as the run's spans — Perfetto shows
+    /// them inline via `render_chrome_trace_with_logs`. The emit path
+    /// is lock-free; leaving this unset costs nothing.
+    pub fn log(mut self, log: &EventLog, parent: TraceContext) -> Self {
+        self.log = Some((log.clone(), parent));
         self
     }
 
@@ -204,6 +220,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             &self.clock,
             &self.topic,
             self.flight.clone(),
+            self.log.clone(),
         );
         Pipeline {
             inner: self,
@@ -242,6 +259,60 @@ impl FlightWire {
     }
 }
 
+/// Structured-log wiring for one pipeline: the log, the causal parent,
+/// messages and keys interned once at build time, and per-site token
+/// buckets so noisy decision paths rate-limit themselves.
+struct LogWire {
+    log: EventLog,
+    parent: TraceContext,
+    run_msg: SymId,
+    late_msg: SymId,
+    checkpoint_msg: SymId,
+    resume_msg: SymId,
+    backpressure_msg: SymId,
+    key_records_in: SymId,
+    key_records_out: SymId,
+    key_late: SymId,
+    key_lag_us: SymId,
+    key_key: SymId,
+    key_offset: SymId,
+    key_topic: SymId,
+    key_queued: SymId,
+    topic_sym: SymId,
+    /// Lifecycle records (run summary, checkpoint, resume): unlimited.
+    run_site: LogSite,
+    /// Per-record decision records (late drops, backpressure): a storm
+    /// must degrade to a rate-limited sample plus a suppressed count.
+    drop_site: LogSite,
+    backpressure_site: LogSite,
+}
+
+impl LogWire {
+    fn new(log: EventLog, parent: TraceContext, topic: &str) -> LogWire {
+        LogWire {
+            run_msg: log.intern("pipeline/run"),
+            late_msg: log.intern("pipeline/late_drop"),
+            checkpoint_msg: log.intern("pipeline/checkpoint"),
+            resume_msg: log.intern("pipeline/resume"),
+            backpressure_msg: log.intern("pipeline/backpressure"),
+            key_records_in: log.intern("records_in"),
+            key_records_out: log.intern("records_out"),
+            key_late: log.intern("late_dropped"),
+            key_lag_us: log.intern("lag_us"),
+            key_key: log.intern("key"),
+            key_offset: log.intern("offset"),
+            key_topic: log.intern("topic"),
+            key_queued: log.intern("queued"),
+            topic_sym: log.intern(topic),
+            run_site: LogSite::unlimited(),
+            drop_site: LogSite::new(16, 100),
+            backpressure_site: LogSite::new(4, 10),
+            log,
+            parent,
+        }
+    }
+}
+
 /// Pre-registered metric handles for one pipeline. The per-record hot
 /// path updates these atomics only; the registry maps are never touched
 /// after construction.
@@ -254,6 +325,7 @@ struct Instruments {
     record_latency_ns: Histogram,
     lateness_us: Histogram,
     flight: Option<FlightWire>,
+    log: Option<Arc<LogWire>>,
     /// Ordinal of the next bounded run; salts the per-run trace context
     /// so consecutive runs get distinct (but deterministic) span ids.
     runs: AtomicU64,
@@ -289,6 +361,7 @@ impl Instruments {
         clock: &Clock,
         topic: &str,
         flight: Option<(FlightRecorder, TraceContext)>,
+        log: Option<(EventLog, TraceContext)>,
     ) -> Instruments {
         let labels = [("topic", topic)];
         Instruments {
@@ -300,17 +373,32 @@ impl Instruments {
             record_latency_ns: registry.histogram_labeled("pipeline_record_latency_ns", &labels),
             lateness_us: registry.histogram_labeled("watermark_lateness_us", &labels),
             flight: flight.map(|(rec, parent)| FlightWire::new(rec, parent)),
+            log: log.map(|(log, parent)| Arc::new(LogWire::new(log, parent, topic))),
             runs: AtomicU64::new(0),
         }
     }
 
-    /// The flight context for a fresh bounded run: a `pipeline/run` child
-    /// of the configured parent, salted by the run ordinal.
-    fn run_ctx(&self) -> Option<TraceContext> {
-        self.flight.as_ref().map(|w| {
-            let ordinal = self.runs.fetch_add(1, Ordering::Relaxed);
-            w.parent.child(ordinal ^ 0x70_69_70_65) // "pipe" salt
-        })
+    /// Hands out the next bounded-run ordinal; it salts the per-run
+    /// trace context so consecutive runs get distinct span ids.
+    fn next_run(&self) -> u64 {
+        self.runs.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The flight context for bounded run `ordinal`: a `pipeline/run`
+    /// child of the configured parent.
+    fn run_ctx(&self, ordinal: u64) -> Option<TraceContext> {
+        self.flight
+            .as_ref()
+            .map(|w| w.parent.child(ordinal ^ 0x70_69_70_65)) // "pipe" salt
+    }
+
+    /// The log context for bounded run `ordinal` — derived exactly like
+    /// [`Instruments::run_ctx`], so wiring flight and log to the same
+    /// parent makes log records share the run span's ids.
+    fn log_ctx(&self, ordinal: u64) -> Option<TraceContext> {
+        self.log
+            .as_ref()
+            .map(|w| w.parent.child(ordinal ^ 0x70_69_70_65))
     }
 
     /// Records a completed stage span as a child of `run_ctx` on the
@@ -331,6 +419,25 @@ impl Instruments {
             let end = self.clock.now_micros();
             w.recorder
                 .record_span(child, name, start_us, end.saturating_sub(start_us));
+        }
+    }
+
+    /// Emits the per-run INFO summary record (no-op when logging is off).
+    fn log_run_summary(&self, log_ctx: Option<TraceContext>, metrics: &PipelineMetrics) {
+        if let (Some(w), Some(ctx)) = (&self.log, log_ctx) {
+            w.log.record(
+                &w.run_site,
+                Level::Info,
+                ctx,
+                w.run_msg,
+                self.clock.now_micros(),
+                &[
+                    (w.key_topic, Value::Sym(w.topic_sym)),
+                    (w.key_records_in, Value::U64(metrics.records_in)),
+                    (w.key_records_out, Value::U64(metrics.records_out)),
+                    (w.key_late, Value::U64(metrics.late_dropped)),
+                ],
+            );
         }
     }
 
@@ -427,7 +534,9 @@ impl<T: Send + 'static> Pipeline<T> {
     /// Propagates broker errors ([`StreamError::UnknownTopic`] etc.).
     pub fn collect(&mut self) -> Result<(Vec<T>, PipelineMetrics), StreamError> {
         let run = self.instruments.run_start();
-        let run_ctx = self.instruments.run_ctx();
+        let ordinal = self.instruments.next_run();
+        let run_ctx = self.instruments.run_ctx(ordinal);
+        let log_ctx = self.instruments.log_ctx(ordinal);
         let run_t0 = self.instruments.clock.now_micros();
         let stats = self.inner.broker.stats(&self.inner.topic)?;
         let read_t0 = run_t0;
@@ -479,6 +588,7 @@ impl<T: Send + 'static> Pipeline<T> {
         let metrics = self
             .instruments
             .per_run(&run, stats.bytes, Some(&run_latency));
+        self.instruments.log_run_summary(log_ctx, &metrics);
         Ok((out, metrics))
     }
 
@@ -526,7 +636,26 @@ impl<T: Send + 'static> Pipeline<T> {
                 .get(&(self.inner.topic.clone(), u32::MAX))
                 .unwrap_or(&0);
         }
-        let run_ctx = self.instruments.run_ctx();
+        let ordinal = self.instruments.next_run();
+        let run_ctx = self.instruments.run_ctx(ordinal);
+        let log_ctx = self.instruments.log_ctx(ordinal);
+        // Resume is a recovery *decision*: worth a log record saying
+        // where the merged cursor restarted.
+        if resume {
+            if let (Some(w), Some(ctx)) = (&self.instruments.log, log_ctx) {
+                w.log.record(
+                    &w.run_site,
+                    Level::Info,
+                    ctx,
+                    w.resume_msg,
+                    self.instruments.clock.now_micros(),
+                    &[
+                        (w.key_topic, Value::Sym(w.topic_sym)),
+                        (w.key_offset, Value::U64(processed_before)),
+                    ],
+                );
+            }
+        }
         let run_t0 = self.instruments.clock.now_micros();
         // The bounded run reads a time-ordered merge of all partitions;
         // the "offset" we checkpoint is the index into that merged order,
@@ -581,12 +710,50 @@ impl<T: Send + 'static> Pipeline<T> {
                             lateness,
                         );
                     }
+                    // And a WARN record explaining the decision — on the
+                    // producer's chain when the record carries one, else
+                    // under the run context. Rate-limited: a late storm
+                    // degrades to a sample plus a suppressed count.
+                    if !accepted {
+                        if let Some(w) = &self.instruments.log {
+                            let ctx = flow
+                                .trace
+                                .map(|c| c.child_named("pipeline/late_drop"))
+                                .or(log_ctx);
+                            if let Some(ctx) = ctx {
+                                w.log.record(
+                                    &w.drop_site,
+                                    Level::Warn,
+                                    ctx,
+                                    w.late_msg,
+                                    self.instruments.clock.now_micros(),
+                                    &[
+                                        (w.key_lag_us, Value::U64(lateness)),
+                                        (w.key_key, Value::U64(flow.key)),
+                                    ],
+                                );
+                            }
+                        }
+                    }
                 }
                 if let Some((store, interval)) = &checkpoints {
                     if interval > &0 && (i + 1) % interval == 0 {
                         let mut offsets = std::collections::HashMap::new();
                         offsets.insert((self.inner.topic.clone(), u32::MAX), (i + 1) as u64);
                         store.save(offsets, agg.snapshot());
+                        if let (Some(w), Some(ctx)) = (&self.instruments.log, log_ctx) {
+                            w.log.record(
+                                &w.run_site,
+                                Level::Info,
+                                ctx,
+                                w.checkpoint_msg,
+                                self.instruments.clock.now_micros(),
+                                &[
+                                    (w.key_topic, Value::Sym(w.topic_sym)),
+                                    (w.key_offset, Value::U64((i + 1) as u64)),
+                                ],
+                            );
+                        }
                     }
                 }
             }
@@ -601,6 +768,7 @@ impl<T: Send + 'static> Pipeline<T> {
         self.instruments.late_dropped.add(agg.late_dropped());
         let stats = self.inner.broker.stats(&self.inner.topic)?;
         let metrics = self.instruments.per_run(&run, stats.bytes, None);
+        self.instruments.log_run_summary(log_ctx, &metrics);
         Ok((emitted, metrics))
     }
 
@@ -626,6 +794,9 @@ impl<T: Send + 'static> Pipeline<T> {
         let stop_src = Arc::clone(&stop);
         let records_in = self.instruments.records_in.clone();
         let records_out = self.instruments.records_out.clone();
+        let log_wire = self.instruments.log.as_ref().map(Arc::clone);
+        let clock = Arc::clone(&self.instruments.clock);
+        let channel_capacity = self.inner.channel_capacity;
         let source = std::thread::spawn(move || {
             let mut offsets = vec![0u64; parts as usize];
             while !stop_src.load(Ordering::Acquire) {
@@ -653,9 +824,31 @@ impl<T: Send + 'static> Pipeline<T> {
                                 trace: pr.record.trace,
                                 value: v,
                             };
-                            // Blocking send: this is the backpressure.
-                            if tx.send(flow).is_err() {
-                                return;
+                            // Try fast first: a full channel is the
+                            // backpressure *decision*, logged (rate-
+                            // limited) before falling back to the
+                            // blocking send that applies it.
+                            match tx.try_send(flow) {
+                                Ok(()) => {}
+                                Err(channel::TrySendError::Full(flow)) => {
+                                    if let Some(w) = &log_wire {
+                                        w.log.record(
+                                            &w.backpressure_site,
+                                            Level::Warn,
+                                            w.parent.child_named("pipeline/backpressure"),
+                                            w.backpressure_msg,
+                                            clock.now_micros(),
+                                            &[
+                                                (w.key_topic, Value::Sym(w.topic_sym)),
+                                                (w.key_queued, Value::U64(channel_capacity as u64)),
+                                            ],
+                                        );
+                                    }
+                                    if tx.send(flow).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(channel::TrySendError::Disconnected(_)) => return,
                             }
                         }
                     }
@@ -963,6 +1156,84 @@ mod tests {
         let victim = TraceContext::root(7, 5_000);
         assert_eq!(late[0].trace_id, victim.trace_id);
         assert_eq!(late[0].arg, 20_000 - 5_000, "arg carries the lateness");
+    }
+
+    #[test]
+    fn log_records_explain_run_checkpoint_resume_and_late_drops() {
+        use augur_telemetry::ManualTime;
+        let b = Broker::new();
+        b.create_topic("t", 1).unwrap();
+        for t in [10_000u64, 20_000, 5_000, 30_000] {
+            b.append(
+                "t",
+                Record::new(1, t.to_le_bytes().to_vec(), t).with_trace(TraceContext::root(7, t)),
+            )
+            .unwrap();
+        }
+        let log = EventLog::new(64);
+        let parent = TraceContext::root(7, u64::MAX);
+        let store: CheckpointStore<WindowState<u64>> = CheckpointStore::new(4);
+        let mut p = PipelineBuilder::new(b.clone(), "t", decode)
+            .watermark_bound_us(0)
+            .arrival_order(true)
+            .clock(ManualTime::shared())
+            .log(&log, parent)
+            .build();
+        // Crash after 3 records (checkpointing every 2), then resume.
+        p.run_windowed(
+            TumblingWindows::new(8_000),
+            CountAggregation,
+            Some((&store, 2)),
+            Some(3),
+            false,
+        )
+        .unwrap();
+        p.run_windowed(
+            TumblingWindows::new(8_000),
+            CountAggregation,
+            Some((&store, 2)),
+            None,
+            true,
+        )
+        .unwrap();
+        let records = log.drain();
+        let by_msg = |msg: &str| -> Vec<&augur_log::LogRecord> {
+            records.iter().filter(|r| r.msg == msg).collect()
+        };
+        // One run summary per bounded run, under the pipeline parent.
+        let runs = by_msg("pipeline/run");
+        assert_eq!(runs.len(), 2);
+        assert!(runs.iter().all(|r| r.trace_id == parent.trace_id));
+        assert_ne!(runs[0].span_id, runs[1].span_id, "ordinal-salted");
+        assert_eq!(runs[0].level, Level::Info);
+        // Checkpoint at offset 2 (run 1), resume from it (run 2).
+        let cp = by_msg("pipeline/checkpoint");
+        assert!(!cp.is_empty());
+        assert!(cp[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "offset" && *v == augur_log::FieldValue::U64(2)));
+        let resume = by_msg("pipeline/resume");
+        assert_eq!(resume.len(), 1);
+        assert!(resume[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "offset" && *v == augur_log::FieldValue::U64(2)));
+        // The late drop (5k behind the 20k watermark) is a WARN on the
+        // *producer's* chain with the lag spelled out. It appears twice:
+        // once pre-crash, once on replay after resume (the restored
+        // aggregator remembers its emitted watermark and re-drops it).
+        let late = by_msg("pipeline/late_drop");
+        assert_eq!(late.len(), 2);
+        for r in &late {
+            assert_eq!(r.level, Level::Warn);
+            assert_eq!(r.trace_id, TraceContext::root(7, 5_000).trace_id);
+        }
+        assert!(late[0]
+            .fields
+            .iter()
+            .any(|(k, v)| k == "lag_us" && *v == augur_log::FieldValue::U64(15_000)));
+        assert_eq!(log.dropped_records(), 0);
     }
 
     #[test]

@@ -34,9 +34,10 @@
 //!   reproducible for a fixed seed.
 //! - [`WatchServer`]: a `std::net` TCP endpoint (no async runtime)
 //!   serving `/metrics` (Prometheus), `/health` (JSON verdicts, 503 on
-//!   violation), `/slo` (budgets and burn rates), and a plain-text
-//!   dashboard at `/`. `crates/watch/src/serve.rs` is the sole
-//!   networking site `augur-audit` sanctions.
+//!   violation), `/slo` (budgets and burn rates), `/logs` (a JSONL tail
+//!   of the session's structured [`EventLog`](augur_log::EventLog)),
+//!   and a plain-text dashboard at `/`. `crates/watch/src/serve.rs` is
+//!   the sole networking site `augur-audit` sanctions.
 //!
 //! ## Example
 //!

@@ -9,6 +9,7 @@
 //! | `/metrics` | Prometheus text exposition of the live registry     |
 //! | `/health`  | JSON SLO verdicts; HTTP 503 when any rule is firing |
 //! | `/slo`     | JSON budget-remaining and burn rates per objective  |
+//! | `/logs`    | JSONL tail of the session's structured event log    |
 //! | `/`        | the plain-text dashboard                            |
 //!
 //! This file is the **sole sanctioned networking site** in the
@@ -169,11 +170,12 @@ fn route(path: &str, shared: &SharedState) -> (&'static str, &'static str, Strin
             let slos = shared.status.lock().clone();
             ("200 OK", "application/json", render_slo_json(&slos))
         }
+        "/logs" => ("200 OK", "application/x-ndjson", shared.logs.lock().clone()),
         "/" => ("200 OK", "text/plain", shared.dashboard.lock().clone()),
         _ => (
             "404 Not Found",
             "text/plain",
-            String::from("not found; routes: /metrics /health /slo /\n"),
+            String::from("not found; routes: /metrics /health /slo /logs /\n"),
         ),
     }
 }

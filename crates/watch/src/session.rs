@@ -16,8 +16,10 @@
 //! verdicts, and the alert event sequence — is bit-for-bit reproducible
 //! for a fixed seed.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
+use augur_log::{render_jsonl_line, EventLog, Level, LogRecord};
 use augur_store::{LsmParams, LsmStore};
 use augur_telemetry::{
     Counter, FlightRecorder, Histogram, ManualTime, NameId, Registry, TimeSource, TraceContext,
@@ -47,6 +49,12 @@ pub struct WatchConfig {
     /// cycle, in microseconds. 0 disables. This is the lever the
     /// acceptance tests use to reproduce a latency regression.
     pub inject_cycle_delay_us: u64,
+    /// Structured event-log ring capacity (records). The session drains
+    /// this ring every tick into the served `/logs` tail and the
+    /// `log_records_total` / `log_error_records_total` counters.
+    pub log_capacity: usize,
+    /// How many of the most recent log records the `/logs` tail keeps.
+    pub log_tail: usize,
 }
 
 impl Default for WatchConfig {
@@ -57,6 +65,8 @@ impl Default for WatchConfig {
             slos: Vec::new(),
             flight_capacity: 65_536,
             inject_cycle_delay_us: 0,
+            log_capacity: 4_096,
+            log_tail: 256,
         }
     }
 }
@@ -76,6 +86,9 @@ pub(crate) struct SharedState {
     pub(crate) registry: Registry,
     pub(crate) status: Mutex<Vec<SloStatus>>,
     pub(crate) dashboard: Mutex<String>,
+    /// The most recent log records, rendered as JSONL (what `/logs`
+    /// serves).
+    pub(crate) logs: Mutex<String>,
 }
 
 /// One observed run; see the module docs.
@@ -83,6 +96,7 @@ pub(crate) struct SharedState {
 pub struct WatchSession {
     registry: Registry,
     recorder: FlightRecorder,
+    log: EventLog,
     rollup: RollupEngine,
     slo: SloEngine,
     root: TraceContext,
@@ -96,6 +110,15 @@ pub struct WatchSession {
     flight_lost: Counter,
     prev_flight_total: u64,
     prev_flight_lost: u64,
+    /// Event-log accounting exported as registry counters (the
+    /// log-error-rate SLO's series), plus the bounded tail `/logs`
+    /// serves. The session drains the log ring every tick.
+    log_records: Counter,
+    log_errors: Counter,
+    log_dropped: Counter,
+    prev_log_dropped: u64,
+    log_tail: VecDeque<LogRecord>,
+    log_tail_cap: usize,
     last_now_us: u64,
     shared: Arc<SharedState>,
 }
@@ -118,12 +141,17 @@ impl WatchSession {
             registry: registry.clone(),
             status: Mutex::new(Vec::new()),
             dashboard: Mutex::new(String::new()),
+            logs: Mutex::new(String::new()),
         });
         let flight_events = registry.counter("flight_events_total");
         let flight_lost = registry.counter("flight_dropped_events_total");
+        let log_records = registry.counter("log_records_total");
+        let log_errors = registry.counter("log_error_records_total");
+        let log_dropped = registry.counter("log_dropped_records_total");
         Ok(WatchSession {
             registry,
             recorder,
+            log: EventLog::new(config.log_capacity),
             rollup,
             slo,
             root,
@@ -134,6 +162,12 @@ impl WatchSession {
             flight_lost,
             prev_flight_total: 0,
             prev_flight_lost: 0,
+            log_records,
+            log_errors,
+            log_dropped,
+            prev_log_dropped: 0,
+            log_tail: VecDeque::new(),
+            log_tail_cap: config.log_tail.max(1),
             last_now_us: 0,
             shared,
         })
@@ -147,6 +181,13 @@ impl WatchSession {
     /// The session's flight recorder (cloning shares the ring).
     pub fn recorder(&self) -> FlightRecorder {
         self.recorder.clone()
+    }
+
+    /// The session's structured event log (cloning shares the ring).
+    /// Workloads write decisions here; each tick the session drains
+    /// them into the served `/logs` tail and the log-rate counters.
+    pub fn log(&self) -> EventLog {
+        self.log.clone()
     }
 
     /// The session's deterministic root trace context. Alert instants
@@ -176,6 +217,7 @@ impl WatchSession {
     pub fn tick_to(&mut self, now_us: u64) {
         self.last_now_us = self.last_now_us.max(now_us);
         self.export_flight_loss();
+        self.drain_log();
         let closed = self.rollup.tick(now_us);
         for start in &closed {
             self.slo
@@ -196,6 +238,7 @@ impl WatchSession {
     /// whole run, and refreshes the served state. Call once per run.
     pub fn finish(&mut self) {
         self.export_flight_loss();
+        self.drain_log();
         if let Some(start) = self.rollup.flush(self.last_now_us) {
             self.slo
                 .evaluate_window(&self.rollup, start, &self.recorder, self.root);
@@ -252,11 +295,48 @@ impl WatchSession {
         self.prev_flight_lost = lost;
     }
 
-    /// Publishes current verdicts + dashboard to the serving thread.
+    /// Drains newly-arrived log records: counts them into the
+    /// `log_records_total` / `log_error_records_total` series (ERROR
+    /// and above count as errors), carries ring-drop accounting into
+    /// `log_dropped_records_total`, and appends to the bounded `/logs`
+    /// tail.
+    fn drain_log(&mut self) {
+        let drained = self.log.drain();
+        if !drained.is_empty() {
+            self.log_records.add(drained.len() as u64);
+            let errors = drained.iter().filter(|r| r.level >= Level::Error).count();
+            self.log_errors.add(errors as u64);
+            for r in drained {
+                if self.log_tail.len() == self.log_tail_cap {
+                    self.log_tail.pop_front();
+                }
+                self.log_tail.push_back(r);
+            }
+        }
+        let dropped = self.log.dropped_records();
+        self.log_dropped
+            .add(dropped.saturating_sub(self.prev_log_dropped));
+        self.prev_log_dropped = dropped;
+    }
+
+    /// The current `/logs` tail: the most recent records, one JSONL
+    /// line each, oldest first.
+    pub fn log_tail_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.log_tail {
+            out.push_str(&render_jsonl_line(r));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Publishes current verdicts + dashboard + log tail to the serving
+    /// thread.
     fn refresh_shared(&self) {
         let status = self.slo.status();
         *self.shared.dashboard.lock() = crate::dashboard::render(&status, &self.rollup);
         *self.shared.status.lock() = status;
+        *self.shared.logs.lock() = self.log_tail_jsonl();
     }
 
     /// Get-or-register the cycle latency histogram for `scenario`.
@@ -305,6 +385,7 @@ mod tests {
             }],
             flight_capacity: 1024,
             inject_cycle_delay_us: inject_us,
+            ..WatchConfig::default()
         }
     }
 
@@ -380,6 +461,32 @@ mod tests {
         session.tick_to(2_000);
         assert_eq!(registry.counter("flight_events_total").get(), 20);
         assert_eq!(registry.counter("flight_dropped_events_total").get(), 12);
+    }
+
+    #[test]
+    fn log_records_feed_counters_tail_and_logs_route() {
+        let mut cfg = test_config(0);
+        cfg.log_tail = 2;
+        let mut session = WatchSession::new(cfg).unwrap_or_else(|e| unreachable!("{e}"));
+        let log = session.log();
+        let site = augur_log::LogSite::unlimited();
+        let ctx = TraceContext::root(1, 2);
+        log.event(&site, augur_log::Level::Info, ctx, "work/step", 100, &[]);
+        log.event(&site, augur_log::Level::Info, ctx, "work/step", 200, &[]);
+        log.event(&site, augur_log::Level::Error, ctx, "work/boom", 300, &[]);
+        session.tick_to(1_000);
+        session.finish();
+        let registry = session.registry();
+        assert_eq!(registry.counter("log_records_total").get(), 3);
+        assert_eq!(registry.counter("log_error_records_total").get(), 1);
+        assert_eq!(registry.counter("log_dropped_records_total").get(), 0);
+        // The tail is bounded: only the 2 most recent records remain,
+        // and the serving thread sees the same rendered JSONL.
+        let tail = session.log_tail_jsonl();
+        assert_eq!(tail.lines().count(), 2);
+        assert!(tail.contains("work/boom"));
+        assert!(tail.contains("\"level\":\"error\""));
+        assert_eq!(*session.shared.logs.lock(), tail);
     }
 
     #[test]

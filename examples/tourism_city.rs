@@ -15,6 +15,12 @@
 //! regression and watch the frame objective blow its error budget (the
 //! example then exits 2, like `augur-watch`'s demo binary).
 //!
+//! Pass `--log` to run with the structured event log attached and
+//! write the canonical JSONL to `results/tourism.log.jsonl` —
+//! byte-identical across same-seed runs, so CI diffs it and
+//! `augur-doctor --logs` gates its WARN/ERROR patterns against
+//! `results/baseline/log_fingerprints.json`.
+//!
 //! Pass `--profile` to write deterministic flamegraph artifacts —
 //! `results/tourism_city.folded` (flamegraph.pl / inferno collapsed
 //! stacks) and `results/tourism_city.speedscope.json` (open at
@@ -22,8 +28,10 @@
 //! fixed seed, so both files are byte-identical across runs.
 
 use augur::core::tourism::{
-    run_instrumented, run_profiled, run_traced, run_watched, watch_config, TourismParams,
+    run_instrumented, run_logged, run_profiled, run_traced, run_watched, watch_config,
+    TourismParams,
 };
+use augur::log::{render_jsonl, EventLog};
 use augur::telemetry::{render_chrome_trace, render_span_breakdown, FlightRecorder, Registry};
 use augur::watch::WatchSession;
 
@@ -42,6 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = std::env::args().any(|a| a == "--trace");
     let watch = std::env::args().any(|a| a == "--watch");
     let profile_run = std::env::args().any(|a| a == "--profile");
+    let log_run = std::env::args().any(|a| a == "--log");
     let mut params = TourismParams::default();
     if watch {
         // A lighter tour keeps the healthy modeled frame p95 inside the
@@ -70,6 +79,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let speedscope = "results/tourism_city.speedscope.json";
         std::fs::write(speedscope, profile.render_speedscope("tourism_city"))?;
         println!("profile: wrote {folded} and {speedscope}");
+        report
+    } else if log_run {
+        // A denser tour (more labels per retrieval) forces the
+        // declutterer to shed bubbles, so the baseline fingerprint set
+        // exercises the WARN path, not just the summary record.
+        params.k = 64;
+        params.radius_m = 400.0;
+        let recorder = FlightRecorder::new(1 << 16);
+        let log = EventLog::new(1 << 14);
+        let report = run_logged(&params, &registry, &recorder, &log)?;
+        let records = log.drain();
+        std::fs::create_dir_all("results")?;
+        let path = "results/tourism.log.jsonl";
+        std::fs::write(path, render_jsonl(&records))?;
+        println!(
+            "log: wrote {path} ({} records, {} dropped)",
+            records.len(),
+            log.dropped_records()
+        );
         report
     } else if trace {
         let recorder = FlightRecorder::new(1 << 16);

@@ -59,6 +59,8 @@ pub use augur_cloud as cloud;
 pub use augur_core as core;
 /// Geospatial substrate: coordinates, indexes, POIs, city models.
 pub use augur_geo as geo;
+/// Deterministic structured event log with trace correlation.
+pub use augur_log as log;
 /// Privacy mechanisms and attack evaluations.
 pub use augur_privacy as privacy;
 /// Deterministic profiling: folded stacks, speedscope, allocation accounting.

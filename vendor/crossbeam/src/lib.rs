@@ -12,7 +12,7 @@ pub mod channel {
     use std::sync::mpsc;
     use std::time::Duration;
 
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
     /// Creates a bounded channel with the given capacity.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
@@ -37,6 +37,13 @@ pub mod channel {
         /// Blocks until the value is enqueued or all receivers are gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.inner.send(value)
+        }
+
+        /// Non-blocking send: `Err(TrySendError::Full)` when the channel
+        /// is at capacity (the backpressure-observed signal), handing the
+        /// value back for a subsequent blocking [`Sender::send`].
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(value)
         }
     }
 
