@@ -20,7 +20,7 @@ use crate::rules::{self, FilePolicy, Severity, Violation};
 
 /// Crates whose library code must be panic-free (the AR hot path: a panic
 /// here aborts a frame mid-flight).
-pub const HOT_CRATES: [&str; 11] = [
+pub const HOT_CRATES: [&str; 12] = [
     "stream",
     "geo",
     "store",
@@ -32,6 +32,7 @@ pub const HOT_CRATES: [&str; 11] = [
     "doctor",
     "watch",
     "profile",
+    "xray",
 ];
 
 /// Path fragments identifying simulation code, where wall-clock reads are

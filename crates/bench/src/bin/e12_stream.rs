@@ -2,14 +2,19 @@
 //! count, variety mix handling, and checkpoint/recovery cost.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
+use std::sync::Arc;
+
 use augur_bench::timed;
-use augur_bench::{f, header, profile_requested, row, sized, write_profile, BenchLog, Snapshot};
+use augur_bench::{
+    f, header, profile_requested, row, sized, write_profile, write_xray, xray_requested, BenchLog,
+    Snapshot,
+};
 use augur_profile::Profile;
 use augur_stream::window::CountAggregation;
 use augur_stream::{
-    Broker, CheckpointStore, PipelineBuilder, Record, TumblingWindows, WindowState,
+    Broker, CheckpointStore, ModeledCosts, PipelineBuilder, Record, TumblingWindows, WindowState,
 };
-use augur_telemetry::{FlightRecorder, TraceContext};
+use augur_telemetry::{FlightRecorder, ManualTime, Registry, TraceContext};
 use rand::{Rng, SeedableRng};
 
 fn fill(broker: &Broker, topic: &str, n: u64, schema_families: u32, seed: u64) {
@@ -201,6 +206,71 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          crash+resume ≈ uninterrupted cost; throughput scales with partitions\n\
          until the in-process merge dominates"
     );
+    if xray_requested() {
+        header(
+            "E12x",
+            "xray: modeled per-stage critical path & speedup bound",
+        );
+        // Modeled stage costs under ManualTime (1 unit ≙ 1 µs/record):
+        // the span tree and therefore the xray artifact are a pure
+        // function of the seed — byte-identical across runs, so CI can
+        // `cmp` them and `augur-doctor --xray` can gate on the shape.
+        // AUGUR_XRAY_SLOW_WINDOW=<us> injects extra per-record window
+        // cost: the red-gate probe that must flip the critical-path
+        // head to pipeline/window and trip the doctor.
+        let slow_window: u64 = std::env::var("AUGUR_XRAY_SLOW_WINDOW")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let costs = ModeledCosts {
+            read_us: 1,
+            transform_us: 3,
+            window_us: 2 + slow_window,
+        };
+        let xn = sized(20_000, 5_000) as u64;
+        let time = Arc::new(ManualTime::new());
+        let xreg = Registry::new();
+        let xrec = FlightRecorder::new(1 << 16);
+        let xroot = TraceContext::root(12, 0xE12A);
+        let broker = Broker::new();
+        broker.create_topic("xray", 4)?;
+        fill(&broker, "xray", xn, 3, 7);
+        let mut p = PipelineBuilder::new(broker.clone(), "xray", decode)
+            .registry(&xreg)
+            .modeled_costs(&time, costs)
+            .flight(&xrec, xroot.child(1))
+            .build();
+        let _ = p.collect()?;
+        let mut w = PipelineBuilder::new(broker, "xray", decode)
+            .watermark_bound_us(1_000)
+            .registry(&xreg)
+            .modeled_costs(&time, costs)
+            .flight(&xrec, xroot.child(2))
+            .build();
+        let _ = w.run_windowed(
+            TumblingWindows::new(1_000_000),
+            CountAggregation,
+            None,
+            None,
+            false,
+        )?;
+        let events = xrec.drain();
+        let report = augur_xray::analyze("e12_stream", &events, xrec.dropped_events())
+            .with_registry(&xreg.snapshot());
+        print!("{}", report.render_panel());
+        if slow_window == 0 {
+            // The number the sharding arc (ROADMAP item 1) must beat:
+            // read(1)+transform(3) in collect plus read(1)+window(2) in
+            // the windowed run bound pipelined speedup at 7/3 ≈ 2.33x.
+            assert!(
+                report.parallel_speedup_bound > 1.5,
+                "stage layout must leave >1.5x pipelining headroom, got {:.2}x",
+                report.parallel_speedup_bound
+            );
+            assert_eq!(report.head(), Some("pipeline/transform"));
+        }
+        write_xray("e12_stream", &report)?;
+    }
     if profiling {
         write_profile("e12_stream", &Profile::from_events(&recorder.drain()))?;
     }

@@ -7,7 +7,8 @@
 
 use augur_analytics::{BatchAggregator, IncrementalView};
 use augur_bench::{
-    f, header, profile_requested, row, smoke, timed, timed_mean, write_profile, BenchLog, Snapshot,
+    f, header, profile_requested, row, smoke, timed, timed_mean, write_profile, write_xray,
+    xray_requested, BenchLog, Snapshot,
 };
 use augur_log::Arg;
 use augur_profile::Profile;
@@ -30,10 +31,13 @@ fn main() {
     snap.param_num("frame_budget_us", FRAME_BUDGET_US);
     snap.param_num("groups", 50.0);
     snap.param_num("max_events", volumes[volumes.len() - 1] as f64);
-    // --profile: record the modeled costs as a span tree on a ManualTime
-    // clock (1 work unit ≙ 1 µs), so the artifacts are byte-identical
-    // across runs even though the measured timings above vary.
+    // --profile / --xray: record the modeled costs as a span tree on a
+    // ManualTime clock (1 work unit ≙ 1 µs), so the artifacts are
+    // byte-identical across runs even though the measured timings above
+    // vary.
     let profiling = profile_requested();
+    let xraying = xray_requested();
+    let recording = profiling || xraying;
     let blog = BenchLog::new("e2_timeliness");
     let recorder = FlightRecorder::new(4096);
     let clock = ManualTime::shared();
@@ -93,7 +97,7 @@ fn main() {
         snap.gauge("batch_recompute_modeled_us", &labels, n as f64);
         snap.gauge("incremental_update_modeled_us", &labels, 1.0);
         snap.gauge("groups_active", &labels, result.len() as f64);
-        if profiling {
+        if recording {
             let vol = format!("e2/vol_{n}");
             let vol_name = recorder.intern(&vol);
             let vol_ctx = flight_root.child(n);
@@ -137,10 +141,17 @@ fn main() {
     if let Some(n) = crossover {
         snap.gauge("crossover_events", &[], n as f64);
     }
-    if profiling {
+    if recording {
         recorder.record_span(flight_root, root_name, run_t0, clock.now_micros() - run_t0);
-        write_profile("e2_timeliness", &Profile::from_events(&recorder.drain()))
-            .expect("profile write");
+        let events = recorder.drain();
+        if profiling {
+            write_profile("e2_timeliness", &Profile::from_events(&events)).expect("profile write");
+        }
+        if xraying {
+            let report = augur_xray::analyze("e2_timeliness", &events, recorder.dropped_events());
+            print!("{}", report.render_panel());
+            write_xray("e2_timeliness", &report).expect("xray write");
+        }
     }
     blog.finish();
     snap.write().expect("snapshot write");

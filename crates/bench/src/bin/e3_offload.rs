@@ -2,7 +2,10 @@
 //! break-even compute demand per network profile.
 #![allow(clippy::unwrap_used, clippy::expect_used)] // experiment drivers: setup failure is fatal by design
 
-use augur_bench::{f, header, profile_requested, row, smoke, write_profile, BenchLog, Snapshot};
+use augur_bench::{
+    f, header, profile_requested, row, smoke, write_profile, write_xray, xray_requested, BenchLog,
+    Snapshot,
+};
 use augur_cloud::{
     best_plan_logged, estimate, estimate_flight, estimate_traced, ComputeResource, EnergyParams,
     NetworkProfile, OffloadPlan, TaskGraph,
@@ -33,6 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let blog = BenchLog::new("e3_offload");
     let mut plan_seq = 0u64;
     let profiling = profile_requested();
+    let xraying = xray_requested();
+    let recording = profiling || xraying;
     let recorder = FlightRecorder::new(1 << 16);
     let flight_root = TraceContext::root(3, 0xE3);
 
@@ -81,9 +86,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
             // Re-estimate the winning plan traced so per-task spans and
             // headline gauges land in the snapshot registry; under
-            // --profile the flight variant also records the per-task
-            // span tree (identical metrics otherwise).
-            if profiling {
+            // --profile / --xray the flight variant also records the
+            // per-task span tree (identical metrics otherwise).
+            if recording {
                 let _ = estimate_flight(
                     &graph,
                     &plan,
@@ -131,8 +136,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          demand than LTE/3G; heavy analytics always offloads — the paper's cloud\n\
          argument HOLDS if the break-even ordering follows network speed"
     );
-    if profiling {
-        write_profile("e3_offload", &Profile::from_events(&recorder.drain()))?;
+    if recording {
+        let events = recorder.drain();
+        if profiling {
+            write_profile("e3_offload", &Profile::from_events(&events))?;
+        }
+        if xraying {
+            let report = augur_xray::analyze("e3_offload", &events, recorder.dropped_events());
+            print!("{}", report.render_panel());
+            write_xray("e3_offload", &report)?;
+        }
     }
     blog.finish();
     snap.write()?;

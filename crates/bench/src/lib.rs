@@ -53,6 +53,30 @@ pub fn write_profile(bench: &str, profile: &Profile) -> io::Result<(PathBuf, Pat
     Ok((folded, speedscope))
 }
 
+/// True when the binary should emit an xray bottleneck artifact: the
+/// `--xray` flag is present or `AUGUR_XRAY` is set in the environment.
+pub fn xray_requested() -> bool {
+    std::env::args().any(|a| a == "--xray") || std::env::var_os("AUGUR_XRAY").is_some()
+}
+
+/// Writes `report` as `<out_dir>/<bench>.xray.json` — the canonical
+/// single-line JSON `augur-doctor --xray` diffs against a committed
+/// baseline — printing and returning the path. Reports over modeled
+/// time under fixed seeds are byte-identical across runs (CI `cmp`s
+/// two back-to-back runs to enforce this).
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn write_xray(bench: &str, report: &augur_xray::XrayReport) -> io::Result<PathBuf> {
+    let dir = out_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{bench}.xray.json"));
+    std::fs::write(&path, report.render_json())?;
+    out_line(&format!("xray: {}", path.display()));
+    Ok(path)
+}
+
 /// The minimum severity a bench binary keeps in its event log:
 /// `--log-level <level>` (or `--log-level=<level>`) on the command
 /// line, else the `AUGUR_LOG` environment variable, else INFO — WARN

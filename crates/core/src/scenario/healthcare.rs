@@ -172,6 +172,24 @@ pub fn run_profiled(
     })
 }
 
+/// [`run_traced`] analyzed into an [`augur_xray::XrayReport`]:
+/// critical-path ranking, work/span parallel speedup bounds, and a
+/// per-stage queueing model over the run's spans (plus live pipeline
+/// queue occupancy where the scenario runs one). Same-seed runs render
+/// byte-identical xray JSON.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_xray(
+    params: &HealthcareParams,
+    registry: &Registry,
+) -> Result<(HealthcareReport, augur_xray::XrayReport), CoreError> {
+    super::xray_run("healthcare", registry, |rec| {
+        run_inner(params, registry, Some(rec), None, None)
+    })
+}
+
 /// Detector records processed per observed watch cycle (see
 /// [`run_watched`]): the detect stage reports once per chunk, so a
 /// healthy cycle models ~1 ms of work.

@@ -36,6 +36,12 @@
 //! ready to export as a flamegraph (`render_folded`) or speedscope
 //! document. Same-seed runs produce byte-identical artifacts.
 
+//! Each also exposes `run_xray(params, &Registry)`: the traced run
+//! analyzed into an [`augur_xray::XrayReport`] — critical-path ranking,
+//! work/span parallel speedup bounds, and a per-stage queueing model —
+//! the numbers ROADMAP item 1's sharding must beat. Same-seed runs
+//! render byte-identical xray JSON.
+
 //! And each exposes `run_logged(params, &Registry, &FlightRecorder,
 //! &EventLog)`: the traced run plus a **structured event log** of the
 //! run's decisions — stream drop/checkpoint/resume rationale, stage
@@ -54,6 +60,7 @@ use augur_log::{Arg, EventLog, Level, LogSite};
 use augur_profile::Profile;
 use augur_telemetry::{FlightRecorder, NameId, Registry, TraceContext};
 use augur_watch::{BurnRule, Objective, SloSpec};
+use augur_xray::XrayReport;
 
 use crate::error::CoreError;
 
@@ -142,6 +149,27 @@ pub(crate) fn profiled_run<R>(
     let mut profile = Profile::from_events(&recorder.drain());
     profile.attach_alloc(&stats);
     Ok((report, profile))
+}
+
+/// Shared implementation of the scenarios' `run_xray` variants: runs
+/// `run` against a fresh flight ring (sized like the profiling ring so
+/// default-parameter runs never wrap), then analyzes the drained spans
+/// into an [`XrayReport`] — critical-path ranking, work/span speedup
+/// bounds, per-stage queueing model — and merges the registry's
+/// `pipeline_queue_*` metrics into the queue view. A lossy drain flags
+/// the report `truncated` instead of returning a silently wrong
+/// critical path.
+pub(crate) fn xray_run<R>(
+    scenario: &str,
+    registry: &Registry,
+    run: impl FnOnce(&FlightRecorder) -> Result<R, CoreError>,
+) -> Result<(R, XrayReport), CoreError> {
+    let recorder = FlightRecorder::new(PROFILE_FLIGHT_CAPACITY);
+    let report = run(&recorder)?;
+    let events = recorder.drain();
+    let xray = augur_xray::analyze(scenario, &events, recorder.dropped_events())
+        .with_registry(&registry.snapshot());
+    Ok((report, xray))
 }
 
 /// Structured-log wiring shared by the scenario runners. The root

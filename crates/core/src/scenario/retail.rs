@@ -184,6 +184,24 @@ pub fn run_profiled(
     })
 }
 
+/// [`run_traced`] analyzed into an [`augur_xray::XrayReport`]:
+/// critical-path ranking, work/span parallel speedup bounds, and a
+/// per-stage queueing model over the run's spans (plus live pipeline
+/// queue occupancy where the scenario runs one). Same-seed runs render
+/// byte-identical xray JSON.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_xray(
+    params: &RetailParams,
+    registry: &Registry,
+) -> Result<(RetailReport, augur_xray::XrayReport), CoreError> {
+    super::xray_run("retail", registry, |rec| {
+        run_inner(params, registry, Some(rec), None, None)
+    })
+}
+
 /// The scenario's declared service-level objective: p95 stage latency
 /// (`frame_latency_us{scenario=retail}` — each of log/train/evaluate/
 /// session is one observed cycle) at or under 50 ms of modeled work, so

@@ -163,6 +163,24 @@ pub fn run_profiled(
     })
 }
 
+/// [`run_traced`] analyzed into an [`augur_xray::XrayReport`]:
+/// critical-path ranking, work/span parallel speedup bounds, and a
+/// per-stage queueing model over the run's spans (plus live pipeline
+/// queue occupancy where the scenario runs one). Same-seed runs render
+/// byte-identical xray JSON.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_xray(
+    params: &TourismParams,
+    registry: &Registry,
+) -> Result<(TourismReport, augur_xray::XrayReport), CoreError> {
+    super::xray_run("tourism", registry, |rec| {
+        run_inner(params, registry, Some(rec), None, None)
+    })
+}
+
 /// The scenario's declared service-level objectives: a 60 FPS frame
 /// budget — p95 of `frame_latency_us{scenario=tourism}` at or under
 /// 16.6 ms of modeled work — guarded by a fast and a slow multi-window

@@ -189,6 +189,24 @@ pub fn run_profiled(
     })
 }
 
+/// [`run_traced`] analyzed into an [`augur_xray::XrayReport`]:
+/// critical-path ranking, work/span parallel speedup bounds, and a
+/// per-stage queueing model over the run's spans (plus live pipeline
+/// queue occupancy where the scenario runs one). Same-seed runs render
+/// byte-identical xray JSON.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_xray(
+    params: &TrafficParams,
+    registry: &Registry,
+) -> Result<(TrafficReport, augur_xray::XrayReport), CoreError> {
+    super::xray_run("traffic", registry, |rec| {
+        run_inner(params, registry, Some(rec), None, None)
+    })
+}
+
 /// The scenario's declared service-level objective: p95 per-step beacon
 /// processing latency (`frame_latency_us{scenario=traffic}`, modeled
 /// one work unit per beacon sent) at or under 10 ms — the windshield

@@ -34,6 +34,8 @@ pub mod logs;
 pub mod profile_diff;
 /// Trend fitting over snapshot histories (`--trend`).
 pub mod trend;
+/// Bottleneck-shape gate over xray artifacts (`--xray`).
+pub mod xray;
 
 /// Which tolerance rule a metric falls under, derived from its name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -31,6 +31,12 @@
 //! JSONL event log against a committed baseline and exits 1 on any
 //! novel pattern. `--json <path>` here writes the current fingerprint
 //! set in baseline format — the way to refresh the committed file.
+//!
+//! Xray-gate mode (`--xray <current.xray.json> <baseline.xray.json>`,
+//! exclusive with the others) diffs two bottleneck reports and exits 1
+//! when the critical-path head moved (naming the new head), any
+//! stage's critical-path share grew past tolerance, the parallel
+//! speedup bound dropped, or the current report is truncated.
 
 use std::path::PathBuf;
 
@@ -42,6 +48,7 @@ use augur_doctor::profile_diff::{
     has_profile_regressions, render_profile_diff_markdown, run_profile_diff,
 };
 use augur_doctor::trend::{has_drift, render_trend_markdown, run_trend};
+use augur_doctor::xray::{has_xray_regressions, render_xray_markdown, run_xray_gate};
 use augur_doctor::{has_regressions, render_json, render_markdown, run_gate, Tolerances};
 
 enum Mode {
@@ -62,12 +69,17 @@ enum Mode {
         baseline: PathBuf,
         json_out: Option<PathBuf>,
     },
+    Xray {
+        current: PathBuf,
+        baseline: PathBuf,
+    },
 }
 
 const USAGE: &str = "usage: augur-doctor --baseline <dir> --current <dir> [--json <path>]\n\
        augur-doctor --trend <dir>\n\
        augur-doctor --profile-diff <baseline.folded> <current.folded>\n\
-       augur-doctor --logs <current.jsonl> <baseline.json> [--json <path>]";
+       augur-doctor --logs <current.jsonl> <baseline.json> [--json <path>]\n\
+       augur-doctor --xray <current.xray.json> <baseline.xray.json>";
 
 fn parse_args() -> Result<Mode, String> {
     let mut baseline = None;
@@ -76,6 +88,7 @@ fn parse_args() -> Result<Mode, String> {
     let mut trend = None;
     let mut profile_diff = None;
     let mut logs = None;
+    let mut xray = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut take = |name: &str| {
@@ -97,9 +110,29 @@ fn parse_args() -> Result<Mode, String> {
                 let base = PathBuf::from(take("--logs")?);
                 logs = Some((cur, base));
             }
+            "--xray" => {
+                let cur = PathBuf::from(take("--xray")?);
+                let base = PathBuf::from(take("--xray")?);
+                xray = Some((cur, base));
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
         }
+    }
+    if let Some((cur, base)) = xray {
+        if baseline.is_some()
+            || current.is_some()
+            || json_out.is_some()
+            || trend.is_some()
+            || profile_diff.is_some()
+            || logs.is_some()
+        {
+            return Err(format!("--xray is exclusive with other modes\n{USAGE}"));
+        }
+        return Ok(Mode::Xray {
+            current: cur,
+            baseline: base,
+        });
     }
     if let Some((cur, base)) = logs {
         if baseline.is_some() || current.is_some() || trend.is_some() || profile_diff.is_some() {
@@ -146,6 +179,21 @@ fn run() -> i32 {
         }
     };
     match mode {
+        Mode::Xray { current, baseline } => {
+            let report = match run_xray_gate(&current, &baseline) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("augur-doctor: xray gate failed: {e}");
+                    return 2;
+                }
+            };
+            print!("{}", render_xray_markdown(&report));
+            if has_xray_regressions(&report) {
+                1
+            } else {
+                0
+            }
+        }
         Mode::Logs {
             current,
             baseline,

@@ -1,0 +1,333 @@
+//! Xray-gate mode (`--xray`): bottleneck-shape regression detection.
+//!
+//! The pairwise gate watches scalar metrics; this mode watches the
+//! *shape* of the bottleneck. It diffs two `*.xray.json` artifacts (the
+//! canonical reports `augur-xray` renders, byte-stable for a fixed
+//! seed) and fails when the current run's bottleneck profile regressed
+//! against the committed baseline:
+//!
+//! - **Head change**: the heaviest critical-path frame is a different
+//!   stage than the baseline's — the bottleneck moved, and the report
+//!   names where it moved to (this is the red-gate CI relies on: an
+//!   injected single-stage slowdown must surface here by name).
+//! - **Share regression**: any stage's critical-path share grew by more
+//!   than [`SHARE_TOLERANCE`] absolute — one stage is eating a larger
+//!   fraction of end-to-end latency.
+//! - **Bound drop**: `parallel_speedup_bound` fell by more than
+//!   [`BOUND_DROP_TOLERANCE`] relative — the ceiling the sharding arc
+//!   (ROADMAP item 1) is chasing got lower.
+//! - **Truncation**: the current report was built from a lossy drain
+//!   (`"truncated": true`); a critical path with holes must not pass a
+//!   gate quietly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use augur_semantic::json::JsonValue;
+
+/// Absolute growth in a stage's critical-path share tolerated before
+/// the gate fails (shares are fractions in `0..=1`).
+pub const SHARE_TOLERANCE: f64 = 0.05;
+
+/// Relative drop in `parallel_speedup_bound` tolerated before the gate
+/// fails.
+pub const BOUND_DROP_TOLERANCE: f64 = 0.10;
+
+/// The gate-relevant slice of one xray artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XraySummary {
+    /// Scenario the report covers (`"xray"` field).
+    pub scenario: String,
+    /// Heaviest critical-path frame, `None` for an empty drain.
+    pub head: Option<String>,
+    /// The parallel speedup bound headline.
+    pub bound: f64,
+    /// Whether the drain behind the report dropped events.
+    pub truncated: bool,
+    /// Critical-path share per stage name.
+    pub shares: BTreeMap<String, f64>,
+}
+
+/// Outcome of diffing a current xray artifact against the baseline.
+#[derive(Debug, Clone)]
+pub struct XrayGateReport {
+    /// The committed baseline's summary.
+    pub baseline: XraySummary,
+    /// The current run's summary.
+    pub current: XraySummary,
+    /// Human-readable regression statements; any entry fails the gate.
+    pub regressions: Vec<String>,
+}
+
+/// Parses the gate-relevant fields out of an xray artifact.
+///
+/// # Errors
+///
+/// Shape mismatches surface as [`io::ErrorKind::InvalidData`] — a
+/// malformed artifact must not silently pass the gate.
+pub fn parse_xray_report(text: &str) -> io::Result<XraySummary> {
+    let bad = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+    let doc = JsonValue::parse(text).map_err(|e| bad(format!("invalid JSON ({e})")))?;
+    let scenario = doc
+        .field("xray")
+        .and_then(|v| v.as_str().map(str::to_string))
+        .map_err(|e| bad(format!("missing xray scenario ({e})")))?;
+    let truncated = match doc.field("truncated") {
+        Ok(JsonValue::Bool(b)) => *b,
+        Ok(other) => {
+            return Err(bad(format!(
+                "truncated: expected bool, found {}",
+                other.to_json()
+            )))
+        }
+        Err(e) => return Err(bad(format!("missing truncated ({e})"))),
+    };
+    let bound = doc
+        .field("speedup")
+        .and_then(|s| s.field("parallel_speedup_bound"))
+        .and_then(|v| v.as_f64())
+        .map_err(|e| bad(format!("missing speedup.parallel_speedup_bound ({e})")))?;
+    let head = match doc.field("head") {
+        Ok(JsonValue::Null) => None,
+        Ok(v) => Some(
+            v.as_str()
+                .map(str::to_string)
+                .map_err(|e| bad(format!("head: {e}")))?,
+        ),
+        Err(e) => return Err(bad(format!("missing head ({e})"))),
+    };
+    let mut shares = BTreeMap::new();
+    let frames = doc
+        .field("critical_path")
+        .and_then(|v| v.as_array())
+        .map_err(|e| bad(format!("missing critical_path ({e})")))?;
+    for frame in frames {
+        let name = frame
+            .field("name")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .map_err(|e| bad(format!("critical_path frame missing name ({e})")))?;
+        let share = frame
+            .field("share")
+            .and_then(|v| v.as_f64())
+            .map_err(|e| bad(format!("critical_path frame missing share ({e})")))?;
+        shares.insert(name, share);
+    }
+    Ok(XraySummary {
+        scenario,
+        head,
+        bound,
+        truncated,
+        shares,
+    })
+}
+
+/// Diffs two summaries into the gate verdict (pure; see
+/// [`run_xray_gate`] for the file-reading front end).
+pub fn diff_xray(baseline: XraySummary, current: XraySummary) -> XrayGateReport {
+    let mut regressions = Vec::new();
+    if current.truncated {
+        regressions.push(
+            "current report is truncated (lossy flight drain) — its critical path has holes; \
+             rerun with a larger ring before gating"
+                .to_string(),
+        );
+    }
+    if current.head != baseline.head {
+        let name = |h: &Option<String>| h.clone().unwrap_or_else(|| "(none)".to_string());
+        regressions.push(format!(
+            "critical-path head moved: `{}` -> `{}` — the bottleneck is now {}",
+            name(&baseline.head),
+            name(&current.head),
+            name(&current.head),
+        ));
+    }
+    for (stage, &cur) in &current.shares {
+        let base = baseline.shares.get(stage).copied().unwrap_or(0.0);
+        if cur - base > SHARE_TOLERANCE {
+            regressions.push(format!(
+                "stage `{stage}` critical-path share grew {:.1}% -> {:.1}% \
+                 (+{:.1} pts > {:.0} pt tolerance)",
+                base * 100.0,
+                cur * 100.0,
+                (cur - base) * 100.0,
+                SHARE_TOLERANCE * 100.0,
+            ));
+        }
+    }
+    if current.bound < baseline.bound * (1.0 - BOUND_DROP_TOLERANCE) {
+        regressions.push(format!(
+            "parallel speedup bound dropped {:.2}x -> {:.2}x \
+             (more than {:.0}% — the sharding headroom shrank)",
+            baseline.bound,
+            current.bound,
+            BOUND_DROP_TOLERANCE * 100.0,
+        ));
+    }
+    XrayGateReport {
+        baseline,
+        current,
+        regressions,
+    }
+}
+
+/// Diffs a current xray artifact against a committed baseline artifact.
+///
+/// # Errors
+///
+/// I/O errors reading either file; malformed content surfaces as
+/// [`io::ErrorKind::InvalidData`] naming the offending file.
+pub fn run_xray_gate(current: &Path, baseline: &Path) -> io::Result<XrayGateReport> {
+    let label =
+        |path: &Path, e: io::Error| io::Error::new(e.kind(), format!("{}: {e}", path.display()));
+    let cur_text = std::fs::read_to_string(current).map_err(|e| label(current, e))?;
+    let cur = parse_xray_report(&cur_text).map_err(|e| label(current, e))?;
+    let base_text = std::fs::read_to_string(baseline).map_err(|e| label(baseline, e))?;
+    let base = parse_xray_report(&base_text).map_err(|e| label(baseline, e))?;
+    Ok(diff_xray(base, cur))
+}
+
+/// True when the bottleneck shape regressed; the CLI exits 1.
+pub fn has_xray_regressions(report: &XrayGateReport) -> bool {
+    !report.regressions.is_empty()
+}
+
+/// Renders the gate verdict: the share table, the bound movement, and
+/// every regression statement.
+pub fn render_xray_markdown(report: &XrayGateReport) -> String {
+    let mut out = String::from("# augur-doctor xray gate\n\n");
+    let name = |h: &Option<String>| h.clone().unwrap_or_else(|| "(none)".to_string());
+    let _ = writeln!(
+        out,
+        "scenario `{}`: head `{}` (baseline `{}`), speedup bound {:.2}x (baseline {:.2}x)\n",
+        report.current.scenario,
+        name(&report.current.head),
+        name(&report.baseline.head),
+        report.current.bound,
+        report.baseline.bound,
+    );
+    out.push_str("| stage | baseline share | current share | delta |\n|---|---|---|---|\n");
+    let mut stages: Vec<&String> = report
+        .baseline
+        .shares
+        .keys()
+        .chain(report.current.shares.keys())
+        .collect();
+    stages.sort();
+    stages.dedup();
+    for stage in stages {
+        let base = report.baseline.shares.get(stage).copied().unwrap_or(0.0);
+        let cur = report.current.shares.get(stage).copied().unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "| `{stage}` | {:.1}% | {:.1}% | {:+.1} pts |",
+            base * 100.0,
+            cur * 100.0,
+            (cur - base) * 100.0,
+        );
+    }
+    if report.regressions.is_empty() {
+        out.push_str("\nNo xray regressions: bottleneck shape matches the baseline.\n");
+    } else {
+        let _ = writeln!(
+            out,
+            "\n**XRAY REGRESSIONS**: {} finding(s)\n",
+            report.regressions.len()
+        );
+        for r in &report.regressions {
+            let _ = writeln!(out, "- {r}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(head: &str, head_share: f64, other_share: f64, bound: f64) -> String {
+        format!(
+            "{{\"xray\":\"t\",\"truncated\":false,\"events\":{{\"total\":4,\"dropped\":0}},\
+             \"roots\":1,\"makespan_us\":100,\"work_us\":100,\"span_us\":100,\
+             \"speedup\":{{\"work_span_bound\":1,\"stage_bound\":{bound},\
+             \"parallel_speedup_bound\":{bound}}},\"head\":\"{head}\",\
+             \"critical_path\":[{{\"name\":\"{head}\",\"self_us\":60,\"count\":1,\
+             \"share\":{head_share}}},{{\"name\":\"other\",\"self_us\":40,\"count\":1,\
+             \"share\":{other_share}}}],\"stages\":[],\"queues\":[]}}"
+        )
+    }
+
+    fn parse(text: &str) -> XraySummary {
+        parse_xray_report(text).unwrap_or_else(|e| unreachable!("{e}"))
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let a = parse(&artifact("transform", 0.6, 0.4, 2.0));
+        let report = diff_xray(a.clone(), a);
+        assert!(!has_xray_regressions(&report));
+        assert!(render_xray_markdown(&report).contains("No xray regressions"));
+    }
+
+    #[test]
+    fn head_change_is_named() {
+        let base = parse(&artifact("transform", 0.6, 0.4, 2.0));
+        let cur = parse(&artifact("window", 0.6, 0.4, 2.0));
+        let report = diff_xray(base, cur);
+        assert!(has_xray_regressions(&report));
+        let md = render_xray_markdown(&report);
+        assert!(
+            md.contains("the bottleneck is now window"),
+            "the new head must be named: {md}"
+        );
+    }
+
+    #[test]
+    fn share_growth_past_tolerance_fails() {
+        let base = parse(&artifact("transform", 0.60, 0.40, 2.0));
+        let cur = parse(&artifact("transform", 0.66, 0.34, 2.0));
+        let report = diff_xray(base, cur);
+        assert!(has_xray_regressions(&report));
+        assert!(report.regressions[0].contains("`transform`"));
+        // Growth inside tolerance passes.
+        let base = parse(&artifact("transform", 0.60, 0.40, 2.0));
+        let cur = parse(&artifact("transform", 0.64, 0.36, 2.0));
+        assert!(!has_xray_regressions(&diff_xray(base, cur)));
+    }
+
+    #[test]
+    fn bound_drop_past_tolerance_fails() {
+        let base = parse(&artifact("transform", 0.6, 0.4, 2.0));
+        let cur = parse(&artifact("transform", 0.6, 0.4, 1.7));
+        let report = diff_xray(base, cur);
+        assert!(has_xray_regressions(&report));
+        assert!(report.regressions[0].contains("speedup bound dropped"));
+        // A 5% dip stays inside the 10% tolerance.
+        let base = parse(&artifact("transform", 0.6, 0.4, 2.0));
+        let cur = parse(&artifact("transform", 0.6, 0.4, 1.9));
+        assert!(!has_xray_regressions(&diff_xray(base, cur)));
+    }
+
+    #[test]
+    fn truncated_current_fails_loudly() {
+        let base = parse(&artifact("transform", 0.6, 0.4, 2.0));
+        let text = artifact("transform", 0.6, 0.4, 2.0)
+            .replace("\"truncated\":false", "\"truncated\":true");
+        let report = diff_xray(base, parse(&text));
+        assert!(has_xray_regressions(&report));
+        assert!(report.regressions[0].contains("truncated"));
+    }
+
+    #[test]
+    fn malformed_artifact_is_invalid_data() {
+        let err = parse_xray_report("{\"xray\":\"t\"}")
+            .err()
+            .unwrap_or_else(|| unreachable!());
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = parse_xray_report("not json")
+            .err()
+            .unwrap_or_else(|| unreachable!());
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -11,14 +11,15 @@
 //! order-insensitive function of the drained events: two drains of the
 //! same recorded stream — or two same-seed runs under
 //! [`augur_telemetry::ManualTime`] — produce identical profiles.
+//!
+//! Tree reconstruction (parent links, orphan roots, duplicate-id and
+//! cycle handling) lives in [`augur_telemetry::SpanForest`], shared
+//! with `augur-xray`'s critical-path extraction so the two analyses
+//! can never disagree about the shape of a trace.
 
 use std::collections::BTreeMap;
 
-use augur_telemetry::{FlightEvent, FlightEventKind};
-
-/// Caps parent-chain walks so a corrupt drain (cyclic parent links)
-/// cannot loop the fold.
-const MAX_DEPTH: usize = 64;
+use augur_telemetry::{FlightEvent, SpanForest};
 
 /// One stack path's aggregated cost (top-down view row).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,49 +78,26 @@ impl Profile {
     /// skipped. A span whose parent is absent from the drain (dropped
     /// by the ring, or `parent_span_id == 0`) is treated as a root.
     pub fn from_events(events: &[FlightEvent]) -> Profile {
-        // First occurrence wins on span-id collisions, matching drain order.
-        let mut by_id: BTreeMap<u64, &FlightEvent> = BTreeMap::new();
-        let mut child_dur: BTreeMap<u64, u64> = BTreeMap::new();
-        for ev in events {
-            if ev.kind == FlightEventKind::Span {
-                by_id.entry(ev.span_id).or_insert(ev);
-            }
-        }
-        for ev in events {
-            if ev.kind == FlightEventKind::Span
-                && ev.parent_span_id != 0
-                && ev.parent_span_id != ev.span_id
-                && by_id.contains_key(&ev.parent_span_id)
-            {
-                let dur = child_dur.entry(ev.parent_span_id).or_insert(0);
-                *dur = dur.saturating_add(ev.dur_us);
-            }
-        }
+        let forest = SpanForest::build(events);
         let mut paths: BTreeMap<String, PathAgg> = BTreeMap::new();
-        for ev in events {
-            if ev.kind != FlightEventKind::Span {
-                continue;
-            }
-            let mut names = vec![sanitize(&ev.name)];
-            let mut cursor = ev.parent_span_id;
-            while cursor != 0 && names.len() < MAX_DEPTH {
-                let Some(parent) = by_id.get(&cursor) else {
-                    break;
-                };
-                names.push(sanitize(&parent.name));
-                if parent.parent_span_id == parent.span_id {
-                    break;
-                }
-                cursor = parent.parent_span_id;
-            }
-            names.reverse();
-            let path = names.join(";");
-            let children = child_dur.get(&ev.span_id).copied().unwrap_or(0);
+        for (idx, node) in forest.nodes().iter().enumerate() {
+            let path = forest
+                .ancestry(idx)
+                .into_iter()
+                .filter_map(|i| forest.nodes().get(i))
+                .map(|n| sanitize(&n.name))
+                .collect::<Vec<String>>()
+                .join(";");
+            // Duplicate-id children fold under the first occurrence, so
+            // the shared forest's per-node child sum matches the
+            // historical per-id fold only when charged to that first
+            // occurrence; `child_dur_us` encodes exactly that rule.
+            let children = forest.child_dur_us(idx);
             let agg = paths.entry(path).or_default();
-            agg.inclusive_us = agg.inclusive_us.saturating_add(ev.dur_us);
+            agg.inclusive_us = agg.inclusive_us.saturating_add(node.dur_us);
             agg.self_us = agg
                 .self_us
-                .saturating_add(ev.dur_us.saturating_sub(children));
+                .saturating_add(node.dur_us.saturating_sub(children));
             agg.count += 1;
         }
         Profile {

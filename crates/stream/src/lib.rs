@@ -57,7 +57,7 @@ pub use checkpoint::{Checkpoint, CheckpointStore};
 /// The crate error type, re-exported from [`error`].
 pub use error::StreamError;
 /// Pipeline types re-exported from [`pipeline`].
-pub use pipeline::{Pipeline, PipelineBuilder, PipelineMetrics, StopHandle};
+pub use pipeline::{ModeledCosts, Pipeline, PipelineBuilder, PipelineMetrics, StopHandle};
 /// Record types re-exported from [`record`].
 pub use record::{Offset, PartitionId, PolledRecord, Record};
 /// Watermark types re-exported from [`watermark`].

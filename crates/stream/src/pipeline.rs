@@ -24,8 +24,8 @@ use std::sync::Arc;
 
 use augur_log::{EventLog, Level, LogSite, SymId, Value};
 use augur_telemetry::{
-    Clock, Counter, FlightRecorder, Histogram, MonotonicTime, NameId, Registry, TraceContext,
-    Tracer,
+    Clock, Counter, FlightRecorder, Gauge, Histogram, ManualTime, MonotonicTime, NameId, Registry,
+    TraceContext, Tracer,
 };
 use crossbeam::channel;
 
@@ -81,6 +81,22 @@ pub type Transform<T> = Box<dyn FnMut(T) -> Option<T> + Send>;
 /// The results of a bounded windowed run: emitted windows plus metrics.
 pub type WindowedRun<Acc> = (Vec<WindowResult<Acc>>, PipelineMetrics);
 
+/// Modeled per-record stage costs for deterministic runs (the workspace
+/// convention: 1 work unit ≙ 1 µs of [`ManualTime`]). Used with
+/// [`PipelineBuilder::modeled_costs`] so stage spans, busy counters and
+/// xray critical paths come out identical on every same-seed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ModeledCosts {
+    /// Modeled microseconds charged per record read from the log.
+    pub read_us: u64,
+    /// Modeled microseconds charged per record in the transform stage
+    /// (bounded [`Pipeline::collect`] runs).
+    pub transform_us: u64,
+    /// Modeled microseconds charged per record at the window operator
+    /// (bounded [`Pipeline::run_windowed`] runs).
+    pub window_us: u64,
+}
+
 /// Builds a [`Pipeline`]; see the module docs.
 pub struct PipelineBuilder<T> {
     broker: Broker,
@@ -93,6 +109,7 @@ pub struct PipelineBuilder<T> {
     arrival_order: bool,
     registry: Registry,
     clock: Clock,
+    modeled: Option<(Arc<ManualTime>, ModeledCosts)>,
     flight: Option<(FlightRecorder, TraceContext)>,
     log: Option<(EventLog, TraceContext)>,
 }
@@ -127,6 +144,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             arrival_order: false,
             registry: Registry::new(),
             clock: MonotonicTime::shared(),
+            modeled: None,
             flight: None,
             log: None,
         }
@@ -147,6 +165,19 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     /// and `elapsed_s` deterministic in simulations.
     pub fn clock(mut self, clock: Clock) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Puts the pipeline in **modeled-cost mode**: the pipeline reads
+    /// time from `time` and *advances* it by the per-record stage costs
+    /// in `costs` as records flow. Stage spans, the
+    /// `pipeline_stage_busy_us_total` counters and any downstream xray
+    /// analysis then describe the modeled workload exactly, identically
+    /// on every same-seed run — the substrate the sharding-bound
+    /// baselines are built on.
+    pub fn modeled_costs(mut self, time: &Arc<ManualTime>, costs: ModeledCosts) -> Self {
+        self.clock = time.clone();
+        self.modeled = Some((Arc::clone(time), costs));
         self
     }
 
@@ -324,6 +355,19 @@ struct Instruments {
     late_dropped: Counter,
     record_latency_ns: Histogram,
     lateness_us: Histogram,
+    /// Per-stage busy time (`pipeline_stage_busy_us_total{stage,topic}`),
+    /// fed by every bounded run whether or not flight recording is on —
+    /// the registry-side input to xray's stage utilization model.
+    stage_busy_read: Counter,
+    stage_busy_transform: Counter,
+    stage_busy_window: Counter,
+    /// Continuous-mode channel occupancy: enqueue/dequeue counters, the
+    /// live depth gauge, and the depth-at-enqueue histogram xray merges
+    /// into its queue report.
+    enqueued: Counter,
+    dequeued: Counter,
+    queue_depth: Gauge,
+    queue_occupancy: Histogram,
     flight: Option<FlightWire>,
     log: Option<Arc<LogWire>>,
     /// Ordinal of the next bounded run; salts the per-run trace context
@@ -372,6 +416,22 @@ impl Instruments {
             late_dropped: registry.counter_labeled("pipeline_late_dropped_total", &labels),
             record_latency_ns: registry.histogram_labeled("pipeline_record_latency_ns", &labels),
             lateness_us: registry.histogram_labeled("watermark_lateness_us", &labels),
+            stage_busy_read: registry.counter_labeled(
+                "pipeline_stage_busy_us_total",
+                &[("stage", "read"), ("topic", topic)],
+            ),
+            stage_busy_transform: registry.counter_labeled(
+                "pipeline_stage_busy_us_total",
+                &[("stage", "transform"), ("topic", topic)],
+            ),
+            stage_busy_window: registry.counter_labeled(
+                "pipeline_stage_busy_us_total",
+                &[("stage", "window"), ("topic", topic)],
+            ),
+            enqueued: registry.counter_labeled("pipeline_enqueued_total", &labels),
+            dequeued: registry.counter_labeled("pipeline_dequeued_total", &labels),
+            queue_depth: registry.gauge_labeled("pipeline_queue_depth", &labels),
+            queue_occupancy: registry.histogram_labeled("pipeline_queue_occupancy", &labels),
             flight: flight.map(|(rec, parent)| FlightWire::new(rec, parent)),
             log: log.map(|(log, parent)| Arc::new(LogWire::new(log, parent, topic))),
             runs: AtomicU64::new(0),
@@ -401,9 +461,20 @@ impl Instruments {
             .map(|w| w.parent.child(ordinal ^ 0x70_69_70_65))
     }
 
-    /// Records a completed stage span as a child of `run_ctx` on the
-    /// flight ring (no-op when flight recording is off).
+    /// Closes a stage at the current clock: charges the elapsed time to
+    /// the stage's `pipeline_stage_busy_us_total` counter (always — the
+    /// registry view feeds xray's utilization model even without a
+    /// flight recorder) and records the stage span as a child of
+    /// `run_ctx` on the flight ring when wired.
     fn flight_stage(&self, run_ctx: Option<TraceContext>, stage: Stage, start_us: u64) {
+        let end = self.clock.now_micros();
+        let busy = end.saturating_sub(start_us);
+        match stage {
+            Stage::Run => {}
+            Stage::Read => self.stage_busy_read.add(busy),
+            Stage::Transform => self.stage_busy_transform.add(busy),
+            Stage::Window => self.stage_busy_window.add(busy),
+        }
         if let (Some(w), Some(ctx)) = (&self.flight, run_ctx) {
             let (name, label) = match stage {
                 Stage::Run => (w.run_name, "pipeline/run"),
@@ -416,9 +487,7 @@ impl Instruments {
             } else {
                 ctx.child_named(label)
             };
-            let end = self.clock.now_micros();
-            w.recorder
-                .record_span(child, name, start_us, end.saturating_sub(start_us));
+            w.recorder.record_span(child, name, start_us, busy);
         }
     }
 
@@ -544,6 +613,9 @@ impl<T: Send + 'static> Pipeline<T> {
             let _read = self.instruments.tracer.span("pipeline/read");
             self.read_all()?
         };
+        if let Some((time, costs)) = &self.inner.modeled {
+            time.advance_micros(costs.read_us.saturating_mul(flows.len() as u64));
+        }
         self.instruments.flight_stage(run_ctx, Stage::Read, read_t0);
         self.instruments.records_in.add(flows.len() as u64);
         // Run-local histogram for the per-run quantile view, folded into
@@ -556,6 +628,9 @@ impl<T: Send + 'static> Pipeline<T> {
             let transform_t0 = self.instruments.clock.now_micros();
             for flow in flows {
                 let t0 = self.instruments.clock.now_nanos();
+                if let Some((time, costs)) = &self.inner.modeled {
+                    time.advance_micros(costs.transform_us);
+                }
                 let mut v = Some(flow.value);
                 for tr in &mut self.inner.transforms {
                     v = match v {
@@ -664,6 +739,9 @@ impl<T: Send + 'static> Pipeline<T> {
             let _read = self.instruments.tracer.span("pipeline/read");
             self.read_all()?
         };
+        if let Some((time, costs)) = &self.inner.modeled {
+            time.advance_micros(costs.read_us.saturating_mul(flows.len() as u64));
+        }
         self.instruments.flight_stage(run_ctx, Stage::Read, run_t0);
         let mut emitted: Vec<WindowResult<A::Acc>> = Vec::new();
         let mut crashed = false;
@@ -681,6 +759,9 @@ impl<T: Send + 'static> Pipeline<T> {
                     }
                 }
                 self.instruments.records_in.inc();
+                if let Some((time, costs)) = &self.inner.modeled {
+                    time.advance_micros(costs.window_us);
+                }
                 let mut v = Some(flow.value.clone());
                 for tr in &mut self.inner.transforms {
                     v = match v {
@@ -797,6 +878,17 @@ impl<T: Send + 'static> Pipeline<T> {
         let log_wire = self.instruments.log.as_ref().map(Arc::clone);
         let clock = Arc::clone(&self.instruments.clock);
         let channel_capacity = self.inner.channel_capacity;
+        // Channel occupancy accounting: an approximate depth counter
+        // shared by both threads, exported as a gauge plus an enqueue-time
+        // occupancy histogram — the live inputs to xray's queue report.
+        let depth = Arc::new(AtomicU64::new(0));
+        let depth_src = Arc::clone(&depth);
+        let depth_worker = Arc::clone(&depth);
+        let enqueued = self.instruments.enqueued.clone();
+        let dequeued = self.instruments.dequeued.clone();
+        let queue_depth_src = self.instruments.queue_depth.clone();
+        let queue_depth_worker = self.instruments.queue_depth.clone();
+        let queue_occupancy = self.instruments.queue_occupancy.clone();
         let source = std::thread::spawn(move || {
             let mut offsets = vec![0u64; parts as usize];
             while !stop_src.load(Ordering::Acquire) {
@@ -826,11 +918,18 @@ impl<T: Send + 'static> Pipeline<T> {
                             };
                             // Try fast first: a full channel is the
                             // backpressure *decision*, logged (rate-
-                            // limited) before falling back to the
-                            // blocking send that applies it.
+                            // limited) before spinning on the non-blocking
+                            // send that applies it. The pump never takes a
+                            // blocking call: backpressure is a yield loop
+                            // that keeps honouring the stop flag.
                             match tx.try_send(flow) {
-                                Ok(()) => {}
-                                Err(channel::TrySendError::Full(flow)) => {
+                                Ok(()) => {
+                                    enqueued.inc();
+                                    let d = depth_src.fetch_add(1, Ordering::Relaxed) + 1;
+                                    queue_occupancy.record(d);
+                                    queue_depth_src.set_u64(d);
+                                }
+                                Err(channel::TrySendError::Full(full)) => {
                                     if let Some(w) = &log_wire {
                                         w.log.record(
                                             &w.backpressure_site,
@@ -844,8 +943,26 @@ impl<T: Send + 'static> Pipeline<T> {
                                             ],
                                         );
                                     }
-                                    if tx.send(flow).is_err() {
-                                        return;
+                                    let mut flow = full;
+                                    loop {
+                                        if stop_src.load(Ordering::Acquire) {
+                                            return;
+                                        }
+                                        match tx.try_send(flow) {
+                                            Ok(()) => {
+                                                enqueued.inc();
+                                                let d =
+                                                    depth_src.fetch_add(1, Ordering::Relaxed) + 1;
+                                                queue_occupancy.record(d);
+                                                queue_depth_src.set_u64(d);
+                                                break;
+                                            }
+                                            Err(channel::TrySendError::Full(f)) => {
+                                                flow = f;
+                                                std::thread::yield_now();
+                                            }
+                                            Err(channel::TrySendError::Disconnected(_)) => return,
+                                        }
                                     }
                                 }
                                 Err(channel::TrySendError::Disconnected(_)) => return,
@@ -854,7 +971,10 @@ impl<T: Send + 'static> Pipeline<T> {
                     }
                 }
                 if idle {
-                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    // An empty poll round parks with a scheduler yield —
+                    // not a sleep — so the pump stays blocking-free and
+                    // reacts to new records and to stop immediately.
+                    std::thread::yield_now();
                 }
             }
         });
@@ -862,8 +982,13 @@ impl<T: Send + 'static> Pipeline<T> {
         let stop_worker = Arc::clone(&stop);
         let processed_worker = Arc::clone(&processed);
         let worker = std::thread::spawn(move || loop {
-            match rx.recv_timeout(std::time::Duration::from_millis(5)) {
+            match rx.try_recv() {
                 Ok(flow) => {
+                    dequeued.inc();
+                    let d = depth_worker
+                        .fetch_sub(1, Ordering::Relaxed)
+                        .saturating_sub(1);
+                    queue_depth_worker.set_u64(d);
                     let mut v = Some(flow.value);
                     for tr in &mut transforms {
                         v = match v {
@@ -877,12 +1002,15 @@ impl<T: Send + 'static> Pipeline<T> {
                         processed_worker.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                Err(channel::RecvTimeoutError::Timeout) => {
+                Err(channel::TryRecvError::Empty) => {
+                    // Drained: stop only once the queue is empty, so a
+                    // stop signal never abandons accepted records.
                     if stop_worker.load(Ordering::Acquire) {
                         break;
                     }
+                    std::thread::yield_now();
                 }
-                Err(channel::RecvTimeoutError::Disconnected) => break,
+                Err(channel::TryRecvError::Disconnected) => break,
             }
         });
         Ok(StopHandle {

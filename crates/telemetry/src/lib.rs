@@ -67,6 +67,8 @@ pub mod span;
 pub mod time;
 /// Causal trace context (deterministic id derivation).
 pub mod trace;
+/// Span-forest reconstruction shared by profile folding and xray.
+pub mod tree;
 
 /// Chrome trace-event rendering for drained flight events.
 pub use chrome::render_chrome_trace;
@@ -88,3 +90,5 @@ pub use span::{SpanGuard, Tracer, SPAN_LABEL, SPAN_METRIC};
 pub use time::{Clock, ManualTime, MonotonicTime, TimeSource};
 /// Causal trace identity carried across layer boundaries.
 pub use trace::TraceContext;
+/// The reconstructed span forest and its nodes.
+pub use tree::{SpanForest, SpanNode};

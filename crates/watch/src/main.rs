@@ -126,12 +126,33 @@ fn run() -> i32 {
         }
     };
     let clock = ManualTime::new();
-    for _ in 0..args.cycles {
+    let rec = session.recorder();
+    let root = session.root();
+    let (cycle_n, sense_n, fuse_n) = (
+        rec.intern("demo/cycle"),
+        rec.intern("demo/sense"),
+        rec.intern("demo/fuse"),
+    );
+    for i in 0..args.cycles {
         let start = clock.now_micros();
-        clock.advance_micros(1_000); // modeled healthy frame work
+        // Modeled healthy frame work: 600 us sensing then 400 us fusing,
+        // recorded as child spans so the xray panel has a tree to read.
+        let cycle_ctx = root.child_named(&format!("demo/cycle/{i}"));
+        clock.advance_micros(600);
+        rec.record_span(cycle_ctx.child_named("demo/sense"), sense_n, start, 600);
+        let fuse_start = clock.now_micros();
+        clock.advance_micros(400);
+        rec.record_span(cycle_ctx.child_named("demo/fuse"), fuse_n, fuse_start, 400);
+        rec.record_span(cycle_ctx, cycle_n, start, 1_000);
         session.observe_cycle("demo", &clock, start);
     }
     session.finish();
+    // Bottleneck readout over the run's own spans: feeds the
+    // `parallel_speedup_bound` gauge and the dashboard xray panel.
+    let events = rec.drain();
+    let report = augur_xray::analyze("watch-demo", &events, rec.dropped_events())
+        .with_registry(&session.registry().snapshot());
+    session.observe_xray(&report);
     let health = session.health();
     println!(
         "demo run: {} cycles, inject {} us, health {}",

@@ -24,6 +24,7 @@ use augur_store::{LsmParams, LsmStore};
 use augur_telemetry::{
     Counter, FlightRecorder, Histogram, ManualTime, NameId, Registry, TimeSource, TraceContext,
 };
+use augur_xray::XrayReport;
 use parking_lot::Mutex;
 
 use crate::error::WatchError;
@@ -119,6 +120,9 @@ pub struct WatchSession {
     prev_log_dropped: u64,
     log_tail: VecDeque<LogRecord>,
     log_tail_cap: usize,
+    /// The last ingested xray panel (empty until
+    /// [`WatchSession::observe_xray`]); appended to the dashboard.
+    xray_panel: String,
     last_now_us: u64,
     shared: Arc<SharedState>,
 }
@@ -168,6 +172,7 @@ impl WatchSession {
             prev_log_dropped: 0,
             log_tail: VecDeque::new(),
             log_tail_cap: config.log_tail.max(1),
+            xray_panel: String::new(),
             last_now_us: 0,
             shared,
         })
@@ -267,9 +272,39 @@ impl WatchSession {
         &self.rollup
     }
 
-    /// Renders the plain-text dashboard for the current state.
+    /// Ingests a completed bottleneck report: exports its headline
+    /// numbers as gauges (`parallel_speedup_bound`,
+    /// `xray_stage_utilization{stage=...}`,
+    /// `xray_critical_path_share{stage=...}`) so rollups and SLOs can
+    /// grade them, stores the rendered panel for the `/` dashboard, and
+    /// republishes the served state.
+    pub fn observe_xray(&mut self, report: &XrayReport) {
+        self.registry
+            .gauge("parallel_speedup_bound")
+            .set(report.parallel_speedup_bound);
+        for stage in &report.stages {
+            self.registry
+                .gauge_labeled("xray_stage_utilization", &[("stage", &stage.name)])
+                .set(stage.utilization);
+        }
+        for frame in &report.critical_path {
+            self.registry
+                .gauge_labeled("xray_critical_path_share", &[("stage", &frame.name)])
+                .set(frame.share);
+        }
+        self.xray_panel = report.render_panel();
+        self.refresh_shared();
+    }
+
+    /// Renders the plain-text dashboard for the current state; after
+    /// [`WatchSession::observe_xray`] the bottleneck panel is appended.
     pub fn dashboard(&self) -> String {
-        crate::dashboard::render(&self.slo.status(), &self.rollup)
+        let mut out = crate::dashboard::render(&self.slo.status(), &self.rollup);
+        if !self.xray_panel.is_empty() {
+            out.push('\n');
+            out.push_str(&self.xray_panel);
+        }
+        out
     }
 
     /// Starts the live endpoint on `addr` (e.g. `127.0.0.1:0` for an
@@ -334,7 +369,12 @@ impl WatchSession {
     /// thread.
     fn refresh_shared(&self) {
         let status = self.slo.status();
-        *self.shared.dashboard.lock() = crate::dashboard::render(&status, &self.rollup);
+        let mut dashboard = crate::dashboard::render(&status, &self.rollup);
+        if !self.xray_panel.is_empty() {
+            dashboard.push('\n');
+            dashboard.push_str(&self.xray_panel);
+        }
+        *self.shared.dashboard.lock() = dashboard;
         *self.shared.status.lock() = status;
         *self.shared.logs.lock() = self.log_tail_jsonl();
     }
@@ -487,6 +527,40 @@ mod tests {
         assert!(tail.contains("work/boom"));
         assert!(tail.contains("\"level\":\"error\""));
         assert_eq!(*session.shared.logs.lock(), tail);
+    }
+
+    #[test]
+    fn xray_report_feeds_gauges_and_dashboard_panel() {
+        let mut session = WatchSession::new(test_config(0)).unwrap_or_else(|e| unreachable!("{e}"));
+        let rec = session.recorder();
+        let root = TraceContext::root(7, 3);
+        let (read, transform) = (rec.intern("read"), rec.intern("transform"));
+        rec.record_span(root.child_named("read"), read, 0, 10);
+        rec.record_span(root.child_named("transform"), transform, 10, 30);
+        rec.record_span(root, rec.intern("cycle"), 0, 40);
+        let events = rec.drain();
+        let report = augur_xray::analyze("test", &events, rec.dropped_events());
+        session.observe_xray(&report);
+        let registry = session.registry();
+        assert!(registry.gauge("parallel_speedup_bound").get() >= 1.0);
+        let share = registry
+            .gauge_labeled("xray_critical_path_share", &[("stage", "transform")])
+            .get();
+        assert!(share > 0.5, "transform dominates the critical path");
+        assert!(
+            registry
+                .gauge_labeled("xray_stage_utilization", &[("stage", "transform")])
+                .get()
+                > 0.0
+        );
+        // The panel reaches both the local and the served dashboard.
+        let dash = session.dashboard();
+        assert!(dash.contains("xray: parallel speedup bound"));
+        assert!(session
+            .shared
+            .dashboard
+            .lock()
+            .contains("xray: parallel speedup bound"));
     }
 
     #[test]

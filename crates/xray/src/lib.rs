@@ -1,0 +1,400 @@
+//! # augur-xray
+//!
+//! Deterministic bottleneck analysis over flight-recorder drains: the
+//! crate that tells the sharding arc *where* to shard and *how much* it
+//! can win.
+//!
+//! The paper's scale argument (ROADMAP item 1) needs a number to beat
+//! before any partitioning work starts. `augur-xray` produces that
+//! number from artifacts the platform already emits:
+//!
+//! - **Critical path** ([`XrayReport::critical_path`]): per root trace
+//!   tree, the longest causally-ordered chain of spans; frames are
+//!   ranked by critical-path *self* time — time that actually gates
+//!   end-to-end latency, unlike flat self time which also counts work
+//!   hidden under concurrent siblings. [`XrayReport::head`] names the
+//!   single heaviest frame: the first thing to shard.
+//! - **Work/span speedup bounds** ([`XrayReport::parallel_speedup_bound`]):
+//!   `work_us / span_us` (Brent's bound over independent root trees)
+//!   and the pipelining bound `Σ stage busy / max stage busy` — the
+//!   upper bound any sharding/pipelining change can realize. A PR that
+//!   claims a 3× speedup where xray bounds it at 1.6× is measuring
+//!   something else.
+//! - **Queueing model** ([`XrayReport::stages`]): per-stage arrival
+//!   rate, service time, utilization ρ and an M/M/1 queue-wait
+//!   estimate, plus live queue occupancy ([`XrayReport::queues`])
+//!   merged from the `pipeline_queue_*` metrics `augur-stream`'s
+//!   continuous mode exports.
+//!
+//! Reports are a pure function of the drained events (BTreeMap
+//! aggregation, fixed tie-breaks, canonical JSON via
+//! [`render_json`]), so two same-seed runs produce byte-identical
+//! artifacts and `augur-doctor --xray` can diff them against committed
+//! baselines in CI.
+//!
+//! Lossy drains degrade loudly, never silently: when the ring dropped
+//! events, [`XrayReport::truncated`] is set and consumers (doctor, the
+//! watch panel) surface it instead of trusting a critical path with
+//! holes in it.
+//!
+//! ## Example
+//!
+//! ```
+//! use augur_telemetry::{FlightRecorder, TraceContext};
+//!
+//! let rec = FlightRecorder::new(64);
+//! let root = TraceContext::root(7, 1);
+//! let (read, transform) = (rec.intern("read"), rec.intern("transform"));
+//! rec.record_span(root.child_named("read"), read, 0, 10);
+//! rec.record_span(root.child_named("transform"), transform, 10, 30);
+//! rec.record_span(root, rec.intern("run"), 0, 40);
+//!
+//! let report = augur_xray::analyze("demo", &rec.drain(), 0);
+//! assert_eq!(report.head(), Some("transform"));
+//! assert!(!report.truncated);
+//! ```
+
+use augur_telemetry::{RegistrySnapshot, SpanForest};
+
+mod critical;
+mod queue;
+/// Canonical JSON and dashboard-panel rendering.
+pub mod render;
+
+/// Canonical JSON artifact and dashboard-panel renderers.
+pub use render::{render_json, render_panel};
+
+/// One span name's standing in the critical-path ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalFrame {
+    /// Span name.
+    pub name: String,
+    /// Critical-path self time, microseconds (see [`crate`] docs).
+    pub self_us: u64,
+    /// Spans of this name that sat on a critical path.
+    pub count: u64,
+    /// Fraction of all critical-path time this name owns (0..=1).
+    pub share: f64,
+}
+
+/// One service station (span name) in the queueing model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageStat {
+    /// Span name.
+    pub name: String,
+    /// Jobs served (span count).
+    pub count: u64,
+    /// Total exclusive self time, microseconds.
+    pub busy_us: u64,
+    /// Arrival rate λ: jobs per second of makespan.
+    pub arrival_per_s: f64,
+    /// Mean service time S: busy time per job, microseconds.
+    pub service_us: f64,
+    /// Utilization ρ: busy time over makespan (0..=1, may reach 1).
+    pub utilization: f64,
+    /// M/M/1 queue-wait estimate `ρ/(1−ρ)·S`, microseconds (ρ clamped
+    /// below 1 so saturation reads as a large finite wait).
+    pub queue_wait_us: f64,
+    /// `Wq / (Wq + S)`: the share of a job's sojourn spent waiting.
+    pub queue_wait_share: f64,
+}
+
+/// Live queue occupancy for one pipeline channel, merged from the
+/// `pipeline_queue_*` metric families via [`XrayReport::with_registry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueStat {
+    /// Pipeline topic the channel feeds.
+    pub topic: String,
+    /// Records enqueued over the run.
+    pub enqueued: u64,
+    /// Records dequeued over the run.
+    pub dequeued: u64,
+    /// Queue depth at snapshot time.
+    pub depth: f64,
+    /// Mean observed occupancy at enqueue time.
+    pub occupancy_mean: f64,
+    /// p95 observed occupancy at enqueue time.
+    pub occupancy_p95: u64,
+}
+
+/// The full bottleneck readout; see the [`crate`] docs for semantics
+/// and [`render_json`] for the artifact schema.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct XrayReport {
+    /// Scenario or bench the drain came from.
+    pub scenario: String,
+    /// True when the ring dropped events: the critical path has holes
+    /// and must not be trusted for gating.
+    pub truncated: bool,
+    /// Events the recorder accepted over its lifetime.
+    pub total_events: u64,
+    /// Events the ring dropped (not present in the drain).
+    pub dropped_events: u64,
+    /// Root trace trees analyzed.
+    pub roots: u64,
+    /// Wall extent of the drain: max span end − min span start, µs.
+    pub makespan_us: u64,
+    /// Σ over roots of each root's critical-path length, µs.
+    pub work_us: u64,
+    /// Longest single root critical path, µs.
+    pub span_us: u64,
+    /// `work_us / span_us`: speedup bound from running independent
+    /// root trees concurrently (conservative when roots overlap).
+    pub work_span_bound: f64,
+    /// `Σ stage busy / max stage busy`: speedup bound from pipelining
+    /// the stages.
+    pub stage_bound: f64,
+    /// The headline: max of the two bounds — what a sharding PR must
+    /// not claim to exceed.
+    pub parallel_speedup_bound: f64,
+    /// Per-name critical-path ranking, heaviest self time first.
+    pub critical_path: Vec<CriticalFrame>,
+    /// Per-name queueing model, sorted by name.
+    pub stages: Vec<StageStat>,
+    /// Live channel occupancy (empty until [`XrayReport::with_registry`]).
+    pub queues: Vec<QueueStat>,
+}
+
+impl XrayReport {
+    /// The heaviest critical-path frame — the first thing to shard —
+    /// or `None` for an empty drain.
+    pub fn head(&self) -> Option<&str> {
+        self.critical_path.first().map(|f| f.name.as_str())
+    }
+
+    /// Merges live queue occupancy out of a registry snapshot: the
+    /// `pipeline_enqueued_total` / `pipeline_dequeued_total` counters,
+    /// the `pipeline_queue_depth` gauge and the
+    /// `pipeline_queue_occupancy` histogram, grouped by their `topic`
+    /// label. Returns `self` for chaining.
+    pub fn with_registry(mut self, snap: &RegistrySnapshot) -> XrayReport {
+        use std::collections::BTreeMap;
+        let topic_of = |labels: &[(String, String)]| -> Option<String> {
+            labels
+                .iter()
+                .find(|(k, _)| k == "topic")
+                .map(|(_, v)| v.clone())
+        };
+        let mut by_topic: BTreeMap<String, QueueStat> = BTreeMap::new();
+        fn slot(map: &mut BTreeMap<String, QueueStat>, topic: String) -> &mut QueueStat {
+            map.entry(topic.clone()).or_insert(QueueStat {
+                topic,
+                enqueued: 0,
+                dequeued: 0,
+                depth: 0.0,
+                occupancy_mean: 0.0,
+                occupancy_p95: 0,
+            })
+        }
+        for c in &snap.counters {
+            let Some(topic) = topic_of(&c.labels) else {
+                continue;
+            };
+            match c.name.as_str() {
+                "pipeline_enqueued_total" => slot(&mut by_topic, topic).enqueued = c.value,
+                "pipeline_dequeued_total" => slot(&mut by_topic, topic).dequeued = c.value,
+                _ => {}
+            }
+        }
+        for g in &snap.gauges {
+            if g.name != "pipeline_queue_depth" {
+                continue;
+            }
+            let Some(topic) = topic_of(&g.labels) else {
+                continue;
+            };
+            slot(&mut by_topic, topic).depth = g.value;
+        }
+        for h in &snap.histograms {
+            if h.name != "pipeline_queue_occupancy" {
+                continue;
+            }
+            let Some(topic) = topic_of(&h.labels) else {
+                continue;
+            };
+            let s = slot(&mut by_topic, topic);
+            s.occupancy_mean = h.stats.mean();
+            s.occupancy_p95 = h.stats.p95;
+        }
+        self.queues = by_topic.into_values().collect();
+        self
+    }
+
+    /// Renders the canonical JSON artifact (see [`render_json`]).
+    pub fn render_json(&self) -> String {
+        render::render_json(self)
+    }
+
+    /// Renders the dashboard panel (see [`render_panel`]).
+    pub fn render_panel(&self) -> String {
+        render::render_panel(self)
+    }
+}
+
+/// Analyzes a drained event slice into an [`XrayReport`].
+///
+/// `dropped_events` comes from [`augur_telemetry::FlightRecorder::dropped_events`]
+/// at drain time; any loss sets [`XrayReport::truncated`] because a
+/// drain with holes can misattribute the critical path.
+pub fn analyze(
+    scenario: &str,
+    events: &[augur_telemetry::FlightEvent],
+    dropped_events: u64,
+) -> XrayReport {
+    let forest = SpanForest::build(events);
+    let cp = critical::extract(&forest);
+    let (stages, makespan_us, stage_bound) = queue::stage_stats(&forest);
+    let mut critical_path: Vec<CriticalFrame> = cp
+        .per_name
+        .iter()
+        .map(|(name, acc)| CriticalFrame {
+            name: name.clone(),
+            self_us: acc.self_us,
+            count: acc.count,
+            share: if cp.work_us > 0 {
+                acc.self_us as f64 / cp.work_us as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    critical_path.sort_by(|a, b| b.self_us.cmp(&a.self_us).then_with(|| a.name.cmp(&b.name)));
+    let work_span_bound = if cp.span_us > 0 {
+        cp.work_us as f64 / cp.span_us as f64
+    } else {
+        1.0
+    };
+    XrayReport {
+        scenario: scenario.to_string(),
+        truncated: dropped_events > 0,
+        total_events: (events.len() as u64).saturating_add(dropped_events),
+        dropped_events,
+        roots: cp.roots,
+        makespan_us,
+        work_us: cp.work_us,
+        span_us: cp.span_us,
+        work_span_bound,
+        stage_bound,
+        parallel_speedup_bound: work_span_bound.max(stage_bound),
+        critical_path,
+        stages,
+        queues: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use augur_telemetry::{FlightRecorder, Registry, TraceContext};
+
+    fn staged_frames(rec: &FlightRecorder, frames: u64) {
+        // Frames of read(10) → transform(30) → layout(10) running back
+        // to back: transform dominates.
+        let (read, transform, layout) = (
+            rec.intern("read"),
+            rec.intern("transform"),
+            rec.intern("layout"),
+        );
+        let frame = rec.intern("frame");
+        for i in 0..frames {
+            let root = TraceContext::root(9, i);
+            let t0 = i * 50;
+            rec.record_span(root.child_named("read"), read, t0, 10);
+            rec.record_span(root.child_named("transform"), transform, t0 + 10, 30);
+            rec.record_span(root.child_named("layout"), layout, t0 + 40, 10);
+            rec.record_span(root, frame, t0, 50);
+        }
+    }
+
+    #[test]
+    fn head_names_the_dominant_stage() {
+        let rec = FlightRecorder::new(64);
+        staged_frames(&rec, 2);
+        let report = analyze("unit", &rec.drain(), 0);
+        assert_eq!(report.head(), Some("transform"));
+        assert_eq!(report.roots, 2);
+        assert_eq!(report.work_us, 100);
+        assert_eq!(report.span_us, 50);
+        assert!((report.work_span_bound - 2.0).abs() < 1e-12);
+        // transform busy 60 of 100 total busy → stage bound 100/60.
+        assert!((report.stage_bound - 100.0 / 60.0).abs() < 1e-12);
+        assert!((report.parallel_speedup_bound - 2.0).abs() < 1e-12);
+        let shares: f64 = report.critical_path.iter().map(|f| f.share).sum();
+        assert!((shares - 1.0).abs() < 1e-9, "shares partition the work");
+    }
+
+    #[test]
+    fn lossy_drain_sets_truncated() {
+        // Capacity-8 ring, 16 spans recorded → drops; the report must
+        // flag itself rather than pass off a partial critical path.
+        let rec = FlightRecorder::new(8);
+        staged_frames(&rec, 4);
+        let events = rec.drain();
+        let dropped = rec.dropped_events();
+        assert!(dropped > 0, "ring must have overflowed");
+        let report = analyze("lossy", &events, dropped);
+        assert!(report.truncated);
+        assert_eq!(report.total_events, events.len() as u64 + dropped);
+        assert!(report.render_json().contains("\"truncated\":true"));
+    }
+
+    #[test]
+    fn registry_merge_fills_queue_stats() {
+        let reg = Registry::new();
+        let labels = &[("topic", "sensors")];
+        reg.counter_labeled("pipeline_enqueued_total", labels)
+            .add(100);
+        reg.counter_labeled("pipeline_dequeued_total", labels)
+            .add(98);
+        reg.gauge_labeled("pipeline_queue_depth", labels).set(2.0);
+        let occ = reg.histogram_labeled("pipeline_queue_occupancy", labels);
+        for v in [1u64, 2, 3, 4] {
+            occ.record(v);
+        }
+        let report = analyze("q", &[], 0).with_registry(&reg.snapshot());
+        assert_eq!(report.queues.len(), 1);
+        let q = &report.queues[0];
+        assert_eq!(q.topic, "sensors");
+        assert_eq!(q.enqueued, 100);
+        assert_eq!(q.dequeued, 98);
+        assert!((q.depth - 2.0).abs() < 1e-12);
+        assert!(q.occupancy_mean > 0.0);
+        assert!(q.occupancy_p95 >= 3);
+    }
+
+    #[test]
+    fn render_is_deterministic_and_ordered() {
+        let rec = FlightRecorder::new(64);
+        staged_frames(&rec, 2);
+        let events = rec.drain();
+        let a = analyze("det", &events, 0).render_json();
+        let b = analyze("det", &events, 0).render_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"xray\":\"det\""));
+        assert!(a.contains("\"head\":\"transform\""));
+        let t_at = a.find("\"name\":\"transform\"").unwrap_or(usize::MAX);
+        let r_at = a.find("\"name\":\"read\"").unwrap_or(0);
+        assert!(t_at < r_at, "critical path ranks heaviest first");
+    }
+
+    #[test]
+    fn empty_drain_renders_null_head() {
+        let report = analyze("empty", &[], 0);
+        assert_eq!(report.head(), None);
+        let json = report.render_json();
+        assert!(json.contains("\"head\":null"));
+        assert!(report.render_panel().contains("no spans drained"));
+    }
+
+    #[test]
+    fn panel_lists_stages_by_critical_share() {
+        let rec = FlightRecorder::new(64);
+        staged_frames(&rec, 2);
+        let report = analyze("panel", &rec.drain(), 0);
+        let panel = report.render_panel();
+        assert!(panel.contains("parallel speedup bound 2.00x"));
+        let t_at = panel.find("transform").unwrap_or(usize::MAX);
+        let r_at = panel.find("read").unwrap_or(0);
+        assert!(t_at < r_at);
+    }
+}

@@ -1,0 +1,140 @@
+//! Canonical JSON and dashboard-panel rendering for [`XrayReport`].
+//!
+//! The JSON is hand-rendered in a fixed field order over already-sorted
+//! vectors, with floats through [`json_f64`] (shortest round-trip,
+//! integral values as integers, non-finite as `null`) — so two
+//! same-seed runs produce byte-identical artifacts CI can `cmp`.
+
+use std::fmt::Write as _;
+
+use augur_telemetry::{escape_json, json_f64};
+
+use crate::XrayReport;
+
+/// Renders the report as one canonical JSON object (no trailing
+/// newline). Field order and float formatting are fixed; see the
+/// module docs.
+pub fn render_json(report: &XrayReport) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "{{\"xray\":\"{}\",\"truncated\":{},\"events\":{{\"total\":{},\"dropped\":{}}},\
+         \"roots\":{},\"makespan_us\":{},\"work_us\":{},\"span_us\":{},\
+         \"speedup\":{{\"work_span_bound\":{},\"stage_bound\":{},\"parallel_speedup_bound\":{}}}",
+        escape_json(&report.scenario),
+        report.truncated,
+        report.total_events,
+        report.dropped_events,
+        report.roots,
+        report.makespan_us,
+        report.work_us,
+        report.span_us,
+        json_f64(report.work_span_bound),
+        json_f64(report.stage_bound),
+        json_f64(report.parallel_speedup_bound),
+    );
+    match report.head() {
+        Some(head) => {
+            let _ = write!(out, ",\"head\":\"{}\"", escape_json(head));
+        }
+        None => out.push_str(",\"head\":null"),
+    }
+    out.push_str(",\"critical_path\":[");
+    for (i, f) in report.critical_path.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"self_us\":{},\"count\":{},\"share\":{}}}",
+            escape_json(&f.name),
+            f.self_us,
+            f.count,
+            json_f64(f.share),
+        );
+    }
+    out.push_str("],\"stages\":[");
+    for (i, s) in report.stages.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"count\":{},\"busy_us\":{},\"arrival_per_s\":{},\
+             \"service_us\":{},\"utilization\":{},\"queue_wait_us\":{},\"queue_wait_share\":{}}}",
+            escape_json(&s.name),
+            s.count,
+            s.busy_us,
+            json_f64(s.arrival_per_s),
+            json_f64(s.service_us),
+            json_f64(s.utilization),
+            json_f64(s.queue_wait_us),
+            json_f64(s.queue_wait_share),
+        );
+    }
+    out.push_str("],\"queues\":[");
+    for (i, q) in report.queues.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"topic\":\"{}\",\"enqueued\":{},\"dequeued\":{},\"depth\":{},\
+             \"occupancy_mean\":{},\"occupancy_p95\":{}}}",
+            escape_json(&q.topic),
+            q.enqueued,
+            q.dequeued,
+            json_f64(q.depth),
+            json_f64(q.occupancy_mean),
+            q.occupancy_p95,
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders the fixed-width dashboard panel the watch `/` page embeds:
+/// headline speedup bounds plus one row per stage (critical-path
+/// share, utilization, modeled queue-wait share), heaviest
+/// critical-path share first. Empty reports render a one-line notice.
+pub fn render_panel(report: &XrayReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "xray: parallel speedup bound {:.2}x (work/span {:.2}x, stage {:.2}x){}",
+        report.parallel_speedup_bound,
+        report.work_span_bound,
+        report.stage_bound,
+        if report.truncated { " [truncated]" } else { "" },
+    );
+    if report.critical_path.is_empty() {
+        let _ = writeln!(out, "  (no spans drained)");
+        return out;
+    }
+    let name_w = report
+        .critical_path
+        .iter()
+        .map(|f| f.name.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    let _ = writeln!(
+        out,
+        "  {:<name_w$}  {:>8}  {:>6}  {:>10}",
+        "stage", "cp_share", "util", "queue_wait"
+    );
+    for f in &report.critical_path {
+        let stage = report.stages.iter().find(|s| s.name == f.name);
+        let util = stage.map(|s| s.utilization).unwrap_or(0.0);
+        let wait = stage.map(|s| s.queue_wait_share).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "  {:<name_w$}  {:>7.1}%  {:>6.2}  {:>9.1}%",
+            f.name,
+            f.share * 100.0,
+            util,
+            wait * 100.0,
+        );
+    }
+    out
+}

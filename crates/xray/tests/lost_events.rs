@@ -1,0 +1,78 @@
+//! Property test pinning the flight ring's loss accounting — and the
+//! xray degradation path built on it — under 4-producer overflow.
+//!
+//! For any ring capacity and per-producer volume, once the producers
+//! quiesce:
+//!
+//! 1. [`FlightRecorder::lost_events`]'s live estimate equals the exact
+//!    drop count the subsequent drain charges (the estimate is only
+//!    approximate *while* producers run),
+//! 2. the books balance exactly: `drained + dropped == total_events`,
+//! 3. `augur_xray::analyze` over that drain degrades loudly, never
+//!    silently: `truncated` is set iff events were dropped, the
+//!    rendered artifact says so, and the report's event totals carry
+//!    the same exact accounting.
+
+use std::sync::Arc;
+use std::thread;
+
+use augur_telemetry::{FlightRecorder, TraceContext};
+use proptest::prelude::*;
+
+const PRODUCERS: u64 = 4;
+
+proptest! {
+    // These ranges sweep both sides of the lossless/lossy boundary:
+    // capacity rounds up to a power of two, and 4×400 records can
+    // overflow every capacity below 2048.
+    #[test]
+    fn quiescent_loss_estimate_is_exact_and_xray_degrades_loudly(
+        capacity in 8usize..512,
+        per_producer in 1u64..400,
+    ) {
+        let rec = Arc::new(FlightRecorder::new(capacity));
+        let names: Vec<_> = (0..PRODUCERS)
+            .map(|p| rec.intern(&format!("producer/{p}")))
+            .collect();
+        let mut handles = Vec::new();
+        for p in 0..PRODUCERS {
+            let rec = Arc::clone(&rec);
+            let name = names[p as usize];
+            handles.push(thread::spawn(move || {
+                let root = TraceContext::root(0xA11, p);
+                for i in 0..per_producer {
+                    rec.record_span(root.child(i), name, i * 10, 5);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("producer thread panicked");
+        }
+
+        // (1) At quiescence the live estimate must predict the drain's
+        // exact charge — no torn slots, no pending writers.
+        let live = rec.lost_events();
+        let events = rec.drain();
+        let dropped = rec.dropped_events();
+        let total = rec.total_events();
+        prop_assert_eq!(live, dropped, "live estimate vs exact drop charge");
+
+        // (2) Exact accounting.
+        prop_assert_eq!(total, PRODUCERS * per_producer);
+        prop_assert_eq!(events.len() as u64 + dropped, total);
+
+        // (3) The xray built on this drain flags loss instead of
+        // passing off a critical path with holes.
+        let report = augur_xray::analyze("prop", &events, dropped);
+        prop_assert_eq!(report.truncated, dropped > 0);
+        prop_assert_eq!(report.total_events, total);
+        prop_assert_eq!(report.dropped_events, dropped);
+        let json = report.render_json();
+        if dropped > 0 {
+            prop_assert!(json.contains("\"truncated\":true"), "{}", json);
+            prop_assert!(report.render_panel().contains("[truncated]"));
+        } else {
+            prop_assert!(json.contains("\"truncated\":false"), "{}", json);
+        }
+    }
+}

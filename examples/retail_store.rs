@@ -12,14 +12,22 @@
 //! Pass `--watch` to run the pipeline under an SLO watch session
 //! (per-stage latency objective) and print the live dashboard; a
 //! violated objective exits 2.
+//!
+//! Pass `--xray` to write the bottleneck report (critical-path ranking,
+//! parallel-speedup bounds, per-stage queueing model) to
+//! `results/retail_store.xray.json` — byte-identical across same-seed
+//! runs, diffable with `augur-doctor --xray`.
 
-use augur::core::retail::{run_instrumented, run_traced, run_watched, watch_config, RetailParams};
+use augur::core::retail::{
+    run_instrumented, run_traced, run_watched, run_xray, watch_config, RetailParams,
+};
 use augur::telemetry::{render_chrome_trace, render_span_breakdown, FlightRecorder, Registry};
 use augur::watch::WatchSession;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = std::env::args().any(|a| a == "--trace");
     let watch = std::env::args().any(|a| a == "--watch");
+    let xray_run = std::env::args().any(|a| a == "--xray");
     let params = RetailParams::default();
     println!(
         "retail scenario: {} users × {} interactions, {} product groups",
@@ -31,6 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut session = WatchSession::new(watch_config(params.seed))?;
         let report = run_watched(&params, &mut session)?;
         watch_session = Some(session);
+        report
+    } else if xray_run {
+        let (report, xray) = run_xray(&params, &registry)?;
+        std::fs::create_dir_all("results")?;
+        let path = "results/retail_store.xray.json";
+        std::fs::write(path, xray.render_json())?;
+        print!("{}", xray.render_panel());
+        println!("xray: wrote {path}");
         report
     } else if trace {
         let recorder = FlightRecorder::new(1 << 16);

@@ -13,9 +13,14 @@
 //! Pass `--watch` to run the simulation under an SLO watch session
 //! (per-step latency objective) and print the live dashboard; a
 //! violated objective exits 2.
+//!
+//! Pass `--xray` to write the bottleneck report (critical-path ranking,
+//! parallel-speedup bounds, per-stage queueing model) to
+//! `results/smart_traffic.xray.json` — byte-identical across same-seed
+//! runs, diffable with `augur-doctor --xray`.
 
 use augur::core::traffic::{
-    run, run_instrumented, run_traced, run_watched, watch_config, TrafficParams,
+    run, run_instrumented, run_traced, run_watched, run_xray, watch_config, TrafficParams,
 };
 use augur::telemetry::{render_chrome_trace, render_span_breakdown, FlightRecorder, Registry};
 use augur::watch::WatchSession;
@@ -23,6 +28,7 @@ use augur::watch::WatchSession;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = std::env::args().any(|a| a == "--trace");
     let watch = std::env::args().any(|a| a == "--watch");
+    let xray_run = std::env::args().any(|a| a == "--xray");
     let params = TrafficParams::default();
     println!(
         "traffic scenario: {} vehicles for {:.0} s, beacons every {:.1} s, {:.0}% loss",
@@ -37,6 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut session = WatchSession::new(watch_config(params.seed))?;
         let report = run_watched(&params, &mut session)?;
         watch_session = Some(session);
+        report
+    } else if xray_run {
+        let (report, xray) = run_xray(&params, &registry)?;
+        std::fs::create_dir_all("results")?;
+        let path = "results/smart_traffic.xray.json";
+        std::fs::write(path, xray.render_json())?;
+        print!("{}", xray.render_panel());
+        println!("xray: wrote {path}");
         report
     } else if trace {
         let recorder = FlightRecorder::new(1 << 16);

@@ -26,9 +26,15 @@
 //! stacks) and `results/tourism_city.speedscope.json` (open at
 //! <https://www.speedscope.app>). Span times are modeled work under the
 //! fixed seed, so both files are byte-identical across runs.
+//!
+//! Pass `--xray` to write the bottleneck report (critical-path ranking,
+//! parallel-speedup bounds, per-stage queueing model) to
+//! `results/tourism_city.xray.json` — the artifact `augur-doctor
+//! --xray` diffs against a committed baseline. Byte-identical across
+//! same-seed runs.
 
 use augur::core::tourism::{
-    run_instrumented, run_logged, run_profiled, run_traced, run_watched, watch_config,
+    run_instrumented, run_logged, run_profiled, run_traced, run_watched, run_xray, watch_config,
     TourismParams,
 };
 use augur::log::{render_jsonl, EventLog};
@@ -50,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = std::env::args().any(|a| a == "--trace");
     let watch = std::env::args().any(|a| a == "--watch");
     let profile_run = std::env::args().any(|a| a == "--profile");
+    let xray_run = std::env::args().any(|a| a == "--xray");
     let log_run = std::env::args().any(|a| a == "--log");
     let mut params = TourismParams::default();
     if watch {
@@ -79,6 +86,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let speedscope = "results/tourism_city.speedscope.json";
         std::fs::write(speedscope, profile.render_speedscope("tourism_city"))?;
         println!("profile: wrote {folded} and {speedscope}");
+        report
+    } else if xray_run {
+        let (report, xray) = run_xray(&params, &registry)?;
+        std::fs::create_dir_all("results")?;
+        let path = "results/tourism_city.xray.json";
+        std::fs::write(path, xray.render_json())?;
+        print!("{}", xray.render_panel());
+        println!("xray: wrote {path}");
         report
     } else if log_run {
         // A denser tour (more labels per retrieval) forces the

@@ -81,3 +81,5 @@ pub use augur_telemetry as telemetry;
 pub use augur_track as track;
 /// Health monitoring: rollups, SLO burn-rate alerts, live endpoint.
 pub use augur_watch as watch;
+/// Bottleneck analysis: critical paths, speedup bounds, queueing models.
+pub use augur_xray as xray;
