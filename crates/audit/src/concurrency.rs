@@ -27,6 +27,12 @@
 //!    the sanctioned counter modules ([`crate::scan::ATOMICS_EXEMPT`]) or
 //!    under a reviewed entry in the `audit.allow` file; flag and seqlock
 //!    sites must use acquire/release.
+//! 6. **`spawn-lane-registered`** — inside the sanctioned worker-pool
+//!    modules ([`crate::scan::LANE_REQUIRED`]), every `thread::spawn`
+//!    must sit in a function that references a `Lane*` symbol
+//!    (`Lanes::register`, `LaneIo`, ...): a worker thread without a
+//!    lane is invisible to the per-lane flight rings and corrupts the
+//!    measured parallel-efficiency denominator.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -47,6 +53,17 @@ pub struct LockSite {
     pub pos: usize,
     /// Char position past which the guard is surely dead.
     pub held_until: usize,
+}
+
+/// A `thread::spawn` / `thread::Builder` site with its lane evidence.
+#[derive(Debug, Clone)]
+pub struct SpawnSite {
+    /// 1-based line of the spawn.
+    pub line: usize,
+    /// Whether the enclosing function (or the file, for module-level
+    /// sites) references a `Lane*` symbol — the textual evidence that
+    /// the spawned thread is registered as a worker lane.
+    pub lane_registered: bool,
 }
 
 /// A call site inside a function body.
@@ -85,8 +102,8 @@ pub struct FileConc {
     pub fns: Vec<FnConc>,
     /// `Ordering::Relaxed` sites: `(receiver symbol, line)`.
     pub relaxed: Vec<(String, usize)>,
-    /// `thread::spawn` / `thread::Builder` lines.
-    pub spawns: Vec<usize>,
+    /// `thread::spawn` / `thread::Builder` sites.
+    pub spawns: Vec<SpawnSite>,
     /// Unbounded-channel construction lines.
     pub unbounded: Vec<usize>,
     /// `bounded(...)` call lines whose capacity is a bare numeric literal.
@@ -210,13 +227,24 @@ pub fn collect(rel: &str, src: &str, policy: FilePolicy) -> FileConc {
         relaxed.push((symbol, scope::line_of(text, pos)));
     }
 
+    // Lane evidence per spawn: any `Lane*` reference (Lanes, LaneIo,
+    // LaneId, ...) within the spawning fn's signature-to-body range, or
+    // anywhere in the file for module-level sites.
+    let lane_refs = scope::find_pattern(text, "Lane");
     let mut spawns = Vec::new();
     for pat in SPAWNS {
         for pos in scope::find_pattern(text, pat) {
-            spawns.push(scope::line_of(text, pos));
+            let (lo, hi) = fn_index_of(pos)
+                .and_then(|i| sf.fns.get(i))
+                .map_or((0, text.len()), |f| (f.sig_pos, f.body_end));
+            let lane_registered = lane_refs.iter().any(|&p| p >= lo && p <= hi);
+            spawns.push(SpawnSite {
+                line: scope::line_of(text, pos),
+                lane_registered,
+            });
         }
     }
-    spawns.sort_unstable();
+    spawns.sort_unstable_by_key(|s| s.line);
 
     let mut unbounded = Vec::new();
     for pat in UNBOUNDED {
@@ -362,11 +390,29 @@ type Edge = (String, String);
 pub fn check_workspace(files: &[FileConc], allow: &Allowlist, out: &mut Vec<Violation>) {
     // ---- Per-file rules (spawn confinement, channels, atomics). ----
     for f in files {
-        if f.policy.deny_unsanctioned_spawn {
-            for &line in &f.spawns {
+        if f.policy.require_lane_registration {
+            for s in &f.spawns {
+                if s.lane_registered {
+                    continue;
+                }
                 out.push(violation(
                     &f.rel,
-                    line,
+                    s.line,
+                    "spawn-lane-registered",
+                    "worker-pool `thread::spawn` without a registered trace lane: the \
+                     spawning function must register a `LaneId` (`Lanes::register` / \
+                     `LaneIo`) so the thread lands on a per-lane flight ring with \
+                     busy/blocked accounting — an unregistered worker corrupts xray's \
+                     measured parallel efficiency"
+                        .to_string(),
+                ));
+            }
+        }
+        if f.policy.deny_unsanctioned_spawn {
+            for s in &f.spawns {
+                out.push(violation(
+                    &f.rel,
+                    s.line,
                     "spawn-confined",
                     "`thread::spawn` outside the sanctioned worker-pool modules: threads are \
                      confined to stream/src/pipeline.rs, stream/src/broker.rs, \
@@ -752,10 +798,31 @@ mod tests {
         let bad = "fn f() { std::thread::spawn(|| {}); }";
         let v = run(&[("crates/store/src/bg.rs", bad)]);
         assert_eq!(rules_of(&v), vec!["spawn-confined"]);
+        // Sanctioned module: no spawn-confined finding (the lane rule
+        // is separate and covered below).
         let v = run(&[("crates/stream/src/pipeline.rs", bad)]);
-        assert!(v.is_empty(), "sanctioned module: {v:?}");
+        assert!(
+            !rules_of(&v).contains(&"spawn-confined"),
+            "sanctioned module: {v:?}"
+        );
         let v = run(&[("crates/bench/src/bin/e99.rs", bad)]);
         assert!(v.is_empty(), "bins may spawn: {v:?}");
+    }
+
+    #[test]
+    fn lane_registration_in_worker_pool_modules() {
+        let bare = "fn f() { std::thread::spawn(|| {}); }";
+        let v = run(&[("crates/stream/src/pipeline.rs", bare)]);
+        assert_eq!(rules_of(&v), vec!["spawn-lane-registered"], "{v:?}");
+        // A Lane reference anywhere in the spawning fn is the evidence.
+        let laned = "fn f(lanes: &Lanes) { let lane = lanes.register(\"w\"); \
+                     let _ = lane.id(); std::thread::spawn(|| {}); }";
+        let v = run(&[("crates/stream/src/broker.rs", laned)]);
+        assert!(v.is_empty(), "registered worker must pass: {v:?}");
+        // The watch listener is control-plane: sanctioned to spawn, not
+        // required to register a lane.
+        let v = run(&[("crates/watch/src/serve.rs", bare)]);
+        assert!(v.is_empty(), "control-plane listener is exempt: {v:?}");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 pub type RuleDoc = (&'static str, &'static str, &'static str);
 
 /// Every rule the audit can emit, in stable (alphabetical) order.
-pub const RULES: [RuleDoc; 18] = [
+pub const RULES: [RuleDoc; 19] = [
     (
         "alloc-confined",
         "Global allocators are confined to the counting allocator module.",
@@ -152,6 +152,16 @@ pub const RULES: [RuleDoc; 18] = [
          thread.",
     ),
     (
+        "spawn-lane-registered",
+        "Worker-pool spawns must register a LaneId.",
+        "Inside the sanctioned worker-pool modules (crates/stream/src/pipeline.rs and \
+         crates/stream/src/broker.rs), every spawned thread is a *worker* and must be \
+         registered as a trace lane: the spawning function must reference a `Lane*` symbol \
+         (`Lanes::register`, `LaneIo`). An unregistered worker has no per-lane flight ring, \
+         no busy/blocked accounting, and silently corrupts xray's measured parallel \
+         efficiency. The watch endpoint's listener thread is control-plane and exempt.",
+    ),
+    (
         "time-source-only",
         "Telemetry-instrumented crates read time through TimeSource.",
         "Raw `Instant::now()` in instrumented crates bypasses `augur_telemetry::TimeSource`, \
@@ -214,6 +224,7 @@ mod tests {
             "no-blocking-hot-path",
             "bounded-channels-only",
             "spawn-confined",
+            "spawn-lane-registered",
             "atomics-ordering",
         ] {
             assert!(find(code).is_some(), "undocumented rule: {code}");

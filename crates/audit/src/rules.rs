@@ -68,6 +68,14 @@ pub struct FilePolicy {
     /// to the sanctioned worker-pool modules ([`crate::scan::SPAWN_EXEMPT`]),
     /// bins, and tests.
     pub deny_unsanctioned_spawn: bool,
+    /// Every `thread::spawn` in this file must register a worker lane:
+    /// the enclosing function must reference a `Lane*` symbol
+    /// (`Lanes::register`, `LaneIo`, ...). True for the sanctioned
+    /// worker-pool modules ([`crate::scan::LANE_REQUIRED`]), so no
+    /// worker thread escapes the per-lane flight rings and the
+    /// busy/blocked accounting that xray's measured parallel efficiency
+    /// is built on.
+    pub require_lane_registration: bool,
     /// Unbounded channels (and bare-literal `bounded()` capacities) are
     /// denied: every queue needs named, auditable backpressure.
     pub deny_unbounded_channel: bool,
@@ -503,6 +511,7 @@ mod tests {
         advise_indexing: true,
         require_docs: false,
         deny_unsanctioned_spawn: true,
+        require_lane_registration: false,
         deny_unbounded_channel: true,
         deny_blocking_hot_path: false,
         relaxed_exempt: false,
@@ -575,6 +584,7 @@ mod tests {
             advise_indexing: false,
             require_docs: true,
             deny_unsanctioned_spawn: false,
+            require_lane_registration: false,
             deny_unbounded_channel: false,
             deny_blocking_hot_path: false,
             relaxed_exempt: false,

@@ -83,12 +83,23 @@ pub const SPAWN_EXEMPT: [&str; 3] = [
     "crates/watch/src/serve.rs",
 ];
 
+/// Sanctioned spawn sites whose threads are *worker* threads and must
+/// therefore register a `LaneId` (reference a `Lane*` symbol in the
+/// spawning function) so every worker lands on a per-lane flight ring
+/// with busy/blocked accounting. `watch/src/serve.rs` stays off this
+/// list: its listener thread is control-plane, not a worker.
+pub const LANE_REQUIRED: [&str; 2] = [
+    "crates/stream/src/pipeline.rs",
+    "crates/stream/src/broker.rs",
+];
+
 /// Sanctioned `Ordering::Relaxed` modules: monotonic counters that are
 /// only ever summed. Everything else needs acquire/release or a reviewed
 /// `audit.allow` entry.
-pub const ATOMICS_EXEMPT: [&str; 3] = [
+pub const ATOMICS_EXEMPT: [&str; 4] = [
     "crates/telemetry/src/metric.rs",
     "crates/telemetry/src/time.rs",
+    "crates/telemetry/src/lane.rs",
     "crates/profile/src/alloc.rs",
 ];
 
@@ -343,6 +354,9 @@ pub fn policy_for(rel: &str) -> FilePolicy {
         // Threads are confined to the sanctioned worker-pool modules;
         // binary entry points own their process and may spawn.
         deny_unsanctioned_spawn: !is_entry && !SPAWN_EXEMPT.contains(&rel),
+        // Worker-pool spawns must register a trace lane; the watch
+        // listener is control-plane and exempt.
+        require_lane_registration: LANE_REQUIRED.contains(&rel),
         // Backpressure is workspace-wide — bins included: an unbounded
         // queue in a driver binary still masks overload.
         deny_unbounded_channel: true,

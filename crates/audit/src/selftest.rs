@@ -10,7 +10,7 @@ use crate::scan;
 
 /// A seeded violation fixture: file path (workspace-relative), source, and
 /// the deny rules the scanner must fire on it.
-const FIXTURES: [(&str, &str, &[&str]); 20] = [
+const FIXTURES: [(&str, &str, &[&str]); 21] = [
     (
         "crates/stream/src/bad_cycle_a.rs",
         "pub fn ab(s: &Shared) {\n    let g = s.alpha.lock();\n    let h = s.beta.lock();\n    drop(h);\n    drop(g);\n}\n",
@@ -50,6 +50,11 @@ const FIXTURES: [(&str, &str, &[&str]); 20] = [
         "crates/store/src/bad_spawn.rs",
         "pub fn background() -> std::thread::JoinHandle<()> {\n    std::thread::spawn(|| {})\n}\n",
         &["spawn-confined"],
+    ),
+    (
+        "crates/stream/src/broker.rs",
+        "pub fn background_flush<F: FnOnce() + Send + 'static>(f: F) -> std::thread::JoinHandle<()> {\n    std::thread::spawn(f)\n}\n",
+        &["spawn-lane-registered"],
     ),
     (
         "crates/geo/src/bad_relaxed.rs",
@@ -162,9 +167,10 @@ unsafe impl GlobalAlloc for Counting {
 
 /// Clean fixture for spawn confinement and channel discipline: a
 /// `thread::spawn` and a named-capacity `bounded()` are both fine inside
-/// the sanctioned worker-pool module `crates/stream/src/pipeline.rs`.
-/// (Stream is hot and per-record, so the fixture is also panic-free and
-/// contains no blocking operations.)
+/// the sanctioned worker-pool module `crates/stream/src/pipeline.rs` —
+/// provided the spawning function registers a trace lane
+/// (`spawn-lane-registered`). (Stream is hot and per-record, so the
+/// fixture is also panic-free and contains no blocking operations.)
 const CLEAN_SPAWN_SITE: &str = r#"//! Clean fixture: the sanctioned worker-pool spawn site.
 use std::thread;
 
@@ -176,8 +182,13 @@ pub fn pool_channel() -> (crossbeam::channel::Sender<u32>, crossbeam::channel::R
     crossbeam::channel::bounded::<u32>(POOL_CAPACITY)
 }
 
-/// Spawns one worker (sanctioned site: passes the audit).
-pub fn spawn_worker<F: FnOnce() + Send + 'static>(f: F) -> thread::JoinHandle<()> {
+/// Spawns one worker registered as a trace lane (passes the audit).
+pub fn spawn_worker<F: FnOnce() + Send + 'static>(
+    lanes: &augur_telemetry::Lanes,
+    f: F,
+) -> thread::JoinHandle<()> {
+    let lane = lanes.register("worker");
+    let _ = lane.id();
     thread::spawn(f)
 }
 "#;

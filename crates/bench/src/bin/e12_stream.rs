@@ -269,6 +269,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
             assert_eq!(report.head(), Some("pipeline/transform"));
         }
+        // The measured section must exist even for this single-lane
+        // (control) drain, beside the modeled bound above.
+        assert!(
+            report.measured.lanes >= 1 && report.measured.parallel_efficiency > 0.0,
+            "xray must report a measured section, got {:?}",
+            report.measured
+        );
         write_xray("e12_stream", &report)?;
     }
     if profiling {

@@ -140,11 +140,22 @@ fn rendered_trace_parses_and_preserves_causal_ids() {
         .expect("traceEvents")
         .as_array()
         .expect("array");
-    // Row 0 is process metadata; the rest mirror the drained events.
-    assert_eq!(rows.len(), events.len() + 1);
+    // Metadata rows (process_name + per-row thread_name) carry
+    // "ph":"M"; the rest mirror the drained events one-to-one.
+    let data_rows: Vec<_> = rows
+        .iter()
+        .filter(|row| {
+            row.field("ph")
+                .ok()
+                .and_then(|v| v.as_str().ok())
+                .map(|ph| ph != "M")
+                .unwrap_or(true)
+        })
+        .collect();
+    assert_eq!(data_rows.len(), events.len());
     let mut span_ids: HashSet<String> = HashSet::new();
     let mut parents: Vec<String> = Vec::new();
-    for row in &rows[1..] {
+    for row in data_rows {
         let args = row.field("args").expect("args").as_object().expect("obj");
         let span = args.get("span_id").expect("span_id").as_str().expect("hex");
         let parent = args

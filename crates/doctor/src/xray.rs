@@ -16,9 +16,21 @@
 //! - **Bound drop**: `parallel_speedup_bound` fell by more than
 //!   [`BOUND_DROP_TOLERANCE`] relative — the ceiling the sharding arc
 //!   (ROADMAP item 1) is chasing got lower.
+//! - **Efficiency drop**: `measured.parallel_efficiency` (the *measured*
+//!   counterpart of the modeled bound, from per-lane busy counters) fell
+//!   by more than [`EFFICIENCY_DROP_TOLERANCE`] relative — the workers
+//!   are really running less in parallel than they used to.
+//! - **Blocked-share growth**: a stage's or a worker lane's measured
+//!   blocked share grew by more than [`BLOCKED_SHARE_TOLERANCE`]
+//!   absolute — new contention, named by stage and by lane (this is the
+//!   lane red-gate: an injected stall must surface here by name).
 //! - **Truncation**: the current report was built from a lossy drain
 //!   (`"truncated": true`); a critical path with holes must not pass a
 //!   gate quietly.
+//!
+//! The measured fields are optional in both artifacts: baselines
+//! committed before lanes existed still parse and gate on the original
+//! checks.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -35,6 +47,14 @@ pub const SHARE_TOLERANCE: f64 = 0.05;
 /// fails.
 pub const BOUND_DROP_TOLERANCE: f64 = 0.10;
 
+/// Relative drop in `measured.parallel_efficiency` tolerated before
+/// the gate fails.
+pub const EFFICIENCY_DROP_TOLERANCE: f64 = 0.10;
+
+/// Absolute growth in a stage's or lane's measured blocked share
+/// tolerated before the gate fails (shares are fractions in `0..=1`).
+pub const BLOCKED_SHARE_TOLERANCE: f64 = 0.05;
+
 /// The gate-relevant slice of one xray artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct XraySummary {
@@ -48,6 +68,13 @@ pub struct XraySummary {
     pub truncated: bool,
     /// Critical-path share per stage name.
     pub shares: BTreeMap<String, f64>,
+    /// Measured parallel efficiency (`measured.parallel_efficiency`),
+    /// `None` for artifacts rendered before lanes existed.
+    pub efficiency: Option<f64>,
+    /// Measured blocked share per stage name (absent pre-lane).
+    pub stage_blocked: BTreeMap<String, f64>,
+    /// Measured blocked share per lane name (absent pre-lane).
+    pub lane_blocked: BTreeMap<String, f64>,
 }
 
 /// Outcome of diffing a current xray artifact against the baseline.
@@ -114,12 +141,35 @@ pub fn parse_xray_report(text: &str) -> io::Result<XraySummary> {
             .map_err(|e| bad(format!("critical_path frame missing share ({e})")))?;
         shares.insert(name, share);
     }
+    // Lane-era fields: optional, so baselines committed before worker
+    // lanes existed keep parsing (and simply skip the measured gates).
+    let efficiency = doc
+        .field("measured")
+        .and_then(|m| m.field("parallel_efficiency"))
+        .and_then(|v| v.as_f64())
+        .ok();
+    let blocked_by_name = |array: &str, key: &str| -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        if let Ok(rows) = doc.field(array).and_then(|v| v.as_array()) {
+            for row in rows {
+                let name = row.field(key).and_then(|v| v.as_str().map(str::to_string));
+                let share = row.field("blocked_share").and_then(|v| v.as_f64());
+                if let (Ok(name), Ok(share)) = (name, share) {
+                    out.insert(name, share);
+                }
+            }
+        }
+        out
+    };
     Ok(XraySummary {
         scenario,
         head,
         bound,
         truncated,
         shares,
+        efficiency,
+        stage_blocked: blocked_by_name("stages", "name"),
+        lane_blocked: blocked_by_name("lanes", "name"),
     })
 }
 
@@ -165,6 +215,41 @@ pub fn diff_xray(baseline: XraySummary, current: XraySummary) -> XrayGateReport 
             BOUND_DROP_TOLERANCE * 100.0,
         ));
     }
+    if let (Some(base), Some(cur)) = (baseline.efficiency, current.efficiency) {
+        if cur < base * (1.0 - EFFICIENCY_DROP_TOLERANCE) {
+            regressions.push(format!(
+                "measured parallel efficiency dropped {base:.2} -> {cur:.2} \
+                 (more than {:.0}% — the lanes really are running less in parallel)",
+                EFFICIENCY_DROP_TOLERANCE * 100.0,
+            ));
+        }
+    }
+    for (stage, &cur) in &current.stage_blocked {
+        let base = baseline.stage_blocked.get(stage).copied().unwrap_or(0.0);
+        if cur - base > BLOCKED_SHARE_TOLERANCE {
+            regressions.push(format!(
+                "stage `{stage}` blocked share grew {:.1}% -> {:.1}% \
+                 (+{:.1} pts > {:.0} pt tolerance) — contention grew at stage {stage}",
+                base * 100.0,
+                cur * 100.0,
+                (cur - base) * 100.0,
+                BLOCKED_SHARE_TOLERANCE * 100.0,
+            ));
+        }
+    }
+    for (lane, &cur) in &current.lane_blocked {
+        let base = baseline.lane_blocked.get(lane).copied().unwrap_or(0.0);
+        if cur - base > BLOCKED_SHARE_TOLERANCE {
+            regressions.push(format!(
+                "lane `{lane}` blocked share grew {:.1}% -> {:.1}% \
+                 (+{:.1} pts > {:.0} pt tolerance) — lane {lane} is stalled",
+                base * 100.0,
+                cur * 100.0,
+                (cur - base) * 100.0,
+                BLOCKED_SHARE_TOLERANCE * 100.0,
+            ));
+        }
+    }
     XrayGateReport {
         baseline,
         current,
@@ -207,6 +292,12 @@ pub fn render_xray_markdown(report: &XrayGateReport) -> String {
         report.current.bound,
         report.baseline.bound,
     );
+    if let (Some(base), Some(cur)) = (report.baseline.efficiency, report.current.efficiency) {
+        let _ = writeln!(
+            out,
+            "measured parallel efficiency {cur:.2} (baseline {base:.2})\n",
+        );
+    }
     out.push_str("| stage | baseline share | current share | delta |\n|---|---|---|---|\n");
     let mut stages: Vec<&String> = report
         .baseline
@@ -317,6 +408,83 @@ mod tests {
         let report = diff_xray(base, parse(&text));
         assert!(has_xray_regressions(&report));
         assert!(report.regressions[0].contains("truncated"));
+    }
+
+    /// A lane-era artifact: measured section plus stage/lane blocked
+    /// shares (shapes match what `augur-xray` renders).
+    fn lane_artifact(efficiency: f64, stage_blocked: f64, lane_blocked: f64) -> String {
+        format!(
+            "{{\"xray\":\"t\",\"truncated\":false,\"events\":{{\"total\":4,\"dropped\":0}},\
+             \"roots\":1,\"makespan_us\":100,\"work_us\":100,\"span_us\":100,\
+             \"speedup\":{{\"work_span_bound\":1,\"stage_bound\":2,\
+             \"parallel_speedup_bound\":2}},\
+             \"measured\":{{\"lanes\":2,\"busy_us\":130,\"blocked_us\":20,\
+             \"parallel_efficiency\":{efficiency}}},\"head\":\"produce\",\
+             \"critical_path\":[{{\"name\":\"produce\",\"self_us\":100,\"count\":1,\
+             \"share\":1.0}}],\
+             \"stages\":[{{\"name\":\"produce\",\"count\":1,\"busy_us\":100,\
+             \"arrival_per_s\":1,\"service_us\":100,\"utilization\":1,\
+             \"queue_wait_us\":0,\"queue_wait_share\":0,\"blocked_us\":20,\
+             \"blocked_share\":{stage_blocked}}}],\
+             \"lanes\":[{{\"lane\":1,\"name\":\"producer-1\",\"busy_us\":80,\
+             \"blocked_us\":20,\"dropped\":0,\"utilization\":0.8,\
+             \"blocked_share\":{lane_blocked}}}],\"queues\":[]}}"
+        )
+    }
+
+    #[test]
+    fn efficiency_drop_past_tolerance_fails() {
+        let base = parse(&lane_artifact(0.9, 0.0, 0.0));
+        let cur = parse(&lane_artifact(0.7, 0.0, 0.0));
+        let report = diff_xray(base, cur);
+        assert!(has_xray_regressions(&report));
+        assert!(report.regressions[0].contains("measured parallel efficiency dropped"));
+        // A drop inside the 10% relative tolerance passes.
+        let base = parse(&lane_artifact(0.9, 0.0, 0.0));
+        let cur = parse(&lane_artifact(0.85, 0.0, 0.0));
+        assert!(!has_xray_regressions(&diff_xray(base, cur)));
+        let md = render_xray_markdown(&diff_xray(
+            parse(&lane_artifact(0.9, 0.0, 0.0)),
+            parse(&lane_artifact(0.85, 0.0, 0.0)),
+        ));
+        assert!(md.contains("measured parallel efficiency 0.85 (baseline 0.90)"));
+    }
+
+    #[test]
+    fn blocked_share_growth_names_the_stage_and_lane() {
+        let base = parse(&lane_artifact(0.9, 0.02, 0.02));
+        let cur = parse(&lane_artifact(0.9, 0.30, 0.30));
+        let report = diff_xray(base, cur);
+        assert_eq!(report.regressions.len(), 2);
+        assert!(
+            report.regressions[0].contains("contention grew at stage produce"),
+            "stage must be named: {:?}",
+            report.regressions
+        );
+        assert!(
+            report.regressions[1].contains("lane `producer-1` blocked share grew"),
+            "lane must be named: {:?}",
+            report.regressions
+        );
+        // Growth inside the 5 pt tolerance passes.
+        let base = parse(&lane_artifact(0.9, 0.02, 0.02));
+        let cur = parse(&lane_artifact(0.9, 0.06, 0.06));
+        assert!(!has_xray_regressions(&diff_xray(base, cur)));
+    }
+
+    #[test]
+    fn pre_lane_baseline_still_parses_and_skips_measured_gates() {
+        // Old committed baseline: no measured/lanes/blocked fields.
+        let base = parse(&artifact("produce", 1.0, 0.0, 2.0));
+        assert_eq!(base.efficiency, None);
+        assert!(base.lane_blocked.is_empty());
+        // New current with an awful efficiency: no efficiency gate
+        // fires (nothing to compare against), but blocked-share growth
+        // still gates against an implicit zero baseline.
+        let cur = parse(&lane_artifact(0.1, 0.0, 0.4));
+        let report = diff_xray(base, cur);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].contains("lane `producer-1`"));
     }
 
     #[test]

@@ -4,14 +4,20 @@
 //! about a late drop renders *inside* the frame span that caused it.
 //!
 //! The span rendering matches `augur_telemetry::render_chrome_trace`
-//! (same `ph`/`cat`/`args` shape); log records add `"cat":"log"`
-//! instants whose `args` carry the level and the typed fields. Thread
-//! ids are assigned per `trace_id` in order of first appearance over
-//! the merged stream, so a causal chain's spans and logs share a row.
+//! (same `ph`/`cat`/`args` shape, same lane-keyed thread rows); log
+//! records add `"cat":"log"` instants whose `args` carry the level and
+//! the typed fields. Worker-lane spans render on `tid == lane id` with
+//! a named `thread_name` row; control-lane events and logs are
+//! assigned per-`trace_id` synthetic tids (offset above
+//! [`CONTROL_TID_BASE`](augur_telemetry::chrome::CONTROL_TID_BASE), in
+//! order of first appearance over the merged stream), so a causal
+//! chain's spans and logs share a row. A log whose trace ran on a
+//! worker lane joins that lane's row.
 
 use std::fmt::Write as _;
 
-use augur_telemetry::{escape_json, json_f64, FlightEvent, FlightEventKind};
+use augur_telemetry::chrome::CONTROL_TID_BASE;
+use augur_telemetry::{escape_json, json_f64, FlightEvent, FlightEventKind, LaneId};
 
 use crate::export::canonical_order;
 use crate::ring::{FieldValue, LogRecord};
@@ -26,15 +32,47 @@ pub fn render_chrome_trace_with_logs(
 ) -> String {
     let mut sorted_logs: Vec<LogRecord> = logs.to_vec();
     canonical_order(&mut sorted_logs);
-    let mut tids: Vec<u64> = Vec::new();
-    let mut tid_of = |trace_id: u64| -> usize {
-        match tids.iter().position(|t| *t == trace_id) {
-            Some(pos) => pos + 1,
-            None => {
-                tids.push(trace_id);
-                tids.len()
+    // Worker lanes present, and the lane each lane-borne trace ran on.
+    let mut worker_lanes: Vec<LaneId> = Vec::new();
+    let mut lane_of_trace: Vec<(u64, LaneId)> = Vec::new();
+    for e in spans {
+        if e.lane.is_worker() {
+            if !worker_lanes.contains(&e.lane) {
+                worker_lanes.push(e.lane);
+            }
+            if !lane_of_trace.iter().any(|(t, _)| *t == e.trace_id) {
+                lane_of_trace.push((e.trace_id, e.lane));
             }
         }
+    }
+    worker_lanes.sort();
+    let lane_of = |trace_id: u64| -> Option<LaneId> {
+        lane_of_trace
+            .iter()
+            .find(|(t, _)| *t == trace_id)
+            .map(|(_, l)| *l)
+    };
+    // Control chains in first-appearance order over spans then logs.
+    let mut chains: Vec<u64> = Vec::new();
+    for e in spans {
+        if !e.lane.is_worker() && !chains.contains(&e.trace_id) {
+            chains.push(e.trace_id);
+        }
+    }
+    for r in &sorted_logs {
+        if lane_of(r.trace_id).is_none() && !chains.contains(&r.trace_id) {
+            chains.push(r.trace_id);
+        }
+    }
+    let tid_of = |trace_id: u64, lane: LaneId| -> u64 {
+        if lane.is_worker() {
+            return u64::from(lane.0);
+        }
+        if let Some(l) = lane_of(trace_id) {
+            return u64::from(l.0);
+        }
+        let pos = chains.iter().position(|t| *t == trace_id).unwrap_or(0);
+        CONTROL_TID_BASE + pos as u64
     };
     let mut out = String::from("{\"traceEvents\":[");
     let _ = write!(
@@ -43,8 +81,26 @@ pub fn render_chrome_trace_with_logs(
          \"args\":{{\"name\":\"{}\"}}}}",
         escape_json(process_name)
     );
+    for lane in &worker_lanes {
+        out.push(',');
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"lane-{}\"}}}}",
+            lane.0, lane.0
+        );
+    }
+    for (idx, _) in chains.iter().enumerate() {
+        out.push(',');
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"trace-{idx}\"}}}}",
+            CONTROL_TID_BASE + idx as u64,
+        );
+    }
     for e in spans {
-        let tid = tid_of(e.trace_id);
+        let tid = tid_of(e.trace_id, e.lane);
         out.push(',');
         match e.kind {
             FlightEventKind::Span => {
@@ -78,7 +134,7 @@ pub fn render_chrome_trace_with_logs(
         }
     }
     for r in &sorted_logs {
-        let tid = tid_of(r.trace_id);
+        let tid = tid_of(r.trace_id, LaneId::CONTROL);
         out.push(',');
         let _ = write!(
             out,
@@ -150,8 +206,11 @@ mod tests {
         assert!(json.contains("\"cat\":\"log\""));
         assert!(json.contains("\"level\":\"warn\""));
         assert!(json.contains("\"dropped\":3"));
-        // The log instant shares the causal chain's tid with its spans.
-        assert_eq!(json.matches("\"tid\":1,").count(), 3);
+        // The log instant shares the causal chain's named tid with its
+        // spans (thread_name row + two spans + one log).
+        let tid = format!("\"tid\":{CONTROL_TID_BASE},");
+        assert_eq!(json.matches(tid.as_str()).count(), 4);
+        assert!(json.contains("{\"name\":\"trace-0\"}"));
         // The log's span_id matches the layout span it was emitted under.
         let layout_span = spans[1].span_id;
         assert!(logs.iter().all(|r| r.span_id == layout_span));

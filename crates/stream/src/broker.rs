@@ -11,7 +11,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use augur_log::{EventLog, Level, LogSite};
-use augur_telemetry::{Clock, Registry, TraceContext};
+use augur_telemetry::{BlockedSite, Clock, Lane, Registry, TraceContext};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::StreamError;
@@ -404,6 +404,37 @@ impl ConsumerGroup {
         *entry = (*entry).max(next_offset);
     }
 
+    /// Like [`ConsumerGroup::commit`], but charges time spent waiting
+    /// on the group's commit lock to `lane`: an uncontended commit
+    /// takes the `try_lock` fast path; when another member holds the
+    /// lock, the wait is measured on `clock`, added to the lane's
+    /// `lane_blocked_us` counter, and recorded as a
+    /// `blocked/commit_lock` span under `parent` — the contention xray
+    /// attributes to the committing stage.
+    pub fn commit_contended(
+        &self,
+        topic: &str,
+        partition: PartitionId,
+        next_offset: u64,
+        lane: &Lane,
+        clock: &Clock,
+        parent: TraceContext,
+    ) {
+        let mut committed = match self.committed.try_lock() {
+            Some(guard) => guard,
+            None => {
+                let blocked = lane.block(clock, parent, BlockedSite::CommitLock);
+                let guard = self.committed.lock();
+                blocked.end();
+                guard
+            }
+        };
+        let entry = committed
+            .entry((topic.to_string(), partition.0))
+            .or_insert(0);
+        *entry = (*entry).max(next_offset);
+    }
+
     /// The committed next-offset for a partition (0 if never committed).
     pub fn committed_offset(&self, topic: &str, partition: PartitionId) -> u64 {
         *self
@@ -592,6 +623,61 @@ mod tests {
         for pid in g.assignment("t", "m").unwrap() {
             assert!(g.poll("t", "m", pid, 100).unwrap().is_empty());
         }
+    }
+
+    #[test]
+    fn commit_contended_fast_path_charges_nothing() {
+        use augur_telemetry::{Lanes, ManualTime};
+        let b = Broker::new();
+        b.create_topic("t", 1).unwrap();
+        let g = ConsumerGroup::new("g", b);
+        let lanes = Lanes::new(9, 64);
+        let lane = lanes.register("committer");
+        let clock: Clock = ManualTime::shared();
+        g.commit_contended("t", PartitionId(0), 5, &lane, &clock, TraceContext::root(9, 1));
+        assert_eq!(g.committed_offset("t", PartitionId(0)), 5);
+        // Monotonic: a stale lower commit cannot move the group back.
+        g.commit_contended("t", PartitionId(0), 3, &lane, &clock, TraceContext::root(9, 2));
+        assert_eq!(g.committed_offset("t", PartitionId(0)), 5);
+        assert_eq!(lane.blocked_us(), 0);
+        assert!(lanes.merge_drains().events.is_empty());
+    }
+
+    #[test]
+    fn commit_contended_charges_blocked_time_under_contention() {
+        use augur_telemetry::{Lanes, MonotonicTime};
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let b = Broker::new();
+        b.create_topic("t", 1).unwrap();
+        let g = Arc::new(ConsumerGroup::new("g", b));
+        let lanes = Lanes::new(9, 64);
+        let lane = lanes.register("committer");
+        let clock: Clock = MonotonicTime::shared();
+        let held = g.committed.lock();
+        let entered = Arc::new(AtomicBool::new(false));
+        let t = {
+            let (g, lane, clock, entered) =
+                (Arc::clone(&g), lane.clone(), Arc::clone(&clock), Arc::clone(&entered));
+            std::thread::spawn(move || {
+                entered.store(true, Ordering::Release);
+                g.commit_contended("t", PartitionId(0), 7, &lane, &clock, TraceContext::root(9, 3));
+            })
+        };
+        while !entered.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+        // Keep the lock held long enough that the committer is firmly
+        // in the blocked path before we release it.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        drop(held);
+        t.join().unwrap_or_else(|_| unreachable!("committer panicked"));
+        assert_eq!(g.committed_offset("t", PartitionId(0)), 7);
+        assert!(lane.blocked_us() > 0, "wait on the held lock must be charged");
+        let merged = lanes.merge_drains();
+        assert!(merged
+            .events
+            .iter()
+            .any(|e| e.name == "blocked/commit_lock" && e.lane == lane.id()));
     }
 
     #[test]

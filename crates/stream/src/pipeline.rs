@@ -24,8 +24,8 @@ use std::sync::Arc;
 
 use augur_log::{EventLog, Level, LogSite, SymId, Value};
 use augur_telemetry::{
-    Clock, Counter, FlightRecorder, Gauge, Histogram, ManualTime, MonotonicTime, NameId, Registry,
-    TraceContext, Tracer,
+    BlockedSite, Clock, Counter, FlightRecorder, Gauge, Histogram, Lane, LaneBlock, LaneWork,
+    Lanes, ManualTime, MonotonicTime, NameId, Registry, TraceContext, Tracer,
 };
 use crossbeam::channel;
 
@@ -112,6 +112,7 @@ pub struct PipelineBuilder<T> {
     modeled: Option<(Arc<ManualTime>, ModeledCosts)>,
     flight: Option<(FlightRecorder, TraceContext)>,
     log: Option<(EventLog, TraceContext)>,
+    lanes: Option<Lanes>,
 }
 
 impl<T> std::fmt::Debug for PipelineBuilder<T> {
@@ -147,6 +148,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             modeled: None,
             flight: None,
             log: None,
+            lanes: None,
         }
     }
 
@@ -203,6 +205,20 @@ impl<T: Send + 'static> PipelineBuilder<T> {
     /// is lock-free; leaving this unset costs nothing.
     pub fn log(mut self, log: &EventLog, parent: TraceContext) -> Self {
         self.log = Some((log.clone(), parent));
+        self
+    }
+
+    /// Registers this pipeline's continuous-mode threads as worker
+    /// lanes in `lanes`: the source pump and the transform worker each
+    /// get a deterministic [`augur_telemetry::LaneId`] at spawn, their
+    /// spans land on per-lane rings, and time spent blocked on the
+    /// bounded channel (send on full, receive on empty) is measured on
+    /// the pipeline clock and recorded as `blocked/…` spans plus the
+    /// lane busy/blocked counters — the inputs to xray's *measured*
+    /// parallel efficiency. Bounded runs are unaffected (they execute
+    /// on the caller's thread, the control lane).
+    pub fn lanes(mut self, lanes: &Lanes) -> Self {
+        self.lanes = Some(lanes.clone());
         self
     }
 
@@ -539,6 +555,38 @@ impl Instruments {
             p50_latency_us: latency.map_or(0.0, |h| h.quantile(0.50) as f64 / 1_000.0),
             p99_latency_us: latency.map_or(0.0, |h| h.quantile(0.99) as f64 / 1_000.0),
         }
+    }
+}
+
+/// Lane wiring for one continuous-mode thread: the lane handle, the
+/// clock it measures blocked/busy time on, and the pre-interned name
+/// its work spans carry.
+struct LaneIo {
+    lane: Lane,
+    clock: Clock,
+    work_name: NameId,
+}
+
+impl LaneIo {
+    fn register(lanes: &Lanes, lane_name: &str, work_name: &str, clock: &Clock) -> LaneIo {
+        let lane = lanes.register(lane_name);
+        LaneIo {
+            work_name: lane.recorder().intern(work_name),
+            clock: Arc::clone(clock),
+            lane,
+        }
+    }
+
+    /// A work span under the lane root covering one batch/burst.
+    fn work(&self) -> LaneWork {
+        self.lane.work(&self.clock, self.lane.root(), self.work_name)
+    }
+
+    /// A blocked window, parented under `parent` when the wait happens
+    /// inside a work span (so xray attributes it to that stage).
+    fn block(&self, parent: Option<TraceContext>, site: BlockedSite) -> LaneBlock {
+        self.lane
+            .block(&self.clock, parent.unwrap_or(self.lane.root()), site)
     }
 }
 
@@ -889,6 +937,22 @@ impl<T: Send + 'static> Pipeline<T> {
         let queue_depth_src = self.instruments.queue_depth.clone();
         let queue_depth_worker = self.instruments.queue_depth.clone();
         let queue_occupancy = self.instruments.queue_occupancy.clone();
+        // Lane registration happens here, on the *spawning* thread, so
+        // lane ids are assigned in program order (pump then worker) no
+        // matter how the OS schedules the threads.
+        let pump_io = self
+            .inner
+            .lanes
+            .as_ref()
+            .map(|l| LaneIo::register(l, &format!("{}/pump", self.inner.topic), "pipeline/pump", &clock));
+        let worker_io = self.inner.lanes.as_ref().map(|l| {
+            LaneIo::register(
+                l,
+                &format!("{}/worker", self.inner.topic),
+                "pipeline/process",
+                &clock,
+            )
+        });
         let source = std::thread::spawn(move || {
             let mut offsets = vec![0u64; parts as usize];
             while !stop_src.load(Ordering::Acquire) {
@@ -907,6 +971,13 @@ impl<T: Send + 'static> Pipeline<T> {
                         offsets[p as usize] = last.offset.0 + 1;
                         idle = false;
                     }
+                    // One pump work span per non-empty batch; send waits
+                    // nest under it so xray charges them to the pump.
+                    let batch_work = if batch.is_empty() {
+                        None
+                    } else {
+                        pump_io.as_ref().map(LaneIo::work)
+                    };
                     for pr in batch {
                         records_in.inc();
                         if let Some(v) = decoder(&pr.record) {
@@ -943,6 +1014,16 @@ impl<T: Send + 'static> Pipeline<T> {
                                             ],
                                         );
                                     }
+                                    // The spin itself is the measured
+                                    // blocked window: it ends the moment
+                                    // the send succeeds (or the pump
+                                    // gives up on stop/disconnect).
+                                    let _blocked = pump_io.as_ref().map(|io| {
+                                        io.block(
+                                            batch_work.as_ref().map(LaneWork::ctx),
+                                            BlockedSite::ChannelSend,
+                                        )
+                                    });
                                     let mut flow = full;
                                     loop {
                                         if stop_src.load(Ordering::Acquire) {
@@ -981,37 +1062,56 @@ impl<T: Send + 'static> Pipeline<T> {
         let mut transforms = self.inner.transforms;
         let stop_worker = Arc::clone(&stop);
         let processed_worker = Arc::clone(&processed);
-        let worker = std::thread::spawn(move || loop {
-            match rx.try_recv() {
-                Ok(flow) => {
-                    dequeued.inc();
-                    let d = depth_worker
-                        .fetch_sub(1, Ordering::Relaxed)
-                        .saturating_sub(1);
-                    queue_depth_worker.set_u64(d);
-                    let mut v = Some(flow.value);
-                    for tr in &mut transforms {
-                        v = match v {
-                            Some(x) => tr(x),
-                            None => break,
-                        };
+        let worker = std::thread::spawn(move || {
+            // The worker alternates between a busy burst (one work span
+            // covering consecutive records) and a blocked window on the
+            // empty channel — together they cover the lane's timeline.
+            let mut burst: Option<LaneWork> = None;
+            let mut waiting: Option<LaneBlock> = None;
+            loop {
+                match rx.try_recv() {
+                    Ok(flow) => {
+                        waiting = None;
+                        if burst.is_none() {
+                            burst = worker_io.as_ref().map(LaneIo::work);
+                        }
+                        dequeued.inc();
+                        let d = depth_worker
+                            .fetch_sub(1, Ordering::Relaxed)
+                            .saturating_sub(1);
+                        queue_depth_worker.set_u64(d);
+                        let mut v = Some(flow.value);
+                        for tr in &mut transforms {
+                            v = match v {
+                                Some(x) => tr(x),
+                                None => break,
+                            };
+                        }
+                        if let Some(x) = v {
+                            sink(x);
+                            records_out.inc();
+                            processed_worker.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
-                    if let Some(x) = v {
-                        sink(x);
-                        records_out.inc();
-                        processed_worker.fetch_add(1, Ordering::Relaxed);
+                    Err(channel::TryRecvError::Empty) => {
+                        burst = None;
+                        // Drained: stop only once the queue is empty, so a
+                        // stop signal never abandons accepted records.
+                        if stop_worker.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if waiting.is_none() {
+                            waiting = worker_io
+                                .as_ref()
+                                .map(|io| io.block(None, BlockedSite::ChannelRecv));
+                        }
+                        std::thread::yield_now();
                     }
+                    Err(channel::TryRecvError::Disconnected) => break,
                 }
-                Err(channel::TryRecvError::Empty) => {
-                    // Drained: stop only once the queue is empty, so a
-                    // stop signal never abandons accepted records.
-                    if stop_worker.load(Ordering::Acquire) {
-                        break;
-                    }
-                    std::thread::yield_now();
-                }
-                Err(channel::TryRecvError::Disconnected) => break,
             }
+            drop(waiting);
+            drop(burst);
         });
         Ok(StopHandle {
             stop,
@@ -1539,6 +1639,50 @@ mod tests {
         handle.stop();
         let got = collected.lock();
         assert_eq!(got.len(), 500);
+    }
+
+    #[test]
+    fn continuous_mode_registers_lanes_and_measures_contention() {
+        let b = Broker::new();
+        b.create_topic("live", 1).unwrap();
+        b.append_batch(
+            "live",
+            (0..100u64).map(|i| Record::new(i, i.to_le_bytes().to_vec(), i)),
+        )
+        .unwrap();
+        let lanes = Lanes::new(5, 4096);
+        let p = PipelineBuilder::new(b, "live", decode)
+            .channel_capacity(2)
+            .lanes(&lanes)
+            .build();
+        // A slow sink keeps the 2-slot channel full, so the pump must
+        // spend measurable time blocked on send.
+        let handle = p
+            .spawn_continuous(|_| std::thread::sleep(std::time::Duration::from_micros(300)))
+            .unwrap();
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while handle.processed() < 100 && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        handle.stop();
+        assert_eq!(lanes.len(), 2, "pump + worker lanes");
+        let merged = lanes.merge_drains();
+        assert_eq!(merged.lanes[0].name, "live/pump");
+        assert_eq!(merged.lanes[1].name, "live/worker");
+        assert!(merged.events.iter().all(|e| e.lane.is_worker()));
+        let names: std::collections::HashSet<&str> =
+            merged.events.iter().map(|e| e.name.as_str()).collect();
+        assert!(names.contains("pipeline/pump"));
+        assert!(names.contains("pipeline/process"));
+        assert!(
+            names.contains("blocked/channel_send"),
+            "pump must record send backpressure: {names:?}"
+        );
+        assert!(merged.lanes[0].blocked_us > 0);
+        assert!(merged.lanes[1].busy_us > 0);
+        for l in &merged.lanes {
+            assert_eq!(l.drained + l.dropped, l.total, "lane {} loss accounting", l.id);
+        }
     }
 
     #[test]

@@ -51,6 +51,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
+use crate::lane::LaneId;
 use crate::time::Clock;
 use crate::trace::TraceContext;
 
@@ -90,6 +91,9 @@ pub struct FlightEvent {
     pub dur_us: u64,
     /// Free-form payload for instants (0 for spans).
     pub arg: u64,
+    /// The worker lane that recorded this event ([`LaneId::CONTROL`]
+    /// for plain recorders; see [`FlightRecorder::for_lane`]).
+    pub lane: LaneId,
 }
 
 #[derive(Debug)]
@@ -131,6 +135,8 @@ struct FlightInner {
     dropped: AtomicU64,
     /// Interned names; written only on the registration path.
     names: RwLock<Vec<String>>,
+    /// Stamped onto every drained event; the ring belongs to one lane.
+    lane: LaneId,
 }
 
 /// The bounded lock-free span/event ring. Cloning shares the ring. See
@@ -148,8 +154,16 @@ impl Default for FlightRecorder {
 
 impl FlightRecorder {
     /// A recorder holding up to `capacity` entries (rounded up to a power
-    /// of two, minimum 8).
+    /// of two, minimum 8). Events drain on the control lane
+    /// ([`LaneId::CONTROL`]).
     pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder::for_lane(capacity, LaneId::CONTROL)
+    }
+
+    /// A recorder whose drained events carry `lane` — one ring per
+    /// worker lane, so lanes never share a write cursor. Normally
+    /// constructed through [`crate::Lanes::register`].
+    pub fn for_lane(capacity: usize, lane: LaneId) -> FlightRecorder {
         let cap = capacity.max(8).next_power_of_two();
         FlightRecorder {
             inner: Arc::new(FlightInner {
@@ -159,8 +173,14 @@ impl FlightRecorder {
                 read: Mutex::new(0),
                 dropped: AtomicU64::new(0),
                 names: RwLock::new(Vec::new()),
+                lane,
             }),
         }
+    }
+
+    /// The lane this ring records for ([`LaneId::CONTROL`] by default).
+    pub fn lane(&self) -> LaneId {
+        self.inner.lane
     }
 
     /// Ring capacity in entries.
@@ -319,6 +339,7 @@ impl FlightRecorder {
                 ts_us,
                 dur_us,
                 arg,
+                lane: inner.lane,
             });
         }
         *read = w;

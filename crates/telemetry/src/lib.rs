@@ -57,6 +57,8 @@ pub mod chrome;
 pub mod export;
 /// The lock-free flight recorder (bounded span/event ring).
 pub mod flight;
+/// Worker lanes: deterministic ids, per-lane rings, merged drains.
+pub mod lane;
 /// The atomic instruments: counters, gauges, histograms.
 pub mod metric;
 /// Sharded registry of labeled metric families.
@@ -71,13 +73,17 @@ pub mod trace;
 pub mod tree;
 
 /// Chrome trace-event rendering for drained flight events.
-pub use chrome::render_chrome_trace;
+pub use chrome::{render_chrome_trace, render_chrome_trace_with_lanes};
 /// JSON string escaping shared with the bench snapshot writer.
 pub use export::{
     escape_json, escape_label_value, json_f64, render_snapshot_json, render_span_breakdown,
 };
 /// The flight recorder and its drained event type.
 pub use flight::{FlightEvent, FlightEventKind, FlightRecorder, NameId, TraceSpan};
+/// Worker-lane identity, contention accounting, and merged drains.
+pub use lane::{
+    merge_drained, BlockedSite, Lane, LaneBlock, LaneId, LaneSummary, LaneWork, Lanes, MergedDrain,
+};
 /// Lock-free instruments and the bucket-layout helper for aggregators.
 pub use metric::{bucket_midpoint, Counter, Gauge, Histogram, HistogramSnapshot};
 /// Labeled metric families and snapshots.

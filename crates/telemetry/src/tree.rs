@@ -25,6 +25,7 @@
 use std::collections::BTreeMap;
 
 use crate::flight::{FlightEvent, FlightEventKind};
+use crate::lane::LaneId;
 
 /// Caps ancestry walks so a corrupt drain (cyclic parent links) cannot
 /// loop a fold or a critical-path extraction.
@@ -43,6 +44,8 @@ pub struct SpanNode {
     pub start_us: u64,
     /// Duration, microseconds.
     pub dur_us: u64,
+    /// The worker lane that recorded the span.
+    pub lane: LaneId,
     /// Index of the parent node, or `None` for a root.
     pub parent: Option<usize>,
     /// Indices of child nodes, in drain order.
@@ -82,6 +85,7 @@ impl SpanForest {
                 name: ev.name.clone(),
                 start_us: ev.ts_us,
                 dur_us: ev.dur_us,
+                lane: ev.lane,
                 parent: None,
                 children: Vec::new(),
             });
@@ -239,6 +243,7 @@ mod tests {
             ts_us: 0,
             dur_us: 1,
             arg: 0,
+            lane: LaneId::CONTROL,
         };
         let forest = SpanForest::build(&[ev(1, 2, "a"), ev(2, 1, "b")]);
         assert!(forest.roots().is_empty());

@@ -274,23 +274,40 @@ impl WatchSession {
 
     /// Ingests a completed bottleneck report: exports its headline
     /// numbers as gauges (`parallel_speedup_bound`,
+    /// `measured_parallel_efficiency`,
     /// `xray_stage_utilization{stage=...}`,
-    /// `xray_critical_path_share{stage=...}`) so rollups and SLOs can
-    /// grade them, stores the rendered panel for the `/` dashboard, and
+    /// `xray_critical_path_share{stage=...}`, and per-worker-lane
+    /// `lane_utilization{lane=...}` / `lane_blocked_share{lane=...}`)
+    /// so rollups and SLOs can grade them, stores the rendered panel —
+    /// including the lanes table — for the `/` dashboard, and
     /// republishes the served state.
     pub fn observe_xray(&mut self, report: &XrayReport) {
         self.registry
             .gauge("parallel_speedup_bound")
             .set(report.parallel_speedup_bound);
+        self.registry
+            .gauge("measured_parallel_efficiency")
+            .set(report.measured.parallel_efficiency);
         for stage in &report.stages {
             self.registry
                 .gauge_labeled("xray_stage_utilization", &[("stage", &stage.name)])
                 .set(stage.utilization);
+            self.registry
+                .gauge_labeled("xray_stage_blocked_share", &[("stage", &stage.name)])
+                .set(stage.blocked_share);
         }
         for frame in &report.critical_path {
             self.registry
                 .gauge_labeled("xray_critical_path_share", &[("stage", &frame.name)])
                 .set(frame.share);
+        }
+        for lane in &report.lanes {
+            self.registry
+                .gauge_labeled("lane_utilization", &[("lane", &lane.name)])
+                .set(lane.utilization);
+            self.registry
+                .gauge_labeled("lane_blocked_share", &[("lane", &lane.name)])
+                .set(lane.blocked_share);
         }
         self.xray_panel = report.render_panel();
         self.refresh_shared();
@@ -561,6 +578,50 @@ mod tests {
             .dashboard
             .lock()
             .contains("xray: parallel speedup bound"));
+    }
+
+    #[test]
+    fn merged_lane_report_feeds_lane_gauges_and_panel() {
+        use augur_telemetry::{BlockedSite, Clock, Lanes};
+        let mut session = WatchSession::new(test_config(0)).unwrap_or_else(|e| unreachable!("{e}"));
+        let lanes = Lanes::new(7, 64);
+        let a = lanes.register("pump");
+        let b = lanes.register("worker");
+        for (lane, busy, stall) in [(&a, 90u64, 10u64), (&b, 40, 60)] {
+            let time = ManualTime::shared();
+            let clock: Clock = time.clone();
+            let stage = lane.recorder().intern("stage/run");
+            let w = lane.work(&clock, lane.root(), stage);
+            time.advance_micros(busy);
+            let blk = lane.block(&clock, w.ctx(), BlockedSite::Stall);
+            time.advance_micros(stall);
+            blk.end();
+            w.end();
+        }
+        let report = augur_xray::analyze_merged("lanes", &lanes.merge_drains());
+        session.observe_xray(&report);
+        let registry = session.registry();
+        let eff = registry.gauge("measured_parallel_efficiency").get();
+        assert!((eff - 0.65).abs() < 1e-12, "Σbusy 130 over 2×100 lanes: {eff}");
+        assert!(
+            (registry
+                .gauge_labeled("lane_blocked_share", &[("lane", "worker")])
+                .get()
+                - 0.6)
+                .abs()
+                < 1e-12
+        );
+        assert!(
+            (registry
+                .gauge_labeled("lane_utilization", &[("lane", "pump")])
+                .get()
+                - 0.9)
+                .abs()
+                < 1e-12
+        );
+        let dash = session.dashboard();
+        assert!(dash.contains("measured efficiency 0.65 over 2 lane(s)"));
+        assert!(dash.contains("pump"), "lanes table must list lane names");
     }
 
     #[test]

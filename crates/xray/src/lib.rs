@@ -54,7 +54,9 @@
 //! assert!(!report.truncated);
 //! ```
 
-use augur_telemetry::{RegistrySnapshot, SpanForest};
+use std::collections::BTreeMap;
+
+use augur_telemetry::{MergedDrain, RegistrySnapshot, SpanForest};
 
 mod critical;
 mod queue;
@@ -63,6 +65,11 @@ pub mod render;
 
 /// Canonical JSON artifact and dashboard-panel renderers.
 pub use render::{render_json, render_panel};
+
+/// Span names under this prefix are **blocked windows** (contention:
+/// channel full/empty, lock waits, injected stalls), not work. The
+/// measured section counts them as blocked time, never busy time.
+pub const BLOCKED_PREFIX: &str = "blocked/";
 
 /// One span name's standing in the critical-path ranking.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +104,58 @@ pub struct StageStat {
     pub queue_wait_us: f64,
     /// `Wq / (Wq + S)`: the share of a job's sojourn spent waiting.
     pub queue_wait_share: f64,
+    /// Measured blocked time attributed to this stage: Σ duration of
+    /// `blocked/…` child spans recorded under spans of this name, µs.
+    pub blocked_us: u64,
+    /// `blocked / (busy + blocked)`: the measured share of this
+    /// stage's wall time spent blocked rather than working.
+    pub blocked_share: f64,
+}
+
+/// Measured (not modeled) per-lane accounting over a drain: the busy
+/// and blocked time each worker lane actually spent, from its spans
+/// and its `lane_busy_us` / `lane_blocked_us` counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneStat {
+    /// Deterministic lane id (0 = control lane).
+    pub lane: u16,
+    /// Lane name from the merged drain (`lane-<id>` when analyzed
+    /// from bare events).
+    pub name: String,
+    /// Busy time, µs: span self time outside `blocked/…` windows, or
+    /// the lane's `lane_busy_us` counter when larger (spans may have
+    /// been dropped by the ring; the counter never is).
+    pub busy_us: u64,
+    /// Blocked time, µs (`blocked/…` spans / `lane_blocked_us`).
+    pub blocked_us: u64,
+    /// Events this lane's ring dropped (exact, from the merged drain).
+    pub dropped_events: u64,
+    /// `busy / makespan`: the lane's measured utilization.
+    pub utilization: f64,
+    /// `blocked / makespan`: the share of the run this lane sat
+    /// blocked on channels or locks.
+    pub blocked_share: f64,
+}
+
+/// The *measured* parallelism section, reported beside the modeled
+/// [`XrayReport::parallel_speedup_bound`]: what the lanes actually did,
+/// not what the span structure says they could do.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeasuredSection {
+    /// Lanes counted in the efficiency denominator: the worker lanes
+    /// when any exist, else 1 for a pure control-lane drain.
+    pub lanes: u64,
+    /// Σ busy over the counted lanes, µs.
+    pub busy_us: u64,
+    /// Σ blocked over the counted lanes, µs.
+    pub blocked_us: u64,
+    /// `Σ busy / (lanes × makespan)`: measured parallel efficiency —
+    /// near 1 means every lane worked the whole run; the number the
+    /// sharding arc's 1→4→8 scaling claims are graded on. Worker-lane
+    /// drains stay within `0..=1`; a pure control-lane drain whose
+    /// modeled spans overlap (concurrent offload tasks on one
+    /// recorder) can exceed 1, like stage utilization.
+    pub parallel_efficiency: f64,
 }
 
 /// Live queue occupancy for one pipeline channel, merged from the
@@ -147,10 +206,15 @@ pub struct XrayReport {
     /// The headline: max of the two bounds — what a sharding PR must
     /// not claim to exceed.
     pub parallel_speedup_bound: f64,
+    /// Measured parallelism (busy/blocked over lanes), beside the
+    /// modeled bound above.
+    pub measured: MeasuredSection,
     /// Per-name critical-path ranking, heaviest self time first.
     pub critical_path: Vec<CriticalFrame>,
     /// Per-name queueing model, sorted by name.
     pub stages: Vec<StageStat>,
+    /// Measured per-lane accounting, sorted by lane id.
+    pub lanes: Vec<LaneStat>,
     /// Live channel occupancy (empty until [`XrayReport::with_registry`]).
     pub queues: Vec<QueueStat>,
 }
@@ -244,6 +308,7 @@ pub fn analyze(
     let forest = SpanForest::build(events);
     let cp = critical::extract(&forest);
     let (stages, makespan_us, stage_bound) = queue::stage_stats(&forest);
+    let (lanes, measured) = measured_lanes(&forest, makespan_us);
     let mut critical_path: Vec<CriticalFrame> = cp
         .per_name
         .iter()
@@ -276,9 +341,120 @@ pub fn analyze(
         work_span_bound,
         stage_bound,
         parallel_speedup_bound: work_span_bound.max(stage_bound),
+        measured,
         critical_path,
         stages,
+        lanes,
         queues: Vec::new(),
+    }
+}
+
+/// Analyzes a deterministic multi-lane merged drain: the merged event
+/// list plus each lane's exact loss and busy/blocked counters. The
+/// counters override span-derived accounting when larger (a lapped
+/// ring drops spans; the counters never lose), and
+/// [`MergedDrain::truncated`] propagates into [`XrayReport::truncated`].
+pub fn analyze_merged(scenario: &str, merged: &MergedDrain) -> XrayReport {
+    let mut report = analyze(scenario, &merged.events, merged.dropped_events);
+    // Reconcile the event-derived lane stats with the merged summaries.
+    for summary in &merged.lanes {
+        let stat = match report.lanes.iter_mut().find(|l| l.lane == summary.id.0) {
+            Some(stat) => stat,
+            None => {
+                report.lanes.push(LaneStat {
+                    lane: summary.id.0,
+                    name: String::new(),
+                    busy_us: 0,
+                    blocked_us: 0,
+                    dropped_events: 0,
+                    utilization: 0.0,
+                    blocked_share: 0.0,
+                });
+                let idx = report.lanes.len() - 1;
+                &mut report.lanes[idx]
+            }
+        };
+        stat.name = summary.name.clone();
+        stat.dropped_events = summary.dropped;
+        stat.busy_us = stat.busy_us.max(summary.busy_us);
+        stat.blocked_us = stat.blocked_us.max(summary.blocked_us);
+    }
+    report.lanes.sort_by(|a, b| a.lane.cmp(&b.lane));
+    let makespan = report.makespan_us;
+    for stat in &mut report.lanes {
+        stat.utilization = ratio(stat.busy_us, makespan);
+        stat.blocked_share = ratio(stat.blocked_us, makespan);
+    }
+    report.measured = summarize_lanes(&report.lanes, makespan);
+    report.total_events = merged.total_events.max(report.total_events);
+    report
+}
+
+/// Per-lane busy/blocked accounting from the span forest alone: busy
+/// is span *self* time outside `blocked/…` windows, blocked is the
+/// summed duration of `blocked/…` spans.
+fn measured_lanes(forest: &SpanForest, makespan_us: u64) -> (Vec<LaneStat>, MeasuredSection) {
+    let mut acc: BTreeMap<u16, (u64, u64)> = BTreeMap::new();
+    for (idx, node) in forest.nodes().iter().enumerate() {
+        let slot = acc.entry(node.lane.0).or_insert((0, 0));
+        if node.name.starts_with(BLOCKED_PREFIX) {
+            slot.1 = slot.1.saturating_add(node.dur_us);
+        } else {
+            let self_us = node.dur_us.saturating_sub(forest.child_dur_us(idx));
+            slot.0 = slot.0.saturating_add(self_us);
+        }
+    }
+    let lanes: Vec<LaneStat> = acc
+        .into_iter()
+        .map(|(lane, (busy_us, blocked_us))| LaneStat {
+            lane,
+            name: if lane == 0 {
+                "control".to_string()
+            } else {
+                format!("lane-{lane}")
+            },
+            busy_us,
+            blocked_us,
+            dropped_events: 0,
+            utilization: ratio(busy_us, makespan_us),
+            blocked_share: ratio(blocked_us, makespan_us),
+        })
+        .collect();
+    let measured = summarize_lanes(&lanes, makespan_us);
+    (lanes, measured)
+}
+
+/// Rolls per-lane stats up into the measured section: worker lanes
+/// when any exist, else the control lane counted as one.
+fn summarize_lanes(lanes: &[LaneStat], makespan_us: u64) -> MeasuredSection {
+    let workers: Vec<&LaneStat> = lanes.iter().filter(|l| l.lane != 0).collect();
+    let counted: Vec<&LaneStat> = if workers.is_empty() {
+        lanes.iter().collect()
+    } else {
+        workers
+    };
+    let n = counted.len() as u64;
+    let busy_us = counted
+        .iter()
+        .fold(0u64, |a, l| a.saturating_add(l.busy_us));
+    let blocked_us = counted
+        .iter()
+        .fold(0u64, |a, l| a.saturating_add(l.blocked_us));
+    let denom = n.saturating_mul(makespan_us);
+    MeasuredSection {
+        lanes: n.max(u64::from(!lanes.is_empty())),
+        busy_us,
+        blocked_us,
+        parallel_efficiency: ratio(busy_us, denom),
+    }
+}
+
+/// `num / den` as a float, 0 when the denominator is 0.
+fn ratio(num: u64, den: u64) -> f64 {
+    if den > 0 {
+        num as f64 / den as f64
+    } else {
+        0.0
     }
 }
 
@@ -384,6 +560,94 @@ mod tests {
         let json = report.render_json();
         assert!(json.contains("\"head\":null"));
         assert!(report.render_panel().contains("no spans drained"));
+    }
+
+    #[test]
+    fn measured_section_covers_worker_lanes_and_blocked_time() {
+        use augur_telemetry::{BlockedSite, Clock, Lanes, ManualTime};
+        let lanes = Lanes::new(11, 64);
+        let a = lanes.register("producer-0");
+        let b = lanes.register("producer-1");
+        // Each lane drives its own manual clock, the way the lane
+        // benches do, so per-lane timelines are deterministic.
+        for (lane, busy, stall) in [(&a, 80u64, 0u64), (&b, 60, 20)] {
+            let time = ManualTime::shared();
+            let clock: Clock = time.clone();
+            let stage = lane.recorder().intern("produce");
+            let w = lane.work(&clock, lane.root(), stage);
+            time.advance_micros(busy);
+            if stall > 0 {
+                let blk = lane.block(&clock, w.ctx(), BlockedSite::Stall);
+                time.advance_micros(stall);
+                blk.end();
+            }
+            w.end();
+        }
+        let merged = lanes.merge_drains();
+        assert_eq!(merged.lanes[1].busy_us, 60, "stall must not count busy");
+        assert_eq!(merged.lanes[1].blocked_us, 20);
+        let report = analyze_merged("lanes", &merged);
+        // Both lanes span 0..80 -> makespan 80; busy 80 + 60 over
+        // 2 lanes -> efficiency 140/160.
+        assert_eq!(report.makespan_us, 80);
+        assert_eq!(report.measured.lanes, 2);
+        assert_eq!(report.measured.busy_us, 140);
+        assert_eq!(report.measured.blocked_us, 20);
+        assert!((report.measured.parallel_efficiency - 0.875).abs() < 1e-12);
+        assert_eq!(report.lanes.len(), 2);
+        assert_eq!(report.lanes[0].name, "producer-0");
+        assert!((report.lanes[0].utilization - 1.0).abs() < 1e-12);
+        assert!((report.lanes[1].blocked_share - 0.25).abs() < 1e-12);
+        // The stall charged the stage it interrupted.
+        let produce = report
+            .stages
+            .iter()
+            .find(|s| s.name == "produce")
+            .cloned()
+            .unwrap_or_else(|| unreachable!("produce stage must exist"));
+        assert_eq!(produce.blocked_us, 20);
+        assert!((produce.blocked_share - 0.125).abs() < 1e-12);
+        // The artifact renders both the modeled bound and the
+        // measured section.
+        let json = report.render_json();
+        assert!(json.contains("\"parallel_speedup_bound\":"));
+        assert!(json.contains("\"measured\":{\"lanes\":2,\"busy_us\":140,\"blocked_us\":20,"));
+        assert!(json.contains("\"lanes\":[{\"lane\":1,\"name\":\"producer-0\""));
+        let panel = report.render_panel();
+        assert!(panel.contains("measured efficiency 0.88 over 2 lane(s)"));
+        assert!(panel.contains("producer-1"));
+    }
+
+    #[test]
+    fn single_lane_drain_measures_one_control_lane() {
+        let rec = FlightRecorder::new(64);
+        staged_frames(&rec, 2);
+        let report = analyze("solo", &rec.drain(), 0);
+        assert_eq!(report.measured.lanes, 1);
+        assert_eq!(report.lanes.len(), 1);
+        assert_eq!(report.lanes[0].name, "control");
+        assert!(report.measured.parallel_efficiency > 0.0);
+        assert_eq!(report.measured.blocked_us, 0);
+    }
+
+    #[test]
+    fn merged_truncation_propagates_per_lane_drops() {
+        use augur_telemetry::Lanes;
+        let lanes = Lanes::new(12, 8);
+        let lossy = lanes.register("lossy");
+        let n = lossy.recorder().intern("x");
+        for i in 0..20u64 {
+            lossy
+                .recorder()
+                .record_span(lossy.next_ctx(lossy.root()), n, i, 1);
+        }
+        let merged = lanes.merge_drains();
+        let report = analyze_merged("lossy", &merged);
+        assert!(report.truncated);
+        assert_eq!(report.dropped_events, 12);
+        assert_eq!(report.total_events, 20);
+        assert_eq!(report.lanes[0].dropped_events, 12);
+        assert!(report.render_json().contains("\"dropped\":12"));
     }
 
     #[test]

@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 
 use augur_telemetry::SpanForest;
 
-use crate::StageStat;
+use crate::{StageStat, BLOCKED_PREFIX};
 
 /// Utilization is clamped below 1 before the M/M/1 wait formula so a
 /// saturated stage reports a large finite wait instead of ∞.
@@ -29,6 +29,7 @@ pub(crate) fn stage_stats(forest: &SpanForest) -> (Vec<StageStat>, u64, f64) {
     struct Accum {
         count: u64,
         busy_us: u64,
+        blocked_us: u64,
     }
     let mut per_name: BTreeMap<String, Accum> = BTreeMap::new();
     let mut min_start = u64::MAX;
@@ -41,6 +42,23 @@ pub(crate) fn stage_stats(forest: &SpanForest) -> (Vec<StageStat>, u64, f64) {
         slot.count += 1;
         slot.busy_us = slot.busy_us.saturating_add(self_us);
     }
+    // Measured contention attribution: a `blocked/…` span charges its
+    // duration to the *stage it interrupted* — its parent span's name.
+    for node in forest.nodes() {
+        if !node.name.starts_with(BLOCKED_PREFIX) {
+            continue;
+        }
+        let Some(parent_name) = node
+            .parent
+            .and_then(|p| forest.nodes().get(p))
+            .map(|p| p.name.as_str())
+        else {
+            continue;
+        };
+        if let Some(slot) = per_name.get_mut(parent_name) {
+            slot.blocked_us = slot.blocked_us.saturating_add(node.dur_us);
+        }
+    }
     let makespan_us = max_end.saturating_sub(min_start);
     let mut total_busy = 0u64;
     let mut max_busy = 0u64;
@@ -48,7 +66,13 @@ pub(crate) fn stage_stats(forest: &SpanForest) -> (Vec<StageStat>, u64, f64) {
     for (name, acc) in per_name {
         total_busy = total_busy.saturating_add(acc.busy_us);
         max_busy = max_busy.max(acc.busy_us);
-        stages.push(model(name, acc.count, acc.busy_us, makespan_us));
+        stages.push(model(
+            name,
+            acc.count,
+            acc.busy_us,
+            acc.blocked_us,
+            makespan_us,
+        ));
     }
     let stage_bound = if max_busy > 0 {
         total_busy as f64 / max_busy as f64
@@ -59,7 +83,7 @@ pub(crate) fn stage_stats(forest: &SpanForest) -> (Vec<StageStat>, u64, f64) {
 }
 
 /// Fills in the M/M/1 readout for one station.
-fn model(name: String, count: u64, busy_us: u64, makespan_us: u64) -> StageStat {
+fn model(name: String, count: u64, busy_us: u64, blocked_us: u64, makespan_us: u64) -> StageStat {
     let (arrival_per_s, service_us, utilization) = if makespan_us > 0 && count > 0 {
         (
             count as f64 / (makespan_us as f64 / 1_000_000.0),
@@ -80,6 +104,12 @@ fn model(name: String, count: u64, busy_us: u64, makespan_us: u64) -> StageStat 
     } else {
         0.0
     };
+    let busy_plus_blocked = busy_us.saturating_add(blocked_us);
+    let blocked_share = if busy_plus_blocked > 0 {
+        blocked_us as f64 / busy_plus_blocked as f64
+    } else {
+        0.0
+    };
     StageStat {
         name,
         count,
@@ -89,6 +119,8 @@ fn model(name: String, count: u64, busy_us: u64, makespan_us: u64) -> StageStat 
         utilization,
         queue_wait_us,
         queue_wait_share,
+        blocked_us,
+        blocked_share,
     }
 }
 
@@ -115,7 +147,7 @@ mod tests {
             .iter()
             .find(|s| s.name == "work")
             .cloned()
-            .unwrap_or_else(|| model(String::new(), 0, 0, 0));
+            .unwrap_or_else(|| model(String::new(), 0, 0, 0, 0));
         assert_eq!(w.count, 2);
         assert_eq!(w.busy_us, 50);
         assert!((w.utilization - 0.5).abs() < 1e-12);

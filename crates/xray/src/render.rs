@@ -33,6 +33,15 @@ pub fn render_json(report: &XrayReport) -> String {
         json_f64(report.stage_bound),
         json_f64(report.parallel_speedup_bound),
     );
+    let _ = write!(
+        out,
+        ",\"measured\":{{\"lanes\":{},\"busy_us\":{},\"blocked_us\":{},\
+         \"parallel_efficiency\":{}}}",
+        report.measured.lanes,
+        report.measured.busy_us,
+        report.measured.blocked_us,
+        json_f64(report.measured.parallel_efficiency),
+    );
     match report.head() {
         Some(head) => {
             let _ = write!(out, ",\"head\":\"{}\"", escape_json(head));
@@ -61,7 +70,8 @@ pub fn render_json(report: &XrayReport) -> String {
         let _ = write!(
             out,
             "{{\"name\":\"{}\",\"count\":{},\"busy_us\":{},\"arrival_per_s\":{},\
-             \"service_us\":{},\"utilization\":{},\"queue_wait_us\":{},\"queue_wait_share\":{}}}",
+             \"service_us\":{},\"utilization\":{},\"queue_wait_us\":{},\"queue_wait_share\":{},\
+             \"blocked_us\":{},\"blocked_share\":{}}}",
             escape_json(&s.name),
             s.count,
             s.busy_us,
@@ -70,6 +80,26 @@ pub fn render_json(report: &XrayReport) -> String {
             json_f64(s.utilization),
             json_f64(s.queue_wait_us),
             json_f64(s.queue_wait_share),
+            s.blocked_us,
+            json_f64(s.blocked_share),
+        );
+    }
+    out.push_str("],\"lanes\":[");
+    for (i, l) in report.lanes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"lane\":{},\"name\":\"{}\",\"busy_us\":{},\"blocked_us\":{},\"dropped\":{},\
+             \"utilization\":{},\"blocked_share\":{}}}",
+            l.lane,
+            escape_json(&l.name),
+            l.busy_us,
+            l.blocked_us,
+            l.dropped_events,
+            json_f64(l.utilization),
+            json_f64(l.blocked_share),
         );
     }
     out.push_str("],\"queues\":[");
@@ -107,9 +137,42 @@ pub fn render_panel(report: &XrayReport) -> String {
         report.stage_bound,
         if report.truncated { " [truncated]" } else { "" },
     );
+    let _ = writeln!(
+        out,
+        "xray: measured efficiency {:.2} over {} lane(s) (busy {}us, blocked {}us)",
+        report.measured.parallel_efficiency,
+        report.measured.lanes,
+        report.measured.busy_us,
+        report.measured.blocked_us,
+    );
     if report.critical_path.is_empty() {
         let _ = writeln!(out, "  (no spans drained)");
         return out;
+    }
+    if report.lanes.iter().any(|l| l.lane != 0) {
+        let lane_w = report
+            .lanes
+            .iter()
+            .map(|l| l.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let _ = writeln!(
+            out,
+            "  {:>4}  {:<lane_w$}  {:>6}  {:>8}  {:>7}",
+            "lane", "name", "util", "blocked", "dropped"
+        );
+        for l in &report.lanes {
+            let _ = writeln!(
+                out,
+                "  {:>4}  {:<lane_w$}  {:>6.2}  {:>7.1}%  {:>7}",
+                l.lane,
+                l.name,
+                l.utilization,
+                l.blocked_share * 100.0,
+                l.dropped_events,
+            );
+        }
     }
     let name_w = report
         .critical_path
@@ -120,20 +183,22 @@ pub fn render_panel(report: &XrayReport) -> String {
         .max(5);
     let _ = writeln!(
         out,
-        "  {:<name_w$}  {:>8}  {:>6}  {:>10}",
-        "stage", "cp_share", "util", "queue_wait"
+        "  {:<name_w$}  {:>8}  {:>6}  {:>10}  {:>8}",
+        "stage", "cp_share", "util", "queue_wait", "blocked"
     );
     for f in &report.critical_path {
         let stage = report.stages.iter().find(|s| s.name == f.name);
         let util = stage.map(|s| s.utilization).unwrap_or(0.0);
         let wait = stage.map(|s| s.queue_wait_share).unwrap_or(0.0);
+        let blocked = stage.map(|s| s.blocked_share).unwrap_or(0.0);
         let _ = writeln!(
             out,
-            "  {:<name_w$}  {:>7.1}%  {:>6.2}  {:>9.1}%",
+            "  {:<name_w$}  {:>7.1}%  {:>6.2}  {:>9.1}%  {:>7.1}%",
             f.name,
             f.share * 100.0,
             util,
             wait * 100.0,
+            blocked * 100.0,
         );
     }
     out
