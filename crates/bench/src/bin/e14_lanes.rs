@@ -26,13 +26,9 @@
 
 use std::sync::Arc;
 
-use augur_bench::{
-    f, header, out_dir, row, sized, write_xray, xray_requested, Snapshot,
-};
+use augur_bench::{f, header, out_dir, row, sized, write_xray, xray_requested, Snapshot};
 use augur_stream::{Broker, ConsumerGroup, PartitionId, PipelineBuilder, Record};
-use augur_telemetry::{
-    render_chrome_trace_with_lanes, BlockedSite, Clock, Lanes, ManualTime,
-};
+use augur_telemetry::{render_chrome_trace_with_lanes, BlockedSite, Clock, Lanes, ManualTime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     header(
@@ -130,7 +126,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.measured.parallel_efficiency,
     );
     snap.gauge("measured_busy_us", &[], report.measured.busy_us as f64);
-    snap.gauge("measured_blocked_us", &[], report.measured.blocked_us as f64);
+    snap.gauge(
+        "measured_blocked_us",
+        &[],
+        report.measured.blocked_us as f64,
+    );
     for lane in &report.lanes {
         let labels = [("lane", lane.name.as_str())];
         snap.gauge("lane_utilization", &labels, lane.utilization);
@@ -155,7 +155,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     } else {
         assert!(
-            report.lanes.iter().any(|l| l.name == "producer-2" && l.blocked_us > 0),
+            report
+                .lanes
+                .iter()
+                .any(|l| l.name == "producer-2" && l.blocked_us > 0),
             "injected stall must surface as producer-2 blocked time"
         );
     }
@@ -194,7 +197,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let live_lanes = Lanes::new(15, 1 << 14);
     let handle = PipelineBuilder::new(live, "live", |r: &Record| {
-        r.payload.get(0..8).and_then(|b| b.try_into().ok()).map(u64::from_le_bytes)
+        r.payload
+            .get(0..8)
+            .and_then(|b| b.try_into().ok())
+            .map(u64::from_le_bytes)
     })
     .channel_capacity(2)
     .lanes(&live_lanes)

@@ -271,6 +271,7 @@ pub fn watch_config(seed: u64) -> WatchConfig {
             },
             super::trace_loss_slo(),
             super::log_error_slo(),
+            super::obs_overhead_slo(),
         ],
         ..WatchConfig::default()
     }
@@ -428,14 +429,25 @@ fn run_inner(
         clock.advance_micros(1);
         if (i + 1) % WATCH_CHUNK == 0 {
             if let Some(s) = watch.as_deref_mut() {
-                s.observe_cycle("healthcare", &clock, chunk_t0);
+                // Chunk trace roots carry a tag so their ids never collide
+                // with the patient-0 sample roots above — the exemplar on
+                // a slow chunk points at a distinct deterministic trace.
+                let ctx = TraceContext::root(
+                    params.seed,
+                    0x6368_756e_6b00_0000 | (i / WATCH_CHUNK) as u64,
+                );
+                s.observe_cycle_traced("healthcare", &clock, chunk_t0, ctx);
                 chunk_t0 = clock.now_micros();
             }
         }
     }
     if records.len() % WATCH_CHUNK != 0 {
         if let Some(s) = watch {
-            s.observe_cycle("healthcare", &clock, chunk_t0);
+            let ctx = TraceContext::root(
+                params.seed,
+                0x6368_756e_6b00_0000 | (records.len() / WATCH_CHUNK) as u64,
+            );
+            s.observe_cycle_traced("healthcare", &clock, chunk_t0, ctx);
         }
     }
     detect_span.end();

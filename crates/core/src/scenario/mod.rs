@@ -120,6 +120,33 @@ pub(crate) fn log_error_slo() -> SloSpec {
     }
 }
 
+/// The shared observability-self-cost objective every scenario's
+/// `watch_config` declares: the modeled cost of recording telemetry
+/// (`augur_obs_record_ns_total`, maintained by the session's
+/// [`augur_sample::SelfCost`] meter) must stay below 1% of the busy
+/// time it observes (`augur_obs_busy_ns_total`). Observability that
+/// eats the latency budget it is supposed to protect is an incident
+/// in its own right — `augur-doctor` gates the same share via the
+/// exported `obs_overhead_share` gauge.
+pub(crate) fn obs_overhead_slo() -> SloSpec {
+    SloSpec {
+        name: "obs_overhead".to_string(),
+        objective: Objective::RatioBelow {
+            bad_series: "augur_obs_record_ns_total".to_string(),
+            total_series: "augur_obs_busy_ns_total".to_string(),
+            max_ratio: 0.01,
+        },
+        budget: 0.1,
+        period_us: 5_000_000,
+        rules: vec![BurnRule {
+            name: "fast".to_string(),
+            short_us: 100_000,
+            long_us: 250_000,
+            factor: 2.0,
+        }],
+    }
+}
+
 /// Shared implementation of the scenarios' `run_profiled` variants:
 /// runs `run` against a fresh flight ring inside a `scenario`-named
 /// allocation scope, then folds the drained spans into a [`Profile`],

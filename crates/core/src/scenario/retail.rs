@@ -9,7 +9,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use augur_log::{Arg, EventLog};
-use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, Tracer};
+use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, TraceContext, Tracer};
 use augur_watch::{
     BurnRule, Objective, RollupConfig, SloSpec, TierSpec, WatchConfig, WatchSession,
 };
@@ -240,6 +240,7 @@ pub fn watch_config(seed: u64) -> WatchConfig {
             },
             super::trace_loss_slo(),
             super::log_error_slo(),
+            super::obs_overhead_slo(),
         ],
         ..WatchConfig::default()
     }
@@ -295,8 +296,12 @@ fn run_inner(
     if let Some(f) = &flight {
         f.stage("retail/log", log_t0, clock.now_micros());
     }
+    // Each observed stage cycle carries a tagged deterministic trace
+    // root, so the cycle histogram's exemplars name a distinct trace
+    // per stage (tag keeps the ids clear of other scenario roots).
+    let cycle_ctx = |stage: u64| TraceContext::root(params.seed, 0x7263_7963_0000_0000 | stage);
     if let Some(s) = watch.as_deref_mut() {
-        s.observe_cycle("retail", &clock, log_t0);
+        s.observe_cycle_traced("retail", &clock, log_t0, cycle_ctx(0));
     }
 
     let train_t0 = clock.now_micros();
@@ -311,7 +316,7 @@ fn run_inner(
         f.stage("retail/train", train_t0, clock.now_micros());
     }
     if let Some(s) = watch.as_deref_mut() {
-        s.observe_cycle("retail", &clock, train_t0);
+        s.observe_cycle_traced("retail", &clock, train_t0, cycle_ctx(1));
     }
 
     let eval_t0 = clock.now_micros();
@@ -325,7 +330,7 @@ fn run_inner(
         f.stage("retail/evaluate", eval_t0, clock.now_micros());
     }
     if let Some(s) = watch.as_deref_mut() {
-        s.observe_cycle("retail", &clock, eval_t0);
+        s.observe_cycle_traced("retail", &clock, eval_t0, cycle_ctx(2));
     }
 
     // AR session: shopper 0 walks an aisle; their top-k recommendations
@@ -397,7 +402,7 @@ fn run_inner(
     clock.advance_micros((directives.len() + labels.len()) as u64);
     session_span.end();
     if let Some(s) = watch {
-        s.observe_cycle("retail", &clock, session_t0);
+        s.observe_cycle_traced("retail", &clock, session_t0, cycle_ctx(3));
     }
     if let Some(f) = flight {
         f.stage("retail/session", session_t0, clock.now_micros());

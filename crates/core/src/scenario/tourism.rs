@@ -235,6 +235,7 @@ pub fn watch_config(seed: u64) -> WatchConfig {
             },
             super::trace_loss_slo(),
             super::log_error_slo(),
+            super::obs_overhead_slo(),
         ],
         ..WatchConfig::default()
     }
@@ -502,7 +503,7 @@ fn run_inner(
         // `tourism/frame` span — the regression is causally visible in
         // the trace, not just in the SLO verdicts.
         if let Some(s) = watch.as_deref_mut() {
-            s.observe_cycle("tourism", &clock, frame_t0);
+            s.observe_cycle_traced("tourism", &clock, frame_t0, frame_ctx);
         }
         if let Some(w) = &wire {
             w.rec

@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use augur_log::{Arg, EventLog};
-use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, Tracer};
+use augur_telemetry::{FlightRecorder, ManualTime, Registry, TimeSource, TraceContext, Tracer};
 use augur_watch::{
     BurnRule, Objective, RollupConfig, SloSpec, TierSpec, WatchConfig, WatchSession,
 };
@@ -245,6 +245,7 @@ pub fn watch_config(seed: u64) -> WatchConfig {
             },
             super::trace_loss_slo(),
             super::log_error_slo(),
+            super::obs_overhead_slo(),
         ],
         ..WatchConfig::default()
     }
@@ -422,7 +423,11 @@ fn run_inner(
         // session observe each simulation step as a cycle.
         clock.advance_micros(beacons_delivered + beacons_lost - beacons_before);
         if let Some(s) = watch.as_deref_mut() {
-            s.observe_cycle("traffic", &clock, step_t0);
+            // Each simulation step gets its own deterministic trace root
+            // (tagged so step ids never collide with other roots), so the
+            // cycle histogram can pin an exemplar trace per bucket.
+            let step_ctx = TraceContext::root(params.seed, 0x7374_6570_0000_0000 | step as u64);
+            s.observe_cycle_traced("traffic", &clock, step_t0, step_ctx);
         }
     }
 

@@ -74,7 +74,12 @@ fn healthy_tourism_run_declares_slo_and_stays_ok() {
     let names: Vec<&str> = health.slos.iter().map(|s| s.name.as_str()).collect();
     assert_eq!(
         names,
-        vec!["tourism_frame_p95", "trace_loss", "log_error_rate"]
+        vec![
+            "tourism_frame_p95",
+            "trace_loss",
+            "log_error_rate",
+            "obs_overhead"
+        ]
     );
     assert!(
         !events.iter().any(|e| e.name.starts_with("slo/")),
@@ -198,7 +203,8 @@ fn healthcare_watch_grades_alert_latency_and_drop_ratio() {
             "healthcare_alert_p95",
             "healthcare_drop_ratio",
             "trace_loss",
-            "log_error_rate"
+            "log_error_rate",
+            "obs_overhead"
         ]
     );
     let keys = session.rollup().series_keys();

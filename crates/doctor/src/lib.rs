@@ -13,6 +13,11 @@
 //!   current falls below baseline by more than the tolerance.
 //! - **Drop** (`drop`, `dropped`, `lost`): a loss counter; regression
 //!   when it grows beyond the tolerance.
+//! - **Share** (`*_share`, `overhead`): a fraction in `0..=1` where
+//!   lower is better (e.g. `obs_overhead_share`, the observability
+//!   self-cost ratio); regression when it grows beyond a tight
+//!   absolute tolerance — the 1% budgets these track would drown in
+//!   the drop class's integer-sized floor.
 //! - **Count** (everything else): informational — reported as changed,
 //!   never a failure, since raw event counts move with workload shape.
 //!
@@ -46,6 +51,9 @@ pub enum MetricClass {
     Throughput,
     /// Loss counter; gate on increases.
     Drop,
+    /// Small budgeted fraction (lower is better); gate on increases
+    /// with a tight absolute floor.
+    Share,
     /// Informational count; never gates.
     Count,
 }
@@ -57,6 +65,7 @@ impl MetricClass {
             MetricClass::Latency => "latency",
             MetricClass::Throughput => "throughput",
             MetricClass::Drop => "drop",
+            MetricClass::Share => "share",
             MetricClass::Count => "count",
         }
     }
@@ -67,6 +76,11 @@ impl MetricClass {
 pub fn classify(key: &str) -> MetricClass {
     let k = key.to_ascii_lowercase();
     let name = k.split('{').next().unwrap_or(&k);
+    // Share first: `blocked_share` and friends must not fall into the
+    // drop/latency buckets their substrings would otherwise match.
+    if name.ends_with("_share") || name.contains("overhead") {
+        return MetricClass::Share;
+    }
     if name.contains("drop") || name.contains("lost") {
         return MetricClass::Drop;
     }
@@ -112,6 +126,8 @@ pub struct Tolerances {
     pub throughput: Tolerance,
     /// Applied to [`MetricClass::Drop`] increases.
     pub drops: Tolerance,
+    /// Applied to [`MetricClass::Share`] increases.
+    pub share: Tolerance,
 }
 
 impl Default for Tolerances {
@@ -128,6 +144,15 @@ impl Default for Tolerances {
             drops: Tolerance {
                 ratio: 0.10,
                 abs: 2.0,
+            },
+            // Shares are fractions of small budgets (the obs overhead
+            // budget is 0.01): an absolute floor of one budget unit, so
+            // a healthy ~0.004 share jumping to 0.8 under the inject
+            // probe is a regression while deterministic same-seed noise
+            // (which is zero) never fires.
+            share: Tolerance {
+                ratio: 0.10,
+                abs: 0.01,
             },
         }
     }
@@ -279,6 +304,7 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, tol: &Tolerances) -> Com
         let (rule, worse_delta) = match class {
             MetricClass::Latency => (Some(tol.latency), cur - base),
             MetricClass::Drop => (Some(tol.drops), cur - base),
+            MetricClass::Share => (Some(tol.share), cur - base),
             MetricClass::Throughput => (Some(tol.throughput), base - cur),
             MetricClass::Count => (None, 0.0),
         };
@@ -500,6 +526,27 @@ mod tests {
         assert_eq!(classify("records_dropped_total"), MetricClass::Drop);
         assert_eq!(classify("beacons_lost"), MetricClass::Drop);
         assert_eq!(classify("records_in_total"), MetricClass::Count);
+        assert_eq!(classify("obs_overhead_share"), MetricClass::Share);
+        assert_eq!(classify("lane_blocked_share"), MetricClass::Share);
+    }
+
+    #[test]
+    fn share_metrics_gate_on_tight_absolute_growth() {
+        let mk = |share: f64| {
+            let mut d = doc("e_test", 100.0, 5000.0, 0.0);
+            d.metrics.insert("obs_overhead_share".into(), share);
+            d
+        };
+        // A healthy 0.4% share blowing up to 80% (the inject probe) is
+        // a regression...
+        let comp = compare(&mk(0.004), &mk(0.8), &Tolerances::default());
+        let regs: Vec<_> = comp.regressions().collect();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].metric, "obs_overhead_share");
+        assert_eq!(regs[0].class, MetricClass::Share);
+        // ...while wiggle inside one budget unit (abs 0.01) passes.
+        let comp = compare(&mk(0.004), &mk(0.009), &Tolerances::default());
+        assert!(comp.regressions().next().is_none());
     }
 
     #[test]

@@ -137,6 +137,7 @@ pub fn analyze(bench: &str, history: &[BenchDoc], tol: &Tolerances) -> TrendRepo
         let (rule, sign) = match class {
             MetricClass::Latency => (tol.latency, 1.0),
             MetricClass::Drop => (tol.drops, 1.0),
+            MetricClass::Share => (tol.share, 1.0),
             MetricClass::Throughput => (tol.throughput, -1.0),
             MetricClass::Count => continue,
         };

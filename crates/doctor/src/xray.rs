@@ -26,11 +26,16 @@
 //!   lane red-gate: an injected stall must surface here by name).
 //! - **Truncation**: the current report was built from a lossy drain
 //!   (`"truncated": true`); a critical path with holes must not pass a
-//!   gate quietly.
+//!   gate quietly — **unless** the report says the loss was deliberate:
+//!   `sampling.sampled: true` with an `effective_rate` consistent with
+//!   the kept-event fraction is tail sampling doing its job, and passes
+//!   with a note. An inconsistent rate (or no sampling claim at all) is
+//!   genuine ring overflow and still fails. The verdict names which
+//!   case it saw.
 //!
-//! The measured fields are optional in both artifacts: baselines
-//! committed before lanes existed still parse and gate on the original
-//! checks.
+//! The measured fields and the sampling section are optional in both
+//! artifacts: baselines committed before lanes or sampling existed
+//! still parse and gate on the original checks.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -55,6 +60,12 @@ pub const EFFICIENCY_DROP_TOLERANCE: f64 = 0.10;
 /// tolerated before the gate fails (shares are fractions in `0..=1`).
 pub const BLOCKED_SHARE_TOLERANCE: f64 = 0.05;
 
+/// Absolute mismatch tolerated between a truncated report's advertised
+/// `sampling.effective_rate` and the kept-event fraction its own
+/// `events` section implies, before the truncation stops counting as
+/// deliberate sampling and becomes a ring-overflow regression.
+pub const SAMPLING_RATE_TOLERANCE: f64 = 0.05;
+
 /// The gate-relevant slice of one xray artifact.
 #[derive(Debug, Clone, PartialEq)]
 pub struct XraySummary {
@@ -66,6 +77,17 @@ pub struct XraySummary {
     pub bound: f64,
     /// Whether the drain behind the report dropped events.
     pub truncated: bool,
+    /// Total events the report accounts for (`events.total`, drained
+    /// plus dropped); 0 for pre-events artifacts.
+    pub total_events: u64,
+    /// Events the drain lost (`events.dropped`).
+    pub dropped_events: u64,
+    /// Whether the report says it was built from a sampled slice
+    /// (`sampling.sampled`); `false` for pre-sampling artifacts.
+    pub sampled: bool,
+    /// The kept fraction the report advertises
+    /// (`sampling.effective_rate`), `None` for pre-sampling artifacts.
+    pub effective_rate: Option<f64>,
     /// Critical-path share per stage name.
     pub shares: BTreeMap<String, f64>,
     /// Measured parallel efficiency (`measured.parallel_efficiency`),
@@ -77,6 +99,33 @@ pub struct XraySummary {
     pub lane_blocked: BTreeMap<String, f64>,
 }
 
+impl XraySummary {
+    /// The kept-event fraction the `events` section implies:
+    /// `(total - dropped) / total`, 1.0 when the report accounts for no
+    /// events at all.
+    pub fn kept_fraction(&self) -> f64 {
+        if self.total_events == 0 {
+            1.0
+        } else {
+            self.total_events.saturating_sub(self.dropped_events) as f64 / self.total_events as f64
+        }
+    }
+
+    /// Whether this report's truncation is explained by deliberate
+    /// sampling: it claims `sampled: true` and its advertised
+    /// `effective_rate` agrees with the kept fraction its own event
+    /// counts imply (within [`SAMPLING_RATE_TOLERANCE`]). Anything else
+    /// — no claim, or a rate that doesn't match the loss — is genuine
+    /// ring overflow.
+    pub fn truncation_is_sampling(&self) -> bool {
+        self.sampled
+            && self
+                .effective_rate
+                .map(|rate| (rate - self.kept_fraction()).abs() <= SAMPLING_RATE_TOLERANCE)
+                .unwrap_or(false)
+    }
+}
+
 /// Outcome of diffing a current xray artifact against the baseline.
 #[derive(Debug, Clone)]
 pub struct XrayGateReport {
@@ -86,6 +135,9 @@ pub struct XrayGateReport {
     pub current: XraySummary,
     /// Human-readable regression statements; any entry fails the gate.
     pub regressions: Vec<String>,
+    /// Non-failing observations worth surfacing in the verdict (e.g.
+    /// truncation explained by deliberate tail sampling).
+    pub notes: Vec<String>,
 }
 
 /// Parses the gate-relevant fields out of an xray artifact.
@@ -141,6 +193,32 @@ pub fn parse_xray_report(text: &str) -> io::Result<XraySummary> {
             .map_err(|e| bad(format!("critical_path frame missing share ({e})")))?;
         shares.insert(name, share);
     }
+    // Event accounting: optional with zero defaults, so minimal
+    // fixtures and old artifacts keep parsing.
+    let event_count = |key: &str| -> u64 {
+        doc.field("events")
+            .and_then(|e| e.field(key))
+            .and_then(|v| v.as_f64())
+            .ok()
+            .map(|v| v.max(0.0) as u64)
+            .unwrap_or(0)
+    };
+    // Sampling section: optional, so baselines committed before
+    // augur-sample existed keep parsing (they read as unsampled).
+    let sampled = doc
+        .field("sampling")
+        .and_then(|s| s.field("sampled"))
+        .ok()
+        .and_then(|v| match v {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        })
+        .unwrap_or(false);
+    let effective_rate = doc
+        .field("sampling")
+        .and_then(|s| s.field("effective_rate"))
+        .and_then(|v| v.as_f64())
+        .ok();
     // Lane-era fields: optional, so baselines committed before worker
     // lanes existed keep parsing (and simply skip the measured gates).
     let efficiency = doc
@@ -166,6 +244,10 @@ pub fn parse_xray_report(text: &str) -> io::Result<XraySummary> {
         head,
         bound,
         truncated,
+        total_events: event_count("total"),
+        dropped_events: event_count("dropped"),
+        sampled,
+        effective_rate,
         shares,
         efficiency,
         stage_blocked: blocked_by_name("stages", "name"),
@@ -177,12 +259,33 @@ pub fn parse_xray_report(text: &str) -> io::Result<XraySummary> {
 /// [`run_xray_gate`] for the file-reading front end).
 pub fn diff_xray(baseline: XraySummary, current: XraySummary) -> XrayGateReport {
     let mut regressions = Vec::new();
+    let mut notes = Vec::new();
     if current.truncated {
-        regressions.push(
-            "current report is truncated (lossy flight drain) — its critical path has holes; \
-             rerun with a larger ring before gating"
-                .to_string(),
-        );
+        if current.truncation_is_sampling() {
+            notes.push(format!(
+                "current report is truncated by deliberate tail sampling, not ring overflow: \
+                 sampled with effective_rate {:.6} consistent with the kept-event fraction \
+                 {:.6} — intentional loss, gate continues",
+                current.effective_rate.unwrap_or(1.0),
+                current.kept_fraction(),
+            ));
+        } else if current.sampled {
+            regressions.push(format!(
+                "current report is truncated by genuine ring overflow, not sampling: it claims \
+                 sampled with effective_rate {:.6}, but its events imply a kept fraction of \
+                 {:.6} (mismatch > {SAMPLING_RATE_TOLERANCE}) — rerun with a larger ring \
+                 before gating",
+                current.effective_rate.unwrap_or(1.0),
+                current.kept_fraction(),
+            ));
+        } else {
+            regressions.push(
+                "current report is truncated by genuine ring overflow (lossy flight drain, no \
+                 sampling claimed) — its critical path has holes; rerun with a larger ring \
+                 before gating"
+                    .to_string(),
+            );
+        }
     }
     if current.head != baseline.head {
         let name = |h: &Option<String>| h.clone().unwrap_or_else(|| "(none)".to_string());
@@ -254,6 +357,7 @@ pub fn diff_xray(baseline: XraySummary, current: XraySummary) -> XrayGateReport 
         baseline,
         current,
         regressions,
+        notes,
     }
 }
 
@@ -298,6 +402,14 @@ pub fn render_xray_markdown(report: &XrayGateReport) -> String {
             "measured parallel efficiency {cur:.2} (baseline {base:.2})\n",
         );
     }
+    if report.current.sampled {
+        let _ = writeln!(
+            out,
+            "current report is sampled (effective rate {:.6}, kept fraction {:.6})\n",
+            report.current.effective_rate.unwrap_or(1.0),
+            report.current.kept_fraction(),
+        );
+    }
     out.push_str("| stage | baseline share | current share | delta |\n|---|---|---|---|\n");
     let mut stages: Vec<&String> = report
         .baseline
@@ -317,6 +429,12 @@ pub fn render_xray_markdown(report: &XrayGateReport) -> String {
             cur * 100.0,
             (cur - base) * 100.0,
         );
+    }
+    if !report.notes.is_empty() {
+        out.push('\n');
+        for n in &report.notes {
+            let _ = writeln!(out, "- note: {n}");
+        }
     }
     if report.regressions.is_empty() {
         out.push_str("\nNo xray regressions: bottleneck shape matches the baseline.\n");
@@ -408,6 +526,78 @@ mod tests {
         let report = diff_xray(base, parse(&text));
         assert!(has_xray_regressions(&report));
         assert!(report.regressions[0].contains("truncated"));
+        assert!(
+            report.regressions[0].contains("genuine ring overflow"),
+            "the verdict must say which case it is: {}",
+            report.regressions[0]
+        );
+    }
+
+    /// Injects a `sampling` section and truncation loss into a fixture:
+    /// 64 of 4096 events kept (1/64 tail retention).
+    fn sampled_artifact(effective_rate: f64) -> String {
+        artifact("transform", 0.6, 0.4, 2.0)
+            .replace("\"truncated\":false", "\"truncated\":true")
+            .replace(
+                "\"events\":{\"total\":4,\"dropped\":0}",
+                &format!(
+                    "\"events\":{{\"total\":4096,\"dropped\":4032}},\
+                     \"sampling\":{{\"sampled\":true,\"effective_rate\":{effective_rate},\
+                     \"estimated_roots\":64,\"estimated_events\":4096}}"
+                ),
+            )
+    }
+
+    #[test]
+    fn truncation_explained_by_consistent_sampling_passes_with_note() {
+        let base = parse(&artifact("transform", 0.6, 0.4, 2.0));
+        let cur = parse(&sampled_artifact(1.0 / 64.0));
+        assert!(cur.sampled);
+        assert!(cur.truncation_is_sampling());
+        let report = diff_xray(base, cur);
+        assert!(
+            !has_xray_regressions(&report),
+            "deliberate tail sampling must not fail the gate: {:?}",
+            report.regressions
+        );
+        let md = render_xray_markdown(&report);
+        assert!(
+            md.contains("deliberate tail sampling, not ring overflow"),
+            "the verdict must say which case it is: {md}"
+        );
+        assert!(md.contains("current report is sampled (effective rate 0.015625"));
+    }
+
+    #[test]
+    fn truncation_with_inconsistent_rate_is_still_ring_overflow() {
+        // Claims it kept half, but its own events say 1/64 survived:
+        // the loss is not explained by the advertised sampling.
+        let base = parse(&artifact("transform", 0.6, 0.4, 2.0));
+        let cur = parse(&sampled_artifact(0.5));
+        assert!(!cur.truncation_is_sampling());
+        let report = diff_xray(base, cur);
+        assert!(has_xray_regressions(&report));
+        assert!(
+            report.regressions[0].contains("genuine ring overflow, not sampling"),
+            "the verdict must say which case it is: {}",
+            report.regressions[0]
+        );
+    }
+
+    #[test]
+    fn untruncated_sampled_report_gates_normally() {
+        // Pure head sampling: unsampled events never reach the ring, so
+        // truncated stays false and nothing special fires.
+        let base = parse(&artifact("transform", 0.6, 0.4, 2.0));
+        let text = artifact("transform", 0.6, 0.4, 2.0).replace(
+            "\"events\":{\"total\":4,\"dropped\":0}",
+            "\"events\":{\"total\":4,\"dropped\":0},\
+             \"sampling\":{\"sampled\":true,\"effective_rate\":0.015625,\
+             \"estimated_roots\":64,\"estimated_events\":256}",
+        );
+        let report = diff_xray(base, parse(&text));
+        assert!(!has_xray_regressions(&report));
+        assert!(report.notes.is_empty());
     }
 
     /// A lane-era artifact: measured section plus stage/lane blocked

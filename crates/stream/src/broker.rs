@@ -634,10 +634,24 @@ mod tests {
         let lanes = Lanes::new(9, 64);
         let lane = lanes.register("committer");
         let clock: Clock = ManualTime::shared();
-        g.commit_contended("t", PartitionId(0), 5, &lane, &clock, TraceContext::root(9, 1));
+        g.commit_contended(
+            "t",
+            PartitionId(0),
+            5,
+            &lane,
+            &clock,
+            TraceContext::root(9, 1),
+        );
         assert_eq!(g.committed_offset("t", PartitionId(0)), 5);
         // Monotonic: a stale lower commit cannot move the group back.
-        g.commit_contended("t", PartitionId(0), 3, &lane, &clock, TraceContext::root(9, 2));
+        g.commit_contended(
+            "t",
+            PartitionId(0),
+            3,
+            &lane,
+            &clock,
+            TraceContext::root(9, 2),
+        );
         assert_eq!(g.committed_offset("t", PartitionId(0)), 5);
         assert_eq!(lane.blocked_us(), 0);
         assert!(lanes.merge_drains().events.is_empty());
@@ -656,11 +670,22 @@ mod tests {
         let held = g.committed.lock();
         let entered = Arc::new(AtomicBool::new(false));
         let t = {
-            let (g, lane, clock, entered) =
-                (Arc::clone(&g), lane.clone(), Arc::clone(&clock), Arc::clone(&entered));
+            let (g, lane, clock, entered) = (
+                Arc::clone(&g),
+                lane.clone(),
+                Arc::clone(&clock),
+                Arc::clone(&entered),
+            );
             std::thread::spawn(move || {
                 entered.store(true, Ordering::Release);
-                g.commit_contended("t", PartitionId(0), 7, &lane, &clock, TraceContext::root(9, 3));
+                g.commit_contended(
+                    "t",
+                    PartitionId(0),
+                    7,
+                    &lane,
+                    &clock,
+                    TraceContext::root(9, 3),
+                );
             })
         };
         while !entered.load(Ordering::Acquire) {
@@ -670,9 +695,13 @@ mod tests {
         // in the blocked path before we release it.
         std::thread::sleep(std::time::Duration::from_millis(30));
         drop(held);
-        t.join().unwrap_or_else(|_| unreachable!("committer panicked"));
+        t.join()
+            .unwrap_or_else(|_| unreachable!("committer panicked"));
         assert_eq!(g.committed_offset("t", PartitionId(0)), 7);
-        assert!(lane.blocked_us() > 0, "wait on the held lock must be charged");
+        assert!(
+            lane.blocked_us() > 0,
+            "wait on the held lock must be charged"
+        );
         let merged = lanes.merge_drains();
         assert!(merged
             .events

@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use augur_log::{EventLog, Level, LogSite, SymId, Value};
+use augur_sample::Sampler;
 use augur_telemetry::{
     BlockedSite, Clock, Counter, FlightRecorder, Gauge, Histogram, Lane, LaneBlock, LaneWork,
     Lanes, ManualTime, MonotonicTime, NameId, Registry, TraceContext, Tracer,
@@ -113,6 +114,7 @@ pub struct PipelineBuilder<T> {
     flight: Option<(FlightRecorder, TraceContext)>,
     log: Option<(EventLog, TraceContext)>,
     lanes: Option<Lanes>,
+    sampler: Option<Sampler>,
 }
 
 impl<T> std::fmt::Debug for PipelineBuilder<T> {
@@ -149,6 +151,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             flight: None,
             log: None,
             lanes: None,
+            sampler: None,
         }
     }
 
@@ -222,6 +225,22 @@ impl<T: Send + 'static> PipelineBuilder<T> {
         self
     }
 
+    /// Applies deterministic head sampling to this pipeline's flight
+    /// instrumentation: every trace context the pipeline touches — the
+    /// per-run context and each record's producer context — passes
+    /// through `sampler` first, so chains the policy rejects record
+    /// nothing (the recorder's hot path early-returns on the unsampled
+    /// bit). The verdict is a pure function of `(seed, trace_id)`:
+    /// identical on every lane and every same-seed run. Structured log
+    /// records are deliberately *not* sampled — WARN+ decisions must
+    /// always survive (tail retention keeps their traces). Leaving this
+    /// unset keeps every trace, byte-identically to before the hook
+    /// existed.
+    pub fn sample(mut self, sampler: &Sampler) -> Self {
+        self.sampler = Some(sampler.clone());
+        self
+    }
+
     /// Keeps only items satisfying `pred`.
     pub fn filter(mut self, mut pred: impl FnMut(&T) -> bool + Send + 'static) -> Self {
         self.transforms
@@ -268,6 +287,7 @@ impl<T: Send + 'static> PipelineBuilder<T> {
             &self.topic,
             self.flight.clone(),
             self.log.clone(),
+            self.sampler.clone(),
         );
         Pipeline {
             inner: self,
@@ -386,6 +406,9 @@ struct Instruments {
     queue_occupancy: Histogram,
     flight: Option<FlightWire>,
     log: Option<Arc<LogWire>>,
+    /// Head-sampling policy every flight-bound trace context passes
+    /// through (`None` keeps everything).
+    sampler: Option<Sampler>,
     /// Ordinal of the next bounded run; salts the per-run trace context
     /// so consecutive runs get distinct (but deterministic) span ids.
     runs: AtomicU64,
@@ -422,6 +445,7 @@ impl Instruments {
         topic: &str,
         flight: Option<(FlightRecorder, TraceContext)>,
         log: Option<(EventLog, TraceContext)>,
+        sampler: Option<Sampler>,
     ) -> Instruments {
         let labels = [("topic", topic)];
         Instruments {
@@ -450,7 +474,17 @@ impl Instruments {
             queue_occupancy: registry.histogram_labeled("pipeline_queue_occupancy", &labels),
             flight: flight.map(|(rec, parent)| FlightWire::new(rec, parent)),
             log: log.map(|(log, parent)| Arc::new(LogWire::new(log, parent, topic))),
+            sampler,
             runs: AtomicU64::new(0),
+        }
+    }
+
+    /// Passes `ctx` through the head-sampling policy (identity when no
+    /// sampler is configured).
+    fn sample_ctx(&self, ctx: TraceContext) -> TraceContext {
+        match &self.sampler {
+            Some(s) => s.apply(ctx),
+            None => ctx,
         }
     }
 
@@ -465,7 +499,7 @@ impl Instruments {
     fn run_ctx(&self, ordinal: u64) -> Option<TraceContext> {
         self.flight
             .as_ref()
-            .map(|w| w.parent.child(ordinal ^ 0x70_69_70_65)) // "pipe" salt
+            .map(|w| self.sample_ctx(w.parent.child(ordinal ^ 0x70_69_70_65))) // "pipe" salt
     }
 
     /// The log context for bounded run `ordinal` — derived exactly like
@@ -579,7 +613,8 @@ impl LaneIo {
 
     /// A work span under the lane root covering one batch/burst.
     fn work(&self) -> LaneWork {
-        self.lane.work(&self.clock, self.lane.root(), self.work_name)
+        self.lane
+            .work(&self.clock, self.lane.root(), self.work_name)
     }
 
     /// A blocked window, parented under `parent` when the wait happens
@@ -629,7 +664,10 @@ impl<T: Send + 'static> Pipeline<T> {
                         flows.push(Flow {
                             key: pr.record.key,
                             time_us: pr.record.event_time_us,
-                            trace: pr.record.trace,
+                            // Head sampling decides here, once per record,
+                            // so every downstream per-record flight event
+                            // inherits the verdict.
+                            trace: pr.record.trace.map(|c| self.instruments.sample_ctx(c)),
                             value: v,
                         });
                     }
@@ -924,6 +962,7 @@ impl<T: Send + 'static> Pipeline<T> {
         let records_in = self.instruments.records_in.clone();
         let records_out = self.instruments.records_out.clone();
         let log_wire = self.instruments.log.as_ref().map(Arc::clone);
+        let sampler = self.instruments.sampler.clone();
         let clock = Arc::clone(&self.instruments.clock);
         let channel_capacity = self.inner.channel_capacity;
         // Channel occupancy accounting: an approximate depth counter
@@ -940,11 +979,14 @@ impl<T: Send + 'static> Pipeline<T> {
         // Lane registration happens here, on the *spawning* thread, so
         // lane ids are assigned in program order (pump then worker) no
         // matter how the OS schedules the threads.
-        let pump_io = self
-            .inner
-            .lanes
-            .as_ref()
-            .map(|l| LaneIo::register(l, &format!("{}/pump", self.inner.topic), "pipeline/pump", &clock));
+        let pump_io = self.inner.lanes.as_ref().map(|l| {
+            LaneIo::register(
+                l,
+                &format!("{}/pump", self.inner.topic),
+                "pipeline/pump",
+                &clock,
+            )
+        });
         let worker_io = self.inner.lanes.as_ref().map(|l| {
             LaneIo::register(
                 l,
@@ -984,7 +1026,10 @@ impl<T: Send + 'static> Pipeline<T> {
                             let flow = Flow {
                                 key: pr.record.key,
                                 time_us: pr.record.event_time_us,
-                                trace: pr.record.trace,
+                                trace: pr
+                                    .record
+                                    .trace
+                                    .map(|c| sampler.as_ref().map_or(c, |s| s.apply(c))),
                                 value: v,
                             };
                             // Try fast first: a full channel is the
@@ -1242,6 +1287,52 @@ mod tests {
                 .map(|c| c.value),
             Some(120)
         );
+    }
+
+    #[test]
+    fn head_sampling_mutes_rejected_producer_chains() {
+        let b = Broker::new();
+        b.create_topic("t", 1).unwrap();
+        // Each record rides its own producer root: distinct trace ids.
+        for i in 0..64u64 {
+            b.append(
+                "t",
+                Record::new(i, i.to_le_bytes().to_vec(), i * 1_000)
+                    .with_trace(TraceContext::root(11, i)),
+            )
+            .unwrap();
+        }
+        let sampler = Sampler::new(11, 4);
+        let rec = FlightRecorder::new(1 << 12);
+        let parent = TraceContext::root(11, 0xFFFF);
+        let mut p = PipelineBuilder::new(b, "t", decode)
+            .flight(&rec, parent)
+            .sample(&sampler)
+            .build();
+        let (items, _) = p.collect().unwrap();
+        assert_eq!(items.len(), 64, "sampling drops telemetry, never data");
+        let events = rec.drain();
+        let record_traces: std::collections::BTreeSet<u64> = events
+            .iter()
+            .filter(|e| e.name == "pipeline/record")
+            .map(|e| e.trace_id)
+            .collect();
+        let expected: std::collections::BTreeSet<u64> = (0..64u64)
+            .map(|i| TraceContext::root(11, i).trace_id)
+            .filter(|&id| sampler.admits(id))
+            .collect();
+        assert_eq!(
+            record_traces, expected,
+            "exactly the admitted chains record per-record spans"
+        );
+        assert!(!expected.is_empty() && expected.len() < 64, "1/4 sampling");
+        // The run spans follow the parent chain's own verdict.
+        let run_spans = events.iter().filter(|e| e.name == "pipeline/run").count();
+        if sampler.admits(parent.trace_id) {
+            assert_eq!(run_spans, 1);
+        } else {
+            assert_eq!(run_spans, 0);
+        }
     }
 
     #[test]
@@ -1681,7 +1772,12 @@ mod tests {
         assert!(merged.lanes[0].blocked_us > 0);
         assert!(merged.lanes[1].busy_us > 0);
         for l in &merged.lanes {
-            assert_eq!(l.drained + l.dropped, l.total, "lane {} loss accounting", l.id);
+            assert_eq!(
+                l.drained + l.dropped,
+                l.total,
+                "lane {} loss accounting",
+                l.id
+            );
         }
     }
 

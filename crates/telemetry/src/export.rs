@@ -8,7 +8,14 @@
 
 use std::fmt::Write as _;
 
+use crate::metric::bucket_upper_edge;
 use crate::registry::{Labels, Registry, RegistrySnapshot};
+
+/// The content type the OpenMetrics rendering must be served under —
+/// exemplar syntax is only defined for this exposition format, so the
+/// watch endpoint negotiates it via the request's `Accept` header.
+pub const OPENMETRICS_CONTENT_TYPE: &str =
+    "application/openmetrics-text; version=1.0.0; charset=utf-8";
 
 /// Escapes `s` for inclusion in a double-quoted JSON string.
 pub fn escape_json(s: &str) -> String {
@@ -137,6 +144,86 @@ impl Registry {
     /// `{"counters":[...],"gauges":[...],"histograms":[...]}`.
     pub fn render_json(&self) -> String {
         render_snapshot_json(&self.snapshot())
+    }
+
+    /// Renders every metric in the OpenMetrics text exposition format
+    /// (served under [`OPENMETRICS_CONTENT_TYPE`]).
+    ///
+    /// Counters keep their `*_total` sample names under a stripped
+    /// family name; gauges render unchanged; histograms render as true
+    /// OpenMetrics histograms — cumulative `_bucket{le="…"}` series
+    /// over the non-empty buckets plus `_sum`/`_count` — because only
+    /// `_bucket` lines may carry exemplars. A bucket that retains an
+    /// [`crate::Exemplar`] appends it in exemplar syntax:
+    /// `… # {trace_id="<016x>"} <value> <ts_seconds>`, the id format
+    /// matching the Chrome-trace args so a spike links straight to its
+    /// retained trace. Ends with the mandated `# EOF` terminator.
+    pub fn render_openmetrics(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        let mut last_type_line = String::new();
+        let mut type_line = |out: &mut String, name: &str, kind: &str| {
+            let line = format!("# TYPE {name} {kind}\n");
+            if line != last_type_line {
+                out.push_str(&line);
+                last_type_line = line;
+            }
+        };
+        for c in &snap.counters {
+            let family = c.name.strip_suffix("_total").unwrap_or(&c.name);
+            type_line(&mut out, family, "counter");
+            let _ = writeln!(
+                out,
+                "{family}_total{} {}",
+                label_block(&c.labels, None),
+                c.value
+            );
+        }
+        for g in &snap.gauges {
+            type_line(&mut out, &g.name, "gauge");
+            let v = if g.value.is_finite() {
+                format!("{}", g.value)
+            } else {
+                String::from("NaN")
+            };
+            let _ = writeln!(out, "{}{} {}", g.name, label_block(&g.labels, None), v);
+        }
+        for (name, labels, hist) in self.histogram_handles() {
+            type_line(&mut out, &name, "histogram");
+            let exemplars = hist.exemplars();
+            let (buckets, count, sum) = hist.nonzero_buckets();
+            let mut cumulative = 0u64;
+            for (idx, n) in buckets {
+                cumulative += n;
+                let le = format!("{}", bucket_upper_edge(idx as usize));
+                let _ = write!(
+                    out,
+                    "{name}_bucket{} {cumulative}",
+                    label_block(&labels, Some(("le", &le)))
+                );
+                if let Some(ex) = exemplars.iter().find(|e| e.bucket == idx as usize) {
+                    let _ = write!(
+                        out,
+                        " # {{trace_id=\"{:016x}\"}} {} {}.{:06}",
+                        ex.trace_id,
+                        ex.value,
+                        ex.ts_us / 1_000_000,
+                        ex.ts_us % 1_000_000
+                    );
+                }
+                out.push('\n');
+            }
+            let lb = label_block(&labels, None);
+            let _ = writeln!(
+                out,
+                "{name}_bucket{} {count}",
+                label_block(&labels, Some(("le", "+Inf")))
+            );
+            let _ = writeln!(out, "{name}_sum{lb} {sum}");
+            let _ = writeln!(out, "{name}_count{lb} {count}");
+        }
+        out.push_str("# EOF\n");
+        out
     }
 }
 
@@ -267,6 +354,33 @@ mod tests {
         assert!(text.contains("latency_us{quantile=\"0.5\"}"));
         assert!(text.contains("latency_us_sum 60"));
         assert!(text.contains("latency_us_count 3"));
+    }
+
+    #[test]
+    fn openmetrics_exposition_carries_exemplars() {
+        let reg = sample_registry();
+        let h = reg.histogram("latency_us");
+        h.enable_exemplars();
+        h.record_traced(25, 0xdead_beef, 1_500_000);
+        let text = reg.render_openmetrics();
+        assert!(text.contains("# TYPE requests counter"));
+        assert!(text.contains("requests_total{route=\"poi\"} 7"));
+        assert!(text.contains("# TYPE lag gauge"));
+        assert!(text.contains("# TYPE latency_us histogram"));
+        assert!(
+            text.contains(
+                "latency_us_bucket{le=\"25\"} 3 # {trace_id=\"00000000deadbeef\"} 25 1.500000"
+            ),
+            "exemplar line missing: {text}"
+        );
+        assert!(text.contains("latency_us_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("latency_us_sum 85"));
+        assert!(text.contains("latency_us_count 4"));
+        assert!(text.ends_with("# EOF\n"));
+        // Without exemplars the format still renders buckets, just bare.
+        let bare = sample_registry().render_openmetrics();
+        assert!(bare.contains("latency_us_bucket{le=\"+Inf\"} 3"));
+        assert!(!bare.contains("# {trace_id"));
     }
 
     #[test]

@@ -236,10 +236,7 @@ impl Drop for LaneWork {
         let dur = self.clock.now_micros().saturating_sub(self.start_us);
         // Blocked windows closed while this span was open (the lane is
         // driven by one thread) are contention, not work.
-        let nested_blocked = self
-            .lane
-            .blocked_us()
-            .saturating_sub(self.blocked_at_start);
+        let nested_blocked = self.lane.blocked_us().saturating_sub(self.blocked_at_start);
         self.lane
             .busy_us
             .fetch_add(dur.saturating_sub(nested_blocked), Ordering::Relaxed);
@@ -345,8 +342,10 @@ pub fn merge_drained(batches: Vec<(LaneSummary, Vec<FlightEvent>)>) -> MergedDra
         lanes.push(summary);
     }
     lanes.sort_by(|a, b| a.id.cmp(&b.id).then_with(|| a.name.cmp(&b.name)));
-    keyed.sort_by(|a, b| a.0.cmp(&b.0));
-    let total_events = lanes.iter().fold(0u64, |acc, l| acc.saturating_add(l.total));
+    keyed.sort_by_key(|entry| entry.0);
+    let total_events = lanes
+        .iter()
+        .fold(0u64, |acc, l| acc.saturating_add(l.total));
     let dropped_events = lanes
         .iter()
         .fold(0u64, |acc, l| acc.saturating_add(l.dropped));
@@ -454,8 +453,7 @@ impl Lanes {
 
     fn merge_batches(&self, control: Option<&FlightRecorder>) -> MergedDrain {
         let lanes = self.handles();
-        let mut batches: Vec<(LaneSummary, Vec<FlightEvent>)> =
-            Vec::with_capacity(lanes.len() + 1);
+        let mut batches: Vec<(LaneSummary, Vec<FlightEvent>)> = Vec::with_capacity(lanes.len() + 1);
         if let Some(rec) = control {
             let events = rec.drain();
             batches.push((
@@ -528,7 +526,8 @@ mod tests {
             b.end();
         }
         // A zero-length blocked window charges nothing and records no span.
-        lane.block(&clock, lane.root(), BlockedSite::ChannelRecv).end();
+        lane.block(&clock, lane.root(), BlockedSite::ChannelRecv)
+            .end();
         assert_eq!(lane.busy_us(), 30);
         assert_eq!(lane.blocked_us(), 12);
         let merged = lanes.merge_drains();

@@ -77,6 +77,7 @@ pub use chrome::{render_chrome_trace, render_chrome_trace_with_lanes};
 /// JSON string escaping shared with the bench snapshot writer.
 pub use export::{
     escape_json, escape_label_value, json_f64, render_snapshot_json, render_span_breakdown,
+    OPENMETRICS_CONTENT_TYPE,
 };
 /// The flight recorder and its drained event type.
 pub use flight::{FlightEvent, FlightEventKind, FlightRecorder, NameId, TraceSpan};
@@ -84,8 +85,10 @@ pub use flight::{FlightEvent, FlightEventKind, FlightRecorder, NameId, TraceSpan
 pub use lane::{
     merge_drained, BlockedSite, Lane, LaneBlock, LaneId, LaneSummary, LaneWork, Lanes, MergedDrain,
 };
-/// Lock-free instruments and the bucket-layout helper for aggregators.
-pub use metric::{bucket_midpoint, Counter, Gauge, Histogram, HistogramSnapshot};
+/// Lock-free instruments and the bucket-layout helpers for aggregators.
+pub use metric::{
+    bucket_midpoint, bucket_upper_edge, Counter, Exemplar, Gauge, Histogram, HistogramSnapshot,
+};
 /// Labeled metric families and snapshots.
 pub use registry::{
     CounterSnapshot, GaugeSnapshot, HistogramFamilySnapshot, Labels, Registry, RegistrySnapshot,
@@ -94,7 +97,8 @@ pub use registry::{
 pub use span::{SpanGuard, Tracer, SPAN_LABEL, SPAN_METRIC};
 /// Pluggable clocks.
 pub use time::{Clock, ManualTime, MonotonicTime, TimeSource};
-/// Causal trace identity carried across layer boundaries.
-pub use trace::TraceContext;
+/// Causal trace identity carried across layer boundaries, and the
+/// SplitMix64 mix shared with deterministic sampling policies.
+pub use trace::{mix64, TraceContext};
 /// The reconstructed span forest and its nodes.
 pub use tree::{SpanForest, SpanNode};

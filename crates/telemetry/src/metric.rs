@@ -7,7 +7,7 @@
 //! allocation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A monotonically increasing event count.
 ///
@@ -132,6 +132,41 @@ struct HistogramCells {
     sum: AtomicU64,
     min: AtomicU64,
     max: AtomicU64,
+    /// Per-bucket exemplar slots, allocated lazily by
+    /// [`Histogram::enable_exemplars`] so histograms that never opt in
+    /// pay nothing. Absent slots make [`Histogram::record_traced`]
+    /// behave exactly like [`Histogram::record`].
+    exemplars: OnceLock<Box<[ExemplarCell]>>,
+}
+
+/// One bucket's exemplar storage: last-writer-wins `(trace_id, value,
+/// ts_us)`. The three cells are written independently with relaxed
+/// stores (`trace_id` last, as the presence marker), so a reader racing
+/// a writer may observe a torn exemplar — acceptable for a best-effort
+/// drill-down sample, and impossible under the deterministic
+/// single-writer clocks the benches pin.
+#[derive(Debug, Default)]
+struct ExemplarCell {
+    trace_id: AtomicU64,
+    value: AtomicU64,
+    ts_us: AtomicU64,
+}
+
+/// A retained `(trace_id, value, ts_us)` observation for one histogram
+/// bucket — the concrete trace behind a quantile, exported in
+/// OpenMetrics exemplar syntax and rendered as drill-down links on the
+/// watch dashboard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Bucket index the exemplar belongs to (interpret with
+    /// [`bucket_midpoint`] / [`bucket_upper_edge`]).
+    pub bucket: usize,
+    /// Trace id of the run/frame that recorded the value (never 0).
+    pub trace_id: u64,
+    /// The recorded sample value.
+    pub value: u64,
+    /// Timestamp of the observation on the recording clock.
+    pub ts_us: u64,
 }
 
 /// A point-in-time readout of a [`Histogram`].
@@ -189,6 +224,21 @@ pub fn bucket_midpoint(idx: usize) -> u64 {
     bucket_value(idx)
 }
 
+/// Largest value bucket `idx` can hold — the inclusive upper edge, what
+/// OpenMetrics renders as the `le` label of a `_bucket` series. Public
+/// for the exporter and downstream aggregators.
+pub fn bucket_upper_edge(idx: usize) -> u64 {
+    let exp = idx >> SUB_BITS;
+    let sub = (idx & (SUB as usize - 1)) as u64;
+    if exp == 0 {
+        sub
+    } else {
+        let width = 1u64 << (exp - 1);
+        let lo = (SUB + sub) << (exp - 1);
+        lo + width - 1
+    }
+}
+
 /// Midpoint value represented by bucket `idx` (inverse of
 /// [`bucket_index`] up to the documented error bound).
 fn bucket_value(idx: usize) -> u64 {
@@ -219,8 +269,67 @@ impl Histogram {
                 sum: AtomicU64::new(0),
                 min: AtomicU64::new(u64::MAX),
                 max: AtomicU64::new(0),
+                exemplars: OnceLock::new(),
             }),
         }
+    }
+
+    /// Opts this histogram into per-bucket exemplar retention
+    /// (idempotent; allocates the slot array once). Until called,
+    /// [`Histogram::record_traced`] records the value but retains no
+    /// exemplar, and exports stay byte-identical to an untouched
+    /// histogram.
+    pub fn enable_exemplars(&self) {
+        let _ = self
+            .inner
+            .exemplars
+            .get_or_init(|| (0..BUCKETS).map(|_| ExemplarCell::default()).collect());
+    }
+
+    /// Whether [`Histogram::enable_exemplars`] has been called.
+    pub fn exemplars_enabled(&self) -> bool {
+        self.inner.exemplars.get().is_some()
+    }
+
+    /// Records one sample and, when exemplars are enabled and
+    /// `trace_id` is nonzero, retains `(trace_id, v, ts_us)` as the
+    /// bucket's exemplar (last writer wins).
+    pub fn record_traced(&self, v: u64, trace_id: u64, ts_us: u64) {
+        self.record(v);
+        if trace_id == 0 {
+            return;
+        }
+        if let Some(slots) = self.inner.exemplars.get() {
+            if let Some(cell) = slots.get(bucket_index(v)) {
+                cell.value.store(v, Ordering::Relaxed);
+                cell.ts_us.store(ts_us, Ordering::Relaxed);
+                cell.trace_id.store(trace_id, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The retained exemplars in bucket order (empty when exemplars
+    /// were never enabled or nothing was recorded with a trace).
+    /// Exemplars are deliberately not moved by [`Histogram::merge`] —
+    /// they identify traces of *this* recorder's samples.
+    pub fn exemplars(&self) -> Vec<Exemplar> {
+        let Some(slots) = self.inner.exemplars.get() else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for (bucket, cell) in slots.iter().enumerate() {
+            let trace_id = cell.trace_id.load(Ordering::Relaxed);
+            if trace_id == 0 {
+                continue;
+            }
+            out.push(Exemplar {
+                bucket,
+                trace_id,
+                value: cell.value.load(Ordering::Relaxed),
+                ts_us: cell.ts_us.load(Ordering::Relaxed),
+            });
+        }
+        out
     }
 
     /// Records one sample. Wait-free, allocation-free.
@@ -471,6 +580,46 @@ mod tests {
             );
         }
         assert!(Histogram::new().nonzero_buckets().0.is_empty());
+    }
+
+    #[test]
+    fn exemplars_retain_last_trace_per_bucket() {
+        let h = Histogram::new();
+        h.record_traced(100, 0xabc, 10);
+        assert!(
+            h.exemplars().is_empty(),
+            "no retention before enable_exemplars"
+        );
+        assert_eq!(h.count(), 1, "the sample itself still lands");
+
+        h.enable_exemplars();
+        assert!(h.exemplars_enabled());
+        h.record_traced(100, 0xdead, 20);
+        h.record_traced(101, 0xbeef, 30); // same bucket: overwrites
+        h.record_traced(5_000, 0xfeed, 40); // different bucket
+        h.record_traced(7, 0, 50); // zero trace id: no exemplar
+        let ex = h.exemplars();
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].trace_id, 0xbeef);
+        assert_eq!(ex[0].value, 101);
+        assert_eq!(ex[0].ts_us, 30);
+        assert_eq!(ex[1].trace_id, 0xfeed);
+        assert!(
+            bucket_upper_edge(ex[1].bucket) >= 5_000
+                && bucket_midpoint(ex[1].bucket).abs_diff(5_000) <= 5_000 / 32 + 1,
+            "exemplar bucket must cover its value"
+        );
+    }
+
+    #[test]
+    fn bucket_upper_edge_bounds_its_bucket() {
+        for v in [0u64, 1, 31, 32, 100, 1_000, 65_535, 1 << 40] {
+            let idx = bucket_index(v);
+            assert!(bucket_upper_edge(idx) >= v, "v={v}");
+            if idx + 1 < BUCKETS {
+                assert!(bucket_upper_edge(idx) < bucket_upper_edge(idx + 1));
+            }
+        }
     }
 
     #[test]

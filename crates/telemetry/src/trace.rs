@@ -32,7 +32,10 @@
 
 /// SplitMix64 finalizer: a fast, well-distributed 64-bit mixing function.
 /// Used for id derivation only — this is not a cryptographic hash.
-fn mix64(mut x: u64) -> u64 {
+/// Public so downstream deterministic policies (the `augur-sample`
+/// head-sampling verdict and reservoir keys) hash with the exact same
+/// mix as trace-id derivation.
+pub fn mix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);

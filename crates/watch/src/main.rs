@@ -144,7 +144,10 @@ fn run() -> i32 {
         clock.advance_micros(400);
         rec.record_span(cycle_ctx.child_named("demo/fuse"), fuse_n, fuse_start, 400);
         rec.record_span(cycle_ctx, cycle_n, start, 1_000);
-        session.observe_cycle("demo", &clock, start);
+        // Traced observation pins the cycle's trace id on the latency
+        // bucket: `/metrics` under OpenMetrics negotiation then serves
+        // an exemplar linking the bucket to this very span tree.
+        session.observe_cycle_traced("demo", &clock, start, cycle_ctx);
     }
     session.finish();
     // Bottleneck readout over the run's own spans: feeds the

@@ -12,6 +12,13 @@
 //! | `/logs`    | JSONL tail of the session's structured event log    |
 //! | `/`        | the plain-text dashboard                            |
 //!
+//! `/metrics` negotiates: a request whose `Accept` header asks for
+//! `application/openmetrics-text` gets the OpenMetrics exposition
+//! (which is where histogram exemplars live — the Prometheus text
+//! format cannot carry them); everything else gets the classic
+//! Prometheus text body, byte-identical to what this route always
+//! served.
+//!
 //! This file is the **sole sanctioned networking site** in the
 //! workspace: `augur-audit`'s `net-confined` rule denies raw `std::net`
 //! sockets everywhere else, mirroring the time-source rule.
@@ -123,7 +130,8 @@ fn handle_connection(mut stream: TcpStream, shared: &SharedState) {
     }
     let head = String::from_utf8_lossy(buf.get(..len).unwrap_or(&[]));
     let path = request_path(&head).unwrap_or("/");
-    let (status, content_type, body) = route(path, shared);
+    let accept = accept_header(&head);
+    let (status, content_type, body) = route(path, accept, shared);
     let response = format!(
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len()
@@ -145,9 +153,35 @@ fn request_path(head: &str) -> Option<&str> {
     parts.next()
 }
 
+/// Extracts the `Accept` header value (case-insensitive name), empty
+/// when absent.
+fn accept_header(head: &str) -> &str {
+    head.lines()
+        .skip(1)
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("accept")
+                .then(|| value.trim())
+        })
+        .unwrap_or("")
+}
+
+/// Whether an `Accept` value asks for the OpenMetrics exposition.
+fn wants_openmetrics(accept: &str) -> bool {
+    accept
+        .split(',')
+        .any(|part| part.trim().starts_with("application/openmetrics-text"))
+}
+
 /// Routes a path to `(status line, content type, body)`.
-fn route(path: &str, shared: &SharedState) -> (&'static str, &'static str, String) {
+fn route(path: &str, accept: &str, shared: &SharedState) -> (&'static str, &'static str, String) {
     match path {
+        "/metrics" if wants_openmetrics(accept) => (
+            "200 OK",
+            augur_telemetry::OPENMETRICS_CONTENT_TYPE,
+            shared.registry.render_openmetrics(),
+        ),
         "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4",
@@ -247,6 +281,22 @@ mod tests {
         assert_eq!(request_path("POST / HTTP/1.1\r\n"), Some("/"));
         assert_eq!(request_path(""), None);
         assert_eq!(request_path("GET"), None);
+    }
+
+    #[test]
+    fn accept_negotiation_picks_openmetrics() {
+        let head = "GET /metrics HTTP/1.1\r\nHost: x\r\n\
+                    Accept: application/openmetrics-text; version=1.0.0\r\n\r\n";
+        assert!(wants_openmetrics(accept_header(head)));
+        let plain = "GET /metrics HTTP/1.1\r\nAccept: text/plain\r\n\r\n";
+        assert!(!wants_openmetrics(accept_header(plain)));
+        assert!(!wants_openmetrics(accept_header(
+            "GET /metrics HTTP/1.1\r\n\r\n"
+        )));
+        // Case-insensitive header name, q-lists.
+        let listed =
+            "GET /m HTTP/1.1\r\naccept: text/html, application/openmetrics-text;q=0.9\r\n\r\n";
+        assert!(wants_openmetrics(accept_header(listed)));
     }
 
     #[test]

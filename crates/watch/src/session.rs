@@ -20,6 +20,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use augur_log::{render_jsonl_line, EventLog, Level, LogRecord};
+use augur_sample::SelfCost;
 use augur_store::{LsmParams, LsmStore};
 use augur_telemetry::{
     Counter, FlightRecorder, Histogram, ManualTime, NameId, Registry, TimeSource, TraceContext,
@@ -123,6 +124,11 @@ pub struct WatchSession {
     /// The last ingested xray panel (empty until
     /// [`WatchSession::observe_xray`]); appended to the dashboard.
     xray_panel: String,
+    /// Observability self-cost accountant: turns the session's own
+    /// flight/log totals into `augur_obs_*` counters and the
+    /// `obs_overhead_share` gauge every tick (model costs scaled by
+    /// `AUGUR_OBS_OVERHEAD_INJECT` for the red-gate probe).
+    obs: SelfCost,
     last_now_us: u64,
     shared: Arc<SharedState>,
 }
@@ -152,6 +158,7 @@ impl WatchSession {
         let log_records = registry.counter("log_records_total");
         let log_errors = registry.counter("log_error_records_total");
         let log_dropped = registry.counter("log_dropped_records_total");
+        let obs = SelfCost::new(&registry);
         Ok(WatchSession {
             registry,
             recorder,
@@ -173,6 +180,7 @@ impl WatchSession {
             log_tail: VecDeque::new(),
             log_tail_cap: config.log_tail.max(1),
             xray_panel: String::new(),
+            obs,
             last_now_us: 0,
             shared,
         })
@@ -207,12 +215,30 @@ impl WatchSession {
     /// records the cycle latency into `frame_latency_us{scenario=...}`,
     /// and advances the rollup/SLO machinery to the clock's now.
     pub fn observe_cycle(&mut self, scenario: &str, clock: &ManualTime, cycle_start_us: u64) {
+        let root = self.root;
+        self.observe_cycle_traced(scenario, clock, cycle_start_us, root);
+    }
+
+    /// [`WatchSession::observe_cycle`] with the cycle's own trace
+    /// context: besides recording the latency, the bucket keeps `ctx`'s
+    /// trace id as an OpenMetrics exemplar — the drill-down link from a
+    /// p99 spike on `/metrics` straight to the trace in the exported
+    /// Perfetto view. An unsampled context records the latency but
+    /// leaves no exemplar.
+    pub fn observe_cycle_traced(
+        &mut self,
+        scenario: &str,
+        clock: &ManualTime,
+        cycle_start_us: u64,
+        ctx: TraceContext,
+    ) {
         if self.inject_cycle_delay_us > 0 {
             clock.advance_micros(self.inject_cycle_delay_us);
         }
         let now = clock.now_micros();
+        let trace_id = if ctx.sampled { ctx.trace_id } else { 0 };
         self.cycle_hist(scenario)
-            .record(now.saturating_sub(cycle_start_us));
+            .record_traced(now.saturating_sub(cycle_start_us), trace_id, now);
         self.tick_to(now);
     }
 
@@ -223,6 +249,7 @@ impl WatchSession {
         self.last_now_us = self.last_now_us.max(now_us);
         self.export_flight_loss();
         self.drain_log();
+        self.export_obs_cost();
         let closed = self.rollup.tick(now_us);
         for start in &closed {
             self.slo
@@ -244,12 +271,15 @@ impl WatchSession {
     pub fn finish(&mut self) {
         self.export_flight_loss();
         self.drain_log();
+        self.export_obs_cost();
         if let Some(start) = self.rollup.flush(self.last_now_us) {
             self.slo
                 .evaluate_window(&self.rollup, start, &self.recorder, self.root);
         }
         self.recorder
             .record_span(self.root, self.session_span, 0, self.last_now_us);
+        // The session span itself is instrumentation: account it too.
+        self.export_obs_cost();
         self.refresh_shared();
     }
 
@@ -317,6 +347,11 @@ impl WatchSession {
     /// [`WatchSession::observe_xray`] the bottleneck panel is appended.
     pub fn dashboard(&self) -> String {
         let mut out = crate::dashboard::render(&self.slo.status(), &self.rollup);
+        let exemplars = self.exemplar_panel();
+        if !exemplars.is_empty() {
+            out.push('\n');
+            out.push_str(&exemplars);
+        }
         if !self.xray_panel.is_empty() {
             out.push('\n');
             out.push_str(&self.xray_panel);
@@ -345,6 +380,28 @@ impl WatchSession {
             .add(lost.saturating_sub(self.prev_flight_lost));
         self.prev_flight_total = total;
         self.prev_flight_lost = lost;
+    }
+
+    /// Accounts the instrumentation's own cost for this tick: flight
+    /// and log totals are cumulative, the accountant differences them
+    /// against the previous tick; modeled elapsed time stands in for
+    /// busy time (the session observes one workload end to end). Called
+    /// after the log drain so the ring holds nothing uncounted.
+    fn export_obs_cost(&mut self) {
+        let log_appended = self.log_records.get() + self.log.dropped_records();
+        self.obs.observe(
+            self.recorder.total_events(),
+            self.recorder.lost_events(),
+            log_appended,
+            self.last_now_us,
+        );
+    }
+
+    /// The cumulative observability overhead share (the
+    /// `obs_overhead_share` gauge): estimated instrumentation time over
+    /// modeled busy time.
+    pub fn obs_overhead_share(&self) -> f64 {
+        self.obs.overhead_share()
     }
 
     /// Drains newly-arrived log records: counts them into the
@@ -387,6 +444,11 @@ impl WatchSession {
     fn refresh_shared(&self) {
         let status = self.slo.status();
         let mut dashboard = crate::dashboard::render(&status, &self.rollup);
+        let exemplars = self.exemplar_panel();
+        if !exemplars.is_empty() {
+            dashboard.push('\n');
+            dashboard.push_str(&exemplars);
+        }
         if !self.xray_panel.is_empty() {
             dashboard.push('\n');
             dashboard.push_str(&self.xray_panel);
@@ -404,8 +466,38 @@ impl WatchSession {
         let h = self
             .registry
             .histogram_labeled("frame_latency_us", &[("scenario", scenario)]);
+        h.enable_exemplars();
         self.cycle_hists.push((scenario.to_string(), h.clone()));
         h
+    }
+
+    /// Renders the exemplar drill-down panel: per scenario, the slowest
+    /// retained exemplars (highest buckets first) with the trace id to
+    /// search for in the exported Perfetto view. Empty when no traced
+    /// cycle was observed.
+    fn exemplar_panel(&self) -> String {
+        use std::fmt::Write as _;
+        /// Slowest buckets shown per scenario — a drill-down, not a dump.
+        const PER_SCENARIO: usize = 8;
+        let mut out = String::new();
+        for (scenario, hist) in &self.cycle_hists {
+            let mut exemplars = hist.exemplars();
+            exemplars.sort_by_key(|e| std::cmp::Reverse(e.bucket));
+            for ex in exemplars.iter().take(PER_SCENARIO) {
+                let _ = writeln!(
+                    out,
+                    "  {scenario}: {}us (bucket le={}) -> trace {:016x}",
+                    ex.value,
+                    augur_telemetry::bucket_upper_edge(ex.bucket),
+                    ex.trace_id,
+                );
+            }
+        }
+        if out.is_empty() {
+            out
+        } else {
+            format!("exemplars (latency -> trace id, search it in Perfetto):\n{out}")
+        }
     }
 }
 
@@ -602,7 +694,10 @@ mod tests {
         session.observe_xray(&report);
         let registry = session.registry();
         let eff = registry.gauge("measured_parallel_efficiency").get();
-        assert!((eff - 0.65).abs() < 1e-12, "Σbusy 130 over 2×100 lanes: {eff}");
+        assert!(
+            (eff - 0.65).abs() < 1e-12,
+            "Σbusy 130 over 2×100 lanes: {eff}"
+        );
         assert!(
             (registry
                 .gauge_labeled("lane_blocked_share", &[("lane", "worker")])
@@ -622,6 +717,63 @@ mod tests {
         let dash = session.dashboard();
         assert!(dash.contains("measured efficiency 0.65 over 2 lane(s)"));
         assert!(dash.contains("pump"), "lanes table must list lane names");
+    }
+
+    #[test]
+    fn self_cost_counters_track_the_session_within_budget() {
+        let (session, _) = run_session(0);
+        let registry = session.registry();
+        let record_ns = registry.counter(augur_sample::OBS_RECORD_NS_TOTAL).get();
+        let busy_ns = registry.counter(augur_sample::OBS_BUSY_NS_TOTAL).get();
+        assert!(record_ns > 0, "the session records its own span cost");
+        assert_eq!(busy_ns, 20 * 400 * 1_000, "modeled busy time in ns");
+        let share = registry.gauge(augur_sample::OBS_OVERHEAD_SHARE).get();
+        assert!((share - session.obs_overhead_share()).abs() < 1e-15);
+        assert!(
+            share <= augur_sample::OBS_OVERHEAD_BUDGET,
+            "a healthy session stays inside the 1% budget: {share}"
+        );
+        assert!(share > 0.0);
+    }
+
+    #[test]
+    fn traced_cycles_leave_exemplars_on_metrics_and_dashboard() {
+        let mut session = WatchSession::new(test_config(0)).unwrap_or_else(|e| unreachable!("{e}"));
+        let clock = ManualTime::new();
+        let root = session.root();
+        for i in 0..4u64 {
+            let start = clock.now_micros();
+            clock.advance_micros(300 + i * 50);
+            session.observe_cycle_traced("test", &clock, start, root.child_named("cycle"));
+        }
+        session.finish();
+        let om = session.registry().render_openmetrics();
+        assert!(
+            om.contains("# {trace_id="),
+            "OpenMetrics exposition must carry at least one exemplar: {om}"
+        );
+        let expected = format!("{:016x}", root.trace_id);
+        assert!(
+            om.contains(&expected),
+            "exemplar carries the cycle's trace id"
+        );
+        let dash = session.dashboard();
+        assert!(
+            dash.contains("exemplars (latency -> trace id"),
+            "dashboard drill-down panel: {dash}"
+        );
+        assert!(dash.contains(&expected));
+        // An unsampled context records latency but leaves no new trace.
+        let before = session.cycle_hist("test").exemplars();
+        let start = clock.now_micros();
+        clock.advance_micros(10_000);
+        session.observe_cycle_traced("test", &clock, start, root.unsampled());
+        let after = session.cycle_hist("test").exemplars();
+        assert_eq!(
+            before.len(),
+            after.len(),
+            "no exemplar for unsampled cycles"
+        );
     }
 
     #[test]

@@ -183,12 +183,25 @@ pub struct XrayReport {
     /// Scenario or bench the drain came from.
     pub scenario: String,
     /// True when the ring dropped events: the critical path has holes
-    /// and must not be trusted for gating.
+    /// and must not be trusted for gating. **Reserved for real loss** —
+    /// intentional sampling reports `sampled` + `effective_rate`
+    /// instead, so the doctor gate can tell the two apart.
     pub truncated: bool,
     /// Events the recorder accepted over its lifetime.
     pub total_events: u64,
     /// Events the ring dropped (not present in the drain).
     pub dropped_events: u64,
+    /// True when the drain was produced under an intentional sampling
+    /// policy (head sampling and/or tail retention); set via
+    /// [`XrayReport::with_sampling`].
+    pub sampled: bool,
+    /// The kept fraction under the policy (1.0 when not sampling).
+    pub effective_rate: f64,
+    /// Inverse-probability estimate of the *population* root count:
+    /// `roots / effective_rate` — the sampled stats scaled back up.
+    pub estimated_roots: u64,
+    /// Inverse-probability estimate of the population event count.
+    pub estimated_events: u64,
     /// Root trace trees analyzed.
     pub roots: u64,
     /// Wall extent of the drain: max span end − min span start, µs.
@@ -284,6 +297,25 @@ impl XrayReport {
         self
     }
 
+    /// Marks the report as intentionally sampled at `effective_rate`
+    /// (the kept fraction, in `(0, 1]`) and fills the
+    /// inverse-probability estimates: roots and events scale by
+    /// `1/rate` so the report still speaks about the population the
+    /// sample was drawn from. Non-positive or non-finite rates are
+    /// treated as 1.0 (not sampling). Returns `self` for chaining.
+    pub fn with_sampling(mut self, effective_rate: f64) -> XrayReport {
+        let rate = if effective_rate.is_finite() && effective_rate > 0.0 {
+            effective_rate.min(1.0)
+        } else {
+            1.0
+        };
+        self.effective_rate = rate;
+        self.sampled = rate < 1.0;
+        self.estimated_roots = inverse_scale(self.roots, rate);
+        self.estimated_events = inverse_scale(self.total_events, rate);
+        self
+    }
+
     /// Renders the canonical JSON artifact (see [`render_json`]).
     pub fn render_json(&self) -> String {
         render::render_json(self)
@@ -329,11 +361,16 @@ pub fn analyze(
     } else {
         1.0
     };
+    let total_events = (events.len() as u64).saturating_add(dropped_events);
     XrayReport {
         scenario: scenario.to_string(),
         truncated: dropped_events > 0,
-        total_events: (events.len() as u64).saturating_add(dropped_events),
+        total_events,
         dropped_events,
+        sampled: false,
+        effective_rate: 1.0,
+        estimated_roots: cp.roots,
+        estimated_events: total_events,
         roots: cp.roots,
         makespan_us,
         work_us: cp.work_us,
@@ -379,7 +416,7 @@ pub fn analyze_merged(scenario: &str, merged: &MergedDrain) -> XrayReport {
         stat.busy_us = stat.busy_us.max(summary.busy_us);
         stat.blocked_us = stat.blocked_us.max(summary.blocked_us);
     }
-    report.lanes.sort_by(|a, b| a.lane.cmp(&b.lane));
+    report.lanes.sort_by_key(|l| l.lane);
     let makespan = report.makespan_us;
     for stat in &mut report.lanes {
         stat.utilization = ratio(stat.busy_us, makespan);
@@ -387,7 +424,14 @@ pub fn analyze_merged(scenario: &str, merged: &MergedDrain) -> XrayReport {
     }
     report.measured = summarize_lanes(&report.lanes, makespan);
     report.total_events = merged.total_events.max(report.total_events);
+    report.estimated_events = report.total_events;
     report
+}
+
+/// Scales a sampled count back to its population estimate (`v / rate`,
+/// rounded).
+fn inverse_scale(v: u64, rate: f64) -> u64 {
+    (v as f64 / rate).round() as u64
 }
 
 /// Per-lane busy/blocked accounting from the span forest alone: busy

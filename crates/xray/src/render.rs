@@ -19,12 +19,18 @@ pub fn render_json(report: &XrayReport) -> String {
     let _ = write!(
         out,
         "{{\"xray\":\"{}\",\"truncated\":{},\"events\":{{\"total\":{},\"dropped\":{}}},\
+         \"sampling\":{{\"sampled\":{},\"effective_rate\":{},\"estimated_roots\":{},\
+         \"estimated_events\":{}}},\
          \"roots\":{},\"makespan_us\":{},\"work_us\":{},\"span_us\":{},\
          \"speedup\":{{\"work_span_bound\":{},\"stage_bound\":{},\"parallel_speedup_bound\":{}}}",
         escape_json(&report.scenario),
         report.truncated,
         report.total_events,
         report.dropped_events,
+        report.sampled,
+        json_f64(report.effective_rate),
+        report.estimated_roots,
+        report.estimated_events,
         report.roots,
         report.makespan_us,
         report.work_us,
@@ -129,13 +135,22 @@ pub fn render_json(report: &XrayReport) -> String {
 /// critical-path share first. Empty reports render a one-line notice.
 pub fn render_panel(report: &XrayReport) -> String {
     let mut out = String::new();
+    let sampled_mark = if report.sampled {
+        format!(
+            " [sampled rate {:.6}, ~{} roots]",
+            report.effective_rate, report.estimated_roots
+        )
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "xray: parallel speedup bound {:.2}x (work/span {:.2}x, stage {:.2}x){}",
+        "xray: parallel speedup bound {:.2}x (work/span {:.2}x, stage {:.2}x){}{}",
         report.parallel_speedup_bound,
         report.work_span_bound,
         report.stage_bound,
         if report.truncated { " [truncated]" } else { "" },
+        sampled_mark,
     );
     let _ = writeln!(
         out,

@@ -53,9 +53,7 @@ impl Driver {
         let w = self.lane.work(&self.clock, self.lane.root(), self.produce);
         self.time.advance_micros(10 + u64::from(self.lane.id().0));
         if k % 3 == 2 {
-            let b = self
-                .lane
-                .block(&self.clock, w.ctx(), BlockedSite::Stall);
+            let b = self.lane.block(&self.clock, w.ctx(), BlockedSite::Stall);
             self.time.advance_micros(4);
             b.end();
         }
